@@ -1,0 +1,74 @@
+// Ablation (Section III-A, "Bucket Search"): linear vs binary search on
+// row vs column layout, for small and very large buckets. The paper
+// finds binary search on the row layout best for both 4-entry and
+// 65536-entry buckets and adopts it.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/core/cgrx_index.h"
+#include "src/util/workloads.h"
+
+namespace cgrx::bench {
+
+void RegisterFigure() {
+  const auto& scale = Scale::Get();
+  auto& table = Table(
+      "Ablation: bucket search variants, point-lookup time [ms]");
+  table.SetColumns({"bucket size", "binary+row", "binary+column",
+                    "linear+row", "linear+column"});
+  for (const std::uint32_t bucket : {4u, 32u, 256u, 4096u, 65536u}) {
+    benchmark::RegisterBenchmark(
+        ("AblationBucketSearch/b" + std::to_string(bucket)).c_str(),
+        [bucket, &table, &scale](benchmark::State& state) {
+          util::KeySetConfig cfg;
+          cfg.count = scale.Keys(26);
+          cfg.key_bits = 32;
+          cfg.uniformity = 1.0;
+          const auto keys64 = util::MakeKeySet(cfg);
+          std::vector<std::uint32_t> keys(keys64.begin(), keys64.end());
+          auto sorted = keys64;
+          std::sort(sorted.begin(), sorted.end());
+          util::LookupBatchConfig lcfg;
+          lcfg.count = scale.Keys(22);
+          const auto lookups64 =
+              util::MakeLookupBatch(keys64, sorted, 32, lcfg);
+          std::vector<std::uint32_t> lookups(lookups64.begin(),
+                                             lookups64.end());
+          std::vector<std::string> row = {std::to_string(bucket)};
+          for (auto _ : state) {
+            for (const auto& [algo, layout] :
+                 {std::pair{core::BucketSearchAlgo::kBinary,
+                            core::BucketLayout::kRow},
+                  std::pair{core::BucketSearchAlgo::kBinary,
+                            core::BucketLayout::kColumn},
+                  std::pair{core::BucketSearchAlgo::kLinear,
+                            core::BucketLayout::kRow},
+                  std::pair{core::BucketSearchAlgo::kLinear,
+                            core::BucketLayout::kColumn}}) {
+              core::CgrxConfig config;
+              config.bucket_size = bucket;
+              config.bucket_search = algo;
+              config.bucket_layout = layout;
+              core::CgrxIndex32 index(config);
+              index.Build(std::vector<std::uint32_t>(keys));
+              std::vector<core::LookupResult> results(lookups.size());
+              const double ms = MeasureMs([&] {
+                index.PointLookupBatch(lookups.data(), lookups.size(),
+                                       results.data());
+              });
+              row.push_back(util::TablePrinter::Num(ms, 1));
+              benchmark::DoNotOptimize(results.data());
+            }
+          }
+          table.AddRow(row);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace cgrx::bench

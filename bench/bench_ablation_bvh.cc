@@ -1,0 +1,69 @@
+// Ablation (DESIGN.md / paper Section II citation of [7]): the BVH
+// construction algorithm. The driver's builder is proprietary on real
+// hardware; this bench quantifies how builder quality (binned SAH vs
+// median split vs Morton/LBVH) affects cgRX build and lookup times.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/core/cgrx_index.h"
+#include "src/util/workloads.h"
+
+namespace cgrx::bench {
+
+void RegisterFigure() {
+  const auto& scale = Scale::Get();
+  auto& table = Table("Ablation: BVH builder quality (cgRX(32), 64-bit)");
+  table.SetColumns({"builder & uniformity", "build [ms]", "lookup [ms]",
+                    "BVH depth"});
+  for (const auto& [builder, name] :
+       {std::pair{rt::BvhBuilder::kBinnedSah, "binned-SAH"},
+        std::pair{rt::BvhBuilder::kMedianSplit, "median"},
+        std::pair{rt::BvhBuilder::kMorton, "morton"}}) {
+    for (const double uniformity : {0.0, 1.0}) {
+      const std::string label =
+          std::string(name) + " & " +
+          util::TablePrinter::Num(uniformity * 100, 0) + "%";
+      benchmark::RegisterBenchmark(
+          ("AblationBvh/" + label).c_str(),
+          [builder = builder, label, uniformity, &table,
+           &scale](benchmark::State& state) {
+            util::KeySetConfig cfg;
+            cfg.count = scale.Keys(26);
+            cfg.key_bits = 64;
+            cfg.uniformity = uniformity;
+            const auto keys = util::MakeKeySet(cfg);
+            auto sorted = keys;
+            std::sort(sorted.begin(), sorted.end());
+            util::LookupBatchConfig lcfg;
+            lcfg.count = scale.Keys(22);
+            const auto lookups =
+                util::MakeLookupBatch(keys, sorted, 64, lcfg);
+            for (auto _ : state) {
+              core::CgrxConfig config;
+              config.bucket_size = 32;
+              config.bvh_builder = builder;
+              core::CgrxIndex64 index(config);
+              const double build_ms = MeasureMs(
+                  [&] { index.Build(std::vector<std::uint64_t>(keys)); });
+              std::vector<core::LookupResult> results(lookups.size());
+              const double lookup_ms = MeasureMs([&] {
+                index.PointLookupBatch(lookups.data(), lookups.size(),
+                                       results.data());
+              });
+              table.AddRow({label, util::TablePrinter::Num(build_ms, 1),
+                            util::TablePrinter::Num(lookup_ms, 1),
+                            std::to_string(index.scene().bvh().Depth())});
+              benchmark::DoNotOptimize(results.data());
+            }
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace cgrx::bench

@@ -1,0 +1,82 @@
+// Ablation (Section III-B): triangle flipping. Flipped lone
+// representatives let the y-ray announce the bucket directly, skipping
+// the follow-up x-ray; this bench measures rays per lookup and lookup
+// time with the optimization on and off across sparsities.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/core/cgrx_index.h"
+#include "src/util/workloads.h"
+
+namespace cgrx::bench {
+
+void RegisterFigure() {
+  const auto& scale = Scale::Get();
+  auto& table = Table("Ablation: triangle flipping (cgRX, 64-bit)");
+  table.SetColumns({"bucket & uniformity", "flip lookup [ms]",
+                    "no-flip lookup [ms]", "flip rays/lookup",
+                    "no-flip rays/lookup"});
+  for (const std::uint32_t bucket : {4u, 32u}) {
+    for (const double uniformity : {0.5, 1.0}) {
+      const std::string label =
+          "b" + std::to_string(bucket) + " & " +
+          util::TablePrinter::Num(uniformity * 100, 0) + "%";
+      benchmark::RegisterBenchmark(
+          ("AblationFlipping/" + label).c_str(),
+          [bucket, uniformity, label, &table,
+           &scale](benchmark::State& state) {
+            util::KeySetConfig cfg;
+            cfg.count = scale.Keys(24);
+            cfg.key_bits = 64;
+            cfg.uniformity = uniformity;
+            const auto keys = util::MakeKeySet(cfg);
+            auto sorted = keys;
+            std::sort(sorted.begin(), sorted.end());
+            util::LookupBatchConfig lcfg;
+            lcfg.count = scale.Keys(22);
+            const auto lookups =
+                util::MakeLookupBatch(keys, sorted, 64, lcfg);
+            std::vector<std::string> row = {label};
+            std::vector<std::string> rays_cols;
+            for (auto _ : state) {
+              for (const bool flip : {true, false}) {
+                core::CgrxConfig config;
+                config.bucket_size = bucket;
+                config.enable_flipping = flip;
+                core::CgrxIndex64 index(config);
+                index.Build(std::vector<std::uint64_t>(keys));
+                std::vector<core::LookupResult> results(lookups.size());
+                const double ms = MeasureMs([&] {
+                  index.PointLookupBatch(lookups.data(), lookups.size(),
+                                         results.data());
+                });
+                std::int64_t rays = 0;
+                const std::size_t sample =
+                    std::min<std::size_t>(4096, lookups.size());
+                for (std::size_t i = 0; i < sample; ++i) {
+                  int r = 0;
+                  index.PointLookup(lookups[i], &r);
+                  rays += r;
+                }
+                row.push_back(util::TablePrinter::Num(ms, 1));
+                rays_cols.push_back(util::TablePrinter::Num(
+                    static_cast<double>(rays) /
+                        static_cast<double>(sample),
+                    2));
+                benchmark::DoNotOptimize(results.data());
+              }
+            }
+            row.insert(row.end(), rays_cols.begin(), rays_cols.end());
+            table.AddRow(row);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace cgrx::bench

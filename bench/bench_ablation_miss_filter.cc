@@ -1,0 +1,76 @@
+// Ablation (extension beyond the paper): the Bloom miss-filter. The
+// paper's Figure 16 concludes cgRX "should be primarily used in
+// hit-only or hit-mostly lookup scenarios" because in-range misses pay
+// the full ray + bucket-search cost. This bench replays the Figure 16
+// miss sweep with the filter off and on, reporting lookup time and the
+// footprint cost of the filter.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/core/cgrx_index.h"
+#include "src/util/workloads.h"
+
+namespace cgrx::bench {
+
+void RegisterFigure() {
+  const auto& scale = Scale::Get();
+  auto& table =
+      Table("Ablation: Bloom miss-filter vs Figure 16 miss sweep "
+            "(cgRX(32), 32-bit, uniformity 100%)");
+  table.SetColumns({"miss fraction", "no filter [ms]",
+                    "filter 10 b/key [ms]", "speedup", "footprint delta"});
+  for (const double misses : {0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    benchmark::RegisterBenchmark(
+        ("AblationMissFilter/m" + util::TablePrinter::Num(misses * 100, 0))
+            .c_str(),
+        [misses, &table, &scale](benchmark::State& state) {
+          util::KeySetConfig cfg;
+          cfg.count = scale.Keys(26);
+          cfg.key_bits = 32;
+          cfg.uniformity = 1.0;
+          const auto keys = util::MakeKeySet(cfg);
+          auto sorted = keys;
+          std::sort(sorted.begin(), sorted.end());
+          util::LookupBatchConfig lcfg;
+          lcfg.count = scale.PointBatch();
+          lcfg.miss_anywhere = misses;
+          const auto lookups64 =
+              util::MakeLookupBatch(keys, sorted, 32, lcfg);
+          std::vector<std::uint32_t> keys32(keys.begin(), keys.end());
+          std::vector<std::uint32_t> lookups(lookups64.begin(),
+                                             lookups64.end());
+          for (auto _ : state) {
+            double times[2] = {0, 0};
+            std::size_t footprints[2] = {0, 0};
+            for (const int which : {0, 1}) {
+              core::CgrxConfig config;
+              config.bucket_size = 32;
+              config.miss_filter_bits_per_key = which == 0 ? 0.0 : 10.0;
+              core::CgrxIndex32 index(config);
+              index.Build(std::vector<std::uint32_t>(keys32));
+              std::vector<core::LookupResult> results(lookups.size());
+              times[which] = MeasureMs([&] {
+                index.PointLookupBatch(lookups.data(), lookups.size(),
+                                       results.data());
+              });
+              footprints[which] = index.MemoryFootprintBytes();
+              benchmark::DoNotOptimize(results.data());
+            }
+            table.AddRow(
+                {util::TablePrinter::Num(misses * 100, 0) + "%",
+                 util::TablePrinter::Num(times[0], 1),
+                 util::TablePrinter::Num(times[1], 1),
+                 util::TablePrinter::Num(times[0] / times[1], 2) + "x",
+                 util::TablePrinter::Bytes(footprints[1] - footprints[0])});
+          }
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace cgrx::bench

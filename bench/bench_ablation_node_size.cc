@@ -1,0 +1,76 @@
+// Ablation (Section IV): cgRXu node size. "Nodes have a fixed size N, a
+// tuneable parameter that we analyze in our experiments" -- sweep node
+// sizes from half a cache line to four cache lines and report bulk-load
+// time, update-wave time and post-update lookup time.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/core/cgrxu_index.h"
+#include "src/util/rng.h"
+#include "src/util/workloads.h"
+
+namespace cgrx::bench {
+
+void RegisterFigure() {
+  const auto& scale = Scale::Get();
+  auto& table = Table("Ablation: cgRXu node size");
+  table.SetColumns({"node bytes", "build [ms]", "insert wave [ms]",
+                    "lookup after [ms]", "footprint"});
+  for (const std::uint32_t node_bytes : {32u, 64u, 128u, 256u, 512u}) {
+    benchmark::RegisterBenchmark(
+        ("AblationNodeSize/" + std::to_string(node_bytes)).c_str(),
+        [node_bytes, &table, &scale](benchmark::State& state) {
+          util::KeySetConfig cfg;
+          cfg.count = scale.Keys(26);
+          cfg.key_bits = 32;
+          cfg.uniformity = 1.0;
+          const auto keys64 = util::MakeKeySet(cfg);
+          std::vector<std::uint32_t> keys(keys64.begin(), keys64.end());
+          auto sorted = keys64;
+          std::sort(sorted.begin(), sorted.end());
+          util::LookupBatchConfig lcfg;
+          lcfg.count = scale.Keys(23);
+          const auto lookups64 =
+              util::MakeLookupBatch(keys64, sorted, 32, lcfg);
+          std::vector<std::uint32_t> lookups(lookups64.begin(),
+                                             lookups64.end());
+          // Insert wave: 20% new keys.
+          util::Rng rng(11);
+          std::vector<std::uint32_t> ins;
+          std::vector<std::uint32_t> rows;
+          for (std::size_t i = 0; i < keys.size() / 5; ++i) {
+            ins.push_back(static_cast<std::uint32_t>(rng()));
+            rows.push_back(static_cast<std::uint32_t>(keys.size() + i));
+          }
+          for (auto _ : state) {
+            core::CgrxuConfig config;
+            config.node_bytes = node_bytes;
+            core::CgrxuIndex32 index(config);
+            const double build_ms = MeasureMs(
+                [&] { index.Build(std::vector<std::uint32_t>(keys)); });
+            const double insert_ms =
+                MeasureMs([&] { index.InsertBatch(ins, rows); });
+            std::vector<core::LookupResult> results(lookups.size());
+            const double lookup_ms = MeasureMs([&] {
+              index.PointLookupBatch(lookups.data(), lookups.size(),
+                                     results.data());
+            });
+            table.AddRow({std::to_string(node_bytes),
+                          util::TablePrinter::Num(build_ms, 1),
+                          util::TablePrinter::Num(insert_ms, 1),
+                          util::TablePrinter::Num(lookup_ms, 1),
+                          util::TablePrinter::Bytes(
+                              index.MemoryFootprintBytes())});
+            benchmark::DoNotOptimize(results.data());
+          }
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace cgrx::bench

@@ -1,0 +1,147 @@
+// Figure 1: the three limitations of RX that motivate cgRX.
+// (a) memory footprint of RX vs SA/B+/HT across build sizes,
+// (b) range-lookup time of RX vs SA/B+ across selectivities,
+// (c) point-lookup time after refit-applied update batches (the BVH
+//     degradation pathology).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/indexes.h"
+#include "src/rx/rx_index.h"
+#include "src/util/rng.h"
+#include "src/util/workloads.h"
+
+namespace cgrx::bench {
+
+void RegisterFigure() {
+  const auto& scale = Scale::Get();
+
+  // -- Figure 1a: memory footprint over dataset size. ------------------
+  benchmark::RegisterBenchmark("Fig01a/footprint", [&scale](
+                                                       benchmark::State&
+                                                           state) {
+    auto& table = Table("Fig01a: memory footprint vs dataset size");
+    table.SetColumns({"dataset size [2^n]", "RX", "SA", "B+", "HT"});
+    for (auto _ : state) {
+      for (const int log2 : {20, 22, 24, 26}) {
+        util::KeySetConfig cfg;
+        cfg.count = scale.Keys(log2);
+        cfg.key_bits = 32;
+        cfg.uniformity = 0.2;
+        const auto keys = util::MakeKeySet(cfg);
+        std::vector<std::string> row = {std::to_string(log2)};
+        for (IndexOps ops :
+             {MakeRx(32), MakeSa(32), MakeBPlus(), MakeHt(32)}) {
+          ops.build(keys);
+          row.push_back(util::TablePrinter::Bytes(ops.footprint()));
+        }
+        table.AddRow(row);
+      }
+    }
+  })
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(1);
+
+  // -- Figure 1b: range lookups. ---------------------------------------
+  benchmark::RegisterBenchmark("Fig01b/ranges", [&scale](benchmark::State&
+                                                             state) {
+    auto& table =
+        Table("Fig01b: cumulative range-lookup time [ms] vs expected hits");
+    table.SetColumns({"expected hits [2^n]", "RX", "SA", "B+"});
+    for (auto _ : state) {
+      util::KeySetConfig cfg;
+      cfg.count = scale.Keys(26);
+      cfg.key_bits = 32;
+      cfg.uniformity = 0.0;  // Dense.
+      const auto keys = util::MakeKeySet(cfg);
+      auto sorted = keys;
+      std::sort(sorted.begin(), sorted.end());
+      for (const int hits_log2 : {0, 4, 10}) {
+        const std::size_t hits = std::min<std::size_t>(
+            std::size_t{1} << hits_log2, cfg.count / 2);
+        const auto queries =
+            util::MakeRangeQueries(sorted, scale.RangeBatch(), hits, 3);
+        std::vector<core::KeyRange<std::uint64_t>> ranges;
+        for (const auto& q : queries) ranges.push_back({q.lo, q.hi});
+        std::vector<std::string> row = {std::to_string(hits_log2)};
+        for (IndexOps ops : {MakeRx(32), MakeSa(32), MakeBPlus()}) {
+          ops.build(keys);
+          std::vector<core::LookupResult> results;
+          const double ms =
+              MeasureMs([&] { ops.range_batch(ranges, &results); });
+          row.push_back(util::TablePrinter::Num(ms, 2));
+          benchmark::DoNotOptimize(results.data());
+        }
+        table.AddRow(row);
+      }
+    }
+  })
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(1);
+
+  // -- Figure 1c: lookups after refit-applied updates. ------------------
+  benchmark::RegisterBenchmark(
+      "Fig01c/update_degradation", [&scale](benchmark::State& state) {
+        auto& table =
+            Table("Fig01c: point-lookup time [ms] after refit updates");
+        table.SetColumns({"num updates [2^n]", "RX lookup time",
+                          "slowdown vs fresh"});
+        for (auto _ : state) {
+          const std::size_t n = scale.Keys(24);
+          std::vector<std::uint64_t> keys;
+          keys.reserve(n);
+          for (std::size_t i = 0; i < n; ++i) {
+            keys.push_back(2 * i);  // Leave odd slots for inserts.
+          }
+          util::LookupBatchConfig lcfg;
+          lcfg.count = scale.Keys(22);
+          auto sorted = keys;
+          const auto lookups =
+              util::MakeLookupBatch(keys, sorted, 64, lcfg);
+
+          double fresh_ms = 0;
+          for (const int updates_log2 : {-1, 4, 8, 12}) {
+            rx::RxConfig config;
+            config.spare_capacity = 0.5;
+            rx::RxIndex64 index(config);
+            index.Build(std::vector<std::uint64_t>(keys));
+            std::size_t applied = 0;
+            if (updates_log2 >= 0) {
+              const std::size_t count = std::min<std::size_t>(
+                  std::size_t{1} << updates_log2, n / 4);
+              std::vector<std::uint64_t> ins;
+              std::vector<std::uint32_t> rows;
+              for (std::size_t i = 0; i < count; ++i) {
+                ins.push_back(2 * i + 1);
+                rows.push_back(static_cast<std::uint32_t>(n + i));
+              }
+              index.InsertBatchRefit(ins, rows);
+              applied = count;
+            }
+            std::vector<core::LookupResult> results(lookups.size());
+            const double ms = MeasureMs([&] {
+              index.PointLookupBatch(lookups.data(), lookups.size(),
+                                     results.data());
+            });
+            if (updates_log2 < 0) fresh_ms = ms;
+            table.AddRow(
+                {updates_log2 < 0 ? "none"
+                                  : std::to_string(updates_log2),
+                 util::TablePrinter::Num(ms, 1),
+                 util::TablePrinter::Num(fresh_ms > 0 ? ms / fresh_ms : 1.0,
+                                         2)});
+            benchmark::DoNotOptimize(results.data());
+            benchmark::DoNotOptimize(applied);
+          }
+        }
+      })
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(1);
+}
+
+}  // namespace cgrx::bench

@@ -1,0 +1,75 @@
+// Figure 9 / Section V-A: the impact of scaling the key mapping on the
+// BVH structure. With the unscaled mapping the builder groups triangles
+// across rows and the unavoidable first x-ray tests many candidates;
+// multiplying the y/z coordinates by 2^15 / 2^25 incentivizes row-wise
+// bounding volumes. Reported per mapping: accumulated lookup time and
+// the average rays per lookup.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/core/cgrx_index.h"
+#include "src/util/workloads.h"
+
+namespace cgrx::bench {
+
+void RegisterFigure() {
+  const auto& scale = Scale::Get();
+  benchmark::RegisterBenchmark("Fig09/scaling", [&scale](benchmark::State&
+                                                             state) {
+    auto& table = Table(
+        "Fig09: unscaled vs scaled key mapping (64-bit uniform keys)");
+    table.SetColumns({"mapping", "uniformity", "lookup time [ms]",
+                      "avg rays/lookup"});
+    for (auto _ : state) {
+      for (const double uniformity : {0.5, 1.0}) {
+        util::KeySetConfig cfg;
+        cfg.count = scale.Keys(24);
+        cfg.key_bits = 64;
+        cfg.uniformity = uniformity;
+        const auto keys = util::MakeKeySet(cfg);
+        auto sorted = keys;
+        std::sort(sorted.begin(), sorted.end());
+        util::LookupBatchConfig lcfg;
+        lcfg.count = scale.Keys(22);
+        const auto lookups = util::MakeLookupBatch(keys, sorted, 64, lcfg);
+        for (const bool scaled : {false, true}) {
+          core::CgrxConfig config;
+          config.bucket_size = 32;
+          config.scaled_mapping = scaled;
+          core::CgrxIndex64 index(config);
+          index.Build(std::vector<std::uint64_t>(keys));
+          std::vector<core::LookupResult> results(lookups.size());
+          const double ms = MeasureMs([&] {
+            index.PointLookupBatch(lookups.data(), lookups.size(),
+                                   results.data());
+          });
+          // Ray statistics over a sample.
+          std::int64_t total_rays = 0;
+          const std::size_t sample = std::min<std::size_t>(4096,
+                                                           lookups.size());
+          for (std::size_t i = 0; i < sample; ++i) {
+            int rays = 0;
+            index.PointLookup(lookups[i], &rays);
+            total_rays += rays;
+          }
+          table.AddRow({scaled ? "scaled (2^15 y, 2^25 z)" : "unscaled",
+                        util::TablePrinter::Num(uniformity * 100, 0) + "%",
+                        util::TablePrinter::Num(ms, 1),
+                        util::TablePrinter::Num(
+                            static_cast<double>(total_rays) /
+                                static_cast<double>(sample),
+                            2)});
+          benchmark::DoNotOptimize(results.data());
+        }
+      }
+    }
+  })
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(1);
+}
+
+}  // namespace cgrx::bench

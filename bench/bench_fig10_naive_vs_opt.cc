@@ -1,0 +1,103 @@
+// Figure 10: naive vs optimized scene representation under the scaled
+// key mapping, over uniformity {0, 50, 100}% x key width {32, 64} x
+// group size {4, 16, 256, 65536}. Also reports the Section V-A memory
+// comparison (the optimized representation saves memory on sparse
+// 64-bit sets).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/core/cgrx_index.h"
+#include "src/util/workloads.h"
+
+namespace cgrx::bench {
+namespace {
+
+template <typename Key>
+void RunCell(double uniformity, std::uint32_t group_size,
+             util::TablePrinter* time_table,
+             util::TablePrinter* memory_table) {
+  constexpr int kBits = static_cast<int>(sizeof(Key)) * 8;
+  const auto& scale = Scale::Get();
+  util::KeySetConfig cfg;
+  cfg.count = scale.Keys(26);
+  cfg.key_bits = kBits;
+  cfg.uniformity = uniformity;
+  const auto keys64 = util::MakeKeySet(cfg);
+  std::vector<Key> keys(keys64.begin(), keys64.end());
+  auto sorted = keys64;
+  std::sort(sorted.begin(), sorted.end());
+  util::LookupBatchConfig lcfg;
+  lcfg.count = scale.PointBatch();
+  const auto lookups64 = util::MakeLookupBatch(keys64, sorted, kBits, lcfg);
+  std::vector<Key> lookups(lookups64.begin(), lookups64.end());
+
+  const std::string label = util::TablePrinter::Num(uniformity * 100, 0) +
+                            "% & " + std::to_string(kBits) + "bit & g" +
+                            std::to_string(group_size);
+  std::vector<std::string> time_row = {label};
+  std::vector<std::string> memory_row = {label};
+  for (const core::Representation rep :
+       {core::Representation::kNaive, core::Representation::kOptimized}) {
+    core::CgrxConfig config;
+    config.bucket_size = group_size;
+    config.representation = rep;
+    core::CgrxIndex<Key> index(config);
+    index.Build(std::vector<Key>(keys));
+    std::vector<core::LookupResult> results(lookups.size());
+    const double ms = MeasureMs([&] {
+      index.PointLookupBatch(lookups.data(), lookups.size(),
+                             results.data());
+    });
+    time_row.push_back(util::TablePrinter::Num(ms, 1));
+    memory_row.push_back(
+        util::TablePrinter::Bytes(index.MemoryFootprintBytes()));
+    benchmark::DoNotOptimize(results.data());
+  }
+  time_table->AddRow(time_row);
+  memory_table->AddRow(memory_row);
+}
+
+}  // namespace
+
+void RegisterFigure() {
+  auto& time_table =
+      Table("Fig10: point-lookup time [ms], naive vs optimized");
+  time_table.SetColumns({"uniformity & width & group", "naive",
+                         "optimized"});
+  auto& memory_table =
+      Table("Fig10 (Sec V-A): memory footprint, naive vs optimized");
+  memory_table.SetColumns({"uniformity & width & group", "naive",
+                           "optimized"});
+  for (const int bits : {32, 64}) {
+    for (const double uniformity : {0.0, 0.5, 1.0}) {
+      for (const std::uint32_t group : {4u, 16u, 256u, 65536u}) {
+        const std::string name = "Fig10/" + std::to_string(bits) + "bit/u" +
+                                 util::TablePrinter::Num(uniformity * 100,
+                                                         0) +
+                                 "/g" + std::to_string(group);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [bits, uniformity, group, &time_table,
+             &memory_table](benchmark::State& state) {
+              for (auto _ : state) {
+                if (bits == 32) {
+                  RunCell<std::uint32_t>(uniformity, group, &time_table,
+                                         &memory_table);
+                } else {
+                  RunCell<std::uint64_t>(uniformity, group, &time_table,
+                                         &memory_table);
+                }
+              }
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+}
+
+}  // namespace cgrx::bench

@@ -1,0 +1,98 @@
+// Figure 11: robustness of the bucket-size choice. Twelve bucket sizes
+// (2^2 .. 2^13) against the nineteen key distributions; per
+// distribution, reports point-lookup time and throughput-per-footprint
+// relative to the best bucket size (1.0 = best), mirroring the paper's
+// heat maps. The paper's conclusion -- 32 best for TP/footprint, 256 a
+// space-efficient alternative -- should reproduce as columns near 1.0.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/core/cgrx_index.h"
+#include "src/util/workloads.h"
+
+namespace cgrx::bench {
+namespace {
+
+const std::vector<std::uint32_t>& BucketSizes() {
+  static const std::vector<std::uint32_t> kSizes = {
+      4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192};
+  return kSizes;
+}
+
+}  // namespace
+
+void RegisterFigure() {
+  const auto& scale = Scale::Get();
+  auto& time_table =
+      Table("Fig11a: point-lookup time relative to best bucket size");
+  auto& tpf_table =
+      Table("Fig11b: throughput/footprint relative to best bucket size");
+  std::vector<std::string> columns = {"distribution"};
+  for (const std::uint32_t b : BucketSizes()) {
+    columns.push_back(std::to_string(b));
+  }
+  time_table.SetColumns(columns);
+  tpf_table.SetColumns(columns);
+
+  for (const util::KeyDistribution distribution :
+       util::AllKeyDistributions()) {
+    const std::string dist_name = util::ToString(distribution);
+    benchmark::RegisterBenchmark(
+        ("Fig11/" + dist_name).c_str(),
+        [distribution, dist_name, &time_table, &tpf_table,
+         &scale](benchmark::State& state) {
+          const auto keys = util::MakeDistributedKeySet(
+              distribution, scale.Keys(24), 32, 1);
+          auto sorted = keys;
+          std::sort(sorted.begin(), sorted.end());
+          util::LookupBatchConfig lcfg;
+          lcfg.count = scale.Keys(22);
+          const auto lookups64 =
+              util::MakeLookupBatch(keys, sorted, 32, lcfg);
+          std::vector<std::uint32_t> keys32(keys.begin(), keys.end());
+          std::vector<std::uint32_t> lookups(lookups64.begin(),
+                                             lookups64.end());
+          std::vector<double> times;
+          std::vector<double> tpfs;
+          for (auto _ : state) {
+            for (const std::uint32_t bucket : BucketSizes()) {
+              core::CgrxConfig config;
+              config.bucket_size = bucket;
+              core::CgrxIndex32 index(config);
+              index.Build(std::vector<std::uint32_t>(keys32));
+              std::vector<core::LookupResult> results(lookups.size());
+              const double ms = MeasureMs([&] {
+                index.PointLookupBatch(lookups.data(), lookups.size(),
+                                       results.data());
+              });
+              times.push_back(ms);
+              tpfs.push_back(ThroughputPerFootprint(
+                  lookups.size(), ms, index.MemoryFootprintBytes()));
+              benchmark::DoNotOptimize(results.data());
+            }
+          }
+          const double best_time =
+              *std::min_element(times.begin(), times.end());
+          const double best_tpf = *std::max_element(tpfs.begin(),
+                                                    tpfs.end());
+          std::vector<std::string> time_row = {dist_name};
+          std::vector<std::string> tpf_row = {dist_name};
+          for (std::size_t i = 0; i < times.size(); ++i) {
+            time_row.push_back(
+                util::TablePrinter::Num(best_time / times[i], 2));
+            tpf_row.push_back(util::TablePrinter::Num(
+                best_tpf > 0 ? tpfs[i] / best_tpf : 0, 2));
+          }
+          time_table.AddRow(time_row);
+          tpf_table.AddRow(tpf_row);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace cgrx::bench

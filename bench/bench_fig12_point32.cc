@@ -1,0 +1,10 @@
+// Figure 12: memory footprint, accumulated point-lookup time and
+// throughput per memory footprint for 32-bit keys (key range
+// [0, 2^32-1]); competitors cgRX(32), cgRX(256), RX, SA, B+, HT.
+#include "bench/point_figure.h"
+
+namespace cgrx::bench {
+
+void RegisterFigure() { RegisterPointFigure(32, "Fig12"); }
+
+}  // namespace cgrx::bench

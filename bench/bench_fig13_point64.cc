@@ -1,0 +1,11 @@
+// Figure 13: memory footprint, accumulated point-lookup time and
+// throughput per memory footprint for 64-bit keys (key range
+// [0, 2^64-1]); B+ is excluded, matching the paper ("we cannot include
+// B+ as it lacks the support for wide keys").
+#include "bench/point_figure.h"
+
+namespace cgrx::bench {
+
+void RegisterFigure() { RegisterPointFigure(64, "Fig13"); }
+
+}  // namespace cgrx::bench

@@ -1,0 +1,95 @@
+// Figure 14: range lookups on a dense 32-bit key range. Batch of range
+// lookups with expected hits 2^0 .. 2^24; reports the normalized
+// cumulative lookup time (total batch time / total retrieved entries)
+// for cgRX(32), cgRX(256), RX, SA, B+, RTScan(RTc1) and FullScan.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/indexes.h"
+#include "src/util/workloads.h"
+
+namespace cgrx::bench {
+namespace {
+
+std::vector<IndexOps> RangeCompetitors() {
+  std::vector<IndexOps> ops;
+  ops.push_back(MakeCgrx(32, 32));
+  ops.push_back(MakeCgrx(32, 256));
+  ops.push_back(MakeRx(32));
+  ops.push_back(MakeSa(32));
+  ops.push_back(MakeBPlus());
+  ops.push_back(MakeRtScan(32));
+  ops.push_back(MakeFullScan(32));
+  return ops;
+}
+
+}  // namespace
+
+void RegisterFigure() {
+  const auto& scale = Scale::Get();
+  auto& table = Table("Fig14: normalized cumulative range-lookup time "
+                      "[us/entry]");
+  std::vector<std::string> columns = {"expected hits [2^n]"};
+  for (const IndexOps& ops : RangeCompetitors()) columns.push_back(ops.name);
+  table.SetColumns(columns);
+
+  for (const int hits_log2 : {0, 4, 8, 12, 16, 20, 24}) {
+    benchmark::RegisterBenchmark(
+        ("Fig14/hits=2^" + std::to_string(hits_log2)).c_str(),
+        [hits_log2, &table, &scale](benchmark::State& state) {
+          // Dense 32-bit key set of 2^26 (paper scale).
+          util::KeySetConfig cfg;
+          cfg.count = scale.Keys(26);
+          cfg.key_bits = 32;
+          cfg.uniformity = 0.0;
+          const auto keys = util::MakeKeySet(cfg);
+          auto sorted = keys;
+          std::sort(sorted.begin(), sorted.end());
+          const std::size_t hits = std::min<std::size_t>(
+              std::size_t{1} << hits_log2, cfg.count / 2);
+          const auto queries =
+              util::MakeRangeQueries(sorted, scale.RangeBatch(), hits, 7);
+          std::vector<core::KeyRange<std::uint64_t>> ranges;
+          ranges.reserve(queries.size());
+          for (const auto& q : queries) ranges.push_back({q.lo, q.hi});
+          std::vector<std::string> row = {std::to_string(hits_log2)};
+          for (auto _ : state) {
+            for (IndexOps& ops : RangeCompetitors()) {
+              ops.build(keys);
+              // RTScan and FullScan pay per-query costs orders of
+              // magnitude higher; a smaller batch keeps the suite
+              // runnable and the per-entry metric comparable.
+              const bool expensive = ops.name == "RTScan(RTc1)" ||
+                                     ops.name == "FullScan";
+              std::vector<core::KeyRange<std::uint64_t>> batch(
+                  ranges.begin(),
+                  expensive
+                      ? ranges.begin() +
+                            static_cast<std::ptrdiff_t>(
+                                std::min<std::size_t>(32, ranges.size()))
+                      : ranges.end());
+              std::vector<core::LookupResult> results;
+              const double ms =
+                  MeasureMs([&] { ops.range_batch(batch, &results); });
+              std::uint64_t retrieved = 0;
+              for (const auto& r : results) retrieved += r.match_count;
+              const double us_per_entry =
+                  retrieved == 0 ? 0
+                                 : ms * 1000.0 /
+                                       static_cast<double>(retrieved);
+              row.push_back(util::TablePrinter::Num(us_per_entry, 4));
+              benchmark::DoNotOptimize(results.data());
+            }
+          }
+          table.AddRow(row);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace cgrx::bench

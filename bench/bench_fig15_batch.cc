@@ -1,0 +1,87 @@
+// Figure 15: varying the number of point lookups fired in a batch
+// (paper: 2^9 .. 2^27). Reports the time per lookup; includes cgRXu in
+// both cache-line configurations, matching the paper.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/indexes.h"
+#include "src/util/workloads.h"
+
+namespace cgrx::bench {
+namespace {
+
+std::vector<IndexOps> BatchCompetitors() {
+  std::vector<IndexOps> ops;
+  ops.push_back(MakeCgrx(32, 32));
+  ops.push_back(MakeCgrx(32, 256));
+  ops.push_back(MakeCgrxu(32, 64));
+  ops.push_back(MakeCgrxu(32, 128));
+  ops.push_back(MakeRx(32));
+  ops.push_back(MakeSa(32));
+  ops.push_back(MakeBPlus());
+  ops.push_back(MakeHt(32));
+  return ops;
+}
+
+}  // namespace
+
+void RegisterFigure() {
+  const auto& scale = Scale::Get();
+  auto& table = Table("Fig15: time per lookup [us] vs batch size");
+  std::vector<std::string> columns = {"batch size [2^n]"};
+  auto competitors = std::make_shared<std::vector<IndexOps>>(
+      BatchCompetitors());
+  for (const IndexOps& ops : *competitors) columns.push_back(ops.name);
+  table.SetColumns(columns);
+
+  // Build every index once over the shared key set; the batch sweep
+  // reuses them (the builds dominate otherwise).
+  auto built = std::make_shared<bool>(false);
+  auto keys = std::make_shared<std::vector<std::uint64_t>>();
+
+  for (const int batch_log2 : {9, 12, 15, 18, 21, 24, 27}) {
+    benchmark::RegisterBenchmark(
+        ("Fig15/batch=2^" + std::to_string(batch_log2)).c_str(),
+        [batch_log2, &table, &scale, competitors, built,
+         keys](benchmark::State& state) {
+          if (!*built) {
+            util::KeySetConfig cfg;
+            cfg.count = scale.Keys(26);
+            cfg.key_bits = 32;
+            cfg.uniformity = 1.0;
+            *keys = util::MakeKeySet(cfg);
+            for (IndexOps& ops : *competitors) ops.build(*keys);
+            *built = true;
+          }
+          auto sorted = *keys;
+          std::sort(sorted.begin(), sorted.end());
+          util::LookupBatchConfig lcfg;
+          lcfg.count = std::max<std::size_t>(
+              64, (std::size_t{1} << batch_log2) >> scale.shift());
+          lcfg.seed = static_cast<std::uint64_t>(batch_log2);
+          const auto lookups =
+              util::MakeLookupBatch(*keys, sorted, 32, lcfg);
+          std::vector<std::string> row = {std::to_string(batch_log2)};
+          for (auto _ : state) {
+            for (IndexOps& ops : *competitors) {
+              std::vector<core::LookupResult> results;
+              const double ms =
+                  MeasureMs([&] { ops.point_batch(lookups, &results); });
+              row.push_back(util::TablePrinter::Num(
+                  ms * 1000.0 / static_cast<double>(lookups.size()), 4));
+              benchmark::DoNotOptimize(results.data());
+            }
+          }
+          table.AddRow(row);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace cgrx::bench

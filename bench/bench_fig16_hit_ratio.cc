@@ -1,0 +1,80 @@
+// Figure 16: varying the hit ratio. Point-lookup batches with a given
+// percentage of misses, split into misses anywhere in the value range
+// and misses outside it; 32-bit keys with uniformity 100%.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/indexes.h"
+#include "src/util/workloads.h"
+
+namespace cgrx::bench {
+
+void RegisterFigure() {
+  const auto& scale = Scale::Get();
+  auto& table =
+      Table("Fig16: accumulated point-lookup time [ms] vs miss mix "
+            "(anywhere% / out-of-range%)");
+  auto competitors =
+      std::make_shared<std::vector<IndexOps>>(PointCompetitors(32));
+  std::vector<std::string> columns = {"misses any/oor"};
+  for (const IndexOps& ops : *competitors) columns.push_back(ops.name);
+  table.SetColumns(columns);
+
+  auto built = std::make_shared<bool>(false);
+  auto keys = std::make_shared<std::vector<std::uint64_t>>();
+  auto sorted = std::make_shared<std::vector<std::uint64_t>>();
+
+  const std::vector<std::pair<double, double>> mixes = {
+      {0.0, 0.0},  {0.01, 0.0}, {0.10, 0.0}, {0.30, 0.0},
+      {0.50, 0.0}, {0.70, 0.0}, {0.90, 0.0}, {0.99, 0.0},
+      {1.00, 0.0}, {0.5, 0.5},  {0.0, 1.0},
+  };
+  for (const auto& [anywhere, out_of_range] : mixes) {
+    const std::string label =
+        util::TablePrinter::Num(anywhere * 100, 0) + "%/" +
+        util::TablePrinter::Num(out_of_range * 100, 0) + "%";
+    benchmark::RegisterBenchmark(
+        ("Fig16/" + label).c_str(),
+        [anywhere, out_of_range, label, &table, &scale, competitors, built,
+         keys, sorted](benchmark::State& state) {
+          if (!*built) {
+            util::KeySetConfig cfg;
+            cfg.count = scale.Keys(26);
+            cfg.key_bits = 32;
+            cfg.uniformity = 1.0;
+            *keys = util::MakeKeySet(cfg);
+            *sorted = *keys;
+            std::sort(sorted->begin(), sorted->end());
+            for (IndexOps& ops : *competitors) ops.build(*keys);
+            *built = true;
+          }
+          util::LookupBatchConfig lcfg;
+          lcfg.count = scale.PointBatch();
+          lcfg.miss_anywhere = anywhere;
+          lcfg.miss_out_of_range = out_of_range;
+          const auto lookups =
+              util::MakeLookupBatch(*keys, *sorted, 32, lcfg);
+          std::vector<std::string> row = {label};
+          for (auto _ : state) {
+            for (IndexOps& ops : *competitors) {
+              std::vector<core::LookupResult> results;
+              const double ms =
+                  MeasureMs([&] { ops.point_batch(lookups, &results); });
+              row.push_back(util::TablePrinter::Num(ms, 1));
+              benchmark::DoNotOptimize(results.data());
+            }
+          }
+          table.AddRow(row);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace cgrx::bench

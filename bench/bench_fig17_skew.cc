@@ -1,0 +1,69 @@
+// Figure 17: varying the skew of lookups (Zipf coefficient 0 .. 2).
+// Reports the accumulated point-lookup time per index.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/indexes.h"
+#include "src/util/workloads.h"
+
+namespace cgrx::bench {
+
+void RegisterFigure() {
+  const auto& scale = Scale::Get();
+  auto& table =
+      Table("Fig17: accumulated point-lookup time [ms] vs Zipf coefficient");
+  auto competitors =
+      std::make_shared<std::vector<IndexOps>>(PointCompetitors(32));
+  std::vector<std::string> columns = {"zipf"};
+  for (const IndexOps& ops : *competitors) columns.push_back(ops.name);
+  table.SetColumns(columns);
+
+  auto built = std::make_shared<bool>(false);
+  auto keys = std::make_shared<std::vector<std::uint64_t>>();
+  auto sorted = std::make_shared<std::vector<std::uint64_t>>();
+
+  for (const double theta : {0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75,
+                             2.0}) {
+    benchmark::RegisterBenchmark(
+        ("Fig17/zipf=" + util::TablePrinter::Num(theta, 2)).c_str(),
+        [theta, &table, &scale, competitors, built, keys,
+         sorted](benchmark::State& state) {
+          if (!*built) {
+            util::KeySetConfig cfg;
+            cfg.count = scale.Keys(26);
+            cfg.key_bits = 32;
+            cfg.uniformity = 1.0;
+            *keys = util::MakeKeySet(cfg);
+            *sorted = *keys;
+            std::sort(sorted->begin(), sorted->end());
+            for (IndexOps& ops : *competitors) ops.build(*keys);
+            *built = true;
+          }
+          util::LookupBatchConfig lcfg;
+          lcfg.count = scale.PointBatch();
+          lcfg.zipf_theta = theta;
+          const auto lookups =
+              util::MakeLookupBatch(*keys, *sorted, 32, lcfg);
+          std::vector<std::string> row = {util::TablePrinter::Num(theta, 2)};
+          for (auto _ : state) {
+            for (IndexOps& ops : *competitors) {
+              std::vector<core::LookupResult> results;
+              const double ms =
+                  MeasureMs([&] { ops.point_batch(lookups, &results); });
+              row.push_back(util::TablePrinter::Num(ms, 1));
+              benchmark::DoNotOptimize(results.data());
+            }
+          }
+          table.AddRow(row);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace cgrx::bench

@@ -1,0 +1,21 @@
+// Shared main for all per-figure benchmark binaries: runs the
+// google-benchmark registry populated by the binary's RegisterFigure()
+// and then prints the figure tables.
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.h"
+
+namespace cgrx::bench {
+// Defined by each figure binary.
+void RegisterFigure();
+}  // namespace cgrx::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  cgrx::bench::RegisterFigure();
+  benchmark::RunSpecifiedBenchmarks();
+  cgrx::bench::PrintTables();
+  benchmark::Shutdown();
+  return 0;
+}

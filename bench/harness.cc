@@ -1,0 +1,65 @@
+#include "bench/harness.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+namespace cgrx::bench {
+
+Scale::Scale() {
+  const char* env = std::getenv("CGRX_BENCH_SCALE");
+  const std::string value = env == nullptr ? "" : env;
+  if (value == "paper") {
+    shift_ = 0;
+    name_ = "paper";
+  } else if (value == "mid") {
+    shift_ = 4;
+    name_ = "mid";
+  } else {
+    shift_ = 8;
+    name_ = "quick";
+  }
+}
+
+const Scale& Scale::Get() {
+  static Scale scale;
+  return scale;
+}
+
+namespace {
+std::map<std::string, util::TablePrinter>& Tables() {
+  static std::map<std::string, util::TablePrinter> tables;
+  return tables;
+}
+}  // namespace
+
+util::TablePrinter& Table(const std::string& title) {
+  auto it = Tables().find(title);
+  if (it == Tables().end()) {
+    it = Tables().emplace(title, util::TablePrinter(title)).first;
+  }
+  return it->second;
+}
+
+void PrintTables() {
+  std::cout << "\n[scale: " << Scale::Get().name() << ", shift 2^-"
+            << Scale::Get().shift()
+            << "; paper-scale via CGRX_BENCH_SCALE=paper]\n";
+  for (auto& [title, table] : Tables()) table.Print(std::cout);
+}
+
+double MeasureMs(const std::function<void()>& fn) {
+  util::Timer timer;
+  fn();
+  return timer.ElapsedMs();
+}
+
+double ThroughputPerFootprint(std::size_t lookups, double elapsed_ms,
+                              std::size_t footprint_bytes) {
+  if (elapsed_ms <= 0 || footprint_bytes == 0) return 0;
+  const double per_second =
+      static_cast<double>(lookups) / (elapsed_ms / 1000.0);
+  return per_second / static_cast<double>(footprint_bytes);
+}
+
+}  // namespace cgrx::bench

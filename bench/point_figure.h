@@ -1,0 +1,86 @@
+#ifndef CGRX_BENCH_POINT_FIGURE_H_
+#define CGRX_BENCH_POINT_FIGURE_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/indexes.h"
+#include "src/util/table_printer.h"
+#include "src/util/workloads.h"
+
+namespace cgrx::bench {
+
+/// Shared implementation of Figures 12 (32-bit) and 13 (64-bit):
+/// memory footprint, accumulated point-lookup time and throughput per
+/// memory footprint over build sizes {2^24, 2^26, 2^28} x uniformity
+/// {0%, 20%, 100%}.
+inline void RegisterPointFigure(int bits, const std::string& figure) {
+  const auto& scale = Scale::Get();
+  const std::string col_titles[] = {"build size & uniformity"};
+  auto& footprint_table = Table(figure + "a: memory footprint");
+  auto& time_table = Table(figure + "b: accumulated point-lookup time");
+  auto& tpf_table =
+      Table(figure + "c: throughput / footprint [entries/(s*B)]");
+
+  std::vector<std::string> columns = {col_titles[0]};
+  for (const IndexOps& ops : PointCompetitors(bits)) {
+    columns.push_back(ops.name);
+  }
+  footprint_table.SetColumns(columns);
+  time_table.SetColumns(columns);
+  tpf_table.SetColumns(columns);
+
+  for (const int log2 : {24, 26, 28}) {
+    for (const double uniformity : {0.0, 0.2, 1.0}) {
+      const std::string label = std::to_string(log2) + " & " +
+                                util::TablePrinter::Num(uniformity * 100, 0) +
+                                "%";
+      benchmark::RegisterBenchmark(
+          (figure + "/" + label).c_str(),
+          [bits, log2, uniformity, label, &footprint_table, &time_table,
+           &tpf_table, &scale](benchmark::State& state) {
+            util::KeySetConfig cfg;
+            cfg.count = scale.Keys(log2);
+            cfg.key_bits = bits;
+            cfg.uniformity = uniformity;
+            cfg.seed = 42 + static_cast<std::uint64_t>(log2);
+            const auto keys = util::MakeKeySet(cfg);
+            auto sorted = keys;
+            std::sort(sorted.begin(), sorted.end());
+            util::LookupBatchConfig lcfg;
+            lcfg.count = scale.PointBatch();
+            const auto lookups = util::MakeLookupBatch(keys, sorted, bits,
+                                                       lcfg);
+            std::vector<std::string> footprint_row = {label};
+            std::vector<std::string> time_row = {label};
+            std::vector<std::string> tpf_row = {label};
+            for (auto _ : state) {
+              for (IndexOps& ops : PointCompetitors(bits)) {
+                ops.build(keys);
+                std::vector<core::LookupResult> results;
+                const double ms = MeasureMs(
+                    [&] { ops.point_batch(lookups, &results); });
+                const std::size_t bytes = ops.footprint();
+                footprint_row.push_back(util::TablePrinter::Bytes(bytes));
+                time_row.push_back(util::TablePrinter::Num(ms, 1));
+                tpf_row.push_back(util::TablePrinter::Num(
+                    ThroughputPerFootprint(lookups.size(), ms, bytes), 2));
+                benchmark::DoNotOptimize(results.data());
+              }
+            }
+            footprint_table.AddRow(footprint_row);
+            time_table.AddRow(time_row);
+            tpf_table.AddRow(tpf_row);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace cgrx::bench
+
+#endif  // CGRX_BENCH_POINT_FIGURE_H_

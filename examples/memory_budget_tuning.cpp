@@ -1,0 +1,84 @@
+// Memory-budget tuning: pick the largest bucket size whose throughput
+// still meets a target, the workflow the paper's "throughput per memory
+// footprint" metric supports (Section V-B). Given a device memory
+// budget for the index structure, the example sweeps bucket sizes,
+// reports footprint/throughput/TP-per-byte, and selects a
+// configuration.
+//
+//   ./memory_budget_tuning [budget_bytes_per_key]
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "src/core/cgrx_index.h"
+#include "src/util/timer.h"
+#include "src/util/workloads.h"
+
+int main(int argc, char** argv) {
+  const double budget_bytes_per_key =
+      argc > 1 ? std::atof(argv[1]) : 14.0;
+
+  constexpr std::size_t kKeys = 1 << 20;
+  cgrx::util::KeySetConfig workload;
+  workload.count = kKeys;
+  workload.key_bits = 64;
+  workload.uniformity = 1.0;
+  const auto keys = cgrx::util::MakeKeySet(workload);
+  auto sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  cgrx::util::LookupBatchConfig lookup_cfg;
+  lookup_cfg.count = 1 << 18;
+  const auto lookups =
+      cgrx::util::MakeLookupBatch(keys, sorted, 64, lookup_cfg);
+
+  std::cout << "budget: " << budget_bytes_per_key
+            << " B/key for the index structure (raw data is "
+            << (8 + 4) << " B/key)\n\n";
+  std::cout << std::left << std::setw(10) << "bucket" << std::setw(12)
+            << "B/key" << std::setw(14) << "Mlookups/s" << std::setw(14)
+            << "TP/byte" << "within budget\n";
+
+  std::uint32_t best_bucket = 0;
+  double best_throughput = 0;
+  for (const std::uint32_t bucket : {8u, 16u, 32u, 64u, 128u, 256u, 512u,
+                                     1024u}) {
+    cgrx::core::CgrxConfig config;
+    config.bucket_size = bucket;
+    cgrx::core::CgrxIndex64 index(config);
+    index.Build(std::vector<std::uint64_t>(keys));
+    std::vector<cgrx::core::LookupResult> results(lookups.size());
+    cgrx::util::Timer timer;
+    index.PointLookupBatch(lookups.data(), lookups.size(), results.data());
+    const double ms = timer.ElapsedMs();
+    const double bytes_per_key =
+        static_cast<double>(index.MemoryFootprintBytes()) /
+        static_cast<double>(kKeys);
+    const double mlookups =
+        static_cast<double>(lookups.size()) / ms / 1000.0;
+    const double tp_per_byte =
+        static_cast<double>(lookups.size()) / (ms / 1000.0) /
+        static_cast<double>(index.MemoryFootprintBytes());
+    const bool fits = bytes_per_key <= budget_bytes_per_key;
+    std::cout << std::left << std::setw(10) << bucket << std::setw(12)
+              << std::fixed << std::setprecision(2) << bytes_per_key
+              << std::setw(14) << mlookups << std::setw(14)
+              << std::setprecision(4) << tp_per_byte
+              << (fits ? "yes" : "no") << "\n";
+    if (fits && mlookups > best_throughput) {
+      best_throughput = mlookups;
+      best_bucket = bucket;
+    }
+  }
+  if (best_bucket == 0) {
+    std::cout << "\nno bucket size fits the budget; raise it or accept the "
+                 "largest bucket\n";
+    return 0;
+  }
+  std::cout << "\nselected bucket size " << best_bucket << " ("
+            << std::setprecision(2) << best_throughput
+            << " Mlookups/s within budget)\n";
+  return 0;
+}

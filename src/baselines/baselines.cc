@@ -1,0 +1,18 @@
+#include "src/baselines/full_scan.h"
+#include "src/baselines/hash_table.h"
+#include "src/baselines/rtscan.h"
+#include "src/baselines/sorted_array.h"
+
+namespace cgrx::baselines {
+
+// Explicit instantiations for the two key widths the paper evaluates.
+template class SortedArray<std::uint32_t>;
+template class SortedArray<std::uint64_t>;
+template class HashTable<std::uint32_t>;
+template class HashTable<std::uint64_t>;
+template class RtScan<std::uint32_t>;
+template class RtScan<std::uint64_t>;
+template class FullScan<std::uint32_t>;
+template class FullScan<std::uint64_t>;
+
+}  // namespace cgrx::baselines

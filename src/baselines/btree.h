@@ -1,0 +1,93 @@
+#ifndef CGRX_SRC_BASELINES_BTREE_H_
+#define CGRX_SRC_BASELINES_BTREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace cgrx::baselines {
+
+/// B+ -- the GPU-style B+-tree baseline ([9], [10]): 128-byte nodes
+/// traversed cooperatively on the GPU (here: linear separator scans,
+/// the CPU analogue of a 16-thread cooperative probe). Like the paper's
+/// baseline it supports only 32-bit keys, point and range lookups, bulk
+/// loading and incremental updates.
+///
+/// Deletion uses lazy underflow (no rebalancing/merging), the common
+/// GPU B-tree simplification; documented in DESIGN.md.
+class BPlusTree {
+ public:
+  using KeyType = std::uint32_t;
+  static constexpr std::size_t kNodeBytes = 128;
+  /// 14 key/rowID pairs + count + next fit in one 128-byte leaf.
+  static constexpr int kLeafCapacity = 14;
+  /// 15 separators + 16 children + count fit in one 128-byte inner node.
+  static constexpr int kInnerCapacity = 15;
+
+  BPlusTree() = default;
+
+  /// Bulk-loads (sorts internally); rowID = position overload.
+  void Build(std::vector<std::uint32_t> keys);
+  void Build(std::vector<std::uint32_t> keys,
+             std::vector<std::uint32_t> row_ids);
+
+  core::LookupResult PointLookup(std::uint32_t key) const;
+  core::LookupResult RangeLookup(std::uint32_t lo, std::uint32_t hi) const;
+
+  void PointLookupBatch(const std::uint32_t* keys, std::size_t count,
+                        core::LookupResult* results) const;
+  void RangeLookupBatch(const core::KeyRange<std::uint32_t>* ranges,
+                        std::size_t count,
+                        core::LookupResult* results) const;
+
+  /// Incremental updates (paper Table I: B+ supports updates natively).
+  void InsertBatch(const std::vector<std::uint32_t>& keys,
+                   const std::vector<std::uint32_t>& row_ids);
+  void EraseBatch(const std::vector<std::uint32_t>& keys);
+
+  /// Node count x 128 bytes, the paper's B+ footprint model.
+  std::size_t MemoryFootprintBytes() const {
+    return (leaves_.size() + inners_.size()) * kNodeBytes;
+  }
+
+  std::size_t size() const { return size_; }
+  int height() const { return height_; }
+
+  /// Structural check for the property tests: sortedness, separator
+  /// correctness, sibling links, capacity bounds.
+  bool ValidateInvariants(std::string* error) const;
+
+ private:
+  struct Leaf {
+    std::uint16_t count = 0;
+    std::uint32_t next = kInvalid;
+    std::uint32_t keys[kLeafCapacity];
+    std::uint32_t rows[kLeafCapacity];
+  };
+  struct Inner {
+    std::uint16_t count = 0;  ///< Number of separators; children = count+1.
+    std::uint32_t keys[kInnerCapacity];
+    std::uint32_t children[kInnerCapacity + 1];
+  };
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  std::uint32_t FindLeaf(std::uint32_t key) const;
+  /// Inserts into the subtree at `node` (level > 0: inner). On split,
+  /// returns true and fills *up_key / *up_node with the new separator
+  /// and right sibling.
+  bool InsertRec(std::uint32_t node, int level, std::uint32_t key,
+                 std::uint32_t row, std::uint32_t* up_key,
+                 std::uint32_t* up_node);
+
+  std::vector<Leaf> leaves_;
+  std::vector<Inner> inners_;
+  std::uint32_t root_ = kInvalid;
+  int height_ = 0;  ///< 0 = empty, 1 = root is a leaf.
+  std::size_t size_ = 0;
+};
+
+}  // namespace cgrx::baselines
+
+#endif  // CGRX_SRC_BASELINES_BTREE_H_

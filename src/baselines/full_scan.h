@@ -1,0 +1,74 @@
+#ifndef CGRX_SRC_BASELINES_FULL_SCAN_H_
+#define CGRX_SRC_BASELINES_FULL_SCAN_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/rt/device.h"
+
+namespace cgrx::baselines {
+
+/// FullScan -- the index-free baseline of Figure 14: every lookup scans
+/// the entire (unsorted) key column and filters. No build cost beyond
+/// copying, minimal memory, maximal per-lookup work.
+template <typename Key>
+class FullScan {
+ public:
+  using KeyType = Key;
+
+  void Build(std::vector<Key> keys) {
+    std::vector<std::uint32_t> rows(keys.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      rows[i] = static_cast<std::uint32_t>(i);
+    }
+    Build(std::move(keys), std::move(rows));
+  }
+
+  void Build(std::vector<Key> keys, std::vector<std::uint32_t> row_ids) {
+    assert(keys.size() == row_ids.size());
+    keys_ = std::move(keys);
+    rows_ = std::move(row_ids);
+  }
+
+  core::LookupResult PointLookup(Key key) const {
+    return RangeLookup(key, key);
+  }
+
+  core::LookupResult RangeLookup(Key lo, Key hi) const {
+    core::LookupResult result;
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] >= lo && keys_[i] <= hi) result.Accumulate(rows_[i]);
+    }
+    return result;
+  }
+
+  void PointLookupBatch(const Key* keys, std::size_t count,
+                        core::LookupResult* results) const {
+    rt::LaunchKernelChunked(count, 1, [&](std::size_t i) {
+      results[i] = PointLookup(keys[i]);
+    });
+  }
+
+  void RangeLookupBatch(const core::KeyRange<Key>* ranges, std::size_t count,
+                        core::LookupResult* results) const {
+    rt::LaunchKernelChunked(count, 1, [&](std::size_t i) {
+      results[i] = RangeLookup(ranges[i].lo, ranges[i].hi);
+    });
+  }
+
+  std::size_t MemoryFootprintBytes() const {
+    return keys_.size() * sizeof(Key) + rows_.size() * sizeof(std::uint32_t);
+  }
+
+  std::size_t size() const { return keys_.size(); }
+
+ private:
+  std::vector<Key> keys_;
+  std::vector<std::uint32_t> rows_;
+};
+
+}  // namespace cgrx::baselines
+
+#endif  // CGRX_SRC_BASELINES_FULL_SCAN_H_

@@ -1,0 +1,186 @@
+#ifndef CGRX_SRC_BASELINES_HASH_TABLE_H_
+#define CGRX_SRC_BASELINES_HASH_TABLE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/rt/device.h"
+
+namespace cgrx::baselines {
+
+/// HT -- the GPU-resident open-addressing hash table baseline
+/// (warpcore [4], [8]): linear probing over (key, rowID) slots, the CPU
+/// stand-in for cooperative warp probing. Point lookups only (Table I);
+/// duplicates occupy separate slots and are aggregated by probing until
+/// the first never-occupied slot.
+///
+/// The target load factor defaults to the recommended 80% (the paper
+/// uses 40% for update workloads). Deletions leave tombstones that
+/// probes skip and insertions reuse.
+template <typename Key>
+class HashTable {
+ public:
+  using KeyType = Key;
+
+  explicit HashTable(double target_load_factor = 0.8)
+      : target_load_factor_(target_load_factor) {
+    assert(target_load_factor > 0 && target_load_factor < 1);
+  }
+
+  void Build(std::vector<Key> keys) {
+    std::vector<std::uint32_t> rows(keys.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      rows[i] = static_cast<std::uint32_t>(i);
+    }
+    Build(std::move(keys), std::move(rows));
+  }
+
+  void Build(std::vector<Key> keys, std::vector<std::uint32_t> row_ids) {
+    assert(keys.size() == row_ids.size());
+    Rehash(CapacityFor(keys.size()));
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      InsertSlot(keys[i], row_ids[i]);
+    }
+  }
+
+  core::LookupResult PointLookup(Key key) const {
+    core::LookupResult result;
+    if (capacity_ == 0) return result;
+    std::size_t slot = HashOf(key) & mask_;
+    for (std::size_t probes = 0; probes < capacity_; ++probes) {
+      const std::uint8_t state = state_[slot];
+      if (state == kEmpty) break;
+      if (state == kFull && keys_[slot] == key) {
+        result.Accumulate(rows_[slot]);
+      }
+      slot = (slot + 1) & mask_;
+    }
+    return result;
+  }
+
+  void PointLookupBatch(const Key* keys, std::size_t count,
+                        core::LookupResult* results) const {
+    rt::LaunchKernelChunked(count, 256, [&](std::size_t i) {
+      results[i] = PointLookup(keys[i]);
+    });
+  }
+
+  /// Inserts a batch; grows (rehash) when the load factor target would
+  /// be exceeded, which is charged to the update like a GPU rebuild.
+  void InsertBatch(const std::vector<Key>& keys,
+                   const std::vector<std::uint32_t>& row_ids) {
+    assert(keys.size() == row_ids.size());
+    if (CapacityFor(size_ + keys.size()) > capacity_) {
+      GrowAndRehash(size_ + keys.size());
+    }
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      InsertSlot(keys[i], row_ids[i]);
+    }
+  }
+
+  /// Deletes one instance per requested key (tombstoning).
+  void EraseBatch(const std::vector<Key>& keys) {
+    if (capacity_ == 0) return;
+    for (const Key key : keys) {
+      std::size_t slot = HashOf(key) & mask_;
+      for (std::size_t probes = 0; probes < capacity_; ++probes) {
+        const std::uint8_t state = state_[slot];
+        if (state == kEmpty) break;
+        if (state == kFull && keys_[slot] == key) {
+          state_[slot] = kTombstone;
+          --size_;
+          break;
+        }
+        slot = (slot + 1) & mask_;
+      }
+    }
+  }
+
+  /// Slot array (key + rowID per slot) + the per-slot state byte.
+  std::size_t MemoryFootprintBytes() const {
+    return capacity_ * (sizeof(Key) + sizeof(std::uint32_t)) +
+           state_.size() * sizeof(std::uint8_t);
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  double load_factor() const {
+    return capacity_ == 0
+               ? 0.0
+               : static_cast<double>(size_) / static_cast<double>(capacity_);
+  }
+
+ private:
+  static constexpr std::uint8_t kEmpty = 0;
+  static constexpr std::uint8_t kFull = 1;
+  static constexpr std::uint8_t kTombstone = 2;
+
+  static std::uint64_t HashOf(Key key) {
+    // Murmur3 finalizer: the mixing warpcore-style tables use.
+    auto h = static_cast<std::uint64_t>(key);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return h;
+  }
+
+  std::size_t CapacityFor(std::size_t entries) const {
+    std::size_t cap = 16;
+    while (static_cast<double>(entries) >
+           static_cast<double>(cap) * target_load_factor_) {
+      cap <<= 1;
+    }
+    return cap;
+  }
+
+  void Rehash(std::size_t capacity) {
+    capacity_ = capacity;
+    mask_ = capacity - 1;
+    keys_.assign(capacity, Key{});
+    rows_.assign(capacity, 0);
+    state_.assign(capacity, kEmpty);
+    size_ = 0;
+  }
+
+  void GrowAndRehash(std::size_t entries) {
+    std::vector<Key> keys;
+    std::vector<std::uint32_t> rows;
+    keys.reserve(size_);
+    rows.reserve(size_);
+    for (std::size_t s = 0; s < capacity_; ++s) {
+      if (state_[s] == kFull) {
+        keys.push_back(keys_[s]);
+        rows.push_back(rows_[s]);
+      }
+    }
+    Rehash(CapacityFor(entries));
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      InsertSlot(keys[i], rows[i]);
+    }
+  }
+
+  void InsertSlot(Key key, std::uint32_t row) {
+    std::size_t slot = HashOf(key) & mask_;
+    while (state_[slot] == kFull) slot = (slot + 1) & mask_;
+    keys_[slot] = key;
+    rows_[slot] = row;
+    state_[slot] = kFull;
+    ++size_;
+  }
+
+  double target_load_factor_;
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::vector<Key> keys_;
+  std::vector<std::uint32_t> rows_;
+  std::vector<std::uint8_t> state_;
+};
+
+}  // namespace cgrx::baselines
+
+#endif  // CGRX_SRC_BASELINES_HASH_TABLE_H_

@@ -1,0 +1,121 @@
+#ifndef CGRX_SRC_BASELINES_SORTED_ARRAY_H_
+#define CGRX_SRC_BASELINES_SORTED_ARRAY_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/rt/device.h"
+#include "src/util/radix_sort.h"
+
+namespace cgrx::baselines {
+
+/// SA -- the GPU-resident sorted array baseline of [1]: radix-sorted
+/// key/rowID columns, binary search for point lookups, binary search +
+/// sequential scan for ranges. Space-optimal (the paper's "low"
+/// footprint); updates require a rebuild (Table I).
+template <typename Key>
+class SortedArray {
+ public:
+  using KeyType = Key;
+  static constexpr int kKeyBits = static_cast<int>(sizeof(Key)) * 8;
+
+  void Build(std::vector<Key> keys) {
+    std::vector<std::uint32_t> rows(keys.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      rows[i] = static_cast<std::uint32_t>(i);
+    }
+    Build(std::move(keys), std::move(rows));
+  }
+
+  void Build(std::vector<Key> keys, std::vector<std::uint32_t> row_ids) {
+    assert(keys.size() == row_ids.size());
+    std::vector<std::uint64_t> wide(keys.begin(), keys.end());
+    util::RadixSortPairs(&wide, &row_ids, kKeyBits);
+    keys_.resize(wide.size());
+    for (std::size_t i = 0; i < wide.size(); ++i) {
+      keys_[i] = static_cast<Key>(wide[i]);
+    }
+    rows_ = std::move(row_ids);
+  }
+
+  core::LookupResult PointLookup(Key key) const {
+    core::LookupResult result;
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    for (; it != keys_.end() && *it == key; ++it) {
+      result.Accumulate(rows_[static_cast<std::size_t>(it - keys_.begin())]);
+    }
+    return result;
+  }
+
+  core::LookupResult RangeLookup(Key lo, Key hi) const {
+    core::LookupResult result;
+    if (lo > hi) return result;
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), lo);
+    for (; it != keys_.end() && *it <= hi; ++it) {
+      result.Accumulate(rows_[static_cast<std::size_t>(it - keys_.begin())]);
+    }
+    return result;
+  }
+
+  void PointLookupBatch(const Key* keys, std::size_t count,
+                        core::LookupResult* results) const {
+    rt::LaunchKernelChunked(count, 256, [&](std::size_t i) {
+      results[i] = PointLookup(keys[i]);
+    });
+  }
+
+  void RangeLookupBatch(const core::KeyRange<Key>* ranges, std::size_t count,
+                        core::LookupResult* results) const {
+    rt::LaunchKernelChunked(count, 16, [&](std::size_t i) {
+      results[i] = RangeLookup(ranges[i].lo, ranges[i].hi);
+    });
+  }
+
+  /// SA updates rebuild from scratch (paper Table I: "rebuild").
+  void InsertBatch(std::vector<Key> keys, std::vector<std::uint32_t> rows) {
+    keys.insert(keys.end(), keys_.begin(), keys_.end());
+    rows.insert(rows.end(), rows_.begin(), rows_.end());
+    Build(std::move(keys), std::move(rows));
+  }
+
+  void EraseBatch(std::vector<Key> keys) {
+    std::vector<std::uint64_t> wide(keys.begin(), keys.end());
+    util::RadixSortKeys(&wide, kKeyBits);
+    std::vector<Key> kept_keys;
+    std::vector<std::uint32_t> kept_rows;
+    kept_keys.reserve(keys_.size());
+    kept_rows.reserve(rows_.size());
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      const auto k = static_cast<std::uint64_t>(keys_[i]);
+      while (j < wide.size() && wide[j] < k) ++j;
+      if (j < wide.size() && wide[j] == k) {
+        ++j;  // One delete consumes one instance.
+        continue;
+      }
+      kept_keys.push_back(keys_[i]);
+      kept_rows.push_back(rows_[i]);
+    }
+    keys_ = std::move(kept_keys);
+    rows_ = std::move(kept_rows);
+  }
+
+  std::size_t MemoryFootprintBytes() const {
+    return keys_.size() * sizeof(Key) + rows_.size() * sizeof(std::uint32_t);
+  }
+
+  std::size_t size() const { return keys_.size(); }
+  const std::vector<Key>& keys() const { return keys_; }
+  const std::vector<std::uint32_t>& row_ids() const { return rows_; }
+
+ private:
+  std::vector<Key> keys_;
+  std::vector<std::uint32_t> rows_;
+};
+
+}  // namespace cgrx::baselines
+
+#endif  // CGRX_SRC_BASELINES_SORTED_ARRAY_H_

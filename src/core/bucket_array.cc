@@ -1,0 +1,9 @@
+#include "src/core/bucket_array.h"
+
+namespace cgrx::core {
+
+// Explicit instantiations for the two key widths the paper evaluates.
+template class BucketArray<std::uint32_t>;
+template class BucketArray<std::uint64_t>;
+
+}  // namespace cgrx::core

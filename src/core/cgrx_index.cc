@@ -1,0 +1,10 @@
+#include "src/core/cgrx_index.h"
+
+namespace cgrx::core {
+
+// Explicit instantiations for the two key widths the paper evaluates;
+// keeps template bloat out of every client translation unit.
+template class CgrxIndex<std::uint32_t>;
+template class CgrxIndex<std::uint64_t>;
+
+}  // namespace cgrx::core

@@ -1,0 +1,293 @@
+#ifndef CGRX_SRC_CORE_CGRX_INDEX_H_
+#define CGRX_SRC_CORE_CGRX_INDEX_H_
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/core/bucket_array.h"
+#include "src/core/rep_scene.h"
+#include "src/core/types.h"
+#include "src/rt/device.h"
+#include "src/rt/scene.h"
+#include "src/util/bloom_filter.h"
+#include "src/util/key_mapping.h"
+#include "src/util/radix_sort.h"
+
+namespace cgrx::core {
+
+/// Tuning knobs of cgRX (paper Section V analyses each).
+struct CgrxConfig {
+  /// Keys per bucket. The paper's robustness sweep picks 32 as the
+  /// default (best throughput per memory footprint) and 256 as the
+  /// space-efficient alternative.
+  std::uint32_t bucket_size = 32;
+
+  Representation representation = Representation::kOptimized;
+
+  /// Layout/search combination for the bucket post-filter step. The
+  /// paper settles on binary search over the row layout.
+  BucketLayout bucket_layout = BucketLayout::kRow;
+  BucketSearchAlgo bucket_search = BucketSearchAlgo::kBinary;
+
+  /// Scaled key mapping k -> (k22:0, 2^15*k45:23, 2^25*k63:46)
+  /// (Section V-A / Figure 9). Disable only for the scaling ablation.
+  bool scaled_mapping = true;
+
+  /// Triangle-flipping optimization (Section III-B); ablation switch.
+  bool enable_flipping = true;
+
+  rt::BvhBuilder bvh_builder = rt::BvhBuilder::kBinnedSah;
+  int bvh_max_leaf_size = 4;
+
+  /// Extension beyond the paper: a blocked Bloom miss-filter checked
+  /// before firing rays. The paper's Figure 16 shows cgRX pays the full
+  /// ray + bucket-search cost for in-range misses ("cgRX should be
+  /// primarily used in hit-only or hit-mostly lookup scenarios"); the
+  /// filter restores cheap misses for `bits_per_key` extra bits of
+  /// footprint. 0 disables the filter (the paper's configuration).
+  double miss_filter_bits_per_key = 0;
+
+  /// Overrides the key mapping. Tests use the paper's running-example
+  /// mapping k -> (k2:0, k4:3, k63:5) to exercise the multi-row and
+  /// multi-plane ray paths with tiny key sets.
+  std::optional<util::KeyMapping> mapping_override;
+};
+
+/// cgRX: the hardware-accelerated coarse-granular index (the paper's
+/// primary contribution). A sorted key-rowID array is partitioned into
+/// buckets; one representative triangle per bucket is placed in a 3D
+/// scene indexed by the raytracing substrate; lookups fire a sequence of
+/// at most five rays to locate the first representative >= key and then
+/// post-filter the bucket.
+///
+/// `Key` is std::uint32_t or std::uint64_t (the two widths evaluated in
+/// the paper). Updates on this class rebuild from scratch; use
+/// CgrxuIndex for the paper's node-based updatable variant.
+template <typename Key>
+class CgrxIndex {
+ public:
+  using KeyType = Key;
+  static constexpr int kKeyBits = static_cast<int>(sizeof(Key)) * 8;
+
+  explicit CgrxIndex(const CgrxConfig& config = {})
+      : config_(config),
+        mapping_(config.mapping_override.value_or(
+            util::KeyMapping::ForKeyBits(kKeyBits, config.scaled_mapping))) {}
+
+  /// Bulk-loads `keys` with rowID = position (the paper's convention:
+  /// "the final position in the shuffled sequence determines a key's
+  /// rowID"). Sorting cost is part of the build, as in the evaluation.
+  void Build(std::vector<Key> keys) {
+    std::vector<std::uint32_t> row_ids(keys.size());
+    for (std::size_t i = 0; i < row_ids.size(); ++i) {
+      row_ids[i] = static_cast<std::uint32_t>(i);
+    }
+    Build(std::move(keys), std::move(row_ids));
+  }
+
+  /// Bulk-loads explicit key/rowID pairs (unsorted; sorted internally
+  /// with the radix-sort substrate, mirroring CUB DeviceRadixSort).
+  void Build(std::vector<Key> keys, std::vector<std::uint32_t> row_ids) {
+    assert(keys.size() == row_ids.size());
+    SortPairs(&keys, &row_ids);
+    buckets_.Build(std::move(keys), std::move(row_ids), config_.bucket_size,
+                   config_.bucket_layout);
+    BuildScene();
+  }
+
+  /// Point lookup; returns all matching rowIDs aggregated (misses have
+  /// match_count == 0). `rays_used`, when given, receives the number of
+  /// rays fired (0 to 5, paper Section III).
+  LookupResult PointLookup(Key key, int* rays_used = nullptr) const {
+    if (rays_used != nullptr) *rays_used = 0;
+    if (!miss_filter_.empty() &&
+        !miss_filter_.MayContain(static_cast<std::uint64_t>(key))) {
+      return LookupResult{};  // Definitely absent; no rays fired.
+    }
+    const auto bucket = LocateBucket(key, rays_used);
+    if (!bucket.has_value()) return LookupResult{};
+    return buckets_.PointSearch(*bucket, key, config_.bucket_search);
+  }
+
+  /// Range lookup over [lo, hi]: one point-style ray sequence for the
+  /// lower bound, then a linear scan of the contiguous key-rowID array
+  /// (paper Section III-A).
+  LookupResult RangeLookup(Key lo, Key hi) const {
+    if (buckets_.empty() || lo > hi) return LookupResult{};
+    if (static_cast<std::uint64_t>(lo) > rep_scene_.max_rep()) {
+      return LookupResult{};  // Paper: safe empty result.
+    }
+    const auto bucket = LocateBucket(lo, nullptr);
+    assert(bucket.has_value());
+    if (!bucket.has_value()) return LookupResult{};
+    return buckets_.RangeScan(*bucket, lo, hi);
+  }
+
+  /// Batched point lookups, one logical device thread per query.
+  void PointLookupBatch(const Key* keys, std::size_t count,
+                        LookupResult* results) const {
+    rt::LaunchKernelChunked(count, 256, [&](std::size_t i) {
+      results[i] = PointLookup(keys[i]);
+    });
+  }
+
+  /// Batched range lookups.
+  void RangeLookupBatch(const KeyRange<Key>* ranges, std::size_t count,
+                        LookupResult* results) const {
+    rt::LaunchKernelChunked(count, 16, [&](std::size_t i) {
+      results[i] = RangeLookup(ranges[i].lo, ranges[i].hi);
+    });
+  }
+
+  /// Inserts a batch by merging into the sorted array and rebuilding the
+  /// scene. cgRX (non-u) has no incremental path -- the paper's update
+  /// experiment labels this variant "[rebuild]".
+  void InsertBatch(std::vector<Key> keys, std::vector<std::uint32_t> row_ids) {
+    assert(keys.size() == row_ids.size());
+    SortPairs(&keys, &row_ids);
+    std::vector<Key> merged_keys;
+    std::vector<std::uint32_t> merged_rows;
+    merged_keys.reserve(buckets_.size() + keys.size());
+    merged_rows.reserve(buckets_.size() + keys.size());
+    const std::size_t n = buckets_.size();
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < n || j < keys.size()) {
+      if (j >= keys.size() || (i < n && buckets_.KeyAt(i) <= keys[j])) {
+        merged_keys.push_back(buckets_.KeyAt(i));
+        merged_rows.push_back(buckets_.RowIdAt(i));
+        ++i;
+      } else {
+        merged_keys.push_back(keys[j]);
+        merged_rows.push_back(row_ids[j]);
+        ++j;
+      }
+    }
+    buckets_.Build(std::move(merged_keys), std::move(merged_rows),
+                   config_.bucket_size, config_.bucket_layout);
+    BuildScene();
+  }
+
+  /// Deletes one instance per requested key (multiset semantics), then
+  /// rebuilds. Keys not present are ignored.
+  void EraseBatch(std::vector<Key> keys) {
+    SortKeys(&keys);
+    std::vector<Key> kept_keys;
+    std::vector<std::uint32_t> kept_rows;
+    kept_keys.reserve(buckets_.size());
+    kept_rows.reserve(buckets_.size());
+    const std::size_t n = buckets_.size();
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Key k = buckets_.KeyAt(i);
+      while (j < keys.size() && keys[j] < k) ++j;  // Unmatched deletes.
+      if (j < keys.size() && keys[j] == k) {
+        ++j;  // Consume one delete for one instance.
+        continue;
+      }
+      kept_keys.push_back(k);
+      kept_rows.push_back(buckets_.RowIdAt(i));
+    }
+    buckets_.Build(std::move(kept_keys), std::move(kept_rows),
+                   config_.bucket_size, config_.bucket_layout);
+    BuildScene();
+  }
+
+  /// Permanent memory footprint: key-rowID array + vertex buffer + BVH
+  /// (+ the optional miss filter).
+  std::size_t MemoryFootprintBytes() const {
+    return buckets_.MemoryFootprintBytes() +
+           rep_scene_.MemoryFootprintBytes() +
+           (miss_filter_.empty() ? 0 : miss_filter_.MemoryFootprintBytes());
+  }
+
+  std::size_t size() const { return buckets_.size(); }
+  std::size_t num_buckets() const { return rep_scene_.num_buckets(); }
+  bool multi_line() const { return rep_scene_.multi_line(); }
+  bool multi_plane() const { return rep_scene_.multi_plane(); }
+  const CgrxConfig& config() const { return config_; }
+  const util::KeyMapping& mapping() const { return mapping_; }
+  const rt::Scene& scene() const { return rep_scene_.scene(); }
+  const RepScene& rep_scene() const { return rep_scene_; }
+  const BucketArray<Key>& buckets() const { return buckets_; }
+
+  /// Number of non-degenerate triangles in the scene (tests/ablation).
+  std::size_t ActiveTriangleCount() const {
+    return rep_scene_.ActiveTriangleCount();
+  }
+
+  /// Locates the bucket whose representative is the first >= `key`
+  /// (nullopt when key exceeds the largest key). Exposed publicly for
+  /// tests and the ray-count ablation.
+  std::optional<std::uint32_t> LocateBucket(Key key,
+                                            int* rays_used = nullptr) const {
+    return rep_scene_.Locate(static_cast<std::uint64_t>(key), rays_used);
+  }
+
+ private:
+  static void SortPairs(std::vector<Key>* keys,
+                        std::vector<std::uint32_t>* row_ids) {
+    std::vector<std::uint64_t> wide(keys->begin(), keys->end());
+    util::RadixSortPairs(&wide, row_ids, kKeyBits);
+    for (std::size_t i = 0; i < wide.size(); ++i) {
+      (*keys)[i] = static_cast<Key>(wide[i]);
+    }
+  }
+
+  static void SortKeys(std::vector<Key>* keys) {
+    std::vector<std::uint64_t> wide(keys->begin(), keys->end());
+    util::RadixSortKeys(&wide, kKeyBits);
+    for (std::size_t i = 0; i < wide.size(); ++i) {
+      (*keys)[i] = static_cast<Key>(wide[i]);
+    }
+  }
+
+  /// Computes the per-bucket representatives and movability flags
+  /// (paper rule (1): a representative may move to its row's end iff the
+  /// next key lies in a different row) and rebuilds the scene (and the
+  /// optional miss filter).
+  void BuildScene() {
+    if (config_.miss_filter_bits_per_key > 0) {
+      miss_filter_ = util::BloomFilter(buckets_.size(),
+                                       config_.miss_filter_bits_per_key);
+      for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        miss_filter_.Insert(static_cast<std::uint64_t>(buckets_.KeyAt(i)));
+      }
+    } else {
+      miss_filter_ = util::BloomFilter();
+    }
+    const std::size_t n = buckets_.size();
+    const std::size_t num_buckets = buckets_.num_buckets();
+    std::vector<std::uint64_t> reps(num_buckets);
+    std::vector<std::uint8_t> movable(num_buckets);
+    for (std::size_t b = 0; b < num_buckets; ++b) {
+      reps[b] = static_cast<std::uint64_t>(buckets_.RepKey(b));
+      const std::size_t rep_idx = buckets_.BucketEnd(b) - 1;
+      movable[b] =
+          rep_idx + 1 >= n ||
+          mapping_.RowKey(static_cast<std::uint64_t>(
+              buckets_.KeyAt(rep_idx + 1))) != mapping_.RowKey(reps[b]);
+    }
+    RepScene::Options options;
+    options.representation = config_.representation;
+    options.enable_flipping = config_.enable_flipping;
+    options.bvh_builder = config_.bvh_builder;
+    options.bvh_max_leaf_size = config_.bvh_max_leaf_size;
+    rep_scene_.Build(reps, movable, mapping_, options);
+  }
+
+  CgrxConfig config_;
+  util::KeyMapping mapping_;
+  BucketArray<Key> buckets_;
+  RepScene rep_scene_;
+  util::BloomFilter miss_filter_;
+};
+
+using CgrxIndex32 = CgrxIndex<std::uint32_t>;
+using CgrxIndex64 = CgrxIndex<std::uint64_t>;
+
+}  // namespace cgrx::core
+
+#endif  // CGRX_SRC_CORE_CGRX_INDEX_H_

@@ -1,0 +1,9 @@
+#include "src/core/cgrxu_index.h"
+
+namespace cgrx::core {
+
+// Explicit instantiations for the two key widths the paper evaluates.
+template class CgrxuIndex<std::uint32_t>;
+template class CgrxuIndex<std::uint64_t>;
+
+}  // namespace cgrx::core

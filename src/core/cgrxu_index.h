@@ -1,0 +1,575 @@
+#ifndef CGRX_SRC_CORE_CGRXU_INDEX_H_
+#define CGRX_SRC_CORE_CGRXU_INDEX_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/rep_scene.h"
+#include "src/core/types.h"
+#include "src/rt/device.h"
+#include "src/util/key_mapping.h"
+#include "src/util/radix_sort.h"
+
+namespace cgrx::core {
+
+/// Tuning knobs of cgRXu (paper Section IV). The paper configures the
+/// node size in cache lines: 128 bytes ("1 cl", the default below) and
+/// 64 bytes (".5 cl"), initially filled to 50%.
+struct CgrxuConfig {
+  std::uint32_t node_bytes = 128;
+  double initial_fill = 0.5;
+  Representation representation = Representation::kOptimized;
+  bool scaled_mapping = true;
+  bool enable_flipping = true;
+  rt::BvhBuilder bvh_builder = rt::BvhBuilder::kBinnedSah;
+  int bvh_max_leaf_size = 4;
+  std::optional<util::KeyMapping> mapping_override;
+};
+
+/// cgRXu: the updatable variant of cgRX (paper Section IV). Each bucket
+/// is a linked list of fixed-size nodes carved out of a slab that is
+/// split into a representative-node region (one head node per bucket,
+/// addressable directly from a triangle's primitive index) and a
+/// linked-node region feeding node splits. Batch insertions/deletions
+/// run one thread per bucket, never touching the BVH -- which is exactly
+/// how the paper avoids the post-update lookup collapse of RX.
+///
+/// A special overflow bucket with maxKey = +inf catches keys above the
+/// largest bulk-loaded key.
+template <typename Key>
+class CgrxuIndex {
+ public:
+  using KeyType = Key;
+  static constexpr int kKeyBits = static_cast<int>(sizeof(Key)) * 8;
+  static constexpr std::uint32_t kInvalidNode = 0xffffffffu;
+
+  explicit CgrxuIndex(const CgrxuConfig& config = {})
+      : config_(config),
+        mapping_(config.mapping_override.value_or(
+            util::KeyMapping::ForKeyBits(kKeyBits, config.scaled_mapping))) {
+    // Node layout: maxKey + next pointer + size header, then
+    // capacity * (key, rowID) entries, all within node_bytes.
+    constexpr std::size_t kHeaderBytes = sizeof(Key) + 4 + 2;
+    const std::size_t payload =
+        config_.node_bytes > kHeaderBytes ? config_.node_bytes - kHeaderBytes
+                                          : 0;
+    node_capacity_ = static_cast<std::uint32_t>(
+        payload / (sizeof(Key) + sizeof(std::uint32_t)));
+    if (node_capacity_ < 2) node_capacity_ = 2;
+  }
+
+  /// Bulk-loads with rowID = position.
+  void Build(std::vector<Key> keys) {
+    std::vector<std::uint32_t> rows(keys.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      rows[i] = static_cast<std::uint32_t>(i);
+    }
+    Build(std::move(keys), std::move(rows));
+  }
+
+  /// Bulk-loads key/rowID pairs: sorts, partitions into buckets of
+  /// initial_fill * node capacity keys ("every N/2-th key becomes the
+  /// maxKey of a node"), creates one representative node per bucket plus
+  /// the overflow bucket, and builds the triangle scene over the bucket
+  /// maxKeys.
+  ///
+  /// Deviation from the paper's sketch: bucket boundaries are aligned to
+  /// duplicate-group ends, so representatives are strictly increasing
+  /// and the per-bucket key ranges (rep[b-1], rep[b]] stay disjoint
+  /// under updates (the paper's routing assumes this implicitly; its
+  /// update workloads use distinct keys). Oversized buckets bulk-load
+  /// into a chain of several nodes.
+  void Build(std::vector<Key> keys, std::vector<std::uint32_t> row_ids) {
+    assert(keys.size() == row_ids.size());
+    SortPairs(&keys, &row_ids);
+    const std::size_t n = keys.size();
+    const auto bucket_keys = static_cast<std::size_t>(
+        std::max<std::size_t>(1, static_cast<std::size_t>(
+                                     static_cast<double>(node_capacity_) *
+                                     config_.initial_fill)));
+    // Bucket boundaries, extended over duplicate groups.
+    std::vector<std::size_t> bounds;  // bounds[b] = end index of bucket b.
+    std::size_t pos = 0;
+    while (pos < n) {
+      std::size_t end = std::min(n, pos + bucket_keys);
+      while (end < n && keys[end] == keys[end - 1]) ++end;
+      bounds.push_back(end);
+      pos = end;
+    }
+    num_data_buckets_ = static_cast<std::uint32_t>(bounds.size());
+    const std::uint32_t total_heads = num_data_buckets_ + 1;  // + overflow.
+    // Linked nodes needed for oversized initial buckets.
+    std::uint32_t extra_nodes = 0;
+    {
+      std::size_t begin = 0;
+      for (const std::size_t end : bounds) {
+        const std::size_t count = end - begin;
+        extra_nodes += static_cast<std::uint32_t>(
+            (count + bucket_keys - 1) / bucket_keys - 1);
+        begin = end;
+      }
+    }
+    node_keys_.clear();
+    node_rows_.clear();
+    meta_.clear();
+    allocated_nodes_ = 0;
+    EnsureNodeCapacity(total_heads + extra_nodes +
+                       std::max<std::uint32_t>(16, num_data_buckets_ / 4));
+    next_free_.store(total_heads, std::memory_order_relaxed);
+    rep_keys_.resize(num_data_buckets_);
+    std::size_t begin = 0;
+    for (std::uint32_t b = 0; b < num_data_buckets_; ++b) {
+      const std::size_t end = bounds[b];
+      rep_keys_[b] = keys[end - 1];
+      // Fill the head node, chaining extra nodes for oversized buckets.
+      std::uint32_t node = b;
+      std::size_t cursor = begin;
+      for (;;) {
+        const std::size_t take = std::min(bucket_keys, end - cursor);
+        NodeMeta& m = meta_[node];
+        m.size = static_cast<std::uint16_t>(take);
+        for (std::size_t i = 0; i < take; ++i) {
+          NodeKeys(node)[i] = keys[cursor + i];
+          NodeRows(node)[i] = row_ids[cursor + i];
+        }
+        cursor += take;
+        if (cursor == end) {
+          m.max_key = keys[end - 1];  // Chain tail carries the rep key.
+          m.next = kInvalidNode;
+          break;
+        }
+        m.max_key = keys[cursor - 1];
+        m.next = AllocNode();
+        node = m.next;
+      }
+      begin = end;
+    }
+    // Overflow bucket: maxKey = +inf sentinel, initially empty.
+    NodeMeta& overflow = meta_[num_data_buckets_];
+    overflow.next = kInvalidNode;
+    overflow.size = 0;
+    overflow.max_key = std::numeric_limits<Key>::max();
+    total_size_ = n;
+
+    // Scene over the bucket representatives (shared with cgRX).
+    std::vector<std::uint64_t> reps(num_data_buckets_);
+    std::vector<std::uint8_t> movable(num_data_buckets_);
+    for (std::uint32_t b = 0; b < num_data_buckets_; ++b) {
+      reps[b] = static_cast<std::uint64_t>(rep_keys_[b]);
+      const std::size_t rep_idx = bounds[b] - 1;
+      movable[b] = rep_idx + 1 >= n ||
+                   mapping_.RowKey(static_cast<std::uint64_t>(
+                       keys[rep_idx + 1])) != mapping_.RowKey(reps[b]);
+    }
+    RepScene::Options options;
+    options.representation = config_.representation;
+    options.enable_flipping = config_.enable_flipping;
+    options.bvh_builder = config_.bvh_builder;
+    options.bvh_max_leaf_size = config_.bvh_max_leaf_size;
+    rep_scene_.Build(reps, movable, mapping_, options);
+  }
+
+  /// Point lookup: raytrace to the bucket, then walk the node chain
+  /// ("a point lookup terminating at a representative node that has been
+  /// split can simply follow the next pointers", Section IV).
+  LookupResult PointLookup(Key key, int* rays_used = nullptr) const {
+    const auto bucket = LocateBucket(key, rays_used);
+    if (!bucket.has_value()) return LookupResult{};
+    return ScanChain(*bucket, key, key);
+  }
+
+  /// Range lookup [lo, hi]: locate the bucket of `lo`, then scan node
+  /// chains (and subsequent buckets) in key order.
+  LookupResult RangeLookup(Key lo, Key hi) const {
+    if (lo > hi) return LookupResult{};
+    const auto bucket = LocateBucket(lo, nullptr);
+    if (!bucket.has_value()) return LookupResult{};
+    return ScanChain(*bucket, lo, hi);
+  }
+
+  void PointLookupBatch(const Key* keys, std::size_t count,
+                        LookupResult* results) const {
+    rt::LaunchKernelChunked(count, 256, [&](std::size_t i) {
+      results[i] = PointLookup(keys[i]);
+    });
+  }
+
+  void RangeLookupBatch(const KeyRange<Key>* ranges, std::size_t count,
+                        LookupResult* results) const {
+    rt::LaunchKernelChunked(count, 16, [&](std::size_t i) {
+      results[i] = RangeLookup(ranges[i].lo, ranges[i].hi);
+    });
+  }
+
+  /// Applies a batch of insertions and deletions (paper Section IV):
+  /// both sides are sorted, keys appearing on both sides are eliminated
+  /// pairwise, then one thread per bucket applies deletions first and
+  /// insertions second. Node splits allocate from the linked-node
+  /// region; the BVH is never touched.
+  void UpdateBatch(std::vector<Key> insert_keys,
+                   std::vector<std::uint32_t> insert_rows,
+                   std::vector<Key> delete_keys) {
+    assert(insert_keys.size() == insert_rows.size());
+    SortPairs(&insert_keys, &insert_rows);
+    SortKeysOnly(&delete_keys);
+    EliminateCommon(&insert_keys, &insert_rows, &delete_keys);
+    // Worst case one split (one new node) per insertion; reserving up
+    // front keeps the parallel phase allocation-free.
+    EnsureNodeCapacity(next_free_.load(std::memory_order_relaxed) +
+                       static_cast<std::uint32_t>(insert_keys.size()));
+    const std::uint32_t buckets = num_data_buckets_ + 1;
+    std::vector<std::int64_t> delta(buckets, 0);
+    rt::LaunchKernel(buckets, [&](std::size_t b) {
+      const auto bucket = static_cast<std::uint32_t>(b);
+      // Two binary searches delimit this bucket's slice of the batch
+      // (keys in (rep[b-1], rep[b]]).
+      const auto [del_lo, del_hi] = BucketSlice(delete_keys, bucket);
+      for (std::size_t i = del_lo; i < del_hi; ++i) {
+        if (DeleteOne(bucket, delete_keys[i])) --delta[b];
+      }
+      const auto [ins_lo, ins_hi] = BucketSlice(insert_keys, bucket);
+      for (std::size_t i = ins_lo; i < ins_hi; ++i) {
+        InsertOne(bucket, insert_keys[i], insert_rows[i]);
+        ++delta[b];
+      }
+    });
+    for (const std::int64_t d : delta) {
+      total_size_ = static_cast<std::size_t>(
+          static_cast<std::int64_t>(total_size_) + d);
+    }
+  }
+
+  void InsertBatch(std::vector<Key> keys, std::vector<std::uint32_t> rows) {
+    UpdateBatch(std::move(keys), std::move(rows), {});
+  }
+
+  void EraseBatch(std::vector<Key> keys) {
+    UpdateBatch({}, {}, std::move(keys));
+  }
+
+  /// Current footprint: every allocated node is charged at the
+  /// configured node size (nodes may be partially occupied -- the paper
+  /// makes the same accounting choice in Figure 18b), plus the bucket
+  /// boundary array and the scene.
+  std::size_t MemoryFootprintBytes() const {
+    return static_cast<std::size_t>(allocated_nodes_) * config_.node_bytes +
+           rep_keys_.size() * sizeof(Key) + rep_scene_.MemoryFootprintBytes();
+  }
+
+  std::size_t size() const { return total_size_; }
+  std::uint32_t node_capacity() const { return node_capacity_; }
+  std::uint32_t num_buckets() const { return num_data_buckets_; }
+  std::uint32_t used_nodes() const {
+    return next_free_.load(std::memory_order_relaxed);
+  }
+  const CgrxuConfig& config() const { return config_; }
+  const RepScene& rep_scene() const { return rep_scene_; }
+
+  /// Structural invariant check used by the property tests. Returns
+  /// false and fills `*error` on the first violation.
+  bool ValidateInvariants(std::string* error) const;
+
+ private:
+  struct NodeMeta {
+    Key max_key{};
+    std::uint32_t next = kInvalidNode;
+    std::uint16_t size = 0;
+  };
+
+  static void SortPairs(std::vector<Key>* keys,
+                        std::vector<std::uint32_t>* rows) {
+    std::vector<std::uint64_t> wide(keys->begin(), keys->end());
+    util::RadixSortPairs(&wide, rows, kKeyBits);
+    for (std::size_t i = 0; i < wide.size(); ++i) {
+      (*keys)[i] = static_cast<Key>(wide[i]);
+    }
+  }
+
+  static void SortKeysOnly(std::vector<Key>* keys) {
+    std::vector<std::uint64_t> wide(keys->begin(), keys->end());
+    util::RadixSortKeys(&wide, kKeyBits);
+    for (std::size_t i = 0; i < wide.size(); ++i) {
+      (*keys)[i] = static_cast<Key>(wide[i]);
+    }
+  }
+
+  /// Removes keys appearing in both sorted batches, one instance per
+  /// pairing (paper: "Any key that is both to be inserted and deleted in
+  /// a batch can simply be eliminated").
+  static void EliminateCommon(std::vector<Key>* ins,
+                              std::vector<std::uint32_t>* ins_rows,
+                              std::vector<Key>* del) {
+    std::vector<Key> ins_out;
+    std::vector<std::uint32_t> rows_out;
+    std::vector<Key> del_out;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < ins->size() && j < del->size()) {
+      if ((*ins)[i] < (*del)[j]) {
+        ins_out.push_back((*ins)[i]);
+        rows_out.push_back((*ins_rows)[i]);
+        ++i;
+      } else if ((*del)[j] < (*ins)[i]) {
+        del_out.push_back((*del)[j]);
+        ++j;
+      } else {
+        ++i;  // Matched pair eliminated.
+        ++j;
+      }
+    }
+    for (; i < ins->size(); ++i) {
+      ins_out.push_back((*ins)[i]);
+      rows_out.push_back((*ins_rows)[i]);
+    }
+    for (; j < del->size(); ++j) del_out.push_back((*del)[j]);
+    *ins = std::move(ins_out);
+    *ins_rows = std::move(rows_out);
+    *del = std::move(del_out);
+  }
+
+  /// Bucket that owns `key`: the raytraced bucket for keys within the
+  /// representative range, the overflow bucket above it.
+  std::optional<std::uint32_t> LocateBucket(Key key, int* rays_used) const {
+    if (rays_used != nullptr) *rays_used = 0;
+    if (num_data_buckets_ == 0) return num_data_buckets_;  // Overflow only.
+    if (static_cast<std::uint64_t>(key) > rep_scene_.max_rep()) {
+      return num_data_buckets_;  // Overflow bucket.
+    }
+    return rep_scene_.Locate(static_cast<std::uint64_t>(key), rays_used);
+  }
+
+  /// [begin, end) slice of a sorted batch belonging to `bucket`, via the
+  /// paper's two binary searches on the bucket boundaries.
+  std::pair<std::size_t, std::size_t> BucketSlice(
+      const std::vector<Key>& batch, std::uint32_t bucket) const {
+    auto begin = batch.begin();
+    if (bucket > 0) {
+      begin = std::upper_bound(batch.begin(), batch.end(),
+                               rep_keys_[bucket - 1]);
+    }
+    auto end = batch.end();
+    if (bucket < num_data_buckets_) {
+      end = std::upper_bound(begin, batch.end(), rep_keys_[bucket]);
+    }
+    return {static_cast<std::size_t>(begin - batch.begin()),
+            static_cast<std::size_t>(end - batch.begin())};
+  }
+
+  Key* NodeKeys(std::uint32_t node) {
+    return node_keys_.data() + static_cast<std::size_t>(node) * node_capacity_;
+  }
+  const Key* NodeKeys(std::uint32_t node) const {
+    return node_keys_.data() + static_cast<std::size_t>(node) * node_capacity_;
+  }
+  std::uint32_t* NodeRows(std::uint32_t node) {
+    return node_rows_.data() + static_cast<std::size_t>(node) * node_capacity_;
+  }
+  const std::uint32_t* NodeRows(std::uint32_t node) const {
+    return node_rows_.data() + static_cast<std::size_t>(node) * node_capacity_;
+  }
+
+  void EnsureNodeCapacity(std::uint32_t nodes) {
+    if (nodes <= allocated_nodes_) return;
+    // Grow the slab ("once this region has been used entirely, we
+    // enlarge it by allocating additional memory").
+    const std::uint32_t grown =
+        std::max(nodes, allocated_nodes_ + allocated_nodes_ / 2);
+    node_keys_.resize(static_cast<std::size_t>(grown) * node_capacity_);
+    node_rows_.resize(static_cast<std::size_t>(grown) * node_capacity_);
+    meta_.resize(grown);
+    allocated_nodes_ = grown;
+  }
+
+  std::uint32_t AllocNode() {
+    const std::uint32_t node =
+        next_free_.fetch_add(1, std::memory_order_relaxed);
+    assert(node < allocated_nodes_);
+    return node;
+  }
+
+  /// Deletes one instance of `key` from `bucket`; returns whether an
+  /// instance existed. maxKey fields are routing boundaries and stay
+  /// untouched by deletion (a node may become empty but keeps routing).
+  bool DeleteOne(std::uint32_t bucket, Key key) {
+    std::uint32_t node = bucket;  // Representative node index == bucket.
+    while (node != kInvalidNode && meta_[node].max_key < key) {
+      node = meta_[node].next;
+    }
+    while (node != kInvalidNode) {
+      Key* keys = NodeKeys(node);
+      std::uint32_t* rows = NodeRows(node);
+      NodeMeta& m = meta_[node];
+      const std::uint16_t size = m.size;
+      const Key* pos = std::lower_bound(keys, keys + size, key);
+      const auto idx = static_cast<std::uint16_t>(pos - keys);
+      if (idx < size && keys[idx] == key) {
+        for (std::uint16_t i = idx; i + 1 < size; ++i) {
+          keys[i] = keys[i + 1];
+          rows[i] = rows[i + 1];
+        }
+        --m.size;
+        return true;
+      }
+      // Duplicates sharing the routing boundary may continue in the
+      // next node; anything else means the key is absent.
+      if (m.max_key == key && m.next != kInvalidNode) {
+        node = m.next;
+        continue;
+      }
+      return false;
+    }
+    return false;
+  }
+
+  /// Inserts (key, row) into `bucket`, splitting a full node (paper:
+  /// the new node receives the old node's maxKey, the old node's largest
+  /// remaining key becomes its new maxKey).
+  void InsertOne(std::uint32_t bucket, Key key, std::uint32_t row) {
+    std::uint32_t node = bucket;
+    while (meta_[node].max_key < key) {
+      assert(meta_[node].next != kInvalidNode);
+      node = meta_[node].next;
+    }
+    if (meta_[node].size == node_capacity_) {
+      const std::uint32_t fresh = AllocNode();
+      NodeMeta& old_meta = meta_[node];
+      NodeMeta& new_meta = meta_[fresh];
+      const std::uint32_t half = node_capacity_ / 2;
+      const std::uint32_t moved = node_capacity_ - half;
+      Key* old_keys = NodeKeys(node);
+      std::uint32_t* old_rows = NodeRows(node);
+      Key* new_keys = NodeKeys(fresh);
+      std::uint32_t* new_rows = NodeRows(fresh);
+      for (std::uint32_t i = 0; i < moved; ++i) {
+        new_keys[i] = old_keys[half + i];
+        new_rows[i] = old_rows[half + i];
+      }
+      new_meta.size = static_cast<std::uint16_t>(moved);
+      new_meta.max_key = old_meta.max_key;
+      new_meta.next = old_meta.next;
+      old_meta.size = static_cast<std::uint16_t>(half);
+      old_meta.max_key = old_keys[half - 1];
+      old_meta.next = fresh;
+      if (key > old_meta.max_key) node = fresh;
+    }
+    NodeMeta& m = meta_[node];
+    Key* keys = NodeKeys(node);
+    std::uint32_t* rows = NodeRows(node);
+    const Key* pos = std::lower_bound(keys, keys + m.size, key);
+    const auto idx = static_cast<std::uint16_t>(pos - keys);
+    for (std::uint16_t i = m.size; i > idx; --i) {
+      keys[i] = keys[i - 1];
+      rows[i] = rows[i - 1];
+    }
+    keys[idx] = key;
+    rows[idx] = row;
+    ++m.size;
+  }
+
+  /// Aggregates all entries with keys in [lo, hi], starting at
+  /// `bucket`'s chain and continuing into subsequent buckets (duplicates
+  /// and ranges may span buckets).
+  LookupResult ScanChain(std::uint32_t bucket, Key lo, Key hi) const {
+    LookupResult result;
+    for (std::uint32_t b = bucket; b <= num_data_buckets_; ++b) {
+      std::uint32_t node = b;
+      while (node != kInvalidNode) {
+        const NodeMeta& m = meta_[node];
+        if (m.max_key < lo) {  // Entire node below the range.
+          node = m.next;
+          continue;
+        }
+        const Key* keys = NodeKeys(node);
+        const std::uint32_t* rows = NodeRows(node);
+        const Key* pos = std::lower_bound(keys, keys + m.size, lo);
+        for (auto i = static_cast<std::uint16_t>(pos - keys); i < m.size;
+             ++i) {
+          if (keys[i] > hi) return result;
+          result.Accumulate(rows[i]);
+        }
+        node = m.next;
+      }
+      // The next bucket starts above rep_keys_[b]; stop once past hi.
+      if (b < num_data_buckets_ && rep_keys_[b] >= hi) return result;
+    }
+    return result;
+  }
+
+  CgrxuConfig config_;
+  util::KeyMapping mapping_;
+  std::uint32_t node_capacity_ = 2;
+  std::uint32_t num_data_buckets_ = 0;
+  std::uint32_t allocated_nodes_ = 0;
+  std::atomic<std::uint32_t> next_free_{0};
+  std::size_t total_size_ = 0;
+  std::vector<Key> node_keys_;
+  std::vector<std::uint32_t> node_rows_;
+  std::vector<NodeMeta> meta_;
+  std::vector<Key> rep_keys_;  ///< Fixed bucket boundaries.
+  RepScene rep_scene_;
+};
+
+template <typename Key>
+bool CgrxuIndex<Key>::ValidateInvariants(std::string* error) const {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  std::size_t seen = 0;
+  std::vector<bool> visited(next_free_.load(std::memory_order_relaxed),
+                            false);
+  for (std::uint32_t b = 0; b <= num_data_buckets_; ++b) {
+    const Key lower = b == 0 ? std::numeric_limits<Key>::min()
+                             : rep_keys_[b - 1];
+    const Key upper = b < num_data_buckets_ ? rep_keys_[b]
+                                            : std::numeric_limits<Key>::max();
+    std::uint32_t node = b;
+    bool first_entry_of_bucket = true;
+    Key prev{};
+    Key prev_max{};
+    bool have_prev_max = false;
+    while (node != kInvalidNode) {
+      if (node >= visited.size() || visited[node]) {
+        return fail("node chain corrupt (cycle or out of range)");
+      }
+      visited[node] = true;
+      const NodeMeta& m = meta_[node];
+      if (m.size > node_capacity_) return fail("node overflow");
+      if (have_prev_max && m.max_key < prev_max) {
+        return fail("maxKey not monotone along chain");
+      }
+      const Key* keys = NodeKeys(node);
+      for (std::uint16_t i = 0; i < m.size; ++i) {
+        if (!first_entry_of_bucket && keys[i] < prev) {
+          return fail("keys not sorted");
+        }
+        if (keys[i] > m.max_key) return fail("key above node maxKey");
+        if (b > 0 && keys[i] <= lower) return fail("key below bucket range");
+        if (keys[i] > upper) return fail("key above bucket range");
+        prev = keys[i];
+        first_entry_of_bucket = false;
+        ++seen;
+      }
+      if (m.next == kInvalidNode && m.max_key != upper) {
+        return fail("last node maxKey != bucket representative");
+      }
+      prev_max = m.max_key;
+      have_prev_max = true;
+      node = m.next;
+    }
+  }
+  if (seen != total_size_) return fail("size accounting mismatch");
+  return true;
+}
+
+using CgrxuIndex32 = CgrxuIndex<std::uint32_t>;
+using CgrxuIndex64 = CgrxuIndex<std::uint64_t>;
+
+}  // namespace cgrx::core
+
+#endif  // CGRX_SRC_CORE_CGRXU_INDEX_H_

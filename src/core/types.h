@@ -1,0 +1,39 @@
+#ifndef CGRX_SRC_CORE_TYPES_H_
+#define CGRX_SRC_CORE_TYPES_H_
+
+#include <cstdint>
+
+namespace cgrx::core {
+
+/// Result of a point or range lookup.
+///
+/// Following the paper's methodology, "the rowIDs obtained through the
+/// lookup are aggregated per-lookup, and then written to a separate
+/// result buffer to test for correctness": every index returns the
+/// number of matches plus an order-independent aggregate (sum) of the
+/// matching rowIDs so results can be compared across indexes without
+/// materializing hit lists.
+struct LookupResult {
+  std::uint64_t row_id_sum = 0;
+  std::uint64_t match_count = 0;
+
+  bool IsMiss() const { return match_count == 0; }
+
+  void Accumulate(std::uint32_t row_id) {
+    row_id_sum += row_id;
+    ++match_count;
+  }
+
+  friend bool operator==(const LookupResult&, const LookupResult&) = default;
+};
+
+/// Inclusive key range [lo, hi] for range lookups.
+template <typename Key>
+struct KeyRange {
+  Key lo = 0;
+  Key hi = 0;
+};
+
+}  // namespace cgrx::core
+
+#endif  // CGRX_SRC_CORE_TYPES_H_

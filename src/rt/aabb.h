@@ -1,0 +1,83 @@
+#ifndef CGRX_SRC_RT_AABB_H_
+#define CGRX_SRC_RT_AABB_H_
+
+#include <cmath>
+#include <limits>
+
+#include "src/rt/vec3.h"
+
+namespace cgrx::rt {
+
+/// Axis-aligned bounding box (the "bounding volume" of the paper's BVH
+/// discussion). Empty boxes are inverted-infinite so Grow() composes.
+struct Aabb {
+  Vec3f min{std::numeric_limits<float>::infinity(),
+            std::numeric_limits<float>::infinity(),
+            std::numeric_limits<float>::infinity()};
+  Vec3f max{-std::numeric_limits<float>::infinity(),
+            -std::numeric_limits<float>::infinity(),
+            -std::numeric_limits<float>::infinity()};
+
+  void Grow(const Vec3f& p) {
+    min = Min(min, p);
+    max = Max(max, p);
+  }
+
+  void Grow(const Aabb& other) {
+    min = Min(min, other.min);
+    max = Max(max, other.max);
+  }
+
+  bool IsEmpty() const { return min.x > max.x; }
+
+  Vec3f Extent() const { return max - min; }
+
+  Vec3f Center() const { return 0.5f * (min + max); }
+
+  /// Surface area for the SAH cost model; 0 for empty boxes.
+  float SurfaceArea() const {
+    if (IsEmpty()) return 0;
+    const Vec3f e = Extent();
+    return 2.0f * (e.x * e.y + e.y * e.z + e.z * e.x);
+  }
+
+  bool Contains(const Aabb& inner) const {
+    if (inner.IsEmpty()) return true;
+    return min.x <= inner.min.x && min.y <= inner.min.y &&
+           min.z <= inner.min.z && max.x >= inner.max.x &&
+           max.y >= inner.max.y && max.z >= inner.max.z;
+  }
+
+  /// Slab test against a ray given as origin + inverse direction
+  /// (components of `inv_dir` are +-inf for zero direction components).
+  /// Returns the entry parameter through `*t_entry` when the ray
+  /// overlaps the box within [t_min, t_max]. A zero direction component
+  /// degenerates to an interval-membership test on that axis (inclusive
+  /// bounds), avoiding the 0 * inf = NaN pitfall of the plain slab test.
+  bool HitByRay(const Vec3d& origin, const Vec3d& inv_dir, double t_min,
+                double t_max, double* t_entry) const {
+    double lo = t_min;
+    double hi = t_max;
+    const double o[3] = {origin.x, origin.y, origin.z};
+    const double inv[3] = {inv_dir.x, inv_dir.y, inv_dir.z};
+    const float mn[3] = {min.x, min.y, min.z};
+    const float mx[3] = {max.x, max.y, max.z};
+    for (int axis = 0; axis < 3; ++axis) {
+      if (std::isinf(inv[axis])) {
+        if (o[axis] < mn[axis] || o[axis] > mx[axis]) return false;
+        continue;  // Inside the slab for every t.
+      }
+      const double t0 = (mn[axis] - o[axis]) * inv[axis];
+      const double t1 = (mx[axis] - o[axis]) * inv[axis];
+      lo = std::max(lo, std::min(t0, t1));
+      hi = std::min(hi, std::max(t0, t1));
+    }
+    if (lo > hi) return false;
+    *t_entry = lo;
+    return true;
+  }
+};
+
+}  // namespace cgrx::rt
+
+#endif  // CGRX_SRC_RT_AABB_H_

@@ -1,0 +1,255 @@
+#include "src/rt/bvh.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+namespace cgrx::rt {
+namespace {
+
+constexpr int kNumBins = 16;
+// Below this depth the builder forces median cuts, bounding recursion on
+// adversarial inputs without affecting realistic scenes.
+constexpr int kMaxDepth = 48;
+
+int LargestAxis(const Vec3f& extent) {
+  if (extent.x >= extent.y && extent.x >= extent.z) return 0;
+  return extent.y >= extent.z ? 1 : 2;
+}
+
+std::uint64_t ExpandBits21(std::uint64_t v) {
+  // Spreads the low 21 bits of v so there are two zero bits between
+  // consecutive payload bits (standard 3D Morton dilation).
+  v &= 0x1fffff;
+  v = (v | (v << 32)) & 0x1f00000000ffffULL;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+  v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+std::uint64_t MortonCode(const Vec3f& p, const Aabb& scene_bounds) {
+  const Vec3f extent = scene_bounds.Extent();
+  auto quantize = [](float value, float lo, float range) -> std::uint64_t {
+    if (range <= 0) return 0;
+    const float t = (value - lo) / range;
+    const float clamped = t < 0 ? 0.0f : t > 1 ? 1.0f : t;
+    return static_cast<std::uint64_t>(clamped * 2097151.0f);  // 2^21 - 1
+  };
+  const std::uint64_t x = quantize(p.x, scene_bounds.min.x, extent.x);
+  const std::uint64_t y = quantize(p.y, scene_bounds.min.y, extent.y);
+  const std::uint64_t z = quantize(p.z, scene_bounds.min.z, extent.z);
+  return (ExpandBits21(x) << 2) | (ExpandBits21(y) << 1) | ExpandBits21(z);
+}
+
+}  // namespace
+
+void Bvh::Build(const TriangleSoup& soup, BvhBuilder builder,
+                int max_leaf_size) {
+  nodes_.clear();
+  prim_indices_.clear();
+  std::vector<BuildPrim> prims;
+  prims.reserve(soup.size());
+  Aabb scene_bounds;
+  for (std::uint32_t i = 0; i < soup.size(); ++i) {
+    if (!soup.IsActive(i)) continue;
+    BuildPrim p;
+    p.bounds = soup.BoundsOf(i);
+    p.centroid = p.bounds.Center();
+    p.index = i;
+    prims.push_back(p);
+    scene_bounds.Grow(p.bounds);
+  }
+  if (prims.empty()) return;
+  if (builder == BvhBuilder::kMorton) {
+    for (auto& p : prims) p.morton = MortonCode(p.centroid, scene_bounds);
+    std::sort(prims.begin(), prims.end(),
+              [](const BuildPrim& a, const BuildPrim& b) {
+                return a.morton < b.morton;
+              });
+  }
+  nodes_.reserve(prims.size() * 2);
+  prim_indices_.reserve(prims.size());
+  nodes_.emplace_back();
+  BuildRange(&prims, 0, static_cast<std::uint32_t>(prims.size()), builder,
+             max_leaf_size);
+}
+
+std::uint32_t Bvh::BuildRange(std::vector<BuildPrim>* prims,
+                              std::uint32_t begin, std::uint32_t end,
+                              BvhBuilder builder, int max_leaf_size) {
+  // Iterative filling driven by an explicit work list: each entry names
+  // a pre-allocated node slot and its primitive range.
+  struct Work {
+    std::uint32_t node;
+    std::uint32_t begin;
+    std::uint32_t end;
+    int depth;
+  };
+  std::vector<Work> stack;
+  stack.push_back({0, begin, end, 0});
+  while (!stack.empty()) {
+    const Work w = stack.back();
+    stack.pop_back();
+    Node& node = nodes_[w.node];
+    Aabb bounds;
+    for (std::uint32_t i = w.begin; i < w.end; ++i) {
+      bounds.Grow((*prims)[i].bounds);
+    }
+    node.bounds = bounds;
+    const std::uint32_t count = w.end - w.begin;
+    if (count <= static_cast<std::uint32_t>(max_leaf_size)) {
+      node.prim_count = static_cast<std::uint16_t>(count);
+      node.left_or_first = static_cast<std::uint32_t>(prim_indices_.size());
+      for (std::uint32_t i = w.begin; i < w.end; ++i) {
+        prim_indices_.push_back((*prims)[i].index);
+      }
+      continue;
+    }
+    int axis = 0;
+    std::uint32_t mid = w.depth >= kMaxDepth
+                            ? (w.begin + w.end) / 2
+                            : Partition(prims, w.begin, w.end, builder, &axis);
+    if (mid <= w.begin || mid >= w.end) mid = (w.begin + w.end) / 2;
+    const auto left = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_.emplace_back();
+    // `node` may dangle after the two emplacements; re-index.
+    nodes_[w.node].left_or_first = left;
+    nodes_[w.node].prim_count = 0;
+    nodes_[w.node].axis = static_cast<std::uint16_t>(axis);
+    stack.push_back({left + 1, mid, w.end, w.depth + 1});
+    stack.push_back({left, w.begin, mid, w.depth + 1});
+  }
+  return 0;
+}
+
+std::uint32_t Bvh::Partition(std::vector<BuildPrim>* prims,
+                             std::uint32_t begin, std::uint32_t end,
+                             BvhBuilder builder, int* axis) {
+  auto first = prims->begin() + begin;
+  auto last = prims->begin() + end;
+  if (builder == BvhBuilder::kMorton) {
+    const std::uint64_t lo = (*prims)[begin].morton;
+    const std::uint64_t hi = (*prims)[end - 1].morton;
+    if (lo == hi) return (begin + end) / 2;
+    // Split where the highest differing bit flips (prims are sorted by
+    // code, so this is a lower_bound).
+    const int bit = 63 - __builtin_clzll(lo ^ hi);
+    *axis = bit % 3 == 2 ? 0 : bit % 3 == 1 ? 1 : 2;
+    const std::uint64_t mask = ~((1ULL << bit) - 1);
+    const std::uint64_t pivot = (lo & mask) | (1ULL << bit);
+    auto it = std::lower_bound(first, last, pivot,
+                               [](const BuildPrim& p, std::uint64_t v) {
+                                 return p.morton < v;
+                               });
+    return static_cast<std::uint32_t>(it - prims->begin());
+  }
+
+  Aabb centroid_bounds;
+  for (std::uint32_t i = begin; i < end; ++i) {
+    centroid_bounds.Grow((*prims)[i].centroid);
+  }
+  const Vec3f extent = centroid_bounds.Extent();
+  *axis = LargestAxis(extent);
+  const float axis_extent = extent[*axis];
+  if (axis_extent <= 0) return (begin + end) / 2;  // All centroids equal.
+  const float axis_min = centroid_bounds.min[*axis];
+
+  if (builder == BvhBuilder::kMedianSplit) {
+    auto mid_it = first + (end - begin) / 2;
+    std::nth_element(first, mid_it, last,
+                     [a = *axis](const BuildPrim& x, const BuildPrim& y) {
+                       return x.centroid[a] < y.centroid[a];
+                     });
+    return static_cast<std::uint32_t>(mid_it - prims->begin());
+  }
+
+  // Binned SAH.
+  const float scale = static_cast<float>(kNumBins) / axis_extent;
+  auto bin_of = [&](const BuildPrim& p) {
+    const int b = static_cast<int>((p.centroid[*axis] - axis_min) * scale);
+    return std::min(b, kNumBins - 1);
+  };
+  std::array<std::uint32_t, kNumBins> bin_count{};
+  std::array<Aabb, kNumBins> bin_bounds;
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const int b = bin_of((*prims)[i]);
+    bin_count[static_cast<std::size_t>(b)]++;
+    bin_bounds[static_cast<std::size_t>(b)].Grow((*prims)[i].bounds);
+  }
+  // Sweep from the right to precompute suffix areas/counts.
+  std::array<float, kNumBins> right_area{};
+  std::array<std::uint32_t, kNumBins> right_count{};
+  {
+    Aabb acc;
+    std::uint32_t cnt = 0;
+    for (int b = kNumBins - 1; b > 0; --b) {
+      acc.Grow(bin_bounds[static_cast<std::size_t>(b)]);
+      cnt += bin_count[static_cast<std::size_t>(b)];
+      right_area[static_cast<std::size_t>(b)] = acc.SurfaceArea();
+      right_count[static_cast<std::size_t>(b)] = cnt;
+    }
+  }
+  float best_cost = std::numeric_limits<float>::infinity();
+  int best_split = -1;  // Split between bins best_split and best_split+1.
+  {
+    Aabb acc;
+    std::uint32_t cnt = 0;
+    for (int b = 0; b < kNumBins - 1; ++b) {
+      acc.Grow(bin_bounds[static_cast<std::size_t>(b)]);
+      cnt += bin_count[static_cast<std::size_t>(b)];
+      const std::uint32_t rcnt = right_count[static_cast<std::size_t>(b + 1)];
+      if (cnt == 0 || rcnt == 0) continue;
+      const float cost = acc.SurfaceArea() * static_cast<float>(cnt) +
+                         right_area[static_cast<std::size_t>(b + 1)] *
+                             static_cast<float>(rcnt);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_split = b;
+      }
+    }
+  }
+  if (best_split < 0) return (begin + end) / 2;
+  auto mid_it = std::partition(first, last, [&](const BuildPrim& p) {
+    return bin_of(p) <= best_split;
+  });
+  return static_cast<std::uint32_t>(mid_it - prims->begin());
+}
+
+void Bvh::Refit(const TriangleSoup& soup) {
+  for (std::size_t i = nodes_.size(); i-- > 0;) {
+    Node& node = nodes_[i];
+    Aabb bounds;
+    if (node.IsLeaf()) {
+      for (std::uint32_t p = 0; p < node.prim_count; ++p) {
+        const std::uint32_t prim = prim_indices_[node.left_or_first + p];
+        if (soup.IsActive(prim)) bounds.Grow(soup.BoundsOf(prim));
+      }
+    } else {
+      bounds.Grow(nodes_[node.left_or_first].bounds);
+      bounds.Grow(nodes_[node.left_or_first + 1].bounds);
+    }
+    node.bounds = bounds;
+  }
+}
+
+int Bvh::Depth() const {
+  if (nodes_.empty()) return 0;
+  // Depth-first walk with explicit (node, depth) stack.
+  int max_depth = 1;
+  std::vector<std::pair<std::uint32_t, int>> stack{{0, 1}};
+  while (!stack.empty()) {
+    const auto [n, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    if (!nodes_[n].IsLeaf()) {
+      stack.push_back({nodes_[n].left_or_first, d + 1});
+      stack.push_back({nodes_[n].left_or_first + 1, d + 1});
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace cgrx::rt

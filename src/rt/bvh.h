@@ -1,0 +1,93 @@
+#ifndef CGRX_SRC_RT_BVH_H_
+#define CGRX_SRC_RT_BVH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/rt/aabb.h"
+#include "src/rt/triangle.h"
+
+namespace cgrx::rt {
+
+/// BVH construction algorithm. The GPU driver's builder is proprietary;
+/// the paper's observations (Figure 9 and [7]) concern builder families,
+/// so three standard ones are provided. Binned SAH is the default and
+/// reproduces the row-clustering behaviour the scaled key mapping
+/// targets; Median and Morton exist for the builder ablation bench.
+enum class BvhBuilder {
+  kBinnedSah,
+  kMedianSplit,
+  kMorton,
+};
+
+/// Bounding volume hierarchy over the active triangles of a
+/// TriangleSoup. Stand-in for the acceleration structure built by
+/// optixAccelBuild (DESIGN.md Section 2).
+///
+/// Nodes are stored parent-before-children, so Refit() can run a single
+/// reverse sweep; leaves reference a packed primitive-index array.
+class Bvh {
+ public:
+  struct Node {
+    Aabb bounds;
+    /// Internal nodes: index of the left child (right = left + 1).
+    /// Leaves: first entry in prim_indices().
+    std::uint32_t left_or_first = 0;
+    std::uint16_t prim_count = 0;  ///< 0 for internal nodes.
+    std::uint16_t axis = 0;        ///< Split axis, traversal order hint.
+
+    bool IsLeaf() const { return prim_count > 0; }
+  };
+
+  /// Builds the hierarchy over all active slots of `soup`. Degenerate
+  /// slots are culled (they keep their primitive index but belong to no
+  /// leaf, like zero-area triangles in hardware builders).
+  void Build(const TriangleSoup& soup, BvhBuilder builder,
+             int max_leaf_size = 4);
+
+  /// Recomputes all node bounds from the current vertex data without
+  /// restructuring -- the exact analogue of
+  /// optixAccelBuild(OPERATION_UPDATE) whose use after updates causes
+  /// the RX lookup collapse shown in the paper's Figure 1c. Primitives
+  /// that became active since Build() are NOT added; primitives that
+  /// moved inflate their leaf's bounds.
+  void Refit(const TriangleSoup& soup);
+
+  bool empty() const { return nodes_.empty(); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<std::uint32_t>& prim_indices() const {
+    return prim_indices_;
+  }
+
+  /// Bytes held by nodes and the primitive index array.
+  std::size_t MemoryBytes() const {
+    return nodes_.size() * sizeof(Node) +
+           prim_indices_.size() * sizeof(std::uint32_t);
+  }
+
+  /// Maximum leaf depth (diagnostics / tests).
+  int Depth() const;
+
+ private:
+  struct BuildPrim {
+    Aabb bounds;
+    Vec3f centroid;
+    std::uint32_t index = 0;
+    std::uint64_t morton = 0;
+  };
+
+  std::uint32_t BuildRange(std::vector<BuildPrim>* prims, std::uint32_t begin,
+                           std::uint32_t end, BvhBuilder builder,
+                           int max_leaf_size);
+  /// Chooses the split position in [begin, end); returns `begin` or
+  /// `end` when no split is useful (caller falls back to a median cut).
+  std::uint32_t Partition(std::vector<BuildPrim>* prims, std::uint32_t begin,
+                          std::uint32_t end, BvhBuilder builder, int* axis);
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> prim_indices_;
+};
+
+}  // namespace cgrx::rt
+
+#endif  // CGRX_SRC_RT_BVH_H_

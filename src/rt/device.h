@@ -1,0 +1,33 @@
+#ifndef CGRX_SRC_RT_DEVICE_H_
+#define CGRX_SRC_RT_DEVICE_H_
+
+#include <cstddef>
+
+#include "src/util/thread_pool.h"
+
+namespace cgrx::rt {
+
+/// Launches `n` logical device threads running `body(i)`, the stand-in
+/// for the one-thread-per-lookup CUDA kernels of the paper. Blocks until
+/// all threads finished (launch + synchronize).
+template <typename Body>
+void LaunchKernel(std::size_t n, Body&& body) {
+  util::ThreadPool::Global().ParallelFor(
+      0, n, [&body](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      });
+}
+
+/// Same, with an explicit chunk size for kernels whose per-thread work
+/// is tiny (avoids scheduling overhead dominating).
+template <typename Body>
+void LaunchKernelChunked(std::size_t n, std::size_t grain, Body&& body) {
+  util::ThreadPool::Global().ParallelFor(
+      0, n, grain, [&body](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      });
+}
+
+}  // namespace cgrx::rt
+
+#endif  // CGRX_SRC_RT_DEVICE_H_

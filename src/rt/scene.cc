@@ -1,0 +1,280 @@
+#include "src/rt/scene.h"
+
+#include <cmath>
+
+namespace cgrx::rt {
+namespace {
+
+double Component(const Vec3d& v, int axis) {
+  return axis == 0 ? v.x : axis == 1 ? v.y : v.z;
+}
+
+/// Identifies +axis unit rays (the only rays the indexes fire); those
+/// take a comparison-heavy fast path instead of the general slab test.
+int PositiveAxisOf(const Vec3f& d) {
+  if (d.x == 1 && d.y == 0 && d.z == 0) return 0;
+  if (d.x == 0 && d.y == 1 && d.z == 0) return 1;
+  if (d.x == 0 && d.y == 0 && d.z == 1) return 2;
+  return -1;
+}
+
+Vec3d InverseDirection(const Vec3f& d) {
+  // Zero components become +-inf; Aabb::HitByRay handles the resulting
+  // NaN corner cases conservatively.
+  return {1.0 / static_cast<double>(d.x), 1.0 / static_cast<double>(d.y),
+          1.0 / static_cast<double>(d.z)};
+}
+
+/// General ray policy: full slab test + Moller-Trumbore.
+struct GenericRayPolicy {
+  Vec3d origin;
+  Vec3d direction;
+  Vec3d inv_dir;
+
+  bool BoxHit(const Aabb& bounds, double t_min, double t_max,
+              double* t_entry) const {
+    return bounds.HitByRay(origin, inv_dir, t_min, t_max, t_entry);
+  }
+
+  bool TriangleHit(const TriangleSoup& soup, std::uint32_t prim,
+                   double t_min, double t_max, double* t,
+                   bool* front) const {
+    return IntersectTriangle(soup, prim, origin, direction, t_min, t_max, t,
+                             front);
+  }
+};
+
+/// +axis unit-ray policy. The two fixed axes reduce the box test to
+/// interval-membership comparisons; the triangle test becomes a 2D
+/// edge-function evaluation in the projection plane, with the hit
+/// parameter interpolated barycentrically. All math stays double over
+/// the float32 vertices (see DESIGN.md Section 6).
+template <int A>
+struct AxisRayPolicy {
+  static constexpr int kU = (A + 1) % 3;
+  static constexpr int kV = (A + 2) % 3;
+  double oa, ou, ov;
+
+  explicit AxisRayPolicy(const Vec3d& origin)
+      : oa(Component(origin, A)),
+        ou(Component(origin, kU)),
+        ov(Component(origin, kV)) {}
+
+  static float BoxMin(const Aabb& b, int axis) {
+    return axis == 0 ? b.min.x : axis == 1 ? b.min.y : b.min.z;
+  }
+  static float BoxMax(const Aabb& b, int axis) {
+    return axis == 0 ? b.max.x : axis == 1 ? b.max.y : b.max.z;
+  }
+
+  bool BoxHit(const Aabb& bounds, double t_min, double t_max,
+              double* t_entry) const {
+    if (ou < BoxMin(bounds, kU) || ou > BoxMax(bounds, kU)) return false;
+    if (ov < BoxMin(bounds, kV) || ov > BoxMax(bounds, kV)) return false;
+    const double lo =
+        std::max(t_min, static_cast<double>(BoxMin(bounds, A)) - oa);
+    const double hi =
+        std::min(t_max, static_cast<double>(BoxMax(bounds, A)) - oa);
+    if (lo > hi) return false;
+    *t_entry = lo;
+    return true;
+  }
+
+  bool TriangleHit(const TriangleSoup& soup, std::uint32_t prim,
+                   double t_min, double t_max, double* t,
+                   bool* front) const {
+    const Vec3d v0(soup.Vertex(prim, 0));
+    const Vec3d v1(soup.Vertex(prim, 1));
+    const Vec3d v2(soup.Vertex(prim, 2));
+    const double u0 = Component(v0, kU) - ou;
+    const double w0 = Component(v0, kV) - ov;
+    const double u1 = Component(v1, kU) - ou;
+    const double w1 = Component(v1, kV) - ov;
+    const double u2 = Component(v2, kU) - ou;
+    const double w2 = Component(v2, kV) - ov;
+    // Edge functions of the projected triangle around the ray's fixed
+    // 2D point; their sum equals the A-component of the geometric
+    // normal, giving winding for free.
+    const double e0 = u1 * w2 - w1 * u2;
+    const double e1 = u2 * w0 - w2 * u0;
+    const double e2 = u0 * w1 - w0 * u1;
+    const bool all_nonneg = e0 >= 0 && e1 >= 0 && e2 >= 0;
+    const bool all_nonpos = e0 <= 0 && e1 <= 0 && e2 <= 0;
+    if (!all_nonneg && !all_nonpos) return false;
+    const double area = e0 + e1 + e2;
+    if (area == 0) return false;  // Degenerate in projection.
+    const double hit_a =
+        (e0 * Component(v0, A) + e1 * Component(v1, A) +
+         e2 * Component(v2, A)) /
+        area;
+    const double hit_t = hit_a - oa;
+    if (hit_t < t_min || hit_t > t_max) return false;
+    *t = hit_t;
+    // Front face iff dot(+axis, normal) < 0, and area == normal[A].
+    *front = area < 0;
+    return true;
+  }
+};
+
+template <typename Policy>
+std::optional<Hit> CastClosest(const TriangleSoup& soup, const Bvh& bvh,
+                               const Policy& policy, double t_min,
+                               double t_max_in, TraversalStats* stats) {
+  const auto& nodes = bvh.nodes();
+  const auto& prims = bvh.prim_indices();
+  double best_t = t_max_in;
+  Hit best_hit;
+  bool found = false;
+
+  struct Entry {
+    std::uint32_t node;
+    double t;
+  };
+  Entry stack[96];
+  int top = 0;
+  {
+    double t0 = 0;
+    if (!policy.BoxHit(nodes[0].bounds, t_min, best_t, &t0)) {
+      return std::nullopt;
+    }
+    stack[top++] = {0, t0};
+  }
+  while (top > 0) {
+    const Entry e = stack[--top];
+    if (e.t > best_t) continue;  // Superseded by a closer hit.
+    const Bvh::Node& node = nodes[e.node];
+    if (stats != nullptr) stats->nodes_visited++;
+    if (node.IsLeaf()) {
+      for (std::uint32_t i = 0; i < node.prim_count; ++i) {
+        const std::uint32_t prim = prims[node.left_or_first + i];
+        if (!soup.IsActive(prim)) continue;
+        if (stats != nullptr) stats->triangle_tests++;
+        double t = 0;
+        bool front = true;
+        if (policy.TriangleHit(soup, prim, t_min, best_t, &t, &front)) {
+          best_t = t;
+          best_hit.primitive_index = prim;
+          best_hit.t = t;
+          best_hit.front_face = front;
+          found = true;
+        }
+      }
+      continue;
+    }
+    const std::uint32_t left = node.left_or_first;
+    double t_left = 0;
+    double t_right = 0;
+    const bool hit_left =
+        policy.BoxHit(nodes[left].bounds, t_min, best_t, &t_left);
+    const bool hit_right =
+        policy.BoxHit(nodes[left + 1].bounds, t_min, best_t, &t_right);
+    if (hit_left && hit_right) {
+      // Push the farther child first so the nearer one is processed
+      // next; this is what makes closest-hit discovery cheap.
+      if (t_left <= t_right) {
+        stack[top++] = {left + 1, t_right};
+        stack[top++] = {left, t_left};
+      } else {
+        stack[top++] = {left, t_left};
+        stack[top++] = {left + 1, t_right};
+      }
+    } else if (hit_left) {
+      stack[top++] = {left, t_left};
+    } else if (hit_right) {
+      stack[top++] = {left + 1, t_right};
+    }
+  }
+  if (!found) return std::nullopt;
+  return best_hit;
+}
+
+template <typename Policy>
+void CastAll(const TriangleSoup& soup, const Bvh& bvh, const Policy& policy,
+             double t_min, double t_max, std::vector<Hit>* hits,
+             TraversalStats* stats) {
+  const auto& nodes = bvh.nodes();
+  const auto& prims = bvh.prim_indices();
+  std::uint32_t stack[96];
+  int top = 0;
+  {
+    double t0 = 0;
+    if (!policy.BoxHit(nodes[0].bounds, t_min, t_max, &t0)) return;
+    stack[top++] = 0;
+  }
+  while (top > 0) {
+    const Bvh::Node& node = nodes[stack[--top]];
+    if (stats != nullptr) stats->nodes_visited++;
+    if (node.IsLeaf()) {
+      for (std::uint32_t i = 0; i < node.prim_count; ++i) {
+        const std::uint32_t prim = prims[node.left_or_first + i];
+        if (!soup.IsActive(prim)) continue;
+        if (stats != nullptr) stats->triangle_tests++;
+        double t = 0;
+        bool front = true;
+        if (policy.TriangleHit(soup, prim, t_min, t_max, &t, &front)) {
+          hits->push_back({prim, t, front});
+        }
+      }
+      continue;
+    }
+    const std::uint32_t left = node.left_or_first;
+    double t0 = 0;
+    if (policy.BoxHit(nodes[left].bounds, t_min, t_max, &t0)) {
+      stack[top++] = left;
+    }
+    if (policy.BoxHit(nodes[left + 1].bounds, t_min, t_max, &t0)) {
+      stack[top++] = left + 1;
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<Hit> Scene::CastRay(const Ray& ray,
+                                  TraversalStats* stats) const {
+  if (bvh_.empty()) return std::nullopt;
+  const Vec3d origin(ray.origin);
+  switch (PositiveAxisOf(ray.direction)) {
+    case 0:
+      return CastClosest(soup_, bvh_, AxisRayPolicy<0>(origin), ray.t_min,
+                         ray.t_max, stats);
+    case 1:
+      return CastClosest(soup_, bvh_, AxisRayPolicy<1>(origin), ray.t_min,
+                         ray.t_max, stats);
+    case 2:
+      return CastClosest(soup_, bvh_, AxisRayPolicy<2>(origin), ray.t_min,
+                         ray.t_max, stats);
+    default: {
+      GenericRayPolicy policy{origin, Vec3d(ray.direction),
+                              InverseDirection(ray.direction)};
+      return CastClosest(soup_, bvh_, policy, ray.t_min, ray.t_max, stats);
+    }
+  }
+}
+
+void Scene::CastRayCollectAll(const Ray& ray, std::vector<Hit>* hits,
+                              TraversalStats* stats) const {
+  if (bvh_.empty()) return;
+  const Vec3d origin(ray.origin);
+  switch (PositiveAxisOf(ray.direction)) {
+    case 0:
+      CastAll(soup_, bvh_, AxisRayPolicy<0>(origin), ray.t_min, ray.t_max,
+              hits, stats);
+      return;
+    case 1:
+      CastAll(soup_, bvh_, AxisRayPolicy<1>(origin), ray.t_min, ray.t_max,
+              hits, stats);
+      return;
+    case 2:
+      CastAll(soup_, bvh_, AxisRayPolicy<2>(origin), ray.t_min, ray.t_max,
+              hits, stats);
+      return;
+    default: {
+      GenericRayPolicy policy{origin, Vec3d(ray.direction),
+                              InverseDirection(ray.direction)};
+      CastAll(soup_, bvh_, policy, ray.t_min, ray.t_max, hits, stats);
+    }
+  }
+}
+
+}  // namespace cgrx::rt

@@ -1,0 +1,95 @@
+#ifndef CGRX_SRC_RT_SCENE_H_
+#define CGRX_SRC_RT_SCENE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/rt/bvh.h"
+#include "src/rt/ray.h"
+#include "src/rt/triangle.h"
+
+namespace cgrx::rt {
+
+/// Counters exposed by the traverser, the software analogue of the
+/// hardware profiler data the paper cites (intersection-test counts
+/// drive the Figure 9 scaling argument).
+struct TraversalStats {
+  std::uint64_t nodes_visited = 0;
+  std::uint64_t triangle_tests = 0;
+
+  void Add(const TraversalStats& other) {
+    nodes_visited += other.nodes_visited;
+    triangle_tests += other.triangle_tests;
+  }
+};
+
+/// A 3D scene plus its acceleration structure: the OptiX-equivalent
+/// substrate every raytracing index in this repository is built on.
+///
+///  * geometry mutation mirrors vertex-buffer writes,
+///  * Build() mirrors optixAccelBuild (full build),
+///  * Refit() mirrors optixAccelBuild(OPERATION_UPDATE),
+///  * CastRay() mirrors optixTrace with closest-hit semantics,
+///  * CastRayCollectAll() mirrors an any-hit program that ignores every
+///    intersection to enumerate all hits (RX range lookups).
+class Scene {
+ public:
+  /// Appends a triangle; returns its primitive index.
+  std::uint32_t AddTriangle(const Vec3f& v0, const Vec3f& v1,
+                            const Vec3f& v2) {
+    return soup_.Add(v0, v1, v2);
+  }
+
+  /// Appends an unhittable placeholder slot (hole).
+  std::uint32_t AddDegenerateTriangle() { return soup_.AddDegenerate(); }
+
+  /// Overwrites a slot (requires Refit()/Build() to take effect in the
+  /// acceleration structure, exactly like hardware).
+  void SetTriangle(std::uint32_t index, const Vec3f& v0, const Vec3f& v1,
+                   const Vec3f& v2) {
+    soup_.Set(index, v0, v1, v2);
+  }
+
+  void SetDegenerateTriangle(std::uint32_t index) {
+    soup_.SetDegenerate(index);
+  }
+
+  /// (Re)builds the acceleration structure from scratch.
+  void Build(BvhBuilder builder = BvhBuilder::kBinnedSah,
+             int max_leaf_size = 4) {
+    bvh_.Build(soup_, builder, max_leaf_size);
+  }
+
+  /// Refits bounds only; topology (and therefore lookup cost) keeps the
+  /// structure of the last full Build().
+  void Refit() { bvh_.Refit(soup_); }
+
+  /// Closest hit along `ray`, or nullopt.
+  std::optional<Hit> CastRay(const Ray& ray,
+                             TraversalStats* stats = nullptr) const;
+
+  /// Appends every hit in [t_min, t_max] to `*hits` (unordered).
+  void CastRayCollectAll(const Ray& ray, std::vector<Hit>* hits,
+                         TraversalStats* stats = nullptr) const;
+
+  const TriangleSoup& soup() const { return soup_; }
+  const Bvh& bvh() const { return bvh_; }
+  std::size_t triangle_count() const { return soup_.size(); }
+
+  /// Vertex buffer + acceleration structure bytes (the scene part of an
+  /// index's permanent memory footprint).
+  std::size_t MemoryFootprintBytes() const {
+    return soup_.MemoryBytes() + bvh_.MemoryBytes();
+  }
+
+  void Reserve(std::size_t triangles) { soup_.Reserve(triangles); }
+
+ private:
+  TriangleSoup soup_;
+  Bvh bvh_;
+};
+
+}  // namespace cgrx::rt
+
+#endif  // CGRX_SRC_RT_SCENE_H_

@@ -1,0 +1,76 @@
+#include "src/rt/triangle.h"
+
+namespace cgrx::rt {
+
+std::uint32_t TriangleSoup::Add(const Vec3f& v0, const Vec3f& v1,
+                                const Vec3f& v2) {
+  const auto index = static_cast<std::uint32_t>(size());
+  vertices_.insert(vertices_.end(),
+                   {v0.x, v0.y, v0.z, v1.x, v1.y, v1.z, v2.x, v2.y, v2.z});
+  return index;
+}
+
+std::uint32_t TriangleSoup::AddDegenerate() {
+  const auto index = static_cast<std::uint32_t>(size());
+  vertices_.insert(vertices_.end(), 9, 0.0f);
+  return index;
+}
+
+void TriangleSoup::Set(std::uint32_t index, const Vec3f& v0, const Vec3f& v1,
+                       const Vec3f& v2) {
+  const std::size_t base = static_cast<std::size_t>(index) * 9;
+  const float data[9] = {v0.x, v0.y, v0.z, v1.x, v1.y, v1.z, v2.x, v2.y, v2.z};
+  for (int i = 0; i < 9; ++i) vertices_[base + i] = data[i];
+}
+
+void TriangleSoup::SetDegenerate(std::uint32_t index) {
+  const std::size_t base = static_cast<std::size_t>(index) * 9;
+  for (int i = 0; i < 9; ++i) vertices_[base + i] = 0.0f;
+}
+
+bool TriangleSoup::IsActive(std::uint32_t index) const {
+  // A slot is degenerate iff all three vertices coincide, which is how
+  // both AddDegenerate and SetDegenerate encode holes.
+  const Vec3f v0 = Vertex(index, 0);
+  return !(v0 == Vertex(index, 1) && v0 == Vertex(index, 2));
+}
+
+Aabb TriangleSoup::BoundsOf(std::uint32_t index) const {
+  Aabb box;
+  box.Grow(Vertex(index, 0));
+  box.Grow(Vertex(index, 1));
+  box.Grow(Vertex(index, 2));
+  return box;
+}
+
+bool IntersectTriangle(const TriangleSoup& soup, std::uint32_t index,
+                       const Vec3d& origin, const Vec3d& direction,
+                       double t_min, double t_max, double* t,
+                       bool* front_face) {
+  const Vec3d v0(soup.Vertex(index, 0));
+  const Vec3d v1(soup.Vertex(index, 1));
+  const Vec3d v2(soup.Vertex(index, 2));
+  const Vec3d e1 = v1 - v0;
+  const Vec3d e2 = v2 - v0;
+  const Vec3d pvec = Cross(direction, e2);
+  const double det = Dot(e1, pvec);
+  if (det == 0.0) return false;  // Parallel or degenerate.
+  const double inv_det = 1.0 / det;
+  const Vec3d tvec = origin - v0;
+  const double u = Dot(tvec, pvec) * inv_det;
+  if (u < 0.0 || u > 1.0) return false;
+  const Vec3d qvec = Cross(tvec, e1);
+  const double v = Dot(direction, qvec) * inv_det;
+  if (v < 0.0 || u + v > 1.0) return false;
+  const double hit_t = Dot(e2, qvec) * inv_det;
+  if (hit_t < t_min || hit_t > t_max) return false;
+  *t = hit_t;
+  // Counter-clockwise winding toward the ray <=> geometric normal points
+  // against the ray direction <=> det < 0 for left-handed... det is
+  // dot(e1, cross(dir, e2)) = -dot(dir, cross(e1, e2)) = -dot(dir, n),
+  // so the ray sees the front face exactly when det > 0.
+  *front_face = det > 0.0;
+  return true;
+}
+
+}  // namespace cgrx::rt

@@ -1,0 +1,5 @@
+#include "src/util/key_mapping.h"
+
+// KeyMapping is fully inline; this translation unit exists so the header
+// has a home in the library and assertions are compiled at least once.
+namespace cgrx::util {}  // namespace cgrx::util

@@ -1,0 +1,151 @@
+#ifndef CGRX_SRC_UTIL_KEY_MAPPING_H_
+#define CGRX_SRC_UTIL_KEY_MAPPING_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace cgrx::util {
+
+/// Integer grid coordinates of a key inside the 3D scene.
+///
+/// The paper maps a key k to a point on an integer grid by bit-slicing:
+/// the low bits become the x coordinate, the next bits the y coordinate
+/// and the remaining bits the z coordinate (RX default for 64-bit keys:
+/// k -> (k22:0, k45:23, k63:46)). Each dimension is limited to 23 bits so
+/// that all coordinates (and the half-step triangle extents around them)
+/// are exactly representable in IEEE float32.
+struct GridCoords {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  std::uint32_t z = 0;
+
+  friend bool operator==(const GridCoords&, const GridCoords&) = default;
+};
+
+/// Bit-slicing key mapping with optional power-of-two scaling of the y/z
+/// world coordinates (paper Section V-A, Figure 9).
+///
+/// Scaling stretches the distance between rows (y) and planes (z) so that
+/// the BVH builder groups triangles row-wise and x-axis rays only have to
+/// test triangles of their own row. Scales must be powers of two so the
+/// multiplication is exact in float32.
+class KeyMapping {
+ public:
+  /// RX default mapping for 64-bit keys: k -> (k22:0, k45:23, k63:46).
+  static KeyMapping Rx64Unscaled() { return KeyMapping(23, 23, 18, 0, 0); }
+
+  /// Scaled 64-bit mapping used by cgRX:
+  /// k -> (k22:0, 2^15 * k45:23, 2^25 * k63:46).
+  static KeyMapping Rx64Scaled() { return KeyMapping(23, 23, 18, 15, 25); }
+
+  /// 32-bit keys: k -> (k22:0, k31:23, 0). All triangles share one plane.
+  static KeyMapping Rx32Unscaled() { return KeyMapping(23, 9, 0, 0, 0); }
+
+  /// Scaled 32-bit mapping (row distance stretched by 2^15).
+  static KeyMapping Rx32Scaled() { return KeyMapping(23, 9, 0, 15, 0); }
+
+  /// Small mapping used by the paper's running examples and by unit
+  /// tests: k -> (k2:0, k4:3, k63:5).
+  static KeyMapping Example() { return KeyMapping(3, 2, 18, 0, 0); }
+
+  /// Mapping for a given key width with the paper's recommended scaling.
+  static KeyMapping ForKeyBits(int key_bits, bool scaled = true) {
+    if (key_bits <= 32) return scaled ? Rx32Scaled() : Rx32Unscaled();
+    return scaled ? Rx64Scaled() : Rx64Unscaled();
+  }
+
+  /// General constructor. `x_bits`/`y_bits` <= 23 and `z_bits` <= 18 per
+  /// the float32 representability argument of the paper; scale exponents
+  /// must keep scaled coordinates exact (checked by assertions).
+  KeyMapping(int x_bits, int y_bits, int z_bits, int y_scale_log2,
+             int z_scale_log2)
+      : x_bits_(x_bits),
+        y_bits_(y_bits),
+        z_bits_(z_bits),
+        y_scale_(static_cast<float>(1ULL << y_scale_log2)),
+        z_scale_(static_cast<float>(1ULL << z_scale_log2)) {
+    assert(x_bits >= 1 && x_bits <= 23);
+    assert(y_bits >= 0 && y_bits <= 23);
+    assert(z_bits >= 0 && z_bits <= 18);
+    // Scaled grid coordinates g * 2^s with g < 2^bits are exact in
+    // float32 (power-of-two scaling only shifts the exponent), and the
+    // half-step extents (g +- 0.5) * 2^s need a (bits+1)-bit significand,
+    // which float32 (24 bits) provides for bits <= 23.
+    assert(y_scale_log2 >= 0 && y_scale_log2 <= 25);
+    assert(z_scale_log2 >= 0 && z_scale_log2 <= 25);
+  }
+
+  /// Number of key bits consumed by the mapping.
+  int key_bits() const { return x_bits_ + y_bits_ + z_bits_; }
+
+  int x_bits() const { return x_bits_; }
+  int y_bits() const { return y_bits_; }
+  int z_bits() const { return z_bits_; }
+
+  /// Grid position of `key`.
+  GridCoords GridOf(std::uint64_t key) const {
+    GridCoords g;
+    g.x = static_cast<std::uint32_t>(key & Mask(x_bits_));
+    g.y = static_cast<std::uint32_t>((key >> x_bits_) & Mask(y_bits_));
+    g.z = static_cast<std::uint32_t>((key >> (x_bits_ + y_bits_)) &
+                                     Mask(z_bits_));
+    return g;
+  }
+
+  /// Inverse of GridOf (valid for coordinates within the bit budgets).
+  std::uint64_t KeyOf(const GridCoords& g) const {
+    return static_cast<std::uint64_t>(g.x) |
+           (static_cast<std::uint64_t>(g.y) << x_bits_) |
+           (static_cast<std::uint64_t>(g.z) << (x_bits_ + y_bits_));
+  }
+
+  /// Identifier of the row (y, z combined) holding `key`. Two keys share
+  /// a row iff their RowKey matches (paper notation: k.yz).
+  std::uint64_t RowKey(std::uint64_t key) const { return key >> x_bits_; }
+
+  /// Identifier of the plane (z) holding `key` (paper notation: k.z).
+  std::uint64_t PlaneKey(std::uint64_t key) const {
+    return key >> (x_bits_ + y_bits_);
+  }
+
+  /// Largest grid coordinate per dimension.
+  std::uint32_t x_max() const {
+    return static_cast<std::uint32_t>(Mask(x_bits_));
+  }
+  std::uint32_t y_max() const {
+    return static_cast<std::uint32_t>(Mask(y_bits_));
+  }
+  std::uint32_t z_max() const {
+    return static_cast<std::uint32_t>(Mask(z_bits_));
+  }
+
+  /// World-space coordinates of a grid position (float32-exact).
+  float WorldX(std::int64_t gx) const { return static_cast<float>(gx); }
+  float WorldY(std::int64_t gy) const {
+    return static_cast<float>(gy) * y_scale_;
+  }
+  float WorldZ(std::int64_t gz) const {
+    return static_cast<float>(gz) * z_scale_;
+  }
+
+  /// World-space distance between adjacent rows / planes.
+  float step_y() const { return y_scale_; }
+  float step_z() const { return z_scale_; }
+
+  friend bool operator==(const KeyMapping&, const KeyMapping&) = default;
+
+ private:
+  static std::uint64_t Mask(int bits) {
+    return bits == 0 ? 0 : (~0ULL >> (64 - bits));
+  }
+
+  int x_bits_;
+  int y_bits_;
+  int z_bits_;
+  float y_scale_;
+  float z_scale_;
+};
+
+}  // namespace cgrx::util
+
+#endif  // CGRX_SRC_UTIL_KEY_MAPPING_H_

@@ -1,0 +1,79 @@
+#include "src/util/radix_sort.h"
+
+#include <array>
+#include <cassert>
+#include <cstring>
+
+namespace cgrx::util {
+namespace {
+
+constexpr int kRadixBits = 8;
+constexpr int kBuckets = 1 << kRadixBits;
+
+// One counting-sort pass over byte `shift/8`. Returns false if the pass
+// is a no-op (all keys share the byte), in which case no copy happened.
+template <typename V>
+bool CountingPass(const std::vector<std::uint64_t>& keys_in,
+                  const std::vector<V>& vals_in,
+                  std::vector<std::uint64_t>* keys_out,
+                  std::vector<V>* vals_out, int shift) {
+  std::array<std::size_t, kBuckets> count{};
+  for (std::uint64_t k : keys_in) {
+    count[(k >> shift) & (kBuckets - 1)]++;
+  }
+  if (count[(keys_in.empty() ? 0 : keys_in[0] >> shift) & (kBuckets - 1)] ==
+      keys_in.size()) {
+    return false;
+  }
+  std::array<std::size_t, kBuckets> offset{};
+  std::size_t sum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    offset[b] = sum;
+    sum += count[b];
+  }
+  for (std::size_t i = 0; i < keys_in.size(); ++i) {
+    const std::size_t dst = offset[(keys_in[i] >> shift) & (kBuckets - 1)]++;
+    (*keys_out)[dst] = keys_in[i];
+    (*vals_out)[dst] = vals_in[i];
+  }
+  return true;
+}
+
+template <typename V>
+void RadixSortImpl(std::vector<std::uint64_t>* keys, std::vector<V>* values,
+                   int key_bits) {
+  assert(keys->size() == values->size());
+  const int passes = (key_bits + kRadixBits - 1) / kRadixBits;
+  std::vector<std::uint64_t> keys_tmp(keys->size());
+  std::vector<V> vals_tmp(values->size());
+  auto* ka = keys;
+  auto* kb = &keys_tmp;
+  auto* va = values;
+  auto* vb = &vals_tmp;
+  for (int p = 0; p < passes; ++p) {
+    if (CountingPass(*ka, *va, kb, vb, p * kRadixBits)) {
+      std::swap(ka, kb);
+      std::swap(va, vb);
+    }
+  }
+  if (ka != keys) {
+    *keys = std::move(*ka);
+    *values = std::move(*va);
+  }
+}
+
+}  // namespace
+
+void RadixSortPairs(std::vector<std::uint64_t>* keys,
+                    std::vector<std::uint32_t>* values, int key_bits) {
+  RadixSortImpl(keys, values, key_bits);
+}
+
+void RadixSortKeys(std::vector<std::uint64_t>* keys, int key_bits) {
+  // Sort with throwaway values to reuse the pair implementation; the
+  // value array is byte-sized so the overhead stays negligible.
+  std::vector<std::uint8_t> dummy(keys->size());
+  RadixSortImpl(keys, &dummy, key_bits);
+}
+
+}  // namespace cgrx::util

@@ -1,0 +1,25 @@
+#ifndef CGRX_SRC_UTIL_RADIX_SORT_H_
+#define CGRX_SRC_UTIL_RADIX_SORT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cgrx::util {
+
+/// LSD radix sort of key/rowID pairs, the host-side stand-in for CUB's
+/// DeviceRadixSort which the paper uses to sort the input array for all
+/// sort-based indexes (cgRX, B+, SA). Stable; sorts by `keys` ascending
+/// and applies the same permutation to `values`.
+///
+/// `keys` and `values` must have the same length. `key_bits` bounds the
+/// number of significant key bits; passes beyond it are skipped (a key
+/// set drawn from 32-bit values sorts in half the passes).
+void RadixSortPairs(std::vector<std::uint64_t>* keys,
+                    std::vector<std::uint32_t>* values, int key_bits = 64);
+
+/// Radix sort of a bare key array (used for update batches).
+void RadixSortKeys(std::vector<std::uint64_t>* keys, int key_bits = 64);
+
+}  // namespace cgrx::util
+
+#endif  // CGRX_SRC_UTIL_RADIX_SORT_H_

@@ -1,0 +1,83 @@
+#ifndef CGRX_SRC_UTIL_RNG_H_
+#define CGRX_SRC_UTIL_RNG_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace cgrx::util {
+
+/// Fast, reproducible 64-bit pseudo-random generator (xoshiro256**),
+/// seeded deterministically via SplitMix64. Satisfies the C++
+/// UniformRandomBitGenerator concept so it can drive <random>
+/// distributions, but the workload generators below use it directly to
+/// stay bit-reproducible across standard libraries.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) s = SplitMix64(&x);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  std::uint64_t operator()() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be nonzero.
+  std::uint64_t Below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection method (unbiased).
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive bounds, lo <= hi).
+  std::uint64_t Between(std::uint64_t lo, std::uint64_t hi) {
+    if (lo == 0 && hi == max()) return (*this)();
+    return lo + Below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return ((*this)() >> 11) * 0x1.0p-53; }
+
+ private:
+  static std::uint64_t SplitMix64(std::uint64_t* x) {
+    std::uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace cgrx::util
+
+#endif  // CGRX_SRC_UTIL_RNG_H_

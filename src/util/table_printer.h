@@ -1,0 +1,41 @@
+#ifndef CGRX_SRC_UTIL_TABLE_PRINTER_H_
+#define CGRX_SRC_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cgrx::util {
+
+/// Aligned text-table output used by the per-figure benchmark binaries
+/// so each binary prints the rows/series of its paper figure.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before AddRow.
+  void SetColumns(std::vector<std::string> columns);
+
+  /// Appends one data row; the row is padded/truncated to the header
+  /// width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table (title, header, separator, rows).
+  void Print(std::ostream& os) const;
+
+  /// Formats a double with `digits` significant decimal places,
+  /// dropping trailing noise ("12.3", "0.0042").
+  static std::string Num(double value, int digits = 3);
+
+  /// Formats a byte count as a human-readable MiB/GiB string.
+  static std::string Bytes(std::size_t bytes);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cgrx::util
+
+#endif  // CGRX_SRC_UTIL_TABLE_PRINTER_H_

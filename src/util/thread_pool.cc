@@ -1,0 +1,96 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+
+namespace cgrx::util {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(1, grain);
+  if (num_threads_ == 1 || end - begin <= grain) {
+    body(begin, end);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_.begin = begin;
+    job_.end = end;
+    job_.grain = grain;
+    job_.body = &body;
+    job_.next.store(begin, std::memory_order_relaxed);
+    active_workers_ = num_threads_ - 1;
+    has_job_ = true;
+    ++epoch_;
+  }
+  wake_.notify_all();
+  RunJobShare();  // The caller works too.
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return active_workers_ == 0; });
+  has_job_ = false;
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  const std::size_t n = end > begin ? end - begin : 0;
+  const std::size_t grain =
+      std::max<std::size_t>(1, n / (static_cast<std::size_t>(num_threads_) * 8));
+  ParallelFor(begin, end, grain, body);
+}
+
+void ThreadPool::RunJobShare() {
+  const std::size_t end = job_.end;
+  const std::size_t grain = job_.grain;
+  for (;;) {
+    const std::size_t chunk_begin =
+        job_.next.fetch_add(grain, std::memory_order_relaxed);
+    if (chunk_begin >= end) break;
+    (*job_.body)(chunk_begin, std::min(chunk_begin + grain, end));
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return shutdown_ || (has_job_ && epoch_ != seen_epoch);
+      });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+    }
+    RunJobShare();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--active_workers_ == 0) done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency())));
+  return pool;
+}
+
+}  // namespace cgrx::util

@@ -1,0 +1,31 @@
+#ifndef CGRX_SRC_UTIL_TIMER_H_
+#define CGRX_SRC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace cgrx::util {
+
+/// Wall-clock stopwatch for the benchmark harness.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Reset, in milliseconds.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const { return ElapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cgrx::util
+
+#endif  // CGRX_SRC_UTIL_TIMER_H_

@@ -1,0 +1,366 @@
+#include "src/util/workloads.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/util/rng.h"
+#include "src/util/zipf.h"
+
+namespace cgrx::util {
+namespace {
+
+std::uint64_t KeySpaceMax(int key_bits) {
+  return key_bits >= 64 ? ~0ULL : ((1ULL << key_bits) - 1);
+}
+
+void Shuffle(std::vector<std::uint64_t>* keys, Rng* rng) {
+  for (std::size_t i = keys->size(); i > 1; --i) {
+    std::swap((*keys)[i - 1], (*keys)[rng->Below(i)]);
+  }
+}
+
+/// Draws `count` distinct values from [lo, hi] (inclusive). The caller
+/// guarantees the interval is much larger than `count`, so rejection
+/// sampling terminates quickly.
+std::vector<std::uint64_t> SampleDistinct(std::uint64_t lo, std::uint64_t hi,
+                                          std::size_t count, Rng* rng) {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(count * 2);
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    const std::uint64_t v = rng->Between(lo, hi);
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+/// Builds keys as a cumulative sum of gaps produced by `gap()`, clamped
+/// to the key space; wraps around by rescaling if the space is exceeded.
+template <typename GapFn>
+std::vector<std::uint64_t> FromGaps(std::size_t count, int key_bits,
+                                    GapFn gap) {
+  const std::uint64_t space = KeySpaceMax(key_bits);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(count);
+  std::uint64_t cur = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t g = std::max<std::uint64_t>(1, gap());
+    // Saturate instead of wrapping; densify at the top if exhausted.
+    cur = cur > space - g ? cur + 1 : cur + g;
+    if (cur > space) cur = space - (count - i);
+    keys.push_back(cur);
+  }
+  return keys;
+}
+
+std::vector<std::uint64_t> MakeClustered(std::size_t count, int key_bits,
+                                         std::size_t clusters, Rng* rng) {
+  const std::uint64_t space = KeySpaceMax(key_bits);
+  const std::size_t per_cluster = std::max<std::size_t>(1, count / clusters);
+  std::vector<std::uint64_t> starts =
+      SampleDistinct(0, space - per_cluster - 1, clusters, rng);
+  std::sort(starts.begin(), starts.end());
+  std::vector<std::uint64_t> keys;
+  keys.reserve(count);
+  std::size_t c = 0;
+  while (keys.size() < count) {
+    const std::uint64_t base = starts[c % clusters];
+    const std::size_t run = std::min(per_cluster, count - keys.size());
+    for (std::size_t i = 0; i < run; ++i) keys.push_back(base + i);
+    ++c;
+  }
+  return keys;
+}
+
+std::vector<std::uint64_t> MakeBell(std::size_t count, int key_bits,
+                                    Rng* rng) {
+  // Sum of four uniforms approximates a bell; scaled into the key space.
+  const double space = static_cast<double>(KeySpaceMax(key_bits));
+  std::vector<std::uint64_t> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double u =
+        (rng->NextDouble() + rng->NextDouble() + rng->NextDouble() +
+         rng->NextDouble()) /
+        4.0;
+    keys.push_back(static_cast<std::uint64_t>(u * space));
+  }
+  return keys;
+}
+
+std::vector<std::uint64_t> MakeMultiPlane(std::size_t count, int key_bits,
+                                          Rng* rng) {
+  // Dense runs of 1024 keys placed at random offsets across the full key
+  // space so 64-bit sets span many z-planes (stresses the 5-ray path).
+  constexpr std::size_t kRun = 1024;
+  const std::uint64_t space = KeySpaceMax(key_bits);
+  const std::size_t runs = (count + kRun - 1) / kRun;
+  std::vector<std::uint64_t> starts =
+      SampleDistinct(0, space - kRun, runs, rng);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(count);
+  for (std::size_t r = 0; r < runs && keys.size() < count; ++r) {
+    for (std::size_t i = 0; i < kRun && keys.size() < count; ++i) {
+      keys.push_back(starts[r] + i);
+    }
+  }
+  return keys;
+}
+
+std::vector<std::uint64_t> MakeHotCold(std::size_t count, int key_bits,
+                                       Rng* rng) {
+  const std::uint64_t space = KeySpaceMax(key_bits);
+  const std::uint64_t hot_end = space / 10;
+  std::vector<std::uint64_t> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (rng->NextDouble() < 0.9) {
+      keys.push_back(rng->Between(0, hot_end));
+    } else {
+      keys.push_back(rng->Between(hot_end + 1, space));
+    }
+  }
+  return keys;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> MakeKeySet(const KeySetConfig& config) {
+  assert(config.key_bits == 32 || config.key_bits == 64);
+  assert(config.uniformity >= 0.0 && config.uniformity <= 1.0);
+  Rng rng(config.seed);
+  const auto dense_count = static_cast<std::size_t>(
+      std::llround(static_cast<double>(config.count) *
+                   (1.0 - config.uniformity)));
+  std::vector<std::uint64_t> keys;
+  keys.reserve(config.count);
+  for (std::size_t i = 0; i < dense_count; ++i) keys.push_back(i);
+  if (dense_count < config.count) {
+    auto sparse =
+        SampleDistinct(dense_count, KeySpaceMax(config.key_bits),
+                       config.count - dense_count, &rng);
+    keys.insert(keys.end(), sparse.begin(), sparse.end());
+  }
+  Shuffle(&keys, &rng);
+  return keys;
+}
+
+const std::vector<KeyDistribution>& AllKeyDistributions() {
+  static const std::vector<KeyDistribution> kAll = {
+      KeyDistribution::kDense,            KeyDistribution::kUniformity10,
+      KeyDistribution::kUniformity25,     KeyDistribution::kUniformity50,
+      KeyDistribution::kUniformity75,     KeyDistribution::kUniform,
+      KeyDistribution::kClustered16,      KeyDistribution::kClustered256,
+      KeyDistribution::kClustered4096,    KeyDistribution::kZipfGaps05,
+      KeyDistribution::kZipfGaps10,       KeyDistribution::kZipfGaps15,
+      KeyDistribution::kGeometricGaps16,  KeyDistribution::kGeometricGaps256,
+      KeyDistribution::kBell,             KeyDistribution::kMultiPlane,
+      KeyDistribution::kDuplicateHeavy,   KeyDistribution::kSequentialBlocks,
+      KeyDistribution::kHotCold,
+  };
+  return kAll;
+}
+
+std::string ToString(KeyDistribution distribution) {
+  switch (distribution) {
+    case KeyDistribution::kDense: return "dense";
+    case KeyDistribution::kUniformity10: return "unif-10%";
+    case KeyDistribution::kUniformity25: return "unif-25%";
+    case KeyDistribution::kUniformity50: return "unif-50%";
+    case KeyDistribution::kUniformity75: return "unif-75%";
+    case KeyDistribution::kUniform: return "uniform";
+    case KeyDistribution::kClustered16: return "clusters-16";
+    case KeyDistribution::kClustered256: return "clusters-256";
+    case KeyDistribution::kClustered4096: return "clusters-4096";
+    case KeyDistribution::kZipfGaps05: return "zipf-gaps-0.5";
+    case KeyDistribution::kZipfGaps10: return "zipf-gaps-1.0";
+    case KeyDistribution::kZipfGaps15: return "zipf-gaps-1.5";
+    case KeyDistribution::kGeometricGaps16: return "geo-gaps-16";
+    case KeyDistribution::kGeometricGaps256: return "geo-gaps-256";
+    case KeyDistribution::kBell: return "bell";
+    case KeyDistribution::kMultiPlane: return "multi-plane";
+    case KeyDistribution::kDuplicateHeavy: return "dup-heavy";
+    case KeyDistribution::kSequentialBlocks: return "seq-blocks";
+    case KeyDistribution::kHotCold: return "hot-cold";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint64_t> MakeDistributedKeySet(KeyDistribution distribution,
+                                                 std::size_t count,
+                                                 int key_bits,
+                                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> keys;
+  auto uniformity_model = [&](double uniformity) {
+    KeySetConfig cfg;
+    cfg.count = count;
+    cfg.key_bits = key_bits;
+    cfg.uniformity = uniformity;
+    cfg.seed = seed;
+    return MakeKeySet(cfg);
+  };
+  switch (distribution) {
+    case KeyDistribution::kDense:
+      return uniformity_model(0.0);
+    case KeyDistribution::kUniformity10:
+      return uniformity_model(0.10);
+    case KeyDistribution::kUniformity25:
+      return uniformity_model(0.25);
+    case KeyDistribution::kUniformity50:
+      return uniformity_model(0.50);
+    case KeyDistribution::kUniformity75:
+      return uniformity_model(0.75);
+    case KeyDistribution::kUniform:
+      return uniformity_model(1.0);
+    case KeyDistribution::kClustered16:
+      keys = MakeClustered(count, key_bits, 16, &rng);
+      break;
+    case KeyDistribution::kClustered256:
+      keys = MakeClustered(count, key_bits, 256, &rng);
+      break;
+    case KeyDistribution::kClustered4096:
+      keys = MakeClustered(count, key_bits, 4096, &rng);
+      break;
+    case KeyDistribution::kZipfGaps05:
+    case KeyDistribution::kZipfGaps10:
+    case KeyDistribution::kZipfGaps15: {
+      const double theta =
+          distribution == KeyDistribution::kZipfGaps05   ? 0.5
+          : distribution == KeyDistribution::kZipfGaps10 ? 1.0
+                                                         : 1.5;
+      // Gap magnitudes follow a Zipf rank draw over [1, 2^16]: most gaps
+      // are tiny (dense stretches), a heavy tail creates jumps.
+      ZipfGenerator zipf(1 << 16, theta);
+      keys = FromGaps(count, key_bits,
+                      [&] { return zipf.Next(&rng) + 1; });
+      break;
+    }
+    case KeyDistribution::kGeometricGaps16:
+    case KeyDistribution::kGeometricGaps256: {
+      const double mean =
+          distribution == KeyDistribution::kGeometricGaps16 ? 16.0 : 256.0;
+      keys = FromGaps(count, key_bits, [&] {
+        const double u = rng.NextDouble();
+        return static_cast<std::uint64_t>(
+            1 + std::floor(std::log1p(-u) / std::log1p(-1.0 / mean)));
+      });
+      break;
+    }
+    case KeyDistribution::kBell:
+      keys = MakeBell(count, key_bits, &rng);
+      break;
+    case KeyDistribution::kMultiPlane:
+      keys = MakeMultiPlane(count, key_bits, &rng);
+      break;
+    case KeyDistribution::kDuplicateHeavy: {
+      const std::size_t distinct = std::max<std::size_t>(1, count / 8);
+      auto base = SampleDistinct(0, KeySpaceMax(key_bits), distinct, &rng);
+      keys.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        keys.push_back(base[rng.Below(distinct)]);
+      }
+      break;
+    }
+    case KeyDistribution::kSequentialBlocks: {
+      constexpr std::size_t kBlock = 4096;
+      std::uint64_t cur = 0;
+      const std::uint64_t space = KeySpaceMax(key_bits);
+      keys.reserve(count);
+      while (keys.size() < count) {
+        const std::size_t run = std::min(kBlock, count - keys.size());
+        for (std::size_t i = 0; i < run; ++i) keys.push_back(cur + i);
+        const std::uint64_t gap = rng.Between(kBlock, kBlock * 64);
+        cur = std::min(space - kBlock, cur + gap);
+      }
+      break;
+    }
+    case KeyDistribution::kHotCold:
+      keys = MakeHotCold(count, key_bits, &rng);
+      break;
+  }
+  Shuffle(&keys, &rng);
+  return keys;
+}
+
+std::vector<std::uint64_t> MakeLookupBatch(
+    const std::vector<std::uint64_t>& keys,
+    const std::vector<std::uint64_t>& sorted_keys, int key_bits,
+    const LookupBatchConfig& config) {
+  assert(!keys.empty());
+  assert(config.miss_anywhere + config.miss_out_of_range <= 1.0);
+  Rng rng(config.seed);
+  ZipfGenerator zipf(keys.size(), config.zipf_theta);
+  const std::uint64_t space = KeySpaceMax(key_bits);
+  const std::uint64_t max_key =
+      sorted_keys.empty() ? 0 : sorted_keys.back();
+  auto is_member = [&](std::uint64_t v) {
+    return std::binary_search(sorted_keys.begin(), sorted_keys.end(), v);
+  };
+  std::vector<std::uint64_t> batch;
+  batch.reserve(config.count);
+  for (std::size_t i = 0; i < config.count; ++i) {
+    const double roll = rng.NextDouble();
+    if (roll < config.miss_out_of_range && max_key < space) {
+      batch.push_back(rng.Between(max_key + 1, space));
+    } else if (roll < config.miss_out_of_range + config.miss_anywhere) {
+      // Rejection-sample a non-member below max_key; a fully dense set
+      // has no such values, so fall back to out-of-range after a few
+      // tries to guarantee termination.
+      std::uint64_t v = 0;
+      bool found = false;
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        v = rng.Between(0, max_key);
+        if (!is_member(v)) {
+          found = true;
+          break;
+        }
+      }
+      batch.push_back(found             ? v
+                      : max_key < space ? max_key + 1
+                                        : max_key);
+    } else {
+      batch.push_back(keys[config.zipf_theta == 0
+                               ? rng.Below(keys.size())
+                               : zipf.Next(&rng)]);
+    }
+  }
+  return batch;
+}
+
+std::vector<RangeQuery> MakeRangeQueries(
+    const std::vector<std::uint64_t>& sorted_keys, std::size_t count,
+    std::size_t expected_hits, std::uint64_t seed) {
+  assert(!sorted_keys.empty());
+  assert(expected_hits >= 1);
+  Rng rng(seed);
+  const std::size_t n = sorted_keys.size();
+  const std::size_t span = std::min(expected_hits, n);
+  std::vector<RangeQuery> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t lo_idx = rng.Below(n - span + 1);
+    out.push_back(
+        {sorted_keys[lo_idx], sorted_keys[lo_idx + span - 1]});
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint64_t>> SplitIntoWaves(
+    const std::vector<std::uint64_t>& keys, std::size_t waves) {
+  std::vector<std::vector<std::uint64_t>> out(waves);
+  const std::size_t per = keys.size() / waves;
+  std::size_t pos = 0;
+  for (std::size_t w = 0; w < waves; ++w) {
+    const std::size_t take = w + 1 == waves ? keys.size() - pos : per;
+    out[w].assign(keys.begin() + static_cast<std::ptrdiff_t>(pos),
+                  keys.begin() + static_cast<std::ptrdiff_t>(pos + take));
+    pos += take;
+  }
+  return out;
+}
+
+}  // namespace cgrx::util

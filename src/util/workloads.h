@@ -1,0 +1,101 @@
+#ifndef CGRX_SRC_UTIL_WORKLOADS_H_
+#define CGRX_SRC_UTIL_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cgrx::util {
+
+/// Key-set generator following the paper's uniformity model (Section V):
+/// "for some fixed integer d, the first part of the key set consists of
+/// all keys from 0 to d-1 to reflect a dense key arrangement, and the
+/// second part is picked uniformly and randomly from the remaining value
+/// range". `uniformity` is the fraction of keys picked uniformly. The
+/// returned sequence is shuffled; a key's position is its rowID.
+struct KeySetConfig {
+  std::size_t count = std::size_t{1} << 20;
+  int key_bits = 32;        ///< 32 or 64.
+  double uniformity = 0.0;  ///< 0 = fully dense, 1 = fully uniform.
+  std::uint64_t seed = 42;
+};
+
+std::vector<std::uint64_t> MakeKeySet(const KeySetConfig& config);
+
+/// The nineteen key distributions of the robustness sweep (paper
+/// Figure 11: "nineteen different key distributions, varying from
+/// uniform to highly skewed and mixtures of both").
+enum class KeyDistribution {
+  kDense,             ///< 0 .. n-1.
+  kUniformity10,      ///< Paper model, 10% uniform.
+  kUniformity25,
+  kUniformity50,
+  kUniformity75,
+  kUniform,           ///< 100% uniform over the key space.
+  kClustered16,       ///< 16 dense clusters at random offsets.
+  kClustered256,      ///< 256 clusters.
+  kClustered4096,     ///< 4096 clusters.
+  kZipfGaps05,        ///< Cumulative Zipf(0.5)-distributed gaps.
+  kZipfGaps10,        ///< Cumulative Zipf(1.0)-distributed gaps.
+  kZipfGaps15,        ///< Cumulative Zipf(1.5)-distributed gaps.
+  kGeometricGaps16,   ///< Geometric gaps, mean 16.
+  kGeometricGaps256,  ///< Geometric gaps, mean 256.
+  kBell,              ///< Bell-shaped density around the range centre.
+  kMultiPlane,        ///< Dense runs scattered across many z-planes.
+  kDuplicateHeavy,    ///< Every distinct key repeated ~8 times.
+  kSequentialBlocks,  ///< Dense 4096-blocks separated by random gaps.
+  kHotCold,           ///< 90% of keys in 10% of the range.
+};
+
+/// All nineteen distributions, in a stable order.
+const std::vector<KeyDistribution>& AllKeyDistributions();
+
+/// Human-readable name ("dense", "zipf-gaps-1.0", ...).
+std::string ToString(KeyDistribution distribution);
+
+/// Generates a shuffled key set following `distribution`.
+std::vector<std::uint64_t> MakeDistributedKeySet(KeyDistribution distribution,
+                                                 std::size_t count,
+                                                 int key_bits,
+                                                 std::uint64_t seed);
+
+/// Point-lookup batch generator (paper Sections V, VI-D, VI-E).
+///
+/// Hits are drawn from `keys` (the shuffled key set); `zipf_theta != 0`
+/// skews the draw by position. `miss_anywhere` of the batch are values
+/// inside [0, max key] that are not present (requires `sorted_keys`);
+/// `miss_out_of_range` are values above the largest key.
+struct LookupBatchConfig {
+  std::size_t count = std::size_t{1} << 20;
+  double zipf_theta = 0.0;
+  double miss_anywhere = 0.0;
+  double miss_out_of_range = 0.0;
+  std::uint64_t seed = 7;
+};
+
+std::vector<std::uint64_t> MakeLookupBatch(
+    const std::vector<std::uint64_t>& keys,
+    const std::vector<std::uint64_t>& sorted_keys, int key_bits,
+    const LookupBatchConfig& config);
+
+/// Inclusive range query [lo, hi].
+struct RangeQuery {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+};
+
+/// Builds `count` range queries each covering exactly `expected_hits`
+/// consecutive entries of `sorted_keys` (the paper's "expected hits per
+/// range lookup" knob, Figure 14).
+std::vector<RangeQuery> MakeRangeQueries(
+    const std::vector<std::uint64_t>& sorted_keys, std::size_t count,
+    std::size_t expected_hits, std::uint64_t seed);
+
+/// Splits `keys` (all distinct from the indexed set) into `waves` equal
+/// batches for the update experiment (paper Figure 18).
+std::vector<std::vector<std::uint64_t>> SplitIntoWaves(
+    const std::vector<std::uint64_t>& keys, std::size_t waves);
+
+}  // namespace cgrx::util
+
+#endif  // CGRX_SRC_UTIL_WORKLOADS_H_

@@ -1,0 +1,63 @@
+#include "src/util/zipf.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cgrx::util {
+namespace {
+
+// zeta(n, theta) = sum_{i=1..n} 1/i^theta. For large n the sum is
+// approximated by splitting into an exact head and an integral tail,
+// which keeps construction cheap while staying accurate enough for
+// workload generation purposes.
+double Zeta(std::size_t n, double theta) {
+  constexpr std::size_t kExact = 1 << 16;
+  double sum = 0;
+  const std::size_t head = n < kExact ? n : kExact;
+  for (std::size_t i = 1; i <= head; ++i) {
+    sum += std::pow(static_cast<double>(i), -theta);
+  }
+  if (n > head) {
+    // Integral approximation of the tail sum_{head+1..n} i^-theta.
+    if (theta == 1.0) {
+      sum += std::log(static_cast<double>(n) / static_cast<double>(head));
+    } else {
+      const double a = std::pow(static_cast<double>(head) + 0.5, 1 - theta);
+      const double b = std::pow(static_cast<double>(n) + 0.5, 1 - theta);
+      sum += (b - a) / (1 - theta);
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(std::size_t n, double theta)
+    : n_(n), theta_(theta) {
+  assert(n > 0);
+  assert(theta >= 0);
+  if (theta_ == 0) return;  // Uniform; Next() special-cases this.
+  // The inverse-CDF transform divides by (1 - theta); nudge the exact
+  // harmonic case off the singularity (indistinguishable in practice).
+  effective_theta_ = theta_ == 1.0 ? 1.0 - 1e-4 : theta_;
+  zetan_ = Zeta(n_, effective_theta_);
+  zeta2_ = Zeta(2, effective_theta_);
+  alpha_ = 1.0 / (1.0 - effective_theta_);
+  eta_ = (1.0 -
+          std::pow(2.0 / static_cast<double>(n_), 1.0 - effective_theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+std::size_t ZipfGenerator::Next(Rng* rng) const {
+  if (theta_ == 0) return rng->Below(n_);
+  const double u = rng->NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, effective_theta_)) return 1;
+  const double frac = std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  auto rank = static_cast<std::size_t>(static_cast<double>(n_) * frac);
+  if (rank >= n_) rank = n_ - 1;
+  return rank;
+}
+
+}  // namespace cgrx::util

@@ -1,0 +1,40 @@
+#ifndef CGRX_SRC_UTIL_ZIPF_H_
+#define CGRX_SRC_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace cgrx::util {
+
+/// Zipf-distributed rank sampler over [0, n), used for the skewed-lookup
+/// experiment (paper Figure 17). Rank 0 is the most popular item.
+///
+/// Uses the inverse-CDF method of Gray et al. ("Quickly generating
+/// billion-record synthetic databases", SIGMOD'94), the same generator
+/// family YCSB employs. theta == 0 degenerates to the uniform
+/// distribution.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::size_t n, double theta);
+
+  /// Draws one rank in [0, n).
+  std::size_t Next(Rng* rng) const;
+
+  std::size_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::size_t n_;
+  double theta_;
+  double effective_theta_ = 0;
+  double alpha_ = 0;
+  double zetan_ = 0;
+  double eta_ = 0;
+  double zeta2_ = 0;
+};
+
+}  // namespace cgrx::util
+
+#endif  // CGRX_SRC_UTIL_ZIPF_H_

@@ -1,0 +1,356 @@
+// Tests for the baseline indexes: SA (sorted array), B+ (GPU-style
+// B+-tree), HT (open-addressing hash table), RTScan emulation and
+// FullScan -- each validated against an oracle, plus structural
+// invariants and update behaviour.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/btree.h"
+#include "src/baselines/full_scan.h"
+#include "src/baselines/hash_table.h"
+#include "src/baselines/rtscan.h"
+#include "src/baselines/sorted_array.h"
+#include "src/util/rng.h"
+#include "src/util/workloads.h"
+
+namespace cgrx::baselines {
+namespace {
+
+using ::cgrx::core::KeyRange;
+using ::cgrx::core::LookupResult;
+using ::cgrx::util::KeyDistribution;
+using ::cgrx::util::MakeDistributedKeySet;
+using ::cgrx::util::Rng;
+
+LookupResult OracleRange(const std::vector<std::uint64_t>& keys,
+                         std::uint64_t lo, std::uint64_t hi) {
+  LookupResult r;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (keys[i] >= lo && keys[i] <= hi) {
+      r.Accumulate(static_cast<std::uint32_t>(i));
+    }
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------
+// SortedArray.
+// ---------------------------------------------------------------------
+
+TEST(SortedArrayTest, PointAndRangeMatchOracle) {
+  const auto keys = MakeDistributedKeySet(KeyDistribution::kUniformity50,
+                                          5000, 64, 80);
+  SortedArray<std::uint64_t> sa;
+  sa.Build(std::vector<std::uint64_t>(keys));
+  Rng rng(81);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t k = i % 2 == 0 ? keys[rng.Below(keys.size())] : rng();
+    ASSERT_EQ(sa.PointLookup(k), OracleRange(keys, k, k));
+  }
+  for (int i = 0; i < 300; ++i) {
+    std::uint64_t lo = rng();
+    std::uint64_t hi = rng();
+    if (lo > hi) std::swap(lo, hi);
+    ASSERT_EQ(sa.RangeLookup(lo, hi), OracleRange(keys, lo, hi));
+  }
+}
+
+TEST(SortedArrayTest, DuplicatesAggregate) {
+  SortedArray<std::uint32_t> sa;
+  sa.Build({9, 9, 9, 5, 5, 1});
+  EXPECT_EQ(sa.PointLookup(9).match_count, 3u);
+  EXPECT_EQ(sa.PointLookup(5).match_count, 2u);
+  EXPECT_EQ(sa.PointLookup(7).match_count, 0u);
+}
+
+TEST(SortedArrayTest, RebuildUpdates) {
+  SortedArray<std::uint64_t> sa;
+  sa.Build({10, 20, 30});
+  sa.InsertBatch({15, 25}, {3, 4});
+  EXPECT_EQ(sa.size(), 5u);
+  EXPECT_EQ(sa.PointLookup(15).row_id_sum, 3u);
+  sa.EraseBatch({20, 15});
+  EXPECT_EQ(sa.size(), 3u);
+  EXPECT_TRUE(sa.PointLookup(20).IsMiss());
+}
+
+TEST(SortedArrayTest, FootprintIsEntryBytes) {
+  SortedArray<std::uint32_t> sa32;
+  sa32.Build(std::vector<std::uint32_t>(1000, 1));
+  EXPECT_EQ(sa32.MemoryFootprintBytes(), 1000u * 8u);
+  SortedArray<std::uint64_t> sa64;
+  sa64.Build(std::vector<std::uint64_t>(1000, 1));
+  EXPECT_EQ(sa64.MemoryFootprintBytes(), 1000u * 12u);
+}
+
+// ---------------------------------------------------------------------
+// BPlusTree.
+// ---------------------------------------------------------------------
+
+TEST(BPlusTreeTest, BulkLoadPointAndRangeMatchOracle) {
+  const auto keys = MakeDistributedKeySet(KeyDistribution::kUniformity50,
+                                          8000, 32, 82);
+  std::vector<std::uint32_t> keys32(keys.begin(), keys.end());
+  BPlusTree bt;
+  bt.Build(std::vector<std::uint32_t>(keys32));
+  std::string error;
+  ASSERT_TRUE(bt.ValidateInvariants(&error)) << error;
+  Rng rng(83);
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t k =
+        i % 2 == 0 ? keys[rng.Below(keys.size())] : (rng() & 0xffffffff);
+    ASSERT_EQ(bt.PointLookup(static_cast<std::uint32_t>(k)),
+              OracleRange(keys, k, k))
+        << k;
+  }
+  for (int i = 0; i < 300; ++i) {
+    std::uint32_t lo = static_cast<std::uint32_t>(rng());
+    std::uint32_t hi = static_cast<std::uint32_t>(rng());
+    if (lo > hi) std::swap(lo, hi);
+    ASSERT_EQ(bt.RangeLookup(lo, hi), OracleRange(keys, lo, hi));
+  }
+}
+
+TEST(BPlusTreeTest, InsertionsSplitCorrectly) {
+  BPlusTree bt;
+  bt.Build(std::vector<std::uint32_t>{});
+  // Insert a permuted sequence one batch at a time, forcing repeated
+  // leaf and inner splits across several levels.
+  std::vector<std::uint32_t> keys;
+  for (std::uint32_t i = 0; i < 20000; ++i) keys.push_back(i * 7919 % 65536);
+  std::vector<std::uint32_t> rows(keys.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i] = static_cast<std::uint32_t>(i);
+  }
+  bt.InsertBatch(keys, rows);
+  EXPECT_EQ(bt.size(), keys.size());
+  EXPECT_GE(bt.height(), 3);
+  std::string error;
+  ASSERT_TRUE(bt.ValidateInvariants(&error)) << error;
+  std::vector<std::uint64_t> keys64(keys.begin(), keys.end());
+  Rng rng(84);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint32_t k = static_cast<std::uint32_t>(rng.Below(70000));
+    ASSERT_EQ(bt.PointLookup(k), OracleRange(keys64, k, k)) << k;
+  }
+}
+
+TEST(BPlusTreeTest, DuplicatesSpanningLeaves) {
+  std::vector<std::uint32_t> keys(500, 42);  // 500 duplicates.
+  keys.push_back(41);
+  keys.push_back(43);
+  BPlusTree bt;
+  bt.Build(std::vector<std::uint32_t>(keys));
+  EXPECT_EQ(bt.PointLookup(42).match_count, 500u);
+  EXPECT_EQ(bt.PointLookup(41).match_count, 1u);
+  EXPECT_EQ(bt.PointLookup(43).match_count, 1u);
+  EXPECT_EQ(bt.RangeLookup(41, 43).match_count, 502u);
+}
+
+TEST(BPlusTreeTest, LazyDeletions) {
+  std::vector<std::uint32_t> keys;
+  for (std::uint32_t i = 0; i < 5000; ++i) keys.push_back(i);
+  BPlusTree bt;
+  bt.Build(std::vector<std::uint32_t>(keys));
+  std::vector<std::uint32_t> dels;
+  for (std::uint32_t i = 0; i < 5000; i += 2) dels.push_back(i);
+  bt.EraseBatch(dels);
+  EXPECT_EQ(bt.size(), 2500u);
+  std::string error;
+  ASSERT_TRUE(bt.ValidateInvariants(&error)) << error;
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    ASSERT_EQ(bt.PointLookup(i).match_count, i % 2 == 1 ? 1u : 0u) << i;
+  }
+  // Ranges skip emptied leaves.
+  EXPECT_EQ(bt.RangeLookup(0, 99).match_count, 50u);
+}
+
+TEST(BPlusTreeTest, MixedUpdateStormMatchesOracle) {
+  BPlusTree bt;
+  std::multimap<std::uint32_t, std::uint32_t> oracle;
+  std::vector<std::uint32_t> initial;
+  for (std::uint32_t i = 0; i < 3000; ++i) initial.push_back(i * 3);
+  bt.Build(std::vector<std::uint32_t>(initial));
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    oracle.emplace(initial[i], static_cast<std::uint32_t>(i));
+  }
+  Rng rng(85);
+  for (int wave = 0; wave < 6; ++wave) {
+    std::vector<std::uint32_t> ins;
+    std::vector<std::uint32_t> rows;
+    for (int i = 0; i < 400; ++i) {
+      ins.push_back(static_cast<std::uint32_t>(rng.Below(20000)));
+      rows.push_back(static_cast<std::uint32_t>(10000 + i));
+    }
+    bt.InsertBatch(ins, rows);
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      oracle.emplace(ins[i], rows[i]);
+    }
+    std::vector<std::uint32_t> dels;
+    for (int i = 0; i < 200; ++i) {
+      dels.push_back(static_cast<std::uint32_t>(rng.Below(20000)));
+    }
+    bt.EraseBatch(dels);
+    for (const auto d : dels) {
+      auto it = oracle.find(d);
+      if (it != oracle.end()) oracle.erase(it);
+    }
+    ASSERT_EQ(bt.size(), oracle.size());
+    std::string error;
+    ASSERT_TRUE(bt.ValidateInvariants(&error)) << error;
+    for (int q = 0; q < 500; ++q) {
+      const std::uint32_t k = static_cast<std::uint32_t>(rng.Below(20000));
+      LookupResult expected;
+      for (auto [it, end] = oracle.equal_range(k); it != end; ++it) {
+        expected.Accumulate(it->second);
+      }
+      ASSERT_EQ(bt.PointLookup(k), expected) << "wave " << wave << " " << k;
+    }
+  }
+}
+
+TEST(BPlusTreeTest, NodesAre128Bytes) {
+  EXPECT_LE(sizeof(std::uint16_t) + sizeof(std::uint32_t) +
+                BPlusTree::kLeafCapacity * 8,
+            BPlusTree::kNodeBytes);
+  BPlusTree bt;
+  std::vector<std::uint32_t> keys(1000);
+  for (std::uint32_t i = 0; i < 1000; ++i) keys[i] = i;
+  bt.Build(std::move(keys));
+  EXPECT_GT(bt.MemoryFootprintBytes(), 1000u * 8u);
+}
+
+// ---------------------------------------------------------------------
+// HashTable.
+// ---------------------------------------------------------------------
+
+TEST(HashTableTest, PointLookupsMatchOracle) {
+  const auto keys = MakeDistributedKeySet(KeyDistribution::kUniform, 5000,
+                                          64, 86);
+  HashTable<std::uint64_t> ht;
+  ht.Build(std::vector<std::uint64_t>(keys));
+  EXPECT_LE(ht.load_factor(), 0.8);
+  Rng rng(87);
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t k = i % 2 == 0 ? keys[rng.Below(keys.size())] : rng();
+    ASSERT_EQ(ht.PointLookup(k), OracleRange(keys, k, k));
+  }
+}
+
+TEST(HashTableTest, DuplicatesOccupySeparateSlots) {
+  HashTable<std::uint32_t> ht;
+  ht.Build({5, 5, 5, 9});
+  const auto r = ht.PointLookup(5);
+  EXPECT_EQ(r.match_count, 3u);
+  EXPECT_EQ(r.row_id_sum, 0u + 1u + 2u);
+}
+
+TEST(HashTableTest, TombstoneDeletesAndReuse) {
+  HashTable<std::uint64_t> ht;
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 1000; ++i) keys.push_back(i);
+  ht.Build(std::vector<std::uint64_t>(keys));
+  std::vector<std::uint64_t> dels;
+  for (std::uint64_t i = 0; i < 1000; i += 3) dels.push_back(i);
+  ht.EraseBatch(dels);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(ht.PointLookup(i).match_count, i % 3 == 0 ? 0u : 1u) << i;
+  }
+  // Reinsert over tombstones.
+  ht.InsertBatch({0, 3, 6}, {100, 101, 102});
+  EXPECT_EQ(ht.PointLookup(0).row_id_sum, 100u);
+  EXPECT_EQ(ht.PointLookup(3).row_id_sum, 101u);
+}
+
+TEST(HashTableTest, GrowsWhenLoadFactorExceeded) {
+  HashTable<std::uint64_t> ht(0.8);
+  ht.Build(std::vector<std::uint64_t>{1, 2, 3});
+  const std::size_t before = ht.capacity();
+  std::vector<std::uint64_t> ins;
+  std::vector<std::uint32_t> rows;
+  for (std::uint64_t i = 10; i < 5000; ++i) {
+    ins.push_back(i);
+    rows.push_back(static_cast<std::uint32_t>(i));
+  }
+  ht.InsertBatch(ins, rows);
+  EXPECT_GT(ht.capacity(), before);
+  EXPECT_LE(ht.load_factor(), 0.8);
+  for (std::uint64_t i = 10; i < 5000; i += 97) {
+    ASSERT_EQ(ht.PointLookup(i).match_count, 1u);
+  }
+}
+
+TEST(HashTableTest, UpdateLoadFactorConfig) {
+  HashTable<std::uint64_t> ht(0.4);  // The paper's update configuration.
+  std::vector<std::uint64_t> keys(4000);
+  for (std::uint64_t i = 0; i < 4000; ++i) keys[i] = i * 17;
+  ht.Build(std::move(keys));
+  EXPECT_LE(ht.load_factor(), 0.4);
+}
+
+// ---------------------------------------------------------------------
+// RtScan.
+// ---------------------------------------------------------------------
+
+TEST(RtScanTest, RangeLookupsMatchOracle) {
+  const auto keys = MakeDistributedKeySet(KeyDistribution::kDense, 4000, 32,
+                                          88);
+  std::vector<std::uint32_t> keys32(keys.begin(), keys.end());
+  RtScan<std::uint32_t> scan;
+  scan.Build(std::vector<std::uint32_t>(keys32));
+  Rng rng(89);
+  for (int i = 0; i < 200; ++i) {
+    std::uint32_t lo = static_cast<std::uint32_t>(rng.Below(4200));
+    std::uint32_t hi = lo + static_cast<std::uint32_t>(rng.Below(500));
+    ASSERT_EQ(scan.RangeLookup(lo, hi), OracleRange(keys, lo, hi))
+        << "[" << lo << ", " << hi << "]";
+  }
+}
+
+TEST(RtScanTest, BatchedRangeLookupsMatchScalar) {
+  const auto keys = MakeDistributedKeySet(KeyDistribution::kDense, 3000, 32,
+                                          90);
+  std::vector<std::uint32_t> keys32(keys.begin(), keys.end());
+  RtScan<std::uint32_t> scan;
+  scan.Build(std::vector<std::uint32_t>(keys32));
+  std::vector<KeyRange<std::uint32_t>> ranges;
+  Rng rng(91);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint32_t lo = static_cast<std::uint32_t>(rng.Below(3000));
+    ranges.push_back({lo, lo + static_cast<std::uint32_t>(rng.Below(200))});
+  }
+  std::vector<LookupResult> results(ranges.size());
+  scan.RangeLookupBatch(ranges.data(), ranges.size(), results.data());
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    ASSERT_EQ(results[i], scan.RangeLookup(ranges[i].lo, ranges[i].hi));
+  }
+}
+
+// ---------------------------------------------------------------------
+// FullScan.
+// ---------------------------------------------------------------------
+
+TEST(FullScanTest, MatchesOracleEverywhere) {
+  const auto keys = MakeDistributedKeySet(KeyDistribution::kUniformity50,
+                                          2000, 64, 92);
+  FullScan<std::uint64_t> fs;
+  fs.Build(std::vector<std::uint64_t>(keys));
+  Rng rng(93);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t k = i % 2 == 0 ? keys[rng.Below(keys.size())] : rng();
+    ASSERT_EQ(fs.PointLookup(k), OracleRange(keys, k, k));
+  }
+  for (int i = 0; i < 100; ++i) {
+    std::uint64_t lo = rng();
+    std::uint64_t hi = rng();
+    if (lo > hi) std::swap(lo, hi);
+    ASSERT_EQ(fs.RangeLookup(lo, hi), OracleRange(keys, lo, hi));
+  }
+}
+
+}  // namespace
+}  // namespace cgrx::baselines

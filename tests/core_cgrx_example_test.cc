@@ -1,0 +1,197 @@
+// Tests of cgRX on the paper's running example (Figures 4-7): 13 keys
+// {2,4,5,6,12,17,18,19,19,19,19,19,22}, bucket size 3, example mapping
+// k -> (k2:0, k4:3, k63:5). These nail down the exact construction and
+// lookup semantics of Algorithms 1-3 before the randomized suites run.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/cgrx_index.h"
+#include "src/util/key_mapping.h"
+
+namespace cgrx::core {
+namespace {
+
+using ::cgrx::util::KeyMapping;
+
+// The example key set of Figure 4 (already sorted; rowIDs follow the
+// figure's key-rowID array).
+std::vector<std::uint64_t> ExampleKeys() {
+  return {2, 4, 5, 6, 12, 17, 18, 19, 19, 19, 19, 19, 22};
+}
+
+std::vector<std::uint32_t> ExampleRowIds() {
+  return {3, 7, 1, 8, 2, 0, 12, 6, 9, 10, 4, 11, 5};
+}
+
+CgrxConfig ExampleConfig(Representation representation) {
+  CgrxConfig config;
+  config.bucket_size = 3;
+  config.representation = representation;
+  config.mapping_override = KeyMapping::Example();
+  return config;
+}
+
+class CgrxExampleTest : public ::testing::TestWithParam<Representation> {};
+
+TEST_P(CgrxExampleTest, BucketPartitioningMatchesFigure4) {
+  CgrxIndex64 index(ExampleConfig(GetParam()));
+  index.Build(ExampleKeys(), ExampleRowIds());
+  ASSERT_EQ(index.num_buckets(), 5u);
+  // Representatives 5, 17, 19, 19, 22 (bucket 3 is a duplicate of 19).
+  EXPECT_EQ(index.buckets().RepKey(0), 5u);
+  EXPECT_EQ(index.buckets().RepKey(1), 17u);
+  EXPECT_EQ(index.buckets().RepKey(2), 19u);
+  EXPECT_EQ(index.buckets().RepKey(3), 19u);
+  EXPECT_EQ(index.buckets().RepKey(4), 22u);
+  EXPECT_TRUE(index.multi_line());
+  EXPECT_FALSE(index.multi_plane());
+}
+
+TEST_P(CgrxExampleTest, LookupOfKey2ReturnsRowId3) {
+  // Figure 4: the representative of bucket 0 is in the same row as
+  // key 2; a single ray resolves the lookup.
+  CgrxIndex64 index(ExampleConfig(GetParam()));
+  index.Build(ExampleKeys(), ExampleRowIds());
+  int rays = 0;
+  const LookupResult r = index.PointLookup(2, &rays);
+  EXPECT_EQ(r.match_count, 1u);
+  EXPECT_EQ(r.row_id_sum, 3u);
+  // Key 2 < minRep (5), so the paper short-circuits to bucket 0 without
+  // firing any ray at all.
+  EXPECT_EQ(rays, 0);
+}
+
+TEST_P(CgrxExampleTest, LookupOfKey6CrossesRows) {
+  // Figure 5 (naive): key 6 needs the y-ray to the row marker of row
+  // y=2 plus a follow-up x-ray (3 rays total). Figure 7 (optimized):
+  // the new representative "7" at the end of row 0 answers it with a
+  // single ray.
+  CgrxIndex64 index(ExampleConfig(GetParam()));
+  index.Build(ExampleKeys(), ExampleRowIds());
+  int rays = 0;
+  const LookupResult r = index.PointLookup(6, &rays);
+  EXPECT_EQ(r.match_count, 1u);
+  EXPECT_EQ(r.row_id_sum, 8u);
+  if (GetParam() == Representation::kNaive) {
+    EXPECT_EQ(rays, 3);
+  } else {
+    EXPECT_EQ(rays, 1);
+  }
+}
+
+TEST_P(CgrxExampleTest, AllKeysAreFound) {
+  CgrxIndex64 index(ExampleConfig(GetParam()));
+  index.Build(ExampleKeys(), ExampleRowIds());
+  const auto keys = ExampleKeys();
+  const auto rows = ExampleRowIds();
+  // Expected aggregate per key value (duplicates aggregate).
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    std::uint64_t expected_sum = 0;
+    std::uint64_t expected_count = 0;
+    for (std::size_t j = 0; j < keys.size(); ++j) {
+      if (keys[j] == keys[i]) {
+        expected_sum += rows[j];
+        ++expected_count;
+      }
+    }
+    const LookupResult r = index.PointLookup(keys[i]);
+    EXPECT_EQ(r.match_count, expected_count) << "key " << keys[i];
+    EXPECT_EQ(r.row_id_sum, expected_sum) << "key " << keys[i];
+  }
+}
+
+TEST_P(CgrxExampleTest, MissesAreDetected) {
+  CgrxIndex64 index(ExampleConfig(GetParam()));
+  index.Build(ExampleKeys(), ExampleRowIds());
+  for (std::uint64_t miss : {0ULL, 1ULL, 3ULL, 7ULL, 8ULL, 11ULL, 13ULL,
+                             16ULL, 20ULL, 21ULL, 23ULL, 100ULL, 1ULL << 40}) {
+    const LookupResult r = index.PointLookup(miss);
+    EXPECT_TRUE(r.IsMiss()) << "expected miss for " << miss;
+  }
+}
+
+TEST_P(CgrxExampleTest, DuplicateLookupAggregatesAcrossBuckets) {
+  // Key 19 occurs five times, spanning buckets 2 and 3 (Figure 6's
+  // duplicate discussion); the scan stops at 22.
+  CgrxIndex64 index(ExampleConfig(GetParam()));
+  index.Build(ExampleKeys(), ExampleRowIds());
+  const LookupResult r = index.PointLookup(19);
+  EXPECT_EQ(r.match_count, 5u);
+  EXPECT_EQ(r.row_id_sum, 6u + 9u + 10u + 4u + 11u);
+}
+
+TEST_P(CgrxExampleTest, RangeLookupsMatchReference) {
+  CgrxIndex64 index(ExampleConfig(GetParam()));
+  index.Build(ExampleKeys(), ExampleRowIds());
+  const auto keys = ExampleKeys();
+  const auto rows = ExampleRowIds();
+  for (std::uint64_t lo = 0; lo <= 24; ++lo) {
+    for (std::uint64_t hi = lo; hi <= 24; ++hi) {
+      LookupResult expected;
+      for (std::size_t j = 0; j < keys.size(); ++j) {
+        if (keys[j] >= lo && keys[j] <= hi) expected.Accumulate(rows[j]);
+      }
+      const LookupResult r = index.RangeLookup(lo, hi);
+      EXPECT_EQ(r, expected) << "range [" << lo << ", " << hi << "]";
+    }
+  }
+}
+
+TEST_P(CgrxExampleTest, RangeAboveMaxKeyIsEmpty) {
+  CgrxIndex64 index(ExampleConfig(GetParam()));
+  index.Build(ExampleKeys(), ExampleRowIds());
+  EXPECT_TRUE(index.RangeLookup(23, 1000).IsMiss());
+}
+
+TEST(CgrxExampleOptimized, MovedAndAuxiliaryRepresentativesOfFigure7) {
+  // Figure 7: bucket 0's rep 5 cannot move (key 6 follows in-row) and
+  // spawns auxiliary representative "7" at x=7; rep 22 moves to x=7
+  // ("23"). No plane markers exist (single plane).
+  CgrxIndex64 index(ExampleConfig(Representation::kOptimized));
+  index.Build(ExampleKeys(), ExampleRowIds());
+  const auto& soup = index.scene().soup();
+  ASSERT_EQ(soup.size(), 10u);  // (1 + multiLine) * numBuckets.
+  // Slot 0: rep 5 at its natural position x=5,y=0.
+  EXPECT_TRUE(soup.IsActive(0));
+  // Slot 4: rep 22 moved to x=7 (row y=2).
+  EXPECT_TRUE(soup.IsActive(4));
+  // Slot 3 (duplicate 19, not movable): skipped.
+  EXPECT_FALSE(soup.IsActive(3));
+  // Slot 5 = bucket 0's auxiliary row marker ("7").
+  EXPECT_TRUE(soup.IsActive(5));
+  // Row y=2 ends with the moved rep, so bucket 4 needs no aux marker.
+  EXPECT_FALSE(soup.IsActive(9));
+}
+
+TEST(CgrxExampleNaive, MarkerLayoutOfFigure4) {
+  // Naive representation: row markers R0 (row of rep 5) and R1 (row of
+  // rep 17); representative of bucket 3 (duplicate 19) skipped.
+  CgrxIndex64 index(ExampleConfig(Representation::kNaive));
+  index.Build(ExampleKeys(), ExampleRowIds());
+  const auto& soup = index.scene().soup();
+  ASSERT_EQ(soup.size(), 10u);
+  EXPECT_TRUE(soup.IsActive(0));   // rep 5
+  EXPECT_TRUE(soup.IsActive(1));   // rep 17
+  EXPECT_TRUE(soup.IsActive(2));   // rep 19
+  EXPECT_FALSE(soup.IsActive(3));  // duplicate 19
+  EXPECT_TRUE(soup.IsActive(4));   // rep 22
+  EXPECT_TRUE(soup.IsActive(5));   // marker R0 (bucket 0 first in row 0)
+  EXPECT_TRUE(soup.IsActive(6));   // marker R1 (bucket 1 first in row 2)
+  EXPECT_FALSE(soup.IsActive(7));  // bucket 2 same row as bucket 1
+  EXPECT_FALSE(soup.IsActive(8));
+  EXPECT_FALSE(soup.IsActive(9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Representations, CgrxExampleTest,
+                         ::testing::Values(Representation::kNaive,
+                                           Representation::kOptimized),
+                         [](const auto& info) {
+                           return info.param == Representation::kNaive
+                                      ? "Naive"
+                                      : "Optimized";
+                         });
+
+}  // namespace
+}  // namespace cgrx::core

@@ -1,0 +1,416 @@
+// Tests for cgRXu, the node-based updatable variant (paper Section IV):
+// bulk load semantics, chain lookups, batch insert/delete with node
+// splits, insert+delete elimination, the overflow bucket, and
+// randomized update storms validated against a std::multimap oracle
+// plus structural invariants.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/cgrxu_index.h"
+#include "src/util/rng.h"
+#include "src/util/workloads.h"
+
+namespace cgrx::core {
+namespace {
+
+using ::cgrx::util::KeyDistribution;
+using ::cgrx::util::MakeDistributedKeySet;
+using ::cgrx::util::Rng;
+
+/// Multimap oracle mirroring the index contents.
+class UOracle {
+ public:
+  void Insert(std::uint64_t key, std::uint32_t row) {
+    entries_.emplace(key, row);
+  }
+
+  bool EraseOne(std::uint64_t key) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return false;
+    entries_.erase(it);
+    return true;
+  }
+
+  LookupResult Range(std::uint64_t lo, std::uint64_t hi) const {
+    LookupResult r;
+    for (auto it = entries_.lower_bound(lo);
+         it != entries_.end() && it->first <= hi; ++it) {
+      r.Accumulate(it->second);
+    }
+    return r;
+  }
+
+  LookupResult Point(std::uint64_t key) const { return Range(key, key); }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::multimap<std::uint64_t, std::uint32_t> entries_;
+};
+
+TEST(CgrxuBuild, NodeCapacityFollowsConfiguredNodeBytes) {
+  CgrxuConfig one_cl;
+  one_cl.node_bytes = 128;
+  CgrxuIndex32 a(one_cl);
+  // 128B - (4B maxKey + 4B next + 2B size) = 118B / 8B per entry = 14.
+  EXPECT_EQ(a.node_capacity(), 14u);
+
+  CgrxuConfig half_cl;
+  half_cl.node_bytes = 64;
+  CgrxuIndex32 b(half_cl);
+  EXPECT_EQ(b.node_capacity(), 6u);
+
+  CgrxuIndex64 c(one_cl);
+  // 128B - (8 + 4 + 2) = 114B / 12B = 9.
+  EXPECT_EQ(c.node_capacity(), 9u);
+}
+
+TEST(CgrxuBuild, BulkLoadFillsNodesToConfiguredFraction) {
+  const auto keys = MakeDistributedKeySet(KeyDistribution::kUniform, 10000,
+                                          64, 40);
+  CgrxuIndex64 index;
+  index.Build(std::vector<std::uint64_t>(keys));
+  EXPECT_EQ(index.size(), keys.size());
+  // Buckets hold floor(capacity * initial_fill) keys each; the key set
+  // is duplicate-free, so the bucket count is exact.
+  const std::size_t bucket_keys = static_cast<std::size_t>(
+      static_cast<double>(index.node_capacity()) * 0.5);
+  EXPECT_EQ(index.num_buckets(),
+            (keys.size() + bucket_keys - 1) / bucket_keys);
+  std::string error;
+  EXPECT_TRUE(index.ValidateInvariants(&error)) << error;
+}
+
+TEST(CgrxuLookup, FindsEveryBulkLoadedKey) {
+  const auto keys = MakeDistributedKeySet(KeyDistribution::kUniformity50,
+                                          8000, 64, 41);
+  UOracle oracle;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    oracle.Insert(keys[i], static_cast<std::uint32_t>(i));
+  }
+  CgrxuIndex64 index;
+  index.Build(std::vector<std::uint64_t>(keys));
+  Rng rng(42);
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t k = i % 2 == 0 ? keys[rng.Below(keys.size())] : rng();
+    ASSERT_EQ(index.PointLookup(k), oracle.Point(k)) << k;
+  }
+}
+
+TEST(CgrxuLookup, RangeLookupsMatchOracle) {
+  const auto keys = MakeDistributedKeySet(KeyDistribution::kClustered16,
+                                          6000, 64, 43);
+  UOracle oracle;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    oracle.Insert(keys[i], static_cast<std::uint32_t>(i));
+  }
+  CgrxuIndex64 index;
+  index.Build(std::vector<std::uint64_t>(keys));
+  auto sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  Rng rng(44);
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t a = rng.Below(sorted.size());
+    const std::size_t b =
+        std::min(sorted.size() - 1, a + rng.Below(500));
+    ASSERT_EQ(index.RangeLookup(sorted[a], sorted[b]),
+              oracle.Range(sorted[a], sorted[b]));
+  }
+}
+
+TEST(CgrxuUpdates, InsertsBeyondMaxKeyGoToOverflowBucket) {
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 1000; ++i) keys.push_back(i);
+  CgrxuIndex64 index;
+  index.Build(std::vector<std::uint64_t>(keys));
+  // Keys far above the bulk-loaded maximum.
+  std::vector<std::uint64_t> big = {5000, 6000, 1ULL << 40, ~0ULL};
+  std::vector<std::uint32_t> rows = {1, 2, 3, 4};
+  index.InsertBatch(big, rows);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    const auto r = index.PointLookup(big[i]);
+    ASSERT_EQ(r.match_count, 1u) << big[i];
+    EXPECT_EQ(r.row_id_sum, rows[i]);
+  }
+  // Range spanning into the overflow bucket.
+  EXPECT_EQ(index.RangeLookup(900, 6000).match_count, 100u + 2u);
+  std::string error;
+  EXPECT_TRUE(index.ValidateInvariants(&error)) << error;
+}
+
+TEST(CgrxuUpdates, SplitsPreserveOrderAndFindability) {
+  // Small nodes force frequent splits.
+  CgrxuConfig config;
+  config.node_bytes = 64;
+  CgrxuIndex64 index(config);
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 500; ++i) keys.push_back(i * 10);
+  index.Build(std::vector<std::uint64_t>(keys));
+  // Insert between every existing pair: each bucket overflows multiple
+  // times.
+  std::vector<std::uint64_t> extra;
+  std::vector<std::uint32_t> rows;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    for (std::uint64_t d = 1; d <= 4; ++d) {
+      extra.push_back(i * 10 + d);
+      rows.push_back(static_cast<std::uint32_t>(extra.size()));
+    }
+  }
+  index.InsertBatch(extra, rows);
+  EXPECT_EQ(index.size(), 500u + extra.size());
+  std::string error;
+  ASSERT_TRUE(index.ValidateInvariants(&error)) << error;
+  for (std::size_t i = 0; i < extra.size(); i += 13) {
+    ASSERT_EQ(index.PointLookup(extra[i]).match_count, 1u) << extra[i];
+  }
+  EXPECT_GT(index.used_nodes(), index.num_buckets() + 1);
+}
+
+TEST(CgrxuUpdates, DeletionsShrinkAndKeepRouting) {
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 2000; ++i) keys.push_back(i);
+  CgrxuIndex64 index;
+  index.Build(std::vector<std::uint64_t>(keys));
+  // Delete every even key.
+  std::vector<std::uint64_t> dels;
+  for (std::uint64_t i = 0; i < 2000; i += 2) dels.push_back(i);
+  index.EraseBatch(dels);
+  EXPECT_EQ(index.size(), 1000u);
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    ASSERT_EQ(index.PointLookup(i).match_count, i % 2 == 1 ? 1u : 0u) << i;
+  }
+  std::string error;
+  EXPECT_TRUE(index.ValidateInvariants(&error)) << error;
+}
+
+TEST(CgrxuUpdates, InsertDeleteInSameBatchEliminates) {
+  std::vector<std::uint64_t> keys = {10, 20, 30, 40};
+  CgrxuIndex64 index;
+  index.Build(std::vector<std::uint64_t>(keys));
+  // 25 is inserted and deleted in the same batch: net no-op. 20 is
+  // deleted; 35 inserted.
+  index.UpdateBatch({25, 35}, {100, 101}, {25, 20});
+  EXPECT_EQ(index.size(), 4u);
+  EXPECT_TRUE(index.PointLookup(25).IsMiss());
+  EXPECT_TRUE(index.PointLookup(20).IsMiss());
+  EXPECT_EQ(index.PointLookup(35).match_count, 1u);
+  EXPECT_EQ(index.PointLookup(10).match_count, 1u);
+}
+
+TEST(CgrxuUpdates, DeletingAbsentKeysIsANoOp) {
+  std::vector<std::uint64_t> keys = {1, 2, 3};
+  CgrxuIndex64 index;
+  index.Build(std::vector<std::uint64_t>(keys));
+  index.EraseBatch({0, 4, 100, 2});
+  EXPECT_EQ(index.size(), 2u);
+  EXPECT_TRUE(index.PointLookup(2).IsMiss());
+  EXPECT_EQ(index.PointLookup(1).match_count, 1u);
+}
+
+TEST(CgrxuUpdates, DuplicateInsertsAccumulate) {
+  CgrxuIndex64 index;
+  index.Build(std::vector<std::uint64_t>{100, 200});
+  index.InsertBatch({150, 150, 150}, {1, 2, 3});
+  const auto r = index.PointLookup(150);
+  EXPECT_EQ(r.match_count, 3u);
+  EXPECT_EQ(r.row_id_sum, 6u);
+  // Delete removes one instance at a time.
+  index.EraseBatch({150});
+  EXPECT_EQ(index.PointLookup(150).match_count, 2u);
+}
+
+TEST(CgrxuUpdates, EmptyBulkLoadActsAsPureOverflow) {
+  CgrxuIndex64 index;
+  index.Build(std::vector<std::uint64_t>{});
+  EXPECT_TRUE(index.PointLookup(1).IsMiss());
+  index.InsertBatch({7, 3, 9}, {0, 1, 2});
+  EXPECT_EQ(index.size(), 3u);
+  EXPECT_EQ(index.PointLookup(7).match_count, 1u);
+  EXPECT_EQ(index.RangeLookup(0, 100).match_count, 3u);
+  std::string error;
+  EXPECT_TRUE(index.ValidateInvariants(&error)) << error;
+}
+
+struct StormCase {
+  int key_bits;
+  std::uint32_t node_bytes;
+};
+
+class CgrxuStormTest : public ::testing::TestWithParam<StormCase> {};
+
+TEST_P(CgrxuStormTest, RandomUpdateStormMatchesOracle) {
+  const auto [key_bits, node_bytes] = GetParam();
+  const std::uint64_t space =
+      key_bits == 64 ? ~0ULL : ((1ULL << key_bits) - 1);
+  const auto keys64 = MakeDistributedKeySet(KeyDistribution::kUniformity50,
+                                            4000, key_bits, 50);
+  UOracle oracle;
+  for (std::size_t i = 0; i < keys64.size(); ++i) {
+    oracle.Insert(keys64[i], static_cast<std::uint32_t>(i));
+  }
+  CgrxuConfig config;
+  config.node_bytes = node_bytes;
+  CgrxuIndex64 index(config);
+  index.Build(std::vector<std::uint64_t>(keys64));
+
+  Rng rng(51);
+  std::vector<std::uint64_t> live(keys64);
+  // The storm keeps keys distinct: "delete one instance of a duplicate"
+  // is ambiguous between the index and the multimap oracle (they may
+  // legitimately pick different rowIDs). Duplicate semantics are
+  // covered by the dedicated duplicate tests.
+  std::unordered_set<std::uint64_t> used(keys64.begin(), keys64.end());
+  std::uint32_t next_row = 4000;
+  for (int wave = 0; wave < 8; ++wave) {
+    // Build a mixed batch: ~300 inserts (some near existing keys, some
+    // far), ~200 deletes of live keys, ~50 deletes of absent keys.
+    std::vector<std::uint64_t> ins;
+    std::vector<std::uint32_t> ins_rows;
+    std::vector<std::uint64_t> del;
+    for (int i = 0; i < 300; ++i) {
+      std::uint64_t k = i % 3 == 0 ? live[rng.Below(live.size())] + 1
+                                   : rng.Between(0, space);
+      int attempts = 0;
+      while (!used.insert(k).second && attempts++ < 16) {
+        k = rng.Between(0, space);
+      }
+      if (attempts > 16) continue;
+      ins.push_back(k);
+      ins_rows.push_back(next_row++);
+    }
+    for (int i = 0; i < 200 && !live.empty(); ++i) {
+      const std::size_t pos = rng.Below(live.size());
+      del.push_back(live[pos]);
+      live[pos] = live.back();
+      live.pop_back();
+    }
+    for (int i = 0; i < 50; ++i) del.push_back(rng.Between(0, space));
+
+    // Mirror into the oracle with the same elimination semantics.
+    {
+      auto ins_copy = ins;
+      auto rows_copy = ins_rows;
+      auto del_copy = del;
+      std::vector<std::size_t> order(ins_copy.size());
+      // Sort pairs by key (stable) to mirror the index.
+      std::vector<std::pair<std::uint64_t, std::uint32_t>> pairs;
+      for (std::size_t i = 0; i < ins_copy.size(); ++i) {
+        pairs.emplace_back(ins_copy[i], rows_copy[i]);
+      }
+      std::stable_sort(pairs.begin(), pairs.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                       });
+      std::sort(del_copy.begin(), del_copy.end());
+      std::vector<std::pair<std::uint64_t, std::uint32_t>> ins_final;
+      std::vector<std::uint64_t> del_final;
+      std::size_t i = 0;
+      std::size_t j = 0;
+      while (i < pairs.size() && j < del_copy.size()) {
+        if (pairs[i].first < del_copy[j]) {
+          ins_final.push_back(pairs[i++]);
+        } else if (del_copy[j] < pairs[i].first) {
+          del_final.push_back(del_copy[j++]);
+        } else {
+          ++i;
+          ++j;
+        }
+      }
+      for (; i < pairs.size(); ++i) ins_final.push_back(pairs[i]);
+      for (; j < del_copy.size(); ++j) del_final.push_back(del_copy[j]);
+      for (const auto& [k, r] : ins_final) {
+        oracle.Insert(k, r);
+        live.push_back(k);
+      }
+      for (const auto k : del_final) oracle.EraseOne(k);
+      (void)order;
+    }
+
+    index.UpdateBatch(ins, ins_rows, del);
+    ASSERT_EQ(index.size(), oracle.size()) << "wave " << wave;
+    std::string error;
+    ASSERT_TRUE(index.ValidateInvariants(&error))
+        << "wave " << wave << ": " << error;
+    // Spot-check lookups.
+    for (int q = 0; q < 600; ++q) {
+      const std::uint64_t k =
+          q % 2 == 0 && !live.empty() ? live[rng.Below(live.size())]
+                                      : rng.Between(0, space);
+      ASSERT_EQ(index.PointLookup(k), oracle.Point(k))
+          << "wave " << wave << " key " << k;
+    }
+    for (int q = 0; q < 60; ++q) {
+      std::uint64_t lo = rng.Between(0, space);
+      std::uint64_t hi = rng.Between(0, space);
+      if (lo > hi) std::swap(lo, hi);
+      // Bound range width to keep the oracle cheap.
+      hi = std::min(hi, lo + space / 64);
+      ASSERT_EQ(index.RangeLookup(lo, hi), oracle.Range(lo, hi))
+          << "wave " << wave;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Storms, CgrxuStormTest,
+    ::testing::Values(StormCase{64, 128}, StormCase{64, 64},
+                      StormCase{32, 128}, StormCase{32, 64}),
+    [](const auto& info) {
+      std::string name = "u";
+      name += std::to_string(info.param.key_bits);
+      name += 'n';
+      name += std::to_string(info.param.node_bytes);
+      return name;
+    });
+
+TEST(CgrxuMemory, FootprintCountsAllocatedNodes) {
+  const auto keys = MakeDistributedKeySet(KeyDistribution::kUniform, 5000,
+                                          64, 60);
+  CgrxuIndex64 index;
+  index.Build(std::vector<std::uint64_t>(keys));
+  const std::size_t before = index.MemoryFootprintBytes();
+  // Heavy insertion causes splits and slab growth.
+  std::vector<std::uint64_t> ins;
+  std::vector<std::uint32_t> rows;
+  Rng rng(61);
+  for (int i = 0; i < 20000; ++i) {
+    ins.push_back(rng());
+    rows.push_back(static_cast<std::uint32_t>(i));
+  }
+  index.InsertBatch(ins, rows);
+  EXPECT_GT(index.MemoryFootprintBytes(), before);
+  std::string error;
+  EXPECT_TRUE(index.ValidateInvariants(&error)) << error;
+}
+
+TEST(CgrxuLookup, LookupCostDoesNotExplodeAfterUpdates) {
+  // The cgRXu design goal: updates must not degrade the ray path. The
+  // ray count per lookup stays bounded by 5 regardless of update load.
+  const auto keys = MakeDistributedKeySet(KeyDistribution::kUniform, 4000,
+                                          64, 62);
+  CgrxuIndex64 index;
+  index.Build(std::vector<std::uint64_t>(keys));
+  Rng rng(63);
+  for (int wave = 0; wave < 4; ++wave) {
+    std::vector<std::uint64_t> ins;
+    std::vector<std::uint32_t> rows;
+    for (int i = 0; i < 2000; ++i) {
+      ins.push_back(rng());
+      rows.push_back(static_cast<std::uint32_t>(i));
+    }
+    index.InsertBatch(ins, rows);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    int rays = 0;
+    index.PointLookup(rng(), &rays);
+    ASSERT_LE(rays, 5);
+  }
+}
+
+}  // namespace
+}  // namespace cgrx::core

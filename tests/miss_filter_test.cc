@@ -1,0 +1,150 @@
+// Tests for the Bloom miss-filter extension: the blocked Bloom filter
+// substrate itself (no false negatives, bounded false positives) and
+// its integration with cgRX (identical results, zero rays for filtered
+// misses, footprint accounting).
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/cgrx_index.h"
+#include "src/util/bloom_filter.h"
+#include "src/util/rng.h"
+#include "src/util/workloads.h"
+
+namespace cgrx {
+namespace {
+
+using ::cgrx::util::BloomFilter;
+using ::cgrx::util::Rng;
+
+TEST(BloomFilter, NeverReportsFalseNegatives) {
+  Rng rng(1);
+  BloomFilter filter(10000, 10.0);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 10000; ++i) keys.push_back(rng());
+  for (const auto k : keys) filter.Insert(k);
+  for (const auto k : keys) EXPECT_TRUE(filter.MayContain(k));
+}
+
+class BloomFprTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BloomFprTest, FalsePositiveRateIsBounded) {
+  const double bits_per_key = GetParam();
+  Rng rng(2);
+  BloomFilter filter(20000, bits_per_key);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 20000; ++i) keys.push_back(rng() | 1);
+  for (const auto k : keys) filter.Insert(k);
+  int false_positives = 0;
+  constexpr int kProbes = 20000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (filter.MayContain(rng() & ~1ULL)) ++false_positives;  // Even keys.
+  }
+  const double fpr =
+      static_cast<double>(false_positives) / static_cast<double>(kProbes);
+  // Blocked filters trade a little accuracy for single-line probes;
+  // generous bounds still catch broken hashing.
+  if (bits_per_key >= 12) {
+    EXPECT_LT(fpr, 0.02);
+  } else if (bits_per_key >= 8) {
+    EXPECT_LT(fpr, 0.08);
+  } else {
+    EXPECT_LT(fpr, 0.25);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitsPerKey, BloomFprTest,
+                         ::testing::Values(4.0, 8.0, 12.0, 16.0),
+                         [](const auto& info) {
+                           return "bits" + std::to_string(
+                                               static_cast<int>(info.param));
+                         });
+
+TEST(BloomFilter, EmptyFilterSaysMaybeToEverything) {
+  BloomFilter filter;
+  EXPECT_TRUE(filter.MayContain(0));
+  EXPECT_TRUE(filter.MayContain(~0ULL));
+  EXPECT_TRUE(filter.empty());
+}
+
+TEST(BloomFilter, FootprintMatchesConfiguredBits) {
+  BloomFilter filter(1 << 16, 8.0);
+  // 8 bits/key over 2^16 keys = 64 KiB, rounded to blocks.
+  EXPECT_NEAR(static_cast<double>(filter.MemoryFootprintBytes()), 65536.0,
+              64.0);
+}
+
+TEST(CgrxMissFilter, ResultsAreUnchanged) {
+  const auto keys = util::MakeDistributedKeySet(
+      util::KeyDistribution::kUniform, 5000, 64, 3);
+  core::CgrxConfig plain_cfg;
+  core::CgrxIndex64 plain(plain_cfg);
+  plain.Build(std::vector<std::uint64_t>(keys));
+  core::CgrxConfig filtered_cfg;
+  filtered_cfg.miss_filter_bits_per_key = 10.0;
+  core::CgrxIndex64 filtered(filtered_cfg);
+  filtered.Build(std::vector<std::uint64_t>(keys));
+  Rng rng(4);
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t k = i % 2 == 0 ? keys[rng.Below(keys.size())] : rng();
+    ASSERT_EQ(plain.PointLookup(k), filtered.PointLookup(k)) << k;
+  }
+}
+
+TEST(CgrxMissFilter, FilteredMissesFireNoRays) {
+  const auto keys = util::MakeDistributedKeySet(
+      util::KeyDistribution::kUniform, 5000, 64, 5);
+  core::CgrxConfig config;
+  config.miss_filter_bits_per_key = 10.0;
+  core::CgrxIndex64 index(config);
+  index.Build(std::vector<std::uint64_t>(keys));
+  Rng rng(6);
+  std::int64_t rays_on_misses = 0;
+  int misses = 0;
+  for (int i = 0; i < 3000; ++i) {
+    int rays = 0;
+    const auto r = index.PointLookup(rng(), &rays);
+    if (r.IsMiss()) {
+      rays_on_misses += rays;
+      ++misses;
+    }
+  }
+  ASSERT_GT(misses, 2900);  // Random 64-bit probes virtually never hit.
+  // Nearly every miss is filtered before any ray fires; only Bloom
+  // false positives pay the ray cost.
+  EXPECT_LT(static_cast<double>(rays_on_misses),
+            0.2 * static_cast<double>(misses));
+}
+
+TEST(CgrxMissFilter, FootprintGrowsByConfiguredBits) {
+  const auto keys = util::MakeDistributedKeySet(
+      util::KeyDistribution::kUniform, 20000, 64, 7);
+  core::CgrxConfig plain_cfg;
+  core::CgrxIndex64 plain(plain_cfg);
+  plain.Build(std::vector<std::uint64_t>(keys));
+  core::CgrxConfig filtered_cfg;
+  filtered_cfg.miss_filter_bits_per_key = 8.0;
+  core::CgrxIndex64 filtered(filtered_cfg);
+  filtered.Build(std::vector<std::uint64_t>(keys));
+  const auto delta =
+      filtered.MemoryFootprintBytes() - plain.MemoryFootprintBytes();
+  EXPECT_NEAR(static_cast<double>(delta), 20000.0, 600.0);  // ~1 B/key.
+}
+
+TEST(CgrxMissFilter, SurvivesRebuildUpdates) {
+  core::CgrxConfig config;
+  config.miss_filter_bits_per_key = 10.0;
+  core::CgrxIndex64 index(config);
+  index.Build(std::vector<std::uint64_t>{10, 20, 30});
+  index.InsertBatch({15, 25}, {3, 4});
+  EXPECT_EQ(index.PointLookup(15).match_count, 1u);
+  EXPECT_EQ(index.PointLookup(25).match_count, 1u);
+  index.EraseBatch({20});
+  EXPECT_TRUE(index.PointLookup(20).IsMiss());
+  EXPECT_EQ(index.PointLookup(10).match_count, 1u);
+}
+
+}  // namespace
+}  // namespace cgrx

@@ -1,0 +1,215 @@
+// Worked-example tests pinned to the paper's figures beyond Figure 4/5
+// (covered in core_cgrx_example_test): the Figure 6 multi-plane lookup
+// requiring the full five-ray worst case, and float32-exactness sweeps
+// of the scene geometry at the extreme corners of the 23-bit grid --
+// the representability argument the whole scheme rests on.
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/cgrx_index.h"
+#include "src/util/key_mapping.h"
+
+namespace cgrx::core {
+namespace {
+
+using ::cgrx::util::KeyMapping;
+
+// ---------------------------------------------------------------------
+// Figure 6: the extended key set spread across multiple planes.
+// ---------------------------------------------------------------------
+
+// Figure 6 key set: the Figure 4 keys plus {67,69,80,81,83,91,93} on
+// plane z=2 (example mapping: keys 64..95 live on z=2).
+std::vector<std::uint64_t> Figure6Keys() {
+  return {2,  4,  5,  6,  12, 17, 18, 19, 19, 19,
+          19, 19, 22, 91, 93};
+}
+
+CgrxConfig Figure6Config(Representation representation) {
+  CgrxConfig config;
+  config.bucket_size = 3;
+  config.representation = representation;
+  config.mapping_override = KeyMapping::Example();
+  return config;
+}
+
+TEST(PaperFigure6, LookupOfKey22CrossesPlanes) {
+  // Paper: "Lookup of key 22 when the key set is spread across multiple
+  // planes. The example shows the worst case where five rays are
+  // required": x-ray misses in row, y-ray misses on plane 0 above row 2,
+  // z-ray finds plane marker, then y-ray and x-ray resolve bucket 4.
+  //
+  // Key 22 is the last key of plane 0 here and a real key, so look up a
+  // *gap* value in the same situation too.
+  CgrxIndex64 naive(Figure6Config(Representation::kNaive));
+  naive.Build(Figure6Keys());
+  ASSERT_TRUE(naive.multi_plane());
+
+  // Key 22 exists (bucket 4 in Figure 4 numbering): found in-row.
+  EXPECT_EQ(naive.PointLookup(22).match_count, 1u);
+
+  // A key just above 22 but below the plane boundary exercises the full
+  // five-ray chain: no rep >= it on plane 0 at/after its row.
+  int rays = 0;
+  const auto bucket = naive.LocateBucket(23, &rays);
+  ASSERT_TRUE(bucket.has_value());
+  // First rep >= 23 is 93 (bucket 4: keys {91, 93} after 22's bucket).
+  EXPECT_EQ(*bucket, 4u);
+  EXPECT_EQ(rays, 5);  // The paper's worst case.
+  EXPECT_TRUE(naive.PointLookup(23).IsMiss());
+}
+
+TEST(PaperFigure6, DuplicateScanStopsAtFirstLargerKey) {
+  // Paper: "The scan stops as soon as the first key larger than 19 is
+  // found, namely 22. This ensures that all duplicates are visited."
+  for (const Representation rep :
+       {Representation::kNaive, Representation::kOptimized}) {
+    CgrxIndex64 index(Figure6Config(rep));
+    index.Build(Figure6Keys());
+    const auto r = index.PointLookup(19);
+    EXPECT_EQ(r.match_count, 5u);
+    // rowIDs are positions in the (sorted) build input: 7..11.
+    EXPECT_EQ(r.row_id_sum, 7u + 8u + 9u + 10u + 11u);
+  }
+}
+
+TEST(PaperFigure6, OptimizedResolvesCrossPlaneLookupsWithFewerRays) {
+  CgrxIndex64 naive(Figure6Config(Representation::kNaive));
+  naive.Build(Figure6Keys());
+  CgrxIndex64 optimized(Figure6Config(Representation::kOptimized));
+  optimized.Build(Figure6Keys());
+  int naive_rays = 0;
+  int optimized_rays = 0;
+  std::int64_t naive_total = 0;
+  std::int64_t optimized_total = 0;
+  for (std::uint64_t key = 0; key <= 95; ++key) {
+    const auto a = naive.PointLookup(key, &naive_rays);
+    const auto b = optimized.PointLookup(key, &optimized_rays);
+    ASSERT_EQ(a, b) << "key " << key;
+    naive_total += naive_rays;
+    optimized_total += optimized_rays;
+  }
+  EXPECT_LE(optimized_total, naive_total);
+}
+
+// ---------------------------------------------------------------------
+// Float32 exactness at the grid extremes (paper Section II: the key
+// mapping "is limited to 23 bits in each dimension to ensure correct
+// floating-point arithmetic").
+// ---------------------------------------------------------------------
+
+struct CornerCase {
+  std::uint32_t x;
+  std::uint32_t y;
+  std::uint32_t z;
+};
+
+class GridCornerTest : public ::testing::TestWithParam<CornerCase> {};
+
+TEST_P(GridCornerTest, LookupsWorkAtExtremeCoordinates) {
+  // Build a tiny index whose keys sit at an extreme grid corner; every
+  // lookup must behave exactly (hit the key, miss its neighbours).
+  // Failures here would indicate vertex or ray coordinates rounding
+  // across rows at the top of the float32 range.
+  const auto [gx, gy, gz] = GetParam();
+  const KeyMapping mapping = KeyMapping::Rx64Scaled();
+  const std::uint64_t key = mapping.KeyOf({gx, gy, gz});
+  std::vector<std::uint64_t> keys = {key};
+  if (key > 0) keys.push_back(key - 1);
+  if (key < ~0ULL) keys.push_back(key + 1);
+  for (const Representation rep :
+       {Representation::kNaive, Representation::kOptimized}) {
+    CgrxConfig config;
+    config.bucket_size = 2;
+    config.representation = rep;
+    CgrxIndex64 index(config);
+    index.Build(std::vector<std::uint64_t>(keys));
+    for (const std::uint64_t k : keys) {
+      EXPECT_EQ(index.PointLookup(k).match_count, 1u)
+          << "key " << k << " rep " << static_cast<int>(rep);
+    }
+    // Neighbouring grid positions beyond the stored band must miss.
+    if (key > 2) {
+      EXPECT_TRUE(index.PointLookup(key - 2).IsMiss());
+    }
+    if (key < ~0ULL - 2) {
+      EXPECT_TRUE(index.PointLookup(key + 2).IsMiss());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corners, GridCornerTest,
+    ::testing::Values(
+        CornerCase{0, 0, 0},
+        // Top of the x range (ulp(2^23) = 1; half-offsets need care).
+        CornerCase{(1u << 23) - 1, 0, 0},
+        // Top of the y range: world y ~ 2^38, ulp = 2^14 = step/2.
+        CornerCase{0, (1u << 23) - 1, 0},
+        // Top of the z range: world z ~ 2^43, ulp = 2^20.
+        CornerCase{0, 0, (1u << 18) - 1},
+        // All three maxed: the worst corner of the grid.
+        CornerCase{(1u << 23) - 1, (1u << 23) - 1, (1u << 18) - 1},
+        // Mid-range mixed.
+        CornerCase{(1u << 22) + 3, (1u << 22) + 5, (1u << 17) + 7}),
+    [](const auto& info) {
+      return "x" + std::to_string(info.param.x) + "y" +
+             std::to_string(info.param.y) + "z" +
+             std::to_string(info.param.z);
+    });
+
+TEST(GridExactness, WorldCoordinatesRoundTripAtEveryPowerOfTwo) {
+  // World coordinates and their half-step ray offsets must be exact for
+  // grid values around every power of two in the 23-bit range.
+  const KeyMapping m = KeyMapping::Rx64Scaled();
+  for (int e = 0; e < 23; ++e) {
+    for (const std::int64_t delta : {-1, 0, 1}) {
+      const std::int64_t gy = (std::int64_t{1} << e) + delta;
+      if (gy < 0 || gy > m.y_max()) continue;
+      const double world = static_cast<double>(m.WorldY(gy));
+      EXPECT_EQ(world, static_cast<double>(gy) *
+                           static_cast<double>(m.step_y()))
+          << "gy " << gy;
+      // Half-step ray origin offset is exactly representable.
+      const float origin = m.WorldY(gy) - 0.5f * m.step_y();
+      EXPECT_EQ(static_cast<double>(origin),
+                (static_cast<double>(gy) - 0.5) *
+                    static_cast<double>(m.step_y()))
+          << "gy " << gy;
+    }
+  }
+}
+
+TEST(GridExactness, TriangleVerticesStayWithinHalfStep) {
+  // The mkTri offsets must never round onto a neighbouring row/plane,
+  // even at the top of the float range. Build single-key scenes at the
+  // extremes and check the stored vertex coordinates.
+  const KeyMapping m = KeyMapping::Rx64Scaled();
+  for (const std::uint32_t gy : {0u, 1u << 22, (1u << 23) - 1}) {
+    const std::uint64_t key = m.KeyOf({5, gy, 7});
+    CgrxConfig config;
+    config.bucket_size = 1;
+    CgrxIndex64 index(config);
+    index.Build(std::vector<std::uint64_t>{key});
+    const auto& soup = index.scene().soup();
+    ASSERT_GE(soup.size(), 1u);
+    const double center_y = static_cast<double>(m.WorldY(gy));
+    const double step = m.step_y();
+    for (int corner = 0; corner < 3; ++corner) {
+      const double vy = soup.Vertex(0, corner).y;
+      EXPECT_LE(std::abs(vy - center_y), 0.5 * step)
+          << "gy " << gy << " corner " << corner;
+    }
+    // The triangle did not collapse in y (it must stay hittable from
+    // every axis).
+    const double y0 = soup.Vertex(0, 0).y;
+    const double y1 = soup.Vertex(0, 1).y;
+    EXPECT_NE(y0, y1) << "gy " << gy;
+  }
+}
+
+}  // namespace
+}  // namespace cgrx::core

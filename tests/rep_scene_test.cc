@@ -1,0 +1,250 @@
+// Direct unit tests for RepScene, the shared raytraced
+// bucket-location machinery of cgRX and cgRXu: exhaustive Locate sweeps
+// against a reference ("first representative >= key"), marker layout
+// across rows and planes, flip semantics, and the ray-count contract.
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/rep_scene.h"
+#include "src/util/key_mapping.h"
+#include "src/util/rng.h"
+
+namespace cgrx::core {
+namespace {
+
+using ::cgrx::util::KeyMapping;
+using ::cgrx::util::Rng;
+
+/// Reference implementation: index of the first rep >= key.
+std::optional<std::uint32_t> ReferenceLocate(
+    const std::vector<std::uint64_t>& reps, std::uint64_t key) {
+  const auto it = std::lower_bound(reps.begin(), reps.end(), key);
+  if (it == reps.end()) return std::nullopt;
+  return static_cast<std::uint32_t>(it - reps.begin());
+}
+
+/// Locate contract checker. The naive representation returns exactly
+/// the first rep >= key. The optimized representation may return one
+/// bucket EARLY for keys that are not representatives: paper rule (1)
+/// moves a representative r to r' with r < r' < nextKey, so a gap key
+/// in (r, r'] hits the moved triangle of r's bucket. That is correct by
+/// construction -- no key exists in the gap, so point lookups miss in
+/// the bucket search and range scans (which scan forward) start one
+/// bucket early at worst.
+void ExpectLocateValid(const RepScene& scene,
+                       const std::vector<std::uint64_t>& reps,
+                       std::uint64_t key, Representation representation) {
+  const auto got = scene.Locate(key);
+  const auto reference = ReferenceLocate(reps, key);
+  ASSERT_EQ(got.has_value(), reference.has_value()) << "key " << key;
+  if (!got.has_value()) return;
+  const bool is_rep =
+      std::binary_search(reps.begin(), reps.end(), key);
+  if (representation == Representation::kNaive || is_rep) {
+    ASSERT_EQ(*got, *reference) << "key " << key;
+    return;
+  }
+  ASSERT_TRUE(*got == *reference ||
+              (*reference > 0 && *got == *reference - 1))
+      << "key " << key << " got " << *got << " reference " << *reference;
+}
+
+/// Movable flags derived from reps alone (tests use rep == last key of
+/// its bucket with no trailing keys, so the next bucket's rep is the
+/// next key).
+std::vector<std::uint8_t> MovableFlags(const std::vector<std::uint64_t>& reps,
+                                       const KeyMapping& mapping) {
+  std::vector<std::uint8_t> movable(reps.size());
+  for (std::size_t b = 0; b < reps.size(); ++b) {
+    movable[b] = b + 1 >= reps.size() ||
+                 mapping.RowKey(reps[b + 1]) != mapping.RowKey(reps[b]);
+  }
+  return movable;
+}
+
+RepScene::Options Options(Representation representation,
+                          bool flipping = true) {
+  RepScene::Options options;
+  options.representation = representation;
+  options.enable_flipping = flipping;
+  return options;
+}
+
+class RepSceneSweepTest : public ::testing::TestWithParam<Representation> {};
+
+TEST_P(RepSceneSweepTest, ExhaustiveLocateOnExampleMapping) {
+  // Reps scattered over rows and planes of the tiny example mapping
+  // (x: 3 bits, y: 2 bits, z: rest); sweep every key in [0, 160).
+  const KeyMapping mapping = KeyMapping::Example();
+  const std::vector<std::uint64_t> reps = {5, 17, 19, 23, 40, 41, 63,
+                                           64, 95, 129, 155};
+  RepScene scene;
+  scene.Build(reps, MovableFlags(reps, mapping), mapping,
+              Options(GetParam()));
+  EXPECT_TRUE(scene.multi_line());
+  EXPECT_TRUE(scene.multi_plane());
+  for (std::uint64_t key = 0; key < 160; ++key) {
+    int rays = 0;
+    scene.Locate(key, &rays);
+    ASSERT_LE(rays, 5) << "key " << key;
+    ExpectLocateValid(scene, reps, key, GetParam());
+  }
+  EXPECT_FALSE(scene.Locate(200).has_value());
+}
+
+TEST_P(RepSceneSweepTest, DuplicateRepsResolveToFirstOfGroup) {
+  const KeyMapping mapping = KeyMapping::Example();
+  const std::vector<std::uint64_t> reps = {5, 9, 9, 9, 30, 30, 50};
+  RepScene scene;
+  scene.Build(reps, MovableFlags(reps, mapping), mapping,
+              Options(GetParam()));
+  // The duplicated rep value itself must resolve to the group's FIRST
+  // bucket (that is where the scan for duplicates starts).
+  {
+    const auto got = scene.Locate(9);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 1u);
+  }
+  {
+    const auto got = scene.Locate(30);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 4u);
+  }
+  // Gap keys obey the relaxed contract (exact or one early).
+  for (std::uint64_t key = 6; key <= 29; ++key) {
+    ExpectLocateValid(scene, reps, key, GetParam());
+  }
+}
+
+TEST_P(RepSceneSweepTest, RandomRepSetsAcrossFullMapping) {
+  const KeyMapping mapping = KeyMapping::Rx64Scaled();
+  Rng rng(17);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::uint64_t> reps;
+    for (int i = 0; i < 400; ++i) reps.push_back(rng());
+    std::sort(reps.begin(), reps.end());
+    reps.erase(std::unique(reps.begin(), reps.end()), reps.end());
+    RepScene scene;
+    scene.Build(reps, MovableFlags(reps, mapping), mapping,
+                Options(GetParam()));
+    for (int probe = 0; probe < 2000; ++probe) {
+      const std::uint64_t key = probe % 2 == 0
+                                    ? reps[rng.Below(reps.size())]
+                                    : rng();
+      int rays = 0;
+      scene.Locate(key, &rays);
+      ASSERT_LE(rays, 5);
+      ExpectLocateValid(scene, reps, key, GetParam());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Representations, RepSceneSweepTest,
+                         ::testing::Values(Representation::kNaive,
+                                           Representation::kOptimized),
+                         [](const auto& info) {
+                           return info.param == Representation::kNaive
+                                      ? "Naive"
+                                      : "Optimized";
+                         });
+
+TEST(RepSceneMarkers, SingleRowSkipsAllMarkers) {
+  // All reps in one row: neither representation allocates marker slots.
+  const KeyMapping mapping = KeyMapping::Example();
+  const std::vector<std::uint64_t> reps = {1, 3, 5, 7};  // Row y=0.
+  for (const auto representation :
+       {Representation::kNaive, Representation::kOptimized}) {
+    RepScene scene;
+    scene.Build(reps, MovableFlags(reps, mapping), mapping,
+                Options(representation));
+    EXPECT_FALSE(scene.multi_line());
+    EXPECT_FALSE(scene.multi_plane());
+    EXPECT_EQ(scene.scene().soup().size(), reps.size());
+  }
+}
+
+TEST(RepSceneMarkers, NaiveAllocatesRowAndPlaneRegions) {
+  const KeyMapping mapping = KeyMapping::Example();
+  const std::vector<std::uint64_t> reps = {1, 9, 40};  // Rows + planes.
+  RepScene scene;
+  scene.Build(reps, MovableFlags(reps, mapping), mapping,
+              Options(Representation::kNaive));
+  EXPECT_TRUE(scene.multi_line());
+  EXPECT_TRUE(scene.multi_plane());
+  // reps + row markers + plane markers = 3 regions.
+  EXPECT_EQ(scene.scene().soup().size(), 3 * reps.size());
+}
+
+TEST(RepSceneFlip, FlippingNeverChangesResults) {
+  const KeyMapping mapping = KeyMapping::Rx64Scaled();
+  Rng rng(23);
+  std::vector<std::uint64_t> reps;
+  for (int i = 0; i < 300; ++i) reps.push_back(rng());
+  std::sort(reps.begin(), reps.end());
+  reps.erase(std::unique(reps.begin(), reps.end()), reps.end());
+  const auto movable = MovableFlags(reps, mapping);
+  RepScene with;
+  with.Build(reps, movable, mapping,
+             Options(Representation::kOptimized, /*flipping=*/true));
+  RepScene without;
+  without.Build(reps, movable, mapping,
+                Options(Representation::kOptimized, /*flipping=*/false));
+  std::int64_t rays_with = 0;
+  std::int64_t rays_without = 0;
+  for (int probe = 0; probe < 3000; ++probe) {
+    const std::uint64_t key = rng();
+    int rw = 0;
+    int rwo = 0;
+    ASSERT_EQ(with.Locate(key, &rw), without.Locate(key, &rwo)) << key;
+    rays_with += rw;
+    rays_without += rwo;
+  }
+  EXPECT_LE(rays_with, rays_without);
+}
+
+TEST(RepSceneEdge, EmptyAndSingleRep) {
+  const KeyMapping mapping = KeyMapping::Rx64Scaled();
+  RepScene empty;
+  empty.Build({}, {}, mapping, Options(Representation::kOptimized));
+  EXPECT_FALSE(empty.Locate(42).has_value());
+
+  RepScene single;
+  single.Build({1000}, {1}, mapping, Options(Representation::kOptimized));
+  EXPECT_EQ(single.Locate(0), std::optional<std::uint32_t>(0));
+  EXPECT_EQ(single.Locate(1000), std::optional<std::uint32_t>(0));
+  EXPECT_FALSE(single.Locate(1001).has_value());
+}
+
+TEST(RepSceneEdge, BelowMinRepShortCircuitsWithoutRays) {
+  const KeyMapping mapping = KeyMapping::Rx64Scaled();
+  RepScene scene;
+  scene.Build({100, 200, 300}, {1, 1, 1}, mapping,
+              Options(Representation::kOptimized));
+  int rays = -1;
+  EXPECT_EQ(scene.Locate(50, &rays), std::optional<std::uint32_t>(0));
+  EXPECT_EQ(rays, 0);  // Paper Alg. 2 line 2: no ray fired.
+}
+
+TEST(RepSceneMemory, OptimizedNeverLargerThanNaive) {
+  const KeyMapping mapping = KeyMapping::Rx64Scaled();
+  Rng rng(29);
+  std::vector<std::uint64_t> reps;
+  for (int i = 0; i < 1000; ++i) reps.push_back(rng());
+  std::sort(reps.begin(), reps.end());
+  reps.erase(std::unique(reps.begin(), reps.end()), reps.end());
+  const auto movable = MovableFlags(reps, mapping);
+  RepScene naive;
+  naive.Build(reps, movable, mapping, Options(Representation::kNaive));
+  RepScene optimized;
+  optimized.Build(reps, movable, mapping,
+                  Options(Representation::kOptimized));
+  EXPECT_LE(optimized.ActiveTriangleCount(), naive.ActiveTriangleCount());
+  EXPECT_LE(optimized.MemoryFootprintBytes(), naive.MemoryFootprintBytes());
+}
+
+}  // namespace
+}  // namespace cgrx::core

@@ -1,0 +1,423 @@
+// Unit and property tests for the util substrate: key mappings (bit
+// slicing, float32 exactness, scaling), radix sort, Zipf sampling,
+// workload generators, RNG and the thread pool.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/key_mapping.h"
+#include "src/util/radix_sort.h"
+#include "src/util/rng.h"
+#include "src/util/table_printer.h"
+#include "src/util/thread_pool.h"
+#include "src/util/workloads.h"
+#include "src/util/zipf.h"
+
+namespace cgrx::util {
+namespace {
+
+// ---------------------------------------------------------------------
+// KeyMapping.
+// ---------------------------------------------------------------------
+
+TEST(KeyMapping, SlicesTheDocumentedBitRanges64) {
+  const KeyMapping m = KeyMapping::Rx64Unscaled();
+  // k -> (k22:0, k45:23, k63:46).
+  const std::uint64_t k = 0xABCDEF0123456789ULL;
+  const GridCoords g = m.GridOf(k);
+  EXPECT_EQ(g.x, k & 0x7fffff);
+  EXPECT_EQ(g.y, (k >> 23) & 0x7fffff);
+  EXPECT_EQ(g.z, (k >> 46) & 0x3ffff);
+}
+
+TEST(KeyMapping, SlicesTheDocumentedBitRanges32) {
+  const KeyMapping m = KeyMapping::Rx32Unscaled();
+  const std::uint64_t k = 0x89ABCDEF;
+  const GridCoords g = m.GridOf(k);
+  EXPECT_EQ(g.x, k & 0x7fffff);
+  EXPECT_EQ(g.y, k >> 23);
+  EXPECT_EQ(g.z, 0u);
+}
+
+TEST(KeyMapping, RoundTripsRandomKeys) {
+  Rng rng(1);
+  for (const KeyMapping& m :
+       {KeyMapping::Rx64Unscaled(), KeyMapping::Rx64Scaled(),
+        KeyMapping::Example()}) {
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t k =
+          rng() & (m.key_bits() == 64 ? ~0ULL : ((1ULL << m.key_bits()) - 1));
+      EXPECT_EQ(m.KeyOf(m.GridOf(k)), k);
+    }
+  }
+}
+
+TEST(KeyMapping, RoundTrips32BitKeys) {
+  const KeyMapping m = KeyMapping::Rx32Scaled();
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t k = rng() & 0xffffffffULL;
+    EXPECT_EQ(m.KeyOf(m.GridOf(k)), k);
+  }
+}
+
+TEST(KeyMapping, RowAndPlaneKeysGroupCorrectly) {
+  const KeyMapping m = KeyMapping::Example();  // x:3 bits, y:2 bits.
+  EXPECT_EQ(m.RowKey(0), m.RowKey(7));    // Same row 0.
+  EXPECT_NE(m.RowKey(7), m.RowKey(8));    // Row boundary at x wrap.
+  EXPECT_EQ(m.PlaneKey(0), m.PlaneKey(31));
+  EXPECT_NE(m.PlaneKey(31), m.PlaneKey(32));
+}
+
+TEST(KeyMapping, WorldCoordinatesAreExactAcrossTheGrid) {
+  // Scaled world coordinates and their half-step offsets must be exact
+  // float32 values over the full 23-bit grid: g * 2^s and
+  // (2g +- 1) * 2^(s-1) need at most 24 significand bits.
+  const KeyMapping m = KeyMapping::Rx64Scaled();
+  for (const std::int64_t gy :
+       {std::int64_t{0}, std::int64_t{1}, std::int64_t{12345},
+        std::int64_t{1} << 22, (std::int64_t{1} << 23) - 1}) {
+    const float y = m.WorldY(gy);
+    const float half = 0.5f * m.step_y();
+    // Exactness: the doubled value must reconstruct the integer grid.
+    EXPECT_EQ(static_cast<double>(y),
+              static_cast<double>(gy) * static_cast<double>(m.step_y()));
+    const float y_lo = y - half;
+    const float y_hi = y + half;
+    EXPECT_EQ(static_cast<double>(y_hi) - static_cast<double>(y_lo),
+              static_cast<double>(m.step_y()));
+    EXPECT_LT(static_cast<double>(y_lo), static_cast<double>(y));
+    EXPECT_GT(static_cast<double>(y_hi), static_cast<double>(y));
+  }
+}
+
+TEST(KeyMapping, ScaledMappingIsOrderPreservingPerRow) {
+  const KeyMapping m = KeyMapping::Rx64Scaled();
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t a = rng();
+    const std::uint64_t b = rng();
+    if (m.RowKey(a) != m.RowKey(b)) continue;
+    const auto ga = m.GridOf(a);
+    const auto gb = m.GridOf(b);
+    EXPECT_EQ(a < b, ga.x < gb.x);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Radix sort.
+// ---------------------------------------------------------------------
+
+class RadixSortTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RadixSortTest, MatchesStdStableSort) {
+  const int key_bits = GetParam();
+  Rng rng(42);
+  for (const std::size_t n : {0UL, 1UL, 2UL, 100UL, 4096UL, 100000UL}) {
+    std::vector<std::uint64_t> keys(n);
+    std::vector<std::uint32_t> vals(n);
+    const std::uint64_t mask =
+        key_bits == 64 ? ~0ULL : ((1ULL << key_bits) - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      keys[i] = rng() & mask;
+      vals[i] = static_cast<std::uint32_t>(i);
+    }
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> expected(n);
+    for (std::size_t i = 0; i < n; ++i) expected[i] = {keys[i], vals[i]};
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    RadixSortPairs(&keys, &vals, key_bits);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(keys[i], expected[i].first);
+      EXPECT_EQ(vals[i], expected[i].second);  // Stability.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KeyWidths, RadixSortTest,
+                         ::testing::Values(16, 32, 48, 64));
+
+TEST(RadixSort, SortsDuplicateHeavyInputStably) {
+  std::vector<std::uint64_t> keys = {5, 3, 5, 3, 5, 1, 3};
+  std::vector<std::uint32_t> vals = {0, 1, 2, 3, 4, 5, 6};
+  RadixSortPairs(&keys, &vals, 8);
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{1, 3, 3, 3, 5, 5, 5}));
+  EXPECT_EQ(vals, (std::vector<std::uint32_t>{5, 1, 3, 6, 0, 2, 4}));
+}
+
+TEST(RadixSort, KeysOnly) {
+  Rng rng(9);
+  std::vector<std::uint64_t> keys(5000);
+  for (auto& k : keys) k = rng();
+  std::vector<std::uint64_t> expected = keys;
+  std::sort(expected.begin(), expected.end());
+  RadixSortKeys(&keys, 64);
+  EXPECT_EQ(keys, expected);
+}
+
+// ---------------------------------------------------------------------
+// Rng.
+// ---------------------------------------------------------------------
+
+TEST(Rng, IsDeterministicPerSeed) {
+  Rng a(7);
+  Rng b(7);
+  Rng c(8);
+  bool all_equal_c = true;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a();
+    EXPECT_EQ(va, b());
+    if (va != c()) all_equal_c = false;
+  }
+  EXPECT_FALSE(all_equal_c);
+}
+
+TEST(Rng, BelowIsInRangeAndRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t v = rng.Below(10);
+    ASSERT_LT(v, 10u);
+    counts[static_cast<std::size_t>(v)]++;
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 100);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Zipf.
+// ---------------------------------------------------------------------
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  ZipfGenerator zipf(100, 0.0);
+  Rng rng(5);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) counts[zipf.Next(&rng)]++;
+  const auto [min_it, max_it] = std::minmax_element(counts.begin(),
+                                                    counts.end());
+  EXPECT_GT(*min_it, 600);
+  EXPECT_LT(*max_it, 1400);
+}
+
+class ZipfSkewTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkewTest, RankZeroDominatesWithSkew) {
+  const double theta = GetParam();
+  ZipfGenerator zipf(1 << 16, theta);
+  Rng rng(6);
+  constexpr int kDraws = 50000;
+  int rank0 = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::size_t r = zipf.Next(&rng);
+    ASSERT_LT(r, std::size_t{1} << 16);
+    if (r == 0) ++rank0;
+  }
+  // Under uniformity rank 0 gets ~0.76 draws; any real skew gives
+  // orders of magnitude more.
+  EXPECT_GT(rank0, 50);
+  // Higher theta concentrates more mass on rank 0.
+  if (theta >= 1.5) {
+    EXPECT_GT(rank0, kDraws / 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfSkewTest,
+                         ::testing::Values(0.5, 0.75, 1.0, 1.5, 2.0));
+
+// ---------------------------------------------------------------------
+// Workloads.
+// ---------------------------------------------------------------------
+
+TEST(Workloads, UniformityModelProducesDensePrefix) {
+  KeySetConfig cfg;
+  cfg.count = 10000;
+  cfg.key_bits = 32;
+  cfg.uniformity = 0.2;
+  auto keys = MakeKeySet(cfg);
+  ASSERT_EQ(keys.size(), cfg.count);
+  std::sort(keys.begin(), keys.end());
+  // The first 80% must be exactly 0..7999 (the dense part).
+  for (std::size_t i = 0; i < 8000; ++i) EXPECT_EQ(keys[i], i);
+  // The sparse part lies above the dense prefix.
+  for (std::size_t i = 8000; i < keys.size(); ++i) {
+    EXPECT_GE(keys[i], 8000u);
+    EXPECT_LE(keys[i], 0xffffffffULL);
+  }
+}
+
+TEST(Workloads, KeySetsAreDistinct) {
+  for (const double uniformity : {0.0, 0.5, 1.0}) {
+    KeySetConfig cfg;
+    cfg.count = 20000;
+    cfg.key_bits = 64;
+    cfg.uniformity = uniformity;
+    auto keys = MakeKeySet(cfg);
+    std::sort(keys.begin(), keys.end());
+    EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end())
+        << "uniformity " << uniformity;
+  }
+}
+
+TEST(Workloads, AllNineteenDistributionsGenerate) {
+  ASSERT_EQ(AllKeyDistributions().size(), 19u);
+  for (const KeyDistribution d : AllKeyDistributions()) {
+    for (const int bits : {32, 64}) {
+      const auto keys = MakeDistributedKeySet(d, 4096, bits, 99);
+      EXPECT_EQ(keys.size(), 4096u) << ToString(d);
+      if (bits == 32) {
+        for (const auto k : keys) EXPECT_LE(k, 0xffffffffULL) << ToString(d);
+      }
+    }
+  }
+}
+
+TEST(Workloads, DuplicateHeavyActuallyHasDuplicates) {
+  auto keys = MakeDistributedKeySet(KeyDistribution::kDuplicateHeavy, 8192,
+                                    64, 3);
+  std::set<std::uint64_t> distinct(keys.begin(), keys.end());
+  EXPECT_LT(distinct.size(), keys.size() / 4);
+}
+
+TEST(Workloads, LookupBatchRespectsMissFractions) {
+  KeySetConfig cfg;
+  cfg.count = 10000;
+  cfg.key_bits = 32;
+  cfg.uniformity = 1.0;
+  const auto keys = MakeKeySet(cfg);
+  auto sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  LookupBatchConfig lcfg;
+  lcfg.count = 20000;
+  lcfg.miss_anywhere = 0.3;
+  lcfg.miss_out_of_range = 0.1;
+  const auto batch = MakeLookupBatch(keys, sorted, 32, lcfg);
+  ASSERT_EQ(batch.size(), lcfg.count);
+  std::size_t misses = 0;
+  std::size_t out_of_range = 0;
+  for (const auto v : batch) {
+    if (!std::binary_search(sorted.begin(), sorted.end(), v)) ++misses;
+    if (v > sorted.back()) ++out_of_range;
+  }
+  EXPECT_NEAR(static_cast<double>(misses) / 20000.0, 0.4, 0.03);
+  EXPECT_NEAR(static_cast<double>(out_of_range) / 20000.0, 0.1, 0.02);
+}
+
+TEST(Workloads, ZipfLookupsSkewTowardsFewKeys) {
+  KeySetConfig cfg;
+  cfg.count = 10000;
+  cfg.key_bits = 32;
+  cfg.uniformity = 1.0;
+  const auto keys = MakeKeySet(cfg);
+  auto sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  LookupBatchConfig lcfg;
+  lcfg.count = 50000;
+  lcfg.zipf_theta = 1.5;
+  const auto batch = MakeLookupBatch(keys, sorted, 32, lcfg);
+  std::set<std::uint64_t> distinct(batch.begin(), batch.end());
+  EXPECT_LT(distinct.size(), 5000u);  // Heavy reuse of popular keys.
+}
+
+TEST(Workloads, RangeQueriesCoverExactlyExpectedHits) {
+  KeySetConfig cfg;
+  cfg.count = 5000;
+  cfg.key_bits = 32;
+  cfg.uniformity = 0.5;
+  auto keys = MakeKeySet(cfg);
+  std::sort(keys.begin(), keys.end());
+  for (const std::size_t hits : {1UL, 16UL, 256UL}) {
+    const auto queries = MakeRangeQueries(keys, 100, hits, 1);
+    for (const RangeQuery& q : queries) {
+      const auto lo =
+          std::lower_bound(keys.begin(), keys.end(), q.lo) - keys.begin();
+      const auto hi =
+          std::upper_bound(keys.begin(), keys.end(), q.hi) - keys.begin();
+      EXPECT_EQ(static_cast<std::size_t>(hi - lo), hits);
+    }
+  }
+}
+
+TEST(Workloads, SplitIntoWavesPreservesAllKeys) {
+  std::vector<std::uint64_t> keys(1003);
+  std::iota(keys.begin(), keys.end(), 0);
+  const auto waves = SplitIntoWaves(keys, 8);
+  ASSERT_EQ(waves.size(), 8u);
+  std::size_t total = 0;
+  for (const auto& w : waves) total += w.size();
+  EXPECT_EQ(total, keys.size());
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool.
+// ---------------------------------------------------------------------
+
+TEST(ThreadPool, CoversTheWholeRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.ParallelFor(0, hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, HandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int count = 0;
+  pool.ParallelFor(5, 5, [&](std::size_t, std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  std::atomic<int> total{0};
+  pool.ParallelFor(0, 1, [&](std::size_t b, std::size_t e) {
+    total += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(total.load(), 1);
+}
+
+TEST(ThreadPool, SequentialCallsReuseWorkers) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.ParallelFor(0, 1000, [&](std::size_t b, std::size_t e) {
+      std::size_t local = 0;
+      for (std::size_t i = b; i < e; ++i) local += i;
+      sum += local;
+    });
+    EXPECT_EQ(sum.load(), 1000u * 999u / 2u);
+  }
+}
+
+// ---------------------------------------------------------------------
+// TablePrinter.
+// ---------------------------------------------------------------------
+
+TEST(TablePrinter, FormatsNumbersAndBytes) {
+  EXPECT_EQ(TablePrinter::Num(12.3456, 2), "12.35");
+  EXPECT_EQ(TablePrinter::Num(12.0, 2), "12");
+  EXPECT_EQ(TablePrinter::Num(0.5, 3), "0.5");
+  EXPECT_EQ(TablePrinter::Bytes(512), "512 B");
+  EXPECT_EQ(TablePrinter::Bytes(2048), "2.00 KiB");
+  EXPECT_EQ(TablePrinter::Bytes(3 * 1024 * 1024), "3.00 MiB");
+}
+
+TEST(TablePrinter, RendersAlignedRows) {
+  TablePrinter table("demo");
+  table.SetColumns({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name", "2"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cgrx::util
