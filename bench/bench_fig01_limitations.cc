@@ -35,10 +35,11 @@ void RegisterFigure() {
         cfg.uniformity = 0.2;
         const auto keys = util::MakeKeySet(cfg);
         std::vector<std::string> row = {std::to_string(log2)};
-        for (IndexOps ops :
+        for (BenchIndex competitor :
              {MakeRx(32), MakeSa(32), MakeBPlus(), MakeHt(32)}) {
-          ops.build(keys);
-          row.push_back(util::TablePrinter::Bytes(ops.footprint()));
+          competitor.index.Build(keys);
+          row.push_back(
+              util::TablePrinter::Bytes(competitor.index.Stats().memory_bytes));
         }
         table.AddRow(row);
       }
@@ -69,11 +70,11 @@ void RegisterFigure() {
         std::vector<core::KeyRange<std::uint64_t>> ranges;
         for (const auto& q : queries) ranges.push_back({q.lo, q.hi});
         std::vector<std::string> row = {std::to_string(hits_log2)};
-        for (IndexOps ops : {MakeRx(32), MakeSa(32), MakeBPlus()}) {
-          ops.build(keys);
+        for (BenchIndex competitor : {MakeRx(32), MakeSa(32), MakeBPlus()}) {
+          competitor.index.Build(keys);
           std::vector<core::LookupResult> results;
-          const double ms =
-              MeasureMs([&] { ops.range_batch(ranges, &results); });
+          const double ms = MeasureMs(
+              [&] { competitor.index.RangeLookupBatch(ranges, &results); });
           row.push_back(util::TablePrinter::Num(ms, 2));
           benchmark::DoNotOptimize(results.data());
         }

@@ -15,16 +15,16 @@
 namespace cgrx::bench {
 namespace {
 
-std::vector<IndexOps> RangeCompetitors() {
-  std::vector<IndexOps> ops;
-  ops.push_back(MakeCgrx(32, 32));
-  ops.push_back(MakeCgrx(32, 256));
-  ops.push_back(MakeRx(32));
-  ops.push_back(MakeSa(32));
-  ops.push_back(MakeBPlus());
-  ops.push_back(MakeRtScan(32));
-  ops.push_back(MakeFullScan(32));
-  return ops;
+std::vector<BenchIndex> RangeCompetitors() {
+  std::vector<BenchIndex> competitors;
+  competitors.push_back(MakeCgrx(32, 32));
+  competitors.push_back(MakeCgrx(32, 256));
+  competitors.push_back(MakeRx(32));
+  competitors.push_back(MakeSa(32));
+  competitors.push_back(MakeBPlus());
+  competitors.push_back(MakeRtScan(32));
+  competitors.push_back(MakeFullScan(32));
+  return competitors;
 }
 
 }  // namespace
@@ -34,7 +34,9 @@ void RegisterFigure() {
   auto& table = Table("Fig14: normalized cumulative range-lookup time "
                       "[us/entry]");
   std::vector<std::string> columns = {"expected hits [2^n]"};
-  for (const IndexOps& ops : RangeCompetitors()) columns.push_back(ops.name);
+  for (const BenchIndex& competitor : RangeCompetitors()) {
+    columns.push_back(competitor.name);
+  }
   table.SetColumns(columns);
 
   for (const int hits_log2 : {0, 4, 8, 12, 16, 20, 24}) {
@@ -58,13 +60,13 @@ void RegisterFigure() {
           for (const auto& q : queries) ranges.push_back({q.lo, q.hi});
           std::vector<std::string> row = {std::to_string(hits_log2)};
           for (auto _ : state) {
-            for (IndexOps& ops : RangeCompetitors()) {
-              ops.build(keys);
+            for (BenchIndex& competitor : RangeCompetitors()) {
+              competitor.index.Build(keys);
               // RTScan and FullScan pay per-query costs orders of
               // magnitude higher; a smaller batch keeps the suite
               // runnable and the per-entry metric comparable.
-              const bool expensive = ops.name == "RTScan(RTc1)" ||
-                                     ops.name == "FullScan";
+              const bool expensive = competitor.name == "RTScan(RTc1)" ||
+                                     competitor.name == "FullScan";
               std::vector<core::KeyRange<std::uint64_t>> batch(
                   ranges.begin(),
                   expensive
@@ -73,8 +75,9 @@ void RegisterFigure() {
                                 std::min<std::size_t>(32, ranges.size()))
                       : ranges.end());
               std::vector<core::LookupResult> results;
-              const double ms =
-                  MeasureMs([&] { ops.range_batch(batch, &results); });
+              const double ms = MeasureMs([&] {
+                competitor.index.RangeLookupBatch(batch, &results);
+              });
               std::uint64_t retrieved = 0;
               for (const auto& r : results) retrieved += r.match_count;
               const double us_per_entry =

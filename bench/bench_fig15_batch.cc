@@ -15,17 +15,17 @@
 namespace cgrx::bench {
 namespace {
 
-std::vector<IndexOps> BatchCompetitors() {
-  std::vector<IndexOps> ops;
-  ops.push_back(MakeCgrx(32, 32));
-  ops.push_back(MakeCgrx(32, 256));
-  ops.push_back(MakeCgrxu(32, 64));
-  ops.push_back(MakeCgrxu(32, 128));
-  ops.push_back(MakeRx(32));
-  ops.push_back(MakeSa(32));
-  ops.push_back(MakeBPlus());
-  ops.push_back(MakeHt(32));
-  return ops;
+std::vector<BenchIndex> BatchCompetitors() {
+  std::vector<BenchIndex> competitors;
+  competitors.push_back(MakeCgrx(32, 32));
+  competitors.push_back(MakeCgrx(32, 256));
+  competitors.push_back(MakeCgrxu(32, 64));
+  competitors.push_back(MakeCgrxu(32, 128));
+  competitors.push_back(MakeRx(32));
+  competitors.push_back(MakeSa(32));
+  competitors.push_back(MakeBPlus());
+  competitors.push_back(MakeHt(32));
+  return competitors;
 }
 
 }  // namespace
@@ -34,9 +34,11 @@ void RegisterFigure() {
   const auto& scale = Scale::Get();
   auto& table = Table("Fig15: time per lookup [us] vs batch size");
   std::vector<std::string> columns = {"batch size [2^n]"};
-  auto competitors = std::make_shared<std::vector<IndexOps>>(
-      BatchCompetitors());
-  for (const IndexOps& ops : *competitors) columns.push_back(ops.name);
+  auto competitors =
+      std::make_shared<std::vector<BenchIndex>>(BatchCompetitors());
+  for (const BenchIndex& competitor : *competitors) {
+    columns.push_back(competitor.name);
+  }
   table.SetColumns(columns);
 
   // Build every index once over the shared key set; the batch sweep
@@ -55,7 +57,9 @@ void RegisterFigure() {
             cfg.key_bits = 32;
             cfg.uniformity = 1.0;
             *keys = util::MakeKeySet(cfg);
-            for (IndexOps& ops : *competitors) ops.build(*keys);
+            for (BenchIndex& competitor : *competitors) {
+              competitor.index.Build(*keys);
+            }
             *built = true;
           }
           auto sorted = *keys;
@@ -68,10 +72,11 @@ void RegisterFigure() {
               util::MakeLookupBatch(*keys, sorted, 32, lcfg);
           std::vector<std::string> row = {std::to_string(batch_log2)};
           for (auto _ : state) {
-            for (IndexOps& ops : *competitors) {
+            for (BenchIndex& competitor : *competitors) {
               std::vector<core::LookupResult> results;
-              const double ms =
-                  MeasureMs([&] { ops.point_batch(lookups, &results); });
+              const double ms = MeasureMs([&] {
+                competitor.index.PointLookupBatch(lookups, &results);
+              });
               row.push_back(util::TablePrinter::Num(
                   ms * 1000.0 / static_cast<double>(lookups.size()), 4));
               benchmark::DoNotOptimize(results.data());

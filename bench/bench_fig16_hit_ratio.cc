@@ -21,9 +21,11 @@ void RegisterFigure() {
       Table("Fig16: accumulated point-lookup time [ms] vs miss mix "
             "(anywhere% / out-of-range%)");
   auto competitors =
-      std::make_shared<std::vector<IndexOps>>(PointCompetitors(32));
+      std::make_shared<std::vector<BenchIndex>>(PointCompetitors(32));
   std::vector<std::string> columns = {"misses any/oor"};
-  for (const IndexOps& ops : *competitors) columns.push_back(ops.name);
+  for (const BenchIndex& competitor : *competitors) {
+    columns.push_back(competitor.name);
+  }
   table.SetColumns(columns);
 
   auto built = std::make_shared<bool>(false);
@@ -51,7 +53,9 @@ void RegisterFigure() {
             *keys = util::MakeKeySet(cfg);
             *sorted = *keys;
             std::sort(sorted->begin(), sorted->end());
-            for (IndexOps& ops : *competitors) ops.build(*keys);
+            for (BenchIndex& competitor : *competitors) {
+              competitor.index.Build(*keys);
+            }
             *built = true;
           }
           util::LookupBatchConfig lcfg;
@@ -62,10 +66,11 @@ void RegisterFigure() {
               util::MakeLookupBatch(*keys, *sorted, 32, lcfg);
           std::vector<std::string> row = {label};
           for (auto _ : state) {
-            for (IndexOps& ops : *competitors) {
+            for (BenchIndex& competitor : *competitors) {
               std::vector<core::LookupResult> results;
-              const double ms =
-                  MeasureMs([&] { ops.point_batch(lookups, &results); });
+              const double ms = MeasureMs([&] {
+                competitor.index.PointLookupBatch(lookups, &results);
+              });
               row.push_back(util::TablePrinter::Num(ms, 1));
               benchmark::DoNotOptimize(results.data());
             }

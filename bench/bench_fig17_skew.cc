@@ -18,9 +18,11 @@ void RegisterFigure() {
   auto& table =
       Table("Fig17: accumulated point-lookup time [ms] vs Zipf coefficient");
   auto competitors =
-      std::make_shared<std::vector<IndexOps>>(PointCompetitors(32));
+      std::make_shared<std::vector<BenchIndex>>(PointCompetitors(32));
   std::vector<std::string> columns = {"zipf"};
-  for (const IndexOps& ops : *competitors) columns.push_back(ops.name);
+  for (const BenchIndex& competitor : *competitors) {
+    columns.push_back(competitor.name);
+  }
   table.SetColumns(columns);
 
   auto built = std::make_shared<bool>(false);
@@ -41,7 +43,9 @@ void RegisterFigure() {
             *keys = util::MakeKeySet(cfg);
             *sorted = *keys;
             std::sort(sorted->begin(), sorted->end());
-            for (IndexOps& ops : *competitors) ops.build(*keys);
+            for (BenchIndex& competitor : *competitors) {
+              competitor.index.Build(*keys);
+            }
             *built = true;
           }
           util::LookupBatchConfig lcfg;
@@ -51,10 +55,11 @@ void RegisterFigure() {
               util::MakeLookupBatch(*keys, *sorted, 32, lcfg);
           std::vector<std::string> row = {util::TablePrinter::Num(theta, 2)};
           for (auto _ : state) {
-            for (IndexOps& ops : *competitors) {
+            for (BenchIndex& competitor : *competitors) {
               std::vector<core::LookupResult> results;
-              const double ms =
-                  MeasureMs([&] { ops.point_batch(lookups, &results); });
+              const double ms = MeasureMs([&] {
+                competitor.index.PointLookupBatch(lookups, &results);
+              });
               row.push_back(util::TablePrinter::Num(ms, 1));
               benchmark::DoNotOptimize(results.data());
             }

@@ -20,15 +20,15 @@
 namespace cgrx::bench {
 namespace {
 
-std::vector<IndexOps> UpdateCompetitors() {
-  std::vector<IndexOps> ops;
-  ops.push_back(MakeCgrx(32, 32));   // [rebuild]
-  ops.push_back(MakeCgrx(32, 256));  // [rebuild]
-  ops.push_back(MakeCgrxu(32, 128));
-  ops.push_back(MakeRx(32));  // [rebuild]
-  ops.push_back(MakeBPlus());
-  ops.push_back(MakeHt(32, /*load_factor=*/0.4));
-  return ops;
+std::vector<BenchIndex> UpdateCompetitors() {
+  std::vector<BenchIndex> competitors;
+  competitors.push_back(MakeCgrx(32, 32));   // [rebuild]
+  competitors.push_back(MakeCgrx(32, 256));  // [rebuild]
+  competitors.push_back(MakeCgrxu(32, 128));
+  competitors.push_back(MakeRx(32));  // [rebuild]
+  competitors.push_back(MakeBPlus());
+  competitors.push_back(MakeHt(32, /*load_factor=*/0.4));
+  return competitors;
 }
 
 std::vector<std::string> CompetitorColumns(const std::string& head) {
@@ -77,7 +77,9 @@ void RegisterFigure() {
 
     auto competitors = UpdateCompetitors();
     for (auto _ : state) {
-      for (IndexOps& ops : competitors) ops.build(keys);
+      for (BenchIndex& competitor : competitors) {
+        competitor.index.Build(keys);
+      }
 
       std::uint32_t next_row = static_cast<std::uint32_t>(n);
       auto run_wave = [&](const std::string& label,
@@ -88,18 +90,18 @@ void RegisterFigure() {
         std::vector<std::string> lookup_row = {label};
         std::vector<std::uint32_t> rows(wave.size());
         for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = next_row + i;
-        for (IndexOps& ops : competitors) {
+        for (BenchIndex& competitor : competitors) {
           const double apply_ms = MeasureMs([&] {
             if (is_insert) {
-              ops.insert_batch(wave, rows);
+              competitor.index.InsertBatch(wave, rows);
             } else {
-              ops.erase_batch(wave);
+              competitor.index.EraseBatch(wave);
             }
           });
           apply_row.push_back(util::TablePrinter::Num(apply_ms, 1));
           tpf_row.push_back(util::TablePrinter::Num(
               ThroughputPerFootprint(wave.size(), apply_ms,
-                                     ops.footprint()),
+                                     competitor.index.Stats().memory_bytes),
               3));
           // Post-wave lookup batch over the current key population.
           util::LookupBatchConfig lcfg;
@@ -110,8 +112,8 @@ void RegisterFigure() {
           const auto lookups =
               util::MakeLookupBatch(keys, sorted_now, 32, lcfg);
           std::vector<core::LookupResult> results;
-          const double lookup_ms =
-              MeasureMs([&] { ops.point_batch(lookups, &results); });
+          const double lookup_ms = MeasureMs(
+              [&] { competitor.index.PointLookupBatch(lookups, &results); });
           lookup_row.push_back(util::TablePrinter::Num(lookup_ms, 1));
           benchmark::DoNotOptimize(results.data());
         }

@@ -1,8 +1,7 @@
 // Table I: overview of all tested indexes -- which operations each
 // supports and its memory class. The table is reproduced from the
-// capabilities this repository actually implements (the IndexOps
-// wrappers leave unsupported operations empty), so it doubles as a
-// consistency check between the paper's claims and the code.
+// capabilities the api::Index adapters actually report, so it doubles
+// as a consistency check between the paper's claims and the code.
 #include <benchmark/benchmark.h>
 
 #include <string>
@@ -16,7 +15,7 @@ namespace {
 
 struct FeatureRow {
   std::string name;
-  IndexOps ops;
+  BenchIndex competitor;
   std::string memory_class;
   std::string wide_keys;
   std::string bulk_load;
@@ -45,9 +44,9 @@ void RegisterFigure() {
       rows.push_back({"cgRXu", MakeCgrxu(64, 128), "low", "yes", "yes",
                       "yes"});
       for (const FeatureRow& row : rows) {
-        table.AddRow({row.name,
-                      row.ops.point_batch ? "yes" : "no",
-                      row.ops.range_batch ? "yes" : "no", row.memory_class,
+        const api::Capabilities caps = row.competitor.index.capabilities();
+        table.AddRow({row.name, caps.point_lookup ? "yes" : "no",
+                      caps.range_lookup ? "yes" : "no", row.memory_class,
                       row.wide_keys, row.bulk_load, row.updates});
       }
     }

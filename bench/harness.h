@@ -3,13 +3,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <optional>
 #include <string>
-#include <type_traits>
-#include <vector>
 
-#include "src/core/types.h"
 #include "src/util/table_printer.h"
 #include "src/util/timer.h"
 
@@ -57,89 +52,6 @@ void PrintTables();
 
 /// Wall-clock of `fn` in milliseconds.
 double MeasureMs(const std::function<void()>& fn);
-
-/// Type-erased index handle so one benchmark loop can drive every
-/// competitor. Unsupported operations are left empty (e.g. HT has no
-/// range lookups, RTScan no point lookups), mirroring paper Table I.
-struct IndexOps {
-  std::string name;
-  std::function<void(const std::vector<std::uint64_t>&)> build;
-  std::function<void(const std::vector<std::uint64_t>&,
-                     std::vector<core::LookupResult>*)>
-      point_batch;
-  std::function<void(const std::vector<core::KeyRange<std::uint64_t>>&,
-                     std::vector<core::LookupResult>*)>
-      range_batch;
-  /// Incremental (or rebuild, depending on the index) update batches.
-  std::function<void(const std::vector<std::uint64_t>&,
-                     const std::vector<std::uint32_t>&)>
-      insert_batch;
-  std::function<void(const std::vector<std::uint64_t>&)> erase_batch;
-  std::function<std::size_t()> footprint;
-};
-
-/// Wraps a concrete index instance (kept alive via shared_ptr) into
-/// IndexOps. The index API contract: Build(vector<Key>),
-/// PointLookupBatch(const Key*, n, LookupResult*),
-/// RangeLookupBatch(const KeyRange<Key>*, n, LookupResult*),
-/// MemoryFootprintBytes().
-template <typename Index>
-IndexOps Wrap(std::string name, std::shared_ptr<Index> index) {
-  using Key = typename Index::KeyType;
-  IndexOps ops;
-  ops.name = std::move(name);
-  ops.build = [index](const std::vector<std::uint64_t>& keys) {
-    std::vector<Key> narrow(keys.begin(), keys.end());
-    index->Build(std::move(narrow));
-  };
-  ops.footprint = [index] { return index->MemoryFootprintBytes(); };
-  if constexpr (requires(const Index& i, const Key* k,
-                         core::LookupResult* r) {
-                  i.PointLookupBatch(k, std::size_t{1}, r);
-                }) {
-    ops.point_batch = [index](const std::vector<std::uint64_t>& keys,
-                              std::vector<core::LookupResult>* out) {
-      out->resize(keys.size());
-      if constexpr (std::is_same_v<Key, std::uint64_t>) {
-        index->PointLookupBatch(keys.data(), keys.size(), out->data());
-      } else {
-        std::vector<Key> narrow(keys.begin(), keys.end());
-        index->PointLookupBatch(narrow.data(), narrow.size(), out->data());
-      }
-    };
-  }
-  if constexpr (requires(const Index& i, const core::KeyRange<Key>* r,
-                         core::LookupResult* o) {
-                  i.RangeLookupBatch(r, std::size_t{1}, o);
-                }) {
-    ops.range_batch =
-        [index](const std::vector<core::KeyRange<std::uint64_t>>& ranges,
-                std::vector<core::LookupResult>* out) {
-          out->resize(ranges.size());
-          std::vector<core::KeyRange<Key>> narrow(ranges.size());
-          for (std::size_t i = 0; i < ranges.size(); ++i) {
-            narrow[i] = {static_cast<Key>(ranges[i].lo),
-                         static_cast<Key>(ranges[i].hi)};
-          }
-          index->RangeLookupBatch(narrow.data(), narrow.size(), out->data());
-        };
-  }
-  if constexpr (requires(Index& i, const std::vector<Key>& k,
-                         const std::vector<std::uint32_t>& r) {
-                  i.InsertBatch(k, r);
-                }) {
-    ops.insert_batch = [index](const std::vector<std::uint64_t>& keys,
-                               const std::vector<std::uint32_t>& rows) {
-      std::vector<Key> narrow(keys.begin(), keys.end());
-      index->InsertBatch(narrow, rows);
-    };
-    ops.erase_batch = [index](const std::vector<std::uint64_t>& keys) {
-      std::vector<Key> narrow(keys.begin(), keys.end());
-      index->EraseBatch(narrow);
-    };
-  }
-  return ops;
-}
 
 /// Throughput-per-footprint metric of the paper (Section V-B): entries
 /// looked up per second divided by the footprint in bytes.

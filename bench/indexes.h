@@ -1,108 +1,84 @@
 #ifndef CGRX_BENCH_INDEXES_H_
 #define CGRX_BENCH_INDEXES_H_
 
-#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "bench/harness.h"
-#include "src/baselines/btree.h"
-#include "src/baselines/full_scan.h"
-#include "src/baselines/hash_table.h"
-#include "src/baselines/rtscan.h"
-#include "src/baselines/sorted_array.h"
-#include "src/core/cgrx_index.h"
-#include "src/core/cgrxu_index.h"
-#include "src/rx/rx_index.h"
+#include "src/api/any_index.h"
+#include "src/api/factory.h"
+#include "src/core/types.h"
 
 namespace cgrx::bench {
 
-/// Factories for the competitor set of the paper's evaluation
-/// (Section VI). `bits` selects the key width (32 or 64).
+/// A figure competitor: the display label used in the paper's tables
+/// plus a width-erased handle created through the public factory
+/// (api::MakeIndex). `bits` selects the key width (32 or 64).
+struct BenchIndex {
+  std::string name;
+  api::AnyIndex index;
+};
 
-inline IndexOps MakeCgrx(int bits, std::uint32_t bucket_size,
-                         core::Representation representation =
-                             core::Representation::kOptimized) {
-  core::CgrxConfig config;
-  config.bucket_size = bucket_size;
-  config.representation = representation;
+/// Factories for the competitor set of the paper's evaluation
+/// (Section VI).
+
+inline BenchIndex MakeCgrx(int bits, std::uint32_t bucket_size,
+                           core::Representation representation =
+                               core::Representation::kOptimized) {
+  api::IndexOptions options;
+  options.bucket_size = bucket_size;
+  options.representation = representation;
   std::string name = "cgRX(" + std::to_string(bucket_size) + ")";
   if (representation == core::Representation::kNaive) name += "[naive]";
-  if (bits == 32) {
-    return Wrap(name, std::make_shared<core::CgrxIndex32>(config));
-  }
-  return Wrap(name, std::make_shared<core::CgrxIndex64>(config));
+  return {std::move(name), api::MakeAnyIndex("cgrx", bits, options)};
 }
 
-inline IndexOps MakeCgrxu(int bits, std::uint32_t node_bytes) {
-  core::CgrxuConfig config;
-  config.node_bytes = node_bytes;
-  const std::string name =
-      node_bytes == 64 ? "cgRXu(.5 cl)" : "cgRXu(1 cl)";
-  if (bits == 32) {
-    return Wrap(name, std::make_shared<core::CgrxuIndex32>(config));
-  }
-  return Wrap(name, std::make_shared<core::CgrxuIndex64>(config));
+inline BenchIndex MakeCgrxu(int bits, std::uint32_t node_bytes) {
+  api::IndexOptions options;
+  options.node_bytes = node_bytes;
+  std::string name = node_bytes == 64 ? "cgRXu(.5 cl)" : "cgRXu(1 cl)";
+  return {std::move(name), api::MakeAnyIndex("cgrxu", bits, options)};
 }
 
-inline IndexOps MakeRx(int bits) {
-  if (bits == 32) {
-    return Wrap("RX", std::make_shared<rx::RxIndex32>());
-  }
-  return Wrap("RX", std::make_shared<rx::RxIndex64>());
+inline BenchIndex MakeRx(int bits) {
+  return {"RX", api::MakeAnyIndex("rx", bits)};
 }
 
-inline IndexOps MakeSa(int bits) {
-  if (bits == 32) {
-    return Wrap("SA",
-                std::make_shared<baselines::SortedArray<std::uint32_t>>());
-  }
-  return Wrap("SA",
-              std::make_shared<baselines::SortedArray<std::uint64_t>>());
+inline BenchIndex MakeSa(int bits) {
+  return {"SA", api::MakeAnyIndex("sa", bits)};
 }
 
-inline IndexOps MakeBPlus() {
-  return Wrap("B+", std::make_shared<baselines::BPlusTree>());
+/// The paper's B+ baseline runs at 32 bit only ("lacks the support for
+/// wide keys").
+inline BenchIndex MakeBPlus() {
+  return {"B+", api::MakeAnyIndex("btree", 32)};
 }
 
-inline IndexOps MakeHt(int bits, double load_factor = 0.8) {
-  if (bits == 32) {
-    return Wrap("HT", std::make_shared<baselines::HashTable<std::uint32_t>>(
-                          load_factor));
-  }
-  return Wrap("HT", std::make_shared<baselines::HashTable<std::uint64_t>>(
-                        load_factor));
+inline BenchIndex MakeHt(int bits, double load_factor = 0.8) {
+  api::IndexOptions options;
+  options.load_factor = load_factor;
+  return {"HT", api::MakeAnyIndex("ht", bits, options)};
 }
 
-inline IndexOps MakeRtScan(int bits) {
-  if (bits == 32) {
-    return Wrap("RTScan(RTc1)",
-                std::make_shared<baselines::RtScan<std::uint32_t>>());
-  }
-  return Wrap("RTScan(RTc1)",
-              std::make_shared<baselines::RtScan<std::uint64_t>>());
+inline BenchIndex MakeRtScan(int bits) {
+  return {"RTScan(RTc1)", api::MakeAnyIndex("rtscan", bits)};
 }
 
-inline IndexOps MakeFullScan(int bits) {
-  if (bits == 32) {
-    return Wrap("FullScan",
-                std::make_shared<baselines::FullScan<std::uint32_t>>());
-  }
-  return Wrap("FullScan",
-              std::make_shared<baselines::FullScan<std::uint64_t>>());
+inline BenchIndex MakeFullScan(int bits) {
+  return {"FullScan", api::MakeAnyIndex("fullscan", bits)};
 }
 
 /// The point-lookup competitor set of Figures 12 (32-bit, with B+) and
 /// 13 (64-bit, without B+ which "lacks the support for wide keys").
-inline std::vector<IndexOps> PointCompetitors(int bits) {
-  std::vector<IndexOps> ops;
-  ops.push_back(MakeCgrx(bits, 32));
-  ops.push_back(MakeCgrx(bits, 256));
-  ops.push_back(MakeRx(bits));
-  ops.push_back(MakeSa(bits));
-  if (bits == 32) ops.push_back(MakeBPlus());
-  ops.push_back(MakeHt(bits));
-  return ops;
+inline std::vector<BenchIndex> PointCompetitors(int bits) {
+  std::vector<BenchIndex> competitors;
+  competitors.push_back(MakeCgrx(bits, 32));
+  competitors.push_back(MakeCgrx(bits, 256));
+  competitors.push_back(MakeRx(bits));
+  competitors.push_back(MakeSa(bits));
+  if (bits == 32) competitors.push_back(MakeBPlus());
+  competitors.push_back(MakeHt(bits));
+  return competitors;
 }
 
 }  // namespace cgrx::bench

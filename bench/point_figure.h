@@ -26,8 +26,8 @@ inline void RegisterPointFigure(int bits, const std::string& figure) {
       Table(figure + "c: throughput / footprint [entries/(s*B)]");
 
   std::vector<std::string> columns = {col_titles[0]};
-  for (const IndexOps& ops : PointCompetitors(bits)) {
-    columns.push_back(ops.name);
+  for (const BenchIndex& competitor : PointCompetitors(bits)) {
+    columns.push_back(competitor.name);
   }
   footprint_table.SetColumns(columns);
   time_table.SetColumns(columns);
@@ -58,12 +58,13 @@ inline void RegisterPointFigure(int bits, const std::string& figure) {
             std::vector<std::string> time_row = {label};
             std::vector<std::string> tpf_row = {label};
             for (auto _ : state) {
-              for (IndexOps& ops : PointCompetitors(bits)) {
-                ops.build(keys);
+              for (BenchIndex& competitor : PointCompetitors(bits)) {
+                competitor.index.Build(keys);
                 std::vector<core::LookupResult> results;
-                const double ms = MeasureMs(
-                    [&] { ops.point_batch(lookups, &results); });
-                const std::size_t bytes = ops.footprint();
+                const double ms = MeasureMs([&] {
+                  competitor.index.PointLookupBatch(lookups, &results);
+                });
+                const std::size_t bytes = competitor.index.Stats().memory_bytes;
                 footprint_row.push_back(util::TablePrinter::Bytes(bytes));
                 time_row.push_back(util::TablePrinter::Num(ms, 1));
                 tpf_row.push_back(util::TablePrinter::Num(

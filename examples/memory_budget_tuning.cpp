@@ -13,7 +13,8 @@
 #include <iostream>
 #include <vector>
 
-#include "src/core/cgrx_index.h"
+#include "src/api/factory.h"
+#include "src/api/index.h"
 #include "src/util/timer.h"
 #include "src/util/workloads.h"
 
@@ -45,22 +46,22 @@ int main(int argc, char** argv) {
   double best_throughput = 0;
   for (const std::uint32_t bucket : {8u, 16u, 32u, 64u, 128u, 256u, 512u,
                                      1024u}) {
-    cgrx::core::CgrxConfig config;
-    config.bucket_size = bucket;
-    cgrx::core::CgrxIndex64 index(config);
-    index.Build(std::vector<std::uint64_t>(keys));
-    std::vector<cgrx::core::LookupResult> results(lookups.size());
+    cgrx::api::IndexOptions options;
+    options.bucket_size = bucket;
+    const auto index = cgrx::api::MakeIndex<std::uint64_t>("cgrx", options);
+    index->Build(std::vector<std::uint64_t>(keys));
+    std::vector<cgrx::core::LookupResult> results;
     cgrx::util::Timer timer;
-    index.PointLookupBatch(lookups.data(), lookups.size(), results.data());
+    index->PointLookupBatch(lookups, &results);
     const double ms = timer.ElapsedMs();
+    const std::size_t footprint = index->Stats().memory_bytes;
     const double bytes_per_key =
-        static_cast<double>(index.MemoryFootprintBytes()) /
-        static_cast<double>(kKeys);
+        static_cast<double>(footprint) / static_cast<double>(kKeys);
     const double mlookups =
         static_cast<double>(lookups.size()) / ms / 1000.0;
     const double tp_per_byte =
         static_cast<double>(lookups.size()) / (ms / 1000.0) /
-        static_cast<double>(index.MemoryFootprintBytes());
+        static_cast<double>(footprint);
     const bool fits = bytes_per_key <= budget_bytes_per_key;
     std::cout << std::left << std::setw(10) << bucket << std::setw(12)
               << std::fixed << std::setprecision(2) << bytes_per_key

@@ -1,18 +1,22 @@
-// Quickstart: build a cgRX index over a column of keys, run point and
-// range lookups, and inspect the memory/triangle statistics that make
-// coarse-granular indexing attractive.
+// Quickstart for the unified public API: build any paper competitor
+// through the factory registry, run batched point and range lookups
+// under an execution policy, and introspect the index through
+// IndexStats.
 //
 //   ./quickstart
 #include <cstdint>
 #include <iostream>
 #include <vector>
 
-#include "src/core/cgrx_index.h"
+#include "src/api/factory.h"
+#include "src/api/index.h"
 #include "src/util/workloads.h"
 
 int main() {
-  using cgrx::core::CgrxConfig;
-  using cgrx::core::CgrxIndex64;
+  using cgrx::api::ExecutionPolicy;
+  using cgrx::api::IndexOptions;
+  using cgrx::api::IndexStats;
+  using cgrx::core::KeyRange;
   using cgrx::core::LookupResult;
 
   // A shuffled column of 1M distinct 64-bit keys; a key's position in
@@ -23,49 +27,51 @@ int main() {
   workload.uniformity = 0.5;  // Half dense, half drawn uniformly.
   const std::vector<std::uint64_t> column = cgrx::util::MakeKeySet(workload);
 
-  // Index it with the paper's recommended configuration: bucket size 32,
-  // optimized scene representation, scaled key mapping.
-  CgrxConfig config;
-  config.bucket_size = 32;
-  CgrxIndex64 index(config);
-  index.Build(std::vector<std::uint64_t>(column));
+  // Any competitor of the paper's evaluation is one MakeIndex call:
+  // "cgrx", "cgrxu", "rx", "sa", "btree", "ht", "fullscan", "rtscan".
+  // Here: cgRX with the paper's recommended configuration (bucket size
+  // 32, optimized representation, scaled key mapping).
+  IndexOptions options;
+  options.bucket_size = 32;
+  const auto index = cgrx::api::MakeIndex<std::uint64_t>("cgrx", options);
+  index->Build(std::vector<std::uint64_t>(column));
 
-  std::cout << "indexed " << index.size() << " keys in "
-            << index.num_buckets() << " buckets\n"
-            << "scene triangles (active): " << index.ActiveTriangleCount()
-            << "\n"
-            << "memory footprint: " << index.MemoryFootprintBytes() / 1024
-            << " KiB ("
-            << static_cast<double>(index.MemoryFootprintBytes()) /
-                   static_cast<double>(index.size())
+  const IndexStats built = index->Stats();
+  std::cout << "indexed " << built.entries << " keys\n"
+            << "memory footprint: " << built.memory_bytes / 1024 << " KiB ("
+            << static_cast<double>(built.memory_bytes) /
+                   static_cast<double>(built.entries)
             << " B/key)\n\n";
 
-  // Point lookup: every key maps back to its rowID.
-  const std::uint64_t probe = column[123456];
-  int rays = 0;
-  const LookupResult hit = index.PointLookup(probe, &rays);
-  std::cout << "point lookup of key " << probe << ": " << hit.match_count
-            << " match(es), rowID sum " << hit.row_id_sum << ", resolved in "
-            << rays << " ray(s)\n";
+  // Batched point lookups, one logical device thread per query. The
+  // execution policy picks serial or pool-parallel execution; results
+  // are identical either way.
+  std::vector<std::uint64_t> batch(column.begin(), column.begin() + 1024);
+  std::vector<LookupResult> results;
+  index->PointLookupBatch(batch, &results, ExecutionPolicy::Parallel());
+  std::size_t found = 0;
+  for (const LookupResult& r : results) found += r.match_count;
+
+  // IndexStats counters replace per-call out-params: the delta over the
+  // batch gives rays fired and buckets probed.
+  const IndexStats after = index->Stats();
+  std::cout << "batch of " << batch.size() << " lookups: " << found
+            << " matches, " << (after.rays_fired - built.rays_fired)
+            << " rays fired, " << (after.buckets_probed - built.buckets_probed)
+            << " buckets probed\n";
 
   // A miss is detected during the bucket post-filter.
-  const LookupResult miss = index.PointLookup(probe ^ 1);
+  std::vector<LookupResult> miss;
+  index->PointLookupBatch({column[123456] ^ 1}, &miss);
   std::cout << "point lookup of absent key: "
-            << (miss.IsMiss() ? "miss" : "unexpected hit") << "\n";
+            << (miss[0].IsMiss() ? "miss" : "unexpected hit") << "\n";
 
   // Range lookup: one ray sequence for the lower bound, then a scan of
   // the contiguous key-rowID array.
-  const LookupResult range = index.RangeLookup(0, 1 << 16);
-  std::cout << "range [0, 2^16] matched " << range.match_count
+  std::vector<KeyRange<std::uint64_t>> ranges = {{0, 1 << 16}};
+  std::vector<LookupResult> range_results;
+  index->RangeLookupBatch(ranges, &range_results);
+  std::cout << "range [0, 2^16] matched " << range_results[0].match_count
             << " entries\n";
-
-  // Batched lookups run one logical device thread per query.
-  std::vector<std::uint64_t> batch(column.begin(), column.begin() + 1024);
-  std::vector<LookupResult> results(batch.size());
-  index.PointLookupBatch(batch.data(), batch.size(), results.data());
-  std::size_t found = 0;
-  for (const LookupResult& r : results) found += r.match_count;
-  std::cout << "batch of " << batch.size() << " lookups: " << found
-            << " matches\n";
   return 0;
 }

@@ -5,19 +5,21 @@
 // much as its speed -- exactly the trade-off cgRX targets.
 //
 // The example compares answering the query with (a) a full column scan,
-// (b) a sorted-array index and (c) cgRX, reporting time and index
-// memory, and validates that all three agree.
+// (b) a sorted-array index and (c) cgRX -- all three driven through the
+// abstract api::Index interface, which is what lets one loop swap
+// access paths -- reporting time and index memory, and validates that
+// all three agree.
 //
 //   ./selection_pushdown
+#include <algorithm>
 #include <cstdint>
 #include <iomanip>
 #include <iostream>
+#include <string>
 #include <vector>
 
-#include "src/baselines/full_scan.h"
-#include "src/baselines/sorted_array.h"
-#include "src/core/cgrx_index.h"
-#include "src/util/rng.h"
+#include "src/api/factory.h"
+#include "src/api/index.h"
 #include "src/util/timer.h"
 #include "src/util/workloads.h"
 
@@ -29,9 +31,8 @@ struct QueryStats {
   std::uint64_t row_id_checksum = 0;
 };
 
-template <typename Index>
 QueryStats RunQueries(
-    const Index& index,
+    const cgrx::api::Index<std::uint64_t>& index,
     const std::vector<cgrx::core::KeyRange<std::uint64_t>>& queries) {
   QueryStats stats;
   std::vector<cgrx::core::LookupResult> results(queries.size());
@@ -74,38 +75,40 @@ int main() {
             << "time [ms]" << std::setw(16) << "index memory"
             << "rows matched\n";
 
-  auto report = [&](const char* name, const QueryStats& stats,
-                    std::size_t bytes) {
-    std::cout << std::left << std::setw(14) << name << std::setw(12)
+  // The three access paths, all constructed through the factory. cgRX
+  // uses bucket size 256, the paper's space-efficient choice.
+  cgrx::api::IndexOptions cgrx_options;
+  cgrx_options.bucket_size = 256;
+  struct AccessPath {
+    const char* label;
+    cgrx::api::IndexPtr<std::uint64_t> index;
+  };
+  const std::vector<AccessPath> paths = {
+      {"full scan", cgrx::api::MakeIndex<std::uint64_t>("fullscan")},
+      {"sorted array", cgrx::api::MakeIndex<std::uint64_t>("sa")},
+      {"cgRX(256)", cgrx::api::MakeIndex<std::uint64_t>("cgrx",
+                                                        cgrx_options)},
+  };
+
+  std::vector<std::uint64_t> checksums;
+  for (const AccessPath& path : paths) {
+    path.index->Build(std::vector<std::uint64_t>(order_keys));
+    const QueryStats stats = RunQueries(*path.index, queries);
+    const std::size_t bytes = path.index->Stats().memory_bytes;
+    std::cout << std::left << std::setw(14) << path.label << std::setw(12)
               << stats.total_ms << std::setw(16)
               << (std::to_string(bytes / 1024) + " KiB")
               << stats.rows_matched << "\n";
-    return stats.row_id_checksum;
-  };
+    checksums.push_back(stats.row_id_checksum);
+  }
 
-  cgrx::baselines::FullScan<std::uint64_t> scan;
-  scan.Build(std::vector<std::uint64_t>(order_keys));
-  const auto scan_sum =
-      report("full scan", RunQueries(scan, queries),
-             scan.MemoryFootprintBytes());
-
-  cgrx::baselines::SortedArray<std::uint64_t> sa;
-  sa.Build(std::vector<std::uint64_t>(order_keys));
-  const auto sa_sum = report("sorted array", RunQueries(sa, queries),
-                             sa.MemoryFootprintBytes());
-
-  cgrx::core::CgrxConfig config;
-  config.bucket_size = 256;  // The paper's space-efficient choice.
-  cgrx::core::CgrxIndex64 index(config);
-  index.Build(std::vector<std::uint64_t>(order_keys));
-  const auto cgrx_sum = report("cgRX(256)", RunQueries(index, queries),
-                               index.MemoryFootprintBytes());
-
-  if (scan_sum != sa_sum || sa_sum != cgrx_sum) {
-    std::cerr << "ERROR: access paths disagree!\n";
-    return 1;
+  for (const std::uint64_t sum : checksums) {
+    if (sum != checksums.front()) {
+      std::cerr << "ERROR: access paths disagree!\n";
+      return 1;
+    }
   }
   std::cout << "\nall access paths returned identical results "
-            << "(checksum " << cgrx_sum << ")\n";
+            << "(checksum " << checksums.front() << ")\n";
   return 0;
 }

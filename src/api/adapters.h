@@ -1,0 +1,148 @@
+#ifndef CGRX_SRC_API_ADAPTERS_H_
+#define CGRX_SRC_API_ADAPTERS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/api/index.h"
+#include "src/core/types.h"
+
+namespace cgrx::api {
+
+/// Adapts any concrete index implementation to the Index<Key>
+/// interface. Capabilities are derived at compile time from the
+/// operations the implementation actually offers (requires-expression
+/// detection), so a single template covers all eight competitors.
+/// Unsupported entry points keep the base-class throwing defaults.
+///
+/// Implementations that expose `stat_counters()` (cgRX, cgRXu, RX)
+/// contribute their ray/bucket/filter counters to Stats(); the rest
+/// report footprint and entry count only.
+template <typename Impl>
+class IndexAdapter final : public Index<typename Impl::KeyType> {
+ public:
+  using Key = typename Impl::KeyType;
+
+  static constexpr bool kHasPointLookup =
+      requires(const Impl& i, const Key* k, std::size_t n,
+               core::LookupResult* r, const ExecutionPolicy& p) {
+        i.PointLookupBatch(k, n, r, p);
+      };
+  static constexpr bool kHasRangeLookup =
+      requires(const Impl& i, const core::KeyRange<Key>* g, std::size_t n,
+               core::LookupResult* r, const ExecutionPolicy& p) {
+        i.RangeLookupBatch(g, n, r, p);
+      };
+  static constexpr bool kHasUpdates =
+      requires(Impl& i, const std::vector<Key>& k,
+               const std::vector<std::uint32_t>& r) {
+        i.InsertBatch(k, r);
+        i.EraseBatch(k);
+      };
+
+  template <typename... Args>
+  explicit IndexAdapter(std::string name, Args&&... args)
+      : name_(std::move(name)), impl_(std::forward<Args>(args)...) {}
+
+  std::string_view name() const override { return name_; }
+
+  Capabilities capabilities() const override {
+    return Capabilities{kHasPointLookup, kHasRangeLookup, kHasUpdates};
+  }
+
+  void Build(std::vector<Key> keys) override {
+    impl_.Build(std::move(keys));
+  }
+
+  void Build(std::vector<Key> keys,
+             std::vector<std::uint32_t> row_ids) override {
+    impl_.Build(std::move(keys), std::move(row_ids));
+  }
+
+  IndexStats Stats() const override {
+    IndexStats stats;
+    stats.memory_bytes = impl_.MemoryFootprintBytes();
+    stats.entries = impl_.size();
+    if constexpr (requires(const Impl& i) { i.stat_counters(); }) {
+      const core::LookupCounters& counters = impl_.stat_counters();
+      stats.rays_fired = counters.rays_fired.load(std::memory_order_relaxed);
+      stats.buckets_probed =
+          counters.buckets_probed.load(std::memory_order_relaxed);
+      stats.filter_rejections =
+          counters.filter_rejections.load(std::memory_order_relaxed);
+    }
+    return stats;
+  }
+
+  std::size_t size() const override { return impl_.size(); }
+
+  /// The wrapped implementation, for callers needing backend-specific
+  /// introspection (e.g. CgrxIndex::ActiveTriangleCount()).
+  Impl& impl() { return impl_; }
+  const Impl& impl() const { return impl_; }
+
+ protected:
+  void DoPointLookupBatch(const Key* keys, std::size_t count,
+                          core::LookupResult* results,
+                          const ExecutionPolicy& policy) const override {
+    if constexpr (kHasPointLookup) {
+      impl_.PointLookupBatch(keys, count, results, policy);
+    } else {
+      Index<Key>::DoPointLookupBatch(keys, count, results, policy);
+    }
+  }
+
+  void DoRangeLookupBatch(const core::KeyRange<Key>* ranges,
+                          std::size_t count, core::LookupResult* results,
+                          const ExecutionPolicy& policy) const override {
+    if constexpr (kHasRangeLookup) {
+      impl_.RangeLookupBatch(ranges, count, results, policy);
+    } else {
+      Index<Key>::DoRangeLookupBatch(ranges, count, results, policy);
+    }
+  }
+
+  void DoInsertBatch(const std::vector<Key>& keys,
+                     const std::vector<std::uint32_t>& row_ids,
+                     const ExecutionPolicy& policy) override {
+    if constexpr (requires(Impl& i) { i.InsertBatch(keys, row_ids, policy); }) {
+      impl_.InsertBatch(keys, row_ids, policy);
+    } else if constexpr (kHasUpdates) {
+      impl_.InsertBatch(keys, row_ids);
+    } else {
+      Index<Key>::DoInsertBatch(keys, row_ids, policy);
+    }
+  }
+
+  void DoEraseBatch(const std::vector<Key>& keys,
+                    const ExecutionPolicy& policy) override {
+    if constexpr (requires(Impl& i) { i.EraseBatch(keys, policy); }) {
+      impl_.EraseBatch(keys, policy);
+    } else if constexpr (kHasUpdates) {
+      impl_.EraseBatch(keys);
+    } else {
+      Index<Key>::DoEraseBatch(keys, policy);
+    }
+  }
+
+ private:
+  std::string name_;
+  Impl impl_;
+};
+
+/// Convenience: heap-allocates an adapter around an in-place
+/// constructed implementation.
+template <typename Impl, typename... Args>
+std::shared_ptr<Index<typename Impl::KeyType>> MakeAdapter(std::string name,
+                                                           Args&&... args) {
+  return std::make_shared<IndexAdapter<Impl>>(std::move(name),
+                                              std::forward<Args>(args)...);
+}
+
+}  // namespace cgrx::api
+
+#endif  // CGRX_SRC_API_ADAPTERS_H_

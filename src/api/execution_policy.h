@@ -1,0 +1,89 @@
+#ifndef CGRX_SRC_API_EXECUTION_POLICY_H_
+#define CGRX_SRC_API_EXECUTION_POLICY_H_
+
+#include <cstddef>
+
+#include "src/util/thread_pool.h"
+
+namespace cgrx::api {
+
+/// Controls how a batch entry point (point/range lookups, cgRXu update
+/// waves) distributes its per-query work. The default mirrors the
+/// paper's one-thread-per-query kernel launches: the batch is chunked
+/// onto the process-wide util::ThreadPool. Serial execution runs the
+/// same loop on the calling thread, which is useful for debugging,
+/// determinism checks and tiny batches where scheduling overhead would
+/// dominate.
+///
+/// Every batch entry point takes a policy with a per-operation default
+/// chunk size (grain); `grain` here overrides it when non-zero. Results
+/// are written to disjoint slots, so parallel execution is
+/// byte-identical to serial execution regardless of chunking.
+class ExecutionPolicy {
+ public:
+  enum class Mode { kSerial, kParallel };
+
+  /// Default: parallel on the global pool with per-op default grain.
+  constexpr ExecutionPolicy() = default;
+
+  static constexpr ExecutionPolicy Serial() {
+    return ExecutionPolicy(Mode::kSerial, 0, nullptr);
+  }
+
+  /// `grain` = 0 keeps each operation's default chunk size; `pool` =
+  /// nullptr uses the process-wide pool.
+  static constexpr ExecutionPolicy Parallel(std::size_t grain = 0,
+                                            util::ThreadPool* pool = nullptr) {
+    return ExecutionPolicy(Mode::kParallel, grain, pool);
+  }
+
+  Mode mode() const { return mode_; }
+  bool serial() const { return mode_ == Mode::kSerial; }
+  std::size_t grain() const { return grain_; }
+
+  /// Runs `body(i)` for every i in [0, n), serially or chunked onto the
+  /// thread pool. `default_grain` is the operation's preferred chunk
+  /// size (small for expensive per-query work, large for cheap work).
+  template <typename Body>
+  void For(std::size_t n, std::size_t default_grain, Body&& body) const {
+    ForChunks(n, default_grain,
+              [&body](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) body(i);
+              });
+  }
+
+  /// Chunk-granular variant: `body(begin, end)` is invoked once per
+  /// chunk (once with the full range when serial), letting callers keep
+  /// chunk-local state -- e.g. stat accumulators merged once per chunk
+  /// instead of once per element.
+  template <typename ChunkBody>
+  void ForChunks(std::size_t n, std::size_t default_grain,
+                 ChunkBody&& body) const {
+    if (n == 0) return;
+    if (mode_ == Mode::kSerial || n <= 1) {
+      body(std::size_t{0}, n);
+      return;
+    }
+    const std::size_t grain =
+        grain_ > 0 ? grain_ : (default_grain > 0 ? default_grain : 1);
+    util::ThreadPool& pool =
+        pool_ != nullptr ? *pool_ : util::ThreadPool::Global();
+    pool.ParallelFor(0, n, grain,
+                     [&body](std::size_t begin, std::size_t end) {
+                       body(begin, end);
+                     });
+  }
+
+ private:
+  constexpr ExecutionPolicy(Mode mode, std::size_t grain,
+                            util::ThreadPool* pool)
+      : mode_(mode), grain_(grain), pool_(pool) {}
+
+  Mode mode_ = Mode::kParallel;
+  std::size_t grain_ = 0;
+  util::ThreadPool* pool_ = nullptr;
+};
+
+}  // namespace cgrx::api
+
+#endif  // CGRX_SRC_API_EXECUTION_POLICY_H_

@@ -1,0 +1,94 @@
+#ifndef CGRX_SRC_API_FACTORY_H_
+#define CGRX_SRC_API_FACTORY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/api/index.h"
+#include "src/core/rep_scene.h"
+#include "src/core/types.h"
+#include "src/util/key_mapping.h"
+
+namespace cgrx::api {
+
+/// Construction-time knobs shared by every backend. Each backend reads
+/// the fields it understands and ignores the rest; defaults reproduce
+/// the paper's recommended configurations.
+struct IndexOptions {
+  /// cgRX: keys per bucket (32 = paper default, 256 = space-efficient).
+  std::uint32_t bucket_size = 32;
+
+  /// cgRX/cgRXu: naive vs. optimized scene representation.
+  core::Representation representation = core::Representation::kOptimized;
+
+  /// cgRX: blocked Bloom miss-filter budget; 0 disables (paper config).
+  double miss_filter_bits_per_key = 0;
+
+  /// cgRXu: node size in bytes (128 = "1 cl", 64 = ".5 cl").
+  std::uint32_t node_bytes = 128;
+
+  /// HT: target load factor (paper: 0.8 lookup, 0.4 update workloads).
+  double load_factor = 0.8;
+
+  /// RX: spare vertex-buffer slots parked for insertions.
+  double spare_capacity = 0.25;
+
+  /// Overrides each backend's default key mapping choice (cgRX/cgRXu
+  /// default scaled, RX/RTScan unscaled, per the paper).
+  std::optional<bool> scaled_mapping;
+
+  /// Full mapping override for tests driving the paper's tiny
+  /// running-example mapping.
+  std::optional<util::KeyMapping> mapping_override;
+};
+
+/// String-keyed registry of index constructors for one key width.
+/// Backends self-register in factory.cc; additional backends (new
+/// baselines, sharded/wrapped indexes) can register at runtime.
+template <typename Key>
+class IndexFactory {
+ public:
+  using Creator = std::function<IndexPtr<Key>(const IndexOptions&)>;
+
+  /// Process-wide registry for this key width.
+  static IndexFactory& Global();
+
+  /// Registers `creator` under `name`; returns false (and leaves the
+  /// registry unchanged) if the name is taken. Throws
+  /// std::invalid_argument for a null creator.
+  bool Register(std::string name, Creator creator);
+
+  /// Creates an index; throws std::invalid_argument for unknown names.
+  IndexPtr<Key> Create(std::string_view name,
+                       const IndexOptions& options = {}) const;
+
+  bool Contains(std::string_view name) const;
+
+  /// Registered names in sorted order.
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Creator, std::less<>> creators_;
+};
+
+/// Creates one of the eight paper competitors by registry name:
+/// "cgrx", "cgrxu", "rx", "sa", "btree", "ht", "fullscan", "rtscan".
+template <typename Key>
+IndexPtr<Key> MakeIndex(std::string_view name,
+                        const IndexOptions& options = {}) {
+  return IndexFactory<Key>::Global().Create(name, options);
+}
+
+extern template class IndexFactory<std::uint32_t>;
+extern template class IndexFactory<std::uint64_t>;
+
+}  // namespace cgrx::api
+
+#endif  // CGRX_SRC_API_FACTORY_H_

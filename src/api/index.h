@@ -1,0 +1,170 @@
+#ifndef CGRX_SRC_API_INDEX_H_
+#define CGRX_SRC_API_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/api/execution_policy.h"
+#include "src/core/types.h"
+
+namespace cgrx::api {
+
+/// Which operations an index supports, mirroring paper Table I (e.g.
+/// HT has no range lookups, RTScan no point lookups, SA/RX/cgRX update
+/// only by rebuild -- which the adapters surface as `updates`).
+struct Capabilities {
+  bool point_lookup = false;
+  bool range_lookup = false;
+  bool updates = false;
+};
+
+/// Introspection snapshot of one index instance. Replaces the scattered
+/// `MemoryFootprintBytes()` / `rays_used` out-param plumbing: counters
+/// are cumulative since construction (Build does NOT reset them; take
+/// two snapshots and diff for phase-level numbers, as
+/// examples/quickstart.cpp does). Batches accumulate chunk-locally and
+/// merge into relaxed atomics once per chunk, so counters are cheap but
+/// only exact once a batch has synchronized.
+struct IndexStats {
+  /// Permanent device-resident footprint in bytes (key/rowID storage +
+  /// vertex buffer + BVH + optional miss filter).
+  std::size_t memory_bytes = 0;
+  /// Number of indexed entries.
+  std::size_t entries = 0;
+  /// Rays fired by the raytracing substrate (0 for non-RT indexes).
+  std::uint64_t rays_fired = 0;
+  /// Bucket post-filter searches executed (cgRX/cgRXu only).
+  std::uint64_t buckets_probed = 0;
+  /// Lookups rejected by the optional miss filter before firing rays.
+  std::uint64_t filter_rejections = 0;
+};
+
+/// Thrown when an operation outside an index's Capabilities is invoked.
+class UnsupportedOperationError : public std::logic_error {
+ public:
+  UnsupportedOperationError(std::string_view index, std::string_view op)
+      : std::logic_error(std::string(index) + " does not support " +
+                         std::string(op)) {}
+};
+
+/// The unified public interface over every competitor of the paper's
+/// evaluation (cgRX, cgRXu, RX, SA, B+, HT, FS, RTScan). `Key` is
+/// std::uint32_t or std::uint64_t, the two widths the paper evaluates.
+///
+/// All query/update entry points are batched (the only shape that makes
+/// sense for a GPU-resident index) and take an ExecutionPolicy that
+/// decides how the batch is distributed over the kernel-launch
+/// substrate. Results land in caller-provided disjoint slots, so
+/// parallel execution is byte-identical to serial execution.
+///
+/// Operations outside `capabilities()` throw UnsupportedOperationError;
+/// callers driving heterogeneous index sets (the benchmark harness, a
+/// future serving layer) check capabilities first.
+template <typename Key>
+class Index {
+ public:
+  using KeyType = Key;
+
+  virtual ~Index() = default;
+
+  /// Registry name of the backend ("cgrx", "rx", ...), as accepted by
+  /// MakeIndex().
+  virtual std::string_view name() const = 0;
+
+  virtual Capabilities capabilities() const = 0;
+
+  /// Bulk-loads `keys` with rowID = position (the paper's convention).
+  virtual void Build(std::vector<Key> keys) = 0;
+
+  /// Bulk-loads explicit key/rowID pairs (unsorted).
+  virtual void Build(std::vector<Key> keys,
+                     std::vector<std::uint32_t> row_ids) = 0;
+
+  /// Batched point lookups: results[i] receives the aggregate of all
+  /// rowIDs matching keys[i].
+  void PointLookupBatch(const Key* keys, std::size_t count,
+                        core::LookupResult* results,
+                        const ExecutionPolicy& policy = {}) const {
+    DoPointLookupBatch(keys, count, results, policy);
+  }
+
+  /// Batched range lookups over inclusive [lo, hi] ranges.
+  void RangeLookupBatch(const core::KeyRange<Key>* ranges, std::size_t count,
+                        core::LookupResult* results,
+                        const ExecutionPolicy& policy = {}) const {
+    DoRangeLookupBatch(ranges, count, results, policy);
+  }
+
+  /// Inserts a batch of key/rowID pairs (incrementally or by rebuild,
+  /// depending on the backend -- paper Table I).
+  void InsertBatch(const std::vector<Key>& keys,
+                   const std::vector<std::uint32_t>& row_ids,
+                   const ExecutionPolicy& policy = {}) {
+    DoInsertBatch(keys, row_ids, policy);
+  }
+
+  /// Deletes one instance per requested key (multiset semantics); keys
+  /// not present are ignored.
+  void EraseBatch(const std::vector<Key>& keys,
+                  const ExecutionPolicy& policy = {}) {
+    DoEraseBatch(keys, policy);
+  }
+
+  virtual IndexStats Stats() const = 0;
+
+  virtual std::size_t size() const = 0;
+
+  // Vector conveniences over the pointer/count entry points.
+  void PointLookupBatch(const std::vector<Key>& keys,
+                        std::vector<core::LookupResult>* results,
+                        const ExecutionPolicy& policy = {}) const {
+    results->resize(keys.size());
+    PointLookupBatch(keys.data(), keys.size(), results->data(), policy);
+  }
+
+  void RangeLookupBatch(const std::vector<core::KeyRange<Key>>& ranges,
+                        std::vector<core::LookupResult>* results,
+                        const ExecutionPolicy& policy = {}) const {
+    results->resize(ranges.size());
+    RangeLookupBatch(ranges.data(), ranges.size(), results->data(), policy);
+  }
+
+ protected:
+  virtual void DoPointLookupBatch(const Key*, std::size_t,
+                                  core::LookupResult*,
+                                  const ExecutionPolicy&) const {
+    throw UnsupportedOperationError(name(), "point lookups");
+  }
+
+  virtual void DoRangeLookupBatch(const core::KeyRange<Key>*, std::size_t,
+                                  core::LookupResult*,
+                                  const ExecutionPolicy&) const {
+    throw UnsupportedOperationError(name(), "range lookups");
+  }
+
+  virtual void DoInsertBatch(const std::vector<Key>&,
+                             const std::vector<std::uint32_t>&,
+                             const ExecutionPolicy&) {
+    throw UnsupportedOperationError(name(), "updates");
+  }
+
+  virtual void DoEraseBatch(const std::vector<Key>&,
+                            const ExecutionPolicy&) {
+    throw UnsupportedOperationError(name(), "updates");
+  }
+};
+
+using Index32 = Index<std::uint32_t>;
+using Index64 = Index<std::uint64_t>;
+
+template <typename Key>
+using IndexPtr = std::shared_ptr<Index<Key>>;
+
+}  // namespace cgrx::api
+
+#endif  // CGRX_SRC_API_INDEX_H_

@@ -5,8 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/api/execution_policy.h"
 #include "src/core/types.h"
-#include "src/rt/device.h"
 
 namespace cgrx::baselines {
 
@@ -61,8 +61,9 @@ class HashTable {
   }
 
   void PointLookupBatch(const Key* keys, std::size_t count,
-                        core::LookupResult* results) const {
-    rt::LaunchKernelChunked(count, 256, [&](std::size_t i) {
+                        core::LookupResult* results,
+                        const api::ExecutionPolicy& policy = {}) const {
+    policy.For(count, 256, [&](std::size_t i) {
       results[i] = PointLookup(keys[i]);
     });
   }

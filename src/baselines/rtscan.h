@@ -6,8 +6,8 @@
 #include <optional>
 #include <vector>
 
+#include "src/api/execution_policy.h"
 #include "src/core/types.h"
-#include "src/rt/device.h"
 #include "src/rt/scene.h"
 #include "src/util/key_mapping.h"
 
@@ -73,6 +73,9 @@ class RtScan {
     core::LookupResult result;
     std::vector<Segment> segments;
     CollectSegments(lo, hi, 0, &segments);
+    core::LocalLookupCounters local;
+    local.rays_fired = segments.size();
+    counters_.Merge(local);
     std::vector<rt::Hit> hits;
     for (const Segment& s : segments) {
       hits.clear();
@@ -85,7 +88,8 @@ class RtScan {
   /// Batched range lookups, 32 queries in flight at a time; all segment
   /// rays of a group run as one kernel.
   void RangeLookupBatch(const core::KeyRange<Key>* ranges, std::size_t count,
-                        core::LookupResult* results) const {
+                        core::LookupResult* results,
+                        const api::ExecutionPolicy& policy = {}) const {
     std::vector<Segment> segments;
     for (std::size_t group = 0; group < count; group += kConcurrentQueries) {
       const std::size_t group_end =
@@ -96,7 +100,10 @@ class RtScan {
         CollectSegments(ranges[q].lo, ranges[q].hi, q, &segments);
       }
       std::vector<core::LookupResult> partial(segments.size());
-      rt::LaunchKernelChunked(segments.size(), 8, [&](std::size_t s) {
+      core::LocalLookupCounters local;
+      local.rays_fired = segments.size();
+      counters_.Merge(local);
+      policy.For(segments.size(), 8, [&](std::size_t s) {
         std::vector<rt::Hit> hits;
         scene_.CastRayCollectAll(SegmentRay(segments[s]), &hits);
         for (const rt::Hit& h : hits) {
@@ -116,6 +123,10 @@ class RtScan {
   }
 
   std::size_t size() const { return rows_.size(); }
+
+  /// Cumulative segment rays fired by lookups, feeding api::IndexStats.
+  const core::LookupCounters& stat_counters() const { return counters_; }
+  void ResetStatCounters() { counters_.Reset(); }
 
  private:
   struct Segment {
@@ -168,6 +179,7 @@ class RtScan {
   util::KeyMapping mapping_;
   rt::Scene scene_;
   std::vector<std::uint32_t> rows_;
+  mutable core::LookupCounters counters_;
   float dx_ = 0.5f;
   float dy_ = 0.5f;
   float dz_ = 0.5f;

@@ -6,8 +6,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/api/execution_policy.h"
 #include "src/core/types.h"
-#include "src/rt/device.h"
 #include "src/util/radix_sort.h"
 
 namespace cgrx::baselines {
@@ -61,15 +61,17 @@ class SortedArray {
   }
 
   void PointLookupBatch(const Key* keys, std::size_t count,
-                        core::LookupResult* results) const {
-    rt::LaunchKernelChunked(count, 256, [&](std::size_t i) {
+                        core::LookupResult* results,
+                        const api::ExecutionPolicy& policy = {}) const {
+    policy.For(count, 256, [&](std::size_t i) {
       results[i] = PointLookup(keys[i]);
     });
   }
 
   void RangeLookupBatch(const core::KeyRange<Key>* ranges, std::size_t count,
-                        core::LookupResult* results) const {
-    rt::LaunchKernelChunked(count, 16, [&](std::size_t i) {
+                        core::LookupResult* results,
+                        const api::ExecutionPolicy& policy = {}) const {
+    policy.For(count, 16, [&](std::size_t i) {
       results[i] = RangeLookup(ranges[i].lo, ranges[i].hi);
     });
   }

@@ -6,10 +6,10 @@
 #include <optional>
 #include <vector>
 
+#include "src/api/execution_policy.h"
 #include "src/core/bucket_array.h"
 #include "src/core/rep_scene.h"
 #include "src/core/types.h"
-#include "src/rt/device.h"
 #include "src/rt/scene.h"
 #include "src/util/bloom_filter.h"
 #include "src/util/key_mapping.h"
@@ -101,43 +101,48 @@ class CgrxIndex {
   /// match_count == 0). `rays_used`, when given, receives the number of
   /// rays fired (0 to 5, paper Section III).
   LookupResult PointLookup(Key key, int* rays_used = nullptr) const {
-    if (rays_used != nullptr) *rays_used = 0;
-    if (!miss_filter_.empty() &&
-        !miss_filter_.MayContain(static_cast<std::uint64_t>(key))) {
-      return LookupResult{};  // Definitely absent; no rays fired.
-    }
-    const auto bucket = LocateBucket(key, rays_used);
-    if (!bucket.has_value()) return LookupResult{};
-    return buckets_.PointSearch(*bucket, key, config_.bucket_search);
+    LocalLookupCounters local;
+    const LookupResult result = PointLookupCounted(key, rays_used, &local);
+    counters_.Merge(local);
+    return result;
   }
 
   /// Range lookup over [lo, hi]: one point-style ray sequence for the
   /// lower bound, then a linear scan of the contiguous key-rowID array
   /// (paper Section III-A).
   LookupResult RangeLookup(Key lo, Key hi) const {
-    if (buckets_.empty() || lo > hi) return LookupResult{};
-    if (static_cast<std::uint64_t>(lo) > rep_scene_.max_rep()) {
-      return LookupResult{};  // Paper: safe empty result.
-    }
-    const auto bucket = LocateBucket(lo, nullptr);
-    assert(bucket.has_value());
-    if (!bucket.has_value()) return LookupResult{};
-    return buckets_.RangeScan(*bucket, lo, hi);
+    LocalLookupCounters local;
+    const LookupResult result = RangeLookupCounted(lo, hi, &local);
+    counters_.Merge(local);
+    return result;
   }
 
-  /// Batched point lookups, one logical device thread per query.
+  /// Batched point lookups, one logical device thread per query; the
+  /// policy decides serial vs. pool-parallel execution. Stat counters
+  /// accumulate chunk-locally and merge once per chunk, keeping the
+  /// shared atomics off the timed hot loop.
   void PointLookupBatch(const Key* keys, std::size_t count,
-                        LookupResult* results) const {
-    rt::LaunchKernelChunked(count, 256, [&](std::size_t i) {
-      results[i] = PointLookup(keys[i]);
+                        LookupResult* results,
+                        const api::ExecutionPolicy& policy = {}) const {
+    policy.ForChunks(count, 256, [&](std::size_t begin, std::size_t end) {
+      LocalLookupCounters local;
+      for (std::size_t i = begin; i < end; ++i) {
+        results[i] = PointLookupCounted(keys[i], nullptr, &local);
+      }
+      counters_.Merge(local);
     });
   }
 
   /// Batched range lookups.
   void RangeLookupBatch(const KeyRange<Key>* ranges, std::size_t count,
-                        LookupResult* results) const {
-    rt::LaunchKernelChunked(count, 16, [&](std::size_t i) {
-      results[i] = RangeLookup(ranges[i].lo, ranges[i].hi);
+                        LookupResult* results,
+                        const api::ExecutionPolicy& policy = {}) const {
+    policy.ForChunks(count, 16, [&](std::size_t begin, std::size_t end) {
+      LocalLookupCounters local;
+      for (std::size_t i = begin; i < end; ++i) {
+        results[i] = RangeLookupCounted(ranges[i].lo, ranges[i].hi, &local);
+      }
+      counters_.Merge(local);
     });
   }
 
@@ -203,6 +208,11 @@ class CgrxIndex {
            (miss_filter_.empty() ? 0 : miss_filter_.MemoryFootprintBytes());
   }
 
+  /// Cumulative lookup-path counters (rays, bucket probes, miss-filter
+  /// rejections) feeding api::IndexStats.
+  const LookupCounters& stat_counters() const { return counters_; }
+  void ResetStatCounters() { counters_.Reset(); }
+
   std::size_t size() const { return buckets_.size(); }
   std::size_t num_buckets() const { return rep_scene_.num_buckets(); }
   bool multi_line() const { return rep_scene_.multi_line(); }
@@ -227,6 +237,38 @@ class CgrxIndex {
   }
 
  private:
+  LookupResult PointLookupCounted(Key key, int* rays_used,
+                                  LocalLookupCounters* counters) const {
+    if (rays_used != nullptr) *rays_used = 0;
+    if (!miss_filter_.empty() &&
+        !miss_filter_.MayContain(static_cast<std::uint64_t>(key))) {
+      ++counters->filter_rejections;
+      return LookupResult{};  // Definitely absent; no rays fired.
+    }
+    int rays = 0;
+    const auto bucket = LocateBucket(key, &rays);
+    counters->rays_fired += static_cast<std::uint64_t>(rays);
+    if (rays_used != nullptr) *rays_used = rays;
+    if (!bucket.has_value()) return LookupResult{};
+    ++counters->buckets_probed;
+    return buckets_.PointSearch(*bucket, key, config_.bucket_search);
+  }
+
+  LookupResult RangeLookupCounted(Key lo, Key hi,
+                                  LocalLookupCounters* counters) const {
+    if (buckets_.empty() || lo > hi) return LookupResult{};
+    if (static_cast<std::uint64_t>(lo) > rep_scene_.max_rep()) {
+      return LookupResult{};  // Paper: safe empty result.
+    }
+    int rays = 0;
+    const auto bucket = LocateBucket(lo, &rays);
+    counters->rays_fired += static_cast<std::uint64_t>(rays);
+    assert(bucket.has_value());
+    if (!bucket.has_value()) return LookupResult{};
+    ++counters->buckets_probed;
+    return buckets_.RangeScan(*bucket, lo, hi);
+  }
+
   static void SortPairs(std::vector<Key>* keys,
                         std::vector<std::uint32_t>* row_ids) {
     std::vector<std::uint64_t> wide(keys->begin(), keys->end());
@@ -283,6 +325,7 @@ class CgrxIndex {
   BucketArray<Key> buckets_;
   RepScene rep_scene_;
   util::BloomFilter miss_filter_;
+  mutable LookupCounters counters_;
 };
 
 using CgrxIndex32 = CgrxIndex<std::uint32_t>;

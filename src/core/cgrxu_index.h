@@ -9,9 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "src/api/execution_policy.h"
 #include "src/core/rep_scene.h"
 #include "src/core/types.h"
-#include "src/rt/device.h"
 #include "src/util/key_mapping.h"
 #include "src/util/radix_sort.h"
 
@@ -178,31 +178,43 @@ class CgrxuIndex {
   /// ("a point lookup terminating at a representative node that has been
   /// split can simply follow the next pointers", Section IV).
   LookupResult PointLookup(Key key, int* rays_used = nullptr) const {
-    const auto bucket = LocateBucket(key, rays_used);
-    if (!bucket.has_value()) return LookupResult{};
-    return ScanChain(*bucket, key, key);
+    LocalLookupCounters local;
+    const LookupResult result = LookupCounted(key, key, rays_used, &local);
+    counters_.Merge(local);
+    return result;
   }
 
   /// Range lookup [lo, hi]: locate the bucket of `lo`, then scan node
   /// chains (and subsequent buckets) in key order.
   LookupResult RangeLookup(Key lo, Key hi) const {
-    if (lo > hi) return LookupResult{};
-    const auto bucket = LocateBucket(lo, nullptr);
-    if (!bucket.has_value()) return LookupResult{};
-    return ScanChain(*bucket, lo, hi);
+    LocalLookupCounters local;
+    const LookupResult result = LookupCounted(lo, hi, nullptr, &local);
+    counters_.Merge(local);
+    return result;
   }
 
   void PointLookupBatch(const Key* keys, std::size_t count,
-                        LookupResult* results) const {
-    rt::LaunchKernelChunked(count, 256, [&](std::size_t i) {
-      results[i] = PointLookup(keys[i]);
+                        LookupResult* results,
+                        const api::ExecutionPolicy& policy = {}) const {
+    policy.ForChunks(count, 256, [&](std::size_t begin, std::size_t end) {
+      LocalLookupCounters local;
+      for (std::size_t i = begin; i < end; ++i) {
+        results[i] = LookupCounted(keys[i], keys[i], nullptr, &local);
+      }
+      counters_.Merge(local);
     });
   }
 
   void RangeLookupBatch(const KeyRange<Key>* ranges, std::size_t count,
-                        LookupResult* results) const {
-    rt::LaunchKernelChunked(count, 16, [&](std::size_t i) {
-      results[i] = RangeLookup(ranges[i].lo, ranges[i].hi);
+                        LookupResult* results,
+                        const api::ExecutionPolicy& policy = {}) const {
+    policy.ForChunks(count, 16, [&](std::size_t begin, std::size_t end) {
+      LocalLookupCounters local;
+      for (std::size_t i = begin; i < end; ++i) {
+        results[i] =
+            LookupCounted(ranges[i].lo, ranges[i].hi, nullptr, &local);
+      }
+      counters_.Merge(local);
     });
   }
 
@@ -213,7 +225,8 @@ class CgrxuIndex {
   /// region; the BVH is never touched.
   void UpdateBatch(std::vector<Key> insert_keys,
                    std::vector<std::uint32_t> insert_rows,
-                   std::vector<Key> delete_keys) {
+                   std::vector<Key> delete_keys,
+                   const api::ExecutionPolicy& policy = {}) {
     assert(insert_keys.size() == insert_rows.size());
     SortPairs(&insert_keys, &insert_rows);
     SortKeysOnly(&delete_keys);
@@ -224,7 +237,7 @@ class CgrxuIndex {
                        static_cast<std::uint32_t>(insert_keys.size()));
     const std::uint32_t buckets = num_data_buckets_ + 1;
     std::vector<std::int64_t> delta(buckets, 0);
-    rt::LaunchKernel(buckets, [&](std::size_t b) {
+    policy.For(buckets, 1, [&](std::size_t b) {
       const auto bucket = static_cast<std::uint32_t>(b);
       // Two binary searches delimit this bucket's slice of the batch
       // (keys in (rep[b-1], rep[b]]).
@@ -244,12 +257,14 @@ class CgrxuIndex {
     }
   }
 
-  void InsertBatch(std::vector<Key> keys, std::vector<std::uint32_t> rows) {
-    UpdateBatch(std::move(keys), std::move(rows), {});
+  void InsertBatch(std::vector<Key> keys, std::vector<std::uint32_t> rows,
+                   const api::ExecutionPolicy& policy = {}) {
+    UpdateBatch(std::move(keys), std::move(rows), {}, policy);
   }
 
-  void EraseBatch(std::vector<Key> keys) {
-    UpdateBatch({}, {}, std::move(keys));
+  void EraseBatch(std::vector<Key> keys,
+                  const api::ExecutionPolicy& policy = {}) {
+    UpdateBatch({}, {}, std::move(keys), policy);
   }
 
   /// Current footprint: every allocated node is charged at the
@@ -260,6 +275,10 @@ class CgrxuIndex {
     return static_cast<std::size_t>(allocated_nodes_) * config_.node_bytes +
            rep_keys_.size() * sizeof(Key) + rep_scene_.MemoryFootprintBytes();
   }
+
+  /// Cumulative lookup-path counters feeding api::IndexStats.
+  const LookupCounters& stat_counters() const { return counters_; }
+  void ResetStatCounters() { counters_.Reset(); }
 
   std::size_t size() const { return total_size_; }
   std::uint32_t node_capacity() const { return node_capacity_; }
@@ -330,6 +349,21 @@ class CgrxuIndex {
     *ins = std::move(ins_out);
     *ins_rows = std::move(rows_out);
     *del = std::move(del_out);
+  }
+
+  /// Shared lookup core of PointLookup/RangeLookup ([lo, hi] with
+  /// lo == hi for points), counting into a caller-local accumulator.
+  LookupResult LookupCounted(Key lo, Key hi, int* rays_used,
+                             LocalLookupCounters* counters) const {
+    if (rays_used != nullptr) *rays_used = 0;
+    if (lo > hi) return LookupResult{};
+    int rays = 0;
+    const auto bucket = LocateBucket(lo, &rays);
+    counters->rays_fired += static_cast<std::uint64_t>(rays);
+    if (rays_used != nullptr) *rays_used = rays;
+    if (!bucket.has_value()) return LookupResult{};
+    ++counters->buckets_probed;
+    return ScanChain(*bucket, lo, hi);
   }
 
   /// Bucket that owns `key`: the raytraced bucket for keys within the
@@ -512,6 +546,7 @@ class CgrxuIndex {
   std::vector<NodeMeta> meta_;
   std::vector<Key> rep_keys_;  ///< Fixed bucket boundaries.
   RepScene rep_scene_;
+  mutable LookupCounters counters_;
 };
 
 template <typename Key>

@@ -1,6 +1,7 @@
 #ifndef CGRX_SRC_CORE_TYPES_H_
 #define CGRX_SRC_CORE_TYPES_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace cgrx::core {
@@ -32,6 +33,63 @@ template <typename Key>
 struct KeyRange {
   Key lo = 0;
   Key hi = 0;
+};
+
+/// Per-thread (or per-chunk) counter accumulator. Batch lookups count
+/// into one of these locally and merge once per chunk, so the shared
+/// atomics below are not contended inside the timed hot loop.
+struct LocalLookupCounters {
+  std::uint64_t rays_fired = 0;
+  std::uint64_t buckets_probed = 0;
+  std::uint64_t filter_rejections = 0;
+};
+
+/// Cumulative lookup-path counters maintained by the raytracing-backed
+/// indexes and surfaced through api::IndexStats. Increments use relaxed
+/// atomics: cheap on the hot path, exact in aggregate once a batch has
+/// synchronized, but unordered relative to concurrent lookups. Copying
+/// an index snapshots the current values.
+struct LookupCounters {
+  std::atomic<std::uint64_t> rays_fired{0};
+  std::atomic<std::uint64_t> buckets_probed{0};
+  std::atomic<std::uint64_t> filter_rejections{0};
+
+  LookupCounters() = default;
+  LookupCounters(const LookupCounters& other)
+      : rays_fired(other.rays_fired.load(std::memory_order_relaxed)),
+        buckets_probed(other.buckets_probed.load(std::memory_order_relaxed)),
+        filter_rejections(
+            other.filter_rejections.load(std::memory_order_relaxed)) {}
+  LookupCounters& operator=(const LookupCounters& other) {
+    rays_fired.store(other.rays_fired.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    buckets_probed.store(other.buckets_probed.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    filter_rejections.store(
+        other.filter_rejections.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    return *this;
+  }
+
+  void Reset() {
+    rays_fired.store(0, std::memory_order_relaxed);
+    buckets_probed.store(0, std::memory_order_relaxed);
+    filter_rejections.store(0, std::memory_order_relaxed);
+  }
+
+  void Merge(const LocalLookupCounters& local) {
+    if (local.rays_fired != 0) {
+      rays_fired.fetch_add(local.rays_fired, std::memory_order_relaxed);
+    }
+    if (local.buckets_probed != 0) {
+      buckets_probed.fetch_add(local.buckets_probed,
+                               std::memory_order_relaxed);
+    }
+    if (local.filter_rejections != 0) {
+      filter_rejections.fetch_add(local.filter_rejections,
+                                  std::memory_order_relaxed);
+    }
+  }
 };
 
 }  // namespace cgrx::core

@@ -6,8 +6,8 @@
 #include <optional>
 #include <vector>
 
+#include "src/api/execution_policy.h"
 #include "src/core/types.h"
-#include "src/rt/device.h"
 #include "src/rt/scene.h"
 #include "src/util/key_mapping.h"
 #include "src/util/radix_sort.h"
@@ -103,14 +103,9 @@ class RxIndex {
   /// collecting every hit (duplicate keys are distinct triangles at the
   /// same position).
   core::LookupResult PointLookup(Key key) const {
-    core::LookupResult result;
-    if (scene_.triangle_count() == 0) return result;
-    const auto g = mapping_.GridOf(static_cast<std::uint64_t>(key));
-    std::vector<rt::Hit> hits;
-    scene_.CastRayCollectAll(PointRay(g), &hits);
-    for (const rt::Hit& h : hits) {
-      result.Accumulate(row_of_slot_[h.primitive_index]);
-    }
+    core::LocalLookupCounters local;
+    const core::LookupResult result = PointLookupCounted(key, &local);
+    counters_.Merge(local);
     return result;
   }
 
@@ -118,38 +113,33 @@ class RxIndex {
   /// range ("firing one or multiple rays in parallel to the x-axis"),
   /// each limited to the in-range x-span of its row.
   core::LookupResult RangeLookup(Key lo, Key hi) const {
-    core::LookupResult result;
-    if (scene_.triangle_count() == 0 || lo > hi) return result;
-    const std::uint64_t row_lo = mapping_.RowKey(lo);
-    const std::uint64_t row_hi = mapping_.RowKey(hi);
-    std::vector<rt::Hit> hits;
-    for (std::uint64_t row = row_lo; row <= row_hi; ++row) {
-      const std::uint32_t x_lo =
-          row == row_lo ? mapping_.GridOf(static_cast<std::uint64_t>(lo)).x
-                        : 0;
-      const std::uint32_t x_hi =
-          row == row_hi ? mapping_.GridOf(static_cast<std::uint64_t>(hi)).x
-                        : mapping_.x_max();
-      hits.clear();
-      scene_.CastRayCollectAll(RowSegmentRay(row, x_lo, x_hi), &hits);
-      for (const rt::Hit& h : hits) {
-        result.Accumulate(row_of_slot_[h.primitive_index]);
-      }
-    }
+    core::LocalLookupCounters local;
+    const core::LookupResult result = RangeLookupCounted(lo, hi, &local);
+    counters_.Merge(local);
     return result;
   }
 
   void PointLookupBatch(const Key* keys, std::size_t count,
-                        core::LookupResult* results) const {
-    rt::LaunchKernelChunked(count, 256, [&](std::size_t i) {
-      results[i] = PointLookup(keys[i]);
+                        core::LookupResult* results,
+                        const api::ExecutionPolicy& policy = {}) const {
+    policy.ForChunks(count, 256, [&](std::size_t begin, std::size_t end) {
+      core::LocalLookupCounters local;
+      for (std::size_t i = begin; i < end; ++i) {
+        results[i] = PointLookupCounted(keys[i], &local);
+      }
+      counters_.Merge(local);
     });
   }
 
   void RangeLookupBatch(const core::KeyRange<Key>* ranges, std::size_t count,
-                        core::LookupResult* results) const {
-    rt::LaunchKernelChunked(count, 16, [&](std::size_t i) {
-      results[i] = RangeLookup(ranges[i].lo, ranges[i].hi);
+                        core::LookupResult* results,
+                        const api::ExecutionPolicy& policy = {}) const {
+    policy.ForChunks(count, 16, [&](std::size_t begin, std::size_t end) {
+      core::LocalLookupCounters local;
+      for (std::size_t i = begin; i < end; ++i) {
+        results[i] = RangeLookupCounted(ranges[i].lo, ranges[i].hi, &local);
+      }
+      counters_.Merge(local);
     });
   }
 
@@ -258,7 +248,49 @@ class RxIndex {
   const rt::Scene& scene() const { return scene_; }
   const util::KeyMapping& mapping() const { return mapping_; }
 
+  /// Cumulative rays fired by lookups, feeding api::IndexStats.
+  const core::LookupCounters& stat_counters() const { return counters_; }
+  void ResetStatCounters() { counters_.Reset(); }
+
  private:
+  core::LookupResult PointLookupCounted(
+      Key key, core::LocalLookupCounters* counters) const {
+    core::LookupResult result;
+    if (scene_.triangle_count() == 0) return result;
+    const auto g = mapping_.GridOf(static_cast<std::uint64_t>(key));
+    std::vector<rt::Hit> hits;
+    ++counters->rays_fired;
+    scene_.CastRayCollectAll(PointRay(g), &hits);
+    for (const rt::Hit& h : hits) {
+      result.Accumulate(row_of_slot_[h.primitive_index]);
+    }
+    return result;
+  }
+
+  core::LookupResult RangeLookupCounted(
+      Key lo, Key hi, core::LocalLookupCounters* counters) const {
+    core::LookupResult result;
+    if (scene_.triangle_count() == 0 || lo > hi) return result;
+    const std::uint64_t row_lo = mapping_.RowKey(lo);
+    const std::uint64_t row_hi = mapping_.RowKey(hi);
+    std::vector<rt::Hit> hits;
+    for (std::uint64_t row = row_lo; row <= row_hi; ++row) {
+      const std::uint32_t x_lo =
+          row == row_lo ? mapping_.GridOf(static_cast<std::uint64_t>(lo)).x
+                        : 0;
+      const std::uint32_t x_hi =
+          row == row_hi ? mapping_.GridOf(static_cast<std::uint64_t>(hi)).x
+                        : mapping_.x_max();
+      hits.clear();
+      ++counters->rays_fired;
+      scene_.CastRayCollectAll(RowSegmentRay(row, x_lo, x_hi), &hits);
+      for (const rt::Hit& h : hits) {
+        result.Accumulate(row_of_slot_[h.primitive_index]);
+      }
+    }
+    return result;
+  }
+
   static void SortKeysOnly(std::vector<Key>* keys) {
     std::vector<std::uint64_t> wide(keys->begin(), keys->end());
     util::RadixSortKeys(&wide, kKeyBits);
@@ -347,6 +379,7 @@ class RxIndex {
   std::vector<std::uint32_t> row_of_slot_;
   std::vector<std::uint32_t> free_slots_;
   std::size_t live_ = 0;
+  mutable core::LookupCounters counters_;
   float dx_ = 0.5f;
   float dy_ = 0.5f;
   float dz_ = 0.5f;

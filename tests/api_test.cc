@@ -1,0 +1,378 @@
+// Conformance suite for the unified public API (src/api): every
+// factory-registered backend, at both key widths, must build, look up,
+// insert and erase consistently with a multimap oracle -- gated on the
+// capabilities it reports -- and parallel batch execution must produce
+// byte-identical results to serial execution. Also covers the factory
+// registry itself, the width-erased AnyIndex handle and the IndexStats
+// counters.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/api/adapters.h"
+#include "src/api/any_index.h"
+#include "src/api/factory.h"
+#include "src/api/index.h"
+#include "src/core/cgrx_index.h"
+#include "src/util/rng.h"
+
+namespace cgrx::api {
+namespace {
+
+using ::cgrx::core::KeyRange;
+using ::cgrx::core::LookupResult;
+using ::cgrx::util::Rng;
+
+constexpr const char* kAllBackends[] = {"cgrx", "cgrxu",    "rx",
+                                        "sa",   "btree",    "ht",
+                                        "fullscan", "rtscan"};
+
+/// Shuffled key set with duplicates, bounded to `key_bits`.
+std::vector<std::uint64_t> MakeKeys(int key_bits, std::size_t count,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  const std::uint64_t bound =
+      key_bits == 32 ? 0xffffffffULL : 0x00ffffffffffffffULL;
+  std::vector<std::uint64_t> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i % 8 == 7 && !keys.empty()) {
+      keys.push_back(keys[rng.Below(keys.size())]);  // Duplicate.
+    } else {
+      keys.push_back(rng.Below(bound));
+    }
+  }
+  return keys;
+}
+
+/// Order-independent aggregate the indexes must reproduce.
+LookupResult OracleRange(const std::multimap<std::uint64_t, std::uint32_t>&
+                             oracle,
+                         std::uint64_t lo, std::uint64_t hi) {
+  LookupResult expected;
+  for (auto it = oracle.lower_bound(lo);
+       it != oracle.end() && it->first <= hi; ++it) {
+    expected.Accumulate(it->second);
+  }
+  return expected;
+}
+
+struct ApiTestParam {
+  std::string backend;
+  int key_bits;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<ApiTestParam>& info) {
+  return info.param.backend + "_" + std::to_string(info.param.key_bits);
+}
+
+std::vector<ApiTestParam> AllParams() {
+  std::vector<ApiTestParam> params;
+  for (const char* backend : kAllBackends) {
+    params.push_back({backend, 32});
+    params.push_back({backend, 64});
+  }
+  return params;
+}
+
+class ApiConformanceTest : public ::testing::TestWithParam<ApiTestParam> {
+ protected:
+  AnyIndex Make() const {
+    return MakeAnyIndex(GetParam().backend, GetParam().key_bits);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ApiConformanceTest,
+                         ::testing::ValuesIn(AllParams()), ParamName);
+
+// ---------------------------------------------------------------------
+// Factory registry.
+// ---------------------------------------------------------------------
+
+TEST(IndexFactoryTest, AllEightCompetitorsRegisteredAtBothWidths) {
+  const auto names32 = IndexFactory<std::uint32_t>::Global().Names();
+  const auto names64 = IndexFactory<std::uint64_t>::Global().Names();
+  for (const char* backend : kAllBackends) {
+    EXPECT_TRUE(std::count(names32.begin(), names32.end(), backend))
+        << backend << " missing from the 32-bit registry";
+    EXPECT_TRUE(std::count(names64.begin(), names64.end(), backend))
+        << backend << " missing from the 64-bit registry";
+  }
+}
+
+TEST(IndexFactoryTest, UnknownBackendThrows) {
+  EXPECT_THROW(MakeIndex<std::uint64_t>("no-such-index"),
+               std::invalid_argument);
+  EXPECT_FALSE(IndexFactory<std::uint64_t>::Global().Contains("nope"));
+}
+
+TEST(IndexFactoryTest, OptionsReachTheBackend) {
+  IndexOptions options;
+  options.bucket_size = 256;
+  const auto index = MakeIndex<std::uint64_t>("cgrx", options);
+  auto* adapter =
+      dynamic_cast<IndexAdapter<core::CgrxIndex64>*>(index.get());
+  ASSERT_NE(adapter, nullptr);
+  EXPECT_EQ(adapter->impl().config().bucket_size, 256u);
+}
+
+TEST(IndexFactoryTest, RuntimeRegistrationAndDuplicateRejection) {
+  auto& factory = IndexFactory<std::uint64_t>::Global();
+  const auto creator = [](const IndexOptions& options) {
+    return MakeIndex<std::uint64_t>("sa", options);
+  };
+  EXPECT_FALSE(factory.Register("cgrx", creator));  // Name taken.
+  EXPECT_THROW(factory.Register("null-creator", nullptr),
+               std::invalid_argument);
+  EXPECT_FALSE(factory.Contains("null-creator"));
+
+  // New backends can alias onto existing creators at runtime.
+  ASSERT_TRUE(factory.Register("sa-alias", creator));
+  const auto index = MakeIndex<std::uint64_t>("sa-alias");
+  index->Build({3, 1, 2});
+  EXPECT_EQ(index->size(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Capability-gated conformance against a multimap oracle.
+// ---------------------------------------------------------------------
+
+TEST_P(ApiConformanceTest, BuildLookupUpdateEraseMatchOracle) {
+  AnyIndex index = Make();
+  const auto keys = MakeKeys(GetParam().key_bits, 1500, 101);
+  std::multimap<std::uint64_t, std::uint32_t> oracle;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    oracle.emplace(keys[i], static_cast<std::uint32_t>(i));
+  }
+  index.Build(keys);
+  EXPECT_EQ(index.size(), keys.size());
+
+  const Capabilities caps = index.capabilities();
+  Rng rng(202);
+  auto check_lookups = [&](const std::string& phase) {
+    if (caps.point_lookup) {
+      std::vector<std::uint64_t> probes;
+      for (int i = 0; i < 300; ++i) {
+        probes.push_back(i % 2 == 0 ? keys[rng.Below(keys.size())]
+                                    : rng.Below(1ULL << 32));
+      }
+      std::vector<LookupResult> results;
+      index.PointLookupBatch(probes, &results);
+      ASSERT_EQ(results.size(), probes.size());
+      for (std::size_t i = 0; i < probes.size(); ++i) {
+        ASSERT_EQ(results[i], OracleRange(oracle, probes[i], probes[i]))
+            << phase << " point lookup of " << probes[i];
+      }
+    }
+    if (caps.range_lookup) {
+      std::vector<KeyRange<std::uint64_t>> ranges;
+      for (int i = 0; i < 60; ++i) {
+        const std::uint64_t lo = keys[rng.Below(keys.size())];
+        ranges.push_back({lo, lo + rng.Below(64)});
+      }
+      std::vector<LookupResult> results;
+      index.RangeLookupBatch(ranges, &results);
+      ASSERT_EQ(results.size(), ranges.size());
+      for (std::size_t i = 0; i < ranges.size(); ++i) {
+        ASSERT_EQ(results[i],
+                  OracleRange(oracle, ranges[i].lo, ranges[i].hi))
+            << phase << " range lookup [" << ranges[i].lo << ", "
+            << ranges[i].hi << "]";
+      }
+    }
+  };
+  check_lookups("fresh");
+
+  if (caps.updates) {
+    // Insert fresh keys with distinct rowIDs.
+    std::vector<std::uint64_t> insert_keys;
+    std::vector<std::uint32_t> insert_rows;
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t k = rng.Below(1ULL << 31);
+      const auto row = static_cast<std::uint32_t>(keys.size() + i);
+      insert_keys.push_back(k);
+      insert_rows.push_back(row);
+      oracle.emplace(k, row);
+    }
+    index.InsertBatch(insert_keys, insert_rows);
+
+    // Erase one instance per key for a mix of present/absent keys.
+    std::vector<std::uint64_t> erase_keys;
+    for (int i = 0; i < 150; ++i) {
+      erase_keys.push_back(i % 3 == 2 ? rng.Below(1ULL << 31)
+                                      : keys[rng.Below(keys.size())]);
+    }
+    for (const std::uint64_t k : erase_keys) {
+      const auto it = oracle.find(k);
+      if (it != oracle.end()) oracle.erase(it);
+    }
+    index.EraseBatch(erase_keys);
+    EXPECT_EQ(index.size(), oracle.size());
+    check_lookups("after updates");
+  }
+}
+
+TEST_P(ApiConformanceTest, UnsupportedOperationsThrow) {
+  AnyIndex index = Make();
+  index.Build(MakeKeys(GetParam().key_bits, 64, 7));
+  const Capabilities caps = index.capabilities();
+  std::vector<std::uint64_t> probes = {1, 2, 3};
+  std::vector<KeyRange<std::uint64_t>> ranges = {{1, 5}};
+  std::vector<LookupResult> results;
+  if (!caps.point_lookup) {
+    EXPECT_THROW(index.PointLookupBatch(probes, &results),
+                 UnsupportedOperationError);
+  }
+  if (!caps.range_lookup) {
+    EXPECT_THROW(index.RangeLookupBatch(ranges, &results),
+                 UnsupportedOperationError);
+  }
+  if (!caps.updates) {
+    EXPECT_THROW(index.InsertBatch(probes, {1, 2, 3}),
+                 UnsupportedOperationError);
+    EXPECT_THROW(index.EraseBatch(probes), UnsupportedOperationError);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Determinism: parallel batches must be byte-identical to serial ones.
+// ---------------------------------------------------------------------
+
+TEST_P(ApiConformanceTest, ParallelExecutionMatchesSerial) {
+  AnyIndex index = Make();
+  const auto keys = MakeKeys(GetParam().key_bits, 2000, 303);
+  index.Build(keys);
+  const Capabilities caps = index.capabilities();
+
+  Rng rng(404);
+  if (caps.point_lookup) {
+    std::vector<std::uint64_t> probes;
+    for (int i = 0; i < 1000; ++i) {
+      probes.push_back(keys[rng.Below(keys.size())]);
+    }
+    std::vector<LookupResult> serial;
+    std::vector<LookupResult> parallel;
+    std::vector<LookupResult> parallel_fine;
+    index.PointLookupBatch(probes, &serial, ExecutionPolicy::Serial());
+    index.PointLookupBatch(probes, &parallel, ExecutionPolicy::Parallel());
+    index.PointLookupBatch(probes, &parallel_fine,
+                           ExecutionPolicy::Parallel(/*grain=*/1));
+    EXPECT_EQ(serial, parallel);
+    EXPECT_EQ(serial, parallel_fine);
+  }
+  if (caps.range_lookup) {
+    std::vector<KeyRange<std::uint64_t>> ranges;
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t lo = keys[rng.Below(keys.size())];
+      ranges.push_back({lo, lo + rng.Below(32)});
+    }
+    std::vector<LookupResult> serial;
+    std::vector<LookupResult> parallel;
+    index.RangeLookupBatch(ranges, &serial, ExecutionPolicy::Serial());
+    index.RangeLookupBatch(ranges, &parallel,
+                           ExecutionPolicy::Parallel(/*grain=*/3));
+    EXPECT_EQ(serial, parallel);
+  }
+}
+
+// ---------------------------------------------------------------------
+// IndexStats introspection.
+// ---------------------------------------------------------------------
+
+TEST_P(ApiConformanceTest, StatsReportFootprintAndEntries) {
+  AnyIndex index = Make();
+  const auto keys = MakeKeys(GetParam().key_bits, 500, 11);
+  index.Build(keys);
+  const IndexStats stats = index.Stats();
+  EXPECT_GT(stats.memory_bytes, 0u);
+  EXPECT_EQ(stats.entries, keys.size());
+}
+
+TEST(IndexStatsTest, CgrxCountsRaysAndBucketProbes) {
+  const auto index = MakeIndex<std::uint64_t>("cgrx");
+  std::vector<std::uint64_t> keys(4096);
+  for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = 3 * i;
+  index->Build(std::vector<std::uint64_t>(keys));
+  EXPECT_EQ(index->Stats().rays_fired, 0u);
+
+  std::vector<LookupResult> results;
+  index->PointLookupBatch(keys, &results);
+  const IndexStats stats = index->Stats();
+  // Most lookups fire 1-5 rays; a few resolve ray-free against the
+  // optimized representation (paper Section III).
+  EXPECT_GT(stats.rays_fired, keys.size() / 2);
+  EXPECT_LE(stats.rays_fired, 5 * keys.size());
+  EXPECT_EQ(stats.buckets_probed, keys.size());
+  EXPECT_EQ(stats.filter_rejections, 0u);
+}
+
+TEST(IndexStatsTest, MissFilterRejectionsAreCounted) {
+  IndexOptions options;
+  options.miss_filter_bits_per_key = 16;
+  const auto index = MakeIndex<std::uint64_t>("cgrx", options);
+  std::vector<std::uint64_t> keys(2048);
+  for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = 2 * i;
+  index->Build(std::vector<std::uint64_t>(keys));
+
+  std::vector<std::uint64_t> misses(keys.size());
+  for (std::size_t i = 0; i < misses.size(); ++i) misses[i] = 2 * i + 1;
+  std::vector<LookupResult> results;
+  index->PointLookupBatch(misses, &results);
+  for (const LookupResult& r : results) EXPECT_TRUE(r.IsMiss());
+  // A 16-bits-per-key blocked Bloom filter rejects nearly all misses.
+  EXPECT_GT(index->Stats().filter_rejections, misses.size() / 2);
+}
+
+TEST(IndexStatsTest, RtScanCountsSegmentRays) {
+  const auto index = MakeIndex<std::uint32_t>("rtscan");
+  std::vector<std::uint32_t> keys(1024);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<std::uint32_t>(i);
+  }
+  index->Build(std::vector<std::uint32_t>(keys));
+  std::vector<KeyRange<std::uint32_t>> ranges = {{10, 200}, {300, 310}};
+  std::vector<LookupResult> results;
+  index->RangeLookupBatch(ranges, &results);
+  // One segment ray per kSegmentWidth-wide span: [10,200] needs three,
+  // [300,310] one.
+  EXPECT_EQ(index->Stats().rays_fired, 4u);
+}
+
+TEST(IndexStatsTest, RxCountsRays) {
+  const auto index = MakeIndex<std::uint32_t>("rx");
+  std::vector<std::uint32_t> keys(1024);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<std::uint32_t>(i);
+  }
+  index->Build(std::vector<std::uint32_t>(keys));
+  std::vector<std::uint32_t> probes(keys.begin(), keys.begin() + 100);
+  std::vector<LookupResult> results;
+  index->PointLookupBatch(probes, &results);
+  EXPECT_EQ(index->Stats().rays_fired, probes.size());  // One ray each.
+}
+
+// ---------------------------------------------------------------------
+// Width-erased handle.
+// ---------------------------------------------------------------------
+
+TEST(AnyIndexTest, NarrowsKeysFor32BitBackends) {
+  AnyIndex index = MakeAnyIndex("sa", 32);
+  EXPECT_EQ(index.key_bits(), 32);
+  EXPECT_EQ(index.name(), "sa");
+  index.Build({5, 1, 3});
+  std::vector<LookupResult> results;
+  index.PointLookupBatch({1, 2}, &results);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].match_count, 1u);
+  EXPECT_TRUE(results[1].IsMiss());
+  EXPECT_NE(index.as32(), nullptr);
+  EXPECT_EQ(index.as64(), nullptr);
+}
+
+}  // namespace
+}  // namespace cgrx::api

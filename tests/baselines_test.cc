@@ -20,6 +20,10 @@
 namespace cgrx::baselines {
 namespace {
 
+// The B+ baseline is templated over the key width since the unified
+// API refactor; these tests exercise the paper's 32-bit configuration.
+using BPlusTree = ::cgrx::baselines::BPlusTree32;
+
 using ::cgrx::core::KeyRange;
 using ::cgrx::core::LookupResult;
 using ::cgrx::util::KeyDistribution;

@@ -48,7 +48,7 @@ TEST_P(CrossIndexAgreementTest, AllIndexesAgreeOnPointLookups) {
   rx_index.Build(std::vector<std::uint32_t>(keys32));
   baselines::SortedArray<std::uint32_t> sa;
   sa.Build(std::vector<std::uint32_t>(keys32));
-  baselines::BPlusTree bt;
+  baselines::BPlusTree32 bt;
   bt.Build(std::vector<std::uint32_t>(keys32));
   baselines::HashTable<std::uint32_t> ht;
   ht.Build(std::vector<std::uint32_t>(keys32));
@@ -83,7 +83,7 @@ TEST_P(CrossIndexAgreementTest, RangeCapableIndexesAgreeOnRanges) {
   rx_index.Build(std::vector<std::uint32_t>(keys32));
   baselines::SortedArray<std::uint32_t> sa;
   sa.Build(std::vector<std::uint32_t>(keys32));
-  baselines::BPlusTree bt;
+  baselines::BPlusTree32 bt;
   bt.Build(std::vector<std::uint32_t>(keys32));
   // RTScan sweeps the whole key-distance of a range in fixed segments
   // (it is a dense-scan design); on sparse distributions that is
@@ -142,7 +142,7 @@ TEST(CrossIndexUpdates, UpdatableIndexesAgreeAfterWaves) {
   cgrxu.Build(std::vector<std::uint32_t>(keys32));
   core::CgrxIndex32 cgrx_rebuild;
   cgrx_rebuild.Build(std::vector<std::uint32_t>(keys32));
-  baselines::BPlusTree bt;
+  baselines::BPlusTree32 bt;
   bt.Build(std::vector<std::uint32_t>(keys32));
   baselines::HashTable<std::uint32_t> ht(0.4);
   ht.Build(std::vector<std::uint32_t>(keys32));
@@ -203,7 +203,7 @@ TEST(FailureInjection, AllIndexesSurviveEmptyBuilds) {
   rx_index.Build(std::vector<std::uint64_t>{});
   baselines::SortedArray<std::uint64_t> sa;
   sa.Build(std::vector<std::uint64_t>{});
-  baselines::BPlusTree bt;
+  baselines::BPlusTree32 bt;
   bt.Build(std::vector<std::uint32_t>{});
   baselines::HashTable<std::uint64_t> ht;
   ht.Build(std::vector<std::uint64_t>{});
@@ -232,7 +232,7 @@ TEST(FailureInjection, DuplicateFloodAcrossIndexes) {
   cgrxu.Build(std::vector<std::uint32_t>(keys));
   baselines::SortedArray<std::uint32_t> sa;
   sa.Build(std::vector<std::uint32_t>(keys));
-  baselines::BPlusTree bt;
+  baselines::BPlusTree32 bt;
   bt.Build(std::vector<std::uint32_t>(keys));
   for (const std::uint32_t k : {0u, 1000u, 2000u, 3000u}) {
     const LookupResult expected = sa.PointLookup(k);

@@ -13,7 +13,7 @@
 
 #include "src/rt/aabb.h"
 #include "src/rt/bvh.h"
-#include "src/rt/device.h"
+#include "src/api/execution_policy.h"
 #include "src/rt/scene.h"
 #include "src/util/rng.h"
 
@@ -432,10 +432,18 @@ TEST(Scene, MemoryFootprintGrowsWithTriangles) {
   EXPECT_EQ(b.soup().MemoryBytes(), 100u * 36u);
 }
 
-TEST(LaunchKernel, ExecutesEveryIndexOnce) {
+TEST(ExecutionPolicyKernel, ExecutesEveryIndexOnce) {
   std::vector<std::atomic<int>> counts(4096);
-  LaunchKernel(counts.size(), [&](std::size_t i) { counts[i].fetch_add(1); });
+  api::ExecutionPolicy().For(counts.size(), 64, [&](std::size_t i) {
+    counts[i].fetch_add(1);
+  });
   for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+
+  std::vector<std::atomic<int>> serial_counts(512);
+  api::ExecutionPolicy::Serial().For(
+      serial_counts.size(), 64,
+      [&](std::size_t i) { serial_counts[i].fetch_add(1); });
+  for (const auto& c : serial_counts) EXPECT_EQ(c.load(), 1);
 }
 
 TEST(BvhDepth, ReasonableForUniformScene) {
