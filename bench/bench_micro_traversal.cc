@@ -1,0 +1,244 @@
+// Traversal-engine microbenchmark: cgRX point-lookup batch throughput
+// over the {binary, wide} x {unsorted, coherent} matrix, plus per-ray
+// node-visit counts and acceleration-structure memory, emitted as
+// machine-readable JSON (BENCH_traversal.json).
+//
+// Standalone (no google-benchmark dependency) so the Release CI job can
+// always build and smoke-run it:
+//
+//   bench_micro_traversal [--keys N] [--lookups M] [--out FILE]
+//
+// Defaults reproduce the acceptance configuration: 10M uniform uint64
+// keys, 2M hit-only lookups per cell. The headline speedup is the
+// serial-policy ratio binary+unsorted -> wide+coherent.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/api/execution_policy.h"
+#include "src/core/cgrx_index.h"
+#include "src/rt/scene.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using cgrx::api::ExecutionPolicy;
+using cgrx::core::CgrxConfig;
+using cgrx::core::CgrxIndex64;
+using cgrx::core::LookupResult;
+using cgrx::rt::TraversalEngine;
+using cgrx::rt::TraversalStats;
+using cgrx::util::Rng;
+using cgrx::util::Timer;
+
+struct CellResult {
+  const char* engine;
+  bool coherent;
+  double serial_lookups_per_sec;
+  double parallel_lookups_per_sec;
+  double rays_per_lookup;
+};
+
+double MeasureLookups(const CgrxIndex64& index,
+                      const std::vector<std::uint64_t>& probes,
+                      std::vector<LookupResult>* results,
+                      const ExecutionPolicy& policy) {
+  Timer timer;
+  index.PointLookupBatch(probes.data(), probes.size(), results->data(),
+                         policy);
+  const double seconds = timer.ElapsedSeconds();
+  return static_cast<double>(probes.size()) / seconds;
+}
+
+/// Mean BVH nodes visited by the first lookup ray (the x-ray along the
+/// key's row), per engine -- the structural cost the wide layout cuts.
+double NodesPerRay(const CgrxIndex64& index,
+                   const std::vector<std::uint64_t>& probes,
+                   std::size_t sample, TraversalEngine engine) {
+  const auto& mapping = index.mapping();
+  TraversalStats stats;
+  sample = std::min(sample, probes.size());
+  for (std::size_t i = 0; i < sample; ++i) {
+    const auto g = mapping.GridOf(probes[i]);
+    cgrx::rt::Ray ray;
+    ray.origin = {mapping.WorldX(g.x) - 0.5f, mapping.WorldY(g.y),
+                  mapping.WorldZ(g.z)};
+    ray.direction = {1, 0, 0};
+    ray.t_min = 0;
+    ray.t_max = static_cast<float>(mapping.x_max() - g.x) + 1.0f;
+    if (engine == TraversalEngine::kBinary) {
+      index.scene().CastRayBinary(ray, &stats);
+    } else {
+      index.scene().CastRayWide(ray, &stats);
+    }
+  }
+  return sample == 0 ? 0.0
+                     : static_cast<double>(stats.nodes_visited) /
+                           static_cast<double>(sample);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t num_keys = 10'000'000;
+  std::size_t num_lookups = 2'000'000;
+  std::string out_path = "BENCH_traversal.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--keys") {
+      num_keys = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--lookups") {
+      num_lookups = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--out") {
+      out_path = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--keys N] [--lookups M] [--out FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (num_keys == 0 || num_lookups == 0) {
+    std::fprintf(stderr, "--keys and --lookups must be positive\n");
+    return 2;
+  }
+
+  Rng rng(0xb0c4e7);
+  std::vector<std::uint64_t> keys(num_keys);
+  for (auto& k : keys) k = rng();
+
+  std::printf("building cgRX over %zu uniform uint64 keys...\n", num_keys);
+  Timer build_timer;
+  CgrxIndex64 index{CgrxConfig{}};
+  index.Build(keys);
+  const double build_seconds = build_timer.ElapsedSeconds();
+  std::printf("build: %.2fs, %zu buckets, footprint %.1f MiB\n",
+              build_seconds, index.num_buckets(),
+              static_cast<double>(index.MemoryFootprintBytes()) /
+                  (1024.0 * 1024.0));
+
+  // Hit-only probe workload (the paper's recommended lookup scenario),
+  // drawn uniformly from the key set, in random (incoherent) order.
+  std::vector<std::uint64_t> probes(num_lookups);
+  for (auto& p : probes) p = keys[rng.Below(num_keys)];
+  std::vector<LookupResult> results(num_lookups);
+
+  // Binary MemoryBytes() includes the packed prim-index array; the wide
+  // structure shares that array, so report both its node-only bytes
+  // (the acceptance metric) and its resident bytes (nodes + shared prim
+  // array, matching Scene::MemoryFootprintBytes accounting).
+  const std::size_t prim_index_bytes =
+      index.scene().bvh().prim_indices().size() * sizeof(std::uint32_t);
+  const std::size_t binary_bvh_bytes = index.scene().bvh().MemoryBytes();
+  const std::size_t wide_node_bytes = index.scene().bvh4().MemoryBytes();
+  const std::size_t wide_resident_bytes = wide_node_bytes + prim_index_bytes;
+
+  struct Cell {
+    const char* engine_name;
+    TraversalEngine engine;
+    bool coherent;
+  };
+  const Cell cells[] = {
+      {"binary", TraversalEngine::kBinary, false},
+      {"binary", TraversalEngine::kBinary, true},
+      {"wide", TraversalEngine::kWide4, false},
+      {"wide", TraversalEngine::kWide4, true},
+  };
+  std::vector<CellResult> rows;
+  for (const Cell& cell : cells) {
+    index.set_traversal_engine(cell.engine);
+    index.set_coherent_batches(cell.coherent);
+    index.ResetStatCounters();
+    CellResult row{};
+    row.engine = cell.engine_name;
+    row.coherent = cell.coherent;
+    row.serial_lookups_per_sec =
+        MeasureLookups(index, probes, &results, ExecutionPolicy::Serial());
+    row.rays_per_lookup =
+        static_cast<double>(index.stat_counters().rays_fired.load(
+            std::memory_order_relaxed)) /
+        static_cast<double>(num_lookups);
+    row.parallel_lookups_per_sec =
+        MeasureLookups(index, probes, &results, ExecutionPolicy::Parallel());
+    rows.push_back(row);
+    std::printf(
+        "%-6s %-9s  serial %10.0f lookups/s  parallel %10.0f lookups/s  "
+        "%.2f rays/lookup\n",
+        row.engine, row.coherent ? "coherent" : "unsorted",
+        row.serial_lookups_per_sec, row.parallel_lookups_per_sec,
+        row.rays_per_lookup);
+  }
+
+  const std::size_t node_sample = std::min<std::size_t>(200'000, num_lookups);
+  const double nodes_binary =
+      NodesPerRay(index, probes, node_sample, TraversalEngine::kBinary);
+  const double nodes_wide =
+      NodesPerRay(index, probes, node_sample, TraversalEngine::kWide4);
+
+  // Headline acceptance metric: binary+unsorted -> wide+coherent.
+  const double serial_speedup =
+      rows[3].serial_lookups_per_sec / rows[0].serial_lookups_per_sec;
+  const double parallel_speedup =
+      rows[3].parallel_lookups_per_sec / rows[0].parallel_lookups_per_sec;
+  const double node_ratio = static_cast<double>(wide_node_bytes) /
+                            static_cast<double>(binary_bvh_bytes);
+  const double resident_ratio = static_cast<double>(wide_resident_bytes) /
+                                static_cast<double>(binary_bvh_bytes);
+  std::printf(
+      "speedup (binary+unsorted -> wide+coherent): serial %.2fx, "
+      "parallel %.2fx\n",
+      serial_speedup, parallel_speedup);
+  std::printf("nodes/ray: binary %.2f, wide %.2f; bvh bytes: binary %zu, "
+              "wide nodes %zu (%.0f%%), wide resident %zu (%.0f%%)\n",
+              nodes_binary, nodes_wide, binary_bvh_bytes, wide_node_bytes,
+              node_ratio * 100.0, wide_resident_bytes,
+              resident_ratio * 100.0);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"traversal\",\n");
+  std::fprintf(out, "  \"index\": \"cgrx\",\n");
+  std::fprintf(out, "  \"key_bits\": 64,\n");
+  std::fprintf(out, "  \"keys\": %zu,\n", num_keys);
+  std::fprintf(out, "  \"lookups\": %zu,\n", num_lookups);
+  std::fprintf(out, "  \"build_seconds\": %.3f,\n", build_seconds);
+  std::fprintf(out, "  \"configs\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const CellResult& row = rows[i];
+    std::fprintf(out,
+                 "    {\"engine\": \"%s\", \"coherent\": %s, "
+                 "\"serial_lookups_per_sec\": %.0f, "
+                 "\"parallel_lookups_per_sec\": %.0f, "
+                 "\"rays_per_lookup\": %.4f}%s\n",
+                 row.engine, row.coherent ? "true" : "false",
+                 row.serial_lookups_per_sec, row.parallel_lookups_per_sec,
+                 row.rays_per_lookup, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"nodes_visited_per_ray\": "
+                    "{\"binary\": %.3f, \"wide\": %.3f},\n",
+               nodes_binary, nodes_wide);
+  std::fprintf(out,
+               "  \"bvh_memory_bytes\": {\"binary\": %zu, "
+               "\"wide_nodes\": %zu, \"wide_resident\": %zu, "
+               "\"ratio\": %.4f, \"resident_ratio\": %.4f},\n",
+               binary_bvh_bytes, wide_node_bytes, wide_resident_bytes,
+               node_ratio, resident_ratio);
+  std::fprintf(out, "  \"speedup_binary_unsorted_to_wide_coherent\": "
+                    "{\"serial\": %.4f, \"parallel\": %.4f}\n",
+               serial_speedup, parallel_speedup);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

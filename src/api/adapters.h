@@ -78,6 +78,12 @@ class IndexAdapter final : public Index<typename Impl::KeyType> {
     return stats;
   }
 
+  void ResetStatCounters() override {
+    if constexpr (requires(Impl& i) { i.ResetStatCounters(); }) {
+      impl_.ResetStatCounters();
+    }
+  }
+
   std::size_t size() const override { return impl_.size(); }
 
   /// The wrapped implementation, for callers needing backend-specific

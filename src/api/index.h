@@ -42,6 +42,19 @@ struct IndexStats {
   std::uint64_t buckets_probed = 0;
   /// Lookups rejected by the optional miss filter before firing rays.
   std::uint64_t filter_rejections = 0;
+
+  /// Counter difference against an earlier snapshot of the same index:
+  /// the standard way to report per-batch numbers (rays per batch,
+  /// probes per batch) from the cumulative counters. memory_bytes and
+  /// entries keep this (current) snapshot's values -- they are gauges,
+  /// not counters.
+  IndexStats Delta(const IndexStats& since) const {
+    IndexStats delta = *this;
+    delta.rays_fired -= since.rays_fired;
+    delta.buckets_probed -= since.buckets_probed;
+    delta.filter_rejections -= since.filter_rejections;
+    return delta;
+  }
 };
 
 /// Thrown when an operation outside an index's Capabilities is invoked.
@@ -116,6 +129,12 @@ class Index {
   }
 
   virtual IndexStats Stats() const = 0;
+
+  /// Zeroes the cumulative lookup-path counters (rays, probes, filter
+  /// rejections) so the next Stats() snapshot starts a fresh window --
+  /// the batch-level alternative to diffing snapshots with
+  /// IndexStats::Delta(). No-op for backends without counters.
+  virtual void ResetStatCounters() {}
 
   virtual std::size_t size() const = 0;
 

@@ -181,17 +181,36 @@ class BucketArray {
   }
 
  private:
-  /// First position in [begin, end) whose key is >= `key`.
+  /// First position in [begin, end) whose key is >= `key`. Branchless
+  /// binary search: each step shrinks the window with a conditional add
+  /// (compiled to a cmov, no mispredicted branch on random keys) and
+  /// prefetches the two entries the next step can touch, hiding the
+  /// memory latency the post-filter otherwise pays per probe.
   std::size_t LowerBound(std::size_t begin, std::size_t end, Key key) const {
-    while (begin < end) {
-      const std::size_t mid = begin + (end - begin) / 2;
-      if (KeyAt(mid) < key) {
-        begin = mid + 1;
-      } else {
-        end = mid;
-      }
+    std::size_t base = begin;
+    std::size_t len = end - begin;
+    while (len > 1) {
+      const std::size_t half = len / 2;
+      PrefetchEntry(base + half / 2);
+      PrefetchEntry(base + half + (len - half) / 2);
+      base += static_cast<std::size_t>(KeyAt(base + half - 1) < key) * half;
+      len -= half;
     }
-    return begin;
+    if (len == 1 && KeyAt(base) < key) ++base;
+    return base;
+  }
+
+  void PrefetchEntry(std::size_t i) const {
+#if defined(__GNUC__) || defined(__clang__)
+    if (i >= size_) return;
+    const void* p = layout_ == BucketLayout::kColumn
+                        ? static_cast<const void*>(keys_.data() + i)
+                        : static_cast<const void*>(rows_.data() +
+                                                   i * kEntryBytes);
+    __builtin_prefetch(p, /*rw=*/0, /*locality=*/1);
+#else
+    (void)i;
+#endif
   }
 
   std::size_t size_ = 0;

@@ -8,6 +8,7 @@
 
 #include "src/api/execution_policy.h"
 #include "src/core/bucket_array.h"
+#include "src/core/coherent.h"
 #include "src/core/rep_scene.h"
 #include "src/core/types.h"
 #include "src/rt/scene.h"
@@ -40,6 +41,16 @@ struct CgrxConfig {
 
   rt::BvhBuilder bvh_builder = rt::BvhBuilder::kBinnedSah;
   int bvh_max_leaf_size = 4;
+
+  /// Traversal substrate for lookup rays: the collapsed quantized wide
+  /// BVH (default) or the binary reference BVH (oracle / ablation).
+  rt::TraversalEngine traversal_engine = rt::TraversalEngine::kWide4;
+
+  /// Coherence-scheduled batch lookups: large batches are reordered by
+  /// (approximate) key order before firing rays, so consecutive lookups
+  /// reuse the same BVH subtree and bucket cache lines; results scatter
+  /// back to their original slots. Disable for the scheduling ablation.
+  bool coherent_batches = true;
 
   /// Extension beyond the paper: a blocked Bloom miss-filter checked
   /// before firing rays. The paper's Figure 16 shows cgRX pays the full
@@ -118,32 +129,36 @@ class CgrxIndex {
   }
 
   /// Batched point lookups, one logical device thread per query; the
-  /// policy decides serial vs. pool-parallel execution. Stat counters
-  /// accumulate chunk-locally and merge once per chunk, keeping the
-  /// shared atomics off the timed hot loop.
+  /// policy decides serial vs. pool-parallel execution. Large batches
+  /// are coherence-scheduled (see CgrxConfig::coherent_batches): keys
+  /// are radix-ordered with their original positions, rays fire in
+  /// sorted order, and results scatter back. Stat counters accumulate
+  /// chunk-locally and merge once per chunk, keeping the shared atomics
+  /// off the timed hot loop.
   void PointLookupBatch(const Key* keys, std::size_t count,
                         LookupResult* results,
                         const api::ExecutionPolicy& policy = {}) const {
-    policy.ForChunks(count, 256, [&](std::size_t begin, std::size_t end) {
-      LocalLookupCounters local;
-      for (std::size_t i = begin; i < end; ++i) {
-        results[i] = PointLookupCounted(keys[i], nullptr, &local);
-      }
-      counters_.Merge(local);
-    });
+    CoherentBatch(keys, count, config_.coherent_batches, 256, policy,
+                  &counters_,
+                  [&](Key key, std::size_t orig, LocalLookupCounters* local,
+                      rt::TraversalContext* ctx) {
+                    results[orig] = PointLookupCounted(key, nullptr, local,
+                                                       ctx);
+                  });
   }
 
-  /// Batched range lookups.
+  /// Batched range lookups, coherence-scheduled by lower bound.
   void RangeLookupBatch(const KeyRange<Key>* ranges, std::size_t count,
                         LookupResult* results,
                         const api::ExecutionPolicy& policy = {}) const {
-    policy.ForChunks(count, 16, [&](std::size_t begin, std::size_t end) {
-      LocalLookupCounters local;
-      for (std::size_t i = begin; i < end; ++i) {
-        results[i] = RangeLookupCounted(ranges[i].lo, ranges[i].hi, &local);
-      }
-      counters_.Merge(local);
-    });
+    CoherentRangeBatch(ranges, count, config_.coherent_batches, 16, policy,
+                       &counters_,
+                       [&](std::size_t orig, LocalLookupCounters* local,
+                           rt::TraversalContext* ctx) {
+                         const KeyRange<Key>& r = ranges[orig];
+                         results[orig] = RangeLookupCounted(r.lo, r.hi,
+                                                            local, ctx);
+                       });
   }
 
   /// Inserts a batch by merging into the sorted array and rebuilding the
@@ -213,6 +228,15 @@ class CgrxIndex {
   const LookupCounters& stat_counters() const { return counters_; }
   void ResetStatCounters() { counters_.Reset(); }
 
+  /// Ablation switches for the traversal microbench: flip the traversal
+  /// substrate / batch scheduling of an already-built index without a
+  /// rebuild (both BVH structures always exist).
+  void set_traversal_engine(rt::TraversalEngine engine) {
+    config_.traversal_engine = engine;
+    rep_scene_.set_traversal_engine(engine);
+  }
+  void set_coherent_batches(bool on) { config_.coherent_batches = on; }
+
   std::size_t size() const { return buckets_.size(); }
   std::size_t num_buckets() const { return rep_scene_.num_buckets(); }
   bool multi_line() const { return rep_scene_.multi_line(); }
@@ -231,14 +255,16 @@ class CgrxIndex {
   /// Locates the bucket whose representative is the first >= `key`
   /// (nullopt when key exceeds the largest key). Exposed publicly for
   /// tests and the ray-count ablation.
-  std::optional<std::uint32_t> LocateBucket(Key key,
-                                            int* rays_used = nullptr) const {
-    return rep_scene_.Locate(static_cast<std::uint64_t>(key), rays_used);
+  std::optional<std::uint32_t> LocateBucket(
+      Key key, int* rays_used = nullptr,
+      rt::TraversalContext* ctx = nullptr) const {
+    return rep_scene_.Locate(static_cast<std::uint64_t>(key), rays_used, ctx);
   }
 
  private:
   LookupResult PointLookupCounted(Key key, int* rays_used,
-                                  LocalLookupCounters* counters) const {
+                                  LocalLookupCounters* counters,
+                                  rt::TraversalContext* ctx = nullptr) const {
     if (rays_used != nullptr) *rays_used = 0;
     if (!miss_filter_.empty() &&
         !miss_filter_.MayContain(static_cast<std::uint64_t>(key))) {
@@ -246,7 +272,7 @@ class CgrxIndex {
       return LookupResult{};  // Definitely absent; no rays fired.
     }
     int rays = 0;
-    const auto bucket = LocateBucket(key, &rays);
+    const auto bucket = LocateBucket(key, &rays, ctx);
     counters->rays_fired += static_cast<std::uint64_t>(rays);
     if (rays_used != nullptr) *rays_used = rays;
     if (!bucket.has_value()) return LookupResult{};
@@ -255,15 +281,17 @@ class CgrxIndex {
   }
 
   LookupResult RangeLookupCounted(Key lo, Key hi,
-                                  LocalLookupCounters* counters) const {
+                                  LocalLookupCounters* counters,
+                                  rt::TraversalContext* ctx = nullptr) const {
     if (buckets_.empty() || lo > hi) return LookupResult{};
     if (static_cast<std::uint64_t>(lo) > rep_scene_.max_rep()) {
       return LookupResult{};  // Paper: safe empty result.
     }
     int rays = 0;
-    const auto bucket = LocateBucket(lo, &rays);
+    const auto bucket = LocateBucket(lo, &rays, ctx);
     counters->rays_fired += static_cast<std::uint64_t>(rays);
-    assert(bucket.has_value());
+    // lo <= max_rep here, so a bucket always resolves; the guard only
+    // protects against a corrupted scene.
     if (!bucket.has_value()) return LookupResult{};
     ++counters->buckets_probed;
     return buckets_.RangeScan(*bucket, lo, hi);
@@ -271,19 +299,11 @@ class CgrxIndex {
 
   static void SortPairs(std::vector<Key>* keys,
                         std::vector<std::uint32_t>* row_ids) {
-    std::vector<std::uint64_t> wide(keys->begin(), keys->end());
-    util::RadixSortPairs(&wide, row_ids, kKeyBits);
-    for (std::size_t i = 0; i < wide.size(); ++i) {
-      (*keys)[i] = static_cast<Key>(wide[i]);
-    }
+    util::RadixSortPairs(keys, row_ids, kKeyBits);
   }
 
   static void SortKeys(std::vector<Key>* keys) {
-    std::vector<std::uint64_t> wide(keys->begin(), keys->end());
-    util::RadixSortKeys(&wide, kKeyBits);
-    for (std::size_t i = 0; i < wide.size(); ++i) {
-      (*keys)[i] = static_cast<Key>(wide[i]);
-    }
+    util::RadixSortKeys(keys, kKeyBits);
   }
 
   /// Computes the per-bucket representatives and movability flags
@@ -317,6 +337,7 @@ class CgrxIndex {
     options.enable_flipping = config_.enable_flipping;
     options.bvh_builder = config_.bvh_builder;
     options.bvh_max_leaf_size = config_.bvh_max_leaf_size;
+    options.traversal_engine = config_.traversal_engine;
     rep_scene_.Build(reps, movable, mapping_, options);
   }
 

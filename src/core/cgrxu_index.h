@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/api/execution_policy.h"
+#include "src/core/coherent.h"
 #include "src/core/rep_scene.h"
 #include "src/core/types.h"
 #include "src/util/key_mapping.h"
@@ -28,6 +29,10 @@ struct CgrxuConfig {
   bool enable_flipping = true;
   rt::BvhBuilder bvh_builder = rt::BvhBuilder::kBinnedSah;
   int bvh_max_leaf_size = 4;
+  /// Traversal substrate for lookup rays (wide default, binary oracle).
+  rt::TraversalEngine traversal_engine = rt::TraversalEngine::kWide4;
+  /// Coherence-scheduled batch lookups (see CgrxConfig).
+  bool coherent_batches = true;
   std::optional<util::KeyMapping> mapping_override;
 };
 
@@ -171,6 +176,7 @@ class CgrxuIndex {
     options.enable_flipping = config_.enable_flipping;
     options.bvh_builder = config_.bvh_builder;
     options.bvh_max_leaf_size = config_.bvh_max_leaf_size;
+    options.traversal_engine = config_.traversal_engine;
     rep_scene_.Build(reps, movable, mapping_, options);
   }
 
@@ -193,29 +199,33 @@ class CgrxuIndex {
     return result;
   }
 
+  /// Batched point lookups; large batches are coherence-scheduled (see
+  /// CgrxConfig::coherent_batches): rays fire in approximate key order
+  /// and results scatter back to their original slots.
   void PointLookupBatch(const Key* keys, std::size_t count,
                         LookupResult* results,
                         const api::ExecutionPolicy& policy = {}) const {
-    policy.ForChunks(count, 256, [&](std::size_t begin, std::size_t end) {
-      LocalLookupCounters local;
-      for (std::size_t i = begin; i < end; ++i) {
-        results[i] = LookupCounted(keys[i], keys[i], nullptr, &local);
-      }
-      counters_.Merge(local);
-    });
+    CoherentBatch(keys, count, config_.coherent_batches, 256, policy,
+                  &counters_,
+                  [&](Key key, std::size_t orig, LocalLookupCounters* local,
+                      rt::TraversalContext* ctx) {
+                    results[orig] = LookupCounted(key, key, nullptr, local,
+                                                  ctx);
+                  });
   }
 
+  /// Batched range lookups, coherence-scheduled by lower bound.
   void RangeLookupBatch(const KeyRange<Key>* ranges, std::size_t count,
                         LookupResult* results,
                         const api::ExecutionPolicy& policy = {}) const {
-    policy.ForChunks(count, 16, [&](std::size_t begin, std::size_t end) {
-      LocalLookupCounters local;
-      for (std::size_t i = begin; i < end; ++i) {
-        results[i] =
-            LookupCounted(ranges[i].lo, ranges[i].hi, nullptr, &local);
-      }
-      counters_.Merge(local);
-    });
+    CoherentRangeBatch(ranges, count, config_.coherent_batches, 16, policy,
+                       &counters_,
+                       [&](std::size_t orig, LocalLookupCounters* local,
+                           rt::TraversalContext* ctx) {
+                         const KeyRange<Key>& r = ranges[orig];
+                         results[orig] = LookupCounted(r.lo, r.hi, nullptr,
+                                                       local, ctx);
+                       });
   }
 
   /// Applies a batch of insertions and deletions (paper Section IV):
@@ -302,19 +312,11 @@ class CgrxuIndex {
 
   static void SortPairs(std::vector<Key>* keys,
                         std::vector<std::uint32_t>* rows) {
-    std::vector<std::uint64_t> wide(keys->begin(), keys->end());
-    util::RadixSortPairs(&wide, rows, kKeyBits);
-    for (std::size_t i = 0; i < wide.size(); ++i) {
-      (*keys)[i] = static_cast<Key>(wide[i]);
-    }
+    util::RadixSortPairs(keys, rows, kKeyBits);
   }
 
   static void SortKeysOnly(std::vector<Key>* keys) {
-    std::vector<std::uint64_t> wide(keys->begin(), keys->end());
-    util::RadixSortKeys(&wide, kKeyBits);
-    for (std::size_t i = 0; i < wide.size(); ++i) {
-      (*keys)[i] = static_cast<Key>(wide[i]);
-    }
+    util::RadixSortKeys(keys, kKeyBits);
   }
 
   /// Removes keys appearing in both sorted batches, one instance per
@@ -354,11 +356,12 @@ class CgrxuIndex {
   /// Shared lookup core of PointLookup/RangeLookup ([lo, hi] with
   /// lo == hi for points), counting into a caller-local accumulator.
   LookupResult LookupCounted(Key lo, Key hi, int* rays_used,
-                             LocalLookupCounters* counters) const {
+                             LocalLookupCounters* counters,
+                             rt::TraversalContext* ctx = nullptr) const {
     if (rays_used != nullptr) *rays_used = 0;
     if (lo > hi) return LookupResult{};
     int rays = 0;
-    const auto bucket = LocateBucket(lo, &rays);
+    const auto bucket = LocateBucket(lo, &rays, ctx);
     counters->rays_fired += static_cast<std::uint64_t>(rays);
     if (rays_used != nullptr) *rays_used = rays;
     if (!bucket.has_value()) return LookupResult{};
@@ -368,13 +371,14 @@ class CgrxuIndex {
 
   /// Bucket that owns `key`: the raytraced bucket for keys within the
   /// representative range, the overflow bucket above it.
-  std::optional<std::uint32_t> LocateBucket(Key key, int* rays_used) const {
+  std::optional<std::uint32_t> LocateBucket(
+      Key key, int* rays_used, rt::TraversalContext* ctx = nullptr) const {
     if (rays_used != nullptr) *rays_used = 0;
     if (num_data_buckets_ == 0) return num_data_buckets_;  // Overflow only.
     if (static_cast<std::uint64_t>(key) > rep_scene_.max_rep()) {
       return num_data_buckets_;  // Overflow bucket.
     }
-    return rep_scene_.Locate(static_cast<std::uint64_t>(key), rays_used);
+    return rep_scene_.Locate(static_cast<std::uint64_t>(key), rays_used, ctx);
   }
 
   /// [begin, end) slice of a sorted batch belonging to `bucket`, via the

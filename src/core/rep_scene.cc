@@ -17,6 +17,7 @@ void RepScene::Build(const std::vector<std::uint64_t>& reps,
   dy_ = mapping_.y_bits() > 0 ? 0.5f * mapping_.step_y() : 0.5f;
   dz_ = mapping_.z_bits() > 0 ? 0.5f * mapping_.step_z() : 0.5f;
   scene_ = rt::Scene();
+  scene_.set_traversal_engine(options_.traversal_engine);
   num_buckets_ = static_cast<std::uint32_t>(reps.size());
   if (reps.empty()) {
     min_rep_ = max_rep_ = 0;
@@ -208,10 +209,10 @@ rt::Ray RepScene::ZRay(std::int64_t col_x, std::int64_t col_y,
   return ray;
 }
 
-std::optional<rt::Hit> RepScene::Cast(const rt::Ray& ray,
-                                      int* rays_used) const {
+bool RepScene::Cast(const rt::Ray& ray, rt::Hit* hit, int* rays_used,
+                    rt::TraversalContext* ctx) const {
   if (rays_used != nullptr) ++*rays_used;
-  return scene_.CastRay(ray);
+  return scene_.CastRayInto(ray, hit, ctx);
 }
 
 std::int64_t RepScene::GridYOfHit(const rt::Ray& ray,
@@ -244,49 +245,52 @@ std::uint32_t RepScene::ResolveBucket(std::uint32_t slot) const {
   return bucket;
 }
 
-std::optional<std::uint32_t> RepScene::Locate(std::uint64_t key,
-                                              int* rays_used) const {
+std::optional<std::uint32_t> RepScene::Locate(
+    std::uint64_t key, int* rays_used, rt::TraversalContext* ctx) const {
   if (rays_used != nullptr) *rays_used = 0;
   if (num_buckets_ == 0) return std::nullopt;
   if (key < min_rep_) return 0;           // Paper Alg. 2 line 2.
   if (key > max_rep_) return std::nullopt;  // Alg. 2 line 3.
   const util::GridCoords g = mapping_.GridOf(key);
   // Ray 1: along the key's own row (Alg. 2 lines 4-5).
-  if (const auto hit = Cast(XRay(g.x, g.y, g.z), rays_used)) {
-    return ResolveBucket(hit->primitive_index);
+  rt::Hit hit;
+  if (Cast(XRay(g.x, g.y, g.z), &hit, rays_used, ctx)) {
+    return ResolveBucket(hit.primitive_index);
   }
   return options_.representation == Representation::kNaive
-             ? LocateNaive(g, rays_used)
-             : LocateOptimized(g, rays_used);
+             ? LocateNaive(g, rays_used, ctx)
+             : LocateOptimized(g, rays_used, ctx);
 }
 
 /// Paper Algorithm 2, rays 2-5, against explicit markers.
-std::optional<std::uint32_t> RepScene::LocateNaive(const util::GridCoords& g,
-                                                   int* rays_used) const {
+std::optional<std::uint32_t> RepScene::LocateNaive(
+    const util::GridCoords& g, int* rays_used,
+    rt::TraversalContext* ctx) const {
   if (multi_line_ && g.y < mapping_.y_max()) {
     const rt::Ray y_ray = YRay(-1, static_cast<std::int64_t>(g.y) + 1, g.z);
-    if (const auto row_hit = Cast(y_ray, rays_used)) {
-      const std::int64_t row_y = GridYOfHit(y_ray, *row_hit);
-      const auto rep_hit = Cast(XRay(0, row_y, g.z), rays_used);
-      assert(rep_hit.has_value());
-      if (rep_hit.has_value()) return ResolveBucket(rep_hit->primitive_index);
+    rt::Hit row_hit;
+    if (Cast(y_ray, &row_hit, rays_used, ctx)) {
+      const std::int64_t row_y = GridYOfHit(y_ray, row_hit);
+      rt::Hit rep_hit;
+      if (Cast(XRay(0, row_y, g.z), &rep_hit, rays_used, ctx)) {
+        return ResolveBucket(rep_hit.primitive_index);
+      }
       return std::nullopt;
     }
   }
   if (multi_plane_ && g.z < mapping_.z_max()) {
     const rt::Ray z_ray = ZRay(-1, -1, static_cast<std::int64_t>(g.z) + 1);
-    const auto plane_hit = Cast(z_ray, rays_used);
-    assert(plane_hit.has_value());
-    if (!plane_hit.has_value()) return std::nullopt;
-    const std::int64_t plane_z = GridZOfHit(z_ray, *plane_hit);
+    rt::Hit plane_hit;
+    if (!Cast(z_ray, &plane_hit, rays_used, ctx)) return std::nullopt;
+    const std::int64_t plane_z = GridZOfHit(z_ray, plane_hit);
     const rt::Ray y_ray = YRay(-1, 0, plane_z);
-    const auto row_hit = Cast(y_ray, rays_used);
-    assert(row_hit.has_value());
-    if (!row_hit.has_value()) return std::nullopt;
-    const std::int64_t row_y = GridYOfHit(y_ray, *row_hit);
-    const auto rep_hit = Cast(XRay(0, row_y, plane_z), rays_used);
-    assert(rep_hit.has_value());
-    if (rep_hit.has_value()) return ResolveBucket(rep_hit->primitive_index);
+    rt::Hit row_hit;
+    if (!Cast(y_ray, &row_hit, rays_used, ctx)) return std::nullopt;
+    const std::int64_t row_y = GridYOfHit(y_ray, row_hit);
+    rt::Hit rep_hit;
+    if (Cast(XRay(0, row_y, plane_z), &rep_hit, rays_used, ctx)) {
+      return ResolveBucket(rep_hit.primitive_index);
+    }
   }
   // Unreachable for key <= max_rep_: a representative >= key exists and
   // is discoverable through the marker chain.
@@ -300,41 +304,43 @@ std::optional<std::uint32_t> RepScene::LocateNaive(const util::GridCoords& g,
 /// plane-marker hits (slot >= 2 numB) resolve directly to the first
 /// bucket after the key's plane.
 std::optional<std::uint32_t> RepScene::LocateOptimized(
-    const util::GridCoords& g, int* rays_used) const {
+    const util::GridCoords& g, int* rays_used,
+    rt::TraversalContext* ctx) const {
   const std::int64_t xmax = mapping_.x_max();
   const std::int64_t ymax = mapping_.y_max();
   if (multi_line_ && g.y < mapping_.y_max()) {
     const rt::Ray y_ray = YRay(xmax, static_cast<std::int64_t>(g.y) + 1, g.z);
-    if (const auto hit = Cast(y_ray, rays_used)) {
-      if (hit->primitive_index >= 2 * num_buckets_ || !hit->front_face) {
+    rt::Hit hit;
+    if (Cast(y_ray, &hit, rays_used, ctx)) {
+      if (hit.primitive_index >= 2 * num_buckets_ || !hit.front_face) {
         // Plane marker (no populated row above the key on this plane)
         // or a flipped lone representative: resolved without more rays.
-        return ResolveBucket(hit->primitive_index);
+        return ResolveBucket(hit.primitive_index);
       }
-      const std::int64_t row_y = GridYOfHit(y_ray, *hit);
-      const auto rep_hit = Cast(XRay(0, row_y, g.z), rays_used);
-      assert(rep_hit.has_value());
-      if (rep_hit.has_value()) return ResolveBucket(rep_hit->primitive_index);
+      const std::int64_t row_y = GridYOfHit(y_ray, hit);
+      rt::Hit rep_hit;
+      if (Cast(XRay(0, row_y, g.z), &rep_hit, rays_used, ctx)) {
+        return ResolveBucket(rep_hit.primitive_index);
+      }
       return std::nullopt;
     }
   }
   if (multi_plane_ && g.z < mapping_.z_max()) {
     const rt::Ray z_ray = ZRay(xmax, ymax, static_cast<std::int64_t>(g.z) + 1);
-    const auto plane_hit = Cast(z_ray, rays_used);
-    assert(plane_hit.has_value());
-    if (!plane_hit.has_value()) return std::nullopt;
-    const std::int64_t plane_z = GridZOfHit(z_ray, *plane_hit);
+    rt::Hit plane_hit;
+    if (!Cast(z_ray, &plane_hit, rays_used, ctx)) return std::nullopt;
+    const std::int64_t plane_z = GridZOfHit(z_ray, plane_hit);
     const rt::Ray y_ray = YRay(xmax, 0, plane_z);
-    const auto row_hit = Cast(y_ray, rays_used);
-    assert(row_hit.has_value());
-    if (!row_hit.has_value()) return std::nullopt;
-    if (!row_hit->front_face) {
-      return ResolveBucket(row_hit->primitive_index);  // Lone rep.
+    rt::Hit row_hit;
+    if (!Cast(y_ray, &row_hit, rays_used, ctx)) return std::nullopt;
+    if (!row_hit.front_face) {
+      return ResolveBucket(row_hit.primitive_index);  // Lone rep.
     }
-    const std::int64_t row_y = GridYOfHit(y_ray, *row_hit);
-    const auto rep_hit = Cast(XRay(0, row_y, plane_z), rays_used);
-    assert(rep_hit.has_value());
-    if (rep_hit.has_value()) return ResolveBucket(rep_hit->primitive_index);
+    const std::int64_t row_y = GridYOfHit(y_ray, row_hit);
+    rt::Hit rep_hit;
+    if (Cast(XRay(0, row_y, plane_z), &rep_hit, rays_used, ctx)) {
+      return ResolveBucket(rep_hit.primitive_index);
+    }
   }
   assert(false);
   return std::nullopt;

@@ -35,6 +35,9 @@ class RepScene {
     bool enable_flipping = true;
     rt::BvhBuilder bvh_builder = rt::BvhBuilder::kBinnedSah;
     int bvh_max_leaf_size = 4;
+    /// Traversal substrate for lookup rays (wide = default hot path,
+    /// binary = reference oracle / ablation).
+    rt::TraversalEngine traversal_engine = rt::TraversalEngine::kWide4;
   };
 
   /// Builds the scene.
@@ -52,9 +55,18 @@ class RepScene {
   /// Locates the first bucket whose representative is >= `key`:
   /// nullopt if `key` exceeds the largest representative, bucket 0
   /// without firing rays if `key` is below the smallest. `rays_used`
-  /// (optional) receives the number of rays fired (0 to 5).
+  /// (optional) receives the number of rays fired (0 to 5); `ctx`
+  /// (optional) supplies reusable traversal scratch for batch callers.
   std::optional<std::uint32_t> Locate(std::uint64_t key,
-                                      int* rays_used = nullptr) const;
+                                      int* rays_used = nullptr,
+                                      rt::TraversalContext* ctx = nullptr) const;
+
+  /// Ablation switch: flips the traversal substrate of the already
+  /// built scene (both acceleration structures always exist).
+  void set_traversal_engine(rt::TraversalEngine engine) {
+    options_.traversal_engine = engine;
+    scene_.set_traversal_engine(engine);
+  }
 
   std::uint32_t num_buckets() const { return num_buckets_; }
   bool multi_line() const { return multi_line_; }
@@ -83,16 +95,19 @@ class RepScene {
                std::int64_t gz) const;
   rt::Ray ZRay(std::int64_t col_x, std::int64_t col_y,
                std::int64_t gz_from) const;
-  std::optional<rt::Hit> Cast(const rt::Ray& ray, int* rays_used) const;
+  bool Cast(const rt::Ray& ray, rt::Hit* hit, int* rays_used,
+            rt::TraversalContext* ctx) const;
   std::int64_t GridYOfHit(const rt::Ray& ray, const rt::Hit& hit) const;
   std::int64_t GridZOfHit(const rt::Ray& ray, const rt::Hit& hit) const;
 
   std::uint32_t RemapOptimized(std::uint32_t slot) const;
   std::uint32_t ResolveBucket(std::uint32_t slot) const;
   std::optional<std::uint32_t> LocateNaive(const util::GridCoords& g,
-                                           int* rays_used) const;
+                                           int* rays_used,
+                                           rt::TraversalContext* ctx) const;
   std::optional<std::uint32_t> LocateOptimized(const util::GridCoords& g,
-                                               int* rays_used) const;
+                                               int* rays_used,
+                                               rt::TraversalContext* ctx) const;
 
   Options options_;
   util::KeyMapping mapping_ = util::KeyMapping::Rx64Scaled();

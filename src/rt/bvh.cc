@@ -47,6 +47,10 @@ std::uint64_t MortonCode(const Vec3f& p, const Aabb& scene_bounds) {
 
 void Bvh::Build(const TriangleSoup& soup, BvhBuilder builder,
                 int max_leaf_size) {
+  // Leaf sizes are capped at 255 so the collapsed wide BVH can store
+  // any leaf's primitive count in a byte (and floored at 1, below
+  // which no split terminates).
+  max_leaf_size = std::clamp(max_leaf_size, 1, 255);
   nodes_.clear();
   prim_indices_.clear();
   std::vector<BuildPrim> prims;

@@ -1,0 +1,230 @@
+#include "src/rt/bvh4.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cgrx::rt {
+namespace {
+
+/// Smallest exponent e with 255 * 2^e >= extent, clamped to the normal
+/// float range so the traversal-side bit_cast reconstruction stays
+/// exact.
+int ExponentFor(float extent) {
+  int e = -126;
+  const float ratio = extent / 255.0f;
+  if (ratio > 0 && std::isfinite(ratio)) {
+    e = std::max(-126, std::ilogb(ratio));
+  }
+  while (e < 127 && std::ldexp(255.0f, e) < extent) ++e;
+  return e;
+}
+
+/// Marks child `c` unhittable: inverted quantized bounds, detected by
+/// the traversal's qlo > qhi skip. Used for children whose exact bounds
+/// are empty (every primitive of a refit leaf deactivated).
+void MarkEmpty(Bvh4::Node* node, int c) {
+  for (int axis = 0; axis < 3; ++axis) {
+    node->qlo[axis][c] = 1;
+    node->qhi[axis][c] = 0;
+  }
+}
+
+/// Quantizes the `nc` child boxes against their union (the node's own
+/// bounds). Conservative by construction: the fix-up loops guarantee
+/// origin + qlo * scale <= min and origin + qhi * scale >= max in the
+/// exact float arithmetic the traversal uses to dequantize.
+void Quantize(Bvh4::Node* node, const Aabb* child_bounds, int nc) {
+  Aabb frame;
+  for (int c = 0; c < nc; ++c) frame.Grow(child_bounds[c]);
+  if (frame.IsEmpty()) {
+    node->origin = {0, 0, 0};
+    for (int axis = 0; axis < 3; ++axis) node->exp[axis] = 127;  // 2^0.
+    for (int c = 0; c < nc; ++c) MarkEmpty(node, c);
+    return;
+  }
+  node->origin = frame.min;
+  for (int axis = 0; axis < 3; ++axis) {
+    const float lo = frame.min[axis];
+    int e = ExponentFor(frame.max[axis] - lo);
+    for (;;) {
+      const float scale = std::ldexp(1.0f, e);
+      bool fits = true;
+      for (int c = 0; c < nc && fits; ++c) {
+        const Aabb& box = child_bounds[c];
+        if (box.IsEmpty()) continue;
+        int qlo = static_cast<int>((box.min[axis] - lo) / scale);
+        if (qlo > 255) qlo = 255;
+        if (qlo < 0) qlo = 0;
+        while (qlo > 0 &&
+               lo + static_cast<float>(qlo) * scale > box.min[axis]) {
+          --qlo;
+        }
+        int qhi = static_cast<int>(
+            std::ceil((box.max[axis] - lo) / scale));
+        if (qhi < 0) qhi = 0;
+        while (qhi <= 255 &&
+               lo + static_cast<float>(qhi) * scale < box.max[axis]) {
+          ++qhi;
+        }
+        if (qhi > 255) {
+          fits = false;  // Rounding pushed past the grid; coarsen.
+          break;
+        }
+        node->qlo[axis][c] = static_cast<std::uint8_t>(qlo);
+        node->qhi[axis][c] = static_cast<std::uint8_t>(qhi);
+      }
+      if (fits) {
+        assert(e >= -126 && e <= 127);
+        node->exp[axis] = static_cast<std::uint8_t>(e + 127);
+        break;
+      }
+      ++e;
+    }
+  }
+  for (int c = 0; c < nc; ++c) {
+    if (child_bounds[c].IsEmpty()) MarkEmpty(node, c);
+  }
+}
+
+}  // namespace
+
+void Bvh4::Build(const Bvh& source) {
+  nodes_.clear();
+  child_source_.clear();
+  if (source.empty()) return;
+  const std::vector<Bvh::Node>& bn = source.nodes();
+
+  // Per binary subtree: total primitive count and first packed index.
+  // The binary builder emits prim_indices in DFS left-to-right order,
+  // so every subtree owns one contiguous range -- which lets the
+  // collapse turn a whole small subtree into a single wide leaf child
+  // instead of mirroring the binary tree's tiny bottom-level leaves.
+  std::vector<std::uint32_t> subtree_prims(bn.size());
+  std::vector<std::uint32_t> first_prim(bn.size());
+  std::vector<std::uint8_t> mergeable(bn.size());
+  // A small subtree becomes one leaf child -- but only when its union
+  // box is about as tight as its children's boxes together (surface
+  // area test). Merging across a sparse gap (e.g. the scaled row
+  // spacing) would create a leaf box that rays graze constantly,
+  // paying spurious triangle tests for the saved nodes.
+  constexpr std::uint32_t kMaxLeafPrims = 8;
+  constexpr float kMergeAreaSlack = 1.0f;
+  for (std::size_t i = bn.size(); i-- > 0;) {
+    if (bn[i].IsLeaf()) {
+      subtree_prims[i] = bn[i].prim_count;
+      first_prim[i] = bn[i].left_or_first;
+      mergeable[i] = 1;
+    } else {
+      const std::uint32_t left = bn[i].left_or_first;
+      subtree_prims[i] = subtree_prims[left] + subtree_prims[left + 1];
+      first_prim[i] = first_prim[left];
+      assert(first_prim[left + 1] == first_prim[left] + subtree_prims[left]);
+      mergeable[i] =
+          subtree_prims[i] <= kMaxLeafPrims && mergeable[left] != 0 &&
+          mergeable[left + 1] != 0 &&
+          bn[i].bounds.SurfaceArea() <=
+              kMergeAreaSlack * (bn[left].bounds.SurfaceArea() +
+                                 bn[left + 1].bounds.SurfaceArea());
+    }
+  }
+  auto leafable = [&](std::uint32_t n) {
+    return bn[n].IsLeaf() || mergeable[n] != 0;
+  };
+
+  nodes_.reserve(bn.size() / 4 + 1);
+  nodes_.emplace_back();
+  child_source_.emplace_back();
+  if (leafable(0)) {
+    assert(subtree_prims[0] <= 255);
+    Aabb bounds[1] = {bn[0].bounds};
+    Node& root = nodes_[0];
+    root.num_children = 1;
+    root.count[0] = static_cast<std::uint8_t>(subtree_prims[0]);
+    root.child[0] = first_prim[0];
+    child_source_[0][0] = 0;
+    Quantize(&root, bounds, 1);
+    return;
+  }
+
+  struct Work {
+    std::uint32_t slot;
+    std::uint32_t binary;
+  };
+  std::vector<Work> stack;
+  stack.push_back({0, 0});
+  while (!stack.empty()) {
+    const Work w = stack.back();
+    stack.pop_back();
+    // Collapse: start from the binary node's two children and greedily
+    // expand the largest-surface expandable candidate until four
+    // subtrees (or none expandable) remain. Expansion keeps the
+    // split-axis near child in the expanded slot and appends the far
+    // child, preserving the binary builder's left-to-right order as the
+    // stored child order.
+    std::uint32_t cand[kWidth];
+    int nc = 2;
+    cand[0] = bn[w.binary].left_or_first;
+    cand[1] = bn[w.binary].left_or_first + 1;
+    while (nc < kWidth) {
+      int pick = -1;
+      float best_area = -1.0f;
+      for (int i = 0; i < nc; ++i) {
+        if (leafable(cand[i])) continue;
+        const float area = bn[cand[i]].bounds.SurfaceArea();
+        if (area > best_area) {
+          best_area = area;
+          pick = i;
+        }
+      }
+      if (pick < 0) break;
+      const std::uint32_t expanded = cand[pick];
+      cand[pick] = bn[expanded].left_or_first;
+      cand[nc++] = bn[expanded].left_or_first + 1;
+    }
+
+    Aabb child_bounds[kWidth];
+    std::uint8_t child_count[kWidth];
+    std::uint32_t child_ref[kWidth];
+    for (int c = 0; c < nc; ++c) {
+      child_bounds[c] = bn[cand[c]].bounds;
+      if (leafable(cand[c])) {
+        assert(subtree_prims[cand[c]] <= 255);
+        child_count[c] = static_cast<std::uint8_t>(subtree_prims[cand[c]]);
+        child_ref[c] = first_prim[cand[c]];
+      } else {
+        child_count[c] = 0;
+        child_ref[c] = static_cast<std::uint32_t>(nodes_.size());
+        nodes_.emplace_back();  // May invalidate Node references.
+        child_source_.emplace_back();
+        stack.push_back({child_ref[c], cand[c]});
+      }
+    }
+    Node& node = nodes_[w.slot];
+    node.num_children = static_cast<std::uint8_t>(nc);
+    for (int c = 0; c < nc; ++c) {
+      node.count[c] = child_count[c];
+      node.child[c] = child_ref[c];
+      child_source_[w.slot][c] = cand[c];
+    }
+    Quantize(&node, child_bounds, nc);
+  }
+}
+
+void Bvh4::Refit(const Bvh& source) {
+  if (nodes_.empty() || child_source_.size() != nodes_.size() ||
+      source.empty()) {
+    Build(source);
+    return;
+  }
+  const std::vector<Bvh::Node>& bn = source.nodes();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& node = nodes_[i];
+    Aabb child_bounds[kWidth];
+    for (int c = 0; c < node.num_children; ++c) {
+      child_bounds[c] = bn[child_source_[i][c]].bounds;
+    }
+    Quantize(&node, child_bounds, node.num_children);
+  }
+}
+
+}  // namespace cgrx::rt

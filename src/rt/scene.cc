@@ -36,6 +36,18 @@ struct GenericRayPolicy {
     return bounds.HitByRay(origin, inv_dir, t_min, t_max, t_entry);
   }
 
+  /// Quantized-child box test: dequantizes child `c` of `node` and runs
+  /// the slab test (the generic path is cold, so the per-child Scale()
+  /// recomputation inside ChildBounds is fine). The explicit
+  /// inverted-bounds check matters here: a refit-emptied child
+  /// (qlo > qhi) would otherwise pass the slab test's swapped planes.
+  bool WideChildHit(const Bvh4::Node& node, const float* /*scale*/, int c,
+                    double t_min, double t_max, double* t_entry) const {
+    if (node.qlo[0][c] > node.qhi[0][c]) return false;
+    return node.ChildBounds(c).HitByRay(origin, inv_dir, t_min, t_max,
+                                        t_entry);
+  }
+
   bool TriangleHit(const TriangleSoup& soup, std::uint32_t prim,
                    double t_min, double t_max, double* t,
                    bool* front) const {
@@ -80,6 +92,42 @@ struct AxisRayPolicy {
     return true;
   }
 
+  /// Quantized-child box test on the two membership axes plus the ray
+  /// axis interval, dequantizing only the six planes it compares -- the
+  /// exact float expressions the quantizer's fix-up loops verified, so
+  /// conservativeness carries over bit-for-bit. No inverted-bounds
+  /// check needed: an inverted child yields lo > hi here.
+  bool WideChildHit(const Bvh4::Node& node, const float* scale, int c,
+                    double t_min, double t_max, double* t_entry) const {
+    const float origin_u = node.origin[kU];
+    const float su = scale[kU];
+    if (ou < origin_u + static_cast<float>(node.qlo[kU][c]) * su ||
+        ou > origin_u + static_cast<float>(node.qhi[kU][c]) * su) {
+      return false;
+    }
+    const float origin_v = node.origin[kV];
+    const float sv = scale[kV];
+    if (ov < origin_v + static_cast<float>(node.qlo[kV][c]) * sv ||
+        ov > origin_v + static_cast<float>(node.qhi[kV][c]) * sv) {
+      return false;
+    }
+    const float origin_a = node.origin[A];
+    const float sa = scale[A];
+    const double lo = std::max(
+        t_min,
+        static_cast<double>(origin_a +
+                            static_cast<float>(node.qlo[A][c]) * sa) -
+            oa);
+    const double hi = std::min(
+        t_max,
+        static_cast<double>(origin_a +
+                            static_cast<float>(node.qhi[A][c]) * sa) -
+            oa);
+    if (lo > hi) return false;
+    *t_entry = lo;
+    return true;
+  }
+
   bool TriangleHit(const TriangleSoup& soup, std::uint32_t prim,
                    double t_min, double t_max, double* t,
                    bool* front) const {
@@ -116,15 +164,53 @@ struct AxisRayPolicy {
   }
 };
 
+/// Invokes `fn` with the specialized policy for `ray`'s direction.
+template <typename Fn>
+decltype(auto) WithPolicy(const Ray& ray, Fn&& fn) {
+  const Vec3d origin(ray.origin);
+  switch (PositiveAxisOf(ray.direction)) {
+    case 0:
+      return fn(AxisRayPolicy<0>(origin));
+    case 1:
+      return fn(AxisRayPolicy<1>(origin));
+    case 2:
+      return fn(AxisRayPolicy<2>(origin));
+    default:
+      return fn(GenericRayPolicy{origin, Vec3d(ray.direction),
+                                 InverseDirection(ray.direction)});
+  }
+}
+
+/// Closest-hit accumulator shared by both engines: deterministic
+/// tie-break on equal t (lowest primitive index wins), so wide and
+/// binary traversal return identical hits regardless of visit order.
+struct ClosestHit {
+  double best_t;
+  std::uint32_t prim = 0;
+  bool front = true;
+  bool found = false;
+
+  explicit ClosestHit(double t_max) : best_t(t_max) {}
+
+  void Offer(std::uint32_t p, double t, bool f) {
+    if (!found || t < best_t || (t == best_t && p < prim)) {
+      best_t = t;
+      prim = p;
+      front = f;
+      found = true;
+    }
+  }
+};
+
+/// Binary reference traversal (the oracle): one ray, fresh 96-entry
+/// stack, ordered descent by child entry distance.
 template <typename Policy>
 std::optional<Hit> CastClosest(const TriangleSoup& soup, const Bvh& bvh,
                                const Policy& policy, double t_min,
                                double t_max_in, TraversalStats* stats) {
   const auto& nodes = bvh.nodes();
   const auto& prims = bvh.prim_indices();
-  double best_t = t_max_in;
-  Hit best_hit;
-  bool found = false;
+  ClosestHit best(t_max_in);
 
   struct Entry {
     std::uint32_t node;
@@ -134,14 +220,14 @@ std::optional<Hit> CastClosest(const TriangleSoup& soup, const Bvh& bvh,
   int top = 0;
   {
     double t0 = 0;
-    if (!policy.BoxHit(nodes[0].bounds, t_min, best_t, &t0)) {
+    if (!policy.BoxHit(nodes[0].bounds, t_min, best.best_t, &t0)) {
       return std::nullopt;
     }
     stack[top++] = {0, t0};
   }
   while (top > 0) {
     const Entry e = stack[--top];
-    if (e.t > best_t) continue;  // Superseded by a closer hit.
+    if (e.t > best.best_t) continue;  // Superseded by a closer hit.
     const Bvh::Node& node = nodes[e.node];
     if (stats != nullptr) stats->nodes_visited++;
     if (node.IsLeaf()) {
@@ -151,12 +237,8 @@ std::optional<Hit> CastClosest(const TriangleSoup& soup, const Bvh& bvh,
         if (stats != nullptr) stats->triangle_tests++;
         double t = 0;
         bool front = true;
-        if (policy.TriangleHit(soup, prim, t_min, best_t, &t, &front)) {
-          best_t = t;
-          best_hit.primitive_index = prim;
-          best_hit.t = t;
-          best_hit.front_face = front;
-          found = true;
+        if (policy.TriangleHit(soup, prim, t_min, best.best_t, &t, &front)) {
+          best.Offer(prim, t, front);
         }
       }
       continue;
@@ -165,9 +247,9 @@ std::optional<Hit> CastClosest(const TriangleSoup& soup, const Bvh& bvh,
     double t_left = 0;
     double t_right = 0;
     const bool hit_left =
-        policy.BoxHit(nodes[left].bounds, t_min, best_t, &t_left);
+        policy.BoxHit(nodes[left].bounds, t_min, best.best_t, &t_left);
     const bool hit_right =
-        policy.BoxHit(nodes[left + 1].bounds, t_min, best_t, &t_right);
+        policy.BoxHit(nodes[left + 1].bounds, t_min, best.best_t, &t_right);
     if (hit_left && hit_right) {
       // Push the farther child first so the nearer one is processed
       // next; this is what makes closest-hit discovery cheap.
@@ -184,8 +266,8 @@ std::optional<Hit> CastClosest(const TriangleSoup& soup, const Bvh& bvh,
       stack[top++] = {left + 1, t_right};
     }
   }
-  if (!found) return std::nullopt;
-  return best_hit;
+  if (!best.found) return std::nullopt;
+  return Hit{best.prim, best.best_t, best.front};
 }
 
 template <typename Policy>
@@ -218,62 +300,226 @@ void CastAll(const TriangleSoup& soup, const Bvh& bvh, const Policy& policy,
       continue;
     }
     const std::uint32_t left = node.left_or_first;
-    double t0 = 0;
-    if (policy.BoxHit(nodes[left].bounds, t_min, t_max, &t0)) {
+    double t_left = 0;
+    double t_right = 0;
+    if (policy.BoxHit(nodes[left].bounds, t_min, t_max, &t_left)) {
       stack[top++] = left;
     }
-    if (policy.BoxHit(nodes[left + 1].bounds, t_min, t_max, &t0)) {
+    if (policy.BoxHit(nodes[left + 1].bounds, t_min, t_max, &t_right)) {
       stack[top++] = left + 1;
+    }
+  }
+}
+
+/// Wide closest-hit traversal over the quantized 4-ary BVH. All four
+/// children of a node are tested in one pass over its cache line; leaf
+/// children are resolved inline (no stack round trip) and internal hit
+/// children are pushed far-to-near by entry distance.
+template <typename Policy>
+bool CastClosest4(const TriangleSoup& soup, const Bvh4& bvh,
+                  const std::uint32_t* prims, const Policy& policy,
+                  double t_min, double t_max_in, Hit* out,
+                  detail::TraversalStackEntry* stack,
+                  TraversalStats* stats) {
+  const Bvh4::Node* nodes = bvh.nodes().data();
+  ClosestHit best(t_max_in);
+  int top = 0;
+  stack[top++] = {0, t_min};
+  while (top > 0) {
+    const detail::TraversalStackEntry e = stack[--top];
+    if (e.t > best.best_t) continue;  // Superseded by a closer hit.
+    const Bvh4::Node& node = nodes[e.node];
+    if (stats != nullptr) stats->nodes_visited++;
+    const float scale[3] = {node.Scale(0), node.Scale(1), node.Scale(2)};
+    // Test all children in one pass over the node's cache line, then
+    // process hit children in ascending entry order: a near leaf hit
+    // tightens best_t before farther siblings are even considered.
+    struct ChildHit {
+      double t;
+      std::uint32_t ref;
+      std::uint32_t count;
+    };
+    ChildHit hit_children[Bvh4::kWidth];
+    int num_hit = 0;
+    for (int c = 0; c < node.num_children; ++c) {
+      double t_entry = 0;
+      if (!policy.WideChildHit(node, scale, c, t_min, best.best_t,
+                               &t_entry)) {
+        continue;
+      }
+      hit_children[num_hit++] = {t_entry, node.child[c], node.count[c]};
+    }
+    // Insertion-sort the <= 4 hits by ascending entry t.
+    for (int i = 1; i < num_hit; ++i) {
+      const ChildHit h = hit_children[i];
+      int j = i - 1;
+      while (j >= 0 && hit_children[j].t > h.t) {
+        hit_children[j + 1] = hit_children[j];
+        --j;
+      }
+      hit_children[j + 1] = h;
+    }
+    // Leaf children resolve inline near-to-far; internal children push
+    // far-to-near so the nearest pops first.
+    for (int i = 0; i < num_hit; ++i) {
+      const ChildHit& h = hit_children[i];
+      if (h.count == 0 || h.t > best.best_t) continue;
+      for (std::uint32_t p = 0; p < h.count; ++p) {
+        const std::uint32_t prim = prims[h.ref + p];
+        if (!soup.IsActive(prim)) continue;
+        if (stats != nullptr) stats->triangle_tests++;
+        double t = 0;
+        bool front = true;
+        if (policy.TriangleHit(soup, prim, t_min, best.best_t, &t, &front)) {
+          best.Offer(prim, t, front);
+        }
+      }
+    }
+    for (int i = num_hit; i-- > 0;) {
+      if (hit_children[i].count == 0 && hit_children[i].t <= best.best_t) {
+        stack[top++] = {hit_children[i].ref, hit_children[i].t};
+      }
+    }
+  }
+  if (!best.found) return false;
+  out->primitive_index = best.prim;
+  out->t = best.best_t;
+  out->front_face = best.front;
+  return true;
+}
+
+/// Wide collect-all traversal (unordered; no distance sorting needed).
+template <typename Policy>
+void CastAll4(const TriangleSoup& soup, const Bvh4& bvh,
+              const std::uint32_t* prims, const Policy& policy, double t_min,
+              double t_max, std::vector<Hit>* hits,
+              detail::TraversalStackEntry* stack, TraversalStats* stats) {
+  const Bvh4::Node* nodes = bvh.nodes().data();
+  int top = 0;
+  stack[top++] = {0, 0};
+  while (top > 0) {
+    const Bvh4::Node& node = nodes[stack[--top].node];
+    if (stats != nullptr) stats->nodes_visited++;
+    const float scale[3] = {node.Scale(0), node.Scale(1), node.Scale(2)};
+    for (int c = 0; c < node.num_children; ++c) {
+      double t_entry = 0;
+      if (!policy.WideChildHit(node, scale, c, t_min, t_max, &t_entry)) {
+        continue;
+      }
+      if (node.count[c] > 0) {
+        const std::uint32_t first = node.child[c];
+        for (std::uint32_t i = 0; i < node.count[c]; ++i) {
+          const std::uint32_t prim = prims[first + i];
+          if (!soup.IsActive(prim)) continue;
+          if (stats != nullptr) stats->triangle_tests++;
+          double t = 0;
+          bool front = true;
+          if (policy.TriangleHit(soup, prim, t_min, t_max, &t, &front)) {
+            hits->push_back({prim, t, front});
+          }
+        }
+      } else {
+        stack[top++] = {node.child[c], 0};
+      }
     }
   }
 }
 
 }  // namespace
 
+std::optional<Hit> Scene::CastRayBinary(const Ray& ray,
+                                        TraversalStats* stats) const {
+  if (bvh_.empty()) return std::nullopt;
+  return WithPolicy(ray, [&](const auto& policy) {
+    return CastClosest(soup_, bvh_, policy, ray.t_min, ray.t_max, stats);
+  });
+}
+
+void Scene::CastRayCollectAllBinary(const Ray& ray, std::vector<Hit>* hits,
+                                    TraversalStats* stats) const {
+  if (bvh_.empty()) return;
+  WithPolicy(ray, [&](const auto& policy) {
+    CastAll(soup_, bvh_, policy, ray.t_min, ray.t_max, hits, stats);
+  });
+}
+
+std::optional<Hit> Scene::CastRayWide(const Ray& ray,
+                                      TraversalStats* stats) const {
+  if (bvh4_.empty()) return std::nullopt;
+  Hit hit;
+  TraversalContext ctx;
+  const bool found = WithPolicy(ray, [&](const auto& policy) {
+    return CastClosest4(soup_, bvh4_, bvh_.prim_indices().data(), policy,
+                        ray.t_min, ray.t_max, &hit, ctx.stack_, stats);
+  });
+  if (!found) return std::nullopt;
+  return hit;
+}
+
+void Scene::CastRayCollectAllWide(const Ray& ray, std::vector<Hit>* hits,
+                                  TraversalStats* stats) const {
+  if (bvh4_.empty()) return;
+  TraversalContext ctx;
+  WithPolicy(ray, [&](const auto& policy) {
+    CastAll4(soup_, bvh4_, bvh_.prim_indices().data(), policy, ray.t_min,
+             ray.t_max, hits, ctx.stack_, stats);
+  });
+}
+
+bool Scene::CastRayInto(const Ray& ray, Hit* hit, TraversalContext* ctx,
+                        TraversalStats* stats) const {
+  if (engine_ == TraversalEngine::kBinary) {
+    const std::optional<Hit> result = CastRayBinary(ray, stats);
+    if (!result.has_value()) return false;
+    *hit = *result;
+    return true;
+  }
+  if (bvh4_.empty()) return false;
+  TraversalContext local;
+  detail::TraversalStackEntry* stack =
+      ctx != nullptr ? ctx->stack_ : local.stack_;
+  return WithPolicy(ray, [&](const auto& policy) {
+    return CastClosest4(soup_, bvh4_, bvh_.prim_indices().data(), policy,
+                        ray.t_min, ray.t_max, hit, stack, stats);
+  });
+}
+
 std::optional<Hit> Scene::CastRay(const Ray& ray,
                                   TraversalStats* stats) const {
-  if (bvh_.empty()) return std::nullopt;
-  const Vec3d origin(ray.origin);
-  switch (PositiveAxisOf(ray.direction)) {
-    case 0:
-      return CastClosest(soup_, bvh_, AxisRayPolicy<0>(origin), ray.t_min,
-                         ray.t_max, stats);
-    case 1:
-      return CastClosest(soup_, bvh_, AxisRayPolicy<1>(origin), ray.t_min,
-                         ray.t_max, stats);
-    case 2:
-      return CastClosest(soup_, bvh_, AxisRayPolicy<2>(origin), ray.t_min,
-                         ray.t_max, stats);
-    default: {
-      GenericRayPolicy policy{origin, Vec3d(ray.direction),
-                              InverseDirection(ray.direction)};
-      return CastClosest(soup_, bvh_, policy, ray.t_min, ray.t_max, stats);
-    }
-  }
+  if (engine_ == TraversalEngine::kBinary) return CastRayBinary(ray, stats);
+  return CastRayWide(ray, stats);
 }
 
 void Scene::CastRayCollectAll(const Ray& ray, std::vector<Hit>* hits,
                               TraversalStats* stats) const {
-  if (bvh_.empty()) return;
-  const Vec3d origin(ray.origin);
-  switch (PositiveAxisOf(ray.direction)) {
-    case 0:
-      CastAll(soup_, bvh_, AxisRayPolicy<0>(origin), ray.t_min, ray.t_max,
-              hits, stats);
-      return;
-    case 1:
-      CastAll(soup_, bvh_, AxisRayPolicy<1>(origin), ray.t_min, ray.t_max,
-              hits, stats);
-      return;
-    case 2:
-      CastAll(soup_, bvh_, AxisRayPolicy<2>(origin), ray.t_min, ray.t_max,
-              hits, stats);
-      return;
-    default: {
-      GenericRayPolicy policy{origin, Vec3d(ray.direction),
-                              InverseDirection(ray.direction)};
-      CastAll(soup_, bvh_, policy, ray.t_min, ray.t_max, hits, stats);
-    }
+  if (engine_ == TraversalEngine::kBinary) {
+    CastRayCollectAllBinary(ray, hits, stats);
+    return;
+  }
+  CastRayCollectAllWide(ray, hits, stats);
+}
+
+void Scene::CastRayCollectAll(const Ray& ray, TraversalContext* ctx,
+                              TraversalStats* stats) const {
+  ctx->hits.clear();
+  if (engine_ == TraversalEngine::kBinary) {
+    CastRayCollectAllBinary(ray, &ctx->hits, stats);
+    return;
+  }
+  if (bvh4_.empty()) return;
+  WithPolicy(ray, [&](const auto& policy) {
+    CastAll4(soup_, bvh4_, bvh_.prim_indices().data(), policy, ray.t_min,
+             ray.t_max, &ctx->hits, ctx->stack_, stats);
+  });
+}
+
+void Scene::CastRays(const Ray* rays, std::size_t count, Hit* hits,
+                     std::uint8_t* hit_mask, TraversalContext* ctx,
+                     TraversalStats* stats) const {
+  TraversalContext local;
+  if (ctx == nullptr) ctx = &local;
+  for (std::size_t i = 0; i < count; ++i) {
+    hit_mask[i] = CastRayInto(rays[i], &hits[i], ctx, stats) ? 1 : 0;
   }
 }
 

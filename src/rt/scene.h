@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/rt/bvh.h"
+#include "src/rt/bvh4.h"
 #include "src/rt/ray.h"
 #include "src/rt/triangle.h"
 
@@ -24,15 +25,59 @@ struct TraversalStats {
   }
 };
 
-/// A 3D scene plus its acceleration structure: the OptiX-equivalent
+/// Which traversal substrate executes a cast. The wide engine walks the
+/// collapsed 4-ary quantized Bvh4 (the default hot path); the binary
+/// engine walks the original two-wide BVH and is retained as the
+/// reference oracle for equivalence tests and the builder ablation.
+enum class TraversalEngine {
+  kBinary,
+  kWide4,
+};
+
+namespace detail {
+/// One traversal stack slot: a node index plus its ray entry distance
+/// (ignored by unordered collect-all walks).
+struct TraversalStackEntry {
+  std::uint32_t node;
+  double t;
+};
+}  // namespace detail
+
+/// Reusable per-thread traversal scratch. Batch lookups create one per
+/// chunk and pass it through every cast, so the traversal stack and the
+/// collect-all hit buffer are allocated once per chunk instead of once
+/// per ray (RX point lookups previously paid one heap-allocated
+/// std::vector<Hit> per query).
+class TraversalContext {
+ public:
+  /// Collect-all results land here (cleared per cast).
+  std::vector<Hit> hits;
+
+ private:
+  friend class Scene;
+  // Bounded by (max children - 1) pushes per level over the depth-capped
+  // tree (binary builder forces median cuts below depth 48); 320 leaves
+  // ample slack for the degenerate all-duplicates input.
+  static constexpr int kStackCapacity = 320;
+  detail::TraversalStackEntry stack_[kStackCapacity];
+};
+
+/// A 3D scene plus its acceleration structures: the OptiX-equivalent
 /// substrate every raytracing index in this repository is built on.
 ///
 ///  * geometry mutation mirrors vertex-buffer writes,
 ///  * Build() mirrors optixAccelBuild (full build),
 ///  * Refit() mirrors optixAccelBuild(OPERATION_UPDATE),
-///  * CastRay() mirrors optixTrace with closest-hit semantics,
+///  * CastRay()/CastRayInto() mirror optixTrace with closest-hit
+///    semantics,
 ///  * CastRayCollectAll() mirrors an any-hit program that ignores every
-///    intersection to enumerate all hits (RX range lookups).
+///    intersection to enumerate all hits (RX range lookups),
+///  * CastRays() mirrors a one-thread-per-ray kernel launch over a ray
+///    batch.
+///
+/// Closest-hit casts break ties on the ray parameter deterministically
+/// (lowest primitive index wins), so both engines return bit-identical
+/// results regardless of traversal order.
 class Scene {
  public:
   /// Appends a triangle; returns its primitive index.
@@ -55,32 +100,86 @@ class Scene {
     soup_.SetDegenerate(index);
   }
 
-  /// (Re)builds the acceleration structure from scratch.
+  /// (Re)builds the acceleration structures from scratch: the binary
+  /// BVH is the build substrate, then flattened into the wide Bvh4 the
+  /// default engine traverses.
   void Build(BvhBuilder builder = BvhBuilder::kBinnedSah,
              int max_leaf_size = 4) {
     bvh_.Build(soup_, builder, max_leaf_size);
+    bvh4_.Build(bvh_);
   }
 
   /// Refits bounds only; topology (and therefore lookup cost) keeps the
-  /// structure of the last full Build().
-  void Refit() { bvh_.Refit(soup_); }
+  /// structure of the last full Build() in both engines: the binary BVH
+  /// refits bottom-up, the wide BVH requantizes its child bounds from
+  /// the refitted binary nodes without re-collapsing.
+  void Refit() {
+    bvh_.Refit(soup_);
+    bvh4_.Refit(bvh_);
+  }
 
-  /// Closest hit along `ray`, or nullopt.
+  /// Selects the traversal substrate for the engine-dispatching entry
+  /// points below (ablation/oracle switch; default wide).
+  void set_traversal_engine(TraversalEngine engine) { engine_ = engine; }
+  TraversalEngine traversal_engine() const { return engine_; }
+
+  /// Closest hit along `ray`, or nullopt (engine-dispatching).
   std::optional<Hit> CastRay(const Ray& ray,
                              TraversalStats* stats = nullptr) const;
+
+  /// Optional-free closest hit: returns whether `*hit` was filled.
+  /// `ctx` (optional) supplies the reusable traversal stack.
+  bool CastRayInto(const Ray& ray, Hit* hit, TraversalContext* ctx = nullptr,
+                   TraversalStats* stats = nullptr) const;
 
   /// Appends every hit in [t_min, t_max] to `*hits` (unordered).
   void CastRayCollectAll(const Ray& ray, std::vector<Hit>* hits,
                          TraversalStats* stats = nullptr) const;
 
+  /// Collect-all into the context's reusable hit buffer (`ctx->hits` is
+  /// cleared first).
+  void CastRayCollectAll(const Ray& ray, TraversalContext* ctx,
+                         TraversalStats* stats = nullptr) const;
+
+  /// Batch closest-hit cast, one logical device thread per ray:
+  /// hit_mask[i] receives 1 when hits[i] was filled. All rays share one
+  /// context, eliminating the per-ray stack/optional overhead of
+  /// repeated CastRay() calls.
+  void CastRays(const Ray* rays, std::size_t count, Hit* hits,
+                std::uint8_t* hit_mask, TraversalContext* ctx = nullptr,
+                TraversalStats* stats = nullptr) const;
+
+  /// Fixed-engine entry points (equivalence tests, microbench). The
+  /// binary pair is the reference oracle.
+  std::optional<Hit> CastRayBinary(const Ray& ray,
+                                   TraversalStats* stats = nullptr) const;
+  void CastRayCollectAllBinary(const Ray& ray, std::vector<Hit>* hits,
+                               TraversalStats* stats = nullptr) const;
+  std::optional<Hit> CastRayWide(const Ray& ray,
+                                 TraversalStats* stats = nullptr) const;
+  void CastRayCollectAllWide(const Ray& ray, std::vector<Hit>* hits,
+                             TraversalStats* stats = nullptr) const;
+
   const TriangleSoup& soup() const { return soup_; }
   const Bvh& bvh() const { return bvh_; }
+  const Bvh4& bvh4() const { return bvh4_; }
   std::size_t triangle_count() const { return soup_.size(); }
 
   /// Vertex buffer + acceleration structure bytes (the scene part of an
-  /// index's permanent memory footprint).
+  /// index's permanent memory footprint). Counts the structure the
+  /// configured engine traverses -- the binary BVH additionally held as
+  /// build/refit scaffolding and oracle is host-side bookkeeping, not
+  /// device-resident state, matching how hardware keeps only the final
+  /// acceleration structure on the device. The wide engine shares the
+  /// binary builder's packed primitive index array, which is therefore
+  /// part of its resident footprint.
   std::size_t MemoryFootprintBytes() const {
-    return soup_.MemoryBytes() + bvh_.MemoryBytes();
+    const std::size_t structure =
+        engine_ == TraversalEngine::kBinary
+            ? bvh_.MemoryBytes()
+            : bvh4_.MemoryBytes() +
+                  bvh_.prim_indices().size() * sizeof(std::uint32_t);
+    return soup_.MemoryBytes() + structure;
   }
 
   void Reserve(std::size_t triangles) { soup_.Reserve(triangles); }
@@ -88,6 +187,8 @@ class Scene {
  private:
   TriangleSoup soup_;
   Bvh bvh_;
+  Bvh4 bvh4_;
+  TraversalEngine engine_ = TraversalEngine::kWide4;
 };
 
 }  // namespace cgrx::rt

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/api/execution_policy.h"
+#include "src/core/coherent.h"
 #include "src/core/types.h"
 #include "src/rt/scene.h"
 #include "src/util/key_mapping.h"
@@ -27,6 +28,10 @@ struct RxConfig {
 
   rt::BvhBuilder bvh_builder = rt::BvhBuilder::kBinnedSah;
   int bvh_max_leaf_size = 4;
+  /// Traversal substrate for lookup rays (wide default, binary oracle).
+  rt::TraversalEngine traversal_engine = rt::TraversalEngine::kWide4;
+  /// Coherence-scheduled batch lookups (see core::CgrxConfig).
+  bool coherent_batches = true;
   std::optional<util::KeyMapping> mapping_override;
 };
 
@@ -73,6 +78,7 @@ class RxIndex {
   void Build(std::vector<Key> keys, std::vector<std::uint32_t> row_ids) {
     assert(keys.size() == row_ids.size());
     scene_ = rt::Scene();
+    scene_.set_traversal_engine(config_.traversal_engine);
     key_of_slot_.clear();
     row_of_slot_.clear();
     free_slots_.clear();
@@ -119,28 +125,35 @@ class RxIndex {
     return result;
   }
 
+  /// Batched point lookups; large batches are coherence-scheduled (see
+  /// core::CgrxConfig::coherent_batches): rays fire in approximate key
+  /// order so consecutive lookups hit neighbouring triangles, and
+  /// results scatter back to their original slots.
   void PointLookupBatch(const Key* keys, std::size_t count,
                         core::LookupResult* results,
                         const api::ExecutionPolicy& policy = {}) const {
-    policy.ForChunks(count, 256, [&](std::size_t begin, std::size_t end) {
-      core::LocalLookupCounters local;
-      for (std::size_t i = begin; i < end; ++i) {
-        results[i] = PointLookupCounted(keys[i], &local);
-      }
-      counters_.Merge(local);
-    });
+    core::CoherentBatch(keys, count, config_.coherent_batches, 256, policy,
+                        &counters_,
+                        [&](Key key, std::size_t orig,
+                            core::LocalLookupCounters* local,
+                            rt::TraversalContext* ctx) {
+                          results[orig] = PointLookupCounted(key, local, ctx);
+                        });
   }
 
+  /// Batched range lookups, coherence-scheduled by lower bound.
   void RangeLookupBatch(const core::KeyRange<Key>* ranges, std::size_t count,
                         core::LookupResult* results,
                         const api::ExecutionPolicy& policy = {}) const {
-    policy.ForChunks(count, 16, [&](std::size_t begin, std::size_t end) {
-      core::LocalLookupCounters local;
-      for (std::size_t i = begin; i < end; ++i) {
-        results[i] = RangeLookupCounted(ranges[i].lo, ranges[i].hi, &local);
-      }
-      counters_.Merge(local);
-    });
+    core::CoherentRangeBatch(ranges, count, config_.coherent_batches, 16,
+                             policy, &counters_,
+                             [&](std::size_t orig,
+                                 core::LocalLookupCounters* local,
+                                 rt::TraversalContext* ctx) {
+                               const core::KeyRange<Key>& r = ranges[orig];
+                               results[orig] = RangeLookupCounted(r.lo, r.hi,
+                                                                  local, ctx);
+                             });
   }
 
   /// Insert via slot recycling + BVH refit. Activating parked slots
@@ -254,26 +267,30 @@ class RxIndex {
 
  private:
   core::LookupResult PointLookupCounted(
-      Key key, core::LocalLookupCounters* counters) const {
+      Key key, core::LocalLookupCounters* counters,
+      rt::TraversalContext* ctx = nullptr) const {
     core::LookupResult result;
     if (scene_.triangle_count() == 0) return result;
     const auto g = mapping_.GridOf(static_cast<std::uint64_t>(key));
-    std::vector<rt::Hit> hits;
+    rt::TraversalContext local;
+    if (ctx == nullptr) ctx = &local;
     ++counters->rays_fired;
-    scene_.CastRayCollectAll(PointRay(g), &hits);
-    for (const rt::Hit& h : hits) {
+    scene_.CastRayCollectAll(PointRay(g), ctx);
+    for (const rt::Hit& h : ctx->hits) {
       result.Accumulate(row_of_slot_[h.primitive_index]);
     }
     return result;
   }
 
   core::LookupResult RangeLookupCounted(
-      Key lo, Key hi, core::LocalLookupCounters* counters) const {
+      Key lo, Key hi, core::LocalLookupCounters* counters,
+      rt::TraversalContext* ctx = nullptr) const {
     core::LookupResult result;
     if (scene_.triangle_count() == 0 || lo > hi) return result;
     const std::uint64_t row_lo = mapping_.RowKey(lo);
     const std::uint64_t row_hi = mapping_.RowKey(hi);
-    std::vector<rt::Hit> hits;
+    rt::TraversalContext local;
+    if (ctx == nullptr) ctx = &local;
     for (std::uint64_t row = row_lo; row <= row_hi; ++row) {
       const std::uint32_t x_lo =
           row == row_lo ? mapping_.GridOf(static_cast<std::uint64_t>(lo)).x
@@ -281,10 +298,9 @@ class RxIndex {
       const std::uint32_t x_hi =
           row == row_hi ? mapping_.GridOf(static_cast<std::uint64_t>(hi)).x
                         : mapping_.x_max();
-      hits.clear();
       ++counters->rays_fired;
-      scene_.CastRayCollectAll(RowSegmentRay(row, x_lo, x_hi), &hits);
-      for (const rt::Hit& h : hits) {
+      scene_.CastRayCollectAll(RowSegmentRay(row, x_lo, x_hi), ctx);
+      for (const rt::Hit& h : ctx->hits) {
         result.Accumulate(row_of_slot_[h.primitive_index]);
       }
     }
@@ -292,11 +308,7 @@ class RxIndex {
   }
 
   static void SortKeysOnly(std::vector<Key>* keys) {
-    std::vector<std::uint64_t> wide(keys->begin(), keys->end());
-    util::RadixSortKeys(&wide, kKeyBits);
-    for (std::size_t i = 0; i < wide.size(); ++i) {
-      (*keys)[i] = static_cast<Key>(wide[i]);
-    }
+    util::RadixSortKeys(keys, kKeyBits);
   }
 
   std::pair<std::vector<Key>, std::vector<std::uint32_t>> LiveEntries()

@@ -12,13 +12,12 @@ constexpr int kBuckets = 1 << kRadixBits;
 
 // One counting-sort pass over byte `shift/8`. Returns false if the pass
 // is a no-op (all keys share the byte), in which case no copy happened.
-template <typename V>
-bool CountingPass(const std::vector<std::uint64_t>& keys_in,
-                  const std::vector<V>& vals_in,
-                  std::vector<std::uint64_t>* keys_out,
-                  std::vector<V>* vals_out, int shift) {
+template <typename K, typename V>
+bool CountingPass(const std::vector<K>& keys_in, const std::vector<V>& vals_in,
+                  std::vector<K>* keys_out, std::vector<V>* vals_out,
+                  int shift) {
   std::array<std::size_t, kBuckets> count{};
-  for (std::uint64_t k : keys_in) {
+  for (K k : keys_in) {
     count[(k >> shift) & (kBuckets - 1)]++;
   }
   if (count[(keys_in.empty() ? 0 : keys_in[0] >> shift) & (kBuckets - 1)] ==
@@ -39,18 +38,20 @@ bool CountingPass(const std::vector<std::uint64_t>& keys_in,
   return true;
 }
 
-template <typename V>
-void RadixSortImpl(std::vector<std::uint64_t>* keys, std::vector<V>* values,
-                   int key_bits) {
+template <typename K, typename V>
+void RadixSortImpl(std::vector<K>* keys, std::vector<V>* values, int key_bits,
+                   int min_bit) {
   assert(keys->size() == values->size());
+  assert(min_bit >= 0 && min_bit <= key_bits);
+  const int first_pass = min_bit / kRadixBits;
   const int passes = (key_bits + kRadixBits - 1) / kRadixBits;
-  std::vector<std::uint64_t> keys_tmp(keys->size());
+  std::vector<K> keys_tmp(keys->size());
   std::vector<V> vals_tmp(values->size());
   auto* ka = keys;
   auto* kb = &keys_tmp;
   auto* va = values;
   auto* vb = &vals_tmp;
-  for (int p = 0; p < passes; ++p) {
+  for (int p = first_pass; p < passes; ++p) {
     if (CountingPass(*ka, *va, kb, vb, p * kRadixBits)) {
       std::swap(ka, kb);
       std::swap(va, vb);
@@ -62,18 +63,36 @@ void RadixSortImpl(std::vector<std::uint64_t>* keys, std::vector<V>* values,
   }
 }
 
-}  // namespace
-
-void RadixSortPairs(std::vector<std::uint64_t>* keys,
-                    std::vector<std::uint32_t>* values, int key_bits) {
-  RadixSortImpl(keys, values, key_bits);
-}
-
-void RadixSortKeys(std::vector<std::uint64_t>* keys, int key_bits) {
+template <typename K>
+void RadixSortKeysImpl(std::vector<K>* keys, int key_bits, int min_bit) {
   // Sort with throwaway values to reuse the pair implementation; the
   // value array is byte-sized so the overhead stays negligible.
   std::vector<std::uint8_t> dummy(keys->size());
-  RadixSortImpl(keys, &dummy, key_bits);
+  RadixSortImpl(keys, &dummy, key_bits, min_bit);
+}
+
+}  // namespace
+
+void RadixSortPairs(std::vector<std::uint64_t>* keys,
+                    std::vector<std::uint32_t>* values, int key_bits,
+                    int min_bit) {
+  RadixSortImpl(keys, values, key_bits, min_bit);
+}
+
+void RadixSortPairs(std::vector<std::uint32_t>* keys,
+                    std::vector<std::uint32_t>* values, int key_bits,
+                    int min_bit) {
+  RadixSortImpl(keys, values, key_bits, min_bit);
+}
+
+void RadixSortKeys(std::vector<std::uint64_t>* keys, int key_bits,
+                   int min_bit) {
+  RadixSortKeysImpl(keys, key_bits, min_bit);
+}
+
+void RadixSortKeys(std::vector<std::uint32_t>* keys, int key_bits,
+                   int min_bit) {
+  RadixSortKeysImpl(keys, key_bits, min_bit);
 }
 
 }  // namespace cgrx::util

@@ -1,0 +1,476 @@
+// Equivalence suite for the wide (Bvh4) traversal engine against the
+// retained binary reference oracle: identical closest hits and
+// identical collect-all hit sets across all three builders, both scene
+// representations, flipping on/off, and post-Refit scenes; plus the
+// Bvh4 compression guarantee and the coherent-vs-unsorted batch
+// determinism contract.
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/api/execution_policy.h"
+#include "src/core/cgrx_index.h"
+#include "src/core/cgrxu_index.h"
+#include "src/rt/bvh4.h"
+#include "src/rt/scene.h"
+#include "src/rx/rx_index.h"
+#include "src/util/rng.h"
+
+namespace cgrx {
+namespace {
+
+using ::cgrx::core::CgrxConfig;
+using ::cgrx::core::CgrxIndex64;
+using ::cgrx::core::CgrxuConfig;
+using ::cgrx::core::CgrxuIndex64;
+using ::cgrx::core::KeyRange;
+using ::cgrx::core::LookupResult;
+using ::cgrx::core::Representation;
+using ::cgrx::rt::BvhBuilder;
+using ::cgrx::rt::Hit;
+using ::cgrx::rt::Ray;
+using ::cgrx::rt::Scene;
+using ::cgrx::rt::TraversalEngine;
+using ::cgrx::rt::Vec3f;
+using ::cgrx::rx::RxConfig;
+using ::cgrx::rx::RxIndex64;
+using ::cgrx::util::Rng;
+
+// Compares closest-hit and collect-all results of the two engines for
+// one ray. Collect-all order is traversal-dependent, so hit sets are
+// compared sorted by primitive index.
+void ExpectEngineEquivalence(const Scene& scene, const Ray& ray) {
+  const std::optional<Hit> binary = scene.CastRayBinary(ray);
+  const std::optional<Hit> wide = scene.CastRayWide(ray);
+  ASSERT_EQ(binary.has_value(), wide.has_value());
+  if (binary.has_value()) {
+    EXPECT_EQ(binary->primitive_index, wide->primitive_index);
+    EXPECT_EQ(binary->t, wide->t);
+    EXPECT_EQ(binary->front_face, wide->front_face);
+  }
+
+  std::vector<Hit> all_binary;
+  std::vector<Hit> all_wide;
+  scene.CastRayCollectAllBinary(ray, &all_binary);
+  scene.CastRayCollectAllWide(ray, &all_wide);
+  auto by_prim = [](const Hit& a, const Hit& b) {
+    return a.primitive_index < b.primitive_index;
+  };
+  std::sort(all_binary.begin(), all_binary.end(), by_prim);
+  std::sort(all_wide.begin(), all_wide.end(), by_prim);
+  ASSERT_EQ(all_binary.size(), all_wide.size());
+  for (std::size_t i = 0; i < all_binary.size(); ++i) {
+    EXPECT_EQ(all_binary[i].primitive_index, all_wide[i].primitive_index);
+    EXPECT_EQ(all_binary[i].t, all_wide[i].t);
+    EXPECT_EQ(all_binary[i].front_face, all_wide[i].front_face);
+  }
+}
+
+// Probes a scene with axis rays through a grid slab plus generic
+// diagonal rays, comparing both engines on every cast.
+void ProbeScene(const Scene& scene, Rng* rng, int probes) {
+  if (scene.triangle_count() == 0) return;
+  // Bounding region of the scene's active triangles.
+  rt::Aabb bounds;
+  for (std::uint32_t i = 0; i < scene.triangle_count(); ++i) {
+    if (!scene.soup().IsActive(i)) continue;
+    bounds.Grow(scene.soup().BoundsOf(i));
+  }
+  if (bounds.IsEmpty()) return;
+  const Vec3f extent = bounds.Extent();
+  for (int p = 0; p < probes; ++p) {
+    const float fx =
+        bounds.min.x + extent.x * static_cast<float>(rng->NextDouble());
+    const float fy =
+        bounds.min.y + extent.y * static_cast<float>(rng->NextDouble());
+    const float fz =
+        bounds.min.z + extent.z * static_cast<float>(rng->NextDouble());
+    for (int axis = 0; axis < 3; ++axis) {
+      Ray ray;
+      ray.origin = {axis == 0 ? bounds.min.x - 1 : fx,
+                    axis == 1 ? bounds.min.y - 1 : fy,
+                    axis == 2 ? bounds.min.z - 1 : fz};
+      ray.direction = {axis == 0 ? 1.0f : 0.0f, axis == 1 ? 1.0f : 0.0f,
+                       axis == 2 ? 1.0f : 0.0f};
+      ray.t_min = 0;
+      ray.t_max = (axis == 0 ? extent.x : axis == 1 ? extent.y : extent.z) + 2;
+      ExpectEngineEquivalence(scene, ray);
+    }
+    // Generic (non-axis) ray through the same point.
+    Ray diag;
+    diag.origin = {bounds.min.x - 1, bounds.min.y - 1, bounds.min.z - 1};
+    diag.direction = {fx - diag.origin.x, fy - diag.origin.y,
+                      fz - diag.origin.z};
+    diag.t_min = 0;
+    diag.t_max = 3;
+    ExpectEngineEquivalence(scene, diag);
+  }
+}
+
+std::vector<std::uint64_t> RandomKeys(std::size_t n, std::uint64_t space,
+                                      Rng* rng) {
+  std::vector<std::uint64_t> keys(n);
+  for (auto& k : keys) k = rng->Below(space);
+  return keys;
+}
+
+// ---------------------------------------------------------------------
+// Raw traversal equivalence on cgRX scenes over every builder /
+// representation / flipping combination.
+// ---------------------------------------------------------------------
+
+TEST(Bvh4Equivalence, AllBuildersRepresentationsAndFlipping) {
+  Rng rng(7);
+  const std::vector<std::uint64_t> keys =
+      RandomKeys(6000, 1ULL << 23, &rng);  // Example-mapping key space.
+  for (const BvhBuilder builder :
+       {BvhBuilder::kBinnedSah, BvhBuilder::kMedianSplit,
+        BvhBuilder::kMorton}) {
+    for (const Representation representation :
+         {Representation::kNaive, Representation::kOptimized}) {
+      for (const bool flipping : {false, true}) {
+        CgrxConfig config;
+        config.bucket_size = 8;
+        config.bvh_builder = builder;
+        config.representation = representation;
+        config.enable_flipping = flipping;
+        config.mapping_override = util::KeyMapping::Example();
+        CgrxIndex64 index(config);
+        index.Build(keys);
+        SCOPED_TRACE(testing::Message()
+                     << "builder=" << static_cast<int>(builder)
+                     << " representation=" << static_cast<int>(representation)
+                     << " flipping=" << flipping);
+        Rng probe_rng(13);
+        ProbeScene(index.scene(), &probe_rng, 60);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Index-level equivalence: a binary-engine and a wide-engine cgRX give
+// byte-identical lookup results (including the rays-fired counters).
+// ---------------------------------------------------------------------
+
+TEST(Bvh4Equivalence, CgrxLookupsMatchBinaryEngine) {
+  Rng rng(11);
+  const std::vector<std::uint64_t> keys = RandomKeys(20000, 1ULL << 40, &rng);
+  CgrxConfig wide_config;
+  wide_config.bucket_size = 16;
+  CgrxConfig binary_config = wide_config;
+  binary_config.traversal_engine = TraversalEngine::kBinary;
+  CgrxIndex64 wide(wide_config);
+  CgrxIndex64 binary(binary_config);
+  wide.Build(keys);
+  binary.Build(keys);
+
+  std::vector<std::uint64_t> probes = keys;
+  probes.resize(4000);
+  for (int i = 0; i < 4000; ++i) probes.push_back(rng.Below(1ULL << 41));
+  std::vector<LookupResult> wide_results(probes.size());
+  std::vector<LookupResult> binary_results(probes.size());
+  wide.PointLookupBatch(probes.data(), probes.size(), wide_results.data(),
+                        api::ExecutionPolicy::Serial());
+  binary.PointLookupBatch(probes.data(), probes.size(),
+                          binary_results.data(),
+                          api::ExecutionPolicy::Serial());
+  EXPECT_EQ(wide_results, binary_results);
+
+  std::vector<KeyRange<std::uint64_t>> ranges;
+  for (int i = 0; i < 1500; ++i) {
+    const std::uint64_t lo = rng.Below(1ULL << 40);
+    ranges.push_back({lo, lo + rng.Below(1ULL << 20)});
+  }
+  std::vector<LookupResult> wide_ranges(ranges.size());
+  std::vector<LookupResult> binary_ranges(ranges.size());
+  wide.RangeLookupBatch(ranges.data(), ranges.size(), wide_ranges.data(),
+                        api::ExecutionPolicy::Serial());
+  binary.RangeLookupBatch(ranges.data(), ranges.size(),
+                          binary_ranges.data(),
+                          api::ExecutionPolicy::Serial());
+  EXPECT_EQ(wide_ranges, binary_ranges);
+}
+
+TEST(Bvh4Equivalence, CgrxuLookupsMatchBinaryEngine) {
+  Rng rng(17);
+  const std::vector<std::uint64_t> keys = RandomKeys(12000, 1ULL << 36, &rng);
+  CgrxuConfig wide_config;
+  CgrxuConfig binary_config = wide_config;
+  binary_config.traversal_engine = TraversalEngine::kBinary;
+  CgrxuIndex64 wide(wide_config);
+  CgrxuIndex64 binary(binary_config);
+  wide.Build(keys);
+  binary.Build(keys);
+
+  // Update waves (splits, deletions) leave the BVH untouched but stress
+  // the located buckets.
+  std::vector<std::uint64_t> inserts = RandomKeys(4000, 1ULL << 36, &rng);
+  std::vector<std::uint32_t> insert_rows(inserts.size(), 1);
+  std::vector<std::uint64_t> deletes(keys.begin(), keys.begin() + 2000);
+  wide.UpdateBatch(inserts, insert_rows, deletes);
+  binary.UpdateBatch(inserts, insert_rows, deletes);
+
+  std::vector<std::uint64_t> probes = RandomKeys(6000, 1ULL << 37, &rng);
+  std::vector<LookupResult> wide_results(probes.size());
+  std::vector<LookupResult> binary_results(probes.size());
+  wide.PointLookupBatch(probes.data(), probes.size(), wide_results.data(),
+                        api::ExecutionPolicy::Serial());
+  binary.PointLookupBatch(probes.data(), probes.size(),
+                          binary_results.data(),
+                          api::ExecutionPolicy::Serial());
+  EXPECT_EQ(wide_results, binary_results);
+}
+
+// ---------------------------------------------------------------------
+// Post-Refit equivalence: refitted (inflated) bounds must traverse
+// identically, including deactivated slots and parked-slot activation.
+// ---------------------------------------------------------------------
+
+TEST(Bvh4Equivalence, RxRefitScenesMatchBinaryEngine) {
+  Rng rng(23);
+  std::vector<std::uint64_t> keys = RandomKeys(8000, 1ULL << 30, &rng);
+  RxConfig config;
+  config.spare_capacity = 0.3;
+  RxIndex64 index(config);
+  index.Build(keys);
+
+  // Refit wave 1: inserts activate parked slots far from their leaves.
+  std::vector<std::uint64_t> inserts = RandomKeys(1500, 1ULL << 30, &rng);
+  std::vector<std::uint32_t> insert_rows(inserts.size(), 9);
+  index.InsertBatchRefit(inserts, insert_rows);
+  Rng probe_rng(29);
+  ProbeScene(index.scene(), &probe_rng, 40);
+
+  // Refit wave 2: deletions degenerate slots in place.
+  std::vector<std::uint64_t> deletes(keys.begin(), keys.begin() + 1500);
+  index.EraseBatchRefit(deletes);
+  ProbeScene(index.scene(), &probe_rng, 40);
+
+  // Lookup results stay equal to a binary-engine index in the same
+  // post-refit state.
+  RxConfig binary_config = config;
+  binary_config.traversal_engine = TraversalEngine::kBinary;
+  RxIndex64 binary(binary_config);
+  binary.Build(keys);
+  binary.InsertBatchRefit(inserts, insert_rows);
+  binary.EraseBatchRefit(deletes);
+  std::vector<std::uint64_t> probes = RandomKeys(5000, 1ULL << 31, &rng);
+  std::vector<LookupResult> wide_results(probes.size());
+  std::vector<LookupResult> binary_results(probes.size());
+  index.PointLookupBatch(probes.data(), probes.size(), wide_results.data(),
+                         api::ExecutionPolicy::Serial());
+  binary.PointLookupBatch(probes.data(), probes.size(),
+                          binary_results.data(),
+                          api::ExecutionPolicy::Serial());
+  EXPECT_EQ(wide_results, binary_results);
+}
+
+TEST(Bvh4Equivalence, SceneRefitAfterVertexMoves) {
+  Rng rng(31);
+  Scene scene;
+  for (int i = 0; i < 3000; ++i) {
+    const float x = static_cast<float>(rng.Below(1024));
+    const float y = static_cast<float>(rng.Below(64));
+    const float z = static_cast<float>(rng.Below(16));
+    const Vec3f o0{x, y + 0.25f, z - 0.25f};
+    const Vec3f o1{x + 0.25f, y - 0.25f, z};
+    const Vec3f o2{x - 0.25f, y, z + 0.25f};
+    scene.AddTriangle(o0, o1, o2);
+  }
+  scene.Build();
+  // Move a third of the triangles (inflating leaf bounds), deactivate a
+  // few, then refit.
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    const float x = static_cast<float>(rng.Below(1024));
+    const float y = static_cast<float>(rng.Below(64));
+    scene.SetTriangle(i * 3, {x, y + 0.25f, 0}, {x + 0.25f, y - 0.25f, 0.5f},
+                      {x - 0.25f, y, 1.0f});
+  }
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    scene.SetDegenerateTriangle(i * 7 + 1);
+  }
+  scene.Refit();
+  Rng probe_rng(37);
+  ProbeScene(scene, &probe_rng, 80);
+}
+
+// ---------------------------------------------------------------------
+// Compression: the wide structure must be substantially smaller than
+// the binary structure it replaces.
+// ---------------------------------------------------------------------
+
+TEST(Bvh4, NodeMemoryAtMost60PercentOfBinary) {
+  Rng rng(41);
+  const std::vector<std::uint64_t> keys = RandomKeys(200000, 1ULL << 44, &rng);
+  CgrxConfig config;
+  config.bucket_size = 32;
+  CgrxIndex64 index(config);
+  index.Build(keys);
+  const Scene& scene = index.scene();
+  EXPECT_GT(scene.bvh4().MemoryBytes(), 0u);
+  EXPECT_LE(static_cast<double>(scene.bvh4().MemoryBytes()),
+            0.6 * static_cast<double>(scene.bvh().MemoryBytes()));
+  // The configured (wide) engine is what the scene footprint reports:
+  // wide nodes plus the primitive index array shared with the binary
+  // build substrate.
+  EXPECT_EQ(scene.MemoryFootprintBytes(),
+            scene.soup().MemoryBytes() + scene.bvh4().MemoryBytes() +
+                scene.bvh().prim_indices().size() * sizeof(std::uint32_t));
+}
+
+// ---------------------------------------------------------------------
+// Batch cast API: CastRays with a shared context must agree with the
+// per-ray entry point, including the hit_mask contract on misses.
+// ---------------------------------------------------------------------
+
+TEST(SceneBatch, CastRaysMatchesPerRayCasts) {
+  Rng rng(53);
+  CgrxConfig config;
+  config.bucket_size = 8;
+  config.mapping_override = util::KeyMapping::Example();
+  CgrxIndex64 index(config);
+  index.Build(RandomKeys(4000, 1ULL << 23, &rng));
+  const Scene& scene = index.scene();
+  const auto& mapping = index.mapping();
+
+  // Guaranteed hits: full-row rays along bucket-representative rows;
+  // near-guaranteed misses: rays along random (mostly empty) rows.
+  std::vector<Ray> rays;
+  const std::size_t rep_rays =
+      std::min<std::size_t>(250, index.num_buckets());
+  for (std::size_t b = 0; b < rep_rays; ++b) {
+    const auto g = mapping.GridOf(
+        static_cast<std::uint64_t>(index.buckets().RepKey(b)));
+    Ray ray;
+    ray.origin = {mapping.WorldX(0) - 0.5f, mapping.WorldY(g.y),
+                  mapping.WorldZ(g.z)};
+    ray.direction = {1, 0, 0};
+    ray.t_min = 0;
+    ray.t_max = static_cast<float>(mapping.x_max()) + 2.0f;
+    rays.push_back(ray);
+  }
+  for (int i = 0; i < 250; ++i) {
+    const auto g = mapping.GridOf(rng.Below(1ULL << 23));
+    Ray ray;
+    ray.origin = {mapping.WorldX(g.x) - 0.5f, mapping.WorldY(g.y),
+                  mapping.WorldZ(g.z)};
+    ray.direction = {1, 0, 0};
+    ray.t_min = 0;
+    ray.t_max = 0.25f;
+    rays.push_back(ray);
+  }
+
+  std::vector<Hit> hits(rays.size());
+  std::vector<std::uint8_t> mask(rays.size(), 2);
+  rt::TraversalContext ctx;
+  rt::TraversalStats stats;
+  scene.CastRays(rays.data(), rays.size(), hits.data(), mask.data(), &ctx,
+                 &stats);
+  EXPECT_GT(stats.nodes_visited, 0u);
+  std::size_t hit_count = 0;
+  for (std::size_t i = 0; i < rays.size(); ++i) {
+    const std::optional<Hit> single = scene.CastRay(rays[i]);
+    ASSERT_EQ(mask[i], single.has_value() ? 1 : 0);
+    if (single.has_value()) {
+      ++hit_count;
+      EXPECT_EQ(hits[i].primitive_index, single->primitive_index);
+      EXPECT_EQ(hits[i].t, single->t);
+      EXPECT_EQ(hits[i].front_face, single->front_face);
+    }
+  }
+  EXPECT_GT(hit_count, 0u);
+  EXPECT_LT(hit_count, rays.size());
+}
+
+// ---------------------------------------------------------------------
+// Coherent scheduling: reordered execution must be invisible in the
+// results, for every index and for serial and parallel policies alike.
+// ---------------------------------------------------------------------
+
+TEST(CoherentBatches, CgrxSortedMatchesUnsortedAndParallel) {
+  Rng rng(43);
+  const std::vector<std::uint64_t> keys = RandomKeys(30000, 1ULL << 42, &rng);
+  CgrxConfig coherent_config;
+  CgrxConfig unsorted_config;
+  unsorted_config.coherent_batches = false;
+  CgrxIndex64 coherent(coherent_config);
+  CgrxIndex64 unsorted(unsorted_config);
+  coherent.Build(keys);
+  unsorted.Build(keys);
+
+  std::vector<std::uint64_t> probes(keys.begin(), keys.begin() + 5000);
+  for (int i = 0; i < 3000; ++i) probes.push_back(rng.Below(1ULL << 43));
+  ASSERT_GE(probes.size(), core::kCoherentBatchMin);
+
+  std::vector<LookupResult> a(probes.size());
+  std::vector<LookupResult> b(probes.size());
+  std::vector<LookupResult> c(probes.size());
+  coherent.PointLookupBatch(probes.data(), probes.size(), a.data(),
+                            api::ExecutionPolicy::Serial());
+  unsorted.PointLookupBatch(probes.data(), probes.size(), b.data(),
+                            api::ExecutionPolicy::Serial());
+  coherent.PointLookupBatch(probes.data(), probes.size(), c.data(),
+                            api::ExecutionPolicy::Parallel());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+
+  std::vector<KeyRange<std::uint64_t>> ranges;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t lo = rng.Below(1ULL << 42);
+    ranges.push_back({lo, lo + rng.Below(1ULL << 18)});
+  }
+  std::vector<LookupResult> ra(ranges.size());
+  std::vector<LookupResult> rb(ranges.size());
+  coherent.RangeLookupBatch(ranges.data(), ranges.size(), ra.data(),
+                            api::ExecutionPolicy::Parallel());
+  unsorted.RangeLookupBatch(ranges.data(), ranges.size(), rb.data(),
+                            api::ExecutionPolicy::Serial());
+  EXPECT_EQ(ra, rb);
+}
+
+TEST(CoherentBatches, RxAndCgrxuSortedMatchesUnsorted) {
+  Rng rng(47);
+  const std::vector<std::uint64_t> keys = RandomKeys(20000, 1ULL << 34, &rng);
+  std::vector<std::uint64_t> probes(keys.begin(), keys.begin() + 4000);
+  for (int i = 0; i < 2000; ++i) probes.push_back(rng.Below(1ULL << 35));
+
+  {
+    RxConfig coherent_config;
+    RxConfig unsorted_config;
+    unsorted_config.coherent_batches = false;
+    RxIndex64 coherent(coherent_config);
+    RxIndex64 unsorted(unsorted_config);
+    coherent.Build(keys);
+    unsorted.Build(keys);
+    std::vector<LookupResult> a(probes.size());
+    std::vector<LookupResult> b(probes.size());
+    coherent.PointLookupBatch(probes.data(), probes.size(), a.data(),
+                              api::ExecutionPolicy::Parallel());
+    unsorted.PointLookupBatch(probes.data(), probes.size(), b.data(),
+                              api::ExecutionPolicy::Serial());
+    EXPECT_EQ(a, b);
+  }
+  {
+    CgrxuConfig coherent_config;
+    CgrxuConfig unsorted_config;
+    unsorted_config.coherent_batches = false;
+    CgrxuIndex64 coherent(coherent_config);
+    CgrxuIndex64 unsorted(unsorted_config);
+    coherent.Build(keys);
+    unsorted.Build(keys);
+    std::vector<LookupResult> a(probes.size());
+    std::vector<LookupResult> b(probes.size());
+    coherent.PointLookupBatch(probes.data(), probes.size(), a.data(),
+                              api::ExecutionPolicy::Parallel());
+    unsorted.PointLookupBatch(probes.data(), probes.size(), b.data(),
+                              api::ExecutionPolicy::Serial());
+    EXPECT_EQ(a, b);
+  }
+}
+
+}  // namespace
+}  // namespace cgrx
