@@ -133,6 +133,79 @@ void RegisterFigure() {
   })
       ->Unit(benchmark::kMillisecond)
       ->Iterations(1);
+
+  // One-sweep-vs-two-sweep mode: the same combined insert+delete waves
+  // applied to cgRXu through the wave API (one native bucket sweep) and
+  // through the decomposed InsertBatch+EraseBatch path (two sweeps),
+  // with the sweep counts read back from IndexStats.
+  benchmark::RegisterBenchmark("Fig18/combined-waves", [](benchmark::State&
+                                                              state) {
+    const auto& scale = Scale::Get();
+    auto& table = Table(
+        "Fig18d: combined wave, one-sweep vs two-sweep "
+        "[apply ms | buckets swept]");
+    table.SetColumns({"wave", "cgRXu one-sweep [ms]", "cgRXu two-sweep [ms]",
+                      "speedup", "sweeps 1x", "sweeps 2x"});
+
+    const std::size_t n = scale.Keys(26);
+    util::KeySetConfig cfg;
+    cfg.count = n;
+    cfg.key_bits = 32;
+    cfg.uniformity = 1.0;
+    const auto keys = util::MakeKeySet(cfg);
+    std::unordered_set<std::uint64_t> present(keys.begin(), keys.end());
+
+    util::Rng rng(4242);
+    std::vector<std::uint64_t> extra;
+    while (extra.size() < n) {
+      const std::uint64_t k = rng.Below(0xffffffffULL);
+      if (present.insert(k).second) extra.push_back(k);
+    }
+    const auto waves = util::SplitIntoWaves(extra, 8);
+
+    for (auto _ : state) {
+      BenchIndex one_sweep = MakeCgrxu(32, 128);
+      BenchIndex two_sweep = MakeCgrxu(32, 128);
+      one_sweep.index.Build(keys);
+      two_sweep.index.Build(keys);
+
+      std::uint32_t next_row = static_cast<std::uint32_t>(n);
+      for (std::size_t w = 0; w < waves.size(); ++w) {
+        // Wave w inserts fresh keys and retires the previous wave's.
+        const std::vector<std::uint64_t>& arrivals = waves[w];
+        const std::vector<std::uint64_t> retirements =
+            w == 0 ? std::vector<std::uint64_t>{} : waves[w - 1];
+        std::vector<std::uint32_t> rows(arrivals.size());
+        for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = next_row + i;
+        next_row += static_cast<std::uint32_t>(arrivals.size());
+
+        const api::IndexStats one_before = one_sweep.index.Stats();
+        const double one_ms = MeasureMs([&] {
+          one_sweep.index.UpdateBatch(arrivals, rows, retirements);
+        });
+        const std::uint64_t one_sweeps =
+            one_sweep.index.Stats().Delta(one_before).update_buckets_swept;
+
+        const api::IndexStats two_before = two_sweep.index.Stats();
+        const double two_ms = MeasureMs([&] {
+          two_sweep.index.InsertBatch(arrivals, rows);
+          two_sweep.index.EraseBatch(retirements);
+        });
+        const std::uint64_t two_sweeps =
+            two_sweep.index.Stats().Delta(two_before).update_buckets_swept;
+
+        table.AddRow({std::to_string(w + 1),
+                      util::TablePrinter::Num(one_ms, 2),
+                      util::TablePrinter::Num(two_ms, 2),
+                      util::TablePrinter::Num(
+                          one_ms > 0 ? two_ms / one_ms : 0.0, 2) + "x",
+                      std::to_string(one_sweeps),
+                      std::to_string(two_sweeps)});
+      }
+    }
+  })
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(1);
 }
 
 }  // namespace cgrx::bench

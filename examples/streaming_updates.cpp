@@ -1,10 +1,13 @@
 // Streaming ingest with interleaved analytics: an IoT-style scenario
 // for cgRXu (paper Section IV). Sensor readings arrive in batches keyed
 // by (sensor id | timestamp); old readings are retired in batches; point
-// and range probes run between batches. The example contrasts cgRXu's
-// node-split updates against rebuilding cgRX from scratch each batch --
-// the comparison behind the paper's Figure 18 -- with both indexes
-// driven through the unified api::Index interface.
+// and range probes run between batches. Each batch is one combined
+// UpdateBatch wave on the abstract interface -- arrivals and
+// retirements applied in a single bucket sweep on cgRXu
+// (capabilities().combined_updates) -- contrasted against (a) the same
+// cgRXu paying the two-sweep InsertBatch+EraseBatch decomposition and
+// (b) rebuilding cgRX from scratch each batch, the comparison behind
+// the paper's Figure 18. All three run through cgrx::api::Index.
 //
 //   ./streaming_updates
 #include <cstdint>
@@ -13,10 +16,8 @@
 #include <string>
 #include <vector>
 
-#include "src/api/adapters.h"
 #include "src/api/factory.h"
 #include "src/api/index.h"
-#include "src/core/cgrxu_index.h"
 #include "src/util/rng.h"
 #include "src/util/timer.h"
 
@@ -46,26 +47,27 @@ int main() {
     }
   }
 
-  // Node-based, updatable vs. rebuilt per batch -- both held through
-  // the same abstract interface. The combined insert+delete sweep is a
-  // cgRXu-specific capability (one bucket pass for both sides, paper
-  // Section IV) not yet on the abstract interface, so the apply step
-  // reaches it through the adapter's impl() escape hatch.
+  // One-sweep waves vs. the same backend decomposed vs. rebuilt cgRX --
+  // all held through the same abstract interface.
   const auto streaming = cgrx::api::MakeIndex<std::uint64_t>("cgrxu");
-  auto& cgrxu =
-      dynamic_cast<cgrx::api::IndexAdapter<cgrx::core::CgrxuIndex64>&>(
-          *streaming)
-          .impl();
-  streaming->Build(std::vector<std::uint64_t>(keys));
+  const auto two_sweep = cgrx::api::MakeIndex<std::uint64_t>("cgrxu");
   const auto rebuilding = cgrx::api::MakeIndex<std::uint64_t>("cgrx");
+  streaming->Build(std::vector<std::uint64_t>(keys));
+  two_sweep->Build(std::vector<std::uint64_t>(keys));
   rebuilding->Build(std::vector<std::uint64_t>(keys));
 
   std::cout << "bulk-loaded " << streaming->size() << " readings from "
-            << kSensors << " sensors\n\n";
-  std::cout << std::left << std::setw(8) << "batch" << std::setw(16)
-            << "cgRXu apply" << std::setw(16) << "rebuild apply"
-            << std::setw(12) << "speedup" << "probe agreement\n";
+            << kSensors << " sensors\n"
+            << "cgRXu combined_updates capability: "
+            << (streaming->capabilities().combined_updates ? "yes" : "no")
+            << "\n\n";
+  std::cout << std::left << std::setw(8) << "batch" << std::setw(13)
+            << "wave apply" << std::setw(13) << "2-sweep" << std::setw(13)
+            << "rebuild" << std::setw(16) << "sweeps (1x/2x)"
+            << "probe agreement\n";
 
+  std::uint64_t total_wave_sweeps = 0;
+  std::uint64_t total_split_sweeps = 0;
   std::uint32_t next_row = static_cast<std::uint32_t>(streaming->size());
   cgrx::util::Rng rng(2026);
   for (int batch = 0; batch < kBatches; ++batch) {
@@ -92,17 +94,31 @@ int main() {
       }
     }
 
+    // One combined wave: arrivals + retirements in a single sweep.
+    const cgrx::api::IndexStats wave_before = streaming->Stats();
     cgrx::util::Timer t1;
-    cgrxu.UpdateBatch(arrivals, rows, retirements);
+    streaming->UpdateBatch(arrivals, rows, retirements);
     const double streaming_ms = t1.ElapsedMs();
+    const std::uint64_t wave_sweeps =
+        streaming->Stats().Delta(wave_before).update_buckets_swept;
 
+    // The decomposed path on the identical backend: two sweeps.
+    const cgrx::api::IndexStats split_before = two_sweep->Stats();
     cgrx::util::Timer t2;
-    rebuilding->InsertBatch(arrivals, rows);
-    rebuilding->EraseBatch(retirements);
-    const double rebuild_ms = t2.ElapsedMs();
+    two_sweep->InsertBatch(arrivals, rows);
+    two_sweep->EraseBatch(retirements);
+    const double split_ms = t2.ElapsedMs();
+    const std::uint64_t split_sweeps =
+        two_sweep->Stats().Delta(split_before).update_buckets_swept;
+    total_wave_sweeps += wave_sweeps;
+    total_split_sweeps += split_sweeps;
+
+    cgrx::util::Timer t3;
+    rebuilding->UpdateBatch(arrivals, rows, retirements);
+    const double rebuild_ms = t3.ElapsedMs();
 
     // Interleaved analytics: probe random live readings and one sensor's
-    // full retained window; both indexes must agree.
+    // full retained window; all three indexes must agree.
     std::vector<std::uint64_t> probes;
     for (int q = 0; q < 2000; ++q) {
       const auto sensor = static_cast<std::uint32_t>(rng.Below(kSensors));
@@ -111,10 +127,13 @@ int main() {
       probes.push_back(ReadingKey(sensor, tick));
     }
     std::vector<LookupResult> streaming_hits;
+    std::vector<LookupResult> split_hits;
     std::vector<LookupResult> rebuilding_hits;
     streaming->PointLookupBatch(probes, &streaming_hits);
+    two_sweep->PointLookupBatch(probes, &split_hits);
     rebuilding->PointLookupBatch(probes, &rebuilding_hits);
-    bool agree = streaming_hits == rebuilding_hits;
+    bool agree =
+        streaming_hits == rebuilding_hits && streaming_hits == split_hits;
 
     const std::vector<KeyRange<std::uint64_t>> window = {
         {ReadingKey(7, 0), ReadingKey(7, ~0u)}};
@@ -124,21 +143,25 @@ int main() {
     rebuilding->RangeLookupBatch(window, &rebuilding_window);
     agree = agree && streaming_window == rebuilding_window;
 
-    std::cout << std::left << std::setw(8) << (batch + 1) << std::setw(16)
+    std::cout << std::left << std::setw(8) << (batch + 1) << std::setw(13)
               << (std::to_string(streaming_ms) + " ms").substr(0, 9)
-              << std::setw(16)
+              << std::setw(13)
+              << (std::to_string(split_ms) + " ms").substr(0, 9)
+              << std::setw(13)
               << (std::to_string(rebuild_ms) + " ms").substr(0, 9)
-              << std::setw(12)
-              << (rebuild_ms > 0
-                      ? std::to_string(rebuild_ms / streaming_ms)
-                            .substr(0, 5) +
-                            "x"
-                      : "-")
+              << std::setw(16)
+              << (std::to_string(wave_sweeps) + "/" +
+                  std::to_string(split_sweeps))
               << (agree ? "ok" : "MISMATCH") << "\n";
     if (!agree) return 1;
   }
   std::cout << "\nretained " << streaming->size()
             << " readings; node slab footprint "
-            << streaming->Stats().memory_bytes / 1024 << " KiB\n";
+            << streaming->Stats().memory_bytes / 1024 << " KiB\n"
+            << "bucket sweeps: " << total_wave_sweeps
+            << " (combined waves) vs " << total_split_sweeps
+            << " (insert+erase) -- "
+            << (total_split_sweeps - total_wave_sweeps)
+            << " bucket visits saved by the one-sweep wave API\n";
   return 0;
 }

@@ -43,6 +43,11 @@ class IndexAdapter final : public Index<typename Impl::KeyType> {
         i.InsertBatch(k, r);
         i.EraseBatch(k);
       };
+  static constexpr bool kHasCombinedUpdates =
+      requires(Impl& i, std::vector<Key> k, std::vector<std::uint32_t> r,
+               std::vector<Key> d, const ExecutionPolicy& p) {
+        i.UpdateBatch(std::move(k), std::move(r), std::move(d), p);
+      };
 
   template <typename... Args>
   explicit IndexAdapter(std::string name, Args&&... args)
@@ -51,7 +56,8 @@ class IndexAdapter final : public Index<typename Impl::KeyType> {
   std::string_view name() const override { return name_; }
 
   Capabilities capabilities() const override {
-    return Capabilities{kHasPointLookup, kHasRangeLookup, kHasUpdates};
+    return Capabilities{kHasPointLookup, kHasRangeLookup, kHasUpdates,
+                        kHasCombinedUpdates};
   }
 
   void Build(std::vector<Key> keys) override {
@@ -74,6 +80,8 @@ class IndexAdapter final : public Index<typename Impl::KeyType> {
           counters.buckets_probed.load(std::memory_order_relaxed);
       stats.filter_rejections =
           counters.filter_rejections.load(std::memory_order_relaxed);
+      stats.update_buckets_swept =
+          counters.update_buckets_swept.load(std::memory_order_relaxed);
     }
     return stats;
   }
@@ -132,6 +140,22 @@ class IndexAdapter final : public Index<typename Impl::KeyType> {
       impl_.EraseBatch(keys);
     } else {
       Index<Key>::DoEraseBatch(keys, policy);
+    }
+  }
+
+  void DoUpdateBatch(std::vector<Key> insert_keys,
+                     std::vector<std::uint32_t> insert_rows,
+                     std::vector<Key> erase_keys,
+                     const ExecutionPolicy& policy) override {
+    if constexpr (kHasCombinedUpdates) {
+      // Native one-sweep wave (cgRXu applies both sides in one bucket
+      // pass, paper Section IV).
+      impl_.UpdateBatch(std::move(insert_keys), std::move(insert_rows),
+                        std::move(erase_keys), policy);
+    } else {
+      Index<Key>::DoUpdateBatch(std::move(insert_keys),
+                                std::move(insert_rows),
+                                std::move(erase_keys), policy);
     }
   }
 

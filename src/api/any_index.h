@@ -94,6 +94,18 @@ class AnyIndex {
     }
   }
 
+  void UpdateBatch(const std::vector<std::uint64_t>& insert_keys,
+                   const std::vector<std::uint32_t>& insert_rows,
+                   const std::vector<std::uint64_t>& erase_keys,
+                   const ExecutionPolicy& policy = {}) {
+    if (index32_ != nullptr) {
+      index32_->UpdateBatch(Narrow(insert_keys), insert_rows,
+                            Narrow(erase_keys), policy);
+    } else {
+      index64_->UpdateBatch(insert_keys, insert_rows, erase_keys, policy);
+    }
+  }
+
   IndexStats Stats() const {
     return index32_ != nullptr ? index32_->Stats() : index64_->Stats();
   }

@@ -1,7 +1,9 @@
 #include "src/api/factory.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "src/api/adapters.h"
 #include "src/baselines/btree.h"
@@ -99,13 +101,32 @@ bool IndexFactory<Key>::Register(std::string name, Creator creator) {
 template <typename Key>
 IndexPtr<Key> IndexFactory<Key>::Create(std::string_view name,
                                         const IndexOptions& options) const {
+  constexpr std::string_view kShardedPrefix = "sharded:";
+  if (name.substr(0, kShardedPrefix.size()) == kShardedPrefix) {
+    const std::string_view inner = name.substr(kShardedPrefix.size());
+    const std::uint32_t count = std::max<std::uint32_t>(1, options.shard_count);
+    std::vector<IndexPtr<Key>> shards;
+    shards.reserve(count);
+    for (std::uint32_t s = 0; s < count; ++s) {
+      shards.push_back(Create(inner, options));
+    }
+    return std::make_shared<ShardedIndex<Key>>(std::string(name),
+                                               std::move(shards),
+                                               options.shard_scheme);
+  }
   Creator creator;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = creators_.find(name);
     if (it == creators_.end()) {
-      throw std::invalid_argument("unknown index backend: " +
-                                  std::string(name));
+      std::string message = "unknown index backend: \"" + std::string(name) +
+                            "\" (registered:";
+      for (const auto& [known, unused] : creators_) {
+        message += " " + known;
+      }
+      message +=
+          "; prefix any of them with \"sharded:\" for a sharded composite)";
+      throw std::invalid_argument(message);
     }
     creator = it->second;
   }
@@ -119,7 +140,7 @@ bool IndexFactory<Key>::Contains(std::string_view name) const {
 }
 
 template <typename Key>
-std::vector<std::string> IndexFactory<Key>::Names() const {
+std::vector<std::string> IndexFactory<Key>::RegisteredNames() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> names;
   names.reserve(creators_.size());

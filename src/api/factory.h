@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/api/index.h"
+#include "src/api/sharded_index.h"
 #include "src/core/rep_scene.h"
 #include "src/core/types.h"
 #include "src/rt/scene.h"
@@ -55,6 +56,12 @@ struct IndexOptions {
   /// default scaled, RX/RTScan unscaled, per the paper).
   std::optional<bool> scaled_mapping;
 
+  /// "sharded:<backend>" names: number of inner shards (min 1).
+  std::uint32_t shard_count = 4;
+
+  /// "sharded:<backend>" names: key partitioning scheme.
+  ShardScheme shard_scheme = ShardScheme::kRange;
+
   /// Full mapping override for tests driving the paper's tiny
   /// running-example mapping.
   std::optional<util::KeyMapping> mapping_override;
@@ -76,14 +83,22 @@ class IndexFactory {
   /// std::invalid_argument for a null creator.
   bool Register(std::string name, Creator creator);
 
-  /// Creates an index; throws std::invalid_argument for unknown names.
+  /// Creates an index. A "sharded:<backend>" name composes a
+  /// ShardedIndex over IndexOptions::shard_count instances of
+  /// <backend>, partitioned by IndexOptions::shard_scheme. Throws
+  /// std::invalid_argument for unknown names, listing the registered
+  /// backends in the message.
   IndexPtr<Key> Create(std::string_view name,
                        const IndexOptions& options = {}) const;
 
   bool Contains(std::string_view name) const;
 
-  /// Registered names in sorted order.
-  std::vector<std::string> Names() const;
+  /// Registered backend names in sorted order (the base names;
+  /// "sharded:" composition is a Create-time prefix, not an entry).
+  std::vector<std::string> RegisteredNames() const;
+
+  /// Backwards-compatible alias for RegisteredNames().
+  std::vector<std::string> Names() const { return RegisteredNames(); }
 
  private:
   mutable std::mutex mutex_;

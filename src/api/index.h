@@ -7,10 +7,12 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/api/execution_policy.h"
 #include "src/core/types.h"
+#include "src/core/update_wave.h"
 
 namespace cgrx::api {
 
@@ -21,6 +23,11 @@ struct Capabilities {
   bool point_lookup = false;
   bool range_lookup = false;
   bool updates = false;
+  /// The backend applies a combined insert+delete wave in one native
+  /// sweep (cgRXu, paper Section IV). When false, UpdateBatch() still
+  /// works but decomposes into the two-sweep EraseBatch-then-InsertBatch
+  /// path.
+  bool combined_updates = false;
 };
 
 /// Introspection snapshot of one index instance. Replaces the scattered
@@ -42,6 +49,11 @@ struct IndexStats {
   std::uint64_t buckets_probed = 0;
   /// Lookups rejected by the optional miss filter before firing rays.
   std::uint64_t filter_rejections = 0;
+  /// Buckets visited by update sweeps (cgRXu only): every UpdateBatch
+  /// wave -- combined or decomposed -- pays one whole-structure bucket
+  /// pass, so a combined insert+delete wave shows half the sweeps of an
+  /// InsertBatch followed by an EraseBatch.
+  std::uint64_t update_buckets_swept = 0;
 
   /// Counter difference against an earlier snapshot of the same index:
   /// the standard way to report per-batch numbers (rays per batch,
@@ -53,6 +65,7 @@ struct IndexStats {
     delta.rays_fired -= since.rays_fired;
     delta.buckets_probed -= since.buckets_probed;
     delta.filter_rejections -= since.filter_rejections;
+    delta.update_buckets_swept -= since.update_buckets_swept;
     return delta;
   }
 };
@@ -128,6 +141,26 @@ class Index {
     DoEraseBatch(keys, policy);
   }
 
+  /// Applies one combined update wave: erases plus inserts, with keys
+  /// appearing on both sides cancelled pairwise before anything touches
+  /// the structure (the paper's cgRXu wave semantics, Section IV).
+  /// Surviving erases apply before surviving inserts. Backends reporting
+  /// `capabilities().combined_updates` (cgRXu) execute the wave in a
+  /// single native bucket sweep; everything else decomposes into the
+  /// two-sweep EraseBatch-then-InsertBatch path with identical results.
+  /// Batches are taken by value because the wave is sorted in place.
+  void UpdateBatch(std::vector<Key> insert_keys,
+                   std::vector<std::uint32_t> insert_rows,
+                   std::vector<Key> erase_keys,
+                   const ExecutionPolicy& policy = {}) {
+    if (insert_keys.size() != insert_rows.size()) {
+      throw std::invalid_argument(
+          "UpdateBatch: insert_keys/insert_rows size mismatch");
+    }
+    DoUpdateBatch(std::move(insert_keys), std::move(insert_rows),
+                  std::move(erase_keys), policy);
+  }
+
   virtual IndexStats Stats() const = 0;
 
   /// Zeroes the cumulative lookup-path counters (rays, probes, filter
@@ -175,6 +208,20 @@ class Index {
   virtual void DoEraseBatch(const std::vector<Key>&,
                             const ExecutionPolicy&) {
     throw UnsupportedOperationError(name(), "updates");
+  }
+
+  /// Default combined-wave implementation: cancel paired keys (the same
+  /// core::CancelPairedUpdates preprocessing cgRXu's native sweep runs,
+  /// which is what keeps the semantics identical), then pay two sweeps
+  /// (erase, insert). Backends with a native one-sweep wave override
+  /// (via IndexAdapter's requires-detection).
+  virtual void DoUpdateBatch(std::vector<Key> insert_keys,
+                             std::vector<std::uint32_t> insert_rows,
+                             std::vector<Key> erase_keys,
+                             const ExecutionPolicy& policy) {
+    core::CancelPairedUpdates(&insert_keys, &insert_rows, &erase_keys);
+    if (!erase_keys.empty()) DoEraseBatch(erase_keys, policy);
+    if (!insert_keys.empty()) DoInsertBatch(insert_keys, insert_rows, policy);
   }
 };
 

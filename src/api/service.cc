@@ -1,0 +1,186 @@
+#include "src/api/service.h"
+
+#include <exception>
+#include <stdexcept>
+#include <vector>
+
+namespace cgrx::api {
+
+template <typename Key>
+IndexService<Key>::IndexService(IndexPtr<Key> index, Options options)
+    : index_(std::move(index)), options_(options) {
+  if (index_ == nullptr) {
+    throw std::invalid_argument("IndexService needs a non-null index");
+  }
+  dispatcher_ = std::thread([this] { Run(); });
+}
+
+template <typename Key>
+IndexService<Key>::~IndexService() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  dispatcher_.join();
+}
+
+template <typename Key>
+std::future<typename IndexService<Key>::LookupBatchResult>
+IndexService<Key>::SubmitPointLookups(std::vector<Key> keys) {
+  Op op;
+  op.kind = Op::Kind::kPointLookup;
+  op.keys = std::move(keys);
+  std::future<LookupBatchResult> ticket = op.lookup_done.get_future();
+  Enqueue(std::move(op));
+  return ticket;
+}
+
+template <typename Key>
+std::future<typename IndexService<Key>::LookupBatchResult>
+IndexService<Key>::SubmitRangeLookups(std::vector<core::KeyRange<Key>> ranges) {
+  Op op;
+  op.kind = Op::Kind::kRangeLookup;
+  op.ranges = std::move(ranges);
+  std::future<LookupBatchResult> ticket = op.lookup_done.get_future();
+  Enqueue(std::move(op));
+  return ticket;
+}
+
+template <typename Key>
+std::future<typename IndexService<Key>::UpdateResult>
+IndexService<Key>::SubmitUpdate(std::vector<Key> insert_keys,
+                                std::vector<std::uint32_t> insert_rows,
+                                std::vector<Key> erase_keys) {
+  if (insert_keys.size() != insert_rows.size()) {
+    throw std::invalid_argument(
+        "SubmitUpdate: insert_keys/insert_rows size mismatch");
+  }
+  Op op;
+  op.kind = Op::Kind::kUpdate;
+  op.keys = std::move(insert_keys);
+  op.insert_rows = std::move(insert_rows);
+  op.erase_keys = std::move(erase_keys);
+  std::future<UpdateResult> ticket = op.update_done.get_future();
+  Enqueue(std::move(op));
+  return ticket;
+}
+
+template <typename Key>
+void IndexService<Key>::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+template <typename Key>
+IndexStats IndexService<Key>::Stats() {
+  Op op;
+  op.kind = Op::Kind::kStats;
+  std::future<IndexStats> ticket = op.stats_done.get_future();
+  Enqueue(std::move(op));
+  return ticket.get();
+}
+
+template <typename Key>
+std::size_t IndexService<Key>::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+template <typename Key>
+void IndexService<Key>::Enqueue(Op op) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("IndexService is shutting down");
+    }
+    queue_.push_back(std::move(op));
+    ++in_flight_;
+  }
+  work_ready_.notify_one();
+}
+
+template <typename Key>
+void IndexService<Key>::Run() {
+  for (;;) {
+    // Admission: drain the consecutive reads at the queue head as one
+    // wave (they all observe the same completed epoch); an update is
+    // taken alone so it applies atomically between read waves.
+    std::vector<Op> wave;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained.
+      if (Op::IsRead(queue_.front().kind)) {
+        while (!queue_.empty() && Op::IsRead(queue_.front().kind)) {
+          wave.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+      } else {
+        wave.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    for (Op& op : wave) Execute(op);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      in_flight_ -= wave.size();
+      if (in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+template <typename Key>
+void IndexService<Key>::Execute(Op& op) {
+  switch (op.kind) {
+    case Op::Kind::kPointLookup:
+      try {
+        LookupBatchResult payload;
+        payload.results.resize(op.keys.size());
+        index_->PointLookupBatch(op.keys.data(), op.keys.size(),
+                                 payload.results.data(), options_.policy);
+        payload.epoch = completed_epoch_.load(std::memory_order_relaxed);
+        op.lookup_done.set_value(std::move(payload));
+      } catch (...) {
+        op.lookup_done.set_exception(std::current_exception());
+      }
+      break;
+    case Op::Kind::kRangeLookup:
+      try {
+        LookupBatchResult payload;
+        payload.results.resize(op.ranges.size());
+        index_->RangeLookupBatch(op.ranges.data(), op.ranges.size(),
+                                 payload.results.data(), options_.policy);
+        payload.epoch = completed_epoch_.load(std::memory_order_relaxed);
+        op.lookup_done.set_value(std::move(payload));
+      } catch (...) {
+        op.lookup_done.set_exception(std::current_exception());
+      }
+      break;
+    case Op::Kind::kUpdate:
+      try {
+        index_->UpdateBatch(std::move(op.keys), std::move(op.insert_rows),
+                            std::move(op.erase_keys), options_.policy);
+        UpdateResult payload;
+        payload.epoch =
+            completed_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+        payload.entries = index_->size();
+        op.update_done.set_value(payload);
+      } catch (...) {
+        op.update_done.set_exception(std::current_exception());
+      }
+      break;
+    case Op::Kind::kStats:
+      try {
+        op.stats_done.set_value(index_->Stats());
+      } catch (...) {
+        op.stats_done.set_exception(std::current_exception());
+      }
+      break;
+  }
+}
+
+template class IndexService<std::uint32_t>;
+template class IndexService<std::uint64_t>;
+
+}  // namespace cgrx::api

@@ -1,0 +1,144 @@
+#ifndef CGRX_SRC_API_SERVICE_H_
+#define CGRX_SRC_API_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/api/execution_policy.h"
+#include "src/api/index.h"
+#include "src/core/types.h"
+
+namespace cgrx::api {
+
+/// Asynchronous submission-queue front end over one api::Index: the
+/// serving-layer admission point. Callers submit lookup batches and
+/// update waves from any thread and get std::future-based tickets; a
+/// single dispatcher thread drains the queue in admission order, so
+/// there is exactly one writer and rebuild-style backends (SA, RX,
+/// cgRX) get a coherent version story without any locking of their own.
+///
+/// Versioning: every completed update wave increments the service
+/// epoch. Consecutive read submissions at the head of the queue are
+/// drained as one wave against the last completed epoch (reported in
+/// their tickets); an update is taken alone, applies atomically with
+/// respect to reads, and completes the next epoch. A read admitted
+/// after an update therefore always observes that update, and never a
+/// partially applied wave.
+///
+/// Lookup batches still exploit data parallelism internally: the
+/// dispatcher executes them under Options::policy (pool-parallel by
+/// default), exactly like a synchronous caller would.
+template <typename Key>
+class IndexService {
+ public:
+  struct Options {
+    /// Execution policy the dispatcher passes to every batch entry
+    /// point (lookups and update waves).
+    ExecutionPolicy policy{};
+  };
+
+  /// Ticket payload of a lookup submission.
+  struct LookupBatchResult {
+    std::vector<core::LookupResult> results;
+    /// Update epoch the batch read against (the last wave completed
+    /// before this batch was admitted).
+    std::uint64_t epoch = 0;
+  };
+
+  /// Ticket payload of an update submission.
+  struct UpdateResult {
+    /// Epoch this wave completed (monotone, starting at 1).
+    std::uint64_t epoch = 0;
+    /// Index entry count after the wave applied.
+    std::size_t entries = 0;
+  };
+
+  explicit IndexService(IndexPtr<Key> index, Options options = {});
+
+  /// Drains every queued submission, then stops the dispatcher.
+  ~IndexService();
+
+  IndexService(const IndexService&) = delete;
+  IndexService& operator=(const IndexService&) = delete;
+
+  /// Submits a point-lookup batch; the ticket resolves with one
+  /// LookupResult per key plus the epoch it read against. Unsupported
+  /// operations surface as exceptions on the future.
+  std::future<LookupBatchResult> SubmitPointLookups(std::vector<Key> keys);
+
+  /// Submits a range-lookup batch over inclusive [lo, hi] ranges.
+  std::future<LookupBatchResult> SubmitRangeLookups(
+      std::vector<core::KeyRange<Key>> ranges);
+
+  /// Submits a combined update wave (Index::UpdateBatch semantics:
+  /// pairwise insert/erase cancellation, erases before inserts, one
+  /// native sweep on combined_updates backends). The ticket resolves
+  /// once the wave is fully applied, with the epoch it completed.
+  std::future<UpdateResult> SubmitUpdate(std::vector<Key> insert_keys,
+                                         std::vector<std::uint32_t> insert_rows,
+                                         std::vector<Key> erase_keys);
+
+  /// Last completed update epoch (0 until the first wave applies).
+  std::uint64_t epoch() const {
+    return completed_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until every submission enqueued before this call has
+  /// completed.
+  void Drain();
+
+  /// Queue-synchronized stats snapshot: runs as a read op on the
+  /// dispatcher, so it never races an in-flight update wave.
+  IndexStats Stats();
+
+  /// Number of submissions not yet completed (queued or executing).
+  std::size_t pending() const;
+
+ private:
+  struct Op {
+    enum class Kind { kPointLookup, kRangeLookup, kUpdate, kStats };
+    Kind kind = Kind::kPointLookup;
+    std::vector<Key> keys;
+    std::vector<core::KeyRange<Key>> ranges;
+    std::vector<std::uint32_t> insert_rows;
+    std::vector<Key> erase_keys;
+    std::promise<LookupBatchResult> lookup_done;
+    std::promise<UpdateResult> update_done;
+    std::promise<IndexStats> stats_done;
+
+    static bool IsRead(Kind kind) { return kind != Kind::kUpdate; }
+  };
+
+  void Enqueue(Op op);
+  void Run();
+  void Execute(Op& op);
+
+  IndexPtr<Key> index_;
+  Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::deque<Op> queue_;
+  std::size_t in_flight_ = 0;  ///< Queued plus currently executing.
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> completed_epoch_{0};
+  std::thread dispatcher_;
+};
+
+extern template class IndexService<std::uint32_t>;
+extern template class IndexService<std::uint64_t>;
+
+using IndexService32 = IndexService<std::uint32_t>;
+using IndexService64 = IndexService<std::uint64_t>;
+
+}  // namespace cgrx::api
+
+#endif  // CGRX_SRC_API_SERVICE_H_

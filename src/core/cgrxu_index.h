@@ -13,6 +13,7 @@
 #include "src/core/coherent.h"
 #include "src/core/rep_scene.h"
 #include "src/core/types.h"
+#include "src/core/update_wave.h"
 #include "src/util/key_mapping.h"
 #include "src/util/radix_sort.h"
 
@@ -238,14 +239,19 @@ class CgrxuIndex {
                    std::vector<Key> delete_keys,
                    const api::ExecutionPolicy& policy = {}) {
     assert(insert_keys.size() == insert_rows.size());
-    SortPairs(&insert_keys, &insert_rows);
-    SortKeysOnly(&delete_keys);
-    EliminateCommon(&insert_keys, &insert_rows, &delete_keys);
+    // Shared wave preprocessing (sort + pairwise cancellation), the
+    // same routine the api::Index two-sweep decomposition runs.
+    CancelPairedUpdates(&insert_keys, &insert_rows, &delete_keys);
     // Worst case one split (one new node) per insertion; reserving up
     // front keeps the parallel phase allocation-free.
     EnsureNodeCapacity(next_free_.load(std::memory_order_relaxed) +
                        static_cast<std::uint32_t>(insert_keys.size()));
     const std::uint32_t buckets = num_data_buckets_ + 1;
+    // One whole-structure sweep per wave, whatever mix of insertions and
+    // deletions it carries -- the counter api::IndexStats surfaces as
+    // update_buckets_swept (a split Insert+Erase pays this twice).
+    counters_.update_buckets_swept.fetch_add(buckets,
+                                             std::memory_order_relaxed);
     std::vector<std::int64_t> delta(buckets, 0);
     policy.For(buckets, 1, [&](std::size_t b) {
       const auto bucket = static_cast<std::uint32_t>(b);
@@ -313,44 +319,6 @@ class CgrxuIndex {
   static void SortPairs(std::vector<Key>* keys,
                         std::vector<std::uint32_t>* rows) {
     util::RadixSortPairs(keys, rows, kKeyBits);
-  }
-
-  static void SortKeysOnly(std::vector<Key>* keys) {
-    util::RadixSortKeys(keys, kKeyBits);
-  }
-
-  /// Removes keys appearing in both sorted batches, one instance per
-  /// pairing (paper: "Any key that is both to be inserted and deleted in
-  /// a batch can simply be eliminated").
-  static void EliminateCommon(std::vector<Key>* ins,
-                              std::vector<std::uint32_t>* ins_rows,
-                              std::vector<Key>* del) {
-    std::vector<Key> ins_out;
-    std::vector<std::uint32_t> rows_out;
-    std::vector<Key> del_out;
-    std::size_t i = 0;
-    std::size_t j = 0;
-    while (i < ins->size() && j < del->size()) {
-      if ((*ins)[i] < (*del)[j]) {
-        ins_out.push_back((*ins)[i]);
-        rows_out.push_back((*ins_rows)[i]);
-        ++i;
-      } else if ((*del)[j] < (*ins)[i]) {
-        del_out.push_back((*del)[j]);
-        ++j;
-      } else {
-        ++i;  // Matched pair eliminated.
-        ++j;
-      }
-    }
-    for (; i < ins->size(); ++i) {
-      ins_out.push_back((*ins)[i]);
-      rows_out.push_back((*ins_rows)[i]);
-    }
-    for (; j < del->size(); ++j) del_out.push_back((*del)[j]);
-    *ins = std::move(ins_out);
-    *ins_rows = std::move(rows_out);
-    *del = std::move(del_out);
   }
 
   /// Shared lookup core of PointLookup/RangeLookup ([lo, hi] with

@@ -42,6 +42,7 @@ struct LocalLookupCounters {
   std::uint64_t rays_fired = 0;
   std::uint64_t buckets_probed = 0;
   std::uint64_t filter_rejections = 0;
+  std::uint64_t update_buckets_swept = 0;
 };
 
 /// Cumulative lookup-path counters maintained by the raytracing-backed
@@ -53,13 +54,20 @@ struct LookupCounters {
   std::atomic<std::uint64_t> rays_fired{0};
   std::atomic<std::uint64_t> buckets_probed{0};
   std::atomic<std::uint64_t> filter_rejections{0};
+  /// Buckets visited by update sweeps (cgRXu: one whole-structure pass
+  /// per UpdateBatch wave). A combined insert+delete wave sweeps once;
+  /// decomposing it into InsertBatch + EraseBatch sweeps twice, which is
+  /// exactly the cost difference api::Index::UpdateBatch exposes.
+  std::atomic<std::uint64_t> update_buckets_swept{0};
 
   LookupCounters() = default;
   LookupCounters(const LookupCounters& other)
       : rays_fired(other.rays_fired.load(std::memory_order_relaxed)),
         buckets_probed(other.buckets_probed.load(std::memory_order_relaxed)),
         filter_rejections(
-            other.filter_rejections.load(std::memory_order_relaxed)) {}
+            other.filter_rejections.load(std::memory_order_relaxed)),
+        update_buckets_swept(
+            other.update_buckets_swept.load(std::memory_order_relaxed)) {}
   LookupCounters& operator=(const LookupCounters& other) {
     rays_fired.store(other.rays_fired.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
@@ -68,6 +76,9 @@ struct LookupCounters {
     filter_rejections.store(
         other.filter_rejections.load(std::memory_order_relaxed),
         std::memory_order_relaxed);
+    update_buckets_swept.store(
+        other.update_buckets_swept.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
     return *this;
   }
 
@@ -75,6 +86,7 @@ struct LookupCounters {
     rays_fired.store(0, std::memory_order_relaxed);
     buckets_probed.store(0, std::memory_order_relaxed);
     filter_rejections.store(0, std::memory_order_relaxed);
+    update_buckets_swept.store(0, std::memory_order_relaxed);
   }
 
   void Merge(const LocalLookupCounters& local) {
@@ -88,6 +100,10 @@ struct LookupCounters {
     if (local.filter_rejections != 0) {
       filter_rejections.fetch_add(local.filter_rejections,
                                   std::memory_order_relaxed);
+    }
+    if (local.update_buckets_swept != 0) {
+      update_buckets_swept.fetch_add(local.update_buckets_swept,
+                                     std::memory_order_relaxed);
     }
   }
 };

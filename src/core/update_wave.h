@@ -1,0 +1,61 @@
+#ifndef CGRX_SRC_CORE_UPDATE_WAVE_H_
+#define CGRX_SRC_CORE_UPDATE_WAVE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/util/radix_sort.h"
+
+namespace cgrx::core {
+
+/// Shared preprocessing of a combined update wave (paper Section IV):
+/// radix-sorts both sides by key and cancels keys appearing on both
+/// pairwise, one instance per pairing (multiset semantics) -- "Any key
+/// that is both to be inserted and deleted in a batch can simply be
+/// eliminated". Both cgRXu's native one-sweep UpdateBatch and the
+/// api::Index two-sweep decomposition run exactly this routine, which
+/// is what keeps their semantics identical: without the shared
+/// cancellation, a decomposed erase could consume a pre-existing
+/// instance of a key whose replacement is inserted in the same wave,
+/// while the native sweep would cancel the pair and keep the old
+/// instance. Outputs are sorted ascending (rows follow their keys).
+template <typename Key>
+void CancelPairedUpdates(std::vector<Key>* insert_keys,
+                         std::vector<std::uint32_t>* insert_rows,
+                         std::vector<Key>* erase_keys) {
+  constexpr int kKeyBits = static_cast<int>(sizeof(Key)) * 8;
+  util::RadixSortPairs(insert_keys, insert_rows, kKeyBits);
+  util::RadixSortKeys(erase_keys, kKeyBits);
+  if (insert_keys->empty() || erase_keys->empty()) return;
+  std::vector<Key> ins_out;
+  std::vector<std::uint32_t> rows_out;
+  std::vector<Key> del_out;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < insert_keys->size() && j < erase_keys->size()) {
+    if ((*insert_keys)[i] < (*erase_keys)[j]) {
+      ins_out.push_back((*insert_keys)[i]);
+      rows_out.push_back((*insert_rows)[i]);
+      ++i;
+    } else if ((*erase_keys)[j] < (*insert_keys)[i]) {
+      del_out.push_back((*erase_keys)[j]);
+      ++j;
+    } else {
+      ++i;  // Matched pair eliminated.
+      ++j;
+    }
+  }
+  for (; i < insert_keys->size(); ++i) {
+    ins_out.push_back((*insert_keys)[i]);
+    rows_out.push_back((*insert_rows)[i]);
+  }
+  for (; j < erase_keys->size(); ++j) del_out.push_back((*erase_keys)[j]);
+  *insert_keys = std::move(ins_out);
+  *insert_rows = std::move(rows_out);
+  *erase_keys = std::move(del_out);
+}
+
+}  // namespace cgrx::core
+
+#endif  // CGRX_SRC_CORE_UPDATE_WAVE_H_

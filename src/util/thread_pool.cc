@@ -30,6 +30,9 @@ void ThreadPool::ParallelFor(
     body(begin, end);
     return;
   }
+  // One job slot: a second concurrent caller must not overwrite job_
+  // while the first job's workers are still draining it.
+  std::unique_lock<std::mutex> callers_lock(callers_mutex_);
   {
     std::unique_lock<std::mutex> lock(mutex_);
     job_.begin = begin;

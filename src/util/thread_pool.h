@@ -33,6 +33,13 @@ class ThreadPool {
   /// Invokes `body(chunk_begin, chunk_end)` over a partition of
   /// [begin, end) with roughly `grain`-sized chunks. Blocks until done.
   /// `body` must be safe to call concurrently on disjoint chunks.
+  ///
+  /// Safe to call from multiple threads: the pool has one job slot, so
+  /// concurrent callers serialize their jobs against each other (the
+  /// serving layer makes concurrent callers routine -- an IndexService
+  /// dispatcher running pool-parallel batches while user threads drive
+  /// other indexes). Still not reentrant: never call from inside a
+  /// `body`.
   void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
                    const std::function<void(std::size_t, std::size_t)>& body);
 
@@ -59,6 +66,7 @@ class ThreadPool {
 
   int num_threads_;
   std::vector<std::thread> workers_;
+  std::mutex callers_mutex_;  // Serializes concurrent ParallelFor callers.
   std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable done_;

@@ -111,6 +111,31 @@ TEST(IndexFactoryTest, UnknownBackendThrows) {
   EXPECT_FALSE(IndexFactory<std::uint64_t>::Global().Contains("nope"));
 }
 
+TEST(IndexFactoryTest, UnknownBackendErrorListsRegisteredNames) {
+  try {
+    MakeIndex<std::uint64_t>("no-such-index");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("no-such-index"), std::string::npos) << message;
+    for (const char* backend : kAllBackends) {
+      EXPECT_NE(message.find(backend), std::string::npos)
+          << backend << " missing from: " << message;
+    }
+    EXPECT_NE(message.find("sharded:"), std::string::npos) << message;
+  }
+}
+
+TEST(IndexFactoryTest, RegisteredNamesIsSortedAndMatchesNames) {
+  const auto& factory = IndexFactory<std::uint64_t>::Global();
+  const auto registered = factory.RegisteredNames();
+  EXPECT_TRUE(std::is_sorted(registered.begin(), registered.end()));
+  EXPECT_EQ(registered, factory.Names());
+  for (const char* backend : kAllBackends) {
+    EXPECT_TRUE(std::count(registered.begin(), registered.end(), backend));
+  }
+}
+
 TEST(IndexFactoryTest, OptionsReachTheBackend) {
   IndexOptions options;
   options.bucket_size = 256;
@@ -277,6 +302,204 @@ TEST_P(ApiConformanceTest, ParallelExecutionMatchesSerial) {
     index.RangeLookupBatch(ranges, &parallel,
                            ExecutionPolicy::Parallel(/*grain=*/3));
     EXPECT_EQ(serial, parallel);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Combined update waves (UpdateBatch).
+// ---------------------------------------------------------------------
+
+// One wave with inserts, erases of present and absent keys, and a pair
+// that cancels (a key both inserted and erased in the same wave must
+// annihilate, leaving any pre-existing instance untouched) -- identical
+// semantics whether the backend runs one native sweep (cgRXu) or the
+// decomposed two-sweep path.
+TEST_P(ApiConformanceTest, UpdateBatchWaveMatchesOracle) {
+  AnyIndex index = Make();
+  if (!index.capabilities().updates) {
+    EXPECT_THROW(index.UpdateBatch({1}, {1}, {2}),
+                 UnsupportedOperationError);
+    return;
+  }
+  // Distinct keys so erase instances are unambiguous across backends.
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 1200; ++i) keys.push_back(3 * i + 1);
+  std::multimap<std::uint64_t, std::uint32_t> oracle;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    oracle.emplace(keys[i], static_cast<std::uint32_t>(i));
+  }
+  index.Build(keys);
+
+  std::vector<std::uint64_t> ins = {6000002, 6000005, 6000008,
+                                    keys[10],  // Second instance of a key.
+                                    7000001};
+  std::vector<std::uint32_t> rows = {9001, 9002, 9003, 9004, 9005};
+  std::vector<std::uint64_t> dels = {
+      keys[3],  keys[77],  // Present: erased.
+      9999999,             // Absent: ignored.
+      7000001,             // Cancels against the insert of 7000001.
+  };
+  // Oracle semantics: cancel (7000001 insert, 7000001 erase) pairwise,
+  // then erase, then insert.
+  for (const std::uint64_t k : {keys[3], keys[77]}) {
+    oracle.erase(oracle.find(k));
+  }
+  oracle.emplace(6000002, 9001);
+  oracle.emplace(6000005, 9002);
+  oracle.emplace(6000008, 9003);
+  oracle.emplace(keys[10], 9004);
+
+  index.UpdateBatch(ins, rows, dels);
+  EXPECT_EQ(index.size(), oracle.size());
+
+  std::vector<std::uint64_t> probes = {keys[3], keys[77], keys[10],
+                                       6000002, 6000005, 6000008,
+                                       7000001, 9999999, keys[500]};
+  if (index.capabilities().point_lookup) {
+    std::vector<LookupResult> results;
+    index.PointLookupBatch(probes, &results);
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      EXPECT_EQ(results[i], OracleRange(oracle, probes[i], probes[i]))
+          << "probe " << probes[i];
+    }
+  }
+  if (index.capabilities().range_lookup) {
+    std::vector<KeyRange<std::uint64_t>> ranges = {{0, 10000},
+                                                   {6000000, 7000100}};
+    std::vector<LookupResult> results;
+    index.RangeLookupBatch(ranges, &results);
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+      EXPECT_EQ(results[i], OracleRange(oracle, ranges[i].lo, ranges[i].hi));
+    }
+  }
+}
+
+TEST(CombinedUpdateTest, OnlyCgrxuReportsCombinedUpdates) {
+  EXPECT_TRUE(MakeIndex<std::uint64_t>("cgrxu")
+                  ->capabilities()
+                  .combined_updates);
+  for (const char* backend : {"cgrx", "rx", "sa", "btree", "ht"}) {
+    EXPECT_FALSE(MakeIndex<std::uint64_t>(backend)
+                     ->capabilities()
+                     .combined_updates)
+        << backend;
+  }
+}
+
+// The acceptance assertion of the wave API: a combined insert+delete
+// wave on cgRXu costs one whole-structure bucket sweep, strictly less
+// than the two sweeps of InsertBatch followed by EraseBatch on the same
+// data (observed through the IndexStats update counters).
+TEST(CombinedUpdateTest, CgrxuCombinedWaveSweepsOnceNotTwice) {
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 4096; ++i) keys.push_back(2 * i);
+  std::vector<std::uint64_t> ins;
+  std::vector<std::uint32_t> rows;
+  std::vector<std::uint64_t> dels;
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    ins.push_back(2 * i + 1);
+    rows.push_back(static_cast<std::uint32_t>(keys.size() + i));
+    dels.push_back(4 * i);  // Present keys.
+  }
+
+  const auto combined = MakeIndex<std::uint64_t>("cgrxu");
+  combined->Build(std::vector<std::uint64_t>(keys));
+  const IndexStats before_combined = combined->Stats();
+  combined->UpdateBatch(ins, rows, dels);
+  const std::uint64_t combined_sweeps =
+      combined->Stats().Delta(before_combined).update_buckets_swept;
+
+  const auto split = MakeIndex<std::uint64_t>("cgrxu");
+  split->Build(std::vector<std::uint64_t>(keys));
+  const IndexStats before_split = split->Stats();
+  split->InsertBatch(ins, rows);
+  split->EraseBatch(dels);
+  const std::uint64_t split_sweeps =
+      split->Stats().Delta(before_split).update_buckets_swept;
+
+  EXPECT_GT(combined_sweeps, 0u);
+  EXPECT_LT(combined_sweeps, split_sweeps);
+  EXPECT_EQ(2 * combined_sweeps, split_sweeps)
+      << "a combined wave must sweep the buckets exactly once, the "
+         "decomposed path exactly twice";
+
+  // Both routes end in the same index state.
+  EXPECT_EQ(combined->size(), split->size());
+  std::vector<std::uint64_t> probes;
+  for (std::uint64_t i = 0; i < 2048; ++i) probes.push_back(i);
+  std::vector<LookupResult> combined_hits;
+  std::vector<LookupResult> split_hits;
+  combined->PointLookupBatch(probes, &combined_hits);
+  split->PointLookupBatch(probes, &split_hits);
+  EXPECT_EQ(combined_hits, split_hits);
+}
+
+// ---------------------------------------------------------------------
+// ExecutionPolicy edge cases: empty batches, grain larger than the
+// batch, grain 1 -- parallel must stay byte-identical to serial on
+// every backend that supports the operation.
+// ---------------------------------------------------------------------
+
+TEST_P(ApiConformanceTest, ExecutionPolicyEdgeCases) {
+  AnyIndex index = Make();
+  const auto keys = MakeKeys(GetParam().key_bits, 900, 777);
+  index.Build(keys);
+  const Capabilities caps = index.capabilities();
+  const ExecutionPolicy policies[] = {
+      ExecutionPolicy::Serial(),
+      ExecutionPolicy::Parallel(/*grain=*/1),
+      ExecutionPolicy::Parallel(/*grain=*/1 << 20),  // Grain > batch.
+  };
+
+  if (caps.point_lookup) {
+    // Empty batch: every policy is a no-op that leaves results empty.
+    for (const ExecutionPolicy& policy : policies) {
+      std::vector<LookupResult> results(3);
+      index.PointLookupBatch({}, &results, policy);
+      EXPECT_TRUE(results.empty());
+    }
+    std::vector<std::uint64_t> probes(keys.begin(), keys.begin() + 257);
+    std::vector<LookupResult> serial;
+    index.PointLookupBatch(probes, &serial, ExecutionPolicy::Serial());
+    for (const ExecutionPolicy& policy : policies) {
+      std::vector<LookupResult> results;
+      index.PointLookupBatch(probes, &results, policy);
+      EXPECT_EQ(results, serial);
+    }
+  }
+  if (caps.range_lookup) {
+    for (const ExecutionPolicy& policy : policies) {
+      std::vector<LookupResult> results(3);
+      index.RangeLookupBatch({}, &results, policy);
+      EXPECT_TRUE(results.empty());
+    }
+    std::vector<KeyRange<std::uint64_t>> ranges;
+    for (std::size_t i = 0; i < 97; ++i) {
+      ranges.push_back({keys[i], keys[i] + 41});
+    }
+    std::vector<LookupResult> serial;
+    index.RangeLookupBatch(ranges, &serial, ExecutionPolicy::Serial());
+    for (const ExecutionPolicy& policy : policies) {
+      std::vector<LookupResult> results;
+      index.RangeLookupBatch(ranges, &results, policy);
+      EXPECT_EQ(results, serial);
+    }
+  }
+  if (caps.updates) {
+    // Empty waves are no-ops under every policy.
+    const std::size_t size_before = index.size();
+    for (const ExecutionPolicy& policy : policies) {
+      index.InsertBatch({}, {}, policy);
+      index.EraseBatch({}, policy);
+      index.UpdateBatch({}, {}, {}, policy);
+    }
+    EXPECT_EQ(index.size(), size_before);
+    // A wave under grain 1 and grain > batch must land the same state.
+    index.UpdateBatch({123456789}, {42}, {},
+                      ExecutionPolicy::Parallel(/*grain=*/1));
+    index.UpdateBatch({}, {}, {123456789},
+                      ExecutionPolicy::Parallel(/*grain=*/1 << 20));
+    EXPECT_EQ(index.size(), size_before);
   }
 }
 

@@ -1,0 +1,258 @@
+// Conformance and concurrency suite for api::IndexService: admission
+// order must make the async front end observably identical to driving
+// the backend synchronously (point lookups, range lookups, interleaved
+// update waves), epochs must be monotone and reported consistently, and
+// multi-threaded submitters must never race the single writer (this is
+// the suite the ThreadSanitizer CI job exists for).
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/api/factory.h"
+#include "src/api/index.h"
+#include "src/api/service.h"
+#include "src/util/rng.h"
+
+namespace cgrx::api {
+namespace {
+
+using ::cgrx::core::KeyRange;
+using ::cgrx::core::LookupResult;
+using ::cgrx::util::Rng;
+
+class ServiceConformanceTest : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, ServiceConformanceTest,
+                         ::testing::Values("cgrxu", "cgrx", "btree",
+                                           "sharded:cgrxu"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == ':') c = '_';
+                           }
+                           return name;
+                         });
+
+// Single-submitter admission order: the service must replay exactly the
+// synchronous sequence, and every ticket must carry the right epoch.
+TEST_P(ServiceConformanceTest, MatchesSynchronousBackend) {
+  const auto backend = MakeIndex<std::uint64_t>(GetParam());
+  const auto reference = MakeIndex<std::uint64_t>(GetParam());
+
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 2000; ++i) keys.push_back(5 * i);
+  backend->Build(std::vector<std::uint64_t>(keys));
+  reference->Build(std::vector<std::uint64_t>(keys));
+
+  IndexService<std::uint64_t> service(backend);
+  EXPECT_EQ(service.epoch(), 0u);
+
+  Rng rng(321);
+  std::uint32_t next_row = static_cast<std::uint32_t>(keys.size());
+  std::vector<std::future<IndexService<std::uint64_t>::LookupBatchResult>>
+      lookup_tickets;
+  std::vector<std::vector<LookupResult>> expected_lookups;
+  std::vector<std::uint64_t> expected_epochs;
+  std::vector<std::future<IndexService<std::uint64_t>::UpdateResult>>
+      update_tickets;
+  std::uint64_t updates_submitted = 0;
+
+  for (int step = 0; step < 12; ++step) {
+    if (step % 3 == 2) {
+      // An update wave: insert fresh keys, erase some present ones.
+      std::vector<std::uint64_t> ins;
+      std::vector<std::uint32_t> rows;
+      std::vector<std::uint64_t> dels;
+      for (int i = 0; i < 50; ++i) {
+        ins.push_back(1'000'000 + rng.Below(1'000'000));
+        rows.push_back(next_row++);
+        dels.push_back(5 * rng.Below(2000));
+      }
+      reference->UpdateBatch(ins, rows, dels);
+      update_tickets.push_back(
+          service.SubmitUpdate(std::move(ins), std::move(rows),
+                               std::move(dels)));
+      ++updates_submitted;
+    } else if (step % 3 == 0) {
+      std::vector<std::uint64_t> probes;
+      for (int i = 0; i < 300; ++i) probes.push_back(rng.Below(1ULL << 24));
+      std::vector<LookupResult> expected;
+      reference->PointLookupBatch(probes, &expected);
+      expected_lookups.push_back(std::move(expected));
+      expected_epochs.push_back(updates_submitted);
+      lookup_tickets.push_back(service.SubmitPointLookups(std::move(probes)));
+    } else {
+      std::vector<KeyRange<std::uint64_t>> ranges;
+      for (int i = 0; i < 80; ++i) {
+        const std::uint64_t lo = rng.Below(1ULL << 24);
+        ranges.push_back({lo, lo + rng.Below(500)});
+      }
+      std::vector<LookupResult> expected;
+      reference->RangeLookupBatch(ranges, &expected);
+      expected_lookups.push_back(std::move(expected));
+      expected_epochs.push_back(updates_submitted);
+      lookup_tickets.push_back(service.SubmitRangeLookups(std::move(ranges)));
+    }
+  }
+
+  for (std::size_t i = 0; i < lookup_tickets.size(); ++i) {
+    auto payload = lookup_tickets[i].get();
+    EXPECT_EQ(payload.results, expected_lookups[i]) << "lookup " << i;
+    EXPECT_EQ(payload.epoch, expected_epochs[i]) << "lookup " << i;
+  }
+  std::uint64_t expected_epoch = 0;
+  for (auto& ticket : update_tickets) {
+    const auto result = ticket.get();
+    EXPECT_EQ(result.epoch, ++expected_epoch);
+  }
+  service.Drain();
+  EXPECT_EQ(service.epoch(), updates_submitted);
+  EXPECT_EQ(service.pending(), 0u);
+  EXPECT_EQ(service.Stats().entries, reference->Stats().entries);
+  EXPECT_EQ(backend->size(), reference->size());
+}
+
+// Multi-threaded submitters against a single writer: lookups target a
+// key region updates never touch, so every ticket must resolve to the
+// same stable answer regardless of interleaving -- while TSan watches
+// the queue, the dispatcher, and the epoch counter.
+TEST(IndexServiceTest, ConcurrentSubmittersSeeStableReads) {
+  const auto backend = MakeIndex<std::uint64_t>("cgrxu");
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 4096; ++i) keys.push_back(2 * i);
+  backend->Build(std::vector<std::uint64_t>(keys));
+
+  IndexService<std::uint64_t> service(backend);
+  constexpr int kReaders = 4;
+  constexpr int kBatchesPerReader = 16;
+  constexpr int kWaves = 12;
+
+  // Stable region: keys below 2048 are never inserted or erased.
+  std::vector<LookupResult> expected;
+  {
+    std::vector<std::uint64_t> probes;
+    for (std::uint64_t k = 0; k < 1024; ++k) probes.push_back(2 * k);
+    backend->PointLookupBatch(probes, &expected);
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&service, &expected, &mismatches] {
+      std::vector<std::uint64_t> probes;
+      for (std::uint64_t k = 0; k < 1024; ++k) probes.push_back(2 * k);
+      for (int b = 0; b < kBatchesPerReader; ++b) {
+        auto ticket = service.SubmitPointLookups(probes);
+        if (ticket.get().results != expected) mismatches.fetch_add(1);
+      }
+    });
+  }
+  std::thread writer([&service] {
+    std::uint32_t next_row = 100'000;
+    for (int w = 0; w < kWaves; ++w) {
+      // Churn in the volatile region (keys >= 1'000'000).
+      std::vector<std::uint64_t> ins;
+      std::vector<std::uint32_t> rows;
+      for (int i = 0; i < 64; ++i) {
+        ins.push_back(1'000'000 + static_cast<std::uint64_t>(w * 64 + i));
+        rows.push_back(next_row++);
+      }
+      std::vector<std::uint64_t> dels;
+      if (w > 0) {
+        for (int i = 0; i < 64; ++i) {
+          dels.push_back(1'000'000 +
+                         static_cast<std::uint64_t>((w - 1) * 64 + i));
+        }
+      }
+      service.SubmitUpdate(std::move(ins), std::move(rows), std::move(dels))
+          .get();
+    }
+  });
+  for (std::thread& t : readers) t.join();
+  writer.join();
+  service.Drain();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(service.epoch(), static_cast<std::uint64_t>(kWaves));
+  // Only the last wave's 64 volatile keys survive the churn.
+  EXPECT_EQ(service.Stats().entries, keys.size() + 64);
+}
+
+// Epochs are monotone and a read admitted after an update observes it.
+TEST(IndexServiceTest, EpochOrdersReadsAgainstWrites) {
+  const auto backend = MakeIndex<std::uint64_t>("btree");
+  backend->Build({10, 20, 30});
+  IndexService<std::uint64_t> service(backend);
+
+  auto before = service.SubmitPointLookups({40});
+  auto wave = service.SubmitUpdate({40}, {7}, {});
+  auto after = service.SubmitPointLookups({40});
+
+  EXPECT_EQ(before.get().results[0].match_count, 0u);
+  EXPECT_EQ(wave.get().epoch, 1u);
+  const auto payload = after.get();
+  EXPECT_EQ(payload.epoch, 1u);
+  EXPECT_EQ(payload.results[0].match_count, 1u);
+  EXPECT_EQ(payload.results[0].row_id_sum, 7u);
+}
+
+// Unsupported operations surface as exceptions on the ticket, not as
+// crashes on the dispatcher.
+TEST(IndexServiceTest, UnsupportedOperationsPropagateThroughTickets) {
+  const auto backend = MakeIndex<std::uint64_t>("fullscan");
+  backend->Build({1, 2, 3});
+  IndexService<std::uint64_t> service(backend);
+  auto lookup = service.SubmitPointLookups({1});
+  EXPECT_EQ(lookup.get().results[0].match_count, 1u);
+  auto update = service.SubmitUpdate({9}, {9}, {});
+  EXPECT_THROW(update.get(), UnsupportedOperationError);
+  // The dispatcher survives and keeps serving.
+  auto again = service.SubmitPointLookups({2});
+  EXPECT_EQ(again.get().results[0].match_count, 1u);
+}
+
+// Destruction drains: tickets obtained before the service dies must
+// still resolve.
+TEST(IndexServiceTest, DestructorDrainsPendingSubmissions) {
+  const auto backend = MakeIndex<std::uint64_t>("btree");
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 1000; ++i) keys.push_back(i);
+  backend->Build(std::vector<std::uint64_t>(keys));
+
+  std::vector<std::future<IndexService<std::uint64_t>::LookupBatchResult>>
+      tickets;
+  std::future<IndexService<std::uint64_t>::UpdateResult> update_ticket;
+  {
+    IndexService<std::uint64_t> service(backend);
+    for (int i = 0; i < 8; ++i) {
+      tickets.push_back(service.SubmitPointLookups({static_cast<std::uint64_t>(
+          i)}));
+    }
+    update_ticket = service.SubmitUpdate({5000}, {5000}, {});
+  }  // Destructor joins after draining the queue.
+  for (auto& ticket : tickets) {
+    EXPECT_EQ(ticket.get().results[0].match_count, 1u);
+  }
+  EXPECT_EQ(update_ticket.get().epoch, 1u);
+  EXPECT_EQ(backend->size(), keys.size() + 1);
+}
+
+TEST(IndexServiceTest, StatsRunsOnTheDispatcher) {
+  const auto backend = MakeIndex<std::uint64_t>("cgrxu");
+  std::vector<std::uint64_t> keys = {1, 2, 3, 4, 5};
+  backend->Build(std::vector<std::uint64_t>(keys));
+  IndexService<std::uint64_t> service(backend);
+  const IndexStats stats = service.Stats();
+  EXPECT_EQ(stats.entries, keys.size());
+  EXPECT_GT(stats.memory_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace cgrx::api

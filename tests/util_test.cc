@@ -2,10 +2,12 @@
 // slicing, float32 exactness, scaling), radix sort, Zipf sampling,
 // workload generators, RNG and the thread pool.
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -379,6 +381,38 @@ TEST(ThreadPool, HandlesEmptyAndTinyRanges) {
     total += static_cast<int>(e - b);
   });
   EXPECT_EQ(total.load(), 1);
+}
+
+// Concurrent callers serialize on the single job slot instead of
+// trampling each other's job state -- the serving layer (IndexService
+// dispatcher + user threads) calls ParallelFor from several threads at
+// once, and the TSan CI job watches this exact interaction.
+TEST(ThreadPool, ConcurrentCallersSerializeSafely) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 25;
+  constexpr std::size_t kRange = 2000;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &failures] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<std::atomic<int>> hits(kRange);
+        pool.ParallelFor(0, kRange, /*grain=*/64,
+                         [&](std::size_t b, std::size_t e) {
+                           for (std::size_t i = b; i < e; ++i) {
+                             hits[i].fetch_add(1);
+                           }
+                         });
+        for (const auto& h : hits) {
+          if (h.load() != 1) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 TEST(ThreadPool, SequentialCallsReuseWorkers) {
