@@ -1,0 +1,182 @@
+// Parallel-build microbenchmark: what the work-stealing task scheduler
+// buys on the construction path, emitted as machine-readable JSON
+// (BENCH_parallel.json).
+//
+// Each section builds the same artifact twice -- once forced serial
+// (TaskScheduler::SerialScope), once on the scheduler -- and reports
+// both times plus the speedup:
+//
+//   * radix_sort_pairs: the bulk-load sort (parallel histogram+scatter)
+//   * bvh_build_cgrx:   cgRX Build (parallel top SAH splits, fragment
+//                       subtrees, wide collapse quantization)
+//   * bvh_build_cgrxu:  cgRXu Build (same substrate, bucket layout)
+//   * sharded_build:    "sharded:cgrxu" x8 Build (shard fan-out nesting
+//                       the per-shard BVH builds on the same scheduler)
+//
+// Serial and parallel builds are asserted byte-equal where cheap (sort
+// output, index entry counts) -- determinism is part of the contract.
+//
+// Standalone (no google-benchmark dependency) so CI can always build
+// and smoke-run it:
+//
+//   bench_parallel_build [--keys N] [--out FILE]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/api/factory.h"
+#include "src/api/index.h"
+#include "src/util/radix_sort.h"
+#include "src/util/rng.h"
+#include "src/util/task_scheduler.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using cgrx::api::IndexOptions;
+using cgrx::api::IndexPtr;
+using cgrx::api::MakeIndex;
+using cgrx::api::ShardScheme;
+using cgrx::util::Rng;
+using cgrx::util::TaskScheduler;
+using cgrx::util::Timer;
+
+struct SectionResult {
+  std::string name;
+  double serial_seconds = 0;
+  double parallel_seconds = 0;
+  bool matches = true;
+
+  double Speedup() const {
+    return parallel_seconds > 0 ? serial_seconds / parallel_seconds : 0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t num_keys = 4'000'000;
+  std::string out_path = "BENCH_parallel.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--keys") {
+      num_keys = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--out") {
+      out_path = next();
+    } else {
+      std::fprintf(stderr, "usage: %s [--keys N] [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (num_keys == 0) {
+    std::fprintf(stderr, "--keys must be positive\n");
+    return 2;
+  }
+
+  const int threads = TaskScheduler::Global().num_threads();
+  std::printf("scheduler threads: %d, keys: %zu\n", threads, num_keys);
+
+  Rng rng(0xbadc0de);
+  std::vector<std::uint64_t> keys(num_keys);
+  for (auto& k : keys) k = rng.Below(1ULL << 44);
+
+  std::vector<SectionResult> sections;
+  auto report = [&](SectionResult row) {
+    std::printf("%-18s  serial %7.3fs  parallel %7.3fs  speedup %5.2fx  %s\n",
+                row.name.c_str(), row.serial_seconds, row.parallel_seconds,
+                row.Speedup(), row.matches ? "ok" : "MISMATCH");
+    sections.push_back(std::move(row));
+  };
+
+  {
+    SectionResult row;
+    row.name = "radix_sort_pairs";
+    std::vector<std::uint64_t> serial_keys = keys;
+    std::vector<std::uint32_t> serial_vals(num_keys);
+    for (std::size_t i = 0; i < num_keys; ++i) {
+      serial_vals[i] = static_cast<std::uint32_t>(i);
+    }
+    std::vector<std::uint64_t> parallel_keys = keys;
+    std::vector<std::uint32_t> parallel_vals = serial_vals;
+    {
+      TaskScheduler::SerialScope force_serial;
+      Timer timer;
+      cgrx::util::RadixSortPairs(&serial_keys, &serial_vals, 44);
+      row.serial_seconds = timer.ElapsedSeconds();
+    }
+    Timer timer;
+    cgrx::util::RadixSortPairs(&parallel_keys, &parallel_vals, 44);
+    row.parallel_seconds = timer.ElapsedSeconds();
+    row.matches =
+        serial_keys == parallel_keys && serial_vals == parallel_vals;
+    report(std::move(row));
+  }
+
+  auto build_section = [&](const std::string& name,
+                           const std::string& backend,
+                           const IndexOptions& options) {
+    SectionResult row;
+    row.name = name;
+    std::size_t serial_entries = 0;
+    {
+      TaskScheduler::SerialScope force_serial;
+      const IndexPtr<std::uint64_t> index =
+          MakeIndex<std::uint64_t>(backend, options);
+      Timer timer;
+      index->Build(std::vector<std::uint64_t>(keys));
+      row.serial_seconds = timer.ElapsedSeconds();
+      serial_entries = index->size();
+    }
+    const IndexPtr<std::uint64_t> index =
+        MakeIndex<std::uint64_t>(backend, options);
+    Timer timer;
+    index->Build(std::vector<std::uint64_t>(keys));
+    row.parallel_seconds = timer.ElapsedSeconds();
+    row.matches = index->size() == serial_entries;
+    report(std::move(row));
+  };
+
+  build_section("bvh_build_cgrx", "cgrx", {});
+  build_section("bvh_build_cgrxu", "cgrxu", {});
+  {
+    IndexOptions options;
+    options.shard_count = 8;
+    options.shard_scheme = ShardScheme::kRange;
+    build_section("sharded_build", "sharded:cgrxu", options);
+  }
+
+  bool all_match = true;
+  for (const SectionResult& row : sections) all_match &= row.matches;
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"parallel_build\",\n");
+  std::fprintf(out, "  \"threads\": %d,\n", threads);
+  std::fprintf(out, "  \"keys\": %zu,\n", num_keys);
+  std::fprintf(out, "  \"all_match\": %s,\n", all_match ? "true" : "false");
+  std::fprintf(out, "  \"sections\": [\n");
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    const SectionResult& row = sections[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"serial_seconds\": %.4f, "
+                 "\"parallel_seconds\": %.4f, \"speedup\": %.3f, "
+                 "\"matches\": %s}%s\n",
+                 row.name.c_str(), row.serial_seconds, row.parallel_seconds,
+                 row.Speedup(), row.matches ? "true" : "false",
+                 i + 1 < sections.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return all_match ? 0 : 1;
+}

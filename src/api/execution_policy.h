@@ -3,47 +3,64 @@
 
 #include <cstddef>
 
-#include "src/util/thread_pool.h"
+#include "src/util/task_scheduler.h"
 
 namespace cgrx::api {
 
 /// Controls how a batch entry point (point/range lookups, cgRXu update
 /// waves) distributes its per-query work. The default mirrors the
 /// paper's one-thread-per-query kernel launches: the batch is chunked
-/// onto the process-wide util::ThreadPool. Serial execution runs the
+/// onto the process-wide util::TaskScheduler. Serial execution runs the
 /// same loop on the calling thread, which is useful for debugging,
 /// determinism checks and tiny batches where scheduling overhead would
 /// dominate.
 ///
+/// Policies are nested-safe: the scheduler is reentrant, so a parallel
+/// policy may be used from inside another parallel region -- a
+/// ShardedIndex fans out shard-parallel and passes the same policy to
+/// every inner batch, an IndexService read wave runs several parallel
+/// batches at once -- and blocked joiners steal-and-execute instead of
+/// parking, so nesting composes without deadlock or oversubscription
+/// beyond the scheduler's fixed thread count.
+///
 /// Every batch entry point takes a policy with a per-operation default
 /// chunk size (grain); `grain` here overrides it when non-zero. Results
 /// are written to disjoint slots, so parallel execution is
-/// byte-identical to serial execution regardless of chunking.
+/// byte-identical to serial execution regardless of chunking or
+/// nesting depth.
 class ExecutionPolicy {
  public:
   enum class Mode { kSerial, kParallel };
 
-  /// Default: parallel on the global pool with per-op default grain.
+  /// Default: parallel on the global scheduler with per-op default
+  /// grain.
   constexpr ExecutionPolicy() = default;
 
   static constexpr ExecutionPolicy Serial() {
     return ExecutionPolicy(Mode::kSerial, 0, nullptr);
   }
 
-  /// `grain` = 0 keeps each operation's default chunk size; `pool` =
-  /// nullptr uses the process-wide pool.
-  static constexpr ExecutionPolicy Parallel(std::size_t grain = 0,
-                                            util::ThreadPool* pool = nullptr) {
-    return ExecutionPolicy(Mode::kParallel, grain, pool);
+  /// `grain` = 0 keeps each operation's default chunk size;
+  /// `scheduler` = nullptr uses the process-wide scheduler.
+  static constexpr ExecutionPolicy Parallel(
+      std::size_t grain = 0, util::TaskScheduler* scheduler = nullptr) {
+    return ExecutionPolicy(Mode::kParallel, grain, scheduler);
   }
 
   Mode mode() const { return mode_; }
   bool serial() const { return mode_ == Mode::kSerial; }
   std::size_t grain() const { return grain_; }
 
+  /// The scheduler this policy dispatches onto (the process-wide one
+  /// unless the policy pinned its own) -- for callers that fork their
+  /// own TaskGroups under this policy, e.g. a service read wave.
+  util::TaskScheduler& scheduler() const {
+    return scheduler_ != nullptr ? *scheduler_ : util::TaskScheduler::Global();
+  }
+
   /// Runs `body(i)` for every i in [0, n), serially or chunked onto the
-  /// thread pool. `default_grain` is the operation's preferred chunk
-  /// size (small for expensive per-query work, large for cheap work).
+  /// scheduler. `default_grain` is the operation's preferred chunk size
+  /// (small for expensive per-query work, large for cheap work).
   template <typename Body>
   void For(std::size_t n, std::size_t default_grain, Body&& body) const {
     ForChunks(n, default_grain,
@@ -66,22 +83,20 @@ class ExecutionPolicy {
     }
     const std::size_t grain =
         grain_ > 0 ? grain_ : (default_grain > 0 ? default_grain : 1);
-    util::ThreadPool& pool =
-        pool_ != nullptr ? *pool_ : util::ThreadPool::Global();
-    pool.ParallelFor(0, n, grain,
-                     [&body](std::size_t begin, std::size_t end) {
-                       body(begin, end);
-                     });
+    scheduler().ParallelFor(0, n, grain,
+                            [&body](std::size_t begin, std::size_t end) {
+                              body(begin, end);
+                            });
   }
 
  private:
   constexpr ExecutionPolicy(Mode mode, std::size_t grain,
-                            util::ThreadPool* pool)
-      : mode_(mode), grain_(grain), pool_(pool) {}
+                            util::TaskScheduler* scheduler)
+      : mode_(mode), grain_(grain), scheduler_(scheduler) {}
 
   Mode mode_ = Mode::kParallel;
   std::size_t grain_ = 0;
-  util::ThreadPool* pool_ = nullptr;
+  util::TaskScheduler* scheduler_ = nullptr;
 };
 
 }  // namespace cgrx::api

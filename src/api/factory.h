@@ -56,6 +56,13 @@ struct IndexOptions {
   /// default scaled, RX/RTScan unscaled, per the paper).
   std::optional<bool> scaled_mapping;
 
+  /// Serving layer (IndexService over this index): maximum queued
+  /// submissions before Submit* blocks the producer (blocking
+  /// backpressure); 0 = unbounded. Consumed by the
+  /// IndexService(index, IndexOptions) constructor, not by the index
+  /// backends themselves.
+  std::size_t service_queue_limit = 0;
+
   /// "sharded:<backend>" names: number of inner shards (min 1).
   std::uint32_t shard_count = 4;
 

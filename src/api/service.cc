@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/api/factory.h"
+#include "src/util/task_scheduler.h"
+
 namespace cgrx::api {
 
 template <typename Key>
@@ -16,12 +19,19 @@ IndexService<Key>::IndexService(IndexPtr<Key> index, Options options)
 }
 
 template <typename Key>
+IndexService<Key>::IndexService(IndexPtr<Key> index,
+                                const IndexOptions& index_options)
+    : IndexService(std::move(index),
+                   Options{{}, index_options.service_queue_limit}) {}
+
+template <typename Key>
 IndexService<Key>::~IndexService() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
   }
   work_ready_.notify_all();
+  space_available_.notify_all();  // Unblock backpressured submitters.
   dispatcher_.join();
 }
 
@@ -90,7 +100,14 @@ std::size_t IndexService<Key>::pending() const {
 template <typename Key>
 void IndexService<Key>::Enqueue(Op op) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (options_.queue_limit > 0) {
+      // Blocking backpressure: a full queue parks the submitter until
+      // the dispatcher admits a wave (which is what pops the queue).
+      space_available_.wait(lock, [this] {
+        return stopping_ || queue_.size() < options_.queue_limit;
+      });
+    }
     if (stopping_) {
       throw std::runtime_error("IndexService is shutting down");
     }
@@ -121,13 +138,37 @@ void IndexService<Key>::Run() {
         queue_.pop_front();
       }
     }
-    for (Op& op : wave) Execute(op);
+    space_available_.notify_all();  // Admission freed queue slots.
+    if (wave.size() > 1 && Op::IsRead(wave.front().kind) &&
+        !options_.policy.serial()) {
+      ExecuteReadWave(&wave);
+    } else {
+      for (Op& op : wave) Execute(op);
+    }
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       in_flight_ -= wave.size();
       if (in_flight_ == 0) idle_.notify_all();
     }
   }
+}
+
+/// Runs a read wave's batches concurrently on the scheduler: each
+/// batch is a fork, and each forked batch chunks itself onto the same
+/// scheduler under Options::policy (nested parallelism). Every op
+/// observes the same completed epoch, and Execute resolves each
+/// promise independently, so concurrency is unobservable except in
+/// wall-clock: small trailing batches no longer wait for a large one
+/// at the head of the wave.
+template <typename Key>
+void IndexService<Key>::ExecuteReadWave(std::vector<Op>* wave) {
+  // Fork on the policy's scheduler (a caller that pinned a dedicated
+  // scheduler gets its wave fan-out there too, not on Global()).
+  util::TaskGroup group(options_.policy.scheduler());
+  for (Op& op : *wave) {
+    group.Run([this, &op] { Execute(op); });
+  }
+  group.Wait();  // Execute never throws (exceptions land in promises).
 }
 
 template <typename Key>

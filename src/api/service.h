@@ -18,6 +18,8 @@
 
 namespace cgrx::api {
 
+struct IndexOptions;  // factory.h
+
 /// Asynchronous submission-queue front end over one api::Index: the
 /// serving-layer admission point. Callers submit lookup batches and
 /// update waves from any thread and get std::future-based tickets; a
@@ -34,15 +36,31 @@ namespace cgrx::api {
 /// partially applied wave.
 ///
 /// Lookup batches still exploit data parallelism internally: the
-/// dispatcher executes them under Options::policy (pool-parallel by
-/// default), exactly like a synchronous caller would.
+/// dispatcher executes them under Options::policy (scheduler-parallel
+/// by default), exactly like a synchronous caller would. Under a
+/// parallel policy the read batches of one wave additionally execute
+/// concurrently with each other (the scheduler is reentrant, so each
+/// batch's internal chunking nests inside the wave fan-out): admission
+/// still orders reads against updates, but consecutive read
+/// submissions no longer queue behind one another.
+///
+/// Backpressure: Options::queue_limit bounds the number of queued (not
+/// yet dispatched) submissions; once full, Submit* blocks the caller
+/// until the dispatcher drains below the limit -- a slow consumer
+/// throttles its producers instead of growing the queue without bound.
 template <typename Key>
 class IndexService {
  public:
   struct Options {
     /// Execution policy the dispatcher passes to every batch entry
-    /// point (lookups and update waves).
+    /// point (lookups and update waves), and the gate for intra-wave
+    /// read concurrency.
     ExecutionPolicy policy{};
+
+    /// Maximum queued submissions before Submit*/Stats block the
+    /// caller (blocking backpressure); 0 = unbounded. Mirrors
+    /// IndexOptions::service_queue_limit.
+    std::size_t queue_limit = 0;
   };
 
   /// Ticket payload of a lookup submission.
@@ -62,6 +80,11 @@ class IndexService {
   };
 
   explicit IndexService(IndexPtr<Key> index, Options options = {});
+
+  /// Convenience: reads the service-relevant fields
+  /// (service_queue_limit) out of the construction-time IndexOptions
+  /// the index itself was built from.
+  IndexService(IndexPtr<Key> index, const IndexOptions& index_options);
 
   /// Drains every queued submission, then stops the dispatcher.
   ~IndexService();
@@ -120,12 +143,14 @@ class IndexService {
   void Enqueue(Op op);
   void Run();
   void Execute(Op& op);
+  void ExecuteReadWave(std::vector<Op>* wave);
 
   IndexPtr<Key> index_;
   Options options_;
   mutable std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable idle_;
+  std::condition_variable space_available_;  ///< Backpressure wakeups.
   std::deque<Op> queue_;
   std::size_t in_flight_ = 0;  ///< Queued plus currently executing.
   bool stopping_ = false;

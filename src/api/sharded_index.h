@@ -14,7 +14,7 @@
 #include "src/api/execution_policy.h"
 #include "src/api/index.h"
 #include "src/core/types.h"
-#include "src/util/thread_pool.h"
+#include "src/util/task_scheduler.h"
 
 namespace cgrx::api {
 
@@ -35,11 +35,15 @@ enum class ShardScheme {
 
 /// A composite api::Index that partitions the key space over N inner
 /// indexes and fans every batch entry point out shard-parallel over the
-/// thread pool (one inner batch per shard, executed serially inside the
-/// shard because the pool is not reentrant). Results and IndexStats
-/// merge across shards, so a ShardedIndex is observably identical to
-/// its unsharded backend -- the conformance suite asserts this for
-/// lookups and interleaved update waves.
+/// work-stealing scheduler, passing the caller's ExecutionPolicy down
+/// to every inner batch: under a parallel policy the shard fan-out and
+/// the per-shard batches nest on the same scheduler (shard x inner
+/// parallelism), so a skewed batch that lands mostly on one shard still
+/// uses every thread instead of one. Results and IndexStats merge
+/// across shards, so a ShardedIndex is observably identical to its
+/// unsharded backend -- the conformance suite asserts this for lookups
+/// and interleaved update waves, under serial, parallel and
+/// nested-parallel execution.
 ///
 /// Constructed through the factory with a "sharded:" name prefix:
 /// MakeIndex("sharded:cgrxu", options) creates
@@ -87,8 +91,9 @@ class ShardedIndex final : public Index<Key> {
 
   /// Partitions the pairs over the shards (computing the range
   /// boundaries first under kRange) and bulk-loads every shard. Shard
-  /// builds run pool-parallel: Build implementations never touch the
-  /// thread pool themselves, so there is no nesting hazard.
+  /// builds run scheduler-parallel; inner Build implementations (BVH
+  /// construction, radix sorts) are themselves parallel and nest on the
+  /// same scheduler.
   void Build(std::vector<Key> keys,
              std::vector<std::uint32_t> row_ids) override {
     if (keys.size() != row_ids.size()) {
@@ -102,7 +107,7 @@ class ShardedIndex final : public Index<Key> {
       shard_keys[s].push_back(keys[i]);
       shard_rows[s].push_back(row_ids[i]);
     }
-    util::ThreadPool::Global().ParallelFor(
+    util::TaskScheduler::Global().ParallelFor(
         0, shards_.size(), 1, [&](std::size_t begin, std::size_t end) {
           for (std::size_t s = begin; s < end; ++s) {
             shards_[s]->Build(std::move(shard_keys[s]),
@@ -139,6 +144,16 @@ class ShardedIndex final : public Index<Key> {
   std::size_t shard_count() const { return shards_.size(); }
   const std::vector<IndexPtr<Key>>& shards() const { return shards_; }
 
+  /// Ablation/benchmark knob: when set, inner batches run serially
+  /// inside each shard regardless of the caller's policy -- the
+  /// pre-scheduler behaviour, kept so bench_sharded can measure what
+  /// nested parallelism buys (and a skewed batch shows the difference
+  /// starkly). Defaults to off: inner batches inherit the caller's
+  /// policy.
+  void set_serial_inner_batches(bool serial_inner) {
+    serial_inner_batches_ = serial_inner;
+  }
+
   /// Shard owning `key` (routing is fixed after Build under kRange;
   /// purely arithmetic under kHash).
   std::size_t ShardOf(Key key) const {
@@ -156,7 +171,7 @@ class ShardedIndex final : public Index<Key> {
  protected:
   // Each override re-checks the merged capabilities up front so an
   // unsupported operation throws on the calling thread instead of
-  // escaping from a pool worker.
+  // escaping from a scheduler worker.
   void DoPointLookupBatch(const Key* keys, std::size_t count,
                           core::LookupResult* results,
                           const ExecutionPolicy& policy) const override {
@@ -176,7 +191,7 @@ class ShardedIndex final : public Index<Key> {
       if (shard_keys[s].empty()) return;
       std::vector<core::LookupResult> local(shard_keys[s].size());
       shards_[s]->PointLookupBatch(shard_keys[s].data(), shard_keys[s].size(),
-                                   local.data(), ExecutionPolicy::Serial());
+                                   local.data(), InnerPolicy(policy));
       for (std::size_t j = 0; j < local.size(); ++j) {
         results[shard_orig[s][j]] = local[j];
       }
@@ -215,8 +230,7 @@ class ShardedIndex final : public Index<Key> {
       }
       partial[s].resize(local_ranges.size());
       shards_[s]->RangeLookupBatch(local_ranges.data(), local_ranges.size(),
-                                   partial[s].data(),
-                                   ExecutionPolicy::Serial());
+                                   partial[s].data(), InnerPolicy(policy));
     });
     for (std::size_t i = 0; i < count; ++i) results[i] = {};
     for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -244,7 +258,7 @@ class ShardedIndex final : public Index<Key> {
     FanOut(policy, [&](std::size_t s) {
       if (shard_keys[s].empty()) return;
       shards_[s]->InsertBatch(shard_keys[s], shard_rows[s],
-                              ExecutionPolicy::Serial());
+                              InnerPolicy(policy));
     });
   }
 
@@ -257,7 +271,7 @@ class ShardedIndex final : public Index<Key> {
     for (const Key key : keys) shard_keys[ShardOf(key)].push_back(key);
     FanOut(policy, [&](std::size_t s) {
       if (shard_keys[s].empty()) return;
-      shards_[s]->EraseBatch(shard_keys[s], ExecutionPolicy::Serial());
+      shards_[s]->EraseBatch(shard_keys[s], InnerPolicy(policy));
     });
   }
 
@@ -286,8 +300,7 @@ class ShardedIndex final : public Index<Key> {
       if (shard_ins[s].empty() && shard_dels[s].empty()) return;
       shards_[s]->UpdateBatch(std::move(shard_ins[s]),
                               std::move(shard_rows[s]),
-                              std::move(shard_dels[s]),
-                              ExecutionPolicy::Serial());
+                              std::move(shard_dels[s]), InnerPolicy(policy));
     });
   }
 
@@ -301,11 +314,19 @@ class ShardedIndex final : public Index<Key> {
     return x ^ (x >> 31);
   }
 
-  /// Executes body(s) for every shard, pool-parallel under a parallel
-  /// policy (grain 1: one shard per chunk unless the caller overrides).
+  /// Executes body(s) for every shard, scheduler-parallel under a
+  /// parallel policy (grain 1: one shard per chunk unless the caller
+  /// overrides).
   template <typename Body>
   void FanOut(const ExecutionPolicy& policy, Body&& body) const {
     policy.For(shards_.size(), 1, body);
+  }
+
+  /// Policy handed to the inner (per-shard) batches: the caller's own
+  /// policy, so a parallel batch nests shard x inner on the reentrant
+  /// scheduler -- unless the serial-inner ablation knob is set.
+  ExecutionPolicy InnerPolicy(const ExecutionPolicy& policy) const {
+    return serial_inner_batches_ ? ExecutionPolicy::Serial() : policy;
   }
 
   /// Quantile boundaries over the bulk-load keys via successive
@@ -339,6 +360,7 @@ class ShardedIndex final : public Index<Key> {
   std::string name_;
   std::vector<IndexPtr<Key>> shards_;
   ShardScheme scheme_;
+  bool serial_inner_batches_ = false;
   std::vector<Key> upper_bounds_;  ///< kRange: N-1 shard upper bounds.
 };
 

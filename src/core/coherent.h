@@ -4,12 +4,14 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "src/api/execution_policy.h"
 #include "src/core/types.h"
 #include "src/rt/scene.h"
 #include "src/util/radix_sort.h"
+#include "src/util/task_scheduler.h"
 
 namespace cgrx::core {
 
@@ -17,6 +19,12 @@ namespace cgrx::core {
 /// would cost more than the locality it buys, and tiny batches fit in
 /// cache anyway.
 inline constexpr std::size_t kCoherentBatchMin = 1024;
+
+/// Schedule-computation batches below this size run their perm-init
+/// and max-reduction serially: forking the scheduler for a few
+/// kilobytes of linear work costs more than the loops themselves
+/// (matches the radix sort's own parallel threshold).
+inline constexpr std::size_t kCoherentParallelMin = 1 << 15;
 
 /// Computes a coherence schedule for a lookup batch: `sorted` receives
 /// the keys in (approximately) ascending order and `perm[i]` names the
@@ -33,21 +41,50 @@ inline constexpr std::size_t kCoherentBatchMin = 1024;
 /// locality at half the radix passes of a full sort. Keys equal in the
 /// sorted bits keep their original order (the underlying sort is
 /// stable), making the schedule deterministic.
+///
+/// Large batches compute the schedule parallel end to end under a
+/// parallel policy: the fused perm-init/max-reduction chunks onto the
+/// policy's scheduler, and RadixSortPairs runs parallel
+/// histogram+scatter passes -- both with results identical to serial
+/// execution, so the schedule stays deterministic. A serial policy is
+/// honored throughout: the prologue runs on the calling thread and the
+/// sort is forced serial too (the debugging/determinism-check
+/// contract of ExecutionPolicy::Serial()).
 template <typename Key>
 void CoherentOrder(const Key* keys, std::size_t count,
-                   std::vector<Key>* sorted,
-                   std::vector<std::uint32_t>* perm) {
+                   std::vector<Key>* sorted, std::vector<std::uint32_t>* perm,
+                   const api::ExecutionPolicy& policy = {}) {
   sorted->assign(keys, keys + count);
   perm->resize(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    (*perm)[i] = static_cast<std::uint32_t>(i);
-  }
   constexpr int kBits = static_cast<int>(sizeof(Key)) * 8;
-  const Key max_key =
-      count == 0 ? Key{0} : *std::max_element(sorted->begin(), sorted->end());
+  Key max_key{0};
+  const bool serial = policy.serial() || count < kCoherentParallelMin;
+  if (serial) {
+    for (std::size_t i = 0; i < count; ++i) {
+      (*perm)[i] = static_cast<std::uint32_t>(i);
+      max_key = std::max(max_key, (*sorted)[i]);
+    }
+  } else {
+    std::mutex merge_mutex;
+    policy.scheduler().ParallelFor(
+        0, count, [&](std::size_t begin, std::size_t end) {
+          Key local{0};
+          for (std::size_t i = begin; i < end; ++i) {
+            (*perm)[i] = static_cast<std::uint32_t>(i);
+            local = std::max(local, (*sorted)[i]);
+          }
+          const std::lock_guard<std::mutex> lock(merge_mutex);
+          max_key = std::max(max_key, local);
+        });
+  }
   const int occupied = std::max(1, static_cast<int>(std::bit_width(max_key)));
   const int min_bit = std::max(0, occupied - kBits / 2);
-  util::RadixSortPairs(sorted, perm, occupied, min_bit);
+  if (policy.serial()) {
+    const util::TaskScheduler::SerialScope force_serial;
+    util::RadixSortPairs(sorted, perm, occupied, min_bit);
+  } else {
+    util::RadixSortPairs(sorted, perm, occupied, min_bit);
+  }
 }
 
 /// Shared batch driver of the three raytracing indexes: executes
@@ -65,7 +102,7 @@ void CoherentBatch(const Key* keys, std::size_t count, bool coherent,
   if (coherent && count >= kCoherentBatchMin) {
     std::vector<Key> sorted;
     std::vector<std::uint32_t> perm;
-    CoherentOrder(keys, count, &sorted, &perm);
+    CoherentOrder(keys, count, &sorted, &perm, policy);
     policy.ForChunks(count, grain, [&](std::size_t begin, std::size_t end) {
       rt::TraversalContext ctx;
       LocalLookupCounters local;

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <mutex>
+
+#include "src/util/radix_sort.h"
+#include "src/util/task_scheduler.h"
 
 namespace cgrx::rt {
 namespace {
@@ -11,6 +15,28 @@ constexpr int kNumBins = 16;
 // Below this depth the builder forces median cuts, bounding recursion on
 // adversarial inputs without affecting realistic scenes.
 constexpr int kMaxDepth = 48;
+
+// Ranges at least this large use parallel reductions, histograms and
+// partitions inside a single split (the top SAH splits are the O(n)
+// serial bottleneck of a naive parallel build).
+constexpr std::uint32_t kParallelRangeMin = 1 << 16;
+
+// Work items at most this large (scaled by total size, see
+// FragmentCutoff) are deferred to the parallel-subtree frontier. The
+// cutoff depends only on the input size, never on the thread count, so
+// the node layout is identical for every scheduler width.
+constexpr std::uint32_t kFragmentMin = 1 << 13;
+
+std::uint32_t FragmentCutoff(std::size_t total_prims) {
+  return std::max<std::uint32_t>(kFragmentMin,
+                                 static_cast<std::uint32_t>(total_prims / 64));
+}
+
+bool UseParallel(std::size_t range) {
+  return range >= kParallelRangeMin &&
+         cgrx::util::TaskScheduler::Global().num_threads() > 1 &&
+         !cgrx::util::TaskScheduler::SerialForced();
+}
 
 int LargestAxis(const Vec3f& extent) {
   if (extent.x >= extent.y && extent.x >= extent.z) return 0;
@@ -66,49 +92,138 @@ void Bvh::Build(const TriangleSoup& soup, BvhBuilder builder,
     scene_bounds.Grow(p.bounds);
   }
   if (prims.empty()) return;
+  util::TaskScheduler& scheduler = util::TaskScheduler::Global();
   if (builder == BvhBuilder::kMorton) {
-    for (auto& p : prims) p.morton = MortonCode(p.centroid, scene_bounds);
-    std::sort(prims.begin(), prims.end(),
-              [](const BuildPrim& a, const BuildPrim& b) {
-                return a.morton < b.morton;
-              });
+    // Codes in parallel, then a stable sort by code: the radix sort's
+    // parallel passes keep equal codes in input order, so the sorted
+    // prim order (and therefore the tree) is execution-independent.
+    std::vector<std::uint64_t> codes(prims.size());
+    std::vector<std::uint32_t> positions(prims.size());
+    scheduler.ParallelFor(0, prims.size(),
+                          [&](std::size_t begin, std::size_t end) {
+                            for (std::size_t i = begin; i < end; ++i) {
+                              codes[i] = MortonCode(prims[i].centroid,
+                                                    scene_bounds);
+                              positions[i] =
+                                  static_cast<std::uint32_t>(i);
+                            }
+                          });
+    util::RadixSortPairs(&codes, &positions, 63);
+    std::vector<BuildPrim> sorted(prims.size());
+    scheduler.ParallelFor(0, prims.size(),
+                          [&](std::size_t begin, std::size_t end) {
+                            for (std::size_t i = begin; i < end; ++i) {
+                              sorted[i] = prims[positions[i]];
+                              sorted[i].morton = codes[i];
+                            }
+                          });
+    prims.swap(sorted);
   }
+
+  // Top phase: split large ranges (with parallel reductions inside the
+  // split), deferring small subtrees to the frontier.
   nodes_.reserve(prims.size() * 2);
-  prim_indices_.reserve(prims.size());
   nodes_.emplace_back();
-  BuildRange(&prims, 0, static_cast<std::uint32_t>(prims.size()), builder,
-             max_leaf_size);
+  std::vector<BuildWork> frontier;
+  BuildRanges(&prims, {{0, 0, static_cast<std::uint32_t>(prims.size()), 0}},
+              &nodes_, builder, max_leaf_size, &frontier,
+              FragmentCutoff(prims.size()));
+
+  // Fragment phase: every frontier subtree builds concurrently into a
+  // local node vector (its prim range is a private slice of the shared
+  // array, so in-place partitioning never races), then splices into
+  // the main array at offsets fixed by frontier order.
+  if (!frontier.empty()) {
+    std::vector<std::vector<Node>> fragments(frontier.size());
+    scheduler.ParallelFor(
+        0, frontier.size(), 1, [&](std::size_t fb, std::size_t fe) {
+          for (std::size_t f = fb; f < fe; ++f) {
+            const BuildWork& w = frontier[f];
+            fragments[f].reserve(
+                static_cast<std::size_t>(w.end - w.begin) * 2);
+            fragments[f].emplace_back();
+            BuildRanges(&prims, {{0, w.begin, w.end, w.depth}}, &fragments[f],
+                        builder, max_leaf_size, nullptr, 0);
+          }
+        });
+    std::vector<std::uint32_t> offsets(frontier.size());
+    std::uint32_t base = static_cast<std::uint32_t>(nodes_.size());
+    for (std::size_t f = 0; f < frontier.size(); ++f) {
+      offsets[f] = base;
+      base += static_cast<std::uint32_t>(fragments[f].size()) - 1;
+    }
+    nodes_.resize(base);
+    scheduler.ParallelFor(
+        0, frontier.size(), 1, [&](std::size_t fb, std::size_t fe) {
+          for (std::size_t f = fb; f < fe; ++f) {
+            // Local index 0 is the pre-allocated slot; the rest land at
+            // the fragment's offset, shifted by one. Children stay
+            // consecutive (local L, L+1 -> global off+L-1, off+L) and
+            // keep indices above their parent, preserving the Refit
+            // sweep order.
+            const std::uint32_t slot = frontier[f].node;
+            const std::uint32_t off = offsets[f];
+            const std::vector<Node>& local = fragments[f];
+            for (std::size_t j = 0; j < local.size(); ++j) {
+              Node node = local[j];
+              if (!node.IsLeaf()) {
+                node.left_or_first = off + node.left_or_first - 1;
+              }
+              nodes_[j == 0 ? slot : off + static_cast<std::uint32_t>(j) - 1] =
+                  node;
+            }
+          }
+        });
+  }
+
+  // Leaves reference prims by global array position, so the packed
+  // primitive index array is just the final (partitioned) prim order.
+  prim_indices_.resize(prims.size());
+  scheduler.ParallelFor(0, prims.size(),
+                        [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                            prim_indices_[i] = prims[i].index;
+                          }
+                        });
 }
 
-std::uint32_t Bvh::BuildRange(std::vector<BuildPrim>* prims,
-                              std::uint32_t begin, std::uint32_t end,
-                              BvhBuilder builder, int max_leaf_size) {
-  // Iterative filling driven by an explicit work list: each entry names
-  // a pre-allocated node slot and its primitive range.
-  struct Work {
-    std::uint32_t node;
-    std::uint32_t begin;
-    std::uint32_t end;
-    int depth;
-  };
-  std::vector<Work> stack;
-  stack.push_back({0, begin, end, 0});
+void Bvh::BuildRanges(std::vector<BuildPrim>* prims,
+                      std::vector<BuildWork> stack, std::vector<Node>* nodes,
+                      BvhBuilder builder, int max_leaf_size,
+                      std::vector<BuildWork>* frontier,
+                      std::uint32_t fragment_cutoff) {
+  util::TaskScheduler& scheduler = util::TaskScheduler::Global();
   while (!stack.empty()) {
-    const Work w = stack.back();
+    const BuildWork w = stack.back();
     stack.pop_back();
-    Node& node = nodes_[w.node];
-    Aabb bounds;
-    for (std::uint32_t i = w.begin; i < w.end; ++i) {
-      bounds.Grow((*prims)[i].bounds);
+    if (frontier != nullptr && w.end - w.begin <= fragment_cutoff) {
+      frontier->push_back(w);
+      continue;
     }
-    node.bounds = bounds;
+    Aabb bounds;
+    if (UseParallel(w.end - w.begin)) {
+      std::mutex merge_mutex;
+      scheduler.ParallelFor(
+          w.begin, w.end, [&](std::size_t begin, std::size_t end) {
+            Aabb local;
+            for (std::size_t i = begin; i < end; ++i) {
+              local.Grow((*prims)[i].bounds);
+            }
+            // Min/max merging is exact and order-independent, so the
+            // reduction is deterministic under any chunking.
+            const std::lock_guard<std::mutex> lock(merge_mutex);
+            bounds.Grow(local);
+          });
+    } else {
+      for (std::uint32_t i = w.begin; i < w.end; ++i) {
+        bounds.Grow((*prims)[i].bounds);
+      }
+    }
+    (*nodes)[w.node].bounds = bounds;
     const std::uint32_t count = w.end - w.begin;
     if (count <= static_cast<std::uint32_t>(max_leaf_size)) {
-      node.prim_count = static_cast<std::uint16_t>(count);
-      node.left_or_first = static_cast<std::uint32_t>(prim_indices_.size());
-      for (std::uint32_t i = w.begin; i < w.end; ++i) {
-        prim_indices_.push_back((*prims)[i].index);
-      }
+      (*nodes)[w.node].prim_count = static_cast<std::uint16_t>(count);
+      (*nodes)[w.node].left_or_first = w.begin;
       continue;
     }
     int axis = 0;
@@ -116,17 +231,15 @@ std::uint32_t Bvh::BuildRange(std::vector<BuildPrim>* prims,
                             ? (w.begin + w.end) / 2
                             : Partition(prims, w.begin, w.end, builder, &axis);
     if (mid <= w.begin || mid >= w.end) mid = (w.begin + w.end) / 2;
-    const auto left = static_cast<std::uint32_t>(nodes_.size());
-    nodes_.emplace_back();
-    nodes_.emplace_back();
-    // `node` may dangle after the two emplacements; re-index.
-    nodes_[w.node].left_or_first = left;
-    nodes_[w.node].prim_count = 0;
-    nodes_[w.node].axis = static_cast<std::uint16_t>(axis);
+    const auto left = static_cast<std::uint32_t>(nodes->size());
+    nodes->emplace_back();
+    nodes->emplace_back();
+    (*nodes)[w.node].left_or_first = left;
+    (*nodes)[w.node].prim_count = 0;
+    (*nodes)[w.node].axis = static_cast<std::uint16_t>(axis);
     stack.push_back({left + 1, mid, w.end, w.depth + 1});
     stack.push_back({left, w.begin, mid, w.depth + 1});
   }
-  return 0;
 }
 
 std::uint32_t Bvh::Partition(std::vector<BuildPrim>* prims,
@@ -151,9 +264,21 @@ std::uint32_t Bvh::Partition(std::vector<BuildPrim>* prims,
     return static_cast<std::uint32_t>(it - prims->begin());
   }
 
+  util::TaskScheduler& scheduler = util::TaskScheduler::Global();
+  const bool parallel = UseParallel(end - begin);
   Aabb centroid_bounds;
-  for (std::uint32_t i = begin; i < end; ++i) {
-    centroid_bounds.Grow((*prims)[i].centroid);
+  if (parallel) {
+    std::mutex merge_mutex;
+    scheduler.ParallelFor(begin, end, [&](std::size_t b, std::size_t e) {
+      Aabb local;
+      for (std::size_t i = b; i < e; ++i) local.Grow((*prims)[i].centroid);
+      const std::lock_guard<std::mutex> lock(merge_mutex);
+      centroid_bounds.Grow(local);
+    });
+  } else {
+    for (std::uint32_t i = begin; i < end; ++i) {
+      centroid_bounds.Grow((*prims)[i].centroid);
+    }
   }
   const Vec3f extent = centroid_bounds.Extent();
   *axis = LargestAxis(extent);
@@ -170,7 +295,10 @@ std::uint32_t Bvh::Partition(std::vector<BuildPrim>* prims,
     return static_cast<std::uint32_t>(mid_it - prims->begin());
   }
 
-  // Binned SAH.
+  // Binned SAH. The bin histogram is a parallel chunk-local
+  // count/bounds accumulation merged once per chunk; sums and exact
+  // min/max merges are order-independent, so the chosen split is
+  // deterministic.
   const float scale = static_cast<float>(kNumBins) / axis_extent;
   auto bin_of = [&](const BuildPrim& p) {
     const int b = static_cast<int>((p.centroid[*axis] - axis_min) * scale);
@@ -178,10 +306,30 @@ std::uint32_t Bvh::Partition(std::vector<BuildPrim>* prims,
   };
   std::array<std::uint32_t, kNumBins> bin_count{};
   std::array<Aabb, kNumBins> bin_bounds;
-  for (std::uint32_t i = begin; i < end; ++i) {
-    const int b = bin_of((*prims)[i]);
-    bin_count[static_cast<std::size_t>(b)]++;
-    bin_bounds[static_cast<std::size_t>(b)].Grow((*prims)[i].bounds);
+  if (parallel) {
+    std::mutex merge_mutex;
+    scheduler.ParallelFor(begin, end, [&](std::size_t b, std::size_t e) {
+      std::array<std::uint32_t, kNumBins> local_count{};
+      std::array<Aabb, kNumBins> local_bounds;
+      for (std::size_t i = b; i < e; ++i) {
+        const int bin = bin_of((*prims)[i]);
+        local_count[static_cast<std::size_t>(bin)]++;
+        local_bounds[static_cast<std::size_t>(bin)].Grow((*prims)[i].bounds);
+      }
+      const std::lock_guard<std::mutex> lock(merge_mutex);
+      for (int bin = 0; bin < kNumBins; ++bin) {
+        bin_count[static_cast<std::size_t>(bin)] +=
+            local_count[static_cast<std::size_t>(bin)];
+        bin_bounds[static_cast<std::size_t>(bin)].Grow(
+            local_bounds[static_cast<std::size_t>(bin)]);
+      }
+    });
+  } else {
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const int b = bin_of((*prims)[i]);
+      bin_count[static_cast<std::size_t>(b)]++;
+      bin_bounds[static_cast<std::size_t>(b)].Grow((*prims)[i].bounds);
+    }
   }
   // Sweep from the right to precompute suffix areas/counts.
   std::array<float, kNumBins> right_area{};
@@ -216,10 +364,83 @@ std::uint32_t Bvh::Partition(std::vector<BuildPrim>* prims,
     }
   }
   if (best_split < 0) return (begin + end) / 2;
-  auto mid_it = std::partition(first, last, [&](const BuildPrim& p) {
-    return bin_of(p) <= best_split;
+  // The partition algorithm is chosen by range size ALONE, never by
+  // thread count: the surviving intra-side order feeds positional
+  // downstream cuts (median fallbacks, nth_element ties), so every
+  // execution width must partition a given range identically for
+  // builds to stay byte-identical. Small ranges always take
+  // std::partition; large ranges always take the chunked stable
+  // partition below, whose stable output is chunk-count-independent
+  // (and which simply runs inline on a serial scheduler).
+  if (end - begin < kParallelRangeMin) {
+    auto mid_it = std::partition(first, last, [&](const BuildPrim& p) {
+      return bin_of(p) <= best_split;
+    });
+    return static_cast<std::uint32_t>(mid_it - prims->begin());
+  }
+  // Chunked stable partition: per-chunk left/right counts, exclusive
+  // offsets (left block first, chunks in order), scatter into a
+  // temporary, copy back. Stability makes the output independent of
+  // the chunk decomposition -- the same property the parallel radix
+  // sort leans on.
+  const std::size_t n = end - begin;
+  const std::size_t chunk_count = std::min<std::size_t>(
+      static_cast<std::size_t>(scheduler.num_threads()) * 4,
+      (n + kParallelRangeMin - 1) / kParallelRangeMin * 4);
+  const std::size_t chunk_size = (n + chunk_count - 1) / chunk_count;
+  std::vector<std::size_t> left_counts(chunk_count, 0);
+  scheduler.ParallelFor(0, chunk_count, 1, [&](std::size_t cb,
+                                               std::size_t ce) {
+    for (std::size_t c = cb; c < ce; ++c) {
+      const std::size_t b = begin + c * chunk_size;
+      const std::size_t e = std::min<std::size_t>(end, b + chunk_size);
+      std::size_t lefts = 0;
+      for (std::size_t i = b; i < e; ++i) {
+        lefts += bin_of((*prims)[i]) <= best_split ? 1 : 0;
+      }
+      left_counts[c] = lefts;
+    }
   });
-  return static_cast<std::uint32_t>(mid_it - prims->begin());
+  std::size_t total_left = 0;
+  for (const std::size_t c : left_counts) total_left += c;
+  std::vector<BuildPrim> scratch(n);
+  std::vector<std::size_t> left_off(chunk_count);
+  std::vector<std::size_t> right_off(chunk_count);
+  {
+    std::size_t left_sum = 0;
+    std::size_t right_sum = total_left;
+    for (std::size_t c = 0; c < chunk_count; ++c) {
+      left_off[c] = left_sum;
+      right_off[c] = right_sum;
+      const std::size_t b = begin + c * chunk_size;
+      const std::size_t e = std::min<std::size_t>(end, b + chunk_size);
+      const std::size_t chunk_n = e > b ? e - b : 0;
+      left_sum += left_counts[c];
+      right_sum += chunk_n - left_counts[c];
+    }
+  }
+  scheduler.ParallelFor(0, chunk_count, 1, [&](std::size_t cb,
+                                               std::size_t ce) {
+    for (std::size_t c = cb; c < ce; ++c) {
+      const std::size_t b = begin + c * chunk_size;
+      const std::size_t e = std::min<std::size_t>(end, b + chunk_size);
+      std::size_t lo = left_off[c];
+      std::size_t hi = right_off[c];
+      for (std::size_t i = b; i < e; ++i) {
+        if (bin_of((*prims)[i]) <= best_split) {
+          scratch[lo++] = (*prims)[i];
+        } else {
+          scratch[hi++] = (*prims)[i];
+        }
+      }
+    }
+  });
+  scheduler.ParallelFor(0, n, [&](std::size_t b, std::size_t e) {
+    std::copy(scratch.begin() + static_cast<std::ptrdiff_t>(b),
+              scratch.begin() + static_cast<std::ptrdiff_t>(e),
+              prims->begin() + static_cast<std::ptrdiff_t>(begin + b));
+  });
+  return begin + static_cast<std::uint32_t>(total_left);
 }
 
 void Bvh::Refit(const TriangleSoup& soup) {

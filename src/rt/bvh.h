@@ -26,6 +26,14 @@ enum class BvhBuilder {
 ///
 /// Nodes are stored parent-before-children, so Refit() can run a single
 /// reverse sweep; leaves reference a packed primitive-index array.
+///
+/// Build() is parallel on the process-wide TaskScheduler: the top
+/// splits run parallel reductions, bin histograms and a stable
+/// partition over the full range, and once ranges fall under a fixed
+/// (thread-count-independent) cutoff the remaining subtrees build
+/// concurrently into fragments spliced at deterministic offsets -- so
+/// the resulting node array is byte-identical whatever the thread
+/// count, including fully serial execution.
 class Bvh {
  public:
   struct Node {
@@ -76,13 +84,31 @@ class Bvh {
     std::uint64_t morton = 0;
   };
 
-  std::uint32_t BuildRange(std::vector<BuildPrim>* prims, std::uint32_t begin,
-                           std::uint32_t end, BvhBuilder builder,
-                           int max_leaf_size);
+  /// A node slot awaiting construction over prims [begin, end).
+  struct BuildWork {
+    std::uint32_t node;
+    std::uint32_t begin;
+    std::uint32_t end;
+    int depth;
+  };
+
+  /// Drains `stack`, splitting ranges and allocating child slots in
+  /// `*nodes`. With a non-null `frontier`, work items whose range is at
+  /// most `fragment_cutoff` are deferred there instead of processed
+  /// (the parallel-subtree handoff); large ranges additionally use
+  /// parallel reductions/partitions. Leaves reference prims by their
+  /// global array position (see Build), so emission order is free.
+  static void BuildRanges(std::vector<BuildPrim>* prims,
+                          std::vector<BuildWork> stack,
+                          std::vector<Node>* nodes, BvhBuilder builder,
+                          int max_leaf_size, std::vector<BuildWork>* frontier,
+                          std::uint32_t fragment_cutoff);
+
   /// Chooses the split position in [begin, end); returns `begin` or
   /// `end` when no split is useful (caller falls back to a median cut).
-  std::uint32_t Partition(std::vector<BuildPrim>* prims, std::uint32_t begin,
-                          std::uint32_t end, BvhBuilder builder, int* axis);
+  static std::uint32_t Partition(std::vector<BuildPrim>* prims,
+                                 std::uint32_t begin, std::uint32_t end,
+                                 BvhBuilder builder, int* axis);
 
   std::vector<Node> nodes_;
   std::vector<std::uint32_t> prim_indices_;

@@ -1,7 +1,10 @@
 #include "src/rt/bvh4.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+
+#include "src/util/task_scheduler.h"
 
 namespace cgrx::rt {
 namespace {
@@ -34,6 +37,7 @@ void MarkEmpty(Bvh4::Node* node, int c) {
 /// origin + qlo * scale <= min and origin + qhi * scale >= max in the
 /// exact float arithmetic the traversal uses to dequantize.
 void Quantize(Bvh4::Node* node, const Aabb* child_bounds, int nc) {
+  nc = std::min(nc, Bvh4::kWidth);  // Bounds the loops for the compiler.
   Aabb frame;
   for (int c = 0; c < nc; ++c) frame.Grow(child_bounds[c]);
   if (frame.IsEmpty()) {
@@ -146,6 +150,13 @@ void Bvh4::Build(const Bvh& source) {
     return;
   }
 
+  // The collapse runs in two passes: a cheap serial topology walk that
+  // lays out the wide nodes (child selection is integer/float-compare
+  // work), recording each node's exact child boxes -- then a parallel
+  // sweep running the expensive part, the conservative quantization
+  // fix-up loops, independently per node.
+  std::vector<std::array<Aabb, kWidth>> exact_child_bounds;
+  exact_child_bounds.emplace_back();
   struct Work {
     std::uint32_t slot;
     std::uint32_t binary;
@@ -196,6 +207,7 @@ void Bvh4::Build(const Bvh& source) {
         child_ref[c] = static_cast<std::uint32_t>(nodes_.size());
         nodes_.emplace_back();  // May invalidate Node references.
         child_source_.emplace_back();
+        exact_child_bounds.emplace_back();
         stack.push_back({child_ref[c], cand[c]});
       }
     }
@@ -205,9 +217,17 @@ void Bvh4::Build(const Bvh& source) {
       node.count[c] = child_count[c];
       node.child[c] = child_ref[c];
       child_source_[w.slot][c] = cand[c];
+      exact_child_bounds[w.slot][static_cast<std::size_t>(c)] =
+          child_bounds[c];
     }
-    Quantize(&node, child_bounds, nc);
   }
+  util::TaskScheduler::Global().ParallelFor(
+      0, nodes_.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          Quantize(&nodes_[i], exact_child_bounds[i].data(),
+                   nodes_[i].num_children);
+        }
+      });
 }
 
 void Bvh4::Refit(const Bvh& source) {
@@ -217,14 +237,19 @@ void Bvh4::Refit(const Bvh& source) {
     return;
   }
   const std::vector<Bvh::Node>& bn = source.nodes();
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    Node& node = nodes_[i];
-    Aabb child_bounds[kWidth];
-    for (int c = 0; c < node.num_children; ++c) {
-      child_bounds[c] = bn[child_source_[i][c]].bounds;
-    }
-    Quantize(&node, child_bounds, node.num_children);
-  }
+  // Every node requantizes independently from the refitted binary
+  // bounds: an embarrassingly parallel sweep.
+  util::TaskScheduler::Global().ParallelFor(
+      0, nodes_.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          Node& node = nodes_[i];
+          Aabb child_bounds[kWidth];
+          for (int c = 0; c < node.num_children; ++c) {
+            child_bounds[c] = bn[child_source_[i][c]].bounds;
+          }
+          Quantize(&node, child_bounds, node.num_children);
+        }
+      });
 }
 
 }  // namespace cgrx::rt

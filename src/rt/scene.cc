@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/rt/wide_slab.h"
+
 namespace cgrx::rt {
 namespace {
 
@@ -36,16 +38,25 @@ struct GenericRayPolicy {
     return bounds.HitByRay(origin, inv_dir, t_min, t_max, t_entry);
   }
 
-  /// Quantized-child box test: dequantizes child `c` of `node` and runs
-  /// the slab test (the generic path is cold, so the per-child Scale()
-  /// recomputation inside ChildBounds is fine). The explicit
-  /// inverted-bounds check matters here: a refit-emptied child
-  /// (qlo > qhi) would otherwise pass the slab test's swapped planes.
-  bool WideChildHit(const Bvh4::Node& node, const float* /*scale*/, int c,
-                    double t_min, double t_max, double* t_entry) const {
-    if (node.qlo[0][c] > node.qhi[0][c]) return false;
-    return node.ChildBounds(c).HitByRay(origin, inv_dir, t_min, t_max,
-                                        t_entry);
+  /// Quantized-child box test over all children of `node`: dequantizes
+  /// each child and runs the slab test (the generic path is cold, so
+  /// the per-child Scale() recomputation inside ChildBounds is fine).
+  /// The explicit inverted-bounds check matters here: a refit-emptied
+  /// child (qlo > qhi) would otherwise pass the slab test's swapped
+  /// planes.
+  int WideChildrenHit(const Bvh4::Node& node, const float* /*scale*/,
+                      double t_min, double t_max,
+                      double t_entry[Bvh4::kWidth]) const {
+    int mask = 0;
+    for (int c = 0; c < node.num_children; ++c) {
+      if (node.qlo[0][c] > node.qhi[0][c]) continue;
+      double t = 0;
+      if (node.ChildBounds(c).HitByRay(origin, inv_dir, t_min, t_max, &t)) {
+        t_entry[c] = t;
+        mask |= 1 << c;
+      }
+    }
+    return mask;
   }
 
   bool TriangleHit(const TriangleSoup& soup, std::uint32_t prim,
@@ -93,39 +104,17 @@ struct AxisRayPolicy {
   }
 
   /// Quantized-child box test on the two membership axes plus the ray
-  /// axis interval, dequantizing only the six planes it compares -- the
+  /// axis interval for all four children in one pass, SIMD-ized over
+  /// the node's cache line (src/rt/wide_slab.h) with a pinned-equal
+  /// scalar fallback. Dequantizes only the planes it compares -- the
   /// exact float expressions the quantizer's fix-up loops verified, so
   /// conservativeness carries over bit-for-bit. No inverted-bounds
   /// check needed: an inverted child yields lo > hi here.
-  bool WideChildHit(const Bvh4::Node& node, const float* scale, int c,
-                    double t_min, double t_max, double* t_entry) const {
-    const float origin_u = node.origin[kU];
-    const float su = scale[kU];
-    if (ou < origin_u + static_cast<float>(node.qlo[kU][c]) * su ||
-        ou > origin_u + static_cast<float>(node.qhi[kU][c]) * su) {
-      return false;
-    }
-    const float origin_v = node.origin[kV];
-    const float sv = scale[kV];
-    if (ov < origin_v + static_cast<float>(node.qlo[kV][c]) * sv ||
-        ov > origin_v + static_cast<float>(node.qhi[kV][c]) * sv) {
-      return false;
-    }
-    const float origin_a = node.origin[A];
-    const float sa = scale[A];
-    const double lo = std::max(
-        t_min,
-        static_cast<double>(origin_a +
-                            static_cast<float>(node.qlo[A][c]) * sa) -
-            oa);
-    const double hi = std::min(
-        t_max,
-        static_cast<double>(origin_a +
-                            static_cast<float>(node.qhi[A][c]) * sa) -
-            oa);
-    if (lo > hi) return false;
-    *t_entry = lo;
-    return true;
+  int WideChildrenHit(const Bvh4::Node& node, const float* scale,
+                      double t_min, double t_max,
+                      double t_entry[Bvh4::kWidth]) const {
+    return detail::WideAxisChildren<A>(node, scale, oa, ou, ov, t_min, t_max,
+                                       t_entry);
   }
 
   bool TriangleHit(const TriangleSoup& soup, std::uint32_t prim,
@@ -341,13 +330,12 @@ bool CastClosest4(const TriangleSoup& soup, const Bvh4& bvh,
     };
     ChildHit hit_children[Bvh4::kWidth];
     int num_hit = 0;
+    double t_entry[Bvh4::kWidth];
+    const int hit_mask =
+        policy.WideChildrenHit(node, scale, t_min, best.best_t, t_entry);
     for (int c = 0; c < node.num_children; ++c) {
-      double t_entry = 0;
-      if (!policy.WideChildHit(node, scale, c, t_min, best.best_t,
-                               &t_entry)) {
-        continue;
-      }
-      hit_children[num_hit++] = {t_entry, node.child[c], node.count[c]};
+      if ((hit_mask & (1 << c)) == 0) continue;
+      hit_children[num_hit++] = {t_entry[c], node.child[c], node.count[c]};
     }
     // Insertion-sort the <= 4 hits by ascending entry t.
     for (int i = 1; i < num_hit; ++i) {
@@ -401,11 +389,11 @@ void CastAll4(const TriangleSoup& soup, const Bvh4& bvh,
     const Bvh4::Node& node = nodes[stack[--top].node];
     if (stats != nullptr) stats->nodes_visited++;
     const float scale[3] = {node.Scale(0), node.Scale(1), node.Scale(2)};
+    double t_entry[Bvh4::kWidth];
+    const int hit_mask =
+        policy.WideChildrenHit(node, scale, t_min, t_max, t_entry);
     for (int c = 0; c < node.num_children; ++c) {
-      double t_entry = 0;
-      if (!policy.WideChildHit(node, scale, c, t_min, t_max, &t_entry)) {
-        continue;
-      }
+      if ((hit_mask & (1 << c)) == 0) continue;
       if (node.count[c] > 0) {
         const std::uint32_t first = node.child[c];
         for (std::uint32_t i = 0; i < node.count[c]; ++i) {

@@ -13,6 +13,13 @@ namespace cgrx::util {
 /// both key widths the paper evaluates, so callers sort in place with no
 /// widening copy.
 ///
+/// Large arrays execute each pass parallel on the process-wide
+/// TaskScheduler (per-chunk histogram, bucket-major prefix, per-chunk
+/// scatter); the parallel passes are stable with chunk-independent
+/// output, so the result is byte-identical to the serial sort. Safe to
+/// call from inside another parallel region (the scheduler is
+/// reentrant).
+///
 /// `keys` and `values` must have the same length. `key_bits` bounds the
 /// number of significant key bits; passes beyond it are skipped (a key
 /// set drawn from 32-bit values sorts in half the passes). `min_bit`

@@ -1,0 +1,304 @@
+#include "src/util/task_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+namespace cgrx::util {
+namespace {
+
+/// Worker identity of the current thread: set once per worker thread,
+/// checked by Submit/TryAcquire so forks land on the calling worker's
+/// own deque and joins pop it first. A thread can only be a worker of
+/// one scheduler, so a plain pair suffices.
+struct WorkerIdentity {
+  TaskScheduler* scheduler = nullptr;
+  void* worker = nullptr;
+};
+
+thread_local WorkerIdentity tls_worker;
+
+/// SerialScope nesting depth, process-wide (benchmark/test knob, so a
+/// relaxed counter is fine).
+std::atomic<int> serial_forced{0};
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// TaskGroup
+// ---------------------------------------------------------------------
+
+TaskGroup::TaskGroup(TaskScheduler& scheduler) : scheduler_(scheduler) {}
+
+TaskGroup::TaskGroup() : scheduler_(TaskScheduler::Global()) {}
+
+TaskGroup::~TaskGroup() {
+  try {
+    Wait();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+    // Destructor join: the exception was only observable via Wait().
+  }
+}
+
+void TaskGroup::Run(std::function<void()> fn) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  if (scheduler_.num_threads() <= 1 || TaskScheduler::SerialForced()) {
+    // Serial degeneration: run inline, still deferring the exception to
+    // Wait() so serial and parallel execution have the same contract.
+    std::exception_ptr exception;
+    try {
+      fn();
+    } catch (...) {
+      exception = std::current_exception();
+    }
+    OnTaskFinished(exception);
+    return;
+  }
+  scheduler_.Submit(new detail::Task{this, std::move(fn)});
+}
+
+void TaskGroup::Wait() {
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    // Steal-and-execute instead of parking: whatever runnable task the
+    // scheduler holds -- ours or another group's -- makes progress
+    // towards our join (this is the reentrancy rule; see DESIGN.md
+    // Section 11).
+    if (detail::Task* task = scheduler_.TryAcquire(
+            static_cast<TaskScheduler::Worker*>(
+                tls_worker.scheduler == &scheduler_ ? tls_worker.worker
+                                                    : nullptr))) {
+      scheduler_.Execute(task);
+      continue;
+    }
+    // Nothing runnable anywhere: our remaining tasks are executing on
+    // other threads. Park briefly; OnTaskFinished notifies when the
+    // count hits zero (the timeout is a belt-and-braces re-probe, not a
+    // correctness requirement).
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  std::exception_ptr exception;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::swap(exception, exception_);
+  }
+  if (exception) std::rethrow_exception(exception);
+}
+
+void TaskGroup::OnTaskFinished(std::exception_ptr exception) {
+  if (exception) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!exception_) exception_ = exception;
+  }
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last task: notify under the lock so a waiter cannot check the
+    // count and park between our decrement and our notify.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    done_.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------
+// TaskScheduler
+// ---------------------------------------------------------------------
+
+TaskScheduler::TaskScheduler(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(workers_.size());
+  for (int i = 0; i < static_cast<int>(workers_.size()); ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+TaskScheduler::~TaskScheduler() {
+  {
+    const std::lock_guard<std::mutex> lock(idle_mutex_);
+    shutdown_.store(true, std::memory_order_release);
+  }
+  idle_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  // Orphaned tasks (destroying a scheduler before joining its groups is
+  // a contract violation, but don't leak on the way down).
+  for (const auto& worker : workers_) {
+    while (detail::Task* task = worker->deque.Pop()) delete task;
+  }
+  for (detail::Task* task : injection_) delete task;
+}
+
+void TaskScheduler::Submit(detail::Task* task) {
+  const WorkerIdentity identity = tls_worker;
+  const bool local =
+      identity.scheduler == this && identity.worker != nullptr &&
+      static_cast<Worker*>(identity.worker)->deque.Push(task);
+  if (!local) {
+    const std::lock_guard<std::mutex> lock(injection_mutex_);
+    injection_.push_back(task);
+  }
+  work_epoch_.fetch_add(1, std::memory_order_release);
+  {
+    // Empty critical section: orders the epoch bump against a sleeper
+    // that checked the epoch and is about to park (it holds idle_mutex_
+    // until it is actually waiting).
+    const std::lock_guard<std::mutex> lock(idle_mutex_);
+  }
+  idle_cv_.notify_all();
+}
+
+detail::Task* TaskScheduler::TryAcquire(Worker* self) {
+  if (self != nullptr) {
+    if (detail::Task* task = self->deque.Pop()) return task;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(injection_mutex_);
+    if (!injection_.empty()) {
+      detail::Task* task = injection_.front();
+      injection_.pop_front();
+      return task;
+    }
+  }
+  const std::size_t n = workers_.size();
+  if (n == 0) return nullptr;
+  // Two sweeps over the victims from a rotating start: a failed Steal
+  // may mean "lost a CAS race", so one extra pass catches entries a
+  // racing thief left behind.
+  const std::uint32_t start =
+      steal_seed_.fetch_add(0x9e3779b9u, std::memory_order_relaxed);
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Worker* victim = workers_[(start + i) % n].get();
+      if (victim == self) continue;
+      if (detail::Task* task = victim->deque.Steal()) return task;
+    }
+  }
+  return nullptr;
+}
+
+void TaskScheduler::Execute(detail::Task* task) {
+  std::exception_ptr exception;
+  try {
+    task->fn();
+  } catch (...) {
+    exception = std::current_exception();
+  }
+  TaskGroup* group = task->group;
+  delete task;
+  group->OnTaskFinished(exception);
+}
+
+void TaskScheduler::WorkerLoop(int worker_index) {
+  Worker* self = workers_[static_cast<std::size_t>(worker_index)].get();
+  tls_worker = {this, self};
+  for (;;) {
+    const std::uint64_t epoch = work_epoch_.load(std::memory_order_acquire);
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    if (detail::Task* task = TryAcquire(self)) {
+      Execute(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mutex_);
+    idle_cv_.wait(lock, [&] {
+      return shutdown_.load(std::memory_order_acquire) ||
+             work_epoch_.load(std::memory_order_acquire) != epoch;
+    });
+  }
+}
+
+void TaskScheduler::ParallelFor(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t n = end - begin;
+  if (num_threads_ == 1 || n <= grain || SerialForced()) {
+    body(begin, end);
+    return;
+  }
+  // One shared claim counter instead of one task per chunk: helpers and
+  // the caller race to fetch_add the next chunk, which load-balances
+  // dynamically while forking only num_threads-1 tasks.
+  struct Loop {
+    std::atomic<std::size_t> next;
+    std::size_t end;
+    std::size_t grain;
+    const std::function<void(std::size_t, std::size_t)>* body;
+    std::atomic<bool> abort{false};
+  };
+  Loop loop{std::atomic<std::size_t>(begin), end, grain, &body, {}};
+  const auto run_share = [&loop] {
+    try {
+      while (!loop.abort.load(std::memory_order_relaxed)) {
+        const std::size_t chunk_begin =
+            loop.next.fetch_add(loop.grain, std::memory_order_relaxed);
+        if (chunk_begin >= loop.end) break;
+        (*loop.body)(chunk_begin,
+                     std::min(chunk_begin + loop.grain, loop.end));
+      }
+    } catch (...) {
+      loop.abort.store(true, std::memory_order_relaxed);
+      throw;  // Captured by the TaskGroup / the caller below.
+    }
+  };
+  const std::size_t chunks = (n + grain - 1) / grain;
+  const int helpers = static_cast<int>(
+      std::min<std::size_t>(chunks, static_cast<std::size_t>(num_threads_)) -
+      1);
+  TaskGroup group(*this);
+  for (int i = 0; i < helpers; ++i) group.Run(run_share);
+  std::exception_ptr caller_exception;
+  try {
+    run_share();  // The caller works too.
+  } catch (...) {
+    caller_exception = std::current_exception();
+  }
+  if (caller_exception) {
+    try {
+      group.Wait();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+      // The caller's own exception wins.
+    }
+    std::rethrow_exception(caller_exception);
+  }
+  group.Wait();
+}
+
+void TaskScheduler::ParallelFor(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  const std::size_t n = end > begin ? end - begin : 0;
+  const std::size_t grain = std::max<std::size_t>(
+      1, n / (static_cast<std::size_t>(num_threads_) * 8));
+  ParallelFor(begin, end, grain, body);
+}
+
+TaskScheduler& TaskScheduler::Global() {
+  // CGRX_THREADS overrides the detected width: containers routinely
+  // misreport hardware_concurrency, and benchmarks pin thread counts.
+  static TaskScheduler scheduler([] {
+    if (const char* env = std::getenv("CGRX_THREADS")) {
+      const int parsed = std::atoi(env);
+      if (parsed > 0) return parsed;
+    }
+    return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }());
+  return scheduler;
+}
+
+TaskScheduler::SerialScope::SerialScope() {
+  serial_forced.fetch_add(1, std::memory_order_relaxed);
+}
+
+TaskScheduler::SerialScope::~SerialScope() {
+  serial_forced.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool TaskScheduler::SerialForced() {
+  return serial_forced.load(std::memory_order_relaxed) > 0;
+}
+
+}  // namespace cgrx::util

@@ -1,0 +1,270 @@
+#ifndef CGRX_SRC_UTIL_TASK_SCHEDULER_H_
+#define CGRX_SRC_UTIL_TASK_SCHEDULER_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cgrx::util {
+
+class TaskGroup;
+class TaskScheduler;
+
+namespace detail {
+
+/// One schedulable unit: the closure plus the fork/join group it
+/// reports completion (and exceptions) to. Heap-allocated by
+/// TaskGroup::Run, deleted by TaskScheduler after execution.
+struct Task {
+  TaskGroup* group;
+  std::function<void()> fn;
+};
+
+/// Chase-Lev work-stealing deque of Task pointers. The owning worker
+/// pushes and pops at the bottom (LIFO, cache-warm); thieves steal from
+/// the top (FIFO, oldest = biggest subtree first). Lock-free; the only
+/// synchronizing instruction on the owner's fast path is one seq_cst
+/// store in Pop.
+///
+/// The ring has a fixed capacity: Push reports failure when full and
+/// the submitter runs the task inline instead (a standard throttling
+/// strategy that keeps fork/join semantics and avoids the
+/// garbage-retention problem of growable Chase-Lev buffers). All slot
+/// accesses go through atomics (the TSan-clean formulation, no
+/// standalone fences): a thief may read a stale slot value, but then
+/// `top_` has necessarily moved past it -- the ring can only be
+/// overwritten once `bottom_ - top_` wrapped the capacity -- so the
+/// subsequent CAS on `top_` fails and the stale task is discarded.
+class TaskDeque {
+ public:
+  static constexpr std::size_t kCapacity = 4096;  // Power of two.
+
+  /// Owner only. False when full (caller runs the task inline).
+  bool Push(Task* task) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<std::int64_t>(kCapacity)) return false;
+    slots_[static_cast<std::size_t>(b) & kMask].store(
+        task, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);  // Publishes the slot.
+    return true;
+  }
+
+  /// Owner only. LIFO; races thieves only on the last element.
+  Task* Pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // Empty.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    Task* task =
+        slots_[static_cast<std::size_t>(b) & kMask].load(
+            std::memory_order_relaxed);
+    if (t == b) {  // Last element: decide the race via CAS on top_.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        task = nullptr;  // A thief won.
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return task;
+  }
+
+  /// Any thread. Returns nullptr when empty or when the CAS lost a race
+  /// (the caller treats both as "try elsewhere / try again").
+  Task* Steal() {
+    // Both loads seq_cst: the thief's top-then-bottom read sequence
+    // must order against the owner's bottom-store-then-top-load in Pop
+    // (the fence of the classic C11 Chase-Lev); acquire alone would let
+    // a weakly-ordered machine pair a fresh top with a stale bottom and
+    // double-claim the last task.
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Task* task =
+        slots_[static_cast<std::size_t>(t) & kMask].load(
+            std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return task;
+  }
+
+ private:
+  static constexpr std::size_t kMask = kCapacity - 1;
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  std::array<std::atomic<Task*>, kCapacity> slots_{};
+};
+
+}  // namespace detail
+
+/// Fork/join primitive over a TaskScheduler. Run() forks a task;
+/// Wait() joins: instead of parking, the waiting thread pops its own
+/// deque, drains the injection queue, and steals from other workers --
+/// executing whatever it finds -- until every forked task has finished.
+/// That steal-and-execute join is what makes the scheduler reentrant:
+/// a task may itself fork a group and Wait() without ever blocking a
+/// worker thread.
+///
+/// The first exception thrown by a task is captured and rethrown from
+/// Wait() (after all tasks have completed); subsequent exceptions are
+/// dropped.
+class TaskGroup {
+ public:
+  /// Binds to `scheduler` (the process-wide scheduler by default).
+  explicit TaskGroup(TaskScheduler& scheduler);
+  TaskGroup();
+
+  /// Joins outstanding tasks (swallowing their exceptions -- call
+  /// Wait() yourself to observe them).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Forks `fn` onto the scheduler. On a single-thread scheduler (or
+  /// under TaskScheduler::SerialScope) the task runs inline, with its
+  /// exception still deferred to Wait().
+  void Run(std::function<void()> fn);
+
+  /// Blocks until every task forked so far has finished, executing
+  /// other scheduler work while it waits. Rethrows the first captured
+  /// task exception. The group is reusable after Wait() returns.
+  void Wait();
+
+ private:
+  friend class TaskScheduler;
+
+  /// Called by the scheduler after a task of this group ran.
+  void OnTaskFinished(std::exception_ptr exception);
+
+  TaskScheduler& scheduler_;
+  std::atomic<std::size_t> pending_{0};
+  std::mutex mutex_;
+  std::condition_variable done_;
+  std::exception_ptr exception_;  // First task exception; under mutex_.
+};
+
+/// Work-stealing task scheduler: the kernel-launch substrate every
+/// parallel region in this repository runs on (the successor of the
+/// single-job-slot util::ThreadPool).
+///
+///  * one Chase-Lev deque per worker thread; owners push/pop LIFO,
+///    idle workers steal FIFO from victims,
+///  * external (non-worker) threads submit through a mutex-guarded
+///    injection queue and join by stealing like any worker,
+///  * fully reentrant: ParallelFor/TaskGroup::Wait never park a thread
+///    while runnable tasks exist anywhere -- blocked joiners
+///    steal-and-execute instead, so nested parallel regions (a sharded
+///    fan-out whose inner batches are themselves parallel, a BVH build
+///    inside a shard build) compose without deadlock or serialization,
+///  * ParallelFor keeps the historical ThreadPool signature, so call
+///    sites migrate by doing nothing.
+///
+/// Lifetime: destroy a scheduler only after every group that targets it
+/// has joined. The process-wide Global() instance is never destroyed
+/// before exit.
+class TaskScheduler {
+ public:
+  /// Creates a scheduler with `num_threads` total execution threads
+  /// (including the caller inside ParallelFor/Wait); `num_threads - 1`
+  /// worker threads are spawned. `num_threads <= 1` degenerates to
+  /// serial inline execution.
+  explicit TaskScheduler(int num_threads);
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  /// Invokes `body(chunk_begin, chunk_end)` over a partition of
+  /// [begin, end) with roughly `grain`-sized chunks, dynamically load
+  /// balanced (shared claim counter). Blocks until done; the calling
+  /// thread participates. `body` must be safe to call concurrently on
+  /// disjoint chunks. Safe to call from anywhere, including from inside
+  /// another ParallelFor body or scheduler task (reentrant). If any
+  /// chunk throws, remaining unclaimed chunks are abandoned and the
+  /// first exception is rethrown here after all started chunks finish.
+  void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                   const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Convenience overload with an automatically chosen grain.
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t, std::size_t)>& body);
+
+  int num_threads() const { return num_threads_; }
+
+  /// Process-wide scheduler sized to the hardware concurrency, or to
+  /// the CGRX_THREADS environment variable when set (containers
+  /// misreport hardware_concurrency; benchmarks pin widths).
+  static TaskScheduler& Global();
+
+  /// RAII switch that forces every scheduler in the process into serial
+  /// inline execution while alive (nestable). The serial-baseline knob
+  /// for benchmarks (bench_parallel_build) and pinned scalar-equivalence
+  /// tests; not intended for production code.
+  class SerialScope {
+   public:
+    SerialScope();
+    ~SerialScope();
+    SerialScope(const SerialScope&) = delete;
+    SerialScope& operator=(const SerialScope&) = delete;
+  };
+
+  /// True while any SerialScope is alive.
+  static bool SerialForced();
+
+ private:
+  friend class TaskGroup;
+
+  struct Worker {
+    detail::TaskDeque deque;
+  };
+
+  /// Routes a task: onto the calling worker's own deque when the caller
+  /// is a worker of this scheduler (with room), else onto the injection
+  /// queue; then wakes sleepers.
+  void Submit(detail::Task* task);
+
+  /// One attempt to acquire runnable work: own deque (LIFO), injection
+  /// queue (FIFO), then a sweep of steal attempts over all workers.
+  detail::Task* TryAcquire(Worker* self);
+
+  /// Runs a task, reporting completion/exception to its group.
+  void Execute(detail::Task* task);
+
+  void WorkerLoop(int worker_index);
+
+  int num_threads_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex injection_mutex_;
+  std::deque<detail::Task*> injection_;
+
+  // Sleep/wake protocol: work_epoch_ bumps on every Submit; workers
+  // snapshot it before searching and park on idle_cv_ only if it has
+  // not moved (Submit takes idle_mutex_ briefly before notifying, which
+  // closes the checked-then-slept window).
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  std::atomic<std::uint64_t> work_epoch_{0};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint32_t> steal_seed_{0x9e3779b9u};
+};
+
+}  // namespace cgrx::util
+
+#endif  // CGRX_SRC_UTIL_TASK_SCHEDULER_H_

@@ -1,81 +1,19 @@
 #ifndef CGRX_SRC_UTIL_THREAD_POOL_H_
 #define CGRX_SRC_UTIL_THREAD_POOL_H_
 
-#include <atomic>
-#include <condition_variable>
-#include <cstddef>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "src/util/task_scheduler.h"
 
 namespace cgrx::util {
 
-/// Minimal persistent thread pool used as the stand-in for CUDA batch
-/// kernel launches: every index executes its lookup/update batches via
-/// ParallelFor, one logical "thread" per lookup, exactly like the
-/// paper's one-thread-per-query kernels.
-///
-/// Workers are started once and parked between calls; ParallelFor blocks
-/// until the whole range has been processed (kernel-launch + sync
-/// semantics). The calling thread participates in the work.
-class ThreadPool {
- public:
-  /// Creates a pool with `num_threads` total workers (including the
-  /// caller when inside ParallelFor). `num_threads <= 1` degenerates to
-  /// serial execution.
-  explicit ThreadPool(int num_threads);
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  /// Invokes `body(chunk_begin, chunk_end)` over a partition of
-  /// [begin, end) with roughly `grain`-sized chunks. Blocks until done.
-  /// `body` must be safe to call concurrently on disjoint chunks.
-  ///
-  /// Safe to call from multiple threads: the pool has one job slot, so
-  /// concurrent callers serialize their jobs against each other (the
-  /// serving layer makes concurrent callers routine -- an IndexService
-  /// dispatcher running pool-parallel batches while user threads drive
-  /// other indexes). Still not reentrant: never call from inside a
-  /// `body`.
-  void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
-                   const std::function<void(std::size_t, std::size_t)>& body);
-
-  /// Convenience overload with an automatically chosen grain.
-  void ParallelFor(std::size_t begin, std::size_t end,
-                   const std::function<void(std::size_t, std::size_t)>& body);
-
-  int num_threads() const { return num_threads_; }
-
-  /// Process-wide pool sized to the hardware concurrency.
-  static ThreadPool& Global();
-
- private:
-  void WorkerLoop();
-  void RunJobShare();
-
-  struct Job {
-    std::size_t begin = 0;
-    std::size_t end = 0;
-    std::size_t grain = 1;
-    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
-    std::atomic<std::size_t> next{0};
-  };
-
-  int num_threads_;
-  std::vector<std::thread> workers_;
-  std::mutex callers_mutex_;  // Serializes concurrent ParallelFor callers.
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::condition_variable done_;
-  Job job_;
-  std::uint64_t epoch_ = 0;     // Incremented per ParallelFor call.
-  int active_workers_ = 0;      // Workers still inside the current job.
-  bool has_job_ = false;
-  bool shutdown_ = false;
-};
+/// Compatibility alias: the historical single-job-slot ThreadPool (one
+/// shared job descriptor, concurrent callers serialized by a mutex,
+/// not reentrant) has been replaced by the work-stealing TaskScheduler.
+/// ParallelFor keeps the exact same signature and blocking semantics,
+/// but is now safe to call concurrently from any number of threads
+/// *and* from inside another ParallelFor body -- nested parallel
+/// regions steal-and-execute instead of deadlocking or serializing.
+/// New code should name TaskScheduler directly.
+using ThreadPool = TaskScheduler;
 
 }  // namespace cgrx::util
 

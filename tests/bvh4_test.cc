@@ -6,6 +6,7 @@
 // determinism contract.
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <vector>
 
@@ -16,8 +17,10 @@
 #include "src/core/cgrxu_index.h"
 #include "src/rt/bvh4.h"
 #include "src/rt/scene.h"
+#include "src/rt/wide_slab.h"
 #include "src/rx/rx_index.h"
 #include "src/util/rng.h"
+#include "src/util/task_scheduler.h"
 
 namespace cgrx {
 namespace {
@@ -430,6 +433,203 @@ TEST(CoherentBatches, CgrxSortedMatchesUnsortedAndParallel) {
   unsorted.RangeLookupBatch(ranges.data(), ranges.size(), rb.data(),
                             api::ExecutionPolicy::Serial());
   EXPECT_EQ(ra, rb);
+}
+
+// ---------------------------------------------------------------------
+// SIMD slab test: the vectorized 4-wide child box test must agree with
+// the pinned scalar reference bit for bit -- same hit mask, same entry
+// distances -- over every node of a real quantized BVH, all three ray
+// axes, and randomized origins/intervals (including refit-emptied and
+// partially filled nodes).
+// ---------------------------------------------------------------------
+
+#if CGRX_WIDE_SLAB_SIMD
+template <int A>
+void ExpectSimdMatchesScalarOnNode(const rt::Bvh4::Node& node, Rng* rng) {
+  const float scale[3] = {node.Scale(0), node.Scale(1), node.Scale(2)};
+  const rt::Aabb frame = [&] {
+    rt::Aabb box;
+    for (int c = 0; c < node.num_children; ++c) {
+      box.Grow(node.ChildBounds(c));
+    }
+    return box;
+  }();
+  for (int probe = 0; probe < 8; ++probe) {
+    // Origins in and around the node's frame so all mask shapes occur.
+    auto jitter = [&](float lo, float hi) {
+      const double t = rng->NextDouble() * 1.4 - 0.2;
+      return static_cast<double>(lo) +
+             t * (static_cast<double>(hi) - static_cast<double>(lo));
+    };
+    const double oa = jitter(frame.min[A] - 1, frame.max[A] + 1);
+    const double ou =
+        jitter(frame.min[(A + 1) % 3], frame.max[(A + 1) % 3]);
+    const double ov =
+        jitter(frame.min[(A + 2) % 3], frame.max[(A + 2) % 3]);
+    const double t_min = 0;
+    const double t_max = rng->NextDouble() * 64;
+    double scalar_t[rt::Bvh4::kWidth] = {-1, -1, -1, -1};
+    double simd_t[rt::Bvh4::kWidth] = {-1, -1, -1, -1};
+    const int scalar_mask = rt::detail::WideAxisChildrenScalar<A>(
+        node, scale, oa, ou, ov, t_min, t_max, scalar_t);
+    const int simd_mask = rt::detail::WideAxisChildrenSimd<A>(
+        node, scale, oa, ou, ov, t_min, t_max, simd_t);
+    ASSERT_EQ(simd_mask, scalar_mask);
+    for (int c = 0; c < rt::Bvh4::kWidth; ++c) {
+      if ((scalar_mask & (1 << c)) != 0) {
+        ASSERT_EQ(simd_t[c], scalar_t[c]);
+      }
+    }
+  }
+}
+
+TEST(WideSlabSimd, MatchesScalarReferenceBitForBit) {
+  Rng rng(59);
+  CgrxConfig config;
+  config.bucket_size = 8;
+  CgrxIndex64 index(config);
+  index.Build(RandomKeys(30000, 1ULL << 34, &rng));
+  const rt::Bvh4& bvh4 = index.scene().bvh4();
+  ASSERT_FALSE(bvh4.empty());
+  Rng probe_rng(61);
+  for (const rt::Bvh4::Node& node : bvh4.nodes()) {
+    ExpectSimdMatchesScalarOnNode<0>(node, &probe_rng);
+    ExpectSimdMatchesScalarOnNode<1>(node, &probe_rng);
+    ExpectSimdMatchesScalarOnNode<2>(node, &probe_rng);
+  }
+}
+
+TEST(WideSlabSimd, HandlesEmptyMarkedAndPartialNodes) {
+  // A hand-built node: two real children, one refit-emptied (qlo >
+  // qhi), one absent (num_children = 3); lanes past num_children must
+  // never contribute to the mask.
+  rt::Bvh4::Node node{};
+  node.origin = {0, 0, 0};
+  for (int axis = 0; axis < 3; ++axis) node.exp[axis] = 127;  // Scale 1.
+  node.num_children = 3;
+  for (int axis = 0; axis < 3; ++axis) {
+    node.qlo[axis][0] = 0;
+    node.qhi[axis][0] = 10;
+    node.qlo[axis][1] = 20;
+    node.qhi[axis][1] = 30;
+    node.qlo[axis][2] = 1;  // Inverted: refit-emptied child.
+    node.qhi[axis][2] = 0;
+    node.qlo[axis][3] = 0;  // Absent lane, deliberately "hittable".
+    node.qhi[axis][3] = 255;
+  }
+  const float scale[3] = {1, 1, 1};
+  Rng rng(67);
+  for (int probe = 0; probe < 200; ++probe) {
+    const double oa = rng.NextDouble() * 40 - 5;
+    const double ou = rng.NextDouble() * 40 - 5;
+    const double ov = rng.NextDouble() * 40 - 5;
+    double scalar_t[rt::Bvh4::kWidth];
+    double simd_t[rt::Bvh4::kWidth];
+    const int scalar_mask = rt::detail::WideAxisChildrenScalar<1>(
+        node, scale, oa, ou, ov, 0, 100, scalar_t);
+    const int simd_mask = rt::detail::WideAxisChildrenSimd<1>(
+        node, scale, oa, ou, ov, 0, 100, simd_t);
+    ASSERT_EQ(simd_mask, scalar_mask);
+    EXPECT_EQ(scalar_mask & (1 << 2), 0);  // Emptied child never hits.
+    EXPECT_EQ(scalar_mask & (1 << 3), 0);  // Absent lane never hits.
+  }
+}
+#endif  // CGRX_WIDE_SLAB_SIMD
+
+// ---------------------------------------------------------------------
+// Parallel build determinism: the fragment cutoff is thread-count
+// independent, so a serial build and a scheduler-parallel build of the
+// same soup produce byte-identical node arrays (binary and wide).
+// ---------------------------------------------------------------------
+
+TEST(ParallelBuild, SerialAndParallelBuildsAreByteIdentical) {
+  Rng rng(71);
+  const std::vector<std::uint64_t> keys = RandomKeys(40000, 1ULL << 38, &rng);
+  for (const BvhBuilder builder :
+       {BvhBuilder::kBinnedSah, BvhBuilder::kMedianSplit,
+        BvhBuilder::kMorton}) {
+    SCOPED_TRACE(testing::Message() << "builder=" << static_cast<int>(builder));
+    CgrxConfig config;
+    config.bucket_size = 16;
+    config.bvh_builder = builder;
+    CgrxIndex64 parallel_index(config);
+    parallel_index.Build(keys);
+    CgrxIndex64 serial_index(config);
+    {
+      util::TaskScheduler::SerialScope force_serial;
+      serial_index.Build(keys);
+    }
+    const rt::Bvh& pb = parallel_index.scene().bvh();
+    const rt::Bvh& sb = serial_index.scene().bvh();
+    ASSERT_EQ(pb.nodes().size(), sb.nodes().size());
+    for (std::size_t i = 0; i < pb.nodes().size(); ++i) {
+      ASSERT_EQ(std::memcmp(&pb.nodes()[i], &sb.nodes()[i],
+                            sizeof(rt::Bvh::Node)),
+                0)
+          << "node " << i;
+    }
+    ASSERT_EQ(pb.prim_indices(), sb.prim_indices());
+    const rt::Bvh4& p4 = parallel_index.scene().bvh4();
+    const rt::Bvh4& s4 = serial_index.scene().bvh4();
+    ASSERT_EQ(p4.nodes().size(), s4.nodes().size());
+    for (std::size_t i = 0; i < p4.nodes().size(); ++i) {
+      // Field-wise (the 64-byte node has tail padding memcmp would
+      // trip on).
+      const rt::Bvh4::Node& p = p4.nodes()[i];
+      const rt::Bvh4::Node& s = s4.nodes()[i];
+      ASSERT_EQ(p.num_children, s.num_children) << "wide node " << i;
+      ASSERT_EQ(p.origin.x, s.origin.x) << "wide node " << i;
+      ASSERT_EQ(p.origin.y, s.origin.y) << "wide node " << i;
+      ASSERT_EQ(p.origin.z, s.origin.z) << "wide node " << i;
+      for (int axis = 0; axis < 3; ++axis) {
+        ASSERT_EQ(p.exp[axis], s.exp[axis]) << "wide node " << i;
+        for (int c = 0; c < rt::Bvh4::kWidth; ++c) {
+          ASSERT_EQ(p.qlo[axis][c], s.qlo[axis][c]) << "wide node " << i;
+          ASSERT_EQ(p.qhi[axis][c], s.qhi[axis][c]) << "wide node " << i;
+        }
+      }
+      for (int c = 0; c < rt::Bvh4::kWidth; ++c) {
+        ASSERT_EQ(p.count[c], s.count[c]) << "wide node " << i;
+        ASSERT_EQ(p.child[c], s.child[c]) << "wide node " << i;
+      }
+    }
+  }
+}
+
+// Same property above the parallel-split threshold: with > 2^16
+// primitives the top SAH splits take the parallel
+// reduction/histogram/stable-partition path, which must partition
+// exactly like the serial (stable) path for the node arrays to stay
+// byte-identical.
+TEST(ParallelBuild, LargeSahBuildCrossesParallelSplitThreshold) {
+  Rng rng(73);
+  Scene parallel_scene;
+  Scene serial_scene;
+  for (int i = 0; i < 70000; ++i) {
+    const float x = static_cast<float>(rng.Below(4096));
+    const float y = static_cast<float>(rng.Below(512));
+    const float z = static_cast<float>(rng.Below(64));
+    const Vec3f v0{x, y + 0.25f, z - 0.25f};
+    const Vec3f v1{x + 0.25f, y - 0.25f, z};
+    const Vec3f v2{x - 0.25f, y, z + 0.25f};
+    parallel_scene.AddTriangle(v0, v1, v2);
+    serial_scene.AddTriangle(v0, v1, v2);
+  }
+  parallel_scene.Build(BvhBuilder::kBinnedSah, 4);
+  {
+    util::TaskScheduler::SerialScope force_serial;
+    serial_scene.Build(BvhBuilder::kBinnedSah, 4);
+  }
+  const rt::Bvh& pb = parallel_scene.bvh();
+  const rt::Bvh& sb = serial_scene.bvh();
+  ASSERT_EQ(pb.nodes().size(), sb.nodes().size());
+  for (std::size_t i = 0; i < pb.nodes().size(); ++i) {
+    ASSERT_EQ(std::memcmp(&pb.nodes()[i], &sb.nodes()[i],
+                          sizeof(rt::Bvh::Node)),
+              0)
+        << "node " << i;
+  }
+  ASSERT_EQ(pb.prim_indices(), sb.prim_indices());
 }
 
 TEST(CoherentBatches, RxAndCgrxuSortedMatchesUnsorted) {

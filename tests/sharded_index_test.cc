@@ -1,9 +1,10 @@
 // Conformance suite for api::ShardedIndex: a sharded composite must be
 // observably identical to its unsharded backend -- point lookups, range
 // lookups, and interleaved combined update waves, under both the range
-// and hash partitioning schemes, serial and thread-pool-parallel. Also
-// covers the "sharded:" factory prefix, routing stability, and merged
-// IndexStats.
+// and hash partitioning schemes, serial, scheduler-parallel, and
+// nested-parallel (parallel inner batches inside the parallel shard
+// fan-out). Also covers the "sharded:" factory prefix, routing
+// stability, and merged IndexStats.
 #include <algorithm>
 #include <cstdint>
 #include <map>
@@ -177,6 +178,65 @@ TEST_P(ShardedConformanceTest, MatchesUnshardedBackend) {
         EXPECT_EQ(sharded_hits, reference_hits) << "wave " << wave;
       }
     }
+  }
+}
+
+// Nested-parallelism conformance: with the work-stealing scheduler the
+// shard fan-out passes the caller's parallel policy down to the inner
+// batches (shard x inner nesting). Results must be byte-identical to
+// serial execution and to the pre-scheduler serial-inner fan-out, on
+// every backend/scheme -- lookups write disjoint slots, so nesting
+// depth is unobservable.
+TEST_P(ShardedConformanceTest, NestedParallelInnerMatchesSerial) {
+  const auto sharded = MakeSharded();
+  auto* composite = dynamic_cast<ShardedIndex<std::uint64_t>*>(sharded.get());
+  ASSERT_NE(composite, nullptr);
+  const Capabilities caps = sharded->capabilities();
+  if (!caps.point_lookup && !caps.range_lookup) return;
+
+  Rng rng(4242);
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    keys.push_back((i << 18) | rng.Below(1 << 18));
+  }
+  sharded->Build(std::vector<std::uint64_t>(keys));
+
+  // Skewed probes (everything lands in the first shard's key range)
+  // plus uniform probes: the skewed batch is where nested parallelism
+  // actually differs from the serial-inner fan-out.
+  std::vector<std::uint64_t> probes;
+  for (int i = 0; i < 4000; ++i) {
+    probes.push_back(i % 2 == 0 ? keys[rng.Below(keys.size() / 4)]
+                                : keys[rng.Below(keys.size())]);
+  }
+  if (caps.point_lookup) {
+    std::vector<LookupResult> serial_hits;
+    sharded->PointLookupBatch(probes, &serial_hits,
+                              ExecutionPolicy::Serial());
+    composite->set_serial_inner_batches(true);
+    std::vector<LookupResult> serial_inner_hits;
+    sharded->PointLookupBatch(probes, &serial_inner_hits,
+                              ExecutionPolicy::Parallel());
+    composite->set_serial_inner_batches(false);
+    std::vector<LookupResult> nested_hits;
+    sharded->PointLookupBatch(probes, &nested_hits,
+                              ExecutionPolicy::Parallel());
+    EXPECT_EQ(nested_hits, serial_hits);
+    EXPECT_EQ(nested_hits, serial_inner_hits);
+  }
+  if (caps.range_lookup) {
+    std::vector<KeyRange<std::uint64_t>> ranges;
+    for (int i = 0; i < 600; ++i) {
+      const std::uint64_t lo = probes[static_cast<std::size_t>(i)];
+      ranges.push_back({lo, lo + rng.Below(1 << 20)});
+    }
+    std::vector<LookupResult> serial_hits;
+    sharded->RangeLookupBatch(ranges, &serial_hits,
+                              ExecutionPolicy::Serial());
+    std::vector<LookupResult> nested_hits;
+    sharded->RangeLookupBatch(ranges, &nested_hits,
+                              ExecutionPolicy::Parallel());
+    EXPECT_EQ(nested_hits, serial_hits);
   }
 }
 

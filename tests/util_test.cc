@@ -1,12 +1,15 @@
 // Unit and property tests for the util substrate: key mappings (bit
 // slicing, float32 exactness, scaling), radix sort, Zipf sampling,
-// workload generators, RNG and the thread pool.
+// workload generators, RNG and the work-stealing task scheduler
+// (steal correctness, reentrancy, exception propagation, fork/join
+// determinism -- the TaskScheduler.* cases run under the TSan CI job).
 #include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <numeric>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -16,6 +19,7 @@
 #include "src/util/radix_sort.h"
 #include "src/util/rng.h"
 #include "src/util/table_printer.h"
+#include "src/util/task_scheduler.h"
 #include "src/util/thread_pool.h"
 #include "src/util/workloads.h"
 #include "src/util/zipf.h"
@@ -162,6 +166,29 @@ TEST(RadixSort, KeysOnly) {
   std::sort(expected.begin(), expected.end());
   RadixSortKeys(&keys, 64);
   EXPECT_EQ(keys, expected);
+}
+
+// Above the parallel threshold the passes run chunked histogram +
+// bucket-major scatter on the scheduler; the result must stay
+// byte-identical to the serial passes (stability makes the output
+// chunk-independent), including the permutation of duplicate keys.
+TEST(RadixSort, ParallelPassesMatchSerialByteForByte) {
+  Rng rng(42);
+  std::vector<std::uint64_t> keys(1 << 17);
+  std::vector<std::uint32_t> vals(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = rng.Below(1 << 12);  // Duplicate-heavy.
+    vals[i] = static_cast<std::uint32_t>(i);
+  }
+  std::vector<std::uint64_t> serial_keys = keys;
+  std::vector<std::uint32_t> serial_vals = vals;
+  {
+    TaskScheduler::SerialScope force_serial;
+    RadixSortPairs(&serial_keys, &serial_vals, 12);
+  }
+  RadixSortPairs(&keys, &vals, 12);
+  EXPECT_EQ(keys, serial_keys);
+  EXPECT_EQ(vals, serial_vals);
 }
 
 // ---------------------------------------------------------------------
@@ -359,36 +386,36 @@ TEST(Workloads, SplitIntoWavesPreservesAllKeys) {
 }
 
 // ---------------------------------------------------------------------
-// ThreadPool.
+// TaskScheduler (work-stealing; the ThreadPool alias resolves here).
 // ---------------------------------------------------------------------
 
-TEST(ThreadPool, CoversTheWholeRangeExactlyOnce) {
-  ThreadPool pool(4);
+TEST(TaskScheduler, CoversTheWholeRangeExactlyOnce) {
+  TaskScheduler scheduler(4);
   std::vector<std::atomic<int>> hits(10000);
-  pool.ParallelFor(0, hits.size(), [&](std::size_t b, std::size_t e) {
+  scheduler.ParallelFor(0, hits.size(), [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
   });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
-TEST(ThreadPool, HandlesEmptyAndTinyRanges) {
-  ThreadPool pool(4);
+TEST(TaskScheduler, HandlesEmptyAndTinyRanges) {
+  TaskScheduler scheduler(4);
   int count = 0;
-  pool.ParallelFor(5, 5, [&](std::size_t, std::size_t) { ++count; });
+  scheduler.ParallelFor(5, 5, [&](std::size_t, std::size_t) { ++count; });
   EXPECT_EQ(count, 0);
   std::atomic<int> total{0};
-  pool.ParallelFor(0, 1, [&](std::size_t b, std::size_t e) {
+  scheduler.ParallelFor(0, 1, [&](std::size_t b, std::size_t e) {
     total += static_cast<int>(e - b);
   });
   EXPECT_EQ(total.load(), 1);
 }
 
-// Concurrent callers serialize on the single job slot instead of
-// trampling each other's job state -- the serving layer (IndexService
-// dispatcher + user threads) calls ParallelFor from several threads at
-// once, and the TSan CI job watches this exact interaction.
-TEST(ThreadPool, ConcurrentCallersSerializeSafely) {
-  ThreadPool pool(4);
+// Concurrent callers run independent loops without trampling each
+// other -- the serving layer (IndexService dispatcher + user threads)
+// calls ParallelFor from several threads at once, and the TSan CI job
+// watches this exact interaction.
+TEST(TaskScheduler, ConcurrentCallersDontInterfere) {
+  TaskScheduler scheduler(4);
   constexpr int kCallers = 4;
   constexpr int kRounds = 25;
   constexpr std::size_t kRange = 2000;
@@ -396,15 +423,15 @@ TEST(ThreadPool, ConcurrentCallersSerializeSafely) {
   std::vector<std::thread> callers;
   callers.reserve(kCallers);
   for (int c = 0; c < kCallers; ++c) {
-    callers.emplace_back([&pool, &failures] {
+    callers.emplace_back([&scheduler, &failures] {
       for (int round = 0; round < kRounds; ++round) {
         std::vector<std::atomic<int>> hits(kRange);
-        pool.ParallelFor(0, kRange, /*grain=*/64,
-                         [&](std::size_t b, std::size_t e) {
-                           for (std::size_t i = b; i < e; ++i) {
-                             hits[i].fetch_add(1);
-                           }
-                         });
+        scheduler.ParallelFor(0, kRange, /*grain=*/64,
+                              [&](std::size_t b, std::size_t e) {
+                                for (std::size_t i = b; i < e; ++i) {
+                                  hits[i].fetch_add(1);
+                                }
+                              });
         for (const auto& h : hits) {
           if (h.load() != 1) failures.fetch_add(1);
         }
@@ -415,17 +442,176 @@ TEST(ThreadPool, ConcurrentCallersSerializeSafely) {
   EXPECT_EQ(failures.load(), 0);
 }
 
-TEST(ThreadPool, SequentialCallsReuseWorkers) {
-  ThreadPool pool(3);
+TEST(TaskScheduler, SequentialCallsReuseWorkers) {
+  TaskScheduler scheduler(3);
   for (int round = 0; round < 50; ++round) {
     std::atomic<std::size_t> sum{0};
-    pool.ParallelFor(0, 1000, [&](std::size_t b, std::size_t e) {
+    scheduler.ParallelFor(0, 1000, [&](std::size_t b, std::size_t e) {
       std::size_t local = 0;
       for (std::size_t i = b; i < e; ++i) local += i;
       sum += local;
     });
     EXPECT_EQ(sum.load(), 1000u * 999u / 2u);
   }
+}
+
+// The reentrancy rule: a ParallelFor body may itself call ParallelFor
+// on the same scheduler (sharded fan-out with parallel inner batches,
+// BVH build inside a shard build). The old pool deadlocked or had to
+// serialize here; the scheduler's blocked joiners steal-and-execute.
+TEST(TaskScheduler, NestedParallelForIsReentrant) {
+  TaskScheduler scheduler(4);
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 512;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  scheduler.ParallelFor(0, kOuter, 1, [&](std::size_t ob, std::size_t oe) {
+    for (std::size_t o = ob; o < oe; ++o) {
+      scheduler.ParallelFor(0, kInner, 64,
+                            [&, o](std::size_t ib, std::size_t ie) {
+                              for (std::size_t i = ib; i < ie; ++i) {
+                                hits[o * kInner + i].fetch_add(1);
+                              }
+                            });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// Three levels deep, through TaskGroup and ParallelFor mixed -- the
+// shape of service wave -> sharded fan-out -> inner chunking.
+TEST(TaskScheduler, DeepNestingAcrossGroupsAndLoops) {
+  TaskScheduler scheduler(4);
+  std::atomic<int> total{0};
+  TaskGroup group(scheduler);
+  for (int g = 0; g < 6; ++g) {
+    group.Run([&scheduler, &total] {
+      scheduler.ParallelFor(0, 8, 1, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          scheduler.ParallelFor(0, 100, 10,
+                                [&total](std::size_t ib, std::size_t ie) {
+                                  total.fetch_add(
+                                      static_cast<int>(ie - ib));
+                                });
+        }
+      });
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(total.load(), 6 * 8 * 100);
+}
+
+// Steal correctness: tasks forked from worker threads land on the
+// forker's own deque and must be stolen by everyone else; every task
+// runs exactly once, none is lost or duplicated.
+TEST(TaskScheduler, EveryForkedTaskRunsExactlyOnce) {
+  TaskScheduler scheduler(4);
+  constexpr std::size_t kTasks = 5000;
+  std::vector<std::atomic<int>> runs(kTasks);
+  TaskGroup group(scheduler);
+  // Fork from the external thread and, transitively, from workers: the
+  // first-level tasks fork the second level from inside the scheduler.
+  for (std::size_t t = 0; t < kTasks / 10; ++t) {
+    group.Run([&runs, &scheduler, t] {
+      TaskGroup inner(scheduler);
+      for (std::size_t j = 0; j < 10; ++j) {
+        inner.Run([&runs, t, j] { runs[t * 10 + j].fetch_add(1); });
+      }
+      inner.Wait();
+    });
+  }
+  group.Wait();
+  for (const auto& r : runs) EXPECT_EQ(r.load(), 1);
+}
+
+TEST(TaskScheduler, ParallelForPropagatesExceptions) {
+  TaskScheduler scheduler(4);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      scheduler.ParallelFor(0, 10000, 1,
+                            [&](std::size_t b, std::size_t) {
+                              executed.fetch_add(1);
+                              if (b == 4200) {
+                                throw std::runtime_error("chunk failed");
+                              }
+                            }),
+      std::runtime_error);
+  // The abort flag stops unclaimed chunks; claimed ones still finish.
+  EXPECT_LE(executed.load(), 10000);
+  // The scheduler survives and keeps executing.
+  std::atomic<int> after{0};
+  scheduler.ParallelFor(0, 100, 10, [&](std::size_t b, std::size_t e) {
+    after.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(after.load(), 100);
+}
+
+TEST(TaskScheduler, TaskGroupWaitRethrowsFirstException) {
+  TaskScheduler scheduler(4);
+  TaskGroup group(scheduler);
+  std::atomic<int> completed{0};
+  for (int t = 0; t < 32; ++t) {
+    group.Run([&completed, t] {
+      if (t == 7) throw std::logic_error("task 7 failed");
+      completed.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(group.Wait(), std::logic_error);
+  EXPECT_EQ(completed.load(), 31);
+  // The group is reusable after a throwing Wait.
+  group.Run([&completed] { completed.fetch_add(1); });
+  group.Wait();
+  EXPECT_EQ(completed.load(), 32);
+}
+
+// Fork/join determinism: a nested parallel computation writing to
+// disjoint slots produces byte-identical results under any thread
+// count, including serial execution -- the contract every batch entry
+// point in the API layer builds on.
+TEST(TaskScheduler, ForkJoinDeterminism) {
+  constexpr std::size_t kOuter = 32;
+  constexpr std::size_t kInner = 128;
+  auto compute = [&](TaskScheduler& scheduler) {
+    std::vector<std::uint64_t> out(kOuter * kInner);
+    scheduler.ParallelFor(0, kOuter, 1, [&](std::size_t ob, std::size_t oe) {
+      for (std::size_t o = ob; o < oe; ++o) {
+        scheduler.ParallelFor(
+            0, kInner, 16, [&, o](std::size_t ib, std::size_t ie) {
+              for (std::size_t i = ib; i < ie; ++i) {
+                out[o * kInner + i] = o * 1000003 + i * 97;
+              }
+            });
+      }
+    });
+    return out;
+  };
+  TaskScheduler serial(1);
+  TaskScheduler wide(4);
+  EXPECT_EQ(compute(serial), compute(wide));
+}
+
+TEST(TaskScheduler, SerialScopeForcesInlineExecution) {
+  TaskScheduler scheduler(4);
+  TaskScheduler::SerialScope force_serial;
+  ASSERT_TRUE(TaskScheduler::SerialForced());
+  const std::thread::id caller = std::this_thread::get_id();
+  scheduler.ParallelFor(0, 1000, 1, [&](std::size_t, std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  TaskGroup group(scheduler);
+  group.Run([&] { EXPECT_EQ(std::this_thread::get_id(), caller); });
+  group.Wait();
+}
+
+// The historical name keeps working (and keeps its signature): the
+// compatibility alias in thread_pool.h.
+TEST(ThreadPool, AliasResolvesToTheScheduler) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(0, 100, [&](std::size_t b, std::size_t e) {
+    total.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(total.load(), 100);
+  EXPECT_EQ(pool.num_threads(), 2);
 }
 
 // ---------------------------------------------------------------------
