@@ -1,0 +1,47 @@
+#ifndef CGRX_BENCH_BENCH_IO_H_
+#define CGRX_BENCH_BENCH_IO_H_
+
+#include <filesystem>
+#include <string>
+
+namespace cgrx::bench {
+
+/// Shared output-path policy for the standalone bench binaries: every
+/// BENCH_*.json lands under an output directory instead of the working
+/// directory (which used to leave stray JSON in the repo root when a
+/// bench was run from there).
+///
+///  * --out_dir DIR  overrides the directory (created if missing).
+///  * --out FILE     names the file; a FILE containing a path
+///    separator (or an absolute FILE) is used verbatim, bypassing the
+///    directory -- which keeps explicit paths working unchanged.
+///
+/// Default directory: "bench/" when the working directory is a CMake
+/// build tree (detected by CMakeCache.txt), else "build/bench/" -- so
+/// both `cd build && ./bench_x` and a repo-root invocation write to
+/// <build>/bench/, which is gitignored.
+class OutputPath {
+ public:
+  /// Resolves the final path and creates the directory. Call once,
+  /// after flag parsing.
+  static std::string Resolve(const std::string& out_file,
+                             const std::string& out_dir) {
+    namespace fs = std::filesystem;
+    const fs::path file(out_file);
+    if (file.is_absolute() || file.has_parent_path()) {
+      return out_file;  // Explicit path: honored verbatim.
+    }
+    fs::path dir(out_dir);
+    if (dir.empty()) {
+      dir = fs::exists("CMakeCache.txt") ? fs::path("bench")
+                                         : fs::path("build") / "bench";
+    }
+    std::error_code discard;
+    fs::create_directories(dir, discard);
+    return (dir / file).string();
+  }
+};
+
+}  // namespace cgrx::bench
+
+#endif  // CGRX_BENCH_BENCH_IO_H_

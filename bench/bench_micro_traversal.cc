@@ -7,6 +7,7 @@
 // always build and smoke-run it:
 //
 //   bench_micro_traversal [--keys N] [--lookups M] [--out FILE]
+//                         [--out_dir DIR]
 //
 // Defaults reproduce the acceptance configuration: 10M uniform uint64
 // keys, 2M hit-only lookups per cell. The headline speedup is the
@@ -17,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_io.h"
 #include "src/api/execution_policy.h"
 #include "src/core/cgrx_index.h"
 #include "src/rt/scene.h"
@@ -85,7 +87,8 @@ double NodesPerRay(const CgrxIndex64& index,
 int main(int argc, char** argv) {
   std::size_t num_keys = 10'000'000;
   std::size_t num_lookups = 2'000'000;
-  std::string out_path = "BENCH_traversal.json";
+  std::string out_file = "BENCH_traversal.json";
+  std::string out_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -96,10 +99,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--lookups") {
       num_lookups = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--out") {
-      out_path = next();
+      out_file = next();
+    } else if (arg == "--out_dir") {
+      out_dir = next();
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--keys N] [--lookups M] [--out FILE]\n",
+                   "usage: %s [--keys N] [--lookups M] [--out FILE] "
+                   "[--out_dir DIR]\n",
                    argv[0]);
       return 2;
     }
@@ -108,6 +114,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--keys and --lookups must be positive\n");
     return 2;
   }
+  const std::string out_path = cgrx::bench::OutputPath::Resolve(out_file,
+                                                                out_dir);
 
   Rng rng(0xb0c4e7);
   std::vector<std::uint64_t> keys(num_keys);

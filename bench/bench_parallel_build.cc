@@ -19,13 +19,14 @@
 // Standalone (no google-benchmark dependency) so CI can always build
 // and smoke-run it:
 //
-//   bench_parallel_build [--keys N] [--out FILE]
+//   bench_parallel_build [--keys N] [--out FILE] [--out_dir DIR]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench/bench_io.h"
 #include "src/api/factory.h"
 #include "src/api/index.h"
 #include "src/util/radix_sort.h"
@@ -58,7 +59,8 @@ struct SectionResult {
 
 int main(int argc, char** argv) {
   std::size_t num_keys = 4'000'000;
-  std::string out_path = "BENCH_parallel.json";
+  std::string out_file = "BENCH_parallel.json";
+  std::string out_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -67,9 +69,13 @@ int main(int argc, char** argv) {
     if (arg == "--keys") {
       num_keys = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--out") {
-      out_path = next();
+      out_file = next();
+    } else if (arg == "--out_dir") {
+      out_dir = next();
     } else {
-      std::fprintf(stderr, "usage: %s [--keys N] [--out FILE]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--keys N] [--out FILE] [--out_dir DIR]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -77,6 +83,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--keys must be positive\n");
     return 2;
   }
+  const std::string out_path = cgrx::bench::OutputPath::Resolve(out_file,
+                                                                out_dir);
 
   const int threads = TaskScheduler::Global().num_threads();
   std::printf("scheduler threads: %d, keys: %zu\n", threads, num_keys);

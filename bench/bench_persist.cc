@@ -1,0 +1,219 @@
+// Persistence bench: snapshot save/load vs. full rebuild for the
+// raytracing backends (the tentpole claim: a cgRX snapshot load is a
+// disk read + buffer restore, the rebuild is sort + scene + BVH
+// construction), plus write-ahead-log append and replay throughput.
+// Emits machine-readable JSON (BENCH_persist.json).
+//
+// Standalone (no google-benchmark dependency) so the Release CI job can
+// always build and smoke-run it:
+//
+//   bench_persist [--keys N] [--waves W] [--wave_size S] [--dir DIR]
+//                 [--out FILE] [--out_dir DIR]
+//
+// Defaults reproduce the acceptance configuration: 10M uniform uint64
+// keys; the headline number is load_speedup_vs_rebuild for cgrx
+// (acceptance: >= 5x at 10M keys).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_io.h"
+#include "src/api/factory.h"
+#include "src/api/index.h"
+#include "src/storage/snapshot.h"
+#include "src/storage/wal.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using cgrx::api::IndexPtr;
+using cgrx::api::MakeIndex;
+using cgrx::storage::OpenIndex;
+using cgrx::storage::SaveIndex;
+using cgrx::storage::UpdateWave;
+using cgrx::storage::WriteAheadLog;
+using cgrx::util::Rng;
+using cgrx::util::Timer;
+
+struct BackendResult {
+  std::string backend;
+  double build_seconds = 0;
+  double save_seconds = 0;
+  double load_seconds = 0;
+  std::uintmax_t snapshot_bytes = 0;
+  double load_speedup_vs_rebuild = 0;
+};
+
+BackendResult RunBackend(const std::string& backend,
+                         const std::vector<std::uint64_t>& keys,
+                         const std::filesystem::path& dir) {
+  BackendResult r;
+  r.backend = backend;
+  IndexPtr<std::uint64_t> index = MakeIndex<std::uint64_t>(backend);
+  {
+    Timer timer;
+    index->Build(keys);
+    r.build_seconds = timer.ElapsedSeconds();
+  }
+  const std::filesystem::path file = dir / (backend + ".cgrx");
+  {
+    Timer timer;
+    SaveIndex(*index, file);
+    r.save_seconds = timer.ElapsedSeconds();
+  }
+  r.snapshot_bytes = std::filesystem::file_size(file);
+  IndexPtr<std::uint64_t> restored;
+  {
+    Timer timer;
+    restored = OpenIndex<std::uint64_t>(file);
+    r.load_seconds = timer.ElapsedSeconds();
+  }
+  if (restored->size() != index->size()) {
+    std::fprintf(stderr, "%s: restored size mismatch\n", backend.c_str());
+    std::exit(1);
+  }
+  r.load_speedup_vs_rebuild = r.build_seconds / r.load_seconds;
+  std::printf(
+      "%-8s build %7.3fs  save %7.3fs  load %7.3fs  (%6.1f MiB)  "
+      "load speedup vs rebuild: %5.2fx\n",
+      backend.c_str(), r.build_seconds, r.save_seconds, r.load_seconds,
+      static_cast<double>(r.snapshot_bytes) / (1024.0 * 1024.0),
+      r.load_speedup_vs_rebuild);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t num_keys = 10'000'000;
+  std::size_t num_waves = 200;
+  std::size_t wave_size = 10'000;
+  std::string scratch;
+  std::string out_file = "BENCH_persist.json";
+  std::string out_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--keys") {
+      num_keys = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--waves") {
+      num_waves = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--wave_size") {
+      wave_size = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--dir") {
+      scratch = next();
+    } else if (arg == "--out") {
+      out_file = next();
+    } else if (arg == "--out_dir") {
+      out_dir = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--keys N] [--waves W] [--wave_size S] "
+                   "[--dir DIR] [--out FILE] [--out_dir DIR]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (num_keys == 0 || num_waves == 0 || wave_size == 0) {
+    std::fprintf(stderr, "--keys, --waves and --wave_size must be "
+                         "positive\n");
+    return 2;
+  }
+  const std::string out_path = cgrx::bench::OutputPath::Resolve(out_file,
+                                                                out_dir);
+  const std::filesystem::path dir =
+      scratch.empty()
+          ? std::filesystem::temp_directory_path() / "cgrx_bench_persist"
+          : std::filesystem::path(scratch);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  Rng rng(0x5157a9);
+  std::vector<std::uint64_t> keys(num_keys);
+  for (auto& k : keys) k = rng();
+  std::printf("keys: %zu\n", num_keys);
+
+  std::vector<BackendResult> results;
+  for (const char* backend : {"cgrx", "cgrxu", "rx", "sa"}) {
+    results.push_back(RunBackend(backend, keys, dir));
+  }
+
+  // WAL throughput: append+commit per wave (the serving pattern), then
+  // one replay pass over the whole log.
+  double append_seconds = 0;
+  double replay_seconds = 0;
+  std::size_t replayed = 0;
+  {
+    const std::filesystem::path wal_path = dir / "bench.wal";
+    auto wal = WriteAheadLog<std::uint64_t>::Create(wal_path);
+    std::vector<UpdateWave<std::uint64_t>> waves(num_waves);
+    for (std::size_t w = 0; w < num_waves; ++w) {
+      waves[w].insert_keys.resize(wave_size);
+      waves[w].insert_rows.resize(wave_size);
+      for (std::size_t i = 0; i < wave_size; ++i) {
+        waves[w].insert_keys[i] = rng();
+        waves[w].insert_rows[i] = static_cast<std::uint32_t>(i);
+      }
+    }
+    Timer append_timer;
+    for (std::size_t w = 0; w < num_waves; ++w) {
+      wal.AppendCommitted(waves[w], w + 1);
+    }
+    append_seconds = append_timer.ElapsedSeconds();
+    wal.Close();
+    Timer replay_timer;
+    WriteAheadLog<std::uint64_t>::Open(
+        wal_path, [&](UpdateWave<std::uint64_t> wave, std::uint64_t) {
+          replayed += wave.insert_keys.size();
+        });
+    replay_seconds = replay_timer.ElapsedSeconds();
+  }
+  const double logged = static_cast<double>(num_waves * wave_size);
+  std::printf(
+      "WAL: %zu waves x %zu entries  append+fsync %.3fs (%.1f Mentries/s)"
+      "  replay %.3fs (%.1f Mentries/s)\n",
+      num_waves, wave_size, append_seconds, logged / append_seconds / 1e6,
+      replay_seconds, static_cast<double>(replayed) / replay_seconds / 1e6);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"persist\",\n");
+  std::fprintf(out, "  \"key_bits\": 64,\n");
+  std::fprintf(out, "  \"keys\": %zu,\n", num_keys);
+  std::fprintf(out, "  \"backends\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BackendResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"backend\": \"%s\", \"build_seconds\": %.6f, "
+                 "\"save_seconds\": %.6f, \"load_seconds\": %.6f, "
+                 "\"snapshot_bytes\": %ju, "
+                 "\"load_speedup_vs_rebuild\": %.3f}%s\n",
+                 r.backend.c_str(), r.build_seconds, r.save_seconds,
+                 r.load_seconds, r.snapshot_bytes,
+                 r.load_speedup_vs_rebuild,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"wal\": {\"waves\": %zu, \"wave_size\": %zu, "
+                    "\"append_seconds\": %.6f, \"replay_seconds\": %.6f, "
+                    "\"append_entries_per_sec\": %.0f, "
+                    "\"replay_entries_per_sec\": %.0f}\n",
+               num_waves, wave_size, append_seconds, replay_seconds,
+               logged / append_seconds,
+               static_cast<double>(replayed) / replay_seconds);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  std::filesystem::remove_all(dir);
+  return 0;
+}

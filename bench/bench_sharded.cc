@@ -19,7 +19,7 @@
 // and smoke-run it:
 //
 //   bench_sharded [--keys N] [--lookups M] [--wave W] [--backend B]
-//                 [--out FILE]
+//                 [--out FILE] [--out_dir DIR]
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +27,8 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "bench/bench_io.h"
 
 #include "src/api/execution_policy.h"
 #include "src/api/factory.h"
@@ -88,7 +90,8 @@ int main(int argc, char** argv) {
   std::size_t num_lookups = 1'000'000;
   std::size_t wave_size = 200'000;
   std::string backend = "cgrxu";
-  std::string out_path = "BENCH_sharded.json";
+  std::string out_file = "BENCH_sharded.json";
+  std::string out_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -103,11 +106,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--backend") {
       backend = next();
     } else if (arg == "--out") {
-      out_path = next();
+      out_file = next();
+    } else if (arg == "--out_dir") {
+      out_dir = next();
     } else {
       std::fprintf(stderr,
                    "usage: %s [--keys N] [--lookups M] [--wave W] "
-                   "[--backend B] [--out FILE]\n",
+                   "[--backend B] [--out FILE] [--out_dir DIR]\n",
                    argv[0]);
       return 2;
     }
@@ -116,6 +121,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--keys, --lookups and --wave must be positive\n");
     return 2;
   }
+  const std::string out_path = cgrx::bench::OutputPath::Resolve(out_file,
+                                                                out_dir);
 
   // Distinct keys (even values) so update waves have unambiguous
   // semantics; waves insert odd keys and retire them again.

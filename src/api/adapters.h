@@ -10,6 +10,8 @@
 
 #include "src/api/index.h"
 #include "src/core/types.h"
+#include "src/storage/format.h"
+#include "src/util/radix_sort.h"
 
 namespace cgrx::api {
 
@@ -48,6 +50,22 @@ class IndexAdapter final : public Index<typename Impl::KeyType> {
                std::vector<Key> d, const ExecutionPolicy& p) {
         i.UpdateBatch(std::move(k), std::move(r), std::move(d), p);
       };
+  /// Native snapshot hooks: the implementation serializes its built
+  /// structures verbatim (cgRX/cgRXu/RX), so a load skips the rebuild.
+  static constexpr bool kHasNativeSnapshot =
+      requires(const Impl& ci, Impl& i, storage::SnapshotWriter* w,
+               const storage::SnapshotReader& r) {
+        ci.SaveState(w);
+        i.LoadState(r);
+      };
+  /// Pair-export fallback: the implementation can enumerate its live
+  /// key/rowID entries, which the adapter persists sorted and rebuilds
+  /// from on load (the baselines).
+  static constexpr bool kHasExportEntries =
+      requires(const Impl& i, std::vector<Key>* k,
+               std::vector<std::uint32_t>* r) {
+        i.ExportEntries(k, r);
+      };
 
   template <typename... Args>
   explicit IndexAdapter(std::string name, Args&&... args)
@@ -57,7 +75,63 @@ class IndexAdapter final : public Index<typename Impl::KeyType> {
 
   Capabilities capabilities() const override {
     return Capabilities{kHasPointLookup, kHasRangeLookup, kHasUpdates,
-                        kHasCombinedUpdates};
+                        kHasCombinedUpdates,
+                        kHasNativeSnapshot || kHasExportEntries};
+  }
+
+  /// Persists the implementation: natively-snapshotting backends write
+  /// their structures as-is; everything else falls back to sorted
+  /// key/rowID pair sections ("pairs.keys"/"pairs.rows") that Build
+  /// replays on load. A marker section records which path wrote the
+  /// snapshot so a load rejects a mismatched file instead of
+  /// misinterpreting it.
+  void SaveState(storage::SnapshotWriter* out) const override {
+    if constexpr (kHasNativeSnapshot) {
+      out->AddSection("format")->WriteU8(0);  // 0 = native sections.
+      impl_.SaveState(out);
+    } else if constexpr (kHasExportEntries) {
+      out->AddSection("format")->WriteU8(1);  // 1 = sorted pairs.
+      std::vector<Key> keys;
+      std::vector<std::uint32_t> rows;
+      impl_.ExportEntries(&keys, &rows);
+      util::RadixSortPairs(&keys, &rows,
+                           static_cast<int>(sizeof(Key)) * 8);
+      out->AddSection("pairs.keys")->WritePodVector(keys);
+      out->AddSection("pairs.rows")->WritePodVector(rows);
+    } else {
+      Index<Key>::SaveState(out);
+    }
+  }
+
+  void LoadState(const storage::SnapshotReader& in) override {
+    if constexpr (kHasNativeSnapshot || kHasExportEntries) {
+      util::ByteReader format = in.Section("format");
+      const std::uint8_t mode = format.ReadU8();
+      constexpr std::uint8_t kExpected = kHasNativeSnapshot ? 0 : 1;
+      if (mode != kExpected) {
+        throw storage::CorruptionError(
+            std::string(name()) + ": snapshot state format " +
+            std::to_string(mode) + ", this backend expects " +
+            std::to_string(kExpected));
+      }
+      if constexpr (kHasNativeSnapshot) {
+        impl_.LoadState(in);
+      } else {
+        util::ByteReader keys_reader = in.Section("pairs.keys");
+        util::ByteReader rows_reader = in.Section("pairs.rows");
+        std::vector<Key> keys = keys_reader.ReadPodVector<Key>();
+        std::vector<std::uint32_t> rows =
+            rows_reader.ReadPodVector<std::uint32_t>();
+        if (keys.size() != rows.size()) {
+          throw storage::CorruptionError(
+              std::string(name()) + ": pairs sections disagree on entry "
+              "count");
+        }
+        impl_.Build(std::move(keys), std::move(rows));
+      }
+    } else {
+      Index<Key>::LoadState(in);
+    }
   }
 
   void Build(std::vector<Key> keys) override {

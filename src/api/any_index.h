@@ -122,6 +122,22 @@ class AnyIndex {
     return index32_ != nullptr ? index32_->size() : index64_->size();
   }
 
+  void SaveState(storage::SnapshotWriter* out) const {
+    if (index32_ != nullptr) {
+      index32_->SaveState(out);
+    } else {
+      index64_->SaveState(out);
+    }
+  }
+
+  void LoadState(const storage::SnapshotReader& in) {
+    if (index32_ != nullptr) {
+      index32_->LoadState(in);
+    } else {
+      index64_->LoadState(in);
+    }
+  }
+
   const IndexPtr<std::uint32_t>& as32() const { return index32_; }
   const IndexPtr<std::uint64_t>& as64() const { return index64_; }
 

@@ -110,9 +110,15 @@ IndexPtr<Key> IndexFactory<Key>::Create(std::string_view name,
     for (std::uint32_t s = 0; s < count; ++s) {
       shards.push_back(Create(inner, options));
     }
-    return std::make_shared<ShardedIndex<Key>>(std::string(name),
-                                               std::move(shards),
-                                               options.shard_scheme);
+    auto sharded = std::make_shared<ShardedIndex<Key>>(std::string(name),
+                                                       std::move(shards),
+                                                       options.shard_scheme);
+    // Normalize the recorded count so a snapshot reopens with exactly
+    // the shards it was written with, even if the caller passed 0.
+    IndexOptions recorded = options;
+    recorded.shard_count = count;
+    sharded->set_creation_options(std::move(recorded));
+    return sharded;
   }
   Creator creator;
   {
@@ -130,7 +136,9 @@ IndexPtr<Key> IndexFactory<Key>::Create(std::string_view name,
     }
     creator = it->second;
   }
-  return creator(options);
+  IndexPtr<Key> index = creator(options);
+  if (index != nullptr) index->set_creation_options(options);
+  return index;
 }
 
 template <typename Key>

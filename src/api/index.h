@@ -11,8 +11,14 @@
 #include <vector>
 
 #include "src/api/execution_policy.h"
+#include "src/api/index_options.h"
 #include "src/core/types.h"
 #include "src/core/update_wave.h"
+
+namespace cgrx::storage {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace cgrx::storage
 
 namespace cgrx::api {
 
@@ -28,6 +34,13 @@ struct Capabilities {
   /// works but decomposes into the two-sweep EraseBatch-then-InsertBatch
   /// path.
   bool combined_updates = false;
+  /// The backend can be persisted by the storage layer
+  /// (storage::SaveIndex / storage::OpenIndex): either through native
+  /// snapshot hooks that serialize its built structures verbatim
+  /// (cgRX/cgRXu/RX -- a load skips the rebuild entirely) or through
+  /// the sorted key/rowID pair fallback that rebuilds on load (the
+  /// baselines). SaveState/LoadState throw when false.
+  bool persistence = false;
 };
 
 /// Introspection snapshot of one index instance. Replaces the scattered
@@ -163,6 +176,31 @@ class Index {
 
   virtual IndexStats Stats() const = 0;
 
+  /// Serializes the index's state into named snapshot sections
+  /// (capability `persistence`; storage::SaveIndex drives this and adds
+  /// framing, checksums and the reconstruction metadata). Throws
+  /// UnsupportedOperationError for backends without persistence.
+  virtual void SaveState(storage::SnapshotWriter*) const {
+    throw UnsupportedOperationError(name(), "persistence");
+  }
+
+  /// Restores state saved by SaveState into this (freshly constructed,
+  /// equivalently configured) instance -- storage::OpenIndex creates
+  /// the instance from the snapshot's recorded options first, then
+  /// calls this.
+  virtual void LoadState(const storage::SnapshotReader&) {
+    throw UnsupportedOperationError(name(), "persistence");
+  }
+
+  /// The IndexOptions this index was created from. The factory stamps
+  /// them at creation; a default-constructed set is returned for
+  /// indexes built outside the factory. Snapshots persist these so
+  /// OpenIndex can recreate an equivalent backend.
+  const IndexOptions& creation_options() const { return creation_options_; }
+  void set_creation_options(IndexOptions options) {
+    creation_options_ = std::move(options);
+  }
+
   /// Zeroes the cumulative lookup-path counters (rays, probes, filter
   /// rejections) so the next Stats() snapshot starts a fresh window --
   /// the batch-level alternative to diffing snapshots with
@@ -223,6 +261,9 @@ class Index {
     if (!erase_keys.empty()) DoEraseBatch(erase_keys, policy);
     if (!insert_keys.empty()) DoInsertBatch(insert_keys, insert_rows, policy);
   }
+
+ private:
+  IndexOptions creation_options_;
 };
 
 using Index32 = Index<std::uint32_t>;

@@ -11,7 +11,9 @@ namespace cgrx::api {
 
 template <typename Key>
 IndexService<Key>::IndexService(IndexPtr<Key> index, Options options)
-    : index_(std::move(index)), options_(options) {
+    : index_(std::move(index)),
+      options_(std::move(options)),
+      completed_epoch_(options_.initial_epoch) {
   if (index_ == nullptr) {
     throw std::invalid_argument("IndexService needs a non-null index");
   }
@@ -72,6 +74,20 @@ IndexService<Key>::SubmitUpdate(std::vector<Key> insert_keys,
   op.insert_rows = std::move(insert_rows);
   op.erase_keys = std::move(erase_keys);
   std::future<UpdateResult> ticket = op.update_done.get_future();
+  Enqueue(std::move(op));
+  return ticket;
+}
+
+template <typename Key>
+std::future<std::uint64_t> IndexService<Key>::Checkpoint(
+    std::function<void(const Index<Key>&, std::uint64_t)> writer) {
+  if (writer == nullptr) {
+    throw std::invalid_argument("Checkpoint: null writer");
+  }
+  Op op;
+  op.kind = Op::Kind::kCheckpoint;
+  op.checkpoint_writer = std::move(writer);
+  std::future<std::uint64_t> ticket = op.checkpoint_done.get_future();
   Enqueue(std::move(op));
   return ticket;
 }
@@ -198,8 +214,19 @@ void IndexService<Key>::Execute(Op& op) {
         op.lookup_done.set_exception(std::current_exception());
       }
       break;
-    case Op::Kind::kUpdate:
+    case Op::Kind::kUpdate: {
+      bool observed = false;
+      const std::uint64_t next_epoch =
+          completed_epoch_.load(std::memory_order_relaxed) + 1;
       try {
+        // Write-ahead: the observer (the durable service's log append)
+        // sees the wave and its epoch before the index does. A throw
+        // here aborts the wave entirely -- not logged, not applied.
+        if (options_.update_observer) {
+          options_.update_observer(op.keys, op.insert_rows, op.erase_keys,
+                                   next_epoch);
+          observed = true;
+        }
         index_->UpdateBatch(std::move(op.keys), std::move(op.insert_rows),
                             std::move(op.erase_keys), options_.policy);
         UpdateResult payload;
@@ -208,14 +235,39 @@ void IndexService<Key>::Execute(Op& op) {
         payload.entries = index_->size();
         op.update_done.set_value(payload);
       } catch (...) {
+        if (observed && options_.update_rollback) {
+          // The wave was logged but did not apply: withdraw the record
+          // so log and index agree (the wave is in neither) and the
+          // epoch stays free for the next wave.
+          try {
+            options_.update_rollback(next_epoch);
+          } catch (...) {
+            // Rollback itself failed: log and index now disagree.
+            // Surface the rollback failure (the graver condition) and
+            // keep the dispatcher alive.
+            op.update_done.set_exception(std::current_exception());
+            break;
+          }
+        }
         op.update_done.set_exception(std::current_exception());
       }
       break;
+    }
     case Op::Kind::kStats:
       try {
         op.stats_done.set_value(index_->Stats());
       } catch (...) {
         op.stats_done.set_exception(std::current_exception());
+      }
+      break;
+    case Op::Kind::kCheckpoint:
+      try {
+        const std::uint64_t epoch =
+            completed_epoch_.load(std::memory_order_relaxed);
+        op.checkpoint_writer(*index_, epoch);
+        op.checkpoint_done.set_value(epoch);
+      } catch (...) {
+        op.checkpoint_done.set_exception(std::current_exception());
       }
       break;
   }

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -61,6 +62,34 @@ class IndexService {
     /// caller (blocking backpressure); 0 = unbounded. Mirrors
     /// IndexOptions::service_queue_limit.
     std::size_t queue_limit = 0;
+
+    /// Epoch counter start value (default 0 = fresh index). A durable
+    /// service recovering from a snapshot + log passes the recovered
+    /// epoch so post-recovery waves continue the pre-crash numbering --
+    /// which is what keeps write-ahead log records replayable exactly
+    /// once.
+    std::uint64_t initial_epoch = 0;
+
+    /// Write-ahead hook: invoked on the dispatcher thread with every
+    /// update wave and the epoch it will complete, BEFORE the wave is
+    /// applied to the index. The storage layer's durable service logs
+    /// the wave here; a throw fails the submission's ticket and leaves
+    /// the index untouched (the wave is neither logged nor applied, so
+    /// memory and log stay consistent).
+    std::function<void(const std::vector<Key>& insert_keys,
+                       const std::vector<std::uint32_t>& insert_rows,
+                       const std::vector<Key>& erase_keys,
+                       std::uint64_t epoch)>
+        update_observer;
+
+    /// Invoked (same thread) when a wave that already passed through
+    /// update_observer then FAILS to apply -- e.g. an unsupported
+    /// operation or an allocation failure. The durable layer withdraws
+    /// the write-ahead record here, so the log never holds a wave the
+    /// index rejected and the epoch is free for the next wave; without
+    /// that, crash recovery would replay the rejected wave and
+    /// diverge. Ignored when update_observer is unset.
+    std::function<void(std::uint64_t epoch)> update_rollback;
   };
 
   /// Ticket payload of a lookup submission.
@@ -109,7 +138,20 @@ class IndexService {
                                          std::vector<std::uint32_t> insert_rows,
                                          std::vector<Key> erase_keys);
 
-  /// Last completed update epoch (0 until the first wave applies).
+  /// Submits a checkpoint ticket: `writer` runs on the dispatcher
+  /// between waves -- an epoch boundary, with no update in flight and
+  /// no read wave half-admitted -- receiving the index and the last
+  /// completed epoch. Whatever `writer` persists therefore reproduces
+  /// exactly that epoch, which is the consistency contract the storage
+  /// layer's Checkpoint builds on (snapshot at epoch E + log truncated
+  /// to records > E). The ticket resolves with the checkpointed epoch;
+  /// an exception from `writer` lands on the ticket and leaves the
+  /// service running.
+  std::future<std::uint64_t> Checkpoint(
+      std::function<void(const Index<Key>&, std::uint64_t)> writer);
+
+  /// Last completed update epoch (`initial_epoch` until the first wave
+  /// applies).
   std::uint64_t epoch() const {
     return completed_epoch_.load(std::memory_order_acquire);
   }
@@ -127,17 +169,30 @@ class IndexService {
 
  private:
   struct Op {
-    enum class Kind { kPointLookup, kRangeLookup, kUpdate, kStats };
+    enum class Kind {
+      kPointLookup,
+      kRangeLookup,
+      kUpdate,
+      kStats,
+      kCheckpoint
+    };
     Kind kind = Kind::kPointLookup;
     std::vector<Key> keys;
     std::vector<core::KeyRange<Key>> ranges;
     std::vector<std::uint32_t> insert_rows;
     std::vector<Key> erase_keys;
+    std::function<void(const Index<Key>&, std::uint64_t)> checkpoint_writer;
     std::promise<LookupBatchResult> lookup_done;
     std::promise<UpdateResult> update_done;
     std::promise<IndexStats> stats_done;
+    std::promise<std::uint64_t> checkpoint_done;
 
-    static bool IsRead(Kind kind) { return kind != Kind::kUpdate; }
+    /// Checkpoints are "writes" for admission (taken alone, never
+    /// inside a read wave) even though they only read the index: the
+    /// epoch boundary is the point.
+    static bool IsRead(Kind kind) {
+      return kind != Kind::kUpdate && kind != Kind::kCheckpoint;
+    }
   };
 
   void Enqueue(Op op);
@@ -154,7 +209,7 @@ class IndexService {
   std::deque<Op> queue_;
   std::size_t in_flight_ = 0;  ///< Queued plus currently executing.
   bool stopping_ = false;
-  std::atomic<std::uint64_t> completed_epoch_{0};
+  std::atomic<std::uint64_t> completed_epoch_;
   std::thread dispatcher_;
 };
 

@@ -13,25 +13,12 @@
 
 #include "src/api/execution_policy.h"
 #include "src/api/index.h"
+#include "src/api/index_options.h"
 #include "src/core/types.h"
+#include "src/storage/format.h"
 #include "src/util/task_scheduler.h"
 
 namespace cgrx::api {
-
-/// How a ShardedIndex partitions the key space over its inner indexes.
-enum class ShardScheme {
-  /// Contiguous key ranges, boundaries chosen at Build time from the
-  /// bulk-load key quantiles (aligned to duplicate groups so every key
-  /// value lives in exactly one shard). Point and range lookups touch
-  /// only the shards that can hold matches; the last shard additionally
-  /// owns everything above the largest bulk-loaded key, mirroring
-  /// cgRXu's overflow bucket.
-  kRange,
-  /// Key-hash modulo shard count (splitmix64 finalizer). Point lookups
-  /// and updates touch one shard; range lookups must fan out to every
-  /// shard and merge.
-  kHash,
-};
 
 /// A composite api::Index that partitions the key space over N inner
 /// indexes and fans every batch entry point out shard-parallel over the
@@ -77,8 +64,51 @@ class ShardedIndex final : public Index<Key> {
       caps.range_lookup = caps.range_lookup && other.range_lookup;
       caps.updates = caps.updates && other.updates;
       caps.combined_updates = caps.combined_updates && other.combined_updates;
+      caps.persistence = caps.persistence && other.persistence;
     }
     return caps;
+  }
+
+  /// Persists the composite: a "sharded.meta" section (scheme, shard
+  /// count, range boundaries) plus every shard's own sections under a
+  /// "shard<i>." prefix -- per-shard sections with per-section
+  /// checksums, serialized shard-parallel on the TaskScheduler.
+  void SaveState(storage::SnapshotWriter* out) const override {
+    if (!capabilities().persistence) {
+      throw UnsupportedOperationError(name(), "persistence");
+    }
+    util::ByteWriter* meta = out->AddSection("sharded.meta");
+    meta->WriteU8(static_cast<std::uint8_t>(scheme_));
+    meta->WriteU32(static_cast<std::uint32_t>(shards_.size()));
+    meta->WritePodVector(upper_bounds_);
+    util::TaskScheduler::Global().ParallelFor(
+        0, shards_.size(), 1, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t s = begin; s < end; ++s) {
+            storage::SnapshotWriter sub =
+                out->Sub("shard" + std::to_string(s) + ".");
+            shards_[s]->SaveState(&sub);
+          }
+        });
+  }
+
+  void LoadState(const storage::SnapshotReader& in) override {
+    util::ByteReader meta = in.Section("sharded.meta");
+    const auto scheme = static_cast<ShardScheme>(meta.ReadU8());
+    const std::uint32_t count = meta.ReadU32();
+    if (scheme != scheme_ || count != shards_.size()) {
+      throw storage::CorruptionError(
+          std::string(name()) + ": snapshot holds " + std::to_string(count) +
+          " shards, this composite was created with " +
+          std::to_string(shards_.size()) +
+          " (shard count and scheme come from the snapshot's options)");
+    }
+    upper_bounds_ = meta.ReadPodVector<Key>();
+    util::TaskScheduler::Global().ParallelFor(
+        0, shards_.size(), 1, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t s = begin; s < end; ++s) {
+            shards_[s]->LoadState(in.Sub("shard" + std::to_string(s) + "."));
+          }
+        });
   }
 
   void Build(std::vector<Key> keys) override {

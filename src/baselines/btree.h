@@ -82,6 +82,30 @@ class BPlusTree {
   /// correctness, sibling links, capacity bounds.
   bool ValidateInvariants(std::string* error) const;
 
+  /// Persistence hook (requires-detected): walks the leaf sibling
+  /// chain from the leftmost leaf, exporting the live entries in key
+  /// order; the load-side rebuild bulk-loads a fresh tree (which also
+  /// repacks leaves left half-empty by the lazy deletes).
+  void ExportEntries(std::vector<Key>* keys,
+                     std::vector<std::uint32_t>* rows) const {
+    keys->clear();
+    rows->clear();
+    keys->reserve(size_);
+    rows->reserve(size_);
+    if (height_ == 0) return;
+    std::uint32_t node = root_;
+    for (int level = height_; level > 1; --level) {
+      node = inners_[node].children[0];
+    }
+    for (; node != kInvalid; node = leaves_[node].next) {
+      const Leaf& leaf = leaves_[node];
+      for (std::uint16_t i = 0; i < leaf.count; ++i) {
+        keys->push_back(leaf.keys[i]);
+        rows->push_back(leaf.rows[i]);
+      }
+    }
+  }
+
  private:
   struct Leaf {
     std::uint16_t count = 0;

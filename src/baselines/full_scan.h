@@ -66,6 +66,14 @@ class FullScan {
 
   std::size_t size() const { return keys_.size(); }
 
+  /// Persistence hook (requires-detected): the unsorted column pair is
+  /// the whole structure.
+  void ExportEntries(std::vector<Key>* keys,
+                     std::vector<std::uint32_t>* rows) const {
+    *keys = keys_;
+    *rows = rows_;
+  }
+
  private:
   std::vector<Key> keys_;
   std::vector<std::uint32_t> rows_;

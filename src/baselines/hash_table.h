@@ -113,6 +113,23 @@ class HashTable {
                : static_cast<double>(size_) / static_cast<double>(capacity_);
   }
 
+  /// Persistence hook (requires-detected): exports the live slots
+  /// (tombstones and empties skipped); the load-side rebuild re-probes
+  /// into a fresh table, which also compacts tombstones away.
+  void ExportEntries(std::vector<Key>* keys,
+                     std::vector<std::uint32_t>* rows) const {
+    keys->clear();
+    rows->clear();
+    keys->reserve(size_);
+    rows->reserve(size_);
+    for (std::size_t s = 0; s < capacity_; ++s) {
+      if (state_[s] == kFull) {
+        keys->push_back(keys_[s]);
+        rows->push_back(rows_[s]);
+      }
+    }
+  }
+
  private:
   static constexpr std::uint8_t kEmpty = 0;
   static constexpr std::uint8_t kFull = 1;

@@ -128,6 +128,29 @@ class RtScan {
   const core::LookupCounters& stat_counters() const { return counters_; }
   void ResetStatCounters() { counters_.Reset(); }
 
+  /// Persistence hook (requires-detected): RTScan keeps no key column
+  /// -- like RX, keys live implicitly in the triangle positions -- so
+  /// export inverts the grid mapping per triangle. Vertex 0 carries the
+  /// exact world x, vertex 2 the exact world y and vertex 1 the exact
+  /// world z of the key's grid cell (all float32-exact by the mapping's
+  /// representability argument), making the inversion lossless.
+  void ExportEntries(std::vector<Key>* keys,
+                     std::vector<std::uint32_t>* rows) const {
+    keys->clear();
+    keys->reserve(rows_.size());
+    const rt::TriangleSoup& soup = scene_.soup();
+    for (std::uint32_t t = 0; t < rows_.size(); ++t) {
+      util::GridCoords g;
+      g.x = static_cast<std::uint32_t>(soup.Vertex(t, 0).x);
+      g.y = static_cast<std::uint32_t>(soup.Vertex(t, 2).y /
+                                       mapping_.step_y());
+      g.z = static_cast<std::uint32_t>(soup.Vertex(t, 1).z /
+                                       mapping_.step_z());
+      keys->push_back(static_cast<Key>(mapping_.KeyOf(g)));
+    }
+    *rows = rows_;
+  }
+
  private:
   struct Segment {
     std::uint64_t row = 0;

@@ -113,6 +113,15 @@ class SortedArray {
   const std::vector<Key>& keys() const { return keys_; }
   const std::vector<std::uint32_t>& row_ids() const { return rows_; }
 
+  /// Persistence hook (requires-detected): SA snapshots its sorted
+  /// key/rowID columns and rebuilds on load (paper Table I: SA has no
+  /// incremental structure worth persisting beyond the pairs).
+  void ExportEntries(std::vector<Key>* keys,
+                     std::vector<std::uint32_t>* rows) const {
+    *keys = keys_;
+    *rows = rows_;
+  }
+
  private:
   std::vector<Key> keys_;
   std::vector<std::uint32_t> rows_;

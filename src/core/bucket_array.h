@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/core/types.h"
+#include "src/util/serial.h"
 
 namespace cgrx::core {
 
@@ -178,6 +179,37 @@ class BucketArray {
     std::vector<std::uint32_t> out(size_);
     for (std::size_t i = 0; i < size_; ++i) out[i] = RowIdAt(i);
     return out;
+  }
+
+  /// Snapshot support: persists the physical layout verbatim (the row
+  /// layout's interleaved byte array or the column layout's two
+  /// columns), so a load is a straight buffer restore with no
+  /// re-interleaving.
+  void SaveState(util::ByteWriter* out) const {
+    out->WriteU64(size_);
+    out->WriteU32(bucket_size_);
+    out->WriteU8(static_cast<std::uint8_t>(layout_));
+    if (layout_ == BucketLayout::kColumn) {
+      out->WritePodVector(keys_);
+      out->WritePodVector(row_ids_);
+    } else {
+      out->WritePodVector(rows_);
+    }
+  }
+
+  void LoadState(util::ByteReader* in) {
+    size_ = static_cast<std::size_t>(in->ReadU64());
+    bucket_size_ = in->ReadU32();
+    layout_ = static_cast<BucketLayout>(in->ReadU8());
+    keys_.clear();
+    row_ids_.clear();
+    rows_.clear();
+    if (layout_ == BucketLayout::kColumn) {
+      keys_ = in->ReadPodVector<Key>();
+      row_ids_ = in->ReadPodVector<std::uint32_t>();
+    } else {
+      rows_ = in->ReadPodVector<std::uint8_t>();
+    }
   }
 
  private:

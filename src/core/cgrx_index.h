@@ -12,6 +12,7 @@
 #include "src/core/rep_scene.h"
 #include "src/core/types.h"
 #include "src/rt/scene.h"
+#include "src/storage/format.h"
 #include "src/util/bloom_filter.h"
 #include "src/util/key_mapping.h"
 #include "src/util/radix_sort.h"
@@ -227,6 +228,34 @@ class CgrxIndex {
   /// rejections) feeding api::IndexStats.
   const LookupCounters& stat_counters() const { return counters_; }
   void ResetStatCounters() { counters_.Reset(); }
+
+  /// Native snapshot hook (storage layer, requires-detected by the
+  /// adapter): persists the bucket array, the full representative scene
+  /// (vertex buffer + binary BVH + quantized wide BVH) and the optional
+  /// miss filter verbatim, so LoadState restores a built index without
+  /// sorting, bucketing or BVH construction -- a snapshot load is a
+  /// disk read plus buffer restores.
+  void SaveState(storage::SnapshotWriter* out) const {
+    buckets_.SaveState(out->AddSection("cgrx.buckets"));
+    rep_scene_.SaveState(out->AddSection("cgrx.scene"));
+    if (!miss_filter_.empty()) {
+      miss_filter_.SaveState(out->AddSection("cgrx.filter"));
+    }
+  }
+
+  void LoadState(const storage::SnapshotReader& in) {
+    util::ByteReader buckets = in.Section("cgrx.buckets");
+    buckets_.LoadState(&buckets);
+    util::ByteReader scene = in.Section("cgrx.scene");
+    rep_scene_.LoadState(&scene);
+    if (in.Has("cgrx.filter")) {
+      util::ByteReader filter = in.Section("cgrx.filter");
+      miss_filter_.LoadState(&filter);
+    } else {
+      miss_filter_ = util::BloomFilter();
+    }
+    rep_scene_.set_traversal_engine(config_.traversal_engine);
+  }
 
   /// Ablation switches for the traversal microbench: flip the traversal
   /// substrate / batch scheduling of an already-built index without a

@@ -14,6 +14,7 @@
 #include "src/core/rep_scene.h"
 #include "src/core/types.h"
 #include "src/core/update_wave.h"
+#include "src/storage/format.h"
 #include "src/util/key_mapping.h"
 #include "src/util/radix_sort.h"
 
@@ -308,6 +309,82 @@ class CgrxuIndex {
   /// Structural invariant check used by the property tests. Returns
   /// false and fills `*error` on the first violation.
   bool ValidateInvariants(std::string* error) const;
+
+  /// Native snapshot hook: persists the node slab (used prefix only --
+  /// the spare tail of the allocation is re-reserved on load), the
+  /// per-node metadata, the bucket boundaries and the representative
+  /// scene, so a load restores the exact post-update structure
+  /// including node chains and splits, without any rebuild.
+  void SaveState(storage::SnapshotWriter* out) const {
+    util::ByteWriter* w = out->AddSection("cgrxu.nodes");
+    const std::uint32_t used = next_free_.load(std::memory_order_relaxed);
+    w->WriteU32(node_capacity_);
+    w->WriteU32(num_data_buckets_);
+    w->WriteU32(used);
+    w->WriteU32(allocated_nodes_);
+    w->WriteU64(total_size_);
+    for (std::uint32_t node = 0; node < used; ++node) {
+      const NodeMeta& m = meta_[node];
+      if constexpr (sizeof(Key) == 4) {
+        w->WriteU32(static_cast<std::uint32_t>(m.max_key));
+      } else {
+        w->WriteU64(static_cast<std::uint64_t>(m.max_key));
+      }
+      w->WriteU32(m.next);
+      w->WriteU16(m.size);
+    }
+    w->WriteBytes(node_keys_.data(),
+                  static_cast<std::size_t>(used) * node_capacity_ *
+                      sizeof(Key));
+    w->WriteBytes(node_rows_.data(),
+                  static_cast<std::size_t>(used) * node_capacity_ *
+                      sizeof(std::uint32_t));
+    out->AddSection("cgrxu.reps")->WritePodVector(rep_keys_);
+    rep_scene_.SaveState(out->AddSection("cgrxu.scene"));
+  }
+
+  void LoadState(const storage::SnapshotReader& in) {
+    util::ByteReader r = in.Section("cgrxu.nodes");
+    const std::uint32_t capacity = r.ReadU32();
+    if (capacity != node_capacity_) {
+      // The slab stride is the configured node size; state written at a
+      // different node_bytes cannot be mapped onto this instance.
+      throw storage::CorruptionError(
+          "cgrxu snapshot node capacity " + std::to_string(capacity) +
+          " does not match configured capacity " +
+          std::to_string(node_capacity_) +
+          " (was the index saved with a different node_bytes?)");
+    }
+    num_data_buckets_ = r.ReadU32();
+    const std::uint32_t used = r.ReadU32();
+    const std::uint32_t allocated = r.ReadU32();
+    total_size_ = static_cast<std::size_t>(r.ReadU64());
+    meta_.assign(used, NodeMeta{});
+    for (std::uint32_t node = 0; node < used; ++node) {
+      NodeMeta& m = meta_[node];
+      if constexpr (sizeof(Key) == 4) {
+        m.max_key = static_cast<Key>(r.ReadU32());
+      } else {
+        m.max_key = static_cast<Key>(r.ReadU64());
+      }
+      m.next = r.ReadU32();
+      m.size = r.ReadU16();
+    }
+    node_keys_.assign(static_cast<std::size_t>(used) * node_capacity_,
+                      Key{});
+    node_rows_.assign(static_cast<std::size_t>(used) * node_capacity_, 0);
+    r.ReadBytes(node_keys_.data(), node_keys_.size() * sizeof(Key));
+    r.ReadBytes(node_rows_.data(),
+                node_rows_.size() * sizeof(std::uint32_t));
+    allocated_nodes_ = used;
+    next_free_.store(used, std::memory_order_relaxed);
+    EnsureNodeCapacity(std::max(allocated, used));
+    util::ByteReader reps = in.Section("cgrxu.reps");
+    rep_keys_ = reps.ReadPodVector<Key>();
+    util::ByteReader scene = in.Section("cgrxu.scene");
+    rep_scene_.LoadState(&scene);
+    rep_scene_.set_traversal_engine(config_.traversal_engine);
+  }
 
  private:
   struct NodeMeta {

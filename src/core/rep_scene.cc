@@ -354,4 +354,46 @@ std::size_t RepScene::ActiveTriangleCount() const {
   return n;
 }
 
+void RepScene::SaveState(util::ByteWriter* out) const {
+  out->WriteU8(static_cast<std::uint8_t>(options_.representation));
+  out->WriteBool(options_.enable_flipping);
+  out->WriteU8(static_cast<std::uint8_t>(options_.bvh_builder));
+  out->WriteI32(options_.bvh_max_leaf_size);
+  out->WriteU8(static_cast<std::uint8_t>(options_.traversal_engine));
+  out->WriteI32(mapping_.x_bits());
+  out->WriteI32(mapping_.y_bits());
+  out->WriteI32(mapping_.z_bits());
+  out->WriteI32(mapping_.y_scale_log2());
+  out->WriteI32(mapping_.z_scale_log2());
+  out->WriteU64(min_rep_);
+  out->WriteU64(max_rep_);
+  out->WriteBool(multi_line_);
+  out->WriteBool(multi_plane_);
+  out->WriteU32(num_buckets_);
+  scene_.SaveState(out);
+}
+
+void RepScene::LoadState(util::ByteReader* in) {
+  options_.representation = static_cast<Representation>(in->ReadU8());
+  options_.enable_flipping = in->ReadBool();
+  options_.bvh_builder = static_cast<rt::BvhBuilder>(in->ReadU8());
+  options_.bvh_max_leaf_size = in->ReadI32();
+  options_.traversal_engine = static_cast<rt::TraversalEngine>(in->ReadU8());
+  const int x_bits = in->ReadI32();
+  const int y_bits = in->ReadI32();
+  const int z_bits = in->ReadI32();
+  const int y_log2 = in->ReadI32();
+  const int z_log2 = in->ReadI32();
+  mapping_ = util::KeyMapping(x_bits, y_bits, z_bits, y_log2, z_log2);
+  dx_ = 0.5f;
+  dy_ = mapping_.y_bits() > 0 ? 0.5f * mapping_.step_y() : 0.5f;
+  dz_ = mapping_.z_bits() > 0 ? 0.5f * mapping_.step_z() : 0.5f;
+  min_rep_ = in->ReadU64();
+  max_rep_ = in->ReadU64();
+  multi_line_ = in->ReadBool();
+  multi_plane_ = in->ReadBool();
+  num_buckets_ = in->ReadU32();
+  scene_.LoadState(in);
+}
+
 }  // namespace cgrx::core

@@ -7,6 +7,7 @@
 
 #include "src/rt/scene.h"
 #include "src/util/key_mapping.h"
+#include "src/util/serial.h"
 
 namespace cgrx::core {
 
@@ -82,6 +83,14 @@ class RepScene {
 
   /// Number of non-degenerate triangles (tests/ablation).
   std::size_t ActiveTriangleCount() const;
+
+  /// Snapshot support: persists the build options, the key mapping and
+  /// every derived scalar alongside the full scene (vertex buffer +
+  /// both BVHs), so LoadState restores the exact built state without
+  /// re-running Build -- the whole point of a cgRX/cgRXu snapshot load
+  /// skipping the BVH construction.
+  void SaveState(util::ByteWriter* out) const;
+  void LoadState(util::ByteReader* in);
 
  private:
   void BuildNaive(const std::vector<std::uint64_t>& reps);

@@ -79,6 +79,8 @@ void Bvh::Build(const TriangleSoup& soup, BvhBuilder builder,
   max_leaf_size = std::clamp(max_leaf_size, 1, 255);
   nodes_.clear();
   prim_indices_.clear();
+  refit_levels_.clear();
+  refit_level_start_.clear();
   std::vector<BuildPrim> prims;
   prims.reserve(soup.size());
   Aabb scene_bounds;
@@ -444,7 +446,13 @@ std::uint32_t Bvh::Partition(std::vector<BuildPrim>* prims,
 }
 
 void Bvh::Refit(const TriangleSoup& soup) {
-  for (std::size_t i = nodes_.size(); i-- > 0;) {
+  // One node's refit reads only its children (internal) or its prims
+  // (leaf), so the only ordering constraint is children-before-parent.
+  // The serial path satisfies it with a reverse sweep over the
+  // parent-before-children array; the parallel path satisfies it by
+  // levels: every node of depth d+1 finishes before any node of depth
+  // d starts, and nodes within a level are independent.
+  auto refit_node = [&](std::size_t i) {
     Node& node = nodes_[i];
     Aabb bounds;
     if (node.IsLeaf()) {
@@ -457,7 +465,61 @@ void Bvh::Refit(const TriangleSoup& soup) {
       bounds.Grow(nodes_[node.left_or_first + 1].bounds);
     }
     node.bounds = bounds;
+  };
+  if (!UseParallel(nodes_.size())) {
+    for (std::size_t i = nodes_.size(); i-- > 0;) refit_node(i);
+    return;
   }
+  if (refit_levels_.size() != nodes_.size()) {
+    // Derive the level buckets once per topology (Build/LoadState
+    // clear them): depth of every node via one forward pass (children
+    // always follow their parent in the array), then a counting-sort
+    // bucketing into per-level index runs. Subsequent refits -- the
+    // per-wave RX pattern -- reuse the buckets.
+    std::vector<std::uint16_t> depth(nodes_.size(), 0);
+    std::uint16_t max_depth = 0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].IsLeaf()) continue;
+      const auto d = static_cast<std::uint16_t>(depth[i] + 1);
+      depth[nodes_[i].left_or_first] = d;
+      depth[nodes_[i].left_or_first + 1] = d;
+      if (d > max_depth) max_depth = d;
+    }
+    refit_level_start_.assign(static_cast<std::size_t>(max_depth) + 2, 0);
+    for (const std::uint16_t d : depth) ++refit_level_start_[d + 1u];
+    for (std::size_t d = 1; d < refit_level_start_.size(); ++d) {
+      refit_level_start_[d] += refit_level_start_[d - 1];
+    }
+    refit_levels_.resize(nodes_.size());
+    std::vector<std::uint32_t> cursor(refit_level_start_.begin(),
+                                      refit_level_start_.end() - 1);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      refit_levels_[cursor[depth[i]]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  util::TaskScheduler& scheduler = util::TaskScheduler::Global();
+  for (std::size_t d = refit_level_start_.size() - 1; d-- > 0;) {
+    scheduler.ParallelFor(refit_level_start_[d], refit_level_start_[d + 1],
+                          [&](std::size_t begin, std::size_t end) {
+                            for (std::size_t i = begin; i < end; ++i) {
+                              refit_node(refit_levels_[i]);
+                            }
+                          });
+  }
+}
+
+void Bvh::SaveState(util::ByteWriter* out) const {
+  static_assert(sizeof(Node) == 32, "Bvh::Node layout is part of the "
+                                    "snapshot format");
+  out->WritePodVector(nodes_);
+  out->WritePodVector(prim_indices_);
+}
+
+void Bvh::LoadState(util::ByteReader* in) {
+  nodes_ = in->ReadPodVector<Node>();
+  prim_indices_ = in->ReadPodVector<std::uint32_t>();
+  refit_levels_.clear();
+  refit_level_start_.clear();
 }
 
 int Bvh::Depth() const {

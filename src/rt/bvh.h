@@ -6,6 +6,7 @@
 
 #include "src/rt/aabb.h"
 #include "src/rt/triangle.h"
+#include "src/util/serial.h"
 
 namespace cgrx::rt {
 
@@ -59,6 +60,14 @@ class Bvh {
   /// the RX lookup collapse shown in the paper's Figure 1c. Primitives
   /// that became active since Build() are NOT added; primitives that
   /// moved inflate their leaf's bounds.
+  ///
+  /// Large trees refit level-parallel on the TaskScheduler: nodes are
+  /// bucketed by depth once per topology, then levels sweep bottom-up
+  /// with every node of a level processed concurrently (a node depends
+  /// only on its children, which live exactly one level deeper). Each
+  /// node's bounds are computed from the same inputs by the same float
+  /// ops as the serial reverse sweep, so the refitted node array is
+  /// byte-identical at any thread count (pinned by bvh4_test).
   void Refit(const TriangleSoup& soup);
 
   bool empty() const { return nodes_.empty(); }
@@ -75,6 +84,12 @@ class Bvh {
 
   /// Maximum leaf depth (diagnostics / tests).
   int Depth() const;
+
+  /// Serializes nodes and the packed primitive index array (the entire
+  /// structure -- a load needs no rebuild, and Refit() keeps working
+  /// because the level buckets are derived lazily from the topology).
+  void SaveState(util::ByteWriter* out) const;
+  void LoadState(util::ByteReader* in);
 
  private:
   struct BuildPrim {
@@ -112,6 +127,13 @@ class Bvh {
 
   std::vector<Node> nodes_;
   std::vector<std::uint32_t> prim_indices_;
+  /// Level-parallel Refit scaffolding, derived lazily from the
+  /// topology on the first large refit and reused until Build() or
+  /// LoadState() replaces the nodes: node indices grouped by depth
+  /// (refit_levels_) and the per-depth [start, end) offsets into it
+  /// (refit_level_start_). Host-side bookkeeping, not serialized.
+  std::vector<std::uint32_t> refit_levels_;
+  std::vector<std::uint32_t> refit_level_start_;
 };
 
 }  // namespace cgrx::rt

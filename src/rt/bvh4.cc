@@ -252,4 +252,16 @@ void Bvh4::Refit(const Bvh& source) {
       });
 }
 
+void Bvh4::SaveState(util::ByteWriter* out) const {
+  static_assert(sizeof(Node) == 64, "Bvh4::Node layout is part of the "
+                                    "snapshot format");
+  out->WritePodVector(nodes_);
+  out->WritePodVector(child_source_);
+}
+
+void Bvh4::LoadState(util::ByteReader* in) {
+  nodes_ = in->ReadPodVector<Node>();
+  child_source_ = in->ReadPodVector<std::array<std::uint32_t, kWidth>>();
+}
+
 }  // namespace cgrx::rt

@@ -8,6 +8,7 @@
 
 #include "src/rt/aabb.h"
 #include "src/rt/bvh.h"
+#include "src/util/serial.h"
 
 namespace cgrx::rt {
 
@@ -87,6 +88,13 @@ class Bvh4 {
   /// Bytes held by the wide node array (the structure's own storage;
   /// the primitive index array is shared with the source binary BVH).
   std::size_t MemoryBytes() const { return nodes_.size() * sizeof(Node); }
+
+  /// Serializes the quantized SoA node array verbatim (plus the refit
+  /// scaffolding), so a snapshot load restores the exact bytes the
+  /// collapse produced -- no re-collapse, no requantization, and
+  /// therefore bit-identical traversal behaviour.
+  void SaveState(util::ByteWriter* out) const;
+  void LoadState(util::ByteReader* in);
 
  private:
   std::vector<Node> nodes_;

@@ -511,4 +511,18 @@ void Scene::CastRays(const Ray* rays, std::size_t count, Hit* hits,
   }
 }
 
+void Scene::SaveState(util::ByteWriter* out) const {
+  out->WriteU8(static_cast<std::uint8_t>(engine_));
+  out->WritePodVector(soup_.raw_vertices());
+  bvh_.SaveState(out);
+  bvh4_.SaveState(out);
+}
+
+void Scene::LoadState(util::ByteReader* in) {
+  engine_ = static_cast<TraversalEngine>(in->ReadU8());
+  soup_.RestoreRaw(in->ReadPodVector<float>());
+  bvh_.LoadState(in);
+  bvh4_.LoadState(in);
+}
+
 }  // namespace cgrx::rt

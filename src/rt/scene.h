@@ -184,6 +184,13 @@ class Scene {
 
   void Reserve(std::size_t triangles) { soup_.Reserve(triangles); }
 
+  /// Serializes the vertex buffer, both acceleration structures and the
+  /// engine selection. Loading restores the exact built state -- the
+  /// binary BVH and the quantized wide BVH come back byte-identical, so
+  /// no rebuild (and no collapse/quantization) runs on open.
+  void SaveState(util::ByteWriter* out) const;
+  void LoadState(util::ByteReader* in);
+
  private:
   TriangleSoup soup_;
   Bvh bvh_;

@@ -2,6 +2,7 @@
 #define CGRX_SRC_RT_TRIANGLE_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/rt/aabb.h"
@@ -55,6 +56,14 @@ class TriangleSoup {
 
   void Reserve(std::size_t triangles) { vertices_.reserve(triangles * 9); }
   void Clear() { vertices_.clear(); }
+
+  /// Raw vertex stream (9 floats per slot) -- the persistence layer
+  /// snapshots and restores the buffer wholesale, exactly as a GPU
+  /// vertex buffer would be DMA'd to and from disk.
+  const std::vector<float>& raw_vertices() const { return vertices_; }
+  void RestoreRaw(std::vector<float> vertices) {
+    vertices_ = std::move(vertices);
+  }
 
  private:
   std::vector<float> vertices_;

@@ -10,6 +10,7 @@
 #include "src/core/coherent.h"
 #include "src/core/types.h"
 #include "src/rt/scene.h"
+#include "src/storage/format.h"
 #include "src/util/key_mapping.h"
 #include "src/util/radix_sort.h"
 
@@ -264,6 +265,30 @@ class RxIndex {
   /// Cumulative rays fired by lookups, feeding api::IndexStats.
   const core::LookupCounters& stat_counters() const { return counters_; }
   void ResetStatCounters() { counters_.Reset(); }
+
+  /// Native snapshot hook: persists the scene (vertex buffer with
+  /// parked spare slots intact, both BVHs) plus the slot side tables,
+  /// so a load restores the exact triangle layout -- including the
+  /// free-slot pool and any refit-degraded bounds -- without a rebuild.
+  void SaveState(storage::SnapshotWriter* out) const {
+    util::ByteWriter* w = out->AddSection("rx.slots");
+    w->WriteU64(live_);
+    w->WritePodVector(key_of_slot_);
+    w->WritePodVector(row_of_slot_);
+    w->WritePodVector(free_slots_);
+    scene_.SaveState(out->AddSection("rx.scene"));
+  }
+
+  void LoadState(const storage::SnapshotReader& in) {
+    util::ByteReader r = in.Section("rx.slots");
+    live_ = static_cast<std::size_t>(r.ReadU64());
+    key_of_slot_ = r.ReadPodVector<Key>();
+    row_of_slot_ = r.ReadPodVector<std::uint32_t>();
+    free_slots_ = r.ReadPodVector<std::uint32_t>();
+    util::ByteReader scene = in.Section("rx.scene");
+    scene_.LoadState(&scene);
+    scene_.set_traversal_engine(config_.traversal_engine);
+  }
 
  private:
   core::LookupResult PointLookupCounted(

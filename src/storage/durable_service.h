@@ -1,0 +1,138 @@
+#ifndef CGRX_SRC_STORAGE_DURABLE_SERVICE_H_
+#define CGRX_SRC_STORAGE_DURABLE_SERVICE_H_
+
+#include <cstdint>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/api/service.h"
+#include "src/storage/store.h"
+
+namespace cgrx::storage {
+
+/// An api::IndexService with durability: every update wave is
+/// write-ahead logged (group-committed) through the dispatcher's
+/// update_observer before it touches the index, and Checkpoint()
+/// snapshots at an epoch boundary through the dispatcher's checkpoint
+/// ticket and truncates the log. After a crash, constructing a
+/// DurableIndexService over the same directory recovers exactly the
+/// pre-crash epoch: snapshot + replay of every wave whose ticket could
+/// have resolved.
+///
+/// Single-owner like IndexService itself; reads are as cheap as the
+/// underlying service (no logging on the read path).
+template <typename Key>
+class DurableIndexService {
+ public:
+  using Service = api::IndexService<Key>;
+
+  /// Opens `dir` and recovers the index, then starts serving. Service
+  /// options are taken as-is except initial_epoch and update_observer,
+  /// which the durable layer owns.
+  explicit DurableIndexService(const std::filesystem::path& dir,
+                               typename Service::Options options = {})
+      : DurableIndexService(
+            std::make_unique<IndexStore<Key>>(IndexStore<Key>::Open(dir)),
+            std::move(options)) {}
+
+  /// Creates a fresh store at `dir` from `index`, then serves the
+  /// passed-in instance directly -- the snapshot just written is not
+  /// reloaded; disk reconstruction is the recovery path's job.
+  static DurableIndexService Create(const std::filesystem::path& dir,
+                                    api::IndexPtr<Key> index,
+                                    typename Service::Options options = {}) {
+    auto store = std::make_unique<IndexStore<Key>>(
+        IndexStore<Key>::Create(dir, *index));
+    options.initial_epoch = 0;
+    return DurableIndexService(std::move(store), std::move(index),
+                               std::move(options));
+  }
+
+  std::future<typename Service::LookupBatchResult> SubmitPointLookups(
+      std::vector<Key> keys) {
+    return service_->SubmitPointLookups(std::move(keys));
+  }
+
+  std::future<typename Service::LookupBatchResult> SubmitRangeLookups(
+      std::vector<core::KeyRange<Key>> ranges) {
+    return service_->SubmitRangeLookups(std::move(ranges));
+  }
+
+  std::future<typename Service::UpdateResult> SubmitUpdate(
+      std::vector<Key> insert_keys, std::vector<std::uint32_t> insert_rows,
+      std::vector<Key> erase_keys) {
+    return service_->SubmitUpdate(std::move(insert_keys),
+                                  std::move(insert_rows),
+                                  std::move(erase_keys));
+  }
+
+  /// Snapshots the index at the current epoch boundary (between waves,
+  /// through the single-writer dispatcher) and truncates the log. The
+  /// ticket resolves with the checkpointed epoch once both the new
+  /// snapshot and the manifest swap are durable.
+  std::future<std::uint64_t> Checkpoint() {
+    return service_->Checkpoint(
+        [store = store_.get()](const api::Index<Key>& index,
+                               std::uint64_t epoch) {
+          store->Checkpoint(index, epoch);
+        });
+  }
+
+  void Drain() { service_->Drain(); }
+  std::uint64_t epoch() const { return service_->epoch(); }
+  api::IndexStats Stats() { return service_->Stats(); }
+  const IndexStore<Key>& store() const { return *store_; }
+  Service& service() { return *service_; }
+
+ private:
+  /// Recovery path: reconstruct the index from the store.
+  DurableIndexService(std::unique_ptr<IndexStore<Key>> store,
+                      typename Service::Options options)
+      : store_(std::move(store)) {
+    typename IndexStore<Key>::Recovered recovered = store_->Recover();
+    options.initial_epoch = recovered.epoch;
+    StartService(std::move(recovered.index), std::move(options));
+  }
+
+  /// Fresh-store path: serve the given live index (already
+  /// snapshotted by the caller). `options.initial_epoch` must match
+  /// the snapshot's epoch.
+  DurableIndexService(std::unique_ptr<IndexStore<Key>> store,
+                      api::IndexPtr<Key> index,
+                      typename Service::Options options)
+      : store_(std::move(store)) {
+    StartService(std::move(index), std::move(options));
+  }
+
+  void StartService(api::IndexPtr<Key> index,
+                    typename Service::Options options) {
+    index_ = std::move(index);
+    // Capture the store by stable pointer (not `this`): the wrapper is
+    // movable, the heap-held store is not relocated by a move.
+    IndexStore<Key>* store = store_.get();
+    options.update_observer = [store](const std::vector<Key>& insert_keys,
+                                      const std::vector<std::uint32_t>& rows,
+                                      const std::vector<Key>& erase_keys,
+                                      std::uint64_t epoch) {
+      store->LogWave(insert_keys, rows, erase_keys, epoch);
+    };
+    options.update_rollback = [store](std::uint64_t epoch) {
+      store->RollbackWave(epoch);
+    };
+    service_ = std::make_unique<Service>(index_, std::move(options));
+  }
+
+  // Declaration order doubles as teardown order in reverse: the
+  // service is destroyed (and drained) first, while the store its
+  // observer logs through is still alive.
+  std::unique_ptr<IndexStore<Key>> store_;
+  api::IndexPtr<Key> index_;
+  std::unique_ptr<Service> service_;
+};
+
+}  // namespace cgrx::storage
+
+#endif  // CGRX_SRC_STORAGE_DURABLE_SERVICE_H_

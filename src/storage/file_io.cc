@@ -1,0 +1,144 @@
+#include "src/storage/file_io.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace cgrx::storage {
+namespace {
+
+std::string Errno(const char* op, const std::filesystem::path& path) {
+  return std::string(op) + " " + path.string() + ": " +
+         std::strerror(errno);
+}
+
+void FsyncStream(std::FILE* file, const std::filesystem::path& path) {
+  if (std::fflush(file) != 0) throw Error(Errno("flush", path));
+#if !defined(_WIN32)
+  if (::fsync(::fileno(file)) != 0) throw Error(Errno("fsync", path));
+#endif
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> ReadFileBytes(const std::filesystem::path& path) {
+  std::FILE* file = std::fopen(path.string().c_str(), "rb");
+  if (file == nullptr) throw Error(Errno("open", path));
+  std::vector<std::uint8_t> bytes;
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  if (size > 0) {
+    bytes.resize(static_cast<std::size_t>(size));
+    std::fseek(file, 0, SEEK_SET);
+    if (std::fread(bytes.data(), 1, bytes.size(), file) != bytes.size()) {
+      std::fclose(file);
+      throw Error(Errno("read", path));
+    }
+  }
+  std::fclose(file);
+  return bytes;
+}
+
+std::shared_ptr<MappedFile> MappedFile::Map(
+    const std::filesystem::path& path) {
+  auto file = std::shared_ptr<MappedFile>(new MappedFile());
+#if !defined(_WIN32)
+  const int fd = ::open(path.string().c_str(), O_RDONLY);
+  if (fd < 0) throw Error(Errno("open", path));
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw Error(Errno("stat", path));
+  }
+  if (st.st_size > 0) {
+    void* mapping = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                           PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (mapping == MAP_FAILED) throw Error(Errno("mmap", path));
+    file->mapping_ = mapping;
+    file->data_ = static_cast<const std::uint8_t*>(mapping);
+    file->size_ = static_cast<std::size_t>(st.st_size);
+    return file;
+  }
+  ::close(fd);
+  file->data_ = nullptr;
+  file->size_ = 0;
+  return file;
+#else
+  file->fallback_ = ReadFileBytes(path);
+  file->data_ = file->fallback_.data();
+  file->size_ = file->fallback_.size();
+  return file;
+#endif
+}
+
+MappedFile::~MappedFile() {
+#if !defined(_WIN32)
+  if (mapping_ != nullptr) ::munmap(mapping_, size_);
+#endif
+}
+
+TempFileWriter::TempFileWriter(const std::filesystem::path& path)
+    : path_(path), tmp_path_(path.string() + ".tmp") {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  file_ = std::fopen(tmp_path_.string().c_str(), "wb");
+  if (file_ == nullptr) throw Error(Errno("open", tmp_path_));
+}
+
+TempFileWriter::~TempFileWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    std::error_code discard;
+    std::filesystem::remove(tmp_path_, discard);
+  }
+}
+
+void TempFileWriter::Write(const void* data, std::size_t size) {
+  if (size == 0) return;
+  if (std::fwrite(data, 1, size, file_) != size) {
+    throw Error(Errno("write", tmp_path_));
+  }
+}
+
+void TempFileWriter::SyncAndRename() {
+  FsyncStream(file_, tmp_path_);
+  std::fclose(file_);
+  file_ = nullptr;
+  std::error_code ec;
+  std::filesystem::rename(tmp_path_, path_, ec);
+  if (ec) {
+    throw Error("rename " + tmp_path_.string() + " -> " + path_.string() +
+                ": " + ec.message());
+  }
+  SyncParentDirectory(path_);
+}
+
+void FlushAndSync(std::FILE* file, const std::filesystem::path& path) {
+  FsyncStream(file, path);
+}
+
+void SyncParentDirectory(const std::filesystem::path& member) {
+#if !defined(_WIN32)
+  const std::filesystem::path dir =
+      member.has_parent_path() ? member.parent_path() : ".";
+  const int fd = ::open(dir.string().c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);  // Best-effort; some filesystems reject directory fsync.
+    ::close(fd);
+  }
+#else
+  (void)member;
+#endif
+}
+
+}  // namespace cgrx::storage

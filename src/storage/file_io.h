@@ -1,0 +1,76 @@
+#ifndef CGRX_SRC_STORAGE_FILE_IO_H_
+#define CGRX_SRC_STORAGE_FILE_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "src/storage/format.h"
+
+namespace cgrx::storage {
+
+/// Reads a whole file into memory; throws Error on open/read failure.
+std::vector<std::uint8_t> ReadFileBytes(const std::filesystem::path& path);
+
+/// A read-only view of a whole file, memory-mapped where the platform
+/// allows (falling back to an in-memory copy elsewhere). Snapshot loads
+/// go through this: pages fault in lazily during the parallel checksum
+/// sweep -- spread over all scheduler threads -- instead of being
+/// pulled through one serial read() up front, which was the dominant
+/// cost of opening a multi-hundred-megabyte snapshot.
+class MappedFile {
+ public:
+  static std::shared_ptr<MappedFile> Map(const std::filesystem::path& path);
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  MappedFile() = default;
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  void* mapping_ = nullptr;              ///< mmap base (posix).
+  std::vector<std::uint8_t> fallback_;   ///< Copy when not mapped.
+};
+
+/// Atomic file replacement: writes into `<path>.tmp`, then
+/// SyncAndRename() flushes, fsyncs, renames over `path` and fsyncs the
+/// containing directory. A crash at any point leaves either the old
+/// complete file or no file -- never a torn one. Destruction without
+/// SyncAndRename() discards the temporary.
+class TempFileWriter {
+ public:
+  explicit TempFileWriter(const std::filesystem::path& path);
+  ~TempFileWriter();
+
+  TempFileWriter(const TempFileWriter&) = delete;
+  TempFileWriter& operator=(const TempFileWriter&) = delete;
+
+  void Write(const void* data, std::size_t size);
+  void SyncAndRename();
+
+ private:
+  std::filesystem::path path_;
+  std::filesystem::path tmp_path_;
+  std::FILE* file_ = nullptr;
+};
+
+/// fsyncs the directory holding `member`, making a just-renamed or
+/// just-deleted directory entry durable (best-effort on filesystems
+/// where directory fsync is a no-op).
+void SyncParentDirectory(const std::filesystem::path& member);
+
+/// fflush + fsync of an open stream; throws Error naming `path` on
+/// failure. The WAL's commit point.
+void FlushAndSync(std::FILE* file, const std::filesystem::path& path);
+
+}  // namespace cgrx::storage
+
+#endif  // CGRX_SRC_STORAGE_FILE_IO_H_

@@ -1,0 +1,234 @@
+#include "src/storage/format.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "src/storage/file_io.h"
+#include "src/util/crc32.h"
+#include "src/util/task_scheduler.h"
+
+namespace cgrx::storage {
+
+util::ByteWriter* SnapshotWriter::AddSection(std::string_view name) {
+  std::string full = prefix_ + std::string(name);
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  auto [it, inserted] = state_->sections.emplace(
+      std::move(full), std::make_unique<util::ByteWriter>());
+  if (!inserted) {
+    throw Error("duplicate snapshot section: " + it->first);
+  }
+  return it->second.get();
+}
+
+std::vector<std::pair<std::string, std::vector<std::uint8_t>>>
+SnapshotWriter::TakeSections() {
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> out;
+  out.reserve(state_->sections.size());
+  for (auto& [name, writer] : state_->sections) {
+    out.emplace_back(name, writer->TakeBytes());
+  }
+  state_->sections.clear();
+  return out;  // std::map iteration order == sorted by name.
+}
+
+bool SnapshotReader::Has(std::string_view name) const {
+  return sections_->find(prefix_ + std::string(name)) != sections_->end();
+}
+
+util::ByteReader SnapshotReader::Section(std::string_view name) const {
+  const std::string full = prefix_ + std::string(name);
+  const auto it = sections_->find(full);
+  if (it == sections_->end()) {
+    throw CorruptionError("snapshot section missing: " + full);
+  }
+  return util::ByteReader(it->second.data, it->second.size);
+}
+
+namespace {
+
+std::size_t ChunkCountOf(std::size_t payload_bytes) {
+  return (payload_bytes + kSectionChunkBytes - 1) / kSectionChunkBytes;
+}
+
+/// One payload chunk awaiting a checksum (compute or verify): the unit
+/// of the parallel sweeps below.
+struct ChunkJob {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::uint32_t* out_crc;       ///< Compute sweep.
+  std::uint32_t expected_crc;   ///< Verify sweep.
+};
+
+void ParallelCrcs(std::vector<ChunkJob>* jobs) {
+  util::TaskScheduler::Global().ParallelFor(
+      0, jobs->size(), 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          *(*jobs)[i].out_crc =
+              util::Crc32c((*jobs)[i].data, (*jobs)[i].size);
+        }
+      });
+}
+
+}  // namespace
+
+void WriteSnapshotFile(const std::filesystem::path& path,
+                       const SnapshotInfo& info, SnapshotWriter writer) {
+  auto sections = writer.TakeSections();
+
+  // All chunk checksums across all sections in one parallel sweep: the
+  // CPU-bound part of a snapshot write, and embarrassingly parallel at
+  // 4 MiB granularity regardless of how lopsided the section sizes
+  // are.
+  std::vector<std::vector<std::uint32_t>> crcs(sections.size());
+  std::vector<ChunkJob> jobs;
+  for (std::size_t s = 0; s < sections.size(); ++s) {
+    const std::vector<std::uint8_t>& payload = sections[s].second;
+    crcs[s].resize(ChunkCountOf(payload.size()));
+    for (std::size_t c = 0; c < crcs[s].size(); ++c) {
+      const std::size_t offset = c * kSectionChunkBytes;
+      jobs.push_back({payload.data() + offset,
+                      std::min(kSectionChunkBytes, payload.size() - offset),
+                      &crcs[s][c], 0});
+    }
+  }
+  ParallelCrcs(&jobs);
+
+  TempFileWriter file(path);
+  {
+    util::ByteWriter header;
+    header.WriteU64(kSnapshotMagic);
+    header.WriteU32(kSnapshotVersion);
+    header.WriteU32(info.key_bits);
+    header.WriteString(info.backend);
+    header.WriteU64(info.entries);
+    header.WriteU64(info.epoch);
+    header.WriteU64(sections.size());
+    header.WriteU32(util::Crc32c(header.bytes().data(), header.size()));
+    file.Write(header.bytes().data(), header.size());
+  }
+  for (std::size_t s = 0; s < sections.size(); ++s) {
+    util::ByteWriter frame;
+    frame.WriteU32(kSectionMagic);
+    frame.WriteString(sections[s].first);
+    frame.WriteU64(sections[s].second.size());
+    frame.WriteU32(static_cast<std::uint32_t>(crcs[s].size()));
+    for (const std::uint32_t crc : crcs[s]) frame.WriteU32(crc);
+    frame.WriteU32(util::Crc32c(frame.bytes().data(), frame.size()));
+    file.Write(frame.bytes().data(), frame.size());
+    file.Write(sections[s].second.data(), sections[s].second.size());
+  }
+  file.SyncAndRename();
+}
+
+SnapshotReader ReadSnapshotFile(const std::filesystem::path& path,
+                                SnapshotInfo* info) {
+  const std::shared_ptr<MappedFile> file = MappedFile::Map(path);
+  const std::uint8_t* const base = file->data();
+  const std::size_t file_size = file->size();
+  const std::string name = path.string();
+  try {
+    util::ByteReader r(base, file_size);
+    const std::uint64_t magic = r.ReadU64();
+    if (magic != kSnapshotMagic) {
+      throw VersionMismatchError("not a cgrx snapshot file: " + name);
+    }
+    const std::uint32_t version = r.ReadU32();
+    if (version != kSnapshotVersion) {
+      throw VersionMismatchError(
+          name + ": snapshot format version " + std::to_string(version) +
+          ", this build reads version " + std::to_string(kSnapshotVersion));
+    }
+    SnapshotInfo parsed;
+    parsed.key_bits = r.ReadU32();
+    parsed.backend = r.ReadString();
+    parsed.entries = r.ReadU64();
+    parsed.epoch = r.ReadU64();
+    const std::uint64_t section_count = r.ReadU64();
+    const std::size_t header_end = file_size - r.remaining();
+    const std::uint32_t stored_crc = r.ReadU32();
+    if (util::Crc32c(base, header_end) != stored_crc) {
+      throw CorruptionError(name + ": snapshot header checksum mismatch");
+    }
+
+    auto sections = std::make_shared<SnapshotReader::SectionMap>();
+    std::vector<ChunkJob> jobs;
+    std::vector<std::uint32_t> computed;
+    // Two passes would invalidate `jobs` pointers into `computed`;
+    // reserve the exact total up front instead.
+    std::vector<const std::string*> job_section_names;
+    for (std::uint64_t s = 0; s < section_count; ++s) {
+      const std::size_t frame_start = file_size - r.remaining();
+      if (r.ReadU32() != kSectionMagic) {
+        throw CorruptionError(name + ": section frame magic mismatch");
+      }
+      std::string section_name = r.ReadString();
+      const std::uint64_t payload_bytes = r.ReadU64();
+      const std::uint32_t chunk_count = r.ReadU32();
+      if (chunk_count != ChunkCountOf(payload_bytes)) {
+        throw CorruptionError(name + ": section \"" + section_name +
+                              "\" chunk count mismatch");
+      }
+      std::vector<std::uint32_t> chunk_crcs(chunk_count);
+      for (std::uint32_t c = 0; c < chunk_count; ++c) {
+        chunk_crcs[c] = r.ReadU32();
+      }
+      const std::size_t frame_end = file_size - r.remaining();
+      const std::uint32_t frame_crc = r.ReadU32();
+      if (util::Crc32c(base + frame_start,
+                       frame_end - frame_start) != frame_crc) {
+        throw CorruptionError(name + ": section \"" + section_name +
+                              "\" frame checksum mismatch");
+      }
+      if (payload_bytes > r.remaining()) {
+        throw CorruptionError(name + ": section \"" + section_name +
+                              "\" payload truncated");
+      }
+      const std::uint8_t* payload =
+          base + (file_size - r.remaining());
+      r.Skip(static_cast<std::size_t>(payload_bytes));
+      const auto [it, inserted] = sections->emplace(
+          std::move(section_name),
+          SnapshotReader::Span{payload,
+                               static_cast<std::size_t>(payload_bytes)});
+      if (!inserted) {
+        throw CorruptionError(name + ": duplicate section \"" + it->first +
+                              "\"");
+      }
+      for (std::uint32_t c = 0; c < chunk_count; ++c) {
+        const std::size_t offset = c * kSectionChunkBytes;
+        jobs.push_back(
+            {payload + offset,
+             std::min(kSectionChunkBytes,
+                      static_cast<std::size_t>(payload_bytes) - offset),
+             nullptr, chunk_crcs[c]});
+        job_section_names.push_back(&it->first);
+      }
+    }
+    if (!r.AtEnd()) {
+      throw CorruptionError(name + ": trailing bytes after last section");
+    }
+
+    // Verify all payload chunks in one parallel sweep; report the
+    // first damaged section by name.
+    computed.resize(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      jobs[i].out_crc = &computed[i];
+    }
+    ParallelCrcs(&jobs);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (computed[i] != jobs[i].expected_crc) {
+        throw CorruptionError(name + ": section \"" +
+                              *job_section_names[i] +
+                              "\" payload checksum mismatch");
+      }
+    }
+
+    if (info != nullptr) *info = std::move(parsed);
+    return SnapshotReader(file, std::move(sections));
+  } catch (const util::SerialError& e) {
+    throw CorruptionError(name + ": " + e.what());
+  }
+}
+
+}  // namespace cgrx::storage

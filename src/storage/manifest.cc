@@ -1,0 +1,54 @@
+#include "src/storage/manifest.h"
+
+#include "src/storage/file_io.h"
+#include "src/util/crc32.h"
+#include "src/util/serial.h"
+
+namespace cgrx::storage {
+
+Manifest Manifest::Read(const std::filesystem::path& path) {
+  const std::vector<std::uint8_t> bytes = ReadFileBytes(path);
+  try {
+    util::ByteReader r(bytes);
+    if (r.ReadU64() != kManifestMagic) {
+      throw VersionMismatchError("not a cgrx manifest: " + path.string());
+    }
+    const std::uint32_t version = r.ReadU32();
+    if (version != kManifestVersion) {
+      throw VersionMismatchError(
+          path.string() + ": manifest version " + std::to_string(version) +
+          ", this build reads version " + std::to_string(kManifestVersion));
+    }
+    Manifest manifest;
+    manifest.key_bits = r.ReadU32();
+    manifest.backend = r.ReadString();
+    manifest.snapshot_file = r.ReadString();
+    manifest.snapshot_epoch = r.ReadU64();
+    manifest.wal_file = r.ReadString();
+    const std::size_t body_end = bytes.size() - r.remaining();
+    const std::uint32_t crc = r.ReadU32();
+    if (util::Crc32c(bytes.data(), body_end) != crc) {
+      throw CorruptionError(path.string() + ": manifest checksum mismatch");
+    }
+    return manifest;
+  } catch (const util::SerialError& e) {
+    throw CorruptionError(path.string() + ": " + e.what());
+  }
+}
+
+void Manifest::Write(const std::filesystem::path& path) const {
+  util::ByteWriter w;
+  w.WriteU64(kManifestMagic);
+  w.WriteU32(kManifestVersion);
+  w.WriteU32(key_bits);
+  w.WriteString(backend);
+  w.WriteString(snapshot_file);
+  w.WriteU64(snapshot_epoch);
+  w.WriteString(wal_file);
+  w.WriteU32(util::Crc32c(w.bytes().data(), w.size()));
+  TempFileWriter file(path);
+  file.Write(w.bytes().data(), w.size());
+  file.SyncAndRename();
+}
+
+}  // namespace cgrx::storage

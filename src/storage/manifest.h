@@ -1,0 +1,36 @@
+#ifndef CGRX_SRC_STORAGE_MANIFEST_H_
+#define CGRX_SRC_STORAGE_MANIFEST_H_
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "src/storage/format.h"
+
+namespace cgrx::storage {
+
+inline constexpr std::uint64_t kManifestMagic = 0x0049'4E4D'5852'4743ULL;
+inline constexpr std::uint32_t kManifestVersion = 1;
+/// File names inside an IndexStore directory.
+inline constexpr const char* kManifestFileName = "MANIFEST";
+
+/// The root of an IndexStore directory: one tiny CRC-guarded file
+/// naming the current snapshot (and the epoch it represents) and the
+/// current write-ahead log. It is replaced atomically (temp + rename),
+/// so the directory always points at one consistent
+/// (snapshot, log) pair -- the checkpoint protocol's commit point is
+/// the manifest rename (DESIGN.md Section 12).
+struct Manifest {
+  std::uint32_t key_bits = 0;
+  std::string backend;
+  std::string snapshot_file;      ///< Relative to the store directory.
+  std::uint64_t snapshot_epoch = 0;
+  std::string wal_file;           ///< Relative to the store directory.
+
+  static Manifest Read(const std::filesystem::path& path);
+  void Write(const std::filesystem::path& path) const;
+};
+
+}  // namespace cgrx::storage
+
+#endif  // CGRX_SRC_STORAGE_MANIFEST_H_

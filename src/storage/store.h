@@ -1,0 +1,217 @@
+#ifndef CGRX_SRC_STORAGE_STORE_H_
+#define CGRX_SRC_STORAGE_STORE_H_
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <utility>
+
+#include "src/storage/manifest.h"
+#include "src/storage/snapshot.h"
+#include "src/storage/wal.h"
+
+namespace cgrx::storage {
+
+/// A durable home for one index: a directory holding a manifest, the
+/// current snapshot and the current write-ahead log.
+///
+///   dir/MANIFEST              -> names the pair below (atomic swap)
+///   dir/snapshot-<epoch>.cgrx -> full state at update epoch <epoch>
+///   dir/wal-<epoch>.log       -> waves with epochs > <epoch>
+///
+/// Invariant: snapshot state + replay of the log's records with epoch >
+/// snapshot_epoch == the live index after its last logged wave. The
+/// epoch protocol keeps every transition crash-safe:
+///
+///  * LogWave appends + group-commits a wave BEFORE the dispatcher
+///    applies it (write-ahead). Crash after commit, before apply: the
+///    in-memory wave is lost but replayed on open. Crash mid-append:
+///    the torn tail is truncated and the wave was never applied
+///    durably anywhere -- its ticket never resolved.
+///  * Checkpoint(index, E) writes snapshot-<E>, starts an empty
+///    wal-<E>, then swaps the manifest; the rename is the commit
+///    point. A crash before the swap leaves the old pair fully intact;
+///    after it, the new pair is complete. Old files are deleted only
+///    after the swap (a leftover from a crash between swap and delete
+///    is garbage-collected on the next checkpoint's sweep).
+///  * Recover() loads the manifest's snapshot and replays the log
+///    records with epoch > snapshot_epoch, exactly once each --
+///    re-running Recover is idempotent because the cursor is the
+///    snapshot's recorded epoch, not file position.
+template <typename Key>
+class IndexStore {
+ public:
+  struct Recovered {
+    api::IndexPtr<Key> index;
+    /// The update epoch the recovered state represents (snapshot epoch
+    /// plus every intact logged wave) -- feed it to
+    /// IndexService::Options::initial_epoch so new waves continue the
+    /// numbering.
+    std::uint64_t epoch = 0;
+  };
+
+  /// Initializes `dir` with a snapshot of `index` at `epoch` and an
+  /// empty log. Refuses to clobber an existing store.
+  static IndexStore Create(const std::filesystem::path& dir,
+                           const api::Index<Key>& index,
+                           std::uint64_t epoch = 0) {
+    if (std::filesystem::exists(dir / kManifestFileName)) {
+      throw Error("IndexStore already exists at " + dir.string());
+    }
+    std::filesystem::create_directories(dir);
+    Manifest manifest;
+    manifest.key_bits = static_cast<std::uint32_t>(sizeof(Key)) * 8;
+    manifest.backend = std::string(index.name());
+    manifest.snapshot_file = SnapshotName(epoch);
+    manifest.snapshot_epoch = epoch;
+    manifest.wal_file = WalName(epoch);
+    SaveIndex(index, dir / manifest.snapshot_file, SaveOptions{epoch});
+    IndexStore store;
+    store.dir_ = dir;
+    store.wal_ = WriteAheadLog<Key>::Create(dir / manifest.wal_file);
+    manifest.Write(dir / kManifestFileName);
+    store.manifest_ = std::move(manifest);
+    return store;
+  }
+
+  /// Opens an existing store (manifest + log handles; no index state is
+  /// loaded until Recover()).
+  static IndexStore Open(const std::filesystem::path& dir) {
+    IndexStore store;
+    store.dir_ = dir;
+    store.manifest_ = Manifest::Read(dir / kManifestFileName);
+    if (store.manifest_.key_bits != sizeof(Key) * 8) {
+      throw Error(dir.string() + ": store holds " +
+                  std::to_string(store.manifest_.key_bits) +
+                  "-bit keys, opened as " +
+                  std::to_string(sizeof(Key) * 8) + "-bit");
+    }
+    return store;
+  }
+
+  /// Loads the snapshot and replays the log: returns the exact
+  /// pre-crash state (every wave whose append committed) and its
+  /// epoch. Replayed epochs must be consecutive from the snapshot
+  /// epoch -- a gap or duplicate means the log and snapshot disagree
+  /// about history (e.g. manual file surgery) and recovery refuses
+  /// rather than reconstructing a state that never existed.
+  Recovered Recover() {
+    Recovered out;
+    std::uint64_t snapshot_epoch = 0;
+    OpenOptions open_options;
+    open_options.epoch_out = &snapshot_epoch;
+    out.index = OpenIndex<Key>(dir_ / manifest_.snapshot_file, open_options);
+    out.epoch = snapshot_epoch;
+    // (Re)open the WAL with a replay cursor at the snapshot epoch; this
+    // also truncates any torn tail so appends resume cleanly.
+    wal_ = WriteAheadLog<Key>::Open(
+        dir_ / manifest_.wal_file,
+        [&](UpdateWave<Key> wave, std::uint64_t epoch) {
+          if (epoch != out.epoch + 1) {
+            throw CorruptionError(
+                (dir_ / manifest_.wal_file).string() +
+                ": log epoch " + std::to_string(epoch) +
+                " does not follow " + std::to_string(out.epoch));
+          }
+          out.index->UpdateBatch(std::move(wave.insert_keys),
+                                 std::move(wave.insert_rows),
+                                 std::move(wave.erase_keys));
+          out.epoch = epoch;
+        },
+        snapshot_epoch);
+    return out;
+  }
+
+  /// Write-ahead logs one wave (appended and group-committed) as the
+  /// wave completing `epoch`. Call before applying the wave to the
+  /// in-memory index -- IndexService::Options::update_observer is wired
+  /// to exactly this.
+  void LogWave(const std::vector<Key>& insert_keys,
+               const std::vector<std::uint32_t>& insert_rows,
+               const std::vector<Key>& erase_keys, std::uint64_t epoch) {
+    EnsureWalOpen();
+    wal_.AppendCommitted(insert_keys, insert_rows, erase_keys, epoch);
+  }
+
+  /// Withdraws the wave most recently logged as `epoch` -- the
+  /// write-ahead record was committed but the wave then failed to
+  /// apply, so it must not survive to be replayed
+  /// (IndexService::Options::update_rollback is wired to exactly
+  /// this).
+  void RollbackWave(std::uint64_t epoch) {
+    if (wal_.last_epoch() != epoch) {
+      throw Error(dir_.string() + ": rollback of epoch " +
+                  std::to_string(epoch) + " but log head is " +
+                  std::to_string(wal_.last_epoch()));
+    }
+    wal_.UndoLastCommit();
+  }
+
+  /// Checkpoints `index` (whose state must represent exactly `epoch`:
+  /// call through IndexService::Checkpoint for a live service, or
+  /// directly when single-threaded): writes snapshot-<epoch>, rotates
+  /// to a fresh empty log, swaps the manifest, and garbage-collects
+  /// superseded files. Afterwards recovery cost is a snapshot read --
+  /// the log is empty.
+  void Checkpoint(const api::Index<Key>& index, std::uint64_t epoch) {
+    Manifest next = manifest_;
+    next.snapshot_file = SnapshotName(epoch);
+    next.snapshot_epoch = epoch;
+    next.wal_file = WalName(epoch);
+    SaveIndex(index, dir_ / next.snapshot_file, SaveOptions{epoch});
+    WriteAheadLog<Key> fresh_wal =
+        WriteAheadLog<Key>::Create(dir_ / next.wal_file);
+    next.Write(dir_ / kManifestFileName);  // Commit point.
+    manifest_ = std::move(next);
+    wal_ = std::move(fresh_wal);
+    SweepUnreferencedFiles();
+  }
+
+  const Manifest& manifest() const { return manifest_; }
+  const std::filesystem::path& directory() const { return dir_; }
+  std::uint64_t snapshot_epoch() const { return manifest_.snapshot_epoch; }
+
+ private:
+  IndexStore() = default;
+
+  static std::string SnapshotName(std::uint64_t epoch) {
+    return "snapshot-" + std::to_string(epoch) + ".cgrx";
+  }
+  static std::string WalName(std::uint64_t epoch) {
+    return "wal-" + std::to_string(epoch) + ".log";
+  }
+
+  void EnsureWalOpen() {
+    if (wal_.path().empty()) {
+      wal_ = WriteAheadLog<Key>::Open(dir_ / manifest_.wal_file, nullptr);
+    }
+  }
+
+  /// Deletes every snapshot-*/wal-*/*.tmp file the current manifest
+  /// does not reference: the pair just superseded by a checkpoint, and
+  /// any orphans a crash left between a checkpoint's manifest swap and
+  /// its deletes (or between a snapshot write and its manifest swap).
+  void SweepUnreferencedFiles() {
+    std::error_code discard;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir_, discard)) {
+      const std::string file = entry.path().filename().string();
+      if (file == kManifestFileName || file == manifest_.snapshot_file ||
+          file == manifest_.wal_file) {
+        continue;
+      }
+      const bool sweepable = file.starts_with("snapshot-") ||
+                             file.starts_with("wal-") ||
+                             file.ends_with(".tmp");
+      if (sweepable) std::filesystem::remove(entry.path(), discard);
+    }
+  }
+
+  std::filesystem::path dir_;
+  Manifest manifest_;
+  WriteAheadLog<Key> wal_;
+};
+
+}  // namespace cgrx::storage
+
+#endif  // CGRX_SRC_STORAGE_STORE_H_

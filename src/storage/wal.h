@@ -1,0 +1,378 @@
+#ifndef CGRX_SRC_STORAGE_WAL_H_
+#define CGRX_SRC_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/update_wave.h"
+#include "src/storage/file_io.h"
+#include "src/storage/format.h"
+#include "src/util/crc32.h"
+#include "src/util/serial.h"
+
+namespace cgrx::storage {
+
+/// WAL format constants. The record framing is shared by both key
+/// widths; the header records which width the log carries.
+inline constexpr std::uint64_t kWalMagic = 0x004C'4157'5852'4743ULL;
+inline constexpr std::uint32_t kWalVersion = 1;
+inline constexpr std::uint32_t kWalRecordMagic = 0x43455257u;  // "WREC"
+
+/// One update wave as logged and replayed: the exact triple
+/// api::Index::UpdateBatch consumes. The payload encoding is the wave's
+/// canonical shape from core/update_wave.h -- insert keys with their
+/// rows plus erase keys; cancellation happens at apply time on both the
+/// original and the replay path, so replaying a logged wave reproduces
+/// the original application exactly.
+template <typename Key>
+struct UpdateWave {
+  std::vector<Key> insert_keys;
+  std::vector<std::uint32_t> insert_rows;
+  std::vector<Key> erase_keys;
+};
+
+/// Append-only write-ahead log of update waves.
+///
+///  * Append() stages a record in memory; Commit() writes every staged
+///    record with one write + flush + fsync -- group commit: a burst of
+///    waves staged between commits pays one durability round-trip.
+///  * Every record carries the epoch its wave completes plus a CRC-32C
+///    over its payload and one over its header, so Replay can both skip
+///    already-applied records (exactly-once replay by epoch) and detect
+///    damage.
+///  * Open() scans the log; a torn tail -- an append cut short by a
+///    crash, detected by a truncated or checksum-failing final record
+///    -- is truncated away and appending resumes after the last intact
+///    record. Corruption *before* the last record is not recoverable
+///    tail damage and throws CorruptionError instead.
+template <typename Key>
+class WriteAheadLog {
+ public:
+  using ReplayFn =
+      std::function<void(UpdateWave<Key> wave, std::uint64_t epoch)>;
+
+  /// Null log (no file attached); assign a Create()/Open() result
+  /// before use. Lets owners hold a WAL member before opening one.
+  WriteAheadLog() = default;
+
+  /// Creates (truncates) a fresh log holding only the header.
+  static WriteAheadLog Create(const std::filesystem::path& path) {
+    util::ByteWriter header;
+    header.WriteU64(kWalMagic);
+    header.WriteU32(kWalVersion);
+    header.WriteU32(static_cast<std::uint32_t>(sizeof(Key)) * 8);
+    header.WriteU32(util::Crc32c(header.bytes().data(), header.size()));
+    {
+      TempFileWriter file(path);
+      file.Write(header.bytes().data(), header.size());
+      file.SyncAndRename();
+    }
+    return Open(path, nullptr);
+  }
+
+  /// Opens an existing log, replaying every intact record with epoch >
+  /// `after_epoch` through `replay` (in append order), truncating a
+  /// torn tail, and positioning for appends.
+  static WriteAheadLog Open(const std::filesystem::path& path,
+                            ReplayFn replay, std::uint64_t after_epoch = 0) {
+    WriteAheadLog wal;
+    wal.path_ = path;
+    const std::vector<std::uint8_t> bytes = ReadFileBytes(path);
+    const std::size_t intact_end =
+        ScanRecords(bytes, path.string(),
+                    [&](std::uint64_t epoch, util::ByteReader payload) {
+                      wal.last_epoch_ = epoch;
+                      if (replay != nullptr && epoch > after_epoch) {
+                        replay(DecodeWave(&payload), epoch);
+                      }
+                    });
+    if (intact_end < bytes.size()) {
+      // Torn tail: drop the incomplete append so the next record lands
+      // on a clean boundary.
+      std::filesystem::resize_file(path, intact_end);
+    }
+    wal.durable_size_ = intact_end;
+    wal.file_ = std::fopen(path.string().c_str(), "ab");
+    if (wal.file_ == nullptr) {
+      throw Error("open " + path.string() + " for append failed");
+    }
+    return wal;
+  }
+
+  WriteAheadLog(WriteAheadLog&& other) noexcept { *this = std::move(other); }
+  WriteAheadLog& operator=(WriteAheadLog&& other) noexcept {
+    Close();
+    path_ = std::move(other.path_);
+    file_ = std::exchange(other.file_, nullptr);
+    staged_ = std::move(other.staged_);
+    last_epoch_ = other.last_epoch_;
+    durable_size_ = other.durable_size_;
+    pre_commit_size_ = other.pre_commit_size_;
+    pre_commit_last_epoch_ = other.pre_commit_last_epoch_;
+    return *this;
+  }
+  ~WriteAheadLog() { Close(); }
+
+  /// Stages one wave record (nothing durable yet -- call Commit()).
+  /// The reference overload serializes straight from the caller's
+  /// vectors -- the hot write path (LogWave per dispatcher wave) pays
+  /// no intermediate copies.
+  void Append(const std::vector<Key>& insert_keys,
+              const std::vector<std::uint32_t>& insert_rows,
+              const std::vector<Key>& erase_keys, std::uint64_t epoch) {
+    if (staged_.empty()) pre_commit_last_epoch_ = last_epoch_;
+    util::ByteWriter payload;
+    payload.WritePodVector(insert_keys);
+    payload.WritePodVector(insert_rows);
+    payload.WritePodVector(erase_keys);
+    util::ByteWriter record;
+    record.WriteU32(kWalRecordMagic);
+    record.WriteU64(epoch);
+    record.WriteU64(payload.size());
+    record.WriteU32(util::Crc32c(payload.bytes().data(), payload.size()));
+    record.WriteU32(util::Crc32c(record.bytes().data(), record.size()));
+    staged_.insert(staged_.end(), record.bytes().begin(),
+                   record.bytes().end());
+    staged_.insert(staged_.end(), payload.bytes().begin(),
+                   payload.bytes().end());
+    last_epoch_ = epoch;
+  }
+
+  void Append(const UpdateWave<Key>& wave, std::uint64_t epoch) {
+    Append(wave.insert_keys, wave.insert_rows, wave.erase_keys, epoch);
+  }
+
+  /// Group commit: writes every staged record and makes them durable
+  /// with a single flush + fsync. Failure-atomic: if the write or the
+  /// sync fails, the staged records are dropped and the file is
+  /// truncated back to its pre-commit size -- a failed Commit leaves
+  /// no record (partial or whole) for waves whose tickets failed, and
+  /// their epochs stay free for the next wave. (Without this, a short
+  /// write would leave a torn record mid-file and the re-used epoch
+  /// would collide, making recovery refuse the store.)
+  void Commit() {
+    if (staged_.empty()) return;
+    pre_commit_size_ = durable_size_;
+    const std::size_t staged_bytes = staged_.size();
+    try {
+      if (std::fwrite(staged_.data(), 1, staged_bytes, file_) !=
+          staged_bytes) {
+        throw Error("append to " + path_.string() + " failed");
+      }
+      FlushAndSync(file_, path_);
+    } catch (...) {
+      staged_.clear();
+      last_epoch_ = pre_commit_last_epoch_;
+      TruncateTo(pre_commit_size_);  // May itself throw: graver, wins.
+      throw;
+    }
+    durable_size_ += staged_bytes;
+    staged_.clear();
+  }
+
+  /// Append + Commit in one call (one record per durability point).
+  void AppendCommitted(const std::vector<Key>& insert_keys,
+                       const std::vector<std::uint32_t>& insert_rows,
+                       const std::vector<Key>& erase_keys,
+                       std::uint64_t epoch) {
+    Append(insert_keys, insert_rows, erase_keys, epoch);
+    Commit();
+  }
+
+  void AppendCommitted(const UpdateWave<Key>& wave, std::uint64_t epoch) {
+    Append(wave, epoch);
+    Commit();
+  }
+
+  /// Rolls back the most recent Commit(): truncates the file to its
+  /// pre-commit size and restores the epoch high-water mark. The
+  /// durable layer uses this when a write-ahead-logged wave then FAILS
+  /// to apply to the index -- the record must be withdrawn, or crash
+  /// recovery would replay a wave the live system rejected (and the
+  /// next wave would reuse its epoch). Only valid immediately after a
+  /// Commit with no intervening Append.
+  void UndoLastCommit() {
+    if (!staged_.empty()) {
+      throw Error("UndoLastCommit with staged records on " +
+                  path_.string());
+    }
+    TruncateTo(pre_commit_size_);
+    last_epoch_ = pre_commit_last_epoch_;
+  }
+
+  /// Highest epoch seen (replayed or appended); 0 for a fresh log.
+  std::uint64_t last_epoch() const { return last_epoch_; }
+  const std::filesystem::path& path() const { return path_; }
+
+  void Close() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+  }
+
+ private:
+  /// Truncates the file to `size` and repositions for appends.
+  void TruncateTo(std::size_t size) {
+    std::fclose(file_);
+    file_ = nullptr;
+    std::filesystem::resize_file(path_, size);
+    file_ = std::fopen(path_.string().c_str(), "ab");
+    if (file_ == nullptr) {
+      throw Error("reopen " + path_.string() + " for append failed");
+    }
+    FlushAndSync(file_, path_);
+    durable_size_ = size;
+  }
+
+  static UpdateWave<Key> DecodeWave(util::ByteReader* payload) {
+    UpdateWave<Key> wave;
+    wave.insert_keys = payload->ReadPodVector<Key>();
+    wave.insert_rows = payload->ReadPodVector<std::uint32_t>();
+    wave.erase_keys = payload->ReadPodVector<Key>();
+    return wave;
+  }
+
+  /// Walks `bytes`, invoking `fn` for every intact record; returns the
+  /// offset just past the last intact record (the truncation point when
+  /// a torn tail follows). Throws VersionMismatchError/CorruptionError
+  /// on a bad header; a record that fails validation is treated as the
+  /// torn tail and everything from it on is discarded -- but if MORE
+  /// intact-looking bytes follow a corrupt record, the file is damaged
+  /// in the middle and CorruptionError is thrown, because silently
+  /// skipping applied updates would un-apply history.
+  template <typename Fn>
+  static std::size_t ScanRecords(const std::vector<std::uint8_t>& bytes,
+                                 const std::string& name, Fn&& fn) {
+    util::ByteReader r(bytes);
+    try {
+      if (r.ReadU64() != kWalMagic) {
+        throw VersionMismatchError("not a cgrx WAL file: " + name);
+      }
+      const std::uint32_t version = r.ReadU32();
+      if (version != kWalVersion) {
+        throw VersionMismatchError(
+            name + ": WAL format version " + std::to_string(version) +
+            ", this build reads version " + std::to_string(kWalVersion));
+      }
+      const std::uint32_t key_bits = r.ReadU32();
+      const std::size_t header_end = bytes.size() - r.remaining();
+      const std::uint32_t header_crc = r.ReadU32();
+      if (util::Crc32c(bytes.data(), header_end) != header_crc) {
+        throw CorruptionError(name + ": WAL header checksum mismatch");
+      }
+      if (key_bits != sizeof(Key) * 8) {
+        throw Error(name + ": WAL holds " + std::to_string(key_bits) +
+                    "-bit keys, opened as " +
+                    std::to_string(sizeof(Key) * 8) + "-bit");
+      }
+    } catch (const util::SerialError&) {
+      throw CorruptionError(name + ": WAL header truncated");
+    }
+
+    std::size_t intact_end = bytes.size() - r.remaining();
+    while (!r.AtEnd()) {
+      const std::size_t record_start = bytes.size() - r.remaining();
+      std::uint64_t epoch = 0;
+      std::uint64_t payload_bytes = 0;
+      std::uint32_t payload_crc = 0;
+      bool intact = true;
+      try {
+        intact = r.ReadU32() == kWalRecordMagic;
+        if (intact) {
+          epoch = r.ReadU64();
+          payload_bytes = r.ReadU64();
+          payload_crc = r.ReadU32();
+          const std::size_t header_end = bytes.size() - r.remaining();
+          const std::uint32_t header_crc = r.ReadU32();
+          intact = util::Crc32c(bytes.data() + record_start,
+                                header_end - record_start) == header_crc &&
+                   payload_bytes <= r.remaining();
+        }
+      } catch (const util::SerialError&) {
+        intact = false;  // Header itself cut short.
+      }
+      if (intact &&
+          util::Crc32c(bytes.data() + (bytes.size() - r.remaining()),
+                       static_cast<std::size_t>(payload_bytes)) !=
+              payload_crc) {
+        intact = false;
+      }
+      if (!intact) {
+        // Only an actual tail may be torn: the final record of the
+        // file, cut short mid-append. A fully VALID record parsing
+        // after the damage means the damage is mid-file -- truncating
+        // there would silently un-apply logged history, so refuse.
+        // (Validation, not just the magic bytes: a torn payload may
+        // legitimately contain the 4-byte magic sequence in user key
+        // data, and that must still truncate as a torn tail.)
+        if (AnyValidRecordAfter(bytes, record_start + 1)) {
+          throw CorruptionError(
+              name + ": corrupt WAL record at offset " +
+              std::to_string(record_start) + " with intact data after it");
+        }
+        return intact_end;
+      }
+      util::ByteReader payload(
+          bytes.data() + (bytes.size() - r.remaining()),
+          static_cast<std::size_t>(payload_bytes));
+      r.Skip(static_cast<std::size_t>(payload_bytes));
+      fn(epoch, payload);
+      intact_end = bytes.size() - r.remaining();
+    }
+    return intact_end;
+  }
+
+  /// True when a complete, checksum-valid record parses anywhere at or
+  /// after `from` -- the mid-file-corruption discriminator.
+  static bool AnyValidRecordAfter(const std::vector<std::uint8_t>& bytes,
+                                  std::size_t from) {
+    for (std::size_t i = from; i + 4 <= bytes.size(); ++i) {
+      if (bytes[i] != (kWalRecordMagic & 0xff) ||
+          bytes[i + 1] != ((kWalRecordMagic >> 8) & 0xff) ||
+          bytes[i + 2] != ((kWalRecordMagic >> 16) & 0xff) ||
+          bytes[i + 3] != ((kWalRecordMagic >> 24) & 0xff)) {
+        continue;
+      }
+      util::ByteReader r(bytes.data() + i, bytes.size() - i);
+      try {
+        r.Skip(4);  // Magic, matched above.
+        r.ReadU64();
+        const std::uint64_t payload_bytes = r.ReadU64();
+        const std::uint32_t payload_crc = r.ReadU32();
+        const std::size_t header_end = (bytes.size() - i) - r.remaining();
+        const std::uint32_t header_crc = r.ReadU32();
+        if (util::Crc32c(bytes.data() + i, header_end) != header_crc ||
+            payload_bytes > r.remaining()) {
+          continue;
+        }
+        if (util::Crc32c(bytes.data() + i + (bytes.size() - i -
+                                             r.remaining()),
+                         static_cast<std::size_t>(payload_bytes)) ==
+            payload_crc) {
+          return true;
+        }
+      } catch (const util::SerialError&) {
+        // Ran off the end: not a valid record here.
+      }
+    }
+    return false;
+  }
+
+  std::filesystem::path path_;
+  std::FILE* file_ = nullptr;
+  std::vector<std::uint8_t> staged_;
+  std::uint64_t last_epoch_ = 0;
+  std::size_t durable_size_ = 0;           ///< File bytes committed.
+  std::size_t pre_commit_size_ = 0;        ///< For UndoLastCommit.
+  std::uint64_t pre_commit_last_epoch_ = 0;
+};
+
+}  // namespace cgrx::storage
+
+#endif  // CGRX_SRC_STORAGE_WAL_H_

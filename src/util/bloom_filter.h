@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/util/serial.h"
+
 namespace cgrx::util {
 
 /// Blocked Bloom filter in the style of the GPU filters the paper cites
@@ -62,6 +64,18 @@ class BloomFilter {
 
   std::size_t MemoryFootprintBytes() const {
     return words_.size() * sizeof(std::uint64_t);
+  }
+
+  /// Snapshot support: the bit array is state (rebuilt only on a full
+  /// index rebuild), so it is persisted verbatim.
+  void SaveState(ByteWriter* out) const {
+    out->WriteU64(num_blocks_);
+    out->WritePodVector(words_);
+  }
+
+  void LoadState(ByteReader* in) {
+    num_blocks_ = static_cast<std::size_t>(in->ReadU64());
+    words_ = in->ReadPodVector<std::uint64_t>();
   }
 
  private:

@@ -1,0 +1,56 @@
+#include "src/util/crc32.h"
+
+#include <array>
+
+namespace cgrx::util {
+namespace {
+
+/// 8 tables of 256 entries: table[0] is the plain byte-at-a-time table
+/// for reflected 0x82F63B78; table[k][b] extends table[k-1] by one more
+/// zero byte, which is what lets the hot loop fold 8 input bytes per
+/// iteration (slice-by-8).
+struct Crc32cTables {
+  std::uint32_t t[8][256];
+
+  constexpr Crc32cTables() : t{} {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      for (int k = 1; k < 8; ++k) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xff];
+      }
+    }
+  }
+};
+
+constexpr Crc32cTables kTables;
+
+}  // namespace
+
+std::uint32_t Crc32c(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  while (size >= 8) {
+    const std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(p[0]) |
+                                    (static_cast<std::uint32_t>(p[1]) << 8) |
+                                    (static_cast<std::uint32_t>(p[2]) << 16) |
+                                    (static_cast<std::uint32_t>(p[3]) << 24));
+    crc = kTables.t[7][lo & 0xff] ^ kTables.t[6][(lo >> 8) & 0xff] ^
+          kTables.t[5][(lo >> 16) & 0xff] ^ kTables.t[4][lo >> 24] ^
+          kTables.t[3][p[4]] ^ kTables.t[2][p[5]] ^ kTables.t[1][p[6]] ^
+          kTables.t[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p++) & 0xff];
+  }
+  return ~crc;
+}
+
+}  // namespace cgrx::util

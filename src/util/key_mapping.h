@@ -132,11 +132,27 @@ class KeyMapping {
   float step_y() const { return y_scale_; }
   float step_z() const { return z_scale_; }
 
+  /// Scale exponents (scales are exact powers of two, so the exponent
+  /// is just the float's biased exponent field). Together with the bit
+  /// budgets these five integers reproduce the mapping exactly, which
+  /// is how the persistence layer serializes it.
+  int y_scale_log2() const { return ScaleLog2(y_scale_); }
+  int z_scale_log2() const { return ScaleLog2(z_scale_); }
+
   friend bool operator==(const KeyMapping&, const KeyMapping&) = default;
 
  private:
   static std::uint64_t Mask(int bits) {
     return bits == 0 ? 0 : (~0ULL >> (64 - bits));
+  }
+
+  static int ScaleLog2(float scale) {
+    int log2 = 0;
+    while (scale > 1.0f) {
+      scale *= 0.5f;
+      ++log2;
+    }
+    return log2;
   }
 
   int x_bits_;

@@ -1,0 +1,182 @@
+#ifndef CGRX_SRC_UTIL_SERIAL_H_
+#define CGRX_SRC_UTIL_SERIAL_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace cgrx::util {
+
+// The on-disk formats built on these primitives (snapshot sections, WAL
+// records, manifest) are defined little-endian. Scalars are written
+// byte-by-byte so the encoders are endian-agnostic, but trivially
+// copyable arrays (BVH node arrays, key columns) are written with one
+// memcpy for speed, which assumes a little-endian host. Every currently
+// supported target is little-endian; a big-endian port would add a swap
+// pass in WritePodVector/ReadPodVector.
+static_assert(std::endian::native == std::endian::little,
+              "storage formats are little-endian; see util/serial.h");
+
+/// Thrown by ByteReader on truncated or malformed input (the storage
+/// layer wraps it into a CorruptionError with file context).
+class SerialError : public std::runtime_error {
+ public:
+  explicit SerialError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only little-endian encoder over a growable byte buffer. One
+/// ByteWriter holds one logical payload (a snapshot section, a WAL
+/// record); framing and checksums are the storage layer's job.
+class ByteWriter {
+ public:
+  void WriteU8(std::uint8_t v) { bytes_.push_back(v); }
+
+  void WriteU16(std::uint16_t v) {
+    WriteU8(static_cast<std::uint8_t>(v));
+    WriteU8(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void WriteU32(std::uint32_t v) {
+    WriteU16(static_cast<std::uint16_t>(v));
+    WriteU16(static_cast<std::uint16_t>(v >> 16));
+  }
+
+  void WriteU64(std::uint64_t v) {
+    WriteU32(static_cast<std::uint32_t>(v));
+    WriteU32(static_cast<std::uint32_t>(v >> 32));
+  }
+
+  void WriteI32(std::int32_t v) { WriteU32(static_cast<std::uint32_t>(v)); }
+  void WriteI64(std::int64_t v) { WriteU64(static_cast<std::uint64_t>(v)); }
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+  void WriteFloat(float v) { WriteU32(std::bit_cast<std::uint32_t>(v)); }
+  void WriteDouble(double v) { WriteU64(std::bit_cast<std::uint64_t>(v)); }
+
+  void WriteBytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + size);
+  }
+
+  /// Length-prefixed string.
+  void WriteString(std::string_view s) {
+    WriteU32(static_cast<std::uint32_t>(s.size()));
+    WriteBytes(s.data(), s.size());
+  }
+
+  /// Length-prefixed array of trivially copyable elements, written raw
+  /// (see the endianness note above). Element layouts with padding
+  /// bytes round-trip exactly but may embed indeterminate padding in
+  /// the file, which the checksums treat like any other payload byte.
+  template <typename T>
+  void WritePodVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU64(v.size());
+    WriteBytes(v.data(), v.size() * sizeof(T));
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> TakeBytes() { return std::move(bytes_); }
+  std::size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed byte span.
+/// Every read past the end throws SerialError instead of reading
+/// garbage, so a corrupted length field cannot walk the reader out of
+/// its buffer.
+class ByteReader {
+ public:
+  ByteReader(const void* data, std::size_t size)
+      : data_(static_cast<const std::uint8_t*>(data)), size_(size) {}
+
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  std::uint8_t ReadU8() {
+    Need(1);
+    return data_[pos_++];
+  }
+
+  std::uint16_t ReadU16() {
+    const std::uint16_t lo = ReadU8();
+    return static_cast<std::uint16_t>(lo |
+                                      (static_cast<std::uint16_t>(ReadU8())
+                                       << 8));
+  }
+
+  std::uint32_t ReadU32() {
+    const std::uint32_t lo = ReadU16();
+    return lo | (static_cast<std::uint32_t>(ReadU16()) << 16);
+  }
+
+  std::uint64_t ReadU64() {
+    const std::uint64_t lo = ReadU32();
+    return lo | (static_cast<std::uint64_t>(ReadU32()) << 32);
+  }
+
+  std::int32_t ReadI32() { return static_cast<std::int32_t>(ReadU32()); }
+  std::int64_t ReadI64() { return static_cast<std::int64_t>(ReadU64()); }
+  bool ReadBool() { return ReadU8() != 0; }
+  float ReadFloat() { return std::bit_cast<float>(ReadU32()); }
+  double ReadDouble() { return std::bit_cast<double>(ReadU64()); }
+
+  void ReadBytes(void* out, std::size_t size) {
+    Need(size);
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+  }
+
+  std::string ReadString() {
+    const std::uint32_t size = ReadU32();
+    Need(size);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), size);
+    pos_ += size;
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> ReadPodVector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t count = ReadU64();
+    // Guard the multiply: a corrupt count must fail the bounds check,
+    // not overflow into a small allocation.
+    if (count > remaining() / sizeof(T)) {
+      throw SerialError("pod vector length exceeds payload");
+    }
+    std::vector<T> v(static_cast<std::size_t>(count));
+    ReadBytes(v.data(), v.size() * sizeof(T));
+    return v;
+  }
+
+  /// Advances past `n` bytes without copying them.
+  void Skip(std::size_t n) {
+    Need(n);
+    pos_ += n;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  void Need(std::size_t n) const {
+    if (size_ - pos_ < n) {
+      throw SerialError("payload truncated: need " + std::to_string(n) +
+                        " bytes, " + std::to_string(size_ - pos_) + " left");
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cgrx::util
+
+#endif  // CGRX_SRC_UTIL_SERIAL_H_
