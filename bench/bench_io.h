@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <string>
 
+#include "src/util/fs.h"
+
 namespace cgrx::bench {
 
 /// Shared output-path policy for the standalone bench binaries: every
@@ -36,8 +38,10 @@ class OutputPath {
       dir = fs::exists("CMakeCache.txt") ? fs::path("bench")
                                          : fs::path("build") / "bench";
     }
-    std::error_code discard;
-    fs::create_directories(dir, discard);
+    // Shared directory-creation policy with the network tier's store
+    // roots: failures are reported (a silently missing directory used
+    // to surface later as an unwritable JSON path).
+    util::EnsureDir(dir);
     return (dir / file).string();
   }
 };

@@ -1,0 +1,109 @@
+// Network serving walkthrough: start the RPC server, talk to it over
+// loopback TCP with the blocking client -- open a durable index, write
+// through a session, read your own write back over a *second*
+// connection -- then simulate a crash (the server object is simply
+// dropped mid-flight, no checkpoint) and restart over the same store
+// directory: the write-ahead log replays every acknowledged wave, and
+// the reopened index answers over the wire exactly as before. Finishes
+// with a peek at the Prometheus /metrics text the same port serves to
+// any HTTP scraper.
+//
+//   ./serve_client [store-directory]
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/net/socket.h"
+
+int main(int argc, char** argv) {
+  using cgrx::net::Client;
+  using cgrx::net::Server;
+  using cgrx::net::Socket;
+
+  const std::filesystem::path root =
+      argc > 1 ? std::filesystem::path(argv[1])
+               : std::filesystem::temp_directory_path() /
+                     "cgrx_serve_client_example";
+  std::filesystem::remove_all(root);
+
+  std::cout << "== 1. start the server ==\n";
+  Server::Options options;
+  options.root = root;
+  auto server = std::make_unique<Server>(options);
+  std::cout << "serving on 127.0.0.1:" << server->port() << " (store: "
+            << root.string() << ")\n";
+
+  std::cout << "\n== 2. open an index and write through a session ==\n";
+  Client writer("localhost", server->port());
+  const Client::OpenReply open = writer.OpenIndex("orders", "cgrxu");
+  std::cout << "open_index(orders, cgrxu): epoch " << open.epoch
+            << ", entries " << open.entries << "\n";
+  const Client::SessionReply session = writer.CreateSession();
+  std::cout << "create_session: id " << session.session_id << "\n";
+
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint32_t> rows;
+  for (std::uint64_t k = 1; k <= 10'000; ++k) {
+    keys.push_back(k * 7);
+    rows.push_back(static_cast<std::uint32_t>(k));
+  }
+  const Client::UpdateReply write =
+      writer.Update("orders", keys, rows, {});
+  std::cout << "update(10k keys): epoch " << write.epoch << ", entries "
+            << write.entries << "\n";
+
+  std::cout << "\n== 3. read your write from a second connection ==\n";
+  Client reader("localhost", server->port());
+  reader.UseSession(session.session_id);  // Same session, new socket.
+  const Client::LookupReply read = reader.PointLookup("orders", {7, 70});
+  std::cout << "point_lookup(7, 70) at epoch " << read.epoch << ": rows "
+            << read.results[0].row_id_sum << ", "
+            << read.results[1].row_id_sum
+            << " (session held the read until epoch >= " << write.epoch
+            << ")\n";
+
+  std::cout << "\n== 4. crash ==\n";
+  // No close_index, no checkpoint: the server is simply dropped. Every
+  // acknowledged wave is already in the write-ahead log.
+  server.reset();
+  std::cout << "server gone; store directory survives\n";
+
+  std::cout << "\n== 5. restart and recover over the wire ==\n";
+  server = std::make_unique<Server>(options);
+  Client after("localhost", server->port());
+  // Empty backend: recover whatever the store directory holds.
+  const Client::OpenReply reopened = after.OpenIndex("orders", "");
+  std::cout << "open_index(orders): recovered epoch " << reopened.epoch
+            << ", entries " << reopened.entries << "\n";
+  const Client::LookupReply replay = after.PointLookup("orders", {7, 70});
+  const bool intact = replay.ok() && replay.results.size() == 2 &&
+                      replay.results[0].row_id_sum == 1 &&
+                      replay.results[1].row_id_sum == 10;
+  std::cout << "point_lookup(7, 70): rows " << replay.results[0].row_id_sum
+            << ", " << replay.results[1].row_id_sum << " -> "
+            << (intact ? "recovered intact" : "MISMATCH") << "\n";
+
+  std::cout << "\n== 6. scrape /metrics over HTTP on the same port ==\n";
+  Socket http = Socket::Connect("localhost", server->port());
+  const std::string request = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  http.WriteAll(request.data(), request.size());
+  std::string response;
+  char c;
+  while (http.ReadFull(&c, 1)) response.push_back(c);
+  // Print just the per-index gauges from the scrape.
+  for (std::size_t pos = 0; pos < response.size();) {
+    std::size_t end = response.find('\n', pos);
+    if (end == std::string::npos) end = response.size();
+    const std::string line = response.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.rfind("cgrx_index_", 0) == 0) std::cout << "  " << line << "\n";
+  }
+
+  server->Stop();
+  std::cout << "\ndone\n";
+  return intact ? 0 : 1;
+}

@@ -28,13 +28,50 @@ IndexService<Key>::IndexService(IndexPtr<Key> index,
 
 template <typename Key>
 IndexService<Key>::~IndexService() {
+  Close();
+}
+
+template <typename Key>
+void IndexService<Key>::Close() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!stopping_) {
+      stopping_ = true;  // This caller owns the join below.
+    } else if (!close_finished_) {
+      // Another thread is closing: wait for it so Close() returning
+      // means "fully closed" for every caller.
+      idle_.wait(lock, [this] { return close_finished_; });
+      return;
+    } else {
+      return;  // Already closed.
+    }
   }
   work_ready_.notify_all();
   space_available_.notify_all();  // Unblock backpressured submitters.
-  dispatcher_.join();
+  epoch_advanced_.notify_all();   // Unblock epoch waiters.
+  dispatcher_.join();             // Run() drains the queue first.
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    close_finished_ = true;
+  }
+  idle_.notify_all();
+}
+
+template <typename Key>
+bool IndexService<Key>::closed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stopping_;
+}
+
+template <typename Key>
+bool IndexService<Key>::WaitForEpoch(std::uint64_t target,
+                                     std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  epoch_advanced_.wait_for(lock, timeout, [&] {
+    return stopping_ ||
+           completed_epoch_.load(std::memory_order_acquire) >= target;
+  });
+  return completed_epoch_.load(std::memory_order_acquire) >= target;
 }
 
 template <typename Key>
@@ -103,7 +140,9 @@ IndexStats IndexService<Key>::Stats() {
   Op op;
   op.kind = Op::Kind::kStats;
   std::future<IndexStats> ticket = op.stats_done.get_future();
-  Enqueue(std::move(op));
+  // Bypass backpressure: a metrics scrape during overload should
+  // report the congestion, not block behind it.
+  Enqueue(std::move(op), /*respect_limit=*/false);
   return ticket.get();
 }
 
@@ -114,10 +153,16 @@ std::size_t IndexService<Key>::pending() const {
 }
 
 template <typename Key>
-void IndexService<Key>::Enqueue(Op op) {
+std::size_t IndexService<Key>::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+template <typename Key>
+void IndexService<Key>::Enqueue(Op op, bool respect_limit) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    if (options_.queue_limit > 0) {
+    if (respect_limit && options_.queue_limit > 0) {
       // Blocking backpressure: a full queue parks the submitter until
       // the dispatcher admits a wave (which is what pops the queue).
       space_available_.wait(lock, [this] {
@@ -233,6 +278,13 @@ void IndexService<Key>::Execute(Op& op) {
         payload.epoch =
             completed_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
         payload.entries = index_->size();
+        {
+          // Empty critical section: orders the epoch bump against a
+          // WaitForEpoch caller that checked the counter and is about
+          // to park (it holds mutex_ until it actually waits).
+          const std::lock_guard<std::mutex> lock(mutex_);
+        }
+        epoch_advanced_.notify_all();
         op.update_done.set_value(payload);
       } catch (...) {
         if (observed && options_.update_rollback) {

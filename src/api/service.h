@@ -2,6 +2,7 @@
 #define CGRX_SRC_API_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -115,7 +116,8 @@ class IndexService {
   /// the index itself was built from.
   IndexService(IndexPtr<Key> index, const IndexOptions& index_options);
 
-  /// Drains every queued submission, then stops the dispatcher.
+  /// Equivalent to Close(): drains every queued submission, then stops
+  /// the dispatcher.
   ~IndexService();
 
   IndexService(const IndexService&) = delete;
@@ -150,11 +152,32 @@ class IndexService {
   std::future<std::uint64_t> Checkpoint(
       std::function<void(const Index<Key>&, std::uint64_t)> writer);
 
+  /// Graceful shutdown: stops accepting submissions (Submit* and
+  /// Stats() throw afterwards), drains the queue, resolves every
+  /// in-flight ticket, then joins the dispatcher. Idempotent and safe
+  /// to call concurrently; a second caller blocks until the first
+  /// finishes. The destructor calls it, but the network tier's index
+  /// router needs the explicit form: close/evict an index while the
+  /// process keeps serving others.
+  void Close();
+
+  /// True once Close() has begun; submissions are already rejected.
+  bool closed() const;
+
   /// Last completed update epoch (`initial_epoch` until the first wave
   /// applies).
   std::uint64_t epoch() const {
     return completed_epoch_.load(std::memory_order_acquire);
   }
+
+  /// Blocks until epoch() >= `target`, the service closes, or `timeout`
+  /// elapses; true iff the epoch was reached. The session layer's
+  /// read-your-writes barrier: a router holds a session's reads here
+  /// until the service has completed the session's last acknowledged
+  /// write epoch.
+  bool WaitForEpoch(std::uint64_t target,
+                    std::chrono::milliseconds timeout =
+                        std::chrono::milliseconds(30'000)) const;
 
   /// Blocks until every submission enqueued before this call has
   /// completed.
@@ -166,6 +189,15 @@ class IndexService {
 
   /// Number of submissions not yet completed (queued or executing).
   std::size_t pending() const;
+
+  /// Number of submissions queued behind the dispatcher (admitted but
+  /// not yet dispatched) -- the /metrics queue-depth gauge; pending()
+  /// additionally counts the wave currently executing.
+  std::size_t queue_depth() const;
+
+  /// The construction-time queue limit (0 = unbounded), for
+  /// observability alongside queue_depth().
+  std::size_t queue_limit() const { return options_.queue_limit; }
 
  private:
   struct Op {
@@ -195,7 +227,10 @@ class IndexService {
     }
   };
 
-  void Enqueue(Op op);
+  /// `respect_limit` = false bypasses the blocking backpressure wait:
+  /// used by Stats() so a metrics scrape during overload reports the
+  /// congestion instead of joining it.
+  void Enqueue(Op op, bool respect_limit = true);
   void Run();
   void Execute(Op& op);
   void ExecuteReadWave(std::vector<Op>* wave);
@@ -206,9 +241,11 @@ class IndexService {
   std::condition_variable work_ready_;
   std::condition_variable idle_;
   std::condition_variable space_available_;  ///< Backpressure wakeups.
+  mutable std::condition_variable epoch_advanced_;  ///< WaitForEpoch wakeups.
   std::deque<Op> queue_;
   std::size_t in_flight_ = 0;  ///< Queued plus currently executing.
   bool stopping_ = false;
+  bool close_finished_ = false;  ///< Dispatcher joined by Close().
   std::atomic<std::uint64_t> completed_epoch_;
   std::thread dispatcher_;
 };

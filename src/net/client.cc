@@ -1,0 +1,204 @@
+#include "src/net/client.h"
+
+#include <utility>
+
+namespace cgrx::net {
+
+namespace {
+
+/// Decodes the shared response header into any ReplyBase-derived reply;
+/// true when a kOk body follows.
+template <typename Reply>
+bool DecodeHeader(util::ByteReader* in, Reply* reply) {
+  const ResponseHeader header = ResponseHeader::Decode(in);
+  reply->status = header.status;
+  reply->message = header.message;
+  return header.ok();
+}
+
+}  // namespace
+
+Client::Client(const std::string& host, std::uint16_t port)
+    : socket_(Socket::Connect(host, port)) {
+  socket_.SetNoDelay();
+}
+
+util::ByteWriter Client::Request(Verb verb, const std::string& index) const {
+  util::ByteWriter out;
+  RequestHeader header;
+  header.verb = verb;
+  header.session_id = session_id_;
+  header.index = index;
+  header.Encode(&out);
+  return out;
+}
+
+void Client::Send(const util::ByteWriter& request) {
+  const std::vector<std::uint8_t>& body = request.bytes();
+  std::vector<std::uint8_t> buffer;
+  buffer.reserve(4 + body.size());
+  const auto len = static_cast<std::uint32_t>(body.size());
+  buffer.push_back(static_cast<std::uint8_t>(len));
+  buffer.push_back(static_cast<std::uint8_t>(len >> 8));
+  buffer.push_back(static_cast<std::uint8_t>(len >> 16));
+  buffer.push_back(static_cast<std::uint8_t>(len >> 24));
+  buffer.insert(buffer.end(), body.begin(), body.end());
+  socket_.WriteAll(buffer.data(), buffer.size());
+}
+
+bool Client::Receive(std::vector<std::uint8_t>* payload) {
+  std::uint8_t head[4];
+  if (!socket_.ReadFull(head, sizeof(head))) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(head[0]) |
+                            (static_cast<std::uint32_t>(head[1]) << 8) |
+                            (static_cast<std::uint32_t>(head[2]) << 16) |
+                            (static_cast<std::uint32_t>(head[3]) << 24);
+  payload->resize(len);
+  if (len > 0 && !socket_.ReadFull(payload->data(), payload->size())) {
+    throw Error("server closed mid-frame");
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> Client::Call(const util::ByteWriter& request) {
+  Send(request);
+  std::vector<std::uint8_t> payload;
+  if (!Receive(&payload)) {
+    throw Error("server closed the connection without answering");
+  }
+  return payload;
+}
+
+Client::PingReply Client::Ping() {
+  const auto payload = Call(Request(Verb::kPing, ""));
+  util::ByteReader in(payload);
+  PingReply reply;
+  if (DecodeHeader(&in, &reply)) reply.info = in.ReadString();
+  return reply;
+}
+
+Client::OpenReply Client::OpenIndex(const std::string& name,
+                                    const std::string& backend) {
+  util::ByteWriter request = Request(Verb::kOpenIndex, name);
+  request.WriteString(backend);
+  const auto payload = Call(request);
+  util::ByteReader in(payload);
+  OpenReply reply;
+  if (DecodeHeader(&in, &reply)) {
+    reply.epoch = in.ReadU64();
+    reply.entries = in.ReadU64();
+  }
+  return reply;
+}
+
+Client::EpochReply Client::CloseIndex(const std::string& name) {
+  const auto payload = Call(Request(Verb::kCloseIndex, name));
+  util::ByteReader in(payload);
+  EpochReply reply;
+  if (DecodeHeader(&in, &reply)) reply.epoch = in.ReadU64();
+  return reply;
+}
+
+Client::ListReply Client::ListIndexes() {
+  const auto payload = Call(Request(Verb::kListIndexes, ""));
+  util::ByteReader in(payload);
+  ListReply reply;
+  if (DecodeHeader(&in, &reply)) {
+    const std::uint32_t count = in.ReadU32();
+    reply.indexes.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      ListReply::Entry entry;
+      entry.name = in.ReadString();
+      entry.epoch = in.ReadU64();
+      entry.entries = in.ReadU64();
+      reply.indexes.push_back(std::move(entry));
+    }
+  }
+  return reply;
+}
+
+Client::SessionReply Client::CreateSession() {
+  const auto payload = Call(Request(Verb::kCreateSession, ""));
+  util::ByteReader in(payload);
+  SessionReply reply;
+  if (DecodeHeader(&in, &reply)) {
+    reply.session_id = in.ReadU64();
+    UseSession(reply.session_id);
+  }
+  return reply;
+}
+
+Client::LookupReply Client::PointLookup(const std::string& name,
+                                        std::vector<std::uint64_t> keys) {
+  util::ByteWriter request = Request(Verb::kPointLookup, name);
+  request.WritePodVector(keys);
+  const auto payload = Call(request);
+  util::ByteReader in(payload);
+  LookupReply reply;
+  if (DecodeHeader(&in, &reply)) {
+    reply.epoch = in.ReadU64();
+    reply.results = in.ReadPodVector<core::LookupResult>();
+  }
+  return reply;
+}
+
+Client::LookupReply Client::RangeLookup(
+    const std::string& name,
+    std::vector<core::KeyRange<std::uint64_t>> ranges) {
+  util::ByteWriter request = Request(Verb::kRangeLookup, name);
+  request.WritePodVector(ranges);
+  const auto payload = Call(request);
+  util::ByteReader in(payload);
+  LookupReply reply;
+  if (DecodeHeader(&in, &reply)) {
+    reply.epoch = in.ReadU64();
+    reply.results = in.ReadPodVector<core::LookupResult>();
+  }
+  return reply;
+}
+
+Client::UpdateReply Client::Update(const std::string& name,
+                                   std::vector<std::uint64_t> insert_keys,
+                                   std::vector<std::uint32_t> insert_rows,
+                                   std::vector<std::uint64_t> erase_keys) {
+  util::ByteWriter request = Request(Verb::kUpdate, name);
+  request.WritePodVector(insert_keys);
+  request.WritePodVector(insert_rows);
+  request.WritePodVector(erase_keys);
+  const auto payload = Call(request);
+  util::ByteReader in(payload);
+  UpdateReply reply;
+  if (DecodeHeader(&in, &reply)) {
+    reply.epoch = in.ReadU64();
+    reply.entries = in.ReadU64();
+  }
+  return reply;
+}
+
+Client::StatsReply Client::Stats(const std::string& name) {
+  const auto payload = Call(Request(Verb::kStats, name));
+  util::ByteReader in(payload);
+  StatsReply reply;
+  if (DecodeHeader(&in, &reply)) {
+    reply.epoch = in.ReadU64();
+    reply.entries = in.ReadU64();
+    reply.memory_bytes = in.ReadU64();
+    reply.rays_fired = in.ReadU64();
+    reply.buckets_probed = in.ReadU64();
+    reply.filter_rejections = in.ReadU64();
+    reply.update_buckets_swept = in.ReadU64();
+    reply.queue_depth = in.ReadU64();
+    reply.pending = in.ReadU64();
+  }
+  return reply;
+}
+
+Client::EpochReply Client::Checkpoint(const std::string& name) {
+  const auto payload = Call(Request(Verb::kCheckpoint, name));
+  util::ByteReader in(payload);
+  EpochReply reply;
+  if (DecodeHeader(&in, &reply)) reply.epoch = in.ReadU64();
+  return reply;
+}
+
+}  // namespace cgrx::net

@@ -1,0 +1,125 @@
+#ifndef CGRX_SRC_NET_CLIENT_H_
+#define CGRX_SRC_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/net/socket.h"
+#include "src/net/wire.h"
+#include "src/util/serial.h"
+
+namespace cgrx::net {
+
+/// Blocking client for the cgrx wire protocol. Application-level
+/// failures (unknown index, admission-control rejection, malformed
+/// request) come back inside each reply as a Status + message --
+/// callers inspect `reply.ok()` and retry kResourceExhausted with
+/// backoff. net::Error is reserved for transport failures: refused
+/// connection, reset, or the server closing mid-exchange.
+///
+/// One Client is one connection and is not thread-safe; requests on it
+/// execute strictly in order. Use one Client per thread (connections
+/// are the unit of server-side concurrency), or the split Send /
+/// Receive halves to pipeline from a single thread.
+class Client {
+ public:
+  struct ReplyBase {
+    Status status = Status::kInternal;
+    std::string message;
+    bool ok() const { return status == Status::kOk; }
+  };
+  struct PingReply : ReplyBase {
+    std::string info;
+  };
+  struct OpenReply : ReplyBase {
+    std::uint64_t epoch = 0;
+    std::uint64_t entries = 0;
+  };
+  struct EpochReply : ReplyBase {
+    std::uint64_t epoch = 0;
+  };
+  struct ListReply : ReplyBase {
+    struct Entry {
+      std::string name;
+      std::uint64_t epoch = 0;
+      std::uint64_t entries = 0;
+    };
+    std::vector<Entry> indexes;
+  };
+  struct SessionReply : ReplyBase {
+    std::uint64_t session_id = 0;
+  };
+  struct LookupReply : ReplyBase {
+    std::uint64_t epoch = 0;
+    std::vector<core::LookupResult> results;
+  };
+  struct UpdateReply : ReplyBase {
+    std::uint64_t epoch = 0;
+    std::uint64_t entries = 0;
+  };
+  struct StatsReply : ReplyBase {
+    std::uint64_t epoch = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t memory_bytes = 0;
+    std::uint64_t rays_fired = 0;
+    std::uint64_t buckets_probed = 0;
+    std::uint64_t filter_rejections = 0;
+    std::uint64_t update_buckets_swept = 0;
+    std::uint64_t queue_depth = 0;
+    std::uint64_t pending = 0;
+  };
+
+  /// Connects (throws net::Error on refusal) with TCP_NODELAY set.
+  Client(const std::string& host, std::uint16_t port);
+
+  /// Binds a session id to every subsequent request (0 = sessionless).
+  /// Reads carrying a session observe that session's acknowledged
+  /// writes (read-your-writes); see session.h.
+  void UseSession(std::uint64_t id) { session_id_ = id; }
+  std::uint64_t session_id() const { return session_id_; }
+
+  PingReply Ping();
+  OpenReply OpenIndex(const std::string& name, const std::string& backend);
+  EpochReply CloseIndex(const std::string& name);
+  ListReply ListIndexes();
+  /// On success the new session is bound to this client (UseSession).
+  SessionReply CreateSession();
+  LookupReply PointLookup(const std::string& name,
+                          std::vector<std::uint64_t> keys);
+  LookupReply RangeLookup(const std::string& name,
+                          std::vector<core::KeyRange<std::uint64_t>> ranges);
+  UpdateReply Update(const std::string& name,
+                     std::vector<std::uint64_t> insert_keys,
+                     std::vector<std::uint32_t> insert_rows,
+                     std::vector<std::uint64_t> erase_keys);
+  StatsReply Stats(const std::string& name);
+  EpochReply Checkpoint(const std::string& name);
+
+  /// Pipelining halves: Send frames and writes one request; Receive
+  /// reads one response frame (false on clean EOF). Responses arrive
+  /// in request order.
+  void Send(const util::ByteWriter& request);
+  bool Receive(std::vector<std::uint8_t>* payload);
+
+  /// Builds a request header payload for verb/index with the bound
+  /// session id; append the verb body, then Send.
+  util::ByteWriter Request(Verb verb, const std::string& index) const;
+
+  /// Escape hatch for protocol tests: the raw socket (partial writes,
+  /// abrupt shutdown).
+  Socket& socket() { return socket_; }
+
+ private:
+  /// Send + Receive; throws net::Error if the server closed instead of
+  /// answering.
+  std::vector<std::uint8_t> Call(const util::ByteWriter& request);
+
+  Socket socket_;
+  std::uint64_t session_id_ = 0;
+};
+
+}  // namespace cgrx::net
+
+#endif  // CGRX_SRC_NET_CLIENT_H_

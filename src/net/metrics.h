@@ -1,0 +1,88 @@
+#ifndef CGRX_SRC_NET_METRICS_H_
+#define CGRX_SRC_NET_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cgrx::net {
+
+/// Minimal Prometheus text-exposition (version 0.0.4) builder: the
+/// server composes the /metrics payload from live gauges and counters
+/// on every scrape -- there is no registry object to keep in sync with
+/// the actual sources of truth (IndexService accessors, IndexStats,
+/// TaskScheduler::stats(), the server's own atomics).
+class PrometheusWriter {
+ public:
+  /// Emits the # HELP / # TYPE preamble once per metric family.
+  void Family(std::string_view name, std::string_view help,
+              std::string_view type) {
+    text_ += "# HELP ";
+    text_ += name;
+    text_ += ' ';
+    text_ += help;
+    text_ += "\n# TYPE ";
+    text_ += name;
+    text_ += ' ';
+    text_ += type;
+    text_ += '\n';
+  }
+
+  void Value(std::string_view name, double value) {
+    Sample(name, "", "", value);
+  }
+
+  void Value(std::string_view name, std::uint64_t value) {
+    Sample(name, "", "", static_cast<double>(value));
+  }
+
+  /// One labelled sample: name{label="value"} sample.
+  void Labelled(std::string_view name, std::string_view label,
+                std::string_view label_value, double value) {
+    Sample(name, label, label_value, value);
+  }
+
+  void Labelled(std::string_view name, std::string_view label,
+                std::string_view label_value, std::uint64_t value) {
+    Sample(name, label, label_value, static_cast<double>(value));
+  }
+
+  const std::string& text() const { return text_; }
+
+ private:
+  void Sample(std::string_view name, std::string_view label,
+              std::string_view label_value, double value) {
+    text_ += name;
+    if (!label.empty()) {
+      text_ += '{';
+      text_ += label;
+      text_ += "=\"";
+      for (const char c : label_value) {
+        // Label-value escaping per the exposition format.
+        if (c == '\\' || c == '"') text_ += '\\';
+        if (c == '\n') {
+          text_ += "\\n";
+          continue;
+        }
+        text_ += c;
+      }
+      text_ += "\"}";
+    }
+    text_ += ' ';
+    // Counters and gauges here are integral-valued; print without
+    // scientific notation or trailing zeros.
+    const auto as_u64 = static_cast<std::uint64_t>(value);
+    if (static_cast<double>(as_u64) == value) {
+      text_ += std::to_string(as_u64);
+    } else {
+      text_ += std::to_string(value);
+    }
+    text_ += '\n';
+  }
+
+  std::string text_;
+};
+
+}  // namespace cgrx::net
+
+#endif  // CGRX_SRC_NET_METRICS_H_

@@ -1,0 +1,112 @@
+#ifndef CGRX_SRC_NET_RATE_LIMITER_H_
+#define CGRX_SRC_NET_RATE_LIMITER_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace cgrx::net {
+
+/// Token-bucket rate limiter: `rate` tokens accrue per second up to
+/// `burst`; TryAcquire() spends one. The server keeps one bucket per
+/// client connection, so one chatty client is throttled to its own
+/// budget instead of starving the shared submission queue -- overload
+/// degrades to fast kResourceExhausted rejections the client can back
+/// off on, never to unbounded queueing.
+///
+/// Mutex-guarded: acquisition is two loads and a multiply, far off any
+/// hot path (the expensive part of a request is the index batch behind
+/// it), and the mutex keeps refill arithmetic exact under the
+/// connection handler's concurrent metric scrapes.
+class TokenBucket {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `rate` tokens/second, capacity `burst`. rate == 0 disables
+  /// limiting (TryAcquire always succeeds).
+  TokenBucket(double rate, double burst)
+      : rate_(rate), burst_(burst), tokens_(burst), last_(Clock::now()) {}
+
+  bool TryAcquire() {
+    if (rate_ <= 0) return true;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const Clock::time_point now = Clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  double rate() const { return rate_; }
+
+ private:
+  const double rate_;
+  const double burst_;
+  std::mutex mutex_;
+  double tokens_;
+  Clock::time_point last_;
+};
+
+/// Per-endpoint concurrency cap: a try-acquire counting semaphore. The
+/// server keeps one per endpoint class (reads, writes, admin) sized
+/// below the IndexService queue limit, so by the time a request
+/// reaches the bounded submission queue there is room -- the blocking
+/// backpressure inside IndexService becomes a rarely-hit second line
+/// of defence, and overload is rejected out here in microseconds.
+class ConcurrencyCap {
+ public:
+  /// `limit` concurrent holders; 0 = uncapped.
+  explicit ConcurrencyCap(std::uint32_t limit) : limit_(limit) {}
+
+  bool TryAcquire() {
+    if (limit_ == 0) return true;
+    std::uint32_t current = in_flight_.load(std::memory_order_relaxed);
+    while (current < limit_) {
+      if (in_flight_.compare_exchange_weak(current, current + 1,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Release() {
+    if (limit_ != 0) in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  std::uint32_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  std::uint32_t limit() const { return limit_; }
+
+  /// RAII holder; boolean-testable for the acquire result.
+  class Guard {
+   public:
+    explicit Guard(ConcurrencyCap& cap)
+        : cap_(&cap), held_(cap.TryAcquire()) {}
+    ~Guard() {
+      if (held_) cap_->Release();
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    explicit operator bool() const { return held_; }
+
+   private:
+    ConcurrencyCap* cap_;
+    bool held_;
+  };
+
+ private:
+  const std::uint32_t limit_;
+  std::atomic<std::uint32_t> in_flight_{0};
+};
+
+}  // namespace cgrx::net
+
+#endif  // CGRX_SRC_NET_RATE_LIMITER_H_

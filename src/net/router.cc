@@ -1,0 +1,194 @@
+#include "src/net/router.h"
+
+#include <cctype>
+#include <exception>
+#include <set>
+#include <stdexcept>
+
+#include "src/api/factory.h"
+#include "src/storage/format.h"
+#include "src/storage/manifest.h"
+#include "src/util/fs.h"
+
+namespace cgrx::net {
+
+namespace {
+
+/// Scoped membership in the router's mid-Open name set: a second Open
+/// of the same name must not race the first into creating two stores
+/// in one directory.
+struct OpenGuard {
+  std::set<std::string>& opening;
+  std::mutex& mutex;
+  const std::string& name;
+  bool held = false;
+
+  bool TryBegin() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    held = opening.insert(name).second;
+    return held;
+  }
+  ~OpenGuard() {
+    if (held) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      opening.erase(name);
+    }
+  }
+};
+
+}  // namespace
+
+IndexRouter::IndexRouter(Options options) : options_(std::move(options)) {
+  if (options_.root.empty()) {
+    throw std::invalid_argument("IndexRouter needs a root directory");
+  }
+  util::EnsureDir(options_.root);
+}
+
+IndexRouter::~IndexRouter() { CloseAll(); }
+
+bool IndexRouter::ValidName(const std::string& name) {
+  if (name.empty() || name.size() > 64 || name.front() == '.') return false;
+  for (const char c : name) {
+    const bool ok = (std::isalnum(static_cast<unsigned char>(c)) != 0) ||
+                    c == '_' || c == '-' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Status IndexRouter::Open(const std::string& name, const std::string& backend,
+                         std::string* message) {
+  if (!ValidName(name)) {
+    *message = "invalid index name (want [A-Za-z0-9_.-]{1,64}, no leading "
+               "dot): " + name;
+    return Status::kInvalidArgument;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (hosts_.contains(name)) {
+      *message = "index already open: " + name;
+      return Status::kOk;  // Idempotent open.
+    }
+  }
+  OpenGuard guard{opening_, mutex_, name};
+  if (!guard.TryBegin()) {
+    *message = "open of " + name + " already in progress";
+    return Status::kUnavailable;
+  }
+  {
+    // Re-check under the guard: another opener may have finished
+    // between the contains() probe above and our TryBegin().
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (hosts_.contains(name)) {
+      *message = "index already open: " + name;
+      return Status::kOk;
+    }
+  }
+  // Store construction and recovery run outside the router lock: a
+  // multi-gigabyte WAL replay must not stall requests to other
+  // indexes.
+  const std::filesystem::path dir = options_.root / name;
+  typename api::IndexService<Key>::Options service_options;
+  service_options.policy = options_.policy;
+  service_options.queue_limit = options_.service_queue_limit;
+  std::unique_ptr<Service> service;
+  try {
+    if (std::filesystem::exists(dir / storage::kManifestFileName)) {
+      // Recover: snapshot + exactly-once WAL replay; `backend` is
+      // recorded in the store, a mismatching argument is ignored.
+      service = std::make_unique<Service>(dir, std::move(service_options));
+    } else {
+      if (backend.empty()) {
+        *message = "no store at " + dir.string() +
+                   " and no backend given to create one";
+        return Status::kInvalidArgument;
+      }
+      api::IndexPtr<Key> index;
+      try {
+        index = api::MakeIndex<Key>(backend);
+      } catch (const std::invalid_argument& e) {
+        *message = e.what();
+        return Status::kInvalidArgument;
+      }
+      index->Build(std::vector<Key>{});  // Empty; waves populate it.
+      service = std::make_unique<Service>(Service::Create(
+          dir, std::move(index), std::move(service_options)));
+    }
+  } catch (const storage::Error& e) {
+    *message = e.what();
+    return Status::kFailedPrecondition;
+  } catch (const std::exception& e) {
+    *message = e.what();
+    return Status::kInternal;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    hosts_.emplace(name,
+                   std::make_shared<Host>(name, std::move(service)));
+  }
+  *message = "";
+  return Status::kOk;
+}
+
+Status IndexRouter::Close(const std::string& name, std::string* message,
+                          std::uint64_t* epoch_out) {
+  std::shared_ptr<Host> host;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = hosts_.find(name);
+    if (it == hosts_.end()) {
+      *message = "unknown index: " + name;
+      return Status::kNotFound;
+    }
+    host = it->second;
+    hosts_.erase(it);  // New requests answer kNotFound from here on.
+  }
+  host->DrainRequests();     // Admitted requests finish first.
+  host->service().Close();   // Drain queue, resolve tickets, join.
+  *epoch_out = host->service().epoch();
+  *message = "";
+  return Status::kOk;
+}
+
+IndexRouter::Lease IndexRouter::Acquire(const std::string& name) {
+  std::shared_ptr<Host> host;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = hosts_.find(name);
+    if (it != hosts_.end()) host = it->second;
+  }
+  return Lease(std::move(host));
+}
+
+std::vector<IndexInfo> IndexRouter::List() {
+  std::vector<IndexInfo> out;
+  for (const std::string& name : Names()) {
+    Lease lease = Acquire(name);
+    if (!lease) continue;  // Closed between Names() and here.
+    IndexInfo info;
+    info.name = name;
+    info.epoch = lease->service().epoch();
+    info.entries = lease->service().Stats().entries;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::vector<std::string> IndexRouter::Names() const {
+  std::vector<std::string> names;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  names.reserve(hosts_.size());
+  for (const auto& [name, host] : hosts_) names.push_back(name);
+  return names;
+}
+
+void IndexRouter::CloseAll() {
+  for (const std::string& name : Names()) {
+    std::string message;
+    std::uint64_t epoch = 0;
+    Close(name, &message, &epoch);
+  }
+}
+
+}  // namespace cgrx::net

@@ -1,0 +1,593 @@
+#include "src/net/server.h"
+
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "src/api/index.h"
+#include "src/net/metrics.h"
+
+namespace cgrx::net {
+
+namespace {
+
+/// Endpoint classes for admission control.
+bool IsDataVerb(Verb verb) {
+  switch (verb) {
+    case Verb::kPointLookup:
+    case Verb::kRangeLookup:
+    case Verb::kUpdate:
+    case Verb::kStats:
+    case Verb::kCheckpoint:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsReadVerb(Verb verb) {
+  return verb == Verb::kPointLookup || verb == Verb::kRangeLookup ||
+         verb == Verb::kStats;
+}
+
+bool IsWriteVerb(Verb verb) {
+  return verb == Verb::kUpdate || verb == Verb::kCheckpoint;
+}
+
+}  // namespace
+
+Server::Server(Options options)
+    : options_(std::move(options)),
+      listener_(options_.port),
+      router_(IndexRouter::Options{options_.root, options_.policy,
+                                   options_.service_queue_limit}),
+      read_cap_(options_.max_concurrent_reads),
+      write_cap_(options_.max_concurrent_writes) {
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Stop() {
+  if (stopping_.exchange(true)) return;
+  listener_.Shutdown();  // Wakes the blocked Accept().
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const auto& conn : connections_) conn->socket.Shutdown();
+  }
+  // No lock while joining: handlers never touch connections_.
+  for (const auto& conn : connections_) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.clear();
+  }
+  listener_.Close();
+  router_.CloseAll();
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    Socket socket = listener_.Accept();
+    if (!socket.valid() || stopping_.load(std::memory_order_acquire)) {
+      return;  // Shutdown() woke us.
+    }
+    ReapConnections();
+    if (options_.max_connections > 0 &&
+        active_connections_.load(std::memory_order_relaxed) >=
+            options_.max_connections) {
+      rejected_connections_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // Socket closes: connection refused by cap.
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_unique<Connection>(std::move(socket),
+                                             options_.rate_limit_per_client,
+                                             options_.rate_limit_burst);
+    Connection* raw = conn.get();
+    {
+      const std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] {
+      HandleConnection(raw);
+      raw->finished.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void Server::ReapConnections() {
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->finished.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::HandleConnection(Connection* conn) {
+  active_connections_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    // Sniff the first 4 bytes: an HTTP method means the read-only
+    // /metrics mapping; anything else is the first frame's length.
+    std::array<char, 4> head{};
+    if (conn->socket.ReadFull(head.data(), head.size())) {
+      bytes_read_.fetch_add(4, std::memory_order_relaxed);
+      const bool http = std::memcmp(head.data(), "GET ", 4) == 0 ||
+                        std::memcmp(head.data(), "HEAD", 4) == 0 ||
+                        std::memcmp(head.data(), "POST", 4) == 0;
+      if (http) {
+        HandleHttp(conn, head);
+      } else {
+        std::uint32_t frame_len;
+        std::memcpy(&frame_len, head.data(), 4);  // LE host assumed
+                                                  // (see util/serial.h).
+        for (;;) {
+          if (frame_len > options_.max_frame_bytes) {
+            // The length cannot be trusted enough to skip the payload;
+            // answer and close.
+            malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+            util::ByteWriter out;
+            WriteError(&out, Status::kInvalidArgument,
+                       "frame of " + std::to_string(frame_len) +
+                           " bytes exceeds the server limit of " +
+                           std::to_string(options_.max_frame_bytes));
+            WriteFrame(conn, out);
+            break;
+          }
+          std::vector<std::uint8_t> payload(frame_len);
+          if (frame_len > 0 &&
+              !conn->socket.ReadFull(payload.data(), payload.size())) {
+            break;  // EOF at a frame boundary after the header: torn
+                    // request, drop silently (nothing to answer to).
+          }
+          bytes_read_.fetch_add(frame_len, std::memory_order_relaxed);
+          if (!HandleFrame(conn, payload)) break;
+          std::array<std::uint8_t, 4> next{};
+          if (!conn->socket.ReadFull(next.data(), next.size())) {
+            break;  // Clean EOF between frames.
+          }
+          bytes_read_.fetch_add(4, std::memory_order_relaxed);
+          std::memcpy(&frame_len, next.data(), 4);
+        }
+      }
+    }
+  } catch (const Error&) {
+    // Abrupt disconnect (mid-frame EOF, reset): drop the connection;
+    // per-connection state dies with it and the indexes are untouched
+    // beyond whatever tickets already resolved.
+  } catch (const std::exception&) {
+    // Defensive: no handler escape may take the server down.
+  }
+  // Half-close so the peer sees EOF now; the fd itself stays alive
+  // until the accept loop (or Stop) reaps the Connection, which keeps
+  // this thread-safe against a concurrent Stop() calling Shutdown too.
+  conn->socket.Shutdown();
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool Server::HandleFrame(Connection* conn,
+                         const std::vector<std::uint8_t>& payload) {
+  util::ByteWriter out;
+  try {
+    util::ByteReader reader(payload.data(), payload.size());
+    const RequestHeader header = RequestHeader::Decode(&reader);
+    if (static_cast<std::uint8_t>(header.verb) >= kVerbCount) {
+      WriteError(&out, Status::kUnimplemented,
+                 "unknown verb " +
+                     std::to_string(static_cast<unsigned>(header.verb)));
+    } else {
+      requests_total_[static_cast<std::size_t>(header.verb)].fetch_add(
+          1, std::memory_order_relaxed);
+      Dispatch(conn, header, &reader, &out);
+    }
+  } catch (const util::SerialError& e) {
+    // Malformed payload: the frame was consumed whole, so the stream
+    // is still in sync -- answer and keep the connection.
+    malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+    out = util::ByteWriter();
+    WriteError(&out, Status::kInvalidArgument,
+               std::string("malformed request: ") + e.what());
+  } catch (const api::UnsupportedOperationError& e) {
+    out = util::ByteWriter();
+    WriteError(&out, Status::kFailedPrecondition, e.what());
+  } catch (const std::invalid_argument& e) {
+    out = util::ByteWriter();
+    WriteError(&out, Status::kInvalidArgument, e.what());
+  } catch (const std::exception& e) {
+    out = util::ByteWriter();
+    WriteError(&out, Status::kInternal, e.what());
+  }
+  WriteFrame(conn, out);
+  return true;
+}
+
+void Server::Dispatch(Connection* conn, const RequestHeader& header,
+                      util::ByteReader* body, util::ByteWriter* out) {
+  // Admission control, cheapest checks first: rate budget, then
+  // endpoint concurrency. Both reject in microseconds with
+  // kResourceExhausted instead of queueing the request anywhere.
+  if (IsDataVerb(header.verb) && !conn->bucket.TryAcquire()) {
+    rejected_rate_limit_.fetch_add(1, std::memory_order_relaxed);
+    WriteError(out, Status::kResourceExhausted,
+               "client rate limit exceeded");
+    return;
+  }
+  ConcurrencyCap::Guard guard(IsWriteVerb(header.verb) ? write_cap_
+                                                       : read_cap_);
+  if (IsDataVerb(header.verb) && !guard) {
+    rejected_concurrency_.fetch_add(1, std::memory_order_relaxed);
+    WriteError(out, Status::kResourceExhausted,
+               IsWriteVerb(header.verb)
+                   ? "server write concurrency limit reached"
+                   : "server read concurrency limit reached");
+    return;
+  }
+
+  std::shared_ptr<Session> session;
+  if (header.session_id != 0) {
+    session = sessions_.Find(header.session_id);
+    if (session == nullptr) {
+      WriteError(out, Status::kInvalidArgument,
+                 "unknown session id " + std::to_string(header.session_id));
+      return;
+    }
+  }
+
+  switch (header.verb) {
+    case Verb::kPing: {
+      ResponseHeader{Status::kOk, ""}.Encode(out);
+      out->WriteString("cgrx-serve/1 indexes=" +
+                       std::to_string(router_.Names().size()));
+      return;
+    }
+    case Verb::kCreateSession: {
+      const std::uint64_t id = sessions_.Create();
+      ResponseHeader{Status::kOk, ""}.Encode(out);
+      out->WriteU64(id);
+      return;
+    }
+    case Verb::kOpenIndex: {
+      const std::string backend = body->ReadString();
+      std::string message;
+      const Status status = router_.Open(header.index, backend, &message);
+      if (status != Status::kOk) {
+        WriteError(out, status, message);
+        return;
+      }
+      IndexRouter::Lease lease = router_.Acquire(header.index);
+      if (!lease) {
+        WriteError(out, Status::kUnavailable,
+                   "index closed during open: " + header.index);
+        return;
+      }
+      ResponseHeader{Status::kOk, message}.Encode(out);
+      out->WriteU64(lease->service().epoch());
+      out->WriteU64(lease->service().Stats().entries);
+      return;
+    }
+    case Verb::kCloseIndex: {
+      std::string message;
+      std::uint64_t epoch = 0;
+      const Status status = router_.Close(header.index, &message, &epoch);
+      if (status != Status::kOk) {
+        WriteError(out, status, message);
+        return;
+      }
+      ResponseHeader{Status::kOk, ""}.Encode(out);
+      out->WriteU64(epoch);
+      return;
+    }
+    case Verb::kListIndexes: {
+      const std::vector<IndexInfo> infos = router_.List();
+      ResponseHeader{Status::kOk, ""}.Encode(out);
+      out->WriteU32(static_cast<std::uint32_t>(infos.size()));
+      for (const IndexInfo& info : infos) {
+        out->WriteString(info.name);
+        out->WriteU64(info.epoch);
+        out->WriteU64(info.entries);
+      }
+      return;
+    }
+    case Verb::kPointLookup:
+    case Verb::kRangeLookup: {
+      // Decode fully before dispatch so a malformed body never leaves
+      // a half-written response.
+      std::vector<std::uint64_t> keys;
+      std::vector<core::KeyRange<std::uint64_t>> ranges;
+      if (header.verb == Verb::kPointLookup) {
+        keys = body->ReadPodVector<std::uint64_t>();
+      } else {
+        ranges = body->ReadPodVector<core::KeyRange<std::uint64_t>>();
+      }
+      IndexRouter::Lease lease = router_.Acquire(header.index);
+      if (!lease) {
+        WriteError(out, Status::kNotFound,
+                   "unknown index: " + header.index);
+        return;
+      }
+      if (session != nullptr) {
+        // Read-your-writes: hold the read until the service reaches
+        // the session's last acknowledged write epoch on this index.
+        const std::uint64_t floor = session->WriteFloor(header.index);
+        if (floor > 0 && !lease->service().service().WaitForEpoch(
+                             floor, options_.session_wait_timeout)) {
+          WriteError(out, Status::kUnavailable,
+                     "session write epoch " + std::to_string(floor) +
+                         " not reached on " + header.index);
+          return;
+        }
+      }
+      auto ticket = header.verb == Verb::kPointLookup
+                        ? lease->service().SubmitPointLookups(std::move(keys))
+                        : lease->service().SubmitRangeLookups(
+                              std::move(ranges));
+      auto result = ticket.get();  // Throws -> HandleFrame's catches.
+      ResponseHeader{Status::kOk, ""}.Encode(out);
+      out->WriteU64(result.epoch);
+      out->WritePodVector(result.results);
+      return;
+    }
+    case Verb::kUpdate: {
+      std::vector<std::uint64_t> insert_keys =
+          body->ReadPodVector<std::uint64_t>();
+      std::vector<std::uint32_t> insert_rows =
+          body->ReadPodVector<std::uint32_t>();
+      std::vector<std::uint64_t> erase_keys =
+          body->ReadPodVector<std::uint64_t>();
+      IndexRouter::Lease lease = router_.Acquire(header.index);
+      if (!lease) {
+        WriteError(out, Status::kNotFound,
+                   "unknown index: " + header.index);
+        return;
+      }
+      auto ticket = lease->service().SubmitUpdate(std::move(insert_keys),
+                                                  std::move(insert_rows),
+                                                  std::move(erase_keys));
+      const auto result = ticket.get();
+      if (session != nullptr) {
+        // The epoch this ack carries is the session's new read floor.
+        session->RecordWrite(header.index, result.epoch);
+      }
+      ResponseHeader{Status::kOk, ""}.Encode(out);
+      out->WriteU64(result.epoch);
+      out->WriteU64(result.entries);
+      return;
+    }
+    case Verb::kStats: {
+      IndexRouter::Lease lease = router_.Acquire(header.index);
+      if (!lease) {
+        WriteError(out, Status::kNotFound,
+                   "unknown index: " + header.index);
+        return;
+      }
+      const api::IndexStats stats = lease->service().Stats();
+      auto& service = lease->service().service();
+      ResponseHeader{Status::kOk, ""}.Encode(out);
+      out->WriteU64(service.epoch());
+      out->WriteU64(stats.entries);
+      out->WriteU64(stats.memory_bytes);
+      out->WriteU64(stats.rays_fired);
+      out->WriteU64(stats.buckets_probed);
+      out->WriteU64(stats.filter_rejections);
+      out->WriteU64(stats.update_buckets_swept);
+      out->WriteU64(service.queue_depth());
+      out->WriteU64(service.pending());
+      return;
+    }
+    case Verb::kCheckpoint: {
+      IndexRouter::Lease lease = router_.Acquire(header.index);
+      if (!lease) {
+        WriteError(out, Status::kNotFound,
+                   "unknown index: " + header.index);
+        return;
+      }
+      const std::uint64_t epoch = lease->service().Checkpoint().get();
+      ResponseHeader{Status::kOk, ""}.Encode(out);
+      out->WriteU64(epoch);
+      return;
+    }
+  }
+  WriteError(out, Status::kUnimplemented, "unhandled verb");
+}
+
+void Server::WriteFrame(Connection* conn, const util::ByteWriter& payload) {
+  const std::vector<std::uint8_t>& body = payload.bytes();
+  std::vector<std::uint8_t> buffer;
+  buffer.reserve(4 + body.size());
+  const auto len = static_cast<std::uint32_t>(body.size());
+  buffer.push_back(static_cast<std::uint8_t>(len));
+  buffer.push_back(static_cast<std::uint8_t>(len >> 8));
+  buffer.push_back(static_cast<std::uint8_t>(len >> 16));
+  buffer.push_back(static_cast<std::uint8_t>(len >> 24));
+  buffer.insert(buffer.end(), body.begin(), body.end());
+  conn->socket.WriteAll(buffer.data(), buffer.size());
+  bytes_written_.fetch_add(buffer.size(), std::memory_order_relaxed);
+}
+
+void Server::WriteError(util::ByteWriter* out, Status status,
+                        std::string_view message) {
+  ResponseHeader header;
+  header.status = status;
+  header.message = std::string(message);
+  header.Encode(out);
+}
+
+void Server::HandleHttp(Connection* conn, std::array<char, 4> sniffed) {
+  http_requests_.fetch_add(1, std::memory_order_relaxed);
+  // Read the rest of the request head byte-wise until CRLFCRLF (scrape
+  // traffic; throughput is irrelevant, bounded memory is not).
+  std::string request(sniffed.data(), sniffed.size());
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    char c;
+    if (!conn->socket.ReadFull(&c, 1)) return;  // Torn request.
+    request.push_back(c);
+  }
+  bytes_read_.fetch_add(request.size() - 4, std::memory_order_relaxed);
+  // "METHOD SP PATH SP VERSION" -- we only need the path.
+  const std::size_t sp1 = request.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request.find(' ', sp1 + 1);
+  const std::string path =
+      sp2 == std::string::npos ? "" : request.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  std::string status_line = "HTTP/1.1 200 OK";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  if (path == "/metrics") {
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = MetricsText();
+  } else if (path == "/healthz") {
+    body = "ok\n";
+  } else {
+    status_line = "HTTP/1.1 404 Not Found";
+    body = "not found\n";
+  }
+  std::string response = status_line + "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " + std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + body;
+  conn->socket.WriteAll(response.data(), response.size());
+  bytes_written_.fetch_add(response.size(), std::memory_order_relaxed);
+}
+
+std::string Server::MetricsText() {
+  // Gather per-index rows first (one queue-synchronized Stats() per
+  // index), then emit family by family as the exposition format
+  // groups samples.
+  struct Row {
+    std::string name;
+    std::uint64_t epoch = 0;
+    std::uint64_t queue_depth = 0;
+    std::uint64_t pending = 0;
+    api::IndexStats stats;
+  };
+  std::vector<Row> rows;
+  for (const std::string& name : router_.Names()) {
+    IndexRouter::Lease lease = router_.Acquire(name);
+    if (!lease) continue;
+    Row row;
+    row.name = name;
+    auto& service = lease->service().service();
+    row.epoch = service.epoch();
+    row.queue_depth = service.queue_depth();
+    row.pending = service.pending();
+    row.stats = lease->service().Stats();
+    rows.push_back(std::move(row));
+  }
+
+  PrometheusWriter w;
+  w.Family("cgrx_requests_total", "Requests received, by verb", "counter");
+  for (std::uint8_t v = 0; v < kVerbCount; ++v) {
+    w.Labelled("cgrx_requests_total", "verb", VerbName(static_cast<Verb>(v)),
+               requests_total_[v].load(std::memory_order_relaxed));
+  }
+  w.Family("cgrx_rejected_total",
+           "Admission-control rejections, by reason", "counter");
+  w.Labelled("cgrx_rejected_total", "reason", "rate_limit",
+             rejected_rate_limit_.load(std::memory_order_relaxed));
+  w.Labelled("cgrx_rejected_total", "reason", "concurrency",
+             rejected_concurrency_.load(std::memory_order_relaxed));
+  w.Labelled("cgrx_rejected_total", "reason", "connections",
+             rejected_connections_.load(std::memory_order_relaxed));
+  w.Family("cgrx_malformed_frames_total",
+           "Frames rejected as oversized or undecodable", "counter");
+  w.Value("cgrx_malformed_frames_total",
+          malformed_frames_.load(std::memory_order_relaxed));
+  w.Family("cgrx_connections_accepted_total", "Connections accepted",
+           "counter");
+  w.Value("cgrx_connections_accepted_total",
+          connections_accepted_.load(std::memory_order_relaxed));
+  w.Family("cgrx_connections_active", "Currently connected clients",
+           "gauge");
+  w.Value("cgrx_connections_active",
+          active_connections_.load(std::memory_order_relaxed));
+  w.Family("cgrx_sessions_active", "Sessions created and retained",
+           "gauge");
+  w.Value("cgrx_sessions_active",
+          static_cast<std::uint64_t>(sessions_.size()));
+  w.Family("cgrx_http_requests_total", "HTTP requests served", "counter");
+  w.Value("cgrx_http_requests_total",
+          http_requests_.load(std::memory_order_relaxed));
+  w.Family("cgrx_bytes_read_total", "Bytes read from clients", "counter");
+  w.Value("cgrx_bytes_read_total",
+          bytes_read_.load(std::memory_order_relaxed));
+  w.Family("cgrx_bytes_written_total", "Bytes written to clients",
+           "counter");
+  w.Value("cgrx_bytes_written_total",
+          bytes_written_.load(std::memory_order_relaxed));
+
+  w.Family("cgrx_index_epoch", "Last completed update epoch per index",
+           "gauge");
+  for (const Row& row : rows) {
+    w.Labelled("cgrx_index_epoch", "index", row.name, row.epoch);
+  }
+  w.Family("cgrx_index_queue_depth",
+           "Submissions queued behind the dispatcher per index", "gauge");
+  for (const Row& row : rows) {
+    w.Labelled("cgrx_index_queue_depth", "index", row.name, row.queue_depth);
+  }
+  w.Family("cgrx_index_pending",
+           "Submissions queued or executing per index", "gauge");
+  for (const Row& row : rows) {
+    w.Labelled("cgrx_index_pending", "index", row.name, row.pending);
+  }
+  w.Family("cgrx_index_entries", "Indexed entries per index", "gauge");
+  for (const Row& row : rows) {
+    w.Labelled("cgrx_index_entries", "index", row.name,
+               static_cast<std::uint64_t>(row.stats.entries));
+  }
+  w.Family("cgrx_index_memory_bytes",
+           "Resident index footprint per index", "gauge");
+  for (const Row& row : rows) {
+    w.Labelled("cgrx_index_memory_bytes", "index", row.name,
+               static_cast<std::uint64_t>(row.stats.memory_bytes));
+  }
+  w.Family("cgrx_index_rays_fired_total",
+           "Rays fired by the raytracing substrate", "counter");
+  for (const Row& row : rows) {
+    w.Labelled("cgrx_index_rays_fired_total", "index", row.name,
+               row.stats.rays_fired);
+  }
+  w.Family("cgrx_index_buckets_probed_total",
+           "Bucket post-filter searches executed", "counter");
+  for (const Row& row : rows) {
+    w.Labelled("cgrx_index_buckets_probed_total", "index", row.name,
+               row.stats.buckets_probed);
+  }
+  w.Family("cgrx_index_filter_rejections_total",
+           "Lookups rejected by the miss filter", "counter");
+  for (const Row& row : rows) {
+    w.Labelled("cgrx_index_filter_rejections_total", "index", row.name,
+               row.stats.filter_rejections);
+  }
+  w.Family("cgrx_index_update_buckets_swept_total",
+           "Buckets visited by update sweeps", "counter");
+  for (const Row& row : rows) {
+    w.Labelled("cgrx_index_update_buckets_swept_total", "index", row.name,
+               row.stats.update_buckets_swept);
+  }
+
+  const util::TaskScheduler::Stats scheduler =
+      options_.policy.scheduler().stats();
+  w.Family("cgrx_scheduler_threads", "Scheduler execution threads",
+           "gauge");
+  w.Value("cgrx_scheduler_threads",
+          static_cast<std::uint64_t>(scheduler.num_threads));
+  w.Family("cgrx_scheduler_tasks_executed_total",
+           "Tasks run to completion by the work-stealing scheduler",
+           "counter");
+  w.Value("cgrx_scheduler_tasks_executed_total", scheduler.tasks_executed);
+  w.Family("cgrx_scheduler_steals_total",
+           "Tasks acquired from another worker's deque", "counter");
+  w.Value("cgrx_scheduler_steals_total", scheduler.steals);
+  return w.text();
+}
+
+}  // namespace cgrx::net

@@ -1,0 +1,153 @@
+#ifndef CGRX_SRC_NET_SERVER_H_
+#define CGRX_SRC_NET_SERVER_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/execution_policy.h"
+#include "src/net/rate_limiter.h"
+#include "src/net/router.h"
+#include "src/net/session.h"
+#include "src/net/socket.h"
+#include "src/net/wire.h"
+
+namespace cgrx::net {
+
+/// The cgrx network serving tier: one TCP port speaking the
+/// length-prefixed binary protocol of wire.h (with a minimal HTTP/1.1
+/// mapping for GET /metrics and GET /healthz on the same port),
+/// fronting an IndexRouter of named durable index services.
+///
+/// Threading: one accept-loop thread plus one handler thread per
+/// connection. Requests on one connection execute strictly in order
+/// (clients may pipeline); concurrency comes from connections, and the
+/// per-index IndexService dispatcher below keeps its single-writer
+/// story regardless of how many connections feed it. Thread-per-
+/// connection is deliberate: the deployment model is tens-to-hundreds
+/// of load-balancer/edge connections carrying batched requests, not
+/// millions of idle sockets, and every handler is plain blocking code
+/// TSan can check end to end.
+///
+/// Admission control (Options):
+///  * per-connection token bucket over data-plane verbs -- a client
+///    beyond its rate budget gets kResourceExhausted in microseconds,
+///  * per-endpoint-class concurrency caps (reads, writes) sized below
+///    the per-index bounded submission queue, so the queue's blocking
+///    backpressure is the second line of defence, not the first,
+///  * a connection cap at accept time.
+///
+/// Sessions: create_session returns an id valid on any connection;
+/// after an acknowledged update, reads carrying that session id are
+/// held until the index's service reaches the acknowledged epoch
+/// (read-your-writes; see session.h).
+class Server {
+ public:
+  struct Options {
+    /// Listen port on 127.0.0.1; 0 picks an ephemeral port (see
+    /// port()).
+    std::uint16_t port = 0;
+    /// Root directory for the router's per-index stores. Required.
+    std::filesystem::path root;
+    /// Execution policy hosted services dispatch batches under.
+    api::ExecutionPolicy policy{};
+    /// Bounded submission queue per hosted index.
+    std::size_t service_queue_limit = 256;
+    /// Frames with larger payloads are rejected before allocation.
+    std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+    /// Token bucket per connection over data-plane verbs
+    /// (lookups/updates/stats/checkpoint); 0 disables.
+    double rate_limit_per_client = 0;
+    double rate_limit_burst = 64;
+    /// Concurrent in-flight caps per endpoint class; 0 = uncapped.
+    std::uint32_t max_concurrent_reads = 128;
+    std::uint32_t max_concurrent_writes = 64;
+    /// Accept-time connection cap; 0 = uncapped.
+    std::uint32_t max_connections = 1024;
+    /// How long a session read waits for its write floor epoch before
+    /// answering kUnavailable.
+    std::chrono::milliseconds session_wait_timeout{5000};
+  };
+
+  /// Binds, then serves until Stop()/destruction.
+  explicit Server(Options options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (resolves Options::port == 0).
+  std::uint16_t port() const { return listener_.port(); }
+
+  IndexRouter& router() { return router_; }
+  SessionRegistry& sessions() { return sessions_; }
+
+  /// Stops accepting, disconnects every client, closes every hosted
+  /// index gracefully. Idempotent.
+  void Stop();
+
+  /// The Prometheus exposition the /metrics endpoint serves --
+  /// callable in-process (tests, bench) without HTTP.
+  std::string MetricsText();
+
+ private:
+  struct Connection {
+    explicit Connection(Socket s, double rate, double burst)
+        : socket(std::move(s)), bucket(rate, burst) {}
+    Socket socket;
+    std::thread thread;
+    std::atomic<bool> finished{false};
+    TokenBucket bucket;
+  };
+
+  void AcceptLoop();
+  void HandleConnection(Connection* conn);
+  /// One binary frame -> one response frame; false = close connection.
+  bool HandleFrame(Connection* conn, const std::vector<std::uint8_t>& payload);
+  /// Routes one decoded request; appends the response payload.
+  void Dispatch(Connection* conn, const RequestHeader& header,
+                util::ByteReader* body, util::ByteWriter* out);
+  void HandleHttp(Connection* conn, std::array<char, 4> sniffed);
+
+  void WriteFrame(Connection* conn, const util::ByteWriter& payload);
+  static void WriteError(util::ByteWriter* out, Status status,
+                         std::string_view message);
+
+  /// Joins finished handler threads (called from the accept loop).
+  void ReapConnections();
+
+  Options options_;
+  Listener listener_;
+  IndexRouter router_;
+  SessionRegistry sessions_;
+  ConcurrencyCap read_cap_;
+  ConcurrencyCap write_cap_;
+
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  // Metrics counters (relaxed atomics; scrapes read live values).
+  std::array<std::atomic<std::uint64_t>, kVerbCount> requests_total_{};
+  std::atomic<std::uint64_t> rejected_rate_limit_{0};
+  std::atomic<std::uint64_t> rejected_concurrency_{0};
+  std::atomic<std::uint64_t> rejected_connections_{0};
+  std::atomic<std::uint64_t> malformed_frames_{0};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> active_connections_{0};
+  std::atomic<std::uint64_t> http_requests_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+};
+
+}  // namespace cgrx::net
+
+#endif  // CGRX_SRC_NET_SERVER_H_

@@ -1,0 +1,80 @@
+#ifndef CGRX_SRC_NET_SESSION_H_
+#define CGRX_SRC_NET_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace cgrx::net {
+
+/// One client session: the read-your-writes anchor. The server records
+/// here, per index, the epoch of the session's last *acknowledged*
+/// update ticket; subsequent reads carrying the same session id -- on
+/// any connection -- are held until that index's service has completed
+/// at least that epoch before dispatch (IndexService::WaitForEpoch).
+///
+/// Sessions deliberately span connections: a client that writes over
+/// one connection, reconnects (or load-balances) and reads over
+/// another still observes its own writes, which is the session
+/// guarantee distributed stores call "read your writes" and the only
+/// consistency statement the serving tier makes beyond per-index
+/// linearizable updates.
+class Session {
+ public:
+  /// Raises the write floor for `index` to `epoch` (floors are
+  /// monotone; a stale ack never lowers one).
+  void RecordWrite(const std::string& index, std::uint64_t epoch) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t& floor = write_floors_[index];
+    if (epoch > floor) floor = epoch;
+  }
+
+  /// The epoch a read of `index` must wait for (0 = no prior write,
+  /// dispatch immediately).
+  std::uint64_t WriteFloor(const std::string& index) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = write_floors_.find(index);
+    return it == write_floors_.end() ? 0 : it->second;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t> write_floors_;
+};
+
+/// Server-wide session table. Ids are dense and never reused within a
+/// server lifetime; id 0 is reserved for "sessionless".
+class SessionRegistry {
+ public:
+  std::uint64_t Create() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t id = next_id_++;
+    sessions_[id] = std::make_shared<Session>();
+    return id;
+  }
+
+  /// nullptr for id 0 and unknown ids (the caller maps unknown ids to
+  /// kInvalidArgument rather than silently serving sessionless).
+  std::shared_ptr<Session> Find(std::uint64_t id) const {
+    if (id == 0) return nullptr;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sessions_.find(id);
+    return it == sessions_.end() ? nullptr : it->second;
+  }
+
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return sessions_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace cgrx::net
+
+#endif  // CGRX_SRC_NET_SESSION_H_

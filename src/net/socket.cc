@@ -1,0 +1,176 @@
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cgrx::net {
+
+namespace {
+
+std::string Errno(const std::string& op) {
+  return op + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket Socket::Connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw Error(Errno("socket"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw Error("inet_pton: unresolvable host " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string what = Errno("connect to " + resolved + ":" +
+                                   std::to_string(port));
+    ::close(fd);
+    throw Error(what);
+  }
+  Socket socket(fd);
+  socket.SetNoDelay();
+  return socket;
+}
+
+bool Socket::ReadFull(void* out, std::size_t size) {
+  auto* p = static_cast<std::uint8_t*>(out);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd_, p + got, size - got, 0);
+    if (n == 0) {
+      if (got == 0) return false;  // Clean EOF between frames.
+      throw Error("connection closed mid-frame (" + std::to_string(got) +
+                  "/" + std::to_string(size) + " bytes)");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(Errno("recv"));
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Socket::WriteAll(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+#ifdef MSG_NOSIGNAL
+    const int flags = MSG_NOSIGNAL;
+#else
+    const int flags = 0;
+#endif
+    const ssize_t n = ::send(fd_, p + sent, size - sent, flags);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(Errno("send"));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Socket::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);  // Errors are advisory.
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::SetNoDelay() {
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Listener::Listener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw Error(Errno("socket"));
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string what = Errno("bind port " + std::to_string(port));
+    Close();
+    throw Error(what);
+  }
+  if (::listen(fd_, 128) != 0) {
+    const std::string what = Errno("listen");
+    Close();
+    throw Error(what);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const std::string what = Errno("getsockname");
+    Close();
+    throw Error(what);
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+Socket Listener::Accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      Socket socket(fd);
+      socket.SetNoDelay();
+      return socket;
+    }
+    if (errno == EINTR) continue;
+    // EINVAL after Shutdown(): orderly stop, not an error.
+    return Socket();
+  }
+}
+
+void Listener::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace cgrx::net

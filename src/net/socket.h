@@ -1,0 +1,103 @@
+#ifndef CGRX_SRC_NET_SOCKET_H_
+#define CGRX_SRC_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cgrx::net {
+
+/// Thrown on transport failures (connect/bind/read/write); a clean
+/// peer close surfaces as Socket::ReadFull returning false, not as an
+/// Error.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// RAII wrapper over one connected TCP socket (POSIX fd). Movable, not
+/// copyable. All I/O is blocking; Shutdown() from another thread
+/// unblocks a reader with EOF, which is how the server stops
+/// connection handler threads.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to host:port (IPv4 dotted quad or "localhost").
+  static Socket Connect(const std::string& host, std::uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Reads exactly `size` bytes. Returns false on clean EOF before the
+  /// first byte; throws Error on transport failure or EOF mid-buffer
+  /// (a torn frame).
+  bool ReadFull(void* out, std::size_t size);
+
+  /// Writes all of `data`; throws Error on failure. SIGPIPE is
+  /// suppressed (MSG_NOSIGNAL) so a vanished peer is an Error, not a
+  /// process kill.
+  void WriteAll(const void* data, std::size_t size);
+
+  /// Half-close in both directions: wakes any blocked reader (here or
+  /// in the peer) with EOF. Safe to call from another thread and on an
+  /// already-shut-down socket.
+  void Shutdown();
+
+  void Close();
+
+  /// Disables Nagle's algorithm: request/response RPC wants the final
+  /// partial segment on the wire immediately.
+  void SetNoDelay();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket bound to 127.0.0.1 (the serving tier fronts a
+/// trusted LAN / load balancer; binding loopback by default keeps the
+/// test and bench surface off external interfaces). Port 0 picks an
+/// ephemeral port, readable via port().
+class Listener {
+ public:
+  Listener() = default;
+  explicit Listener(std::uint16_t port);
+  ~Listener() { Close(); }
+
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Blocks for the next connection. Returns an invalid Socket once
+  /// Shutdown() has been called from another thread.
+  Socket Accept();
+
+  std::uint16_t port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Wakes a blocked Accept() with failure (it returns an invalid
+  /// Socket). Unlike Close(), the fd stays open, so there is no
+  /// close-vs-accept fd-reuse race; call Close() (or destroy) after
+  /// the accept loop has exited.
+  void Shutdown();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace cgrx::net
+
+#endif  // CGRX_SRC_NET_SOCKET_H_

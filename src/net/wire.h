@@ -1,0 +1,174 @@
+#ifndef CGRX_SRC_NET_WIRE_H_
+#define CGRX_SRC_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/serial.h"
+
+namespace cgrx::net {
+
+/// The cgrx wire protocol: length-prefixed binary frames over one TCP
+/// connection, plus a minimal HTTP/1.1 read-only mapping on the same
+/// port (GET /metrics, GET /healthz -- the server sniffs the first
+/// bytes of a connection to tell the two apart).
+///
+/// Binary framing:
+///
+///   [u32 payload_len (LE)] [payload_len bytes]
+///
+/// One request frame yields exactly one response frame; frames on a
+/// connection are processed strictly in order, so clients may pipeline.
+/// A frame whose length exceeds the server's limit is answered with
+/// kInvalidArgument and the connection is closed (the payload cannot be
+/// skipped safely without trusting the oversized length).
+///
+/// Request payload (all integers little-endian via util::serial):
+///
+///   u8  verb                  (Verb below)
+///   u64 session_id            (0 = sessionless)
+///   str index_name            (empty for admin verbs)
+///   ... verb-specific body
+///
+/// Response payload:
+///
+///   u8  status                (Status below)
+///   str message               (empty on kOk)
+///   ... verb-specific body    (present only on kOk)
+///
+/// Verb-specific bodies (u64 keys on the wire; the network tier hosts
+/// 64-bit-key indexes):
+///
+///   kOpenIndex   req: str backend          resp: u64 epoch, u64 entries
+///   kCloseIndex  req: --                   resp: u64 epoch
+///   kListIndexes req: --                   resp: u32 n, n x {str name,
+///                                                u64 epoch, u64 entries}
+///   kCreateSession req: --                 resp: u64 session_id
+///   kPointLookup req: pod[u64] keys        resp: u64 epoch,
+///                                                pod[LookupResult]
+///   kRangeLookup req: pod[KeyRange] ranges resp: u64 epoch,
+///                                                pod[LookupResult]
+///   kUpdate      req: pod[u64] insert_keys, pod[u32] insert_rows,
+///                     pod[u64] erase_keys  resp: u64 epoch, u64 entries
+///   kStats       req: --                   resp: u64 epoch, u64 entries,
+///                                                u64 memory_bytes,
+///                                                u64 rays, u64 probes,
+///                                                u64 rejections, u64 sweeps,
+///                                                u64 queue_depth, u64 pending
+///   kCheckpoint  req: --                   resp: u64 epoch
+///   kPing        req: --                   resp: str server_info
+enum class Verb : std::uint8_t {
+  kPing = 0,
+  kOpenIndex = 1,
+  kCloseIndex = 2,
+  kListIndexes = 3,
+  kCreateSession = 4,
+  kPointLookup = 5,
+  kRangeLookup = 6,
+  kUpdate = 7,
+  kStats = 8,
+  kCheckpoint = 9,
+};
+
+inline constexpr std::uint8_t kVerbCount = 10;
+
+/// Stable label for a verb (metrics label values and error messages).
+inline std::string_view VerbName(Verb verb) {
+  switch (verb) {
+    case Verb::kPing: return "ping";
+    case Verb::kOpenIndex: return "open_index";
+    case Verb::kCloseIndex: return "close_index";
+    case Verb::kListIndexes: return "list_indexes";
+    case Verb::kCreateSession: return "create_session";
+    case Verb::kPointLookup: return "point_lookup";
+    case Verb::kRangeLookup: return "range_lookup";
+    case Verb::kUpdate: return "update";
+    case Verb::kStats: return "stats";
+    case Verb::kCheckpoint: return "checkpoint";
+  }
+  return "unknown";
+}
+
+/// gRPC-inspired status space; kResourceExhausted is the admission
+/// control rejection clients must expect (and retry with backoff)
+/// under overload.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kResourceExhausted = 4,
+  kFailedPrecondition = 5,
+  kUnavailable = 6,
+  kInternal = 7,
+  kUnimplemented = 8,
+};
+
+inline std::string_view StatusName(Status status) {
+  switch (status) {
+    case Status::kOk: return "OK";
+    case Status::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Status::kNotFound: return "NOT_FOUND";
+    case Status::kAlreadyExists: return "ALREADY_EXISTS";
+    case Status::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case Status::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case Status::kUnavailable: return "UNAVAILABLE";
+    case Status::kInternal: return "INTERNAL";
+    case Status::kUnimplemented: return "UNIMPLEMENTED";
+  }
+  return "UNKNOWN";
+}
+
+/// Default cap on one frame's payload; the server rejects anything
+/// larger before allocating (a 4-byte length field must not be a
+/// remote allocation primitive). Large enough for a multi-million-key
+/// batch, small enough to bound per-connection memory.
+inline constexpr std::uint32_t kDefaultMaxFrameBytes = 64u << 20;
+
+/// Request header shared by every verb.
+struct RequestHeader {
+  Verb verb = Verb::kPing;
+  std::uint64_t session_id = 0;
+  std::string index;
+
+  void Encode(util::ByteWriter* out) const {
+    out->WriteU8(static_cast<std::uint8_t>(verb));
+    out->WriteU64(session_id);
+    out->WriteString(index);
+  }
+
+  /// Throws util::SerialError on truncation; a verb byte outside the
+  /// table is preserved verbatim (the server answers kUnimplemented).
+  static RequestHeader Decode(util::ByteReader* in) {
+    RequestHeader header;
+    header.verb = static_cast<Verb>(in->ReadU8());
+    header.session_id = in->ReadU64();
+    header.index = in->ReadString();
+    return header;
+  }
+};
+
+/// Response header shared by every verb.
+struct ResponseHeader {
+  Status status = Status::kOk;
+  std::string message;
+
+  bool ok() const { return status == Status::kOk; }
+
+  void Encode(util::ByteWriter* out) const {
+    out->WriteU8(static_cast<std::uint8_t>(status));
+    out->WriteString(message);
+  }
+
+  static ResponseHeader Decode(util::ByteReader* in) {
+    ResponseHeader header;
+    header.status = static_cast<Status>(in->ReadU8());
+    header.message = in->ReadString();
+    return header;
+  }
+};
+
+}  // namespace cgrx::net
+
+#endif  // CGRX_SRC_NET_WIRE_H_

@@ -82,6 +82,15 @@ class DurableIndexService {
   }
 
   void Drain() { service_->Drain(); }
+
+  /// Graceful shutdown (IndexService::Close): stop accepting, drain,
+  /// resolve in-flight tickets, join the dispatcher. The store stays
+  /// open (its WAL already holds every completed wave); the wrapper can
+  /// be destroyed or the directory re-opened afterwards. The network
+  /// tier's router calls this to close/evict one index while the
+  /// process keeps serving others.
+  void Close() { service_->Close(); }
+
   std::uint64_t epoch() const { return service_->epoch(); }
   api::IndexStats Stats() { return service_->Stats(); }
   const IndexStore<Key>& store() const { return *store_; }

@@ -1,0 +1,28 @@
+#include "src/util/fs.h"
+
+#include <stdexcept>
+#include <string>
+#include <system_error>
+
+namespace cgrx::util {
+
+void EnsureDir(const std::filesystem::path& dir) {
+  if (dir.empty()) {
+    throw std::runtime_error("EnsureDir: empty path");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  // create_directories reports success-without-creation (the directory
+  // already existed) as ec == 0; a pre-existing non-directory at the
+  // path surfaces as an error or as a non-directory below.
+  if (ec) {
+    throw std::runtime_error("EnsureDir: cannot create " + dir.string() +
+                             ": " + ec.message());
+  }
+  if (!std::filesystem::is_directory(dir, ec)) {
+    throw std::runtime_error("EnsureDir: " + dir.string() +
+                             " exists but is not a directory");
+  }
+}
+
+}  // namespace cgrx::util

@@ -1,0 +1,18 @@
+#ifndef CGRX_SRC_UTIL_FS_H_
+#define CGRX_SRC_UTIL_FS_H_
+
+#include <filesystem>
+
+namespace cgrx::util {
+
+/// Creates `dir` (and any missing parents), succeeding silently when it
+/// already exists. Throws std::runtime_error naming the path and the OS
+/// error when the directory cannot be created or the path exists but is
+/// not a directory. Shared by the bench output writer and the network
+/// tier's store roots, both of which used to create directories ad hoc
+/// with discarded error codes.
+void EnsureDir(const std::filesystem::path& dir);
+
+}  // namespace cgrx::util
+
+#endif  // CGRX_SRC_UTIL_FS_H_

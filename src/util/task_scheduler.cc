@@ -173,13 +173,17 @@ detail::Task* TaskScheduler::TryAcquire(Worker* self) {
     for (std::size_t i = 0; i < n; ++i) {
       Worker* victim = workers_[(start + i) % n].get();
       if (victim == self) continue;
-      if (detail::Task* task = victim->deque.Steal()) return task;
+      if (detail::Task* task = victim->deque.Steal()) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return task;
+      }
     }
   }
   return nullptr;
 }
 
 void TaskScheduler::Execute(detail::Task* task) {
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   std::exception_ptr exception;
   try {
     task->fn();

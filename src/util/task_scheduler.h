@@ -206,6 +206,26 @@ class TaskScheduler {
 
   int num_threads() const { return num_threads_; }
 
+  /// Cumulative scheduler counters, exported as /metrics gauges by the
+  /// network tier. Counters are relaxed-atomic sums over all threads:
+  /// cheap to maintain, exact in aggregate once the work they count has
+  /// joined.
+  struct Stats {
+    int num_threads = 1;
+    /// Tasks run to completion (forked tasks only; inline serial
+    /// degenerations are not scheduler work).
+    std::uint64_t tasks_executed = 0;
+    /// Tasks acquired from another worker's deque -- the load-balancing
+    /// traffic. steals / tasks_executed approximates how unevenly forks
+    /// landed.
+    std::uint64_t steals = 0;
+  };
+  Stats stats() const {
+    return Stats{num_threads_,
+                 tasks_executed_.load(std::memory_order_relaxed),
+                 steals_.load(std::memory_order_relaxed)};
+  }
+
   /// Process-wide scheduler sized to the hardware concurrency, or to
   /// the CGRX_THREADS environment variable when set (containers
   /// misreport hardware_concurrency; benchmarks pin widths).
@@ -263,6 +283,10 @@ class TaskScheduler {
   std::atomic<std::uint64_t> work_epoch_{0};
   std::atomic<bool> shutdown_{false};
   std::atomic<std::uint32_t> steal_seed_{0x9e3779b9u};
+
+  // Observability counters (see stats()).
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> steals_{0};
 };
 
 }  // namespace cgrx::util

@@ -5,6 +5,7 @@
 // multi-threaded submitters must never race the single writer (this is
 // the suite the ThreadSanitizer CI job exists for).
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -338,6 +339,72 @@ TEST(IndexServiceTest, StatsRunsOnTheDispatcher) {
   const IndexStats stats = service.Stats();
   EXPECT_EQ(stats.entries, keys.size());
   EXPECT_GT(stats.memory_bytes, 0u);
+}
+
+// Graceful shutdown: Close() resolves every ticket already admitted,
+// rejects everything after, and is idempotent (including concurrent
+// callers racing the destructor's implicit Close).
+TEST(IndexServiceTest, CloseDrainsThenRejects) {
+  const auto backend = MakeIndex<std::uint64_t>("btree");
+  backend->Build({1, 2, 3});
+  IndexService<std::uint64_t> service(backend);
+
+  auto lookup = service.SubmitPointLookups({2});
+  auto wave = service.SubmitUpdate({9}, {90}, {});
+  EXPECT_FALSE(service.closed());
+
+  service.Close();
+  EXPECT_TRUE(service.closed());
+  // Admitted tickets resolved during the drain.
+  EXPECT_EQ(lookup.get().results[0].match_count, 1u);
+  EXPECT_EQ(wave.get().epoch, 1u);
+  // Post-close submissions are rejected, not queued.
+  EXPECT_THROW(service.SubmitPointLookups({1}), std::runtime_error);
+  EXPECT_THROW(service.SubmitUpdate({4}, {4}, {}), std::runtime_error);
+  EXPECT_THROW(service.Stats(), std::runtime_error);
+  service.Close();  // Idempotent.
+
+  std::thread concurrent([&service] { service.Close(); });
+  concurrent.join();
+}
+
+TEST(IndexServiceTest, WaitForEpochHoldsReadersUntilTheWriteLands) {
+  const auto backend = MakeIndex<std::uint64_t>("btree");
+  backend->Build({1});
+  IndexService<std::uint64_t> service(backend);
+
+  // Already-reached targets return immediately.
+  EXPECT_TRUE(service.WaitForEpoch(0, std::chrono::milliseconds(1)));
+  // Unreached targets time out with false instead of hanging.
+  EXPECT_FALSE(service.WaitForEpoch(1, std::chrono::milliseconds(10)));
+
+  // A waiter parked on a future epoch is woken by the wave completing.
+  std::thread waiter([&service] {
+    EXPECT_TRUE(service.WaitForEpoch(1, std::chrono::seconds(30)));
+    EXPECT_GE(service.epoch(), 1u);
+  });
+  service.SubmitUpdate({7}, {70}, {}).get();
+  waiter.join();
+
+  // Close wakes waiters that can never be satisfied.
+  std::thread hopeless([&service] {
+    EXPECT_FALSE(service.WaitForEpoch(1000, std::chrono::seconds(30)));
+  });
+  service.Close();
+  hopeless.join();
+}
+
+TEST(IndexServiceTest, QueueDepthObservability) {
+  const auto backend = MakeIndex<std::uint64_t>("btree");
+  backend->Build({1});
+  IndexService<std::uint64_t>::Options options;
+  options.queue_limit = 64;
+  IndexService<std::uint64_t> service(backend, options);
+  EXPECT_EQ(service.queue_limit(), 64u);
+  // Quiescent service: nothing queued behind the dispatcher.
+  service.Drain();
+  EXPECT_EQ(service.queue_depth(), 0u);
+  EXPECT_LE(service.queue_depth(), service.pending());
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 // determinism -- the TaskScheduler.* cases run under the TSan CI job).
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <numeric>
@@ -600,6 +601,50 @@ TEST(TaskScheduler, SerialScopeForcesInlineExecution) {
   TaskGroup group(scheduler);
   group.Run([&] { EXPECT_EQ(std::this_thread::get_id(), caller); });
   group.Wait();
+}
+
+// Observability counters: every executed task is counted, and a
+// blocked-parent workload on a multi-worker scheduler steals at least
+// once (the /metrics scheduler gauges are built on these).
+TEST(TaskScheduler, StatsCountTasksAndSteals) {
+  TaskScheduler scheduler(4);
+  EXPECT_EQ(scheduler.stats().num_threads, 4);
+  const std::uint64_t executed_before = scheduler.stats().tasks_executed;
+
+  constexpr int kTasks = 512;
+  std::atomic<int> ran{0};
+  // Fork the burst from *inside* a worker task: the children land on
+  // that worker's own deque (external submissions go to the injection
+  // queue instead, which is not a steal), so every other thread can
+  // only get work by stealing it. The main thread spins on `forked`
+  // instead of joining right away -- joining would let it pull the
+  // parent out of the injection queue and run it itself, off any
+  // worker deque.
+  std::atomic<bool> forked{false};
+  TaskGroup outer(scheduler);
+  outer.Run([&scheduler, &ran, &forked] {
+    TaskGroup inner(scheduler);
+    for (int i = 0; i < kTasks; ++i) {
+      inner.Run([&ran] {
+        // Enough work per task that the forking worker cannot drain
+        // its own deque before the others wake up and steal.
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    forked.store(true, std::memory_order_release);
+    inner.Wait();
+  });
+  while (!forked.load(std::memory_order_acquire)) std::this_thread::yield();
+  outer.Wait();
+  EXPECT_EQ(ran.load(), kTasks);
+
+  const TaskScheduler::Stats after = scheduler.stats();
+  EXPECT_GE(after.tasks_executed - executed_before,
+            static_cast<std::uint64_t>(kTasks));
+  // All tasks were forked from one caller's deque; with four workers,
+  // anything another worker ran had to be stolen.
+  EXPECT_GT(after.steals, 0u);
 }
 
 // The historical name keeps working (and keeps its signature): the
