@@ -1,5 +1,6 @@
 #include "src/net/client.h"
 
+#include <limits>
 #include <utility>
 
 namespace cgrx::net {
@@ -35,6 +36,12 @@ util::ByteWriter Client::Request(Verb verb, const std::string& index) const {
 
 void Client::Send(const util::ByteWriter& request) {
   const std::vector<std::uint8_t>& body = request.bytes();
+  // The length prefix is a u32; a larger payload would truncate it and
+  // desynchronize the stream, so refuse before writing anything.
+  if (body.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw Error("request of " + std::to_string(body.size()) +
+                " bytes exceeds the u32 frame limit");
+  }
   std::vector<std::uint8_t> buffer;
   buffer.reserve(4 + body.size());
   const auto len = static_cast<std::uint32_t>(body.size());

@@ -1,8 +1,12 @@
 #include "src/net/server.h"
 
+#include <chrono>
 #include <cstring>
 #include <exception>
+#include <limits>
+#include <optional>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "src/api/index.h"
@@ -42,6 +46,7 @@ Server::Server(Options options)
       listener_(options_.port),
       router_(IndexRouter::Options{options_.root, options_.policy,
                                    options_.service_queue_limit}),
+      sessions_(options_.max_sessions, options_.session_idle_ttl),
       read_cap_(options_.max_concurrent_reads),
       write_cap_(options_.max_concurrent_writes) {
   accept_thread_ = std::thread([this] { AcceptLoop(); });
@@ -71,7 +76,17 @@ void Server::Stop() {
 
 void Server::AcceptLoop() {
   for (;;) {
-    Socket socket = listener_.Accept();
+    Socket socket;
+    try {
+      socket = listener_.Accept();
+    } catch (const Error&) {
+      // Unexpected accept() failure: the listener fd is still live, so
+      // keep serving -- a dead accept loop is a silently dead server.
+      if (stopping_.load(std::memory_order_acquire)) return;
+      accept_errors_.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
     if (!socket.valid() || stopping_.load(std::memory_order_acquire)) {
       return;  // Shutdown() woke us.
     }
@@ -83,6 +98,10 @@ void Server::AcceptLoop() {
       continue;  // Socket closes: connection refused by cap.
     }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    // Count the connection here, not in the handler thread: this loop
+    // is the only incrementer, so the cap check above can never be
+    // overtaken by a burst of accepts racing slow handler startups.
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
     auto conn = std::make_unique<Connection>(std::move(socket),
                                              options_.rate_limit_per_client,
                                              options_.rate_limit_burst);
@@ -111,7 +130,8 @@ void Server::ReapConnections() {
 }
 
 void Server::HandleConnection(Connection* conn) {
-  active_connections_.fetch_add(1, std::memory_order_relaxed);
+  // active_connections_ was incremented by AcceptLoop; this thread
+  // only decrements (at the bottom).
   try {
     // Sniff the first 4 bytes: an HTTP method means the read-only
     // /metrics mapping; anything else is the first frame's length.
@@ -212,21 +232,30 @@ void Server::Dispatch(Connection* conn, const RequestHeader& header,
   // Admission control, cheapest checks first: rate budget, then
   // endpoint concurrency. Both reject in microseconds with
   // kResourceExhausted instead of queueing the request anywhere.
-  if (IsDataVerb(header.verb) && !conn->bucket.TryAcquire()) {
+  // kCreateSession allocates server memory, so it spends from the same
+  // token bucket as the data verbs even though it is control-plane.
+  const bool rate_limited =
+      IsDataVerb(header.verb) || header.verb == Verb::kCreateSession;
+  if (rate_limited && !conn->bucket.TryAcquire()) {
     rejected_rate_limit_.fetch_add(1, std::memory_order_relaxed);
     WriteError(out, Status::kResourceExhausted,
                "client rate limit exceeded");
     return;
   }
-  ConcurrencyCap::Guard guard(IsWriteVerb(header.verb) ? write_cap_
-                                                       : read_cap_);
-  if (IsDataVerb(header.verb) && !guard) {
-    rejected_concurrency_.fetch_add(1, std::memory_order_relaxed);
-    WriteError(out, Status::kResourceExhausted,
-               IsWriteVerb(header.verb)
-                   ? "server write concurrency limit reached"
-                   : "server read concurrency limit reached");
-    return;
+  // Only data verbs hold a concurrency slot: a control-plane verb like
+  // kOpenIndex may legitimately run for the length of a WAL replay and
+  // must not eat read capacity while it does.
+  std::optional<ConcurrencyCap::Guard> guard;
+  if (IsDataVerb(header.verb)) {
+    guard.emplace(IsWriteVerb(header.verb) ? write_cap_ : read_cap_);
+    if (!*guard) {
+      rejected_concurrency_.fetch_add(1, std::memory_order_relaxed);
+      WriteError(out, Status::kResourceExhausted,
+                 IsWriteVerb(header.verb)
+                     ? "server write concurrency limit reached"
+                     : "server read concurrency limit reached");
+      return;
+    }
   }
 
   std::shared_ptr<Session> session;
@@ -248,6 +277,14 @@ void Server::Dispatch(Connection* conn, const RequestHeader& header,
     }
     case Verb::kCreateSession: {
       const std::uint64_t id = sessions_.Create();
+      if (id == 0) {
+        rejected_sessions_.fetch_add(1, std::memory_order_relaxed);
+        WriteError(out, Status::kResourceExhausted,
+                   "session table full (" +
+                       std::to_string(options_.max_sessions) +
+                       " live sessions)");
+        return;
+      }
       ResponseHeader{Status::kOk, ""}.Encode(out);
       out->WriteU64(id);
       return;
@@ -397,15 +434,27 @@ void Server::Dispatch(Connection* conn, const RequestHeader& header,
 }
 
 void Server::WriteFrame(Connection* conn, const util::ByteWriter& payload) {
-  const std::vector<std::uint8_t>& body = payload.bytes();
+  // The length prefix is a u32: a larger body would write a truncated
+  // prefix and desynchronize every pipelined response behind it, so
+  // answer an error frame instead (responses, unlike requests, are not
+  // bounded by max_frame_bytes).
+  const std::vector<std::uint8_t>* body = &payload.bytes();
+  util::ByteWriter oversized;
+  if (body->size() > std::numeric_limits<std::uint32_t>::max()) {
+    WriteError(&oversized, Status::kResourceExhausted,
+               "response of " + std::to_string(body->size()) +
+                   " bytes exceeds the 4 GiB frame limit; narrow the "
+                   "request");
+    body = &oversized.bytes();
+  }
   std::vector<std::uint8_t> buffer;
-  buffer.reserve(4 + body.size());
-  const auto len = static_cast<std::uint32_t>(body.size());
+  buffer.reserve(4 + body->size());
+  const auto len = static_cast<std::uint32_t>(body->size());
   buffer.push_back(static_cast<std::uint8_t>(len));
   buffer.push_back(static_cast<std::uint8_t>(len >> 8));
   buffer.push_back(static_cast<std::uint8_t>(len >> 16));
   buffer.push_back(static_cast<std::uint8_t>(len >> 24));
-  buffer.insert(buffer.end(), body.begin(), body.end());
+  buffer.insert(buffer.end(), body->begin(), body->end());
   conn->socket.WriteAll(buffer.data(), buffer.size());
   bytes_written_.fetch_add(buffer.size(), std::memory_order_relaxed);
 }
@@ -496,6 +545,8 @@ std::string Server::MetricsText() {
              rejected_concurrency_.load(std::memory_order_relaxed));
   w.Labelled("cgrx_rejected_total", "reason", "connections",
              rejected_connections_.load(std::memory_order_relaxed));
+  w.Labelled("cgrx_rejected_total", "reason", "sessions",
+             rejected_sessions_.load(std::memory_order_relaxed));
   w.Family("cgrx_malformed_frames_total",
            "Frames rejected as oversized or undecodable", "counter");
   w.Value("cgrx_malformed_frames_total",
@@ -512,6 +563,14 @@ std::string Server::MetricsText() {
            "gauge");
   w.Value("cgrx_sessions_active",
           static_cast<std::uint64_t>(sessions_.size()));
+  w.Family("cgrx_sessions_evicted_total",
+           "Sessions evicted by idle-TTL expiry", "counter");
+  w.Value("cgrx_sessions_evicted_total", sessions_.evicted());
+  w.Family("cgrx_accept_errors_total",
+           "Unexpected accept() failures survived by the accept loop",
+           "counter");
+  w.Value("cgrx_accept_errors_total",
+          accept_errors_.load(std::memory_order_relaxed));
   w.Family("cgrx_http_requests_total", "HTTP requests served", "counter");
   w.Value("cgrx_http_requests_total",
           http_requests_.load(std::memory_order_relaxed));

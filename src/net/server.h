@@ -37,8 +37,9 @@ namespace cgrx::net {
 /// TSan can check end to end.
 ///
 /// Admission control (Options):
-///  * per-connection token bucket over data-plane verbs -- a client
-///    beyond its rate budget gets kResourceExhausted in microseconds,
+///  * per-connection token bucket over data-plane verbs and
+///    create_session -- a client beyond its rate budget gets
+///    kResourceExhausted in microseconds,
 ///  * per-endpoint-class concurrency caps (reads, writes) sized below
 ///    the per-index bounded submission queue, so the queue's blocking
 ///    backpressure is the second line of defence, not the first,
@@ -63,7 +64,8 @@ class Server {
     /// Frames with larger payloads are rejected before allocation.
     std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
     /// Token bucket per connection over data-plane verbs
-    /// (lookups/updates/stats/checkpoint); 0 disables.
+    /// (lookups/updates/stats/checkpoint) plus create_session, which
+    /// allocates server memory; 0 disables.
     double rate_limit_per_client = 0;
     double rate_limit_burst = 64;
     /// Concurrent in-flight caps per endpoint class; 0 = uncapped.
@@ -74,6 +76,12 @@ class Server {
     /// How long a session read waits for its write floor epoch before
     /// answering kUnavailable.
     std::chrono::milliseconds session_wait_timeout{5000};
+    /// Session-table bound: at most this many live sessions (0 =
+    /// uncapped). create_session beyond the cap first evicts sessions
+    /// idle longer than session_idle_ttl, then answers
+    /// kResourceExhausted.
+    std::size_t max_sessions = 65536;
+    std::chrono::milliseconds session_idle_ttl{std::chrono::minutes(15)};
   };
 
   /// Binds, then serves until Stop()/destruction.
@@ -140,6 +148,8 @@ class Server {
   std::atomic<std::uint64_t> rejected_rate_limit_{0};
   std::atomic<std::uint64_t> rejected_concurrency_{0};
   std::atomic<std::uint64_t> rejected_connections_{0};
+  std::atomic<std::uint64_t> rejected_sessions_{0};
+  std::atomic<std::uint64_t> accept_errors_{0};
   std::atomic<std::uint64_t> malformed_frames_{0};
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> active_connections_{0};

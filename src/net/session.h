@@ -1,6 +1,7 @@
 #ifndef CGRX_SRC_NET_SESSION_H_
 #define CGRX_SRC_NET_SESSION_H_
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -46,22 +47,52 @@ class Session {
 
 /// Server-wide session table. Ids are dense and never reused within a
 /// server lifetime; id 0 is reserved for "sessionless".
+///
+/// The table is bounded: at most `max_sessions` live entries, and when
+/// the cap is hit Create first evicts sessions idle (not Found or
+/// Created) longer than `idle_ttl`, then returns 0 if the table is
+/// still full -- the server answers kResourceExhausted rather than
+/// letting a create_session loop grow memory without bound. A session
+/// only needs to outlive its last write by the read-your-writes
+/// window, so an idle-TTL eviction never breaks the guarantee for a
+/// live client; an evicted id simply becomes unknown (kInvalidArgument
+/// on use), it is never silently downgraded to sessionless.
 class SessionRegistry {
  public:
+  using Clock = std::chrono::steady_clock;
+
+  SessionRegistry() = default;
+  /// `max_sessions` == 0 means uncapped; `idle_ttl` <= 0 disables
+  /// expiry (eviction then never frees space and a full table stays
+  /// full).
+  SessionRegistry(std::size_t max_sessions, std::chrono::milliseconds idle_ttl)
+      : max_sessions_(max_sessions), idle_ttl_(idle_ttl) {}
+
+  /// Returns the new session id, or 0 when the table is full even
+  /// after expired-session eviction (the caller answers
+  /// kResourceExhausted).
   std::uint64_t Create() {
     const std::lock_guard<std::mutex> lock(mutex_);
+    const Clock::time_point now = Clock::now();
+    if (max_sessions_ > 0 && sessions_.size() >= max_sessions_) {
+      EvictExpiredLocked(now);
+      if (sessions_.size() >= max_sessions_) return 0;
+    }
     const std::uint64_t id = next_id_++;
-    sessions_[id] = std::make_shared<Session>();
+    sessions_[id] = Entry{std::make_shared<Session>(), now};
     return id;
   }
 
   /// nullptr for id 0 and unknown ids (the caller maps unknown ids to
   /// kInvalidArgument rather than silently serving sessionless).
-  std::shared_ptr<Session> Find(std::uint64_t id) const {
+  /// Refreshes the session's idle clock.
+  std::shared_ptr<Session> Find(std::uint64_t id) {
     if (id == 0) return nullptr;
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = sessions_.find(id);
-    return it == sessions_.end() ? nullptr : it->second;
+    if (it == sessions_.end()) return nullptr;
+    it->second.last_used = Clock::now();
+    return it->second.session;
   }
 
   std::size_t size() const {
@@ -69,10 +100,36 @@ class SessionRegistry {
     return sessions_.size();
   }
 
+  /// Sessions evicted by idle-TTL expiry since construction.
+  std::uint64_t evicted() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return evicted_;
+  }
+
  private:
+  struct Entry {
+    std::shared_ptr<Session> session;
+    Clock::time_point last_used;
+  };
+
+  void EvictExpiredLocked(Clock::time_point now) {
+    if (idle_ttl_.count() <= 0) return;
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (now - it->second.last_used >= idle_ttl_) {
+        it = sessions_.erase(it);
+        ++evicted_;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  const std::size_t max_sessions_ = 0;
+  const std::chrono::milliseconds idle_ttl_{0};
   mutable std::mutex mutex_;
-  std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  std::map<std::uint64_t, Entry> sessions_;
   std::uint64_t next_id_ = 1;
+  std::uint64_t evicted_ = 0;
 };
 
 }  // namespace cgrx::net

@@ -7,7 +7,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace cgrx::net {
 
@@ -156,9 +158,31 @@ Socket Listener::Accept() {
       socket.SetNoDelay();
       return socket;
     }
-    if (errno == EINTR) continue;
-    // EINVAL after Shutdown(): orderly stop, not an error.
-    return Socket();
+    switch (errno) {
+      case EINTR:
+      case ECONNABORTED:  // Peer reset while queued in the backlog:
+                          // that connection is gone, the listener is
+                          // fine.
+#ifdef EPROTO
+      case EPROTO:
+#endif
+        continue;
+      case EMFILE:
+      case ENFILE:
+      case ENOBUFS:
+      case ENOMEM:
+        // fd/buffer exhaustion is transient (handlers finish and close
+        // fds): back off briefly and retry rather than permanently
+        // killing the accept loop while the server looks healthy.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      case EINVAL:
+      case EBADF:
+        // Shutdown()/Close() from another thread: orderly stop.
+        return Socket();
+      default:
+        throw Error(Errno("accept"));
+    }
   }
 }
 

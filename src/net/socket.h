@@ -78,8 +78,12 @@ class Listener {
   Listener(const Listener&) = delete;
   Listener& operator=(const Listener&) = delete;
 
-  /// Blocks for the next connection. Returns an invalid Socket once
-  /// Shutdown() has been called from another thread.
+  /// Blocks for the next connection. Transient failures are absorbed:
+  /// backlog aborts (ECONNABORTED) retry immediately and fd/buffer
+  /// exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) retries after a brief
+  /// sleep -- the listener itself is still healthy in both cases.
+  /// Returns an invalid Socket once Shutdown() (or Close()) has been
+  /// called from another thread; throws Error on unexpected failures.
   Socket Accept();
 
   std::uint16_t port() const { return port_; }

@@ -434,6 +434,82 @@ TEST(NetSessionTest, ReadYourWritesUnderConcurrentWriters) {
   for (std::thread& t : writers) t.join();
 }
 
+TEST(NetSessionTest, RegistryCapAndTtlEviction) {
+  // A full table with nothing idle long enough rejects (returns 0)
+  // instead of growing.
+  SessionRegistry capped(2, std::chrono::milliseconds(60'000));
+  const std::uint64_t a = capped.Create();
+  const std::uint64_t b = capped.Create();
+  ASSERT_GT(a, 0u);
+  ASSERT_GT(b, 0u);
+  EXPECT_EQ(capped.Create(), 0u);
+  EXPECT_EQ(capped.size(), 2u);
+  EXPECT_NE(capped.Find(a), nullptr);  // Rejection evicted nothing.
+
+  // Once entries sit idle past the TTL, a full table evicts them and
+  // admits again; the evicted id becomes unknown, never sessionless.
+  SessionRegistry expiring(1, std::chrono::milliseconds(1));
+  const std::uint64_t first = expiring.Create();
+  ASSERT_GT(first, 0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const std::uint64_t second = expiring.Create();
+  ASSERT_GT(second, first);  // Ids are never reused.
+  EXPECT_EQ(expiring.Find(first), nullptr);
+  EXPECT_NE(expiring.Find(second), nullptr);
+  EXPECT_EQ(expiring.size(), 1u);
+  EXPECT_EQ(expiring.evicted(), 1u);
+}
+
+TEST(NetSessionTest, SessionTableCapOverTheWire) {
+  Server::Options options = BaseOptions(ScratchDir("session_cap"));
+  options.max_sessions = 2;
+  options.session_idle_ttl = std::chrono::milliseconds(250);
+  Server server(options);
+  Client client("localhost", server.port());
+
+  const Client::SessionReply a = client.CreateSession();
+  const Client::SessionReply b = client.CreateSession();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const Client::SessionReply over = client.CreateSession();
+  EXPECT_EQ(over.status, Status::kResourceExhausted);
+
+  // Past the idle TTL the full table evicts and admits again, and a
+  // read carrying the evicted id is rejected as unknown.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const Client::SessionReply readmitted = client.CreateSession();
+  ASSERT_TRUE(readmitted.ok()) << readmitted.message;
+  client.UseSession(a.session_id);
+  const Client::LookupReply read = client.PointLookup("nosuch", {1});
+  EXPECT_EQ(read.status, Status::kInvalidArgument);
+  EXPECT_NE(read.message.find("session"), std::string::npos);
+}
+
+TEST(NetAdmissionTest, CreateSessionIsRateLimited) {
+  Server::Options options = BaseOptions(ScratchDir("session_rate"));
+  options.rate_limit_per_client = 1.0;
+  options.rate_limit_burst = 4;
+  Server server(options);
+  Client client("localhost", server.port());
+
+  // create_session allocates server memory, so it spends from the same
+  // token bucket as the data verbs: the burst admits a few, the rest
+  // are fast rejections.
+  int ok = 0;
+  int exhausted = 0;
+  for (int i = 0; i < 32; ++i) {
+    const Client::SessionReply reply = client.CreateSession();
+    if (reply.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(reply.status, Status::kResourceExhausted);
+      ++exhausted;
+    }
+  }
+  EXPECT_GE(ok, 4);
+  EXPECT_GE(exhausted, 20);
+}
+
 // --- Metrics --------------------------------------------------------
 
 TEST(NetMetricsTest, PrometheusTextOverHttpAndInProcess) {
