@@ -20,9 +20,16 @@
 // Standalone (no google-benchmark dependency) so CI can always build
 // and smoke-run it:
 //
+// With --deadline_ms D every RPC carries a server-enforced deadline,
+// and each sweep point additionally reports the outcome split: answers
+// inside the deadline, kOk answers that came back late anyway
+// (queued-then-late: the server finished them but the caller had
+// already lost interest), and kDeadlineExceeded answers (dropped
+// before execution by admission or at dispatch).
+//
 //   bench_serve [--keys N] [--connections C] [--seconds S] [--batch B]
 //               [--qps Q1,Q2,...] [--write_ratio R] [--theta T]
-//               [--out FILE] [--out_dir DIR]
+//               [--deadline_ms D] [--out FILE] [--out_dir DIR]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -62,7 +69,11 @@ struct Point {
   double lookups_per_sec = 0;   // Keys resolved per second.
   std::uint64_t ok = 0;
   std::uint64_t rejected = 0;   // kResourceExhausted answers.
-  std::uint64_t errors = 0;     // Any other non-OK status.
+  std::uint64_t errors = 0;     // Any other non-OK status, or transport.
+  // Deadline outcome split (all zero unless --deadline_ms is set).
+  std::uint64_t ok_in_deadline = 0;    // kOk within the budget.
+  std::uint64_t ok_late = 0;           // kOk, but past the budget.
+  std::uint64_t deadline_exceeded = 0; // kDeadlineExceeded answers.
   double p50_us = 0;
   double p99_us = 0;
   double p999_us = 0;
@@ -82,7 +93,7 @@ double Percentile(std::vector<double>* sorted_in_place, double q) {
 Point RunPoint(std::uint16_t port, const std::string& index,
                double offered_qps, int connections, double seconds,
                std::size_t batch, double write_ratio, std::size_t num_keys,
-               double theta) {
+               double theta, std::uint32_t deadline_ms) {
   const ZipfGenerator zipf(num_keys, theta);
   const double per_connection_qps =
       offered_qps / static_cast<double>(connections);
@@ -97,6 +108,9 @@ Point RunPoint(std::uint16_t port, const std::string& index,
     std::uint64_t rejected = 0;
     std::uint64_t errors = 0;
     std::uint64_t keys_resolved = 0;
+    std::uint64_t ok_in_deadline = 0;
+    std::uint64_t ok_late = 0;
+    std::uint64_t deadline_exceeded = 0;
   };
   std::vector<PerThread> results(static_cast<std::size_t>(connections));
   std::vector<std::thread> threads;
@@ -104,7 +118,9 @@ Point RunPoint(std::uint16_t port, const std::string& index,
 
   for (int t = 0; t < connections; ++t) {
     threads.emplace_back([&, t] {
-      Client client("localhost", port);
+      Client::Options copts;
+      copts.call_deadline = std::chrono::milliseconds(deadline_ms);
+      Client client("localhost", port, copts);
       PerThread& mine = results[static_cast<std::size_t>(t)];
       mine.latencies_us.reserve(requests_per_connection);
       Rng rng(0x5EEDULL + static_cast<std::uint64_t>(t));
@@ -117,32 +133,59 @@ Point RunPoint(std::uint16_t port, const std::string& index,
         const bool is_write = rng.NextDouble() < write_ratio;
         Status status;
         std::size_t resolved = 0;
-        if (is_write) {
-          const std::uint64_t key = next_insert_key++;
-          status = client
-                       .Update(index, {key},
-                               {static_cast<std::uint32_t>(key & 0xffffff)},
-                               {})
-                       .status;
-        } else {
-          for (std::size_t k = 0; k < batch; ++k) {
-            keys[k] = static_cast<std::uint64_t>(zipf.Next(&rng)) + 1;
+        const Clock::time_point call_start = Clock::now();
+        try {
+          if (is_write) {
+            const std::uint64_t key = next_insert_key++;
+            status =
+                client
+                    .Update(index, {key},
+                            {static_cast<std::uint32_t>(key & 0xffffff)}, {})
+                    .status;
+          } else {
+            for (std::size_t k = 0; k < batch; ++k) {
+              keys[k] = static_cast<std::uint64_t>(zipf.Next(&rng)) + 1;
+            }
+            const Client::LookupReply reply = client.PointLookup(index, keys);
+            status = reply.status;
+            resolved = reply.results.size();
           }
-          const Client::LookupReply reply = client.PointLookup(index, keys);
-          status = reply.status;
-          resolved = reply.results.size();
+        } catch (const std::exception&) {
+          // Transport timeout or reset; the client poisons and
+          // reconnects lazily on the next call.
+          ++mine.errors;
+          continue;
         }
+        const Clock::time_point done = Clock::now();
         const double latency_us =
-            std::chrono::duration<double, std::micro>(Clock::now() - due)
+            std::chrono::duration<double, std::micro>(done - due).count();
+        // Deadline accounting runs on the call's own wall time (send to
+        // answer), matching the budget the server enforces; the
+        // percentile latency stays anchored to the open-loop due time.
+        const double call_ms =
+            std::chrono::duration<double, std::milli>(done - call_start)
                 .count();
         if (status == Status::kOk) {
           ++mine.ok;
           mine.keys_resolved += resolved;
           mine.latencies_us.push_back(latency_us);
+          if (deadline_ms > 0) {
+            if (call_ms <= static_cast<double>(deadline_ms)) {
+              ++mine.ok_in_deadline;
+            } else {
+              ++mine.ok_late;
+            }
+          }
         } else if (status == Status::kResourceExhausted) {
           // Rejections count toward the latency profile too: the whole
           // point of admission control is that they come back fast.
           ++mine.rejected;
+          mine.latencies_us.push_back(latency_us);
+        } else if (status == Status::kDeadlineExceeded) {
+          // Refused or dropped unexecuted under its budget -- the
+          // deadline answer must come back fast, so it counts toward
+          // the latency profile as well.
+          ++mine.deadline_exceeded;
           mine.latencies_us.push_back(latency_us);
         } else {
           ++mine.errors;
@@ -161,6 +204,9 @@ Point RunPoint(std::uint16_t port, const std::string& index,
     point.ok += r.ok;
     point.rejected += r.rejected;
     point.errors += r.errors;
+    point.ok_in_deadline += r.ok_in_deadline;
+    point.ok_late += r.ok_late;
+    point.deadline_exceeded += r.deadline_exceeded;
     point.lookups_per_sec += static_cast<double>(r.keys_resolved);
     all.insert(all.end(), r.latencies_us.begin(), r.latencies_us.end());
   }
@@ -182,6 +228,7 @@ int main(int argc, char** argv) {
   std::size_t batch = 32;
   double write_ratio = 0.02;
   double theta = 0.99;
+  std::uint32_t deadline_ms = 0;
   std::string qps_list = "1000,4000,8000,16000";
   std::string out_file = "BENCH_serve.json";
   std::string out_dir;
@@ -202,6 +249,9 @@ int main(int argc, char** argv) {
       write_ratio = std::strtod(next(), nullptr);
     } else if (arg == "--theta") {
       theta = std::strtod(next(), nullptr);
+    } else if (arg == "--deadline_ms") {
+      deadline_ms = static_cast<std::uint32_t>(
+          std::strtoul(next(), nullptr, 10));
     } else if (arg == "--qps") {
       qps_list = next();
     } else if (arg == "--out") {
@@ -212,7 +262,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--keys N] [--connections C] [--seconds S] "
                    "[--batch B] [--qps Q1,Q2,...] [--write_ratio R] "
-                   "[--theta T] [--out FILE] [--out_dir DIR]\n",
+                   "[--theta T] [--deadline_ms D] [--out FILE] "
+                   "[--out_dir DIR]\n",
                    argv[0]);
       return 2;
     }
@@ -285,7 +336,7 @@ int main(int argc, char** argv) {
   for (const double qps : sweep) {
     const Point point = RunPoint(server.port(), index, qps, connections,
                                  seconds, batch, write_ratio, num_keys,
-                                 theta);
+                                 theta, deadline_ms);
     std::printf("  offered %8.0f rpc/s: achieved %8.0f rpc/s "
                 "(%9.0f lookups/s)  p50 %7.1fus  p99 %7.1fus  "
                 "p999 %7.1fus  ok %llu rejected %llu errors %llu\n",
@@ -295,6 +346,21 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(point.ok),
                 static_cast<unsigned long long>(point.rejected),
                 static_cast<unsigned long long>(point.errors));
+    if (deadline_ms > 0) {
+      const double total = static_cast<double>(
+          point.ok + point.rejected + point.errors + point.deadline_exceeded);
+      std::printf("      deadline %ums: in-deadline %llu  "
+                  "queued-then-late %llu  deadline-exceeded %llu  "
+                  "(%.1f%% answered in budget)\n",
+                  deadline_ms,
+                  static_cast<unsigned long long>(point.ok_in_deadline),
+                  static_cast<unsigned long long>(point.ok_late),
+                  static_cast<unsigned long long>(point.deadline_exceeded),
+                  total == 0 ? 0.0
+                             : 100.0 *
+                                   static_cast<double>(point.ok_in_deadline) /
+                                   total);
+    }
     points.push_back(point);
   }
 
@@ -318,7 +384,8 @@ int main(int argc, char** argv) {
     // fast rejection.
     overload = RunPoint(limited.port(), index,
                         5000.0 * connections / 8, connections,
-                        std::min(seconds, 1.0), batch, 0.0, 3, theta);
+                        std::min(seconds, 1.0), batch, 0.0, 3, theta,
+                        /*deadline_ms=*/0);
     std::printf("  overload: ok %llu rejected %llu errors %llu "
                 "(rejections must dominate and return fast)\n",
                 static_cast<unsigned long long>(overload.ok),
@@ -343,21 +410,39 @@ int main(int argc, char** argv) {
                "{\n  \"bench\": \"serve\",\n  \"keys\": %zu,\n"
                "  \"connections\": %d,\n  \"batch\": %zu,\n"
                "  \"write_ratio\": %g,\n  \"theta\": %g,\n"
+               "  \"deadline_ms\": %u,\n"
                "  \"seconds_per_point\": %g,\n  \"points\": [\n",
-               num_keys, connections, batch, write_ratio, theta, seconds);
+               num_keys, connections, batch, write_ratio, theta,
+               deadline_ms, seconds);
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
+    const double total = static_cast<double>(p.ok + p.rejected + p.errors +
+                                             p.deadline_exceeded);
     std::fprintf(f,
                  "    {\"offered_qps\": %g, \"achieved_qps\": %.1f, "
                  "\"lookups_per_sec\": %.1f, \"ok\": %llu, "
                  "\"rejected\": %llu, \"errors\": %llu, "
+                 "\"ok_in_deadline\": %llu, \"ok_late\": %llu, "
+                 "\"deadline_exceeded\": %llu, "
+                 "\"frac_ok_in_deadline\": %.4f, "
+                 "\"frac_ok_late\": %.4f, "
+                 "\"frac_deadline_exceeded\": %.4f, "
                  "\"p50_us\": %.1f, \"p99_us\": %.1f, "
                  "\"p999_us\": %.1f, \"max_us\": %.1f}%s\n",
                  p.offered_qps, p.achieved_qps, p.lookups_per_sec,
                  static_cast<unsigned long long>(p.ok),
                  static_cast<unsigned long long>(p.rejected),
-                 static_cast<unsigned long long>(p.errors), p.p50_us,
-                 p.p99_us, p.p999_us, p.max_us,
+                 static_cast<unsigned long long>(p.errors),
+                 static_cast<unsigned long long>(p.ok_in_deadline),
+                 static_cast<unsigned long long>(p.ok_late),
+                 static_cast<unsigned long long>(p.deadline_exceeded),
+                 total == 0 ? 0.0
+                            : static_cast<double>(p.ok_in_deadline) / total,
+                 total == 0 ? 0.0 : static_cast<double>(p.ok_late) / total,
+                 total == 0
+                     ? 0.0
+                     : static_cast<double>(p.deadline_exceeded) / total,
+                 p.p50_us, p.p99_us, p.p999_us, p.max_us,
                  i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f,

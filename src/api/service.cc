@@ -76,9 +76,11 @@ bool IndexService<Key>::WaitForEpoch(std::uint64_t target,
 
 template <typename Key>
 std::future<typename IndexService<Key>::LookupBatchResult>
-IndexService<Key>::SubmitPointLookups(std::vector<Key> keys) {
+IndexService<Key>::SubmitPointLookups(std::vector<Key> keys,
+                                      util::RequestContext context) {
   Op op;
   op.kind = Op::Kind::kPointLookup;
+  op.context = std::move(context);
   op.keys = std::move(keys);
   std::future<LookupBatchResult> ticket = op.lookup_done.get_future();
   Enqueue(std::move(op));
@@ -87,9 +89,11 @@ IndexService<Key>::SubmitPointLookups(std::vector<Key> keys) {
 
 template <typename Key>
 std::future<typename IndexService<Key>::LookupBatchResult>
-IndexService<Key>::SubmitRangeLookups(std::vector<core::KeyRange<Key>> ranges) {
+IndexService<Key>::SubmitRangeLookups(std::vector<core::KeyRange<Key>> ranges,
+                                      util::RequestContext context) {
   Op op;
   op.kind = Op::Kind::kRangeLookup;
+  op.context = std::move(context);
   op.ranges = std::move(ranges);
   std::future<LookupBatchResult> ticket = op.lookup_done.get_future();
   Enqueue(std::move(op));
@@ -100,13 +104,15 @@ template <typename Key>
 std::future<typename IndexService<Key>::UpdateResult>
 IndexService<Key>::SubmitUpdate(std::vector<Key> insert_keys,
                                 std::vector<std::uint32_t> insert_rows,
-                                std::vector<Key> erase_keys) {
+                                std::vector<Key> erase_keys,
+                                util::RequestContext context) {
   if (insert_keys.size() != insert_rows.size()) {
     throw std::invalid_argument(
         "SubmitUpdate: insert_keys/insert_rows size mismatch");
   }
   Op op;
   op.kind = Op::Kind::kUpdate;
+  op.context = std::move(context);
   op.keys = std::move(insert_keys);
   op.insert_rows = std::move(insert_rows);
   op.erase_keys = std::move(erase_keys);
@@ -117,12 +123,14 @@ IndexService<Key>::SubmitUpdate(std::vector<Key> insert_keys,
 
 template <typename Key>
 std::future<std::uint64_t> IndexService<Key>::Checkpoint(
-    std::function<void(const Index<Key>&, std::uint64_t)> writer) {
+    std::function<void(const Index<Key>&, std::uint64_t)> writer,
+    util::RequestContext context) {
   if (writer == nullptr) {
     throw std::invalid_argument("Checkpoint: null writer");
   }
   Op op;
   op.kind = Op::Kind::kCheckpoint;
+  op.context = std::move(context);
   op.checkpoint_writer = std::move(writer);
   std::future<std::uint64_t> ticket = op.checkpoint_done.get_future();
   Enqueue(std::move(op));
@@ -165,9 +173,20 @@ void IndexService<Key>::Enqueue(Op op, bool respect_limit) {
     if (respect_limit && options_.queue_limit > 0) {
       // Blocking backpressure: a full queue parks the submitter until
       // the dispatcher admits a wave (which is what pops the queue).
-      space_available_.wait(lock, [this] {
+      // A deadline on the op bounds the park: timing out here means
+      // the request spent its whole budget waiting for a queue slot.
+      const auto have_space = [this] {
         return stopping_ || queue_.size() < options_.queue_limit;
-      });
+      };
+      if (op.context.has_deadline()) {
+        if (!space_available_.wait_until(lock, op.context.deadline(),
+                                         have_space)) {
+          throw util::DeadlineExceededError(
+              "deadline expired while waiting for a queue slot");
+        }
+      } else {
+        space_available_.wait(lock, have_space);
+      }
     }
     if (stopping_) {
       throw std::runtime_error("IndexService is shutting down");
@@ -232,8 +251,46 @@ void IndexService<Key>::ExecuteReadWave(std::vector<Op>* wave) {
   group.Wait();  // Execute never throws (exceptions land in promises).
 }
 
+/// Drop-at-dispatch: an op whose caller stopped waiting (deadline
+/// answered on the wire, or an explicit Cancel) must not execute --
+/// the serving tier has already responded, so the work would be pure
+/// waste, and for updates it would apply a write nobody was told
+/// about. The ticket fails with the precise reason so in-process
+/// callers can tell budget exhaustion from cancellation.
+template <typename Key>
+bool IndexService<Key>::DropIfDone(Op& op) {
+  const bool cancelled = op.context.cancelled();
+  if (!cancelled && !op.context.expired()) return false;
+  deadline_dropped_.fetch_add(1, std::memory_order_relaxed);
+  std::exception_ptr reason;
+  if (cancelled) {
+    reason = std::make_exception_ptr(
+        util::CancelledError("submission cancelled before dispatch"));
+  } else {
+    reason = std::make_exception_ptr(util::DeadlineExceededError(
+        "deadline expired before the dispatcher reached the submission"));
+  }
+  switch (op.kind) {
+    case Op::Kind::kPointLookup:
+    case Op::Kind::kRangeLookup:
+      op.lookup_done.set_exception(reason);
+      break;
+    case Op::Kind::kUpdate:
+      op.update_done.set_exception(reason);
+      break;
+    case Op::Kind::kStats:
+      op.stats_done.set_exception(reason);
+      break;
+    case Op::Kind::kCheckpoint:
+      op.checkpoint_done.set_exception(reason);
+      break;
+  }
+  return true;
+}
+
 template <typename Key>
 void IndexService<Key>::Execute(Op& op) {
+  if (DropIfDone(op)) return;
   switch (op.kind) {
     case Op::Kind::kPointLookup:
       try {

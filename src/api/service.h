@@ -17,6 +17,7 @@
 #include "src/api/execution_policy.h"
 #include "src/api/index.h"
 #include "src/core/types.h"
+#include "src/util/request_context.h"
 
 namespace cgrx::api {
 
@@ -126,11 +127,22 @@ class IndexService {
   /// Submits a point-lookup batch; the ticket resolves with one
   /// LookupResult per key plus the epoch it read against. Unsupported
   /// operations surface as exceptions on the future.
-  std::future<LookupBatchResult> SubmitPointLookups(std::vector<Key> keys);
+  ///
+  /// Every Submit* takes an optional util::RequestContext. A context
+  /// that is expired or cancelled by the time the dispatcher reaches
+  /// the op makes the dispatcher DROP it -- the ticket fails with
+  /// DeadlineExceededError/CancelledError and the index never executes
+  /// work whose caller stopped waiting. A context deadline also bounds
+  /// the backpressure wait in Enqueue: a full queue throws
+  /// DeadlineExceededError at the deadline instead of parking the
+  /// submitter indefinitely.
+  std::future<LookupBatchResult> SubmitPointLookups(
+      std::vector<Key> keys, util::RequestContext context = {});
 
   /// Submits a range-lookup batch over inclusive [lo, hi] ranges.
   std::future<LookupBatchResult> SubmitRangeLookups(
-      std::vector<core::KeyRange<Key>> ranges);
+      std::vector<core::KeyRange<Key>> ranges,
+      util::RequestContext context = {});
 
   /// Submits a combined update wave (Index::UpdateBatch semantics:
   /// pairwise insert/erase cancellation, erases before inserts, one
@@ -138,7 +150,8 @@ class IndexService {
   /// once the wave is fully applied, with the epoch it completed.
   std::future<UpdateResult> SubmitUpdate(std::vector<Key> insert_keys,
                                          std::vector<std::uint32_t> insert_rows,
-                                         std::vector<Key> erase_keys);
+                                         std::vector<Key> erase_keys,
+                                         util::RequestContext context = {});
 
   /// Submits a checkpoint ticket: `writer` runs on the dispatcher
   /// between waves -- an epoch boundary, with no update in flight and
@@ -150,7 +163,8 @@ class IndexService {
   /// an exception from `writer` lands on the ticket and leaves the
   /// service running.
   std::future<std::uint64_t> Checkpoint(
-      std::function<void(const Index<Key>&, std::uint64_t)> writer);
+      std::function<void(const Index<Key>&, std::uint64_t)> writer,
+      util::RequestContext context = {});
 
   /// Graceful shutdown: stops accepting submissions (Submit* and
   /// Stats() throw afterwards), drains the queue, resolves every
@@ -199,6 +213,14 @@ class IndexService {
   /// observability alongside queue_depth().
   std::size_t queue_limit() const { return options_.queue_limit; }
 
+  /// Submissions the dispatcher dropped unexecuted because their
+  /// context was expired or cancelled by dispatch time -- the
+  /// /metrics cgrx_index_deadline_dropped_total counter, and the
+  /// "ticket was never executed" proof for deadline tests.
+  std::uint64_t deadline_dropped() const {
+    return deadline_dropped_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Op {
     enum class Kind {
@@ -209,6 +231,7 @@ class IndexService {
       kCheckpoint
     };
     Kind kind = Kind::kPointLookup;
+    util::RequestContext context;
     std::vector<Key> keys;
     std::vector<core::KeyRange<Key>> ranges;
     std::vector<std::uint32_t> insert_rows;
@@ -234,6 +257,9 @@ class IndexService {
   void Run();
   void Execute(Op& op);
   void ExecuteReadWave(std::vector<Op>* wave);
+  /// True (and the op's promise failed) when the op's context expired
+  /// or was cancelled before execution: the drop-at-dispatch point.
+  bool DropIfDone(Op& op);
 
   IndexPtr<Key> index_;
   Options options_;
@@ -247,6 +273,7 @@ class IndexService {
   bool stopping_ = false;
   bool close_finished_ = false;  ///< Dispatcher joined by Close().
   std::atomic<std::uint64_t> completed_epoch_;
+  std::atomic<std::uint64_t> deadline_dropped_{0};
   std::thread dispatcher_;
 };
 

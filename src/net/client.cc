@@ -1,6 +1,9 @@
 #include "src/net/client.h"
 
+#include <algorithm>
+#include <chrono>
 #include <limits>
+#include <thread>
 #include <utility>
 
 namespace cgrx::net {
@@ -17,10 +20,51 @@ bool DecodeHeader(util::ByteReader* in, Reply* reply) {
   return header.ok();
 }
 
+/// Verbs safe to re-send after a transport failure where the original
+/// request may or may not have executed. kOpenIndex qualifies: opening
+/// an already-open index is an acknowledged no-op.
+bool IsIdempotent(Verb verb) {
+  switch (verb) {
+    case Verb::kPing:
+    case Verb::kListIndexes:
+    case Verb::kPointLookup:
+    case Verb::kRangeLookup:
+    case Verb::kStats:
+    case Verb::kOpenIndex:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Responses that mean "refused without executing" -- retryable for
+/// every verb. The status byte is the first response byte, so it can
+/// be peeked without decoding the frame.
+bool IsRetryableStatus(std::uint8_t status) {
+  return status == static_cast<std::uint8_t>(Status::kUnavailable) ||
+         status == static_cast<std::uint8_t>(Status::kResourceExhausted);
+}
+
+std::uint64_t DeriveSeed(const RetryPolicy& retry, const void* self) {
+  if (retry.seed != 0) return retry.seed;
+  return static_cast<std::uint64_t>(
+             std::chrono::steady_clock::now().time_since_epoch().count()) ^
+         reinterpret_cast<std::uintptr_t>(self);
+}
+
 }  // namespace
 
 Client::Client(const std::string& host, std::uint16_t port)
-    : socket_(Socket::Connect(host, port)) {
+    : Client(host, port, Options()) {}
+
+Client::Client(const std::string& host, std::uint16_t port, Options options)
+    : host_(host),
+      port_(port),
+      options_(options),
+      socket_(options.connect_timeout.count() > 0
+                  ? Socket::Connect(host, port, options.connect_timeout)
+                  : Socket::Connect(host, port)),
+      backoff_rng_(DeriveSeed(options.retry, this)) {
   socket_.SetNoDelay();
 }
 
@@ -30,6 +74,12 @@ util::ByteWriter Client::Request(Verb verb, const std::string& index) const {
   header.verb = verb;
   header.session_id = session_id_;
   header.index = index;
+  const auto deadline = options_.call_deadline.count();
+  header.deadline_ms =
+      deadline <= 0
+          ? 0
+          : static_cast<std::uint32_t>(std::min<std::int64_t>(
+                deadline, std::numeric_limits<std::uint32_t>::max()));
   header.Encode(&out);
   return out;
 }
@@ -67,20 +117,105 @@ bool Client::Receive(std::vector<std::uint8_t>* payload) {
   return true;
 }
 
-std::vector<std::uint8_t> Client::Call(const util::ByteWriter& request) {
-  Send(request);
-  std::vector<std::uint8_t> payload;
-  if (!Receive(&payload)) {
-    throw Error("server closed the connection without answering");
+void Client::Reconnect() {
+  socket_ = options_.connect_timeout.count() > 0
+                ? Socket::Connect(host_, port_, options_.connect_timeout)
+                : Socket::Connect(host_, port_);
+  socket_.SetNoDelay();
+  applied_timeout_ = std::chrono::milliseconds(-1);
+  poisoned_ = false;
+}
+
+void Client::ApplyCallTimeouts() {
+  if (options_.call_deadline == applied_timeout_) return;
+  // SO_RCVTIMEO/SO_SNDTIMEO bound each blocking recv/send so a wedged
+  // server turns into TimeoutError instead of a forever-blocked client
+  // thread. The socket timeout carries slack past the wire deadline:
+  // the server's own kDeadlineExceeded answer lands at ~deadline, and
+  // it must win this race -- a deadline answer is a healthy
+  // connection, a transport timeout poisons it. (Per-syscall, not
+  // per-call: a server trickling bytes can stretch the total; the
+  // server-side budget is the precise one.)
+  const bool bounded = options_.call_deadline.count() > 0;
+  const auto slack = std::max<std::chrono::milliseconds>(
+      options_.call_deadline / 4, std::chrono::milliseconds(50));
+  const auto timeout =
+      bounded ? options_.call_deadline + slack : std::chrono::milliseconds(0);
+  socket_.SetRecvTimeout(timeout);  // Zero disables (blocking socket).
+  socket_.SetSendTimeout(timeout);
+  applied_timeout_ = options_.call_deadline;
+}
+
+bool Client::SleepBackoff(std::chrono::milliseconds* previous,
+                          std::chrono::milliseconds* slept) {
+  // Decorrelated jitter: uniform in [initial, 3 x previous sleep],
+  // capped at max_backoff.
+  const RetryPolicy& retry = options_.retry;
+  const auto lo = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(1, retry.initial_backoff.count()));
+  const auto hi = std::max(
+      lo, std::min(static_cast<std::uint64_t>(
+                       std::max<std::int64_t>(1, retry.max_backoff.count())),
+                   3 * static_cast<std::uint64_t>(
+                           std::max<std::int64_t>(1, previous->count()))));
+  const std::chrono::milliseconds sleep{backoff_rng_.Between(lo, hi)};
+  if (retry.budget.count() > 0 && *slept + sleep > retry.budget) {
+    return false;
   }
-  return payload;
+  std::this_thread::sleep_for(sleep);
+  *previous = sleep;
+  *slept += sleep;
+  return true;
+}
+
+std::vector<std::uint8_t> Client::Call(const util::ByteWriter& request,
+                                       Verb verb) {
+  std::chrono::milliseconds previous = options_.retry.initial_backoff;
+  std::chrono::milliseconds slept{0};
+  for (int attempt = 1;; ++attempt) {
+    try {
+      if (poisoned_) Reconnect();
+      ApplyCallTimeouts();
+      Send(request);
+      std::vector<std::uint8_t> payload;
+      if (!Receive(&payload)) {
+        throw Error("server closed the connection without answering");
+      }
+      if (payload.empty() || !IsRetryableStatus(payload[0]) ||
+          attempt >= options_.retry.max_attempts ||
+          !SleepBackoff(&previous, &slept)) {
+        return payload;
+      }
+      // Refused (kUnavailable/kResourceExhausted) with retry headroom:
+      // go around. The connection is healthy -- the server answered.
+    } catch (const TimeoutError&) {
+      // The call deadline elapsed mid-exchange: final (the time a
+      // retry needs is exactly what ran out), and the stream may still
+      // deliver the late reply -- poison so the next call reconnects.
+      poisoned_ = true;
+      throw;
+    } catch (const Error&) {
+      poisoned_ = true;
+      if (!IsIdempotent(verb) || attempt >= options_.retry.max_attempts ||
+          !SleepBackoff(&previous, &slept)) {
+        throw;
+      }
+      // Transport failure on an idempotent verb: reconnect (top of
+      // loop) and re-send.
+    }
+  }
 }
 
 Client::PingReply Client::Ping() {
-  const auto payload = Call(Request(Verb::kPing, ""));
+  util::ByteWriter request = Request(Verb::kPing, "");
+  request.WriteU8(kProtocolVersion);
+  const auto payload = Call(request, Verb::kPing);
   util::ByteReader in(payload);
   PingReply reply;
-  if (DecodeHeader(&in, &reply)) reply.info = in.ReadString();
+  if (DecodeHeader(&in, &reply)) {
+    reply.server_version = in.ReadU8();
+    reply.info = in.ReadString();
+  }
   return reply;
 }
 
@@ -88,7 +223,7 @@ Client::OpenReply Client::OpenIndex(const std::string& name,
                                     const std::string& backend) {
   util::ByteWriter request = Request(Verb::kOpenIndex, name);
   request.WriteString(backend);
-  const auto payload = Call(request);
+  const auto payload = Call(request, Verb::kOpenIndex);
   util::ByteReader in(payload);
   OpenReply reply;
   if (DecodeHeader(&in, &reply)) {
@@ -99,7 +234,8 @@ Client::OpenReply Client::OpenIndex(const std::string& name,
 }
 
 Client::EpochReply Client::CloseIndex(const std::string& name) {
-  const auto payload = Call(Request(Verb::kCloseIndex, name));
+  const auto payload = Call(Request(Verb::kCloseIndex, name),
+                            Verb::kCloseIndex);
   util::ByteReader in(payload);
   EpochReply reply;
   if (DecodeHeader(&in, &reply)) reply.epoch = in.ReadU64();
@@ -107,7 +243,8 @@ Client::EpochReply Client::CloseIndex(const std::string& name) {
 }
 
 Client::ListReply Client::ListIndexes() {
-  const auto payload = Call(Request(Verb::kListIndexes, ""));
+  const auto payload = Call(Request(Verb::kListIndexes, ""),
+                            Verb::kListIndexes);
   util::ByteReader in(payload);
   ListReply reply;
   if (DecodeHeader(&in, &reply)) {
@@ -125,7 +262,8 @@ Client::ListReply Client::ListIndexes() {
 }
 
 Client::SessionReply Client::CreateSession() {
-  const auto payload = Call(Request(Verb::kCreateSession, ""));
+  const auto payload = Call(Request(Verb::kCreateSession, ""),
+                            Verb::kCreateSession);
   util::ByteReader in(payload);
   SessionReply reply;
   if (DecodeHeader(&in, &reply)) {
@@ -139,7 +277,7 @@ Client::LookupReply Client::PointLookup(const std::string& name,
                                         std::vector<std::uint64_t> keys) {
   util::ByteWriter request = Request(Verb::kPointLookup, name);
   request.WritePodVector(keys);
-  const auto payload = Call(request);
+  const auto payload = Call(request, Verb::kPointLookup);
   util::ByteReader in(payload);
   LookupReply reply;
   if (DecodeHeader(&in, &reply)) {
@@ -154,7 +292,7 @@ Client::LookupReply Client::RangeLookup(
     std::vector<core::KeyRange<std::uint64_t>> ranges) {
   util::ByteWriter request = Request(Verb::kRangeLookup, name);
   request.WritePodVector(ranges);
-  const auto payload = Call(request);
+  const auto payload = Call(request, Verb::kRangeLookup);
   util::ByteReader in(payload);
   LookupReply reply;
   if (DecodeHeader(&in, &reply)) {
@@ -172,7 +310,7 @@ Client::UpdateReply Client::Update(const std::string& name,
   request.WritePodVector(insert_keys);
   request.WritePodVector(insert_rows);
   request.WritePodVector(erase_keys);
-  const auto payload = Call(request);
+  const auto payload = Call(request, Verb::kUpdate);
   util::ByteReader in(payload);
   UpdateReply reply;
   if (DecodeHeader(&in, &reply)) {
@@ -183,7 +321,7 @@ Client::UpdateReply Client::Update(const std::string& name,
 }
 
 Client::StatsReply Client::Stats(const std::string& name) {
-  const auto payload = Call(Request(Verb::kStats, name));
+  const auto payload = Call(Request(Verb::kStats, name), Verb::kStats);
   util::ByteReader in(payload);
   StatsReply reply;
   if (DecodeHeader(&in, &reply)) {
@@ -201,7 +339,8 @@ Client::StatsReply Client::Stats(const std::string& name) {
 }
 
 Client::EpochReply Client::Checkpoint(const std::string& name) {
-  const auto payload = Call(Request(Verb::kCheckpoint, name));
+  const auto payload = Call(Request(Verb::kCheckpoint, name),
+                            Verb::kCheckpoint);
   util::ByteReader in(payload);
   EpochReply reply;
   if (DecodeHeader(&in, &reply)) reply.epoch = in.ReadU64();

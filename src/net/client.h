@@ -1,6 +1,7 @@
 #ifndef CGRX_SRC_NET_CLIENT_H_
 #define CGRX_SRC_NET_CLIENT_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -8,16 +9,52 @@
 #include "src/core/types.h"
 #include "src/net/socket.h"
 #include "src/net/wire.h"
+#include "src/util/rng.h"
 #include "src/util/serial.h"
 
 namespace cgrx::net {
 
+/// Client-side resilience policy: how many times a call may run, and
+/// how long to wait between attempts. Two distinct retry triggers:
+///
+///  * A kUnavailable or kResourceExhausted ANSWER -- the server
+///    explicitly refused the request without executing it (admission
+///    control, session epoch lag), so a retry is safe for every verb.
+///  * A transport error (reset, refused, EOF mid-call) -- the request
+///    may or may not have executed, so only idempotent verbs (ping,
+///    list, lookups, stats, open) are retried; the connection is
+///    re-established first.
+///
+/// A TimeoutError (call deadline hit) is always final: the time the
+/// retry would need is exactly what ran out, and the stream is
+/// desynchronized anyway (see TimeoutError). It poisons the
+/// connection; the next call reconnects.
+///
+/// Backoff is exponential with decorrelated jitter: each sleep is
+/// drawn uniformly from [initial_backoff, 3 x previous sleep], capped
+/// at max_backoff -- contending clients spread out instead of
+/// thundering back in lockstep.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 = never retry.
+  int max_attempts = 1;
+  std::chrono::milliseconds initial_backoff{10};
+  std::chrono::milliseconds max_backoff{1000};
+  /// Cap on total backoff sleep per call; 0 = unbounded. When the next
+  /// sleep would exceed it, the call stops retrying (returning the
+  /// last refusal, or rethrowing the transport error).
+  std::chrono::milliseconds budget{0};
+  /// Jitter seed; 0 derives one from the clock and client identity.
+  std::uint64_t seed = 0;
+};
+
 /// Blocking client for the cgrx wire protocol. Application-level
 /// failures (unknown index, admission-control rejection, malformed
 /// request) come back inside each reply as a Status + message --
-/// callers inspect `reply.ok()` and retry kResourceExhausted with
-/// backoff. net::Error is reserved for transport failures: refused
-/// connection, reset, or the server closing mid-exchange.
+/// callers inspect `reply.ok()`; Options::retry can do the
+/// backoff-and-retry loop for them. net::Error is reserved for
+/// transport failures: refused connection, reset, or the server
+/// closing mid-exchange; TimeoutError (an Error) for a call deadline
+/// expiring with the reply still outstanding.
 ///
 /// One Client is one connection and is not thread-safe; requests on it
 /// execute strictly in order. Use one Client per thread (connections
@@ -25,12 +62,26 @@ namespace cgrx::net {
 /// Receive halves to pipeline from a single thread.
 class Client {
  public:
+  struct Options {
+    /// Bound on Socket::Connect (and every retry's reconnect);
+    /// zero/negative = the OS default (minutes).
+    std::chrono::milliseconds connect_timeout{5000};
+    /// Per-call deadline, 0 = none. Sent to the server in every
+    /// request header (it sheds the request once the budget is spent,
+    /// see wire.h) and applied locally as the socket receive/send
+    /// timeout, so a stalled or wedged server surfaces as TimeoutError
+    /// after ~the deadline instead of blocking forever.
+    std::chrono::milliseconds call_deadline{0};
+    RetryPolicy retry;
+  };
+
   struct ReplyBase {
     Status status = Status::kInternal;
     std::string message;
     bool ok() const { return status == Status::kOk; }
   };
   struct PingReply : ReplyBase {
+    std::uint8_t server_version = 0;
     std::string info;
   };
   struct OpenReply : ReplyBase {
@@ -71,8 +122,10 @@ class Client {
     std::uint64_t pending = 0;
   };
 
-  /// Connects (throws net::Error on refusal) with TCP_NODELAY set.
+  /// Connects (throws net::Error on refusal, TimeoutError once
+  /// Options::connect_timeout elapses) with TCP_NODELAY set.
   Client(const std::string& host, std::uint16_t port);
+  Client(const std::string& host, std::uint16_t port, Options options);
 
   /// Binds a session id to every subsequent request (0 = sessionless).
   /// Reads carrying a session observe that session's acknowledged
@@ -80,6 +133,15 @@ class Client {
   void UseSession(std::uint64_t id) { session_id_ = id; }
   std::uint64_t session_id() const { return session_id_; }
 
+  /// Changes the per-call deadline for subsequent calls (0 = none).
+  void set_call_deadline(std::chrono::milliseconds deadline) {
+    options_.call_deadline = deadline;
+  }
+  const Options& options() const { return options_; }
+
+  /// Sends the client protocol version; a version-mismatched server
+  /// answers kFailedPrecondition naming both versions instead of
+  /// garbling later frames.
   PingReply Ping();
   OpenReply OpenIndex(const std::string& name, const std::string& backend);
   EpochReply CloseIndex(const std::string& name);
@@ -99,12 +161,12 @@ class Client {
 
   /// Pipelining halves: Send frames and writes one request; Receive
   /// reads one response frame (false on clean EOF). Responses arrive
-  /// in request order.
+  /// in request order. These bypass the retry loop.
   void Send(const util::ByteWriter& request);
   bool Receive(std::vector<std::uint8_t>* payload);
 
   /// Builds a request header payload for verb/index with the bound
-  /// session id; append the verb body, then Send.
+  /// session id and call deadline; append the verb body, then Send.
   util::ByteWriter Request(Verb verb, const std::string& index) const;
 
   /// Escape hatch for protocol tests: the raw socket (partial writes,
@@ -112,12 +174,31 @@ class Client {
   Socket& socket() { return socket_; }
 
  private:
-  /// Send + Receive; throws net::Error if the server closed instead of
-  /// answering.
-  std::vector<std::uint8_t> Call(const util::ByteWriter& request);
+  /// Send + Receive with the retry loop of Options::retry; throws
+  /// net::Error if the server closed instead of answering and no retry
+  /// was allowed.
+  std::vector<std::uint8_t> Call(const util::ByteWriter& request, Verb verb);
 
+  /// Tears down the poisoned socket and connects a fresh one.
+  void Reconnect();
+  /// Pushes Options::call_deadline into the socket's recv/send
+  /// timeouts (only when it changed since last applied).
+  void ApplyCallTimeouts();
+  /// One decorrelated-jitter backoff sleep; false when the retry
+  /// budget cannot cover it (caller stops retrying).
+  bool SleepBackoff(std::chrono::milliseconds* previous,
+                    std::chrono::milliseconds* slept);
+
+  std::string host_;
+  std::uint16_t port_ = 0;
+  Options options_;
   Socket socket_;
   std::uint64_t session_id_ = 0;
+  /// A mid-call transport failure or timeout leaves request/response
+  /// framing out of sync; the next Call reconnects first.
+  bool poisoned_ = false;
+  std::chrono::milliseconds applied_timeout_{-1};
+  util::Rng backoff_rng_;
 };
 
 }  // namespace cgrx::net

@@ -1,8 +1,10 @@
 #include "src/net/server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <exception>
+#include <future>
 #include <limits>
 #include <optional>
 #include <stdexcept>
@@ -37,6 +39,13 @@ bool IsReadVerb(Verb verb) {
 
 bool IsWriteVerb(Verb verb) {
   return verb == Verb::kUpdate || verb == Verb::kCheckpoint;
+}
+
+std::uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
 }
 
 }  // namespace
@@ -216,6 +225,15 @@ bool Server::HandleFrame(Connection* conn,
   } catch (const api::UnsupportedOperationError& e) {
     out = util::ByteWriter();
     WriteError(&out, Status::kFailedPrecondition, e.what());
+  } catch (const util::DeadlineExceededError& e) {
+    // The service dropped the ticket (or refused the queue wait)
+    // because the request's budget ran out before execution.
+    deadline_admission_.fetch_add(1, std::memory_order_relaxed);
+    out = util::ByteWriter();
+    WriteError(&out, Status::kDeadlineExceeded, e.what());
+  } catch (const util::CancelledError& e) {
+    out = util::ByteWriter();
+    WriteError(&out, Status::kUnavailable, e.what());
   } catch (const std::invalid_argument& e) {
     out = util::ByteWriter();
     WriteError(&out, Status::kInvalidArgument, e.what());
@@ -229,6 +247,16 @@ bool Server::HandleFrame(Connection* conn,
 
 void Server::Dispatch(Connection* conn, const RequestHeader& header,
                       util::ByteReader* body, util::ByteWriter* out) {
+  // The request's budget starts counting here -- deadline_ms is
+  // relative on the wire (client clocks never meet the server's), so
+  // decode time is the one honest anchor. Every later stage (session
+  // epoch wait, ticket await, dispatcher drop) compares against the
+  // same absolute point.
+  util::RequestContext context =
+      header.deadline_ms > 0
+          ? util::RequestContext::WithDeadline(
+                std::chrono::milliseconds(header.deadline_ms))
+          : util::RequestContext();
   // Admission control, cheapest checks first: rate budget, then
   // endpoint concurrency. Both reject in microseconds with
   // kResourceExhausted instead of queueing the request anywhere.
@@ -270,9 +298,24 @@ void Server::Dispatch(Connection* conn, const RequestHeader& header,
 
   switch (header.verb) {
     case Verb::kPing: {
+      // Version negotiation: an empty body is a v1 client (the version
+      // byte did not exist yet). A mismatched version is refused by
+      // name so the operator reading the error knows which side to
+      // upgrade.
+      const std::uint8_t client_version =
+          body->AtEnd() ? 1 : body->ReadU8();
+      if (client_version != kProtocolVersion) {
+        WriteError(out, Status::kFailedPrecondition,
+                   "client speaks protocol version " +
+                       std::to_string(client_version) +
+                       ", server speaks " +
+                       std::to_string(kProtocolVersion));
+        return;
+      }
       ResponseHeader{Status::kOk, ""}.Encode(out);
-      out->WriteString("cgrx-serve/1 indexes=" +
-                       std::to_string(router_.Names().size()));
+      out->WriteU8(kProtocolVersion);
+      out->WriteString("cgrx-serve/" + std::to_string(kProtocolVersion) +
+                       " indexes=" + std::to_string(router_.Names().size()));
       return;
     }
     case Verb::kCreateSession: {
@@ -348,23 +391,61 @@ void Server::Dispatch(Connection* conn, const RequestHeader& header,
                    "unknown index: " + header.index);
         return;
       }
-      if (session != nullptr) {
-        // Read-your-writes: hold the read until the service reaches
-        // the session's last acknowledged write epoch on this index.
-        const std::uint64_t floor = session->WriteFloor(header.index);
-        if (floor > 0 && !lease->service().service().WaitForEpoch(
-                             floor, options_.session_wait_timeout)) {
-          WriteError(out, Status::kUnavailable,
-                     "session write epoch " + std::to_string(floor) +
-                         " not reached on " + header.index);
+      auto& service = lease->service().service();
+      if (context.has_deadline()) {
+        // Deadline-aware admission: if the queue ahead of us is
+        // already estimated to outlast the remaining budget, say so
+        // now instead of submitting work destined to be dropped.
+        const std::uint64_t wait_us = EstimatedQueueWaitUs(service.pending());
+        const auto remaining_us = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                context.remaining())
+                .count());
+        if (wait_us > remaining_us) {
+          deadline_queue_estimate_.fetch_add(1, std::memory_order_relaxed);
+          WriteError(out, Status::kDeadlineExceeded,
+                     "deadline of " + std::to_string(header.deadline_ms) +
+                         "ms cannot cover the estimated queue wait of " +
+                         std::to_string(wait_us / 1000) + "ms");
           return;
         }
       }
-      auto ticket = header.verb == Verb::kPointLookup
-                        ? lease->service().SubmitPointLookups(std::move(keys))
-                        : lease->service().SubmitRangeLookups(
-                              std::move(ranges));
+      if (session != nullptr) {
+        // Read-your-writes: hold the read until the service reaches
+        // the session's last acknowledged write epoch on this index.
+        // A request deadline caps the wait; the timeout's cause
+        // (deadline vs. lagging service) picks the status.
+        const std::uint64_t floor = session->WriteFloor(header.index);
+        auto wait = options_.session_wait_timeout;
+        if (context.has_deadline()) {
+          wait = std::min(
+              wait, std::chrono::duration_cast<std::chrono::milliseconds>(
+                        context.remaining()));
+        }
+        if (floor > 0 && !service.WaitForEpoch(floor, wait)) {
+          if (context.done()) {
+            deadline_epoch_wait_.fetch_add(1, std::memory_order_relaxed);
+            WriteError(out, Status::kDeadlineExceeded,
+                       "deadline of " + std::to_string(header.deadline_ms) +
+                           "ms exceeded waiting for session write epoch " +
+                           std::to_string(floor) + " on " + header.index);
+          } else {
+            WriteError(out, Status::kUnavailable,
+                       "session write epoch " + std::to_string(floor) +
+                           " not reached on " + header.index);
+          }
+          return;
+        }
+      }
+      const auto submitted = std::chrono::steady_clock::now();
+      auto ticket =
+          header.verb == Verb::kPointLookup
+              ? lease->service().SubmitPointLookups(std::move(keys), context)
+              : lease->service().SubmitRangeLookups(std::move(ranges),
+                                                    context);
+      if (!AwaitTicket(ticket, context, header.deadline_ms, out)) return;
       auto result = ticket.get();  // Throws -> HandleFrame's catches.
+      ObserveServiceTime(ElapsedUs(submitted));
       ResponseHeader{Status::kOk, ""}.Encode(out);
       out->WriteU64(result.epoch);
       out->WritePodVector(result.results);
@@ -383,10 +464,30 @@ void Server::Dispatch(Connection* conn, const RequestHeader& header,
                    "unknown index: " + header.index);
         return;
       }
+      if (context.has_deadline()) {
+        const std::uint64_t wait_us =
+            EstimatedQueueWaitUs(lease->service().service().pending());
+        const auto remaining_us = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                context.remaining())
+                .count());
+        if (wait_us > remaining_us) {
+          deadline_queue_estimate_.fetch_add(1, std::memory_order_relaxed);
+          WriteError(out, Status::kDeadlineExceeded,
+                     "deadline of " + std::to_string(header.deadline_ms) +
+                         "ms cannot cover the estimated queue wait of " +
+                         std::to_string(wait_us / 1000) + "ms");
+          return;
+        }
+      }
+      const auto submitted = std::chrono::steady_clock::now();
       auto ticket = lease->service().SubmitUpdate(std::move(insert_keys),
                                                   std::move(insert_rows),
-                                                  std::move(erase_keys));
+                                                  std::move(erase_keys),
+                                                  context);
+      if (!AwaitTicket(ticket, context, header.deadline_ms, out)) return;
       const auto result = ticket.get();
+      ObserveServiceTime(ElapsedUs(submitted));
       if (session != nullptr) {
         // The epoch this ack carries is the session's new read floor.
         session->RecordWrite(header.index, result.epoch);
@@ -424,13 +525,55 @@ void Server::Dispatch(Connection* conn, const RequestHeader& header,
                    "unknown index: " + header.index);
         return;
       }
-      const std::uint64_t epoch = lease->service().Checkpoint().get();
+      auto ticket = lease->service().Checkpoint(context);
+      if (!AwaitTicket(ticket, context, header.deadline_ms, out)) return;
+      const std::uint64_t epoch = ticket.get();
       ResponseHeader{Status::kOk, ""}.Encode(out);
       out->WriteU64(epoch);
       return;
     }
   }
   WriteError(out, Status::kUnimplemented, "unhandled verb");
+}
+
+template <typename T>
+bool Server::AwaitTicket(std::future<T>& ticket, util::RequestContext& context,
+                         std::uint32_t deadline_ms, util::ByteWriter* out) {
+  if (!context.has_deadline()) {
+    ticket.wait();
+    return true;
+  }
+  if (ticket.wait_until(context.deadline()) == std::future_status::ready) {
+    return true;
+  }
+  // Budget exhausted while the submission was queued or executing.
+  // Cancel the context so the dispatcher drops the op unexecuted if it
+  // has not started, then answer without waiting for it: the abandoned
+  // ticket resolves (or fails) into a future nobody reads.
+  context.Cancel();
+  deadline_await_.fetch_add(1, std::memory_order_relaxed);
+  WriteError(out, Status::kDeadlineExceeded,
+             "deadline of " + std::to_string(deadline_ms) +
+                 "ms exceeded while queued or executing");
+  return false;
+}
+
+void Server::ObserveServiceTime(std::uint64_t micros) {
+  // Racy read-modify-write EMA (alpha = 1/8): metrics-grade accuracy
+  // is all the queue-wait estimator needs, and a lock here would put
+  // every data verb through one cache line.
+  const std::uint64_t ema = data_verb_ema_us_.load(std::memory_order_relaxed);
+  data_verb_ema_us_.store(ema == 0 ? micros : (7 * ema + micros) / 8,
+                          std::memory_order_relaxed);
+}
+
+std::uint64_t Server::EstimatedQueueWaitUs(std::size_t pending) const {
+  // Single-dispatcher service: the queue drains one submission at a
+  // time, so the expected wait is simply pending x average service
+  // time. Returns 0 until the first data verb completes (no estimate
+  // beats a wrong estimate at cold start).
+  return data_verb_ema_us_.load(std::memory_order_relaxed) *
+         static_cast<std::uint64_t>(pending);
 }
 
 void Server::WriteFrame(Connection* conn, const util::ByteWriter& payload) {
@@ -515,6 +658,7 @@ std::string Server::MetricsText() {
     std::uint64_t epoch = 0;
     std::uint64_t queue_depth = 0;
     std::uint64_t pending = 0;
+    std::uint64_t deadline_dropped = 0;
     api::IndexStats stats;
   };
   std::vector<Row> rows;
@@ -528,6 +672,10 @@ std::string Server::MetricsText() {
     row.queue_depth = service.queue_depth();
     row.pending = service.pending();
     row.stats = lease->service().Stats();
+    // After Stats() (queue-synchronized): every already-queued op --
+    // including ones about to be dropped -- has been dispatched, so
+    // the drop counter is not read a step behind the queue.
+    row.deadline_dropped = service.deadline_dropped();
     rows.push_back(std::move(row));
   }
 
@@ -581,6 +729,18 @@ std::string Server::MetricsText() {
            "counter");
   w.Value("cgrx_bytes_written_total",
           bytes_written_.load(std::memory_order_relaxed));
+  w.Family("cgrx_deadline_exceeded_total",
+           "Requests answered kDeadlineExceeded, by stage the budget "
+           "ran out in",
+           "counter");
+  w.Labelled("cgrx_deadline_exceeded_total", "stage", "queue_estimate",
+             deadline_queue_estimate_.load(std::memory_order_relaxed));
+  w.Labelled("cgrx_deadline_exceeded_total", "stage", "admission",
+             deadline_admission_.load(std::memory_order_relaxed));
+  w.Labelled("cgrx_deadline_exceeded_total", "stage", "epoch_wait",
+             deadline_epoch_wait_.load(std::memory_order_relaxed));
+  w.Labelled("cgrx_deadline_exceeded_total", "stage", "await",
+             deadline_await_.load(std::memory_order_relaxed));
 
   w.Family("cgrx_index_epoch", "Last completed update epoch per index",
            "gauge");
@@ -596,6 +756,14 @@ std::string Server::MetricsText() {
            "Submissions queued or executing per index", "gauge");
   for (const Row& row : rows) {
     w.Labelled("cgrx_index_pending", "index", row.name, row.pending);
+  }
+  w.Family("cgrx_index_deadline_dropped_total",
+           "Submissions dropped unexecuted at dispatch because their "
+           "deadline expired or the caller cancelled",
+           "counter");
+  for (const Row& row : rows) {
+    w.Labelled("cgrx_index_deadline_dropped_total", "index", row.name,
+               row.deadline_dropped);
   }
   w.Family("cgrx_index_entries", "Indexed entries per index", "gauge");
   for (const Row& row : rows) {

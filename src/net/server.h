@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -18,6 +19,7 @@
 #include "src/net/session.h"
 #include "src/net/socket.h"
 #include "src/net/wire.h"
+#include "src/util/request_context.h"
 
 namespace cgrx::net {
 
@@ -128,6 +130,23 @@ class Server {
   static void WriteError(util::ByteWriter* out, Status status,
                          std::string_view message);
 
+  /// Waits for `ticket` within the request's deadline. True when the
+  /// ticket resolved in time (get() will not block); false when the
+  /// budget ran out -- the deadline error has been written to `out`
+  /// and the ticket's context cancelled so the dispatcher drops it
+  /// unexecuted instead of serving an answer nobody reads.
+  template <typename T>
+  bool AwaitTicket(std::future<T>& ticket, util::RequestContext& context,
+                   std::uint32_t deadline_ms, util::ByteWriter* out);
+
+  /// Folds one completed data-verb service time into the EMA behind
+  /// EstimatedQueueWaitUs.
+  void ObserveServiceTime(std::uint64_t micros);
+
+  /// Deadline-aware admission estimate: pending submissions ahead of
+  /// this request times the recent average data-verb service time.
+  std::uint64_t EstimatedQueueWaitUs(std::size_t pending) const;
+
   /// Joins finished handler threads (called from the accept loop).
   void ReapConnections();
 
@@ -156,6 +175,18 @@ class Server {
   std::atomic<std::uint64_t> http_requests_{0};
   std::atomic<std::uint64_t> bytes_read_{0};
   std::atomic<std::uint64_t> bytes_written_{0};
+  // Deadline outcomes, by stage (cgrx_deadline_exceeded_total):
+  // rejected before submission because the budget cannot cover the
+  // estimated queue wait; expired during body decode/admission; spent
+  // waiting on a session's write-floor epoch; or spent while the
+  // ticket was queued or executing.
+  std::atomic<std::uint64_t> deadline_queue_estimate_{0};
+  std::atomic<std::uint64_t> deadline_admission_{0};
+  std::atomic<std::uint64_t> deadline_epoch_wait_{0};
+  std::atomic<std::uint64_t> deadline_await_{0};
+  /// EMA of data-verb service time in microseconds (the queue wait
+  /// estimator's per-submission cost model).
+  std::atomic<std::uint64_t> data_verb_ema_us_{0};
 };
 
 }  // namespace cgrx::net

@@ -1,9 +1,12 @@
 #include "src/net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -11,12 +14,38 @@
 #include <cstring>
 #include <thread>
 
+#include "src/util/fault_injector.h"
+
 namespace cgrx::net {
 
 namespace {
 
 std::string Errno(const std::string& op) {
   return op + ": " + std::strerror(errno);
+}
+
+/// SO_RCVTIMEO/SO_SNDTIMEO take a timeval; <= 0 clears the timeout
+/// (blocking again).
+timeval ToTimeval(std::chrono::milliseconds timeout) {
+  timeval tv{};
+  if (timeout.count() > 0) {
+    tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  }
+  return tv;
+}
+
+sockaddr_in ResolveIpv4(const std::string& host, std::uint16_t port,
+                        int fd_to_close_on_error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_to_close_on_error);
+    throw Error("inet_pton: unresolvable host " + host);
+  }
+  return addr;
 }
 
 }  // namespace
@@ -33,16 +62,9 @@ Socket& Socket::operator=(Socket&& other) noexcept {
 Socket Socket::Connect(const std::string& host, std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw Error(Errno("socket"));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
-  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    throw Error("inet_pton: unresolvable host " + host);
-  }
+  sockaddr_in addr = ResolveIpv4(host, port, fd);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string what = Errno("connect to " + resolved + ":" +
+    const std::string what = Errno("connect to " + host + ":" +
                                    std::to_string(port));
     ::close(fd);
     throw Error(what);
@@ -52,7 +74,53 @@ Socket Socket::Connect(const std::string& host, std::uint16_t port) {
   return socket;
 }
 
+Socket Socket::Connect(const std::string& host, std::uint16_t port,
+                       std::chrono::milliseconds timeout) {
+  if (timeout.count() <= 0) return Connect(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw Error(Errno("socket"));
+  sockaddr_in addr = ResolveIpv4(host, port, fd);
+  // Non-blocking connect + poll: the only portable way to bound the
+  // three-way handshake (a blocking connect honors neither SO_SNDTIMEO
+  // nor any other socket option on Linux).
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const std::string endpoint = host + ":" + std::to_string(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      const std::string what = Errno("connect to " + endpoint);
+      ::close(fd);
+      throw Error(what);
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (ready == 0) {
+      ::close(fd);
+      throw TimeoutError("connect to " + endpoint + " timed out after " +
+                         std::to_string(timeout.count()) + "ms");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (ready < 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      if (err != 0) errno = err;
+      const std::string what = Errno("connect to " + endpoint);
+      ::close(fd);
+      throw Error(what);
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);  // Back to blocking I/O.
+  Socket socket(fd);
+  socket.SetNoDelay();
+  return socket;
+}
+
 bool Socket::ReadFull(void* out, std::size_t size) {
+  if (util::FaultPoint("socket.reset")) {
+    Shutdown();
+    throw Error("injected connection reset (recv)");
+  }
   auto* p = static_cast<std::uint8_t*>(out);
   std::size_t got = 0;
   while (got < size) {
@@ -64,6 +132,11 @@ bool Socket::ReadFull(void* out, std::size_t size) {
     }
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired: the peer stalled past the deadline.
+        throw TimeoutError("recv timed out after " + std::to_string(got) +
+                           "/" + std::to_string(size) + " bytes");
+      }
       throw Error(Errno("recv"));
     }
     got += static_cast<std::size_t>(n);
@@ -73,16 +146,31 @@ bool Socket::ReadFull(void* out, std::size_t size) {
 
 void Socket::WriteAll(const void* data, std::size_t size) {
   const auto* p = static_cast<const std::uint8_t*>(data);
+#ifdef MSG_NOSIGNAL
+  const int flags = MSG_NOSIGNAL;
+#else
+  const int flags = 0;
+#endif
+  if (util::FaultPoint("socket.partial_write")) {
+    // A prefix reaches the wire, then the connection dies -- the peer
+    // sees a torn frame, the failure mode of a reset mid-send.
+    if (size > 1) (void)::send(fd_, p, size / 2, flags);
+    Shutdown();
+    throw Error("injected connection reset (partial send)");
+  }
+  if (util::FaultPoint("socket.reset")) {
+    Shutdown();
+    throw Error("injected connection reset (send)");
+  }
   std::size_t sent = 0;
   while (sent < size) {
-#ifdef MSG_NOSIGNAL
-    const int flags = MSG_NOSIGNAL;
-#else
-    const int flags = 0;
-#endif
     const ssize_t n = ::send(fd_, p + sent, size - sent, flags);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw TimeoutError("send timed out after " + std::to_string(sent) +
+                           "/" + std::to_string(size) + " bytes");
+      }
       throw Error(Errno("send"));
     }
     sent += static_cast<std::size_t>(n);
@@ -103,6 +191,16 @@ void Socket::Close() {
 void Socket::SetNoDelay() {
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void Socket::SetRecvTimeout(std::chrono::milliseconds timeout) {
+  const timeval tv = ToTimeval(timeout);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void Socket::SetSendTimeout(std::chrono::milliseconds timeout) {
+  const timeval tv = ToTimeval(timeout);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 Listener::Listener(std::uint16_t port) {
@@ -152,6 +250,12 @@ Listener& Listener::operator=(Listener&& other) noexcept {
 
 Socket Listener::Accept() {
   for (;;) {
+    if (util::FaultPoint("accept.emfile")) {
+      // Behave exactly like accept() failing with EMFILE below: back
+      // off briefly, keep the listener alive.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
     const int fd = ::accept(fd_, nullptr, nullptr);
     if (fd >= 0) {
       Socket socket(fd);

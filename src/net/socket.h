@@ -1,6 +1,7 @@
 #ifndef CGRX_SRC_NET_SOCKET_H_
 #define CGRX_SRC_NET_SOCKET_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
@@ -15,6 +16,18 @@ namespace cgrx::net {
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an I/O deadline expires: a recv/send armed with
+/// SetRecvTimeout/SetSendTimeout ran out of budget, or a
+/// Connect(host, port, timeout) did not complete in time. IS-A Error
+/// so legacy catch sites still work; the client maps it to the wire
+/// status kDeadlineExceeded. After a mid-call timeout the connection
+/// is desynchronized (the late response may still arrive) and must be
+/// re-established before reuse.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
 };
 
 /// RAII wrapper over one connected TCP socket (POSIX fd). Movable, not
@@ -34,6 +47,12 @@ class Socket {
 
   /// Connects to host:port (IPv4 dotted quad or "localhost").
   static Socket Connect(const std::string& host, std::uint16_t port);
+
+  /// Connects with a bound: throws TimeoutError if the connection is
+  /// not established within `timeout` (<= 0 falls back to the
+  /// blocking variant above).
+  static Socket Connect(const std::string& host, std::uint16_t port,
+                        std::chrono::milliseconds timeout);
 
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
@@ -58,6 +77,15 @@ class Socket {
   /// Disables Nagle's algorithm: request/response RPC wants the final
   /// partial segment on the wire immediately.
   void SetNoDelay();
+
+  /// Arms (or, with <= 0, clears) a receive deadline: a recv that
+  /// stalls longer than `timeout` makes ReadFull throw TimeoutError
+  /// instead of blocking forever behind a stalled peer (SO_RCVTIMEO).
+  void SetRecvTimeout(std::chrono::milliseconds timeout);
+
+  /// Same bound for sends (SO_SNDTIMEO): WriteAll throws TimeoutError
+  /// when the peer stops draining its receive window.
+  void SetSendTimeout(std::chrono::milliseconds timeout);
 
  private:
   int fd_ = -1;

@@ -29,7 +29,17 @@ namespace cgrx::net {
 ///   u8  verb                  (Verb below)
 ///   u64 session_id            (0 = sessionless)
 ///   str index_name            (empty for admin verbs)
+///   u32 deadline_ms           (0 = no deadline; see below)
 ///   ... verb-specific body
+///
+/// `deadline_ms` is a relative budget, not an absolute timestamp --
+/// the client's clock never meets the server's. The server converts it
+/// to an absolute steady-clock deadline at decode time and threads it
+/// (util::RequestContext) through admission, the session epoch wait,
+/// and the IndexService ticket; a request whose budget runs out is
+/// answered kDeadlineExceeded without executing. The field was added
+/// in protocol version 2 (see kProtocolVersion and the Ping verb's
+/// version negotiation).
 ///
 /// Response payload:
 ///
@@ -57,7 +67,14 @@ namespace cgrx::net {
 ///                                                u64 rejections, u64 sweeps,
 ///                                                u64 queue_depth, u64 pending
 ///   kCheckpoint  req: --                   resp: u64 epoch
-///   kPing        req: --                   resp: str server_info
+///   kPing        req: u8 protocol_version  resp: u8 server_version,
+///                     (absent = version 1)       str server_info
+///
+/// Ping doubles as version negotiation: the server echoes its own
+/// protocol version on kOk, and answers kFailedPrecondition naming
+/// both versions when the client's differs -- wire changes like the
+/// v2 deadline_ms field stay detectable instead of desynchronizing
+/// the stream silently.
 enum class Verb : std::uint8_t {
   kPing = 0,
   kOpenIndex = 1,
@@ -90,9 +107,15 @@ inline std::string_view VerbName(Verb verb) {
   return "unknown";
 }
 
+/// The wire protocol version this build speaks. Bumped to 2 when the
+/// request header grew the deadline_ms field; mismatched versions are
+/// caught by Ping's negotiation (kFailedPrecondition naming both).
+inline constexpr std::uint8_t kProtocolVersion = 2;
+
 /// gRPC-inspired status space; kResourceExhausted is the admission
 /// control rejection clients must expect (and retry with backoff)
-/// under overload.
+/// under overload. kDeadlineExceeded is final: the budget the client
+/// attached ran out, so retrying without a new budget is never right.
 enum class Status : std::uint8_t {
   kOk = 0,
   kInvalidArgument = 1,
@@ -103,6 +126,7 @@ enum class Status : std::uint8_t {
   kUnavailable = 6,
   kInternal = 7,
   kUnimplemented = 8,
+  kDeadlineExceeded = 9,
 };
 
 inline std::string_view StatusName(Status status) {
@@ -116,6 +140,7 @@ inline std::string_view StatusName(Status status) {
     case Status::kUnavailable: return "UNAVAILABLE";
     case Status::kInternal: return "INTERNAL";
     case Status::kUnimplemented: return "UNIMPLEMENTED";
+    case Status::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -131,11 +156,14 @@ struct RequestHeader {
   Verb verb = Verb::kPing;
   std::uint64_t session_id = 0;
   std::string index;
+  /// Relative deadline budget in milliseconds; 0 = no deadline.
+  std::uint32_t deadline_ms = 0;
 
   void Encode(util::ByteWriter* out) const {
     out->WriteU8(static_cast<std::uint8_t>(verb));
     out->WriteU64(session_id);
     out->WriteString(index);
+    out->WriteU32(deadline_ms);
   }
 
   /// Throws util::SerialError on truncation; a verb byte outside the
@@ -145,6 +173,7 @@ struct RequestHeader {
     header.verb = static_cast<Verb>(in->ReadU8());
     header.session_id = in->ReadU64();
     header.index = in->ReadString();
+    header.deadline_ms = in->ReadU32();
     return header;
   }
 };

@@ -52,33 +52,36 @@ class DurableIndexService {
   }
 
   std::future<typename Service::LookupBatchResult> SubmitPointLookups(
-      std::vector<Key> keys) {
-    return service_->SubmitPointLookups(std::move(keys));
+      std::vector<Key> keys, util::RequestContext context = {}) {
+    return service_->SubmitPointLookups(std::move(keys), std::move(context));
   }
 
   std::future<typename Service::LookupBatchResult> SubmitRangeLookups(
-      std::vector<core::KeyRange<Key>> ranges) {
-    return service_->SubmitRangeLookups(std::move(ranges));
+      std::vector<core::KeyRange<Key>> ranges,
+      util::RequestContext context = {}) {
+    return service_->SubmitRangeLookups(std::move(ranges),
+                                        std::move(context));
   }
 
   std::future<typename Service::UpdateResult> SubmitUpdate(
       std::vector<Key> insert_keys, std::vector<std::uint32_t> insert_rows,
-      std::vector<Key> erase_keys) {
+      std::vector<Key> erase_keys, util::RequestContext context = {}) {
     return service_->SubmitUpdate(std::move(insert_keys),
                                   std::move(insert_rows),
-                                  std::move(erase_keys));
+                                  std::move(erase_keys), std::move(context));
   }
 
   /// Snapshots the index at the current epoch boundary (between waves,
   /// through the single-writer dispatcher) and truncates the log. The
   /// ticket resolves with the checkpointed epoch once both the new
   /// snapshot and the manifest swap are durable.
-  std::future<std::uint64_t> Checkpoint() {
+  std::future<std::uint64_t> Checkpoint(util::RequestContext context = {}) {
     return service_->Checkpoint(
         [store = store_.get()](const api::Index<Key>& index,
                                std::uint64_t epoch) {
           store->Checkpoint(index, epoch);
-        });
+        },
+        std::move(context));
   }
 
   void Drain() { service_->Drain(); }

@@ -3,6 +3,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "src/util/fault_injector.h"
+
 #if defined(_WIN32)
 #include <io.h>
 #else
@@ -111,6 +113,14 @@ void TempFileWriter::Write(const void* data, std::size_t size) {
 }
 
 void TempFileWriter::SyncAndRename() {
+  if (util::FaultPoint("snapshot.rename")) {
+    // Before the fsync/close so the destructor still owns (and
+    // removes) the temporary: the failure leaves the old file intact
+    // and no stray .tmp behind, exactly like a real rename failure
+    // followed by cleanup.
+    throw Error("injected rename failure: " + tmp_path_.string() + " -> " +
+                path_.string());
+  }
   FsyncStream(file_, tmp_path_);
   std::fclose(file_);
   file_ = nullptr;

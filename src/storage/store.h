@@ -158,12 +158,21 @@ class IndexStore {
     next.snapshot_file = SnapshotName(epoch);
     next.snapshot_epoch = epoch;
     next.wal_file = WalName(epoch);
+    // Rotate only when the log name actually changes. A checkpoint at
+    // the epoch the manifest already logs to (epoch 0, or a repeat
+    // with no waves in between) must NOT re-create that file: Create's
+    // atomic replace would swap the inode out from under the live
+    // append handle, so later commits would fsync an orphan while the
+    // directory entry stays empty -- silent data loss on recovery.
+    const bool rotate = next.wal_file != manifest_.wal_file;
     SaveIndex(index, dir_ / next.snapshot_file, SaveOptions{epoch});
-    WriteAheadLog<Key> fresh_wal =
-        WriteAheadLog<Key>::Create(dir_ / next.wal_file);
+    WriteAheadLog<Key> fresh_wal;
+    if (rotate) {
+      fresh_wal = WriteAheadLog<Key>::Create(dir_ / next.wal_file);
+    }
     next.Write(dir_ / kManifestFileName);  // Commit point.
     manifest_ = std::move(next);
-    wal_ = std::move(fresh_wal);
+    if (rotate) wal_ = std::move(fresh_wal);
     SweepUnreferencedFiles();
   }
 

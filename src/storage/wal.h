@@ -13,6 +13,7 @@
 #include "src/storage/file_io.h"
 #include "src/storage/format.h"
 #include "src/util/crc32.h"
+#include "src/util/fault_injector.h"
 #include "src/util/serial.h"
 
 namespace cgrx::storage {
@@ -160,9 +161,20 @@ class WriteAheadLog {
     pre_commit_size_ = durable_size_;
     const std::size_t staged_bytes = staged_.size();
     try {
+      if (util::FaultPoint("wal.short_write")) {
+        // A prefix of the staged bytes lands in the file, then the
+        // write fails -- the torn-record shape a full disk or a crash
+        // mid-append produces. The catch below must truncate it away.
+        std::fwrite(staged_.data(), 1, staged_bytes / 2, file_);
+        std::fflush(file_);
+        throw Error("injected short write on " + path_.string());
+      }
       if (std::fwrite(staged_.data(), 1, staged_bytes, file_) !=
           staged_bytes) {
         throw Error("append to " + path_.string() + " failed");
+      }
+      if (util::FaultPoint("wal.fsync")) {
+        throw Error("injected fsync failure on " + path_.string());
       }
       FlushAndSync(file_, path_);
     } catch (...) {
@@ -221,6 +233,16 @@ class WriteAheadLog {
   void TruncateTo(std::size_t size) {
     std::fclose(file_);
     file_ = nullptr;
+    // resize_file extends with a zero hole when asked to grow; a
+    // rollback target past EOF means this handle and the directory
+    // entry disagree (e.g. the file was replaced underneath us), and
+    // fabricating zero-filled "records" would corrupt the log.
+    if (std::filesystem::file_size(path_) < size) {
+      throw Error("rollback of " + path_.string() + " to " +
+                  std::to_string(size) +
+                  " bytes is past end-of-file: the log was truncated or "
+                  "replaced underneath its append handle");
+    }
     std::filesystem::resize_file(path_, size);
     file_ = std::fopen(path_.string().c_str(), "ab");
     if (file_ == nullptr) {

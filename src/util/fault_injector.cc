@@ -1,0 +1,89 @@
+#include "src/util/fault_injector.h"
+
+namespace cgrx::util {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t HashName(const char* name) {
+  // FNV-1a: stable across platforms, so (seed, point, ordinal) decides
+  // identically everywhere.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char* p = name; *p != '\0'; ++p) {
+    h ^= static_cast<std::uint8_t>(*p);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::Arm(std::uint64_t seed) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  seed_ = seed;
+  points_.clear();
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  armed_.store(false, std::memory_order_release);
+  points_.clear();
+}
+
+void FaultInjector::Configure(const std::string& point, PointConfig config) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  points_[point].config = config;
+}
+
+bool FaultInjector::ShouldFail(const char* point) {
+  if (!armed_.load(std::memory_order_acquire)) return false;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  if (it == points_.end()) return false;
+  PointState& state = it->second;
+  const std::uint64_t ordinal = state.evaluations++;
+  const PointConfig& config = state.config;
+  if (state.fires >= config.max_fires) return false;
+  bool fire = false;
+  if (config.fire_at >= 0 &&
+      ordinal == static_cast<std::uint64_t>(config.fire_at)) {
+    fire = true;
+  } else if (ordinal >= config.skip_first && config.probability > 0.0) {
+    // Pure function of (seed, point, ordinal): replaying a schedule
+    // from its seed reproduces the exact fault sequence as long as
+    // each point is evaluated in the same order.
+    const std::uint64_t h =
+        SplitMix64(seed_ ^ HashName(point) ^ (ordinal * 0x9e3779b9ULL));
+    const double u =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    fire = u < config.probability;
+  }
+  if (fire) ++state.fires;
+  return fire;
+}
+
+std::uint64_t FaultInjector::fires(const std::string& point) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::uint64_t FaultInjector::evaluations(const std::string& point) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.evaluations;
+}
+
+}  // namespace cgrx::util

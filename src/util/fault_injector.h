@@ -1,0 +1,109 @@
+#ifndef CGRX_SRC_UTIL_FAULT_INJECTOR_H_
+#define CGRX_SRC_UTIL_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace cgrx::util {
+
+/// Deterministic, seeded fault injection for the storage and network
+/// layers. Production code is sprinkled with named fault points --
+///
+///   if (util::FaultPoint("wal.fsync")) throw Error("injected ...");
+///
+/// -- that cost one relaxed atomic load while the injector is
+/// disarmed (the default, always, outside tests). Tests arm the
+/// process-global injector with a seed and per-point configurations;
+/// whether evaluation N of a point fires is then a pure function of
+/// (seed, point name, N), so a failing chaos schedule replays exactly
+/// from its seed.
+///
+/// Registered points (grep for FaultPoint to audit):
+///   wal.fsync            WAL group-commit flush+fsync fails
+///   wal.short_write      WAL commit writes a prefix, then fails
+///   snapshot.rename      TempFileWriter atomic-replace rename fails
+///   socket.reset         recv/send fails like a peer reset
+///   socket.partial_write send delivers a prefix, then resets
+///   accept.emfile        accept() behaves as if out of fds
+class FaultInjector {
+ public:
+  struct PointConfig {
+    /// Chance an evaluation fires, decided by the seeded hash.
+    double probability = 0.0;
+    /// Evaluations skipped before the point may fire (lets a test set
+    /// up healthy state through the same code path first).
+    std::uint64_t skip_first = 0;
+    /// Exact evaluation ordinal (0-based, counted after skip_first
+    /// filtering is NOT applied -- the raw ordinal) that fires
+    /// regardless of probability; -1 disables.
+    std::int64_t fire_at = -1;
+    /// Cap on total fires (the default never limits).
+    std::uint64_t max_fires = ~0ULL;
+  };
+
+  /// The process-global injector every FaultPoint call consults.
+  static FaultInjector& Global();
+
+  /// Arms with a seed; points keep firing until Disarm(). Re-arming
+  /// resets all counters and configurations.
+  void Arm(std::uint64_t seed);
+
+  /// Disarms and clears every configuration and counter.
+  void Disarm();
+
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
+
+  /// Registers `point` with `config`; unknown points never fire.
+  void Configure(const std::string& point, PointConfig config);
+
+  /// Decides (and records) whether this evaluation of `point` fires.
+  /// Always false while disarmed.
+  bool ShouldFail(const char* point);
+
+  /// Observability for tests: how often a point fired / was reached.
+  std::uint64_t fires(const std::string& point) const;
+  std::uint64_t evaluations(const std::string& point) const;
+
+ private:
+  struct PointState {
+    PointConfig config;
+    std::uint64_t evaluations = 0;
+    std::uint64_t fires = 0;
+  };
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mutex_;
+  std::uint64_t seed_ = 0;
+  std::map<std::string, PointState> points_;
+};
+
+/// The hook production code compiles in: true when the named fault
+/// point should fail this time. Disarmed cost: one atomic load.
+inline bool FaultPoint(const char* point) {
+  FaultInjector& global = FaultInjector::Global();
+  if (!global.armed()) return false;
+  return global.ShouldFail(point);
+}
+
+/// RAII arming for tests: arms on construction, disarms (clearing all
+/// configuration) on destruction, so no schedule leaks into the next
+/// test even on assertion failure.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(std::uint64_t seed) {
+    FaultInjector::Global().Arm(seed);
+  }
+  ~ScopedFaultInjection() { FaultInjector::Global().Disarm(); }
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+  FaultInjector& injector() { return FaultInjector::Global(); }
+};
+
+}  // namespace cgrx::util
+
+#endif  // CGRX_SRC_UTIL_FAULT_INJECTOR_H_

@@ -1,0 +1,117 @@
+#ifndef CGRX_SRC_UTIL_REQUEST_CONTEXT_H_
+#define CGRX_SRC_UTIL_REQUEST_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace cgrx::util {
+
+/// Thrown by deadline-aware layers (IndexService dispatch, submission
+/// backpressure) when a request's budget ran out before the work
+/// executed. The serving tier maps this to the wire status
+/// kDeadlineExceeded.
+class DeadlineExceededError : public std::runtime_error {
+ public:
+  explicit DeadlineExceededError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Thrown when a pending ticket was cancelled (RequestContext::Cancel)
+/// before the dispatcher reached it.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Per-request deadline + cancellation token, threaded from the
+/// network client through the wire protocol and Server::Dispatch into
+/// IndexService tickets.
+///
+/// The deadline is an absolute steady_clock point: converting the wire
+/// field (a relative budget in milliseconds, immune to clock skew
+/// between peers) happens once at decode time, and every later layer
+/// compares against the same instant instead of re-counting a budget.
+///
+/// Copies share the cancellation flag: the server keeps one copy while
+/// an IndexService ticket holds another, so cancelling an abandoned
+/// request (deadline answered, ticket still queued) makes the
+/// dispatcher drop the op instead of executing work nobody will read.
+/// A default-constructed context has no deadline and cannot be
+/// cancelled -- the zero-cost shape for internal callers.
+class RequestContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  RequestContext() = default;
+
+  /// A context expiring `budget` from now (also cancellable).
+  static RequestContext WithDeadline(std::chrono::milliseconds budget) {
+    return WithDeadlineAt(Clock::now() + budget);
+  }
+
+  static RequestContext WithDeadlineAt(Clock::time_point deadline) {
+    RequestContext context;
+    context.deadline_ = deadline;
+    context.has_deadline_ = true;
+    context.cancelled_ = std::make_shared<std::atomic<bool>>(false);
+    return context;
+  }
+
+  /// A cancellable context without a deadline (callers that only want
+  /// the cancel token).
+  static RequestContext Cancellable() {
+    RequestContext context;
+    context.cancelled_ = std::make_shared<std::atomic<bool>>(false);
+    return context;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+
+  bool expired() const {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// Budget left before the deadline, clamped at zero; "effectively
+  /// forever" when no deadline is set.
+  std::chrono::milliseconds remaining() const {
+    if (!has_deadline_) {
+      return std::chrono::milliseconds(
+          std::numeric_limits<std::int64_t>::max() / 2);
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline_ - Clock::now());
+    return left.count() > 0 ? left : std::chrono::milliseconds(0);
+  }
+
+  /// Marks the request cancelled for every copy of this context.
+  /// No-op on a non-cancellable (default-constructed) context.
+  void Cancel() {
+    if (cancelled_ != nullptr) {
+      cancelled_->store(true, std::memory_order_release);
+    }
+  }
+
+  bool cancelled() const {
+    return cancelled_ != nullptr &&
+           cancelled_->load(std::memory_order_acquire);
+  }
+
+  /// True when the work should no longer run: cancelled or past its
+  /// deadline.
+  bool done() const { return cancelled() || expired(); }
+
+ private:
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+};
+
+}  // namespace cgrx::util
+
+#endif  // CGRX_SRC_UTIL_REQUEST_CONTEXT_H_

@@ -1,0 +1,272 @@
+// Chaos driver: randomized fault schedules against the durable
+// storage stack and the network serving stack. Every schedule is
+// seeded and the injector's fire decisions are pure functions of
+// (seed, point, ordinal), so any failing schedule replays exactly
+// from the seed printed by SCOPED_TRACE.
+//
+// The two invariants under test are the robustness pillars of the
+// serving tier (DESIGN.md Section 14):
+//   * zero data loss: whatever subset of waves and checkpoints
+//     succeeded, recovery reproduces exactly the acknowledged state
+//     (a shadow std::map is the oracle);
+//   * zero hung calls: deadline-bounded, retrying clients always
+//     come back with an answer or an error, never block forever,
+//     even while sockets reset and accept() starves.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/factory.h"
+#include "src/api/index.h"
+#include "src/core/types.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/net/wire.h"
+#include "src/storage/durable_service.h"
+#include "src/util/fault_injector.h"
+#include "src/util/rng.h"
+
+namespace cgrx {
+namespace {
+
+using ::cgrx::api::IndexPtr;
+using ::cgrx::api::MakeIndex;
+using ::cgrx::core::LookupResult;
+using ::cgrx::net::Client;
+using ::cgrx::net::Server;
+using ::cgrx::storage::DurableIndexService;
+using ::cgrx::util::FaultInjector;
+using ::cgrx::util::Rng;
+using ::cgrx::util::ScopedFaultInjection;
+
+std::filesystem::path ScratchDir(const std::string& tag) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / ("cgrx_chaos_" + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+FaultInjector::PointConfig WithProbability(double p) {
+  FaultInjector::PointConfig config;
+  config.probability = p;
+  return config;
+}
+
+// --- Storage schedules ----------------------------------------------
+//
+// One schedule: build a fresh durable index, then run a dozen update
+// waves and occasional checkpoints while the WAL's fsync and write
+// paths and the snapshot rename fail at random. A wave whose ticket
+// resolved is applied to the shadow map; a wave whose ticket threw
+// must leave no trace. At the end the directory is recovered cold and
+// compared against the shadow key by key.
+
+constexpr int kStorageSchedules = 45;
+constexpr int kWavesPerSchedule = 12;
+constexpr std::size_t kBuildKeys = 400;
+
+TEST(ChaosStorageTest, RandomFaultSchedulesNeverLoseAcknowledgedData) {
+  for (std::uint64_t seed = 1; seed <= kStorageSchedules; ++seed) {
+    SCOPED_TRACE("storage schedule seed " + std::to_string(seed));
+    const std::filesystem::path dir =
+        ScratchDir("store" + std::to_string(seed));
+
+    // Build rows are 0..n-1 in key order (Index::Build assigns them).
+    std::vector<std::uint64_t> build_keys(kBuildKeys);
+    std::map<std::uint64_t, std::uint32_t> shadow;
+    for (std::size_t i = 0; i < build_keys.size(); ++i) {
+      build_keys[i] = i * 7 + 3;
+      shadow[build_keys[i]] = static_cast<std::uint32_t>(i);
+    }
+    std::vector<std::uint64_t> all_keys = build_keys;  // Every key ever.
+
+    std::uint64_t expected_epoch = 0;
+    {
+      IndexPtr<std::uint64_t> served = MakeIndex<std::uint64_t>("cgrxu");
+      served->Build(build_keys);
+      auto durable = DurableIndexService<std::uint64_t>::Create(dir, served);
+
+      // Armed after Create (the epoch-0 snapshot is healthy) and
+      // disarmed before the durable service drains and closes, so
+      // only the schedule's waves and checkpoints see faults.
+      ScopedFaultInjection chaos(seed);
+      chaos.injector().Configure("wal.fsync", WithProbability(0.20));
+      chaos.injector().Configure("wal.short_write", WithProbability(0.15));
+      chaos.injector().Configure("snapshot.rename", WithProbability(0.25));
+
+      Rng rng(seed * 77 + 1);
+      std::uint64_t next_key = 1'000'000;
+      for (int wave = 0; wave < kWavesPerSchedule; ++wave) {
+        std::vector<std::uint64_t> inserts;
+        std::vector<std::uint32_t> rows;
+        std::vector<std::uint64_t> erases;
+        const std::size_t count = 20 + rng.Below(30);
+        for (std::size_t i = 0; i < count; ++i) {
+          inserts.push_back(next_key);
+          rows.push_back(static_cast<std::uint32_t>(next_key % 100'000));
+          ++next_key;
+        }
+        if (wave > 2 && rng.Below(2) == 0 && !shadow.empty()) {
+          // Erase a key that currently exists (never one inserted in
+          // this same wave, so shadow bookkeeping stays one-shot).
+          auto victim = shadow.begin();
+          std::advance(victim, rng.Below(shadow.size()));
+          erases.push_back(victim->first);
+        }
+        all_keys.insert(all_keys.end(), inserts.begin(), inserts.end());
+
+        bool applied = true;
+        try {
+          durable.SubmitUpdate(inserts, rows, erases).get();
+        } catch (const std::exception&) {
+          applied = false;  // Not logged, not applied -- by contract.
+        }
+        if (applied) {
+          ++expected_epoch;
+          for (std::size_t i = 0; i < inserts.size(); ++i) {
+            shadow[inserts[i]] = rows[i];
+          }
+          for (const std::uint64_t key : erases) shadow.erase(key);
+        }
+
+        if (rng.Below(4) == 0) {
+          try {
+            durable.Checkpoint().get();
+          } catch (const std::exception&) {
+            // A failed checkpoint must be invisible: old manifest, old
+            // WAL, service keeps logging. Recovery proves it below.
+          }
+        }
+      }
+      ASSERT_EQ(durable.epoch(), expected_epoch);
+    }  // Injector disarmed, then the service drains and shuts down.
+
+    // Cold recovery: snapshot + WAL replay must reproduce exactly the
+    // acknowledged waves -- nothing lost, nothing resurrected.
+    DurableIndexService<std::uint64_t> recovered(dir);
+    ASSERT_EQ(recovered.epoch(), expected_epoch);
+    const auto answers = recovered.SubmitPointLookups(all_keys).get();
+    ASSERT_EQ(answers.results.size(), all_keys.size());
+    for (std::size_t i = 0; i < all_keys.size(); ++i) {
+      LookupResult want;
+      const auto hit = shadow.find(all_keys[i]);
+      if (hit != shadow.end()) want.Accumulate(hit->second);
+      ASSERT_EQ(answers.results[i], want)
+          << "key " << all_keys[i] << " (probe " << i << ")";
+    }
+    recovered.Close();
+    std::filesystem::remove_all(dir);
+  }
+}
+
+// --- Serving schedules ----------------------------------------------
+//
+// One schedule: a live server with a seeded index, three client
+// threads hammering it with deadline-bounded, retrying calls while
+// recv/send fail like peer resets, writes tear mid-frame, and the
+// accept loop intermittently starves. The invariant is liveness:
+// every call returns (an answer or an error) and every thread joins;
+// after the faults stop, a fresh client sees healthy, correct state.
+
+constexpr int kServingSchedules = 8;
+constexpr int kWorkers = 3;
+constexpr int kCallsPerWorker = 15;
+
+TEST(ChaosNetTest, FaultySocketsNeverHangDeadlineBoundedClients) {
+  for (std::uint64_t seed = 101; seed < 101 + kServingSchedules; ++seed) {
+    SCOPED_TRACE("serving schedule seed " + std::to_string(seed));
+    Server::Options options;
+    options.root = ScratchDir("net" + std::to_string(seed));
+    Server server(options);
+
+    std::vector<std::uint64_t> seed_keys(256);
+    for (std::size_t i = 0; i < seed_keys.size(); ++i) {
+      seed_keys[i] = i * 11 + 5;
+    }
+    {
+      Client admin("localhost", server.port());
+      ASSERT_TRUE(admin.OpenIndex("c", "cgrxu").ok());
+      std::vector<std::uint32_t> rows(seed_keys.size());
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        rows[i] = static_cast<std::uint32_t>(i);
+      }
+      ASSERT_TRUE(admin.Update("c", seed_keys, rows, {}).ok());
+    }
+
+    std::atomic<int> answered{0};  // Calls that returned an answer.
+    std::atomic<int> finished{0};  // Workers that ran to completion.
+    {
+      ScopedFaultInjection chaos(seed);
+      chaos.injector().Configure("socket.reset", WithProbability(0.02));
+      chaos.injector().Configure("socket.partial_write",
+                                 WithProbability(0.02));
+      chaos.injector().Configure("accept.emfile", WithProbability(0.10));
+
+      std::vector<std::thread> workers;
+      for (int w = 0; w < kWorkers; ++w) {
+        workers.emplace_back([&, w] {
+          Client::Options copts;
+          copts.connect_timeout = std::chrono::milliseconds(2000);
+          copts.call_deadline = std::chrono::milliseconds(2000);
+          copts.retry.max_attempts = 4;
+          copts.retry.initial_backoff = std::chrono::milliseconds(2);
+          copts.retry.max_backoff = std::chrono::milliseconds(20);
+          copts.retry.seed = seed * 10 + static_cast<std::uint64_t>(w);
+          std::optional<Client> client;
+          Rng rng(seed * 1000 + static_cast<std::uint64_t>(w));
+          for (int call = 0; call < kCallsPerWorker; ++call) {
+            try {
+              if (!client) {
+                client.emplace("localhost", server.port(), copts);
+              }
+              if (rng.Below(4) == 0) {
+                client->Update("c",
+                               {2'000'000 + seed * 1000 + rng.Below(500)},
+                               {static_cast<std::uint32_t>(call)}, {});
+              } else {
+                client->PointLookup(
+                    "c", {seed_keys[rng.Below(seed_keys.size())]});
+              }
+              answered.fetch_add(1);
+            } catch (const std::exception&) {
+              // Transport or deadline failure: drop the (possibly
+              // poisoned) connection and carry on. The invariant is
+              // that the call RETURNED, not that it succeeded.
+              client.reset();
+            }
+          }
+          finished.fetch_add(1);
+        });
+      }
+      // Joining here is the liveness assertion: every call is bounded
+      // by SO_RCVTIMEO/SO_SNDTIMEO and a capped retry budget, so no
+      // fault schedule may strand a worker. A hang trips the ctest
+      // timeout and prints the schedule seed via SCOPED_TRACE.
+      for (std::thread& worker : workers) worker.join();
+    }  // Faults off; the tier must be healthy again, not just alive.
+
+    EXPECT_EQ(finished.load(), kWorkers);
+    EXPECT_GT(answered.load(), 0);
+    Client fresh("localhost", server.port());
+    EXPECT_TRUE(fresh.Ping().ok());
+    const Client::LookupReply reply = fresh.PointLookup("c", {seed_keys[0]});
+    ASSERT_TRUE(reply.ok()) << reply.message;
+    ASSERT_EQ(reply.results.size(), 1u);
+    EXPECT_EQ(reply.results[0].match_count, 1u);
+    std::filesystem::remove_all(options.root);
+  }
+}
+
+}  // namespace
+}  // namespace cgrx

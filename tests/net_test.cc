@@ -261,10 +261,11 @@ TEST(NetWireTest, MalformedPayloadAnswersAndKeepsConnection) {
 
   // Unknown verb byte: answered kUnimplemented, connection survives.
   const std::uint8_t unknown_verb[] = {
-      13, 0, 0, 0,              // frame length 13
+      17, 0, 0, 0,              // frame length 17
       99,                       // verb 99
       0, 0, 0, 0, 0, 0, 0, 0,   // session id
-      0, 0, 0, 0};              // empty index name
+      0, 0, 0, 0,               // empty index name
+      0, 0, 0, 0};              // no deadline
   client.socket().WriteAll(unknown_verb, sizeof(unknown_verb));
   ASSERT_TRUE(client.Receive(&payload));
   util::ByteReader in2(payload);
@@ -608,6 +609,212 @@ TEST(NetRouterTest, CloseDrainsInFlightLeases) {
   EXPECT_TRUE(lease_released.load());
   holder.join();
   EXPECT_FALSE(static_cast<bool>(router.Acquire("v")));
+}
+
+// --- Deadlines ------------------------------------------------------
+
+TEST(NetDeadlineTest, DeadlineAgainstStalledServiceNeverHangsOrExecutes) {
+  Server server(BaseOptions(ScratchDir("deadline")));
+  Client stall("localhost", server.port());
+  ASSERT_TRUE(stall.OpenIndex("dl", "cgrxu").ok());
+
+  // Pipeline a bulk update: the single dispatcher is busy for a long
+  // stretch (hundreds of ms at least), with everything behind it queued.
+  std::vector<std::uint64_t> keys(50'000);
+  std::vector<std::uint32_t> rows(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = i * 3 + 1;
+    rows[i] = static_cast<std::uint32_t>(i);
+  }
+  util::ByteWriter update = stall.Request(Verb::kUpdate, "dl");
+  update.WritePodVector(keys);
+  update.WritePodVector(rows);
+  update.WritePodVector(std::vector<std::uint64_t>{});
+  stall.Send(update);
+  {
+    // Wait (in-process) until the wave is actually submitted.
+    IndexRouter::Lease lease = server.router().Acquire("dl");
+    ASSERT_TRUE(static_cast<bool>(lease));
+    while (lease->service().service().pending() == 0) {
+      std::this_thread::yield();
+    }
+  }
+
+  // Second connection: a 10 ms-deadline lookup, framed by hand so only
+  // the SERVER enforces the deadline (a client-side recv timeout would
+  // race the server's answer).
+  Client client("localhost", server.port());
+  util::ByteWriter lookup;
+  RequestHeader header;
+  header.verb = Verb::kPointLookup;
+  header.index = "dl";
+  header.deadline_ms = 10;
+  header.Encode(&lookup);
+  lookup.WritePodVector(std::vector<std::uint64_t>{1});
+  const auto sent = std::chrono::steady_clock::now();
+  client.Send(lookup);
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(client.Receive(&payload));
+  const auto answered = std::chrono::steady_clock::now();
+  util::ByteReader in(payload);
+  const ResponseHeader response = ResponseHeader::Decode(&in);
+  EXPECT_EQ(response.status, Status::kDeadlineExceeded) << response.message;
+
+  // Never hangs: answered in ~deadline time, not update-wave time.
+  EXPECT_LT(answered - sent, std::chrono::seconds(2));
+  // Let the wave finish; the lookup answer must predate its completion
+  // (i.e. the deadline answer did not queue behind the wave).
+  std::vector<std::uint8_t> update_payload;
+  ASSERT_TRUE(stall.Receive(&update_payload));
+  const auto wave_done = std::chrono::steady_clock::now();
+  util::ByteReader update_in(update_payload);
+  ASSERT_EQ(ResponseHeader::Decode(&update_in).status, Status::kOk);
+  EXPECT_LT(answered, wave_done);
+
+  // Never executed: the dispatcher dropped the expired ticket, and the
+  // deadline outcome is visible in /metrics.
+  const std::string text = server.MetricsText();
+  EXPECT_NE(text.find("cgrx_index_deadline_dropped_total{index=\"dl\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cgrx_deadline_exceeded_total{stage=\"await\"} 1"),
+            std::string::npos)
+      << text;
+
+  // The connection that took the deadline answer is still healthy.
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(NetDeadlineTest, ClientCallDeadlineAgainstSilentServer) {
+  // A "server" that accepts and then never answers: without a recv
+  // timeout the client would block forever.
+  Listener listener(0);
+  std::thread sink([&listener] {
+    try {
+      Socket accepted = listener.Accept();
+      char c;
+      while (accepted.ReadFull(&c, 1)) {
+      }
+    } catch (...) {
+    }
+  });
+  {
+    Client::Options options;
+    options.call_deadline = std::chrono::milliseconds(100);
+    Client client("localhost", listener.port(), options);
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_THROW(client.Ping(), TimeoutError);
+    EXPECT_LT(std::chrono::steady_clock::now() - start,
+              std::chrono::seconds(5));
+  }  // Client close gives the sink its EOF.
+  listener.Shutdown();
+  sink.join();
+}
+
+// --- Protocol version negotiation -----------------------------------
+
+TEST(NetProtocolTest, PingNegotiatesProtocolVersion) {
+  Server server(BaseOptions(ScratchDir("version")));
+  Client client("localhost", server.port());
+
+  const Client::PingReply reply = client.Ping();
+  ASSERT_TRUE(reply.ok()) << reply.message;
+  EXPECT_EQ(reply.server_version, kProtocolVersion);
+
+  // A mismatched version byte is refused naming both versions, so the
+  // operator knows which side to upgrade.
+  util::ByteWriter mismatched = client.Request(Verb::kPing, "");
+  mismatched.WriteU8(99);
+  client.Send(mismatched);
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(client.Receive(&payload));
+  util::ByteReader in(payload);
+  const ResponseHeader response = ResponseHeader::Decode(&in);
+  EXPECT_EQ(response.status, Status::kFailedPrecondition);
+  EXPECT_NE(response.message.find("99"), std::string::npos);
+  EXPECT_NE(response.message.find(std::to_string(kProtocolVersion)),
+            std::string::npos);
+
+  // A ping with no version byte is a v1 client: refused the same way
+  // (the v2 header layout is not wire-compatible with v1).
+  client.Send(client.Request(Verb::kPing, ""));
+  ASSERT_TRUE(client.Receive(&payload));
+  util::ByteReader legacy(payload);
+  const ResponseHeader legacy_response = ResponseHeader::Decode(&legacy);
+  EXPECT_EQ(legacy_response.status, Status::kFailedPrecondition);
+  EXPECT_NE(legacy_response.message.find("version 1"), std::string::npos);
+
+  // The connection survives the refusals.
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+// --- Client retry/backoff -------------------------------------------
+
+TEST(NetRetryTest, RetriesResourceExhaustedAnswersWithBackoff) {
+  Server::Options options = BaseOptions(ScratchDir("retry_rate"));
+  options.rate_limit_per_client = 50.0;  // Token every 20 ms...
+  options.rate_limit_burst = 1;          // ...after a burst of one.
+  Server server(options);
+  {
+    Client setup("localhost", server.port());
+    ASSERT_TRUE(setup.OpenIndex("rr", "btree").ok());
+    ASSERT_TRUE(setup.Update("rr", {1}, {10}, {}).ok());
+  }
+
+  // Without retry, back-to-back lookups hit the rate limit.
+  Client bare("localhost", server.port());
+  bool saw_exhausted = false;
+  for (int i = 0; i < 8 && !saw_exhausted; ++i) {
+    saw_exhausted =
+        bare.PointLookup("rr", {1}).status == Status::kResourceExhausted;
+  }
+  EXPECT_TRUE(saw_exhausted);
+
+  // With retry, every call eventually lands: kResourceExhausted means
+  // "refused without executing", so the client backs off and re-sends.
+  Client::Options retrying;
+  retrying.retry.max_attempts = 10;
+  retrying.retry.initial_backoff = std::chrono::milliseconds(10);
+  retrying.retry.max_backoff = std::chrono::milliseconds(100);
+  retrying.retry.seed = 42;
+  Client client("localhost", server.port(), retrying);
+  for (int i = 0; i < 5; ++i) {
+    const Client::LookupReply reply = client.PointLookup("rr", {1});
+    ASSERT_TRUE(reply.ok()) << "call " << i << ": " << reply.message;
+    EXPECT_EQ(reply.results[0].row_id_sum, 10u);
+  }
+}
+
+TEST(NetRetryTest, TransportErrorRetriesOnlyIdempotentVerbs) {
+  Server server(BaseOptions(ScratchDir("retry_transport")));
+  {
+    Client setup("localhost", server.port());
+    ASSERT_TRUE(setup.OpenIndex("rt", "btree").ok());
+    ASSERT_TRUE(setup.Update("rt", {1}, {10}, {}).ok());
+  }
+
+  Client::Options options;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff = std::chrono::milliseconds(1);
+  options.retry.seed = 7;
+  Client client("localhost", server.port(), options);
+  ASSERT_TRUE(client.PointLookup("rt", {1}).ok());
+
+  // Break the connection under the client's feet: an idempotent verb
+  // reconnects and succeeds transparently.
+  client.socket().Shutdown();
+  const Client::LookupReply read = client.PointLookup("rt", {1});
+  ASSERT_TRUE(read.ok()) << read.message;
+  EXPECT_EQ(read.results[0].row_id_sum, 10u);
+
+  // A non-idempotent update must NOT be auto-retried: the client
+  // cannot know whether the torn call executed.
+  client.socket().Shutdown();
+  EXPECT_THROW(client.Update("rt", {2}, {20}, {}), Error);
+
+  // The poisoned connection heals on the next explicit call.
+  const Client::UpdateReply update = client.Update("rt", {2}, {20}, {});
+  ASSERT_TRUE(update.ok()) << update.message;
 }
 
 }  // namespace

@@ -394,6 +394,83 @@ TEST(IndexServiceTest, WaitForEpochHoldsReadersUntilTheWriteLands) {
   hopeless.join();
 }
 
+// The drop-at-dispatch contract: a submission whose RequestContext is
+// expired or cancelled by the time the dispatcher reaches it must fail
+// its ticket WITHOUT executing -- the index never spends work on a
+// caller that stopped waiting.
+TEST(IndexServiceTest, ExpiredContextIsDroppedAtDispatch) {
+  const auto backend = MakeIndex<std::uint64_t>("btree");
+  backend->Build({1, 2, 3});
+  IndexService<std::uint64_t> service(backend);
+
+  // A zero-millisecond deadline is expired the moment the dispatcher
+  // looks at it, however fast dispatch is.
+  auto ticket = service.SubmitUpdate(
+      {100}, {100}, {}, util::RequestContext::WithDeadline(
+                            std::chrono::milliseconds(0)));
+  EXPECT_THROW(ticket.get(), util::DeadlineExceededError);
+  EXPECT_EQ(service.deadline_dropped(), 1u);
+  // Never executed: no epoch completed, the index is untouched.
+  EXPECT_EQ(service.epoch(), 0u);
+  EXPECT_EQ(service.Stats().entries, 3u);
+}
+
+TEST(IndexServiceTest, CancelledTicketIsDroppedUnexecuted) {
+  const auto backend = MakeIndex<std::uint64_t>("btree");
+  backend->Build({1, 2, 3});
+  IndexService<std::uint64_t> service(backend);
+
+  // Park the dispatcher inside a checkpoint writer so the update below
+  // is provably still queued when it is cancelled.
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  auto checkpoint = service.Checkpoint(
+      [released](const Index<std::uint64_t>&, std::uint64_t) {
+        released.wait();
+      });
+
+  util::RequestContext context = util::RequestContext::Cancellable();
+  auto ticket = service.SubmitUpdate({100}, {100}, {}, context);
+  context.Cancel();
+  release.set_value();
+
+  EXPECT_THROW(ticket.get(), util::CancelledError);
+  checkpoint.get();
+  EXPECT_EQ(service.deadline_dropped(), 1u);
+  EXPECT_EQ(service.epoch(), 0u);
+  EXPECT_EQ(service.Stats().entries, 3u);
+}
+
+TEST(IndexServiceTest, DeadlineBoundsBackpressureWait) {
+  const auto backend = MakeIndex<std::uint64_t>("btree");
+  backend->Build({1});
+  IndexService<std::uint64_t>::Options options;
+  options.queue_limit = 1;
+  IndexService<std::uint64_t> service(backend, options);
+
+  // Fill the dispatcher and the one queue slot.
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  service.Checkpoint([released](const Index<std::uint64_t>&, std::uint64_t) {
+    released.wait();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  auto queued = service.SubmitPointLookups({1});
+
+  // A deadline-carrying submitter against the full queue gets
+  // DeadlineExceededError at the deadline instead of parking forever.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(service.SubmitPointLookups(
+                   {1}, util::RequestContext::WithDeadline(
+                            std::chrono::milliseconds(50))),
+               util::DeadlineExceededError);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(5));
+
+  release.set_value();
+  queued.get();
+}
+
 TEST(IndexServiceTest, QueueDepthObservability) {
   const auto backend = MakeIndex<std::uint64_t>("btree");
   backend->Build({1});

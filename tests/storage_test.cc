@@ -33,6 +33,7 @@
 #include "src/storage/snapshot.h"
 #include "src/storage/store.h"
 #include "src/storage/wal.h"
+#include "src/util/fault_injector.h"
 #include "src/util/rng.h"
 
 namespace cgrx::storage {
@@ -851,6 +852,106 @@ TEST(DurableServiceTest, CheckpointInterleavedWithConcurrentTraffic) {
     last_checkpoint = epoch;
   }
   EXPECT_EQ(durable.epoch(), 8u);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Fault injection: the util::FaultInjector hooks compiled into the WAL
+// commit path and TempFileWriter's atomic replace. Each test drives
+// one failure deterministically (fire_at pins the exact evaluation)
+// and checks the documented failure-atomicity contract.
+// ---------------------------------------------------------------------
+
+TEST(FaultInjectionTest, WalFsyncFailureDropsStagedRecords) {
+  const std::filesystem::path dir = ScratchDir("faultfsync");
+  const std::filesystem::path path = dir / "wal.log";
+  Wal64 wal = Wal64::Create(path);
+  wal.AppendCommitted(WaveFor(1), 1);
+  const std::uintmax_t durable_size = std::filesystem::file_size(path);
+
+  {
+    util::ScopedFaultInjection faults(7);
+    util::FaultInjector::PointConfig config;
+    config.fire_at = 0;
+    faults.injector().Configure("wal.fsync", config);
+    wal.Append(WaveFor(2), 2);
+    wal.Append(WaveFor(3), 3);
+    EXPECT_THROW(wal.Commit(), Error);
+    EXPECT_EQ(faults.injector().fires("wal.fsync"), 1u);
+  }
+  // The failed group commit dropped both staged records: file back at
+  // the durable prefix, epoch cursor rewound, epochs free for reuse.
+  EXPECT_EQ(std::filesystem::file_size(path), durable_size);
+  EXPECT_EQ(wal.last_epoch(), 1u);
+  wal.AppendCommitted(WaveFor(2), 2);
+  std::vector<std::uint64_t> epochs;
+  Wal64::Open(path, [&](Wave64 wave, std::uint64_t e) {
+    ExpectWaveEq(WaveFor(e), wave);
+    epochs.push_back(e);
+  });
+  EXPECT_EQ(epochs, (std::vector<std::uint64_t>{1, 2}));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FaultInjectionTest, WalShortWriteTruncatesCleanly) {
+  const std::filesystem::path dir = ScratchDir("faultshort");
+  const std::filesystem::path path = dir / "wal.log";
+  Wal64 wal = Wal64::Create(path);
+  wal.AppendCommitted(WaveFor(1), 1);
+  const std::uintmax_t durable_size = std::filesystem::file_size(path);
+
+  {
+    util::ScopedFaultInjection faults(7);
+    util::FaultInjector::PointConfig config;
+    config.fire_at = 0;
+    faults.injector().Configure("wal.short_write", config);
+    wal.Append(WaveFor(2), 2);
+    EXPECT_THROW(wal.Commit(), Error);
+  }
+  // The injected prefix write left torn bytes past the durable size;
+  // the rollback must truncate them so the next append lands cleanly
+  // (no torn record for recovery to chew through).
+  EXPECT_EQ(std::filesystem::file_size(path), durable_size);
+  wal.AppendCommitted(WaveFor(2), 2);
+  std::vector<std::uint64_t> epochs;
+  Wal64::Open(path, [&](Wave64 wave, std::uint64_t e) {
+    ExpectWaveEq(WaveFor(e), wave);
+    epochs.push_back(e);
+  });
+  EXPECT_EQ(epochs, (std::vector<std::uint64_t>{1, 2}));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FaultInjectionTest, SnapshotRenameFailureLeavesOldManifestIntact) {
+  const std::filesystem::path dir = ScratchDir("faultrename");
+  IndexPtr<std::uint64_t> index = MakeIndex<std::uint64_t>("cgrxu");
+  const std::vector<std::uint64_t> keys = MakeKeys<std::uint64_t>(1000, 61);
+  index->Build(keys);
+  auto store = IndexStore<std::uint64_t>::Create(dir, *index);
+  const Wave64 wave = WaveFor(1);
+  store.LogWave(wave.insert_keys, wave.insert_rows, wave.erase_keys, 1);
+  index->UpdateBatch(wave.insert_keys, wave.insert_rows, wave.erase_keys);
+
+  {
+    util::ScopedFaultInjection faults(7);
+    util::FaultInjector::PointConfig config;
+    config.fire_at = 0;  // First atomic replace of the checkpoint.
+    faults.injector().Configure("snapshot.rename", config);
+    EXPECT_THROW(store.Checkpoint(*index, 1), Error);
+  }
+  // The failed checkpoint must not have swapped the manifest: the
+  // epoch-0 snapshot plus the logged wave still reproduce the state,
+  // and the store keeps serving (a later wave logs fine).
+  EXPECT_EQ(store.snapshot_epoch(), 0u);
+  const Wave64 second = WaveFor(2);
+  store.LogWave(second.insert_keys, second.insert_rows, second.erase_keys, 2);
+  index->UpdateBatch(second.insert_keys, second.insert_rows,
+                     second.erase_keys);
+
+  auto recovered = IndexStore<std::uint64_t>::Open(dir).Recover();
+  EXPECT_EQ(recovered.epoch, 2u);
+  ExpectSameAnswers(*index, *recovered.index,
+                    MakeKeys<std::uint64_t>(500, 62));
   std::filesystem::remove_all(dir);
 }
 
