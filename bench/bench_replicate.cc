@@ -1,0 +1,303 @@
+// Replication bench: follower catch-up throughput and steady-state
+// replication lag vs offered write load, over loopback, emitted as
+// machine-readable JSON (BENCH_replication.json).
+//
+// Shape: two in-process servers. Phase 1 loads a primary with --keys
+// entries over the wire, then opens a follower bootstrapped from
+// empty ("replica:..." backend) and times it to exact epoch parity --
+// reported as catch-up MB/s and waves/s (payload bytes, the metric a
+// capacity plan needs: how fast a cold standby drains a day of WAL).
+// Phase 2 sweeps offered write rates (--qps, waves of --wave_keys
+// keys each) against the live tail and samples the follower's
+// replication lag from the replication_status verb -- reported as
+// mean/max lag in epochs and the applied-wave rate, the
+// freshness-vs-throughput curve a bounded-staleness read policy is
+// sized from.
+//
+// Standalone (no google-benchmark dependency) so CI can always build
+// and smoke-run it:
+//
+//   bench_replicate [--keys N] [--waves W] [--qps Q1,Q2,...]
+//                   [--seconds S] [--wave_keys K] [--out FILE]
+//                   [--out_dir DIR]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include "bench/bench_io.h"
+
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/net/wire.h"
+
+namespace {
+
+using cgrx::net::Client;
+using cgrx::net::Server;
+
+using Clock = std::chrono::steady_clock;
+
+struct LagPoint {
+  double offered_wps = 0;   // Offered write waves per second.
+  double achieved_wps = 0;  // Waves acknowledged by the primary.
+  double mean_lag_epochs = 0;
+  double max_lag_epochs = 0;
+  double final_lag_epochs = 0;
+  std::uint64_t samples = 0;
+};
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t num_keys = 1'000'000;
+  int load_waves = 100;
+  std::size_t wave_keys = 200;
+  double seconds = 2.0;
+  std::string qps_list = "20,100,400";
+  std::string out_file = "BENCH_replication.json";
+  std::string out_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : "";
+    };
+    if (arg == "--keys") {
+      num_keys = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--waves") {
+      load_waves = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (arg == "--wave_keys") {
+      wave_keys = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--seconds") {
+      seconds = std::strtod(next(), nullptr);
+    } else if (arg == "--qps") {
+      qps_list = next();
+    } else if (arg == "--out") {
+      out_file = next();
+    } else if (arg == "--out_dir") {
+      out_dir = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--keys N] [--waves W] [--qps Q1,Q2,...] "
+                   "[--seconds S] [--wave_keys K] [--out FILE] "
+                   "[--out_dir DIR]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (num_keys == 0 || load_waves <= 0 || wave_keys == 0 || seconds <= 0) {
+    std::fprintf(stderr, "bench_replicate: invalid arguments\n");
+    return 2;
+  }
+
+  std::vector<double> sweep;
+  for (std::size_t pos = 0; pos < qps_list.size();) {
+    const std::size_t comma = qps_list.find(',', pos);
+    const std::string token =
+        qps_list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+    if (!token.empty()) sweep.push_back(std::strtod(token.c_str(), nullptr));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+
+  const std::string suffix = std::to_string(::getpid());
+  const std::filesystem::path primary_root =
+      std::filesystem::temp_directory_path() / ("cgrx_bench_repl_p" + suffix);
+  const std::filesystem::path follower_root =
+      std::filesystem::temp_directory_path() / ("cgrx_bench_repl_f" + suffix);
+  std::filesystem::remove_all(primary_root);
+  std::filesystem::remove_all(follower_root);
+
+  Server::Options primary_options;
+  primary_options.root = primary_root;
+  primary_options.retain_wal_epochs = ~0ULL >> 1;  // Full history.
+  Server primary(primary_options);
+  Server::Options follower_options;
+  follower_options.root = follower_root;
+  Server follower(follower_options);
+  const std::string spec =
+      "replica:127.0.0.1:" + std::to_string(primary.port()) + "/p";
+
+  // --- Phase 1: load the primary, then time a cold catch-up. --------
+  Client feed("localhost", primary.port());
+  if (!feed.OpenIndex("p", "btree").ok()) {
+    std::fprintf(stderr, "bench_replicate: primary open failed\n");
+    return 1;
+  }
+  const std::size_t per_wave =
+      std::max<std::size_t>(1, num_keys / static_cast<std::size_t>(
+                                              load_waves));
+  std::uint64_t next_key = 1;
+  std::uint64_t loaded = 0;
+  const Clock::time_point load_start = Clock::now();
+  for (int w = 0; w < load_waves; ++w) {
+    std::vector<std::uint64_t> keys(per_wave);
+    std::vector<std::uint32_t> rows(per_wave);
+    for (std::size_t k = 0; k < per_wave; ++k) {
+      keys[k] = next_key;
+      rows[k] = static_cast<std::uint32_t>(next_key & 0xffffff);
+      ++next_key;
+    }
+    const Client::UpdateReply reply = feed.Update("p", keys, rows, {});
+    if (!reply.ok()) {
+      std::fprintf(stderr, "bench_replicate: load failed: %s\n",
+                   reply.message.c_str());
+      return 1;
+    }
+    loaded += per_wave;
+  }
+  const double load_seconds = SecondsSince(load_start);
+  // Shipped payload per key: u64 key + u32 row (erases absent).
+  const double shipped_mb = static_cast<double>(loaded) * 12.0 / 1e6;
+  std::printf("bench_replicate: loaded %llu keys in %d waves (%.2fs)\n",
+              static_cast<unsigned long long>(loaded), load_waves,
+              load_seconds);
+
+  Client reader("localhost", follower.port());
+  const Clock::time_point catchup_start = Clock::now();
+  if (!reader.OpenIndex("f", spec).ok()) {
+    std::fprintf(stderr, "bench_replicate: follower open failed\n");
+    return 1;
+  }
+  const std::uint64_t target = static_cast<std::uint64_t>(load_waves);
+  for (;;) {
+    const Client::ReplicationStatusReply s = reader.ReplicationStatus("f");
+    if (s.ok() && s.epoch >= target) break;
+    if (SecondsSince(catchup_start) > 300) {
+      std::fprintf(stderr, "bench_replicate: catch-up stalled\n");
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const double catchup_seconds = SecondsSince(catchup_start);
+  const double catchup_mb_per_sec = shipped_mb / catchup_seconds;
+  const double catchup_waves_per_sec =
+      static_cast<double>(load_waves) / catchup_seconds;
+  std::printf("  catch-up: %llu epochs / %.1f MB in %.3fs  "
+              "(%.1f MB/s, %.0f waves/s)\n",
+              static_cast<unsigned long long>(target), shipped_mb,
+              catchup_seconds, catchup_mb_per_sec, catchup_waves_per_sec);
+
+  // --- Phase 2: steady-state lag vs offered write rate. -------------
+  std::vector<LagPoint> points;
+  std::uint64_t epoch_base = target;
+  for (const double offered : sweep) {
+    LagPoint point;
+    point.offered_wps = offered;
+    const auto interval = std::chrono::nanoseconds(
+        static_cast<std::uint64_t>(1e9 / offered));
+    const auto waves_due =
+        static_cast<std::uint64_t>(offered * seconds);
+    std::uint64_t acked = 0;
+    const Clock::time_point start = Clock::now();
+    std::thread writer([&] {
+      for (std::uint64_t i = 0; i < waves_due; ++i) {
+        std::this_thread::sleep_until(start + i * interval);
+        std::vector<std::uint64_t> keys(wave_keys);
+        std::vector<std::uint32_t> rows(wave_keys);
+        for (std::size_t k = 0; k < wave_keys; ++k) {
+          keys[k] = next_key;
+          rows[k] = static_cast<std::uint32_t>(next_key & 0xffffff);
+          ++next_key;
+        }
+        if (feed.Update("p", keys, rows, {}).ok()) ++acked;
+      }
+    });
+    // Sample lag at ~200 Hz while the writer offers load.
+    double lag_sum = 0;
+    while (SecondsSince(start) < seconds) {
+      const Client::ReplicationStatusReply s = reader.ReplicationStatus("f");
+      if (s.ok()) {
+        const double lag =
+            s.primary_epoch > s.epoch
+                ? static_cast<double>(s.primary_epoch - s.epoch)
+                : 0.0;
+        lag_sum += lag;
+        point.max_lag_epochs = std::max(point.max_lag_epochs, lag);
+        ++point.samples;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    writer.join();
+    const double elapsed = SecondsSince(start);
+    point.achieved_wps = static_cast<double>(acked) / elapsed;
+    point.mean_lag_epochs =
+        point.samples == 0 ? 0 : lag_sum / static_cast<double>(point.samples);
+    {
+      const Client::ReplicationStatusReply s = reader.ReplicationStatus("f");
+      if (s.ok() && s.primary_epoch > s.epoch) {
+        point.final_lag_epochs =
+            static_cast<double>(s.primary_epoch - s.epoch);
+      }
+    }
+    epoch_base += acked;
+    std::printf("  offered %6.0f waves/s: achieved %6.0f  lag mean %6.2f "
+                "max %5.0f final %4.0f epochs (%llu samples)\n",
+                point.offered_wps, point.achieved_wps,
+                point.mean_lag_epochs, point.max_lag_epochs,
+                point.final_lag_epochs,
+                static_cast<unsigned long long>(point.samples));
+    points.push_back(point);
+    // Let the follower drain fully so points stay independent.
+    const Clock::time_point drain = Clock::now();
+    while (SecondsSince(drain) < 30) {
+      const Client::ReplicationStatusReply s = reader.ReplicationStatus("f");
+      if (s.ok() && s.epoch >= epoch_base) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+
+  follower.Stop();
+  primary.Stop();
+  std::filesystem::remove_all(primary_root);
+  std::filesystem::remove_all(follower_root);
+
+  const std::string path =
+      cgrx::bench::OutputPath::Resolve(out_file, out_dir);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_replicate: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"replication\",\n  \"keys\": %llu,\n"
+               "  \"load_waves\": %d,\n  \"wave_keys\": %zu,\n"
+               "  \"catchup\": {\n"
+               "    \"epochs\": %llu,\n    \"shipped_mb\": %.3f,\n"
+               "    \"seconds\": %.4f,\n    \"mb_per_sec\": %.2f,\n"
+               "    \"waves_per_sec\": %.1f\n  },\n  \"lag_points\": [\n",
+               static_cast<unsigned long long>(loaded), load_waves,
+               wave_keys, static_cast<unsigned long long>(target),
+               shipped_mb, catchup_seconds, catchup_mb_per_sec,
+               catchup_waves_per_sec);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const LagPoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"offered_wps\": %.1f, \"achieved_wps\": %.1f, "
+                 "\"mean_lag_epochs\": %.3f, \"max_lag_epochs\": %.1f, "
+                 "\"final_lag_epochs\": %.1f, \"samples\": %llu}%s\n",
+                 p.offered_wps, p.achieved_wps, p.mean_lag_epochs,
+                 p.max_lag_epochs, p.final_lag_epochs,
+                 static_cast<unsigned long long>(p.samples),
+                 i + 1 == points.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("bench_replicate: wrote %s\n", path.c_str());
+  return 0;
+}

@@ -122,6 +122,34 @@ IndexService<Key>::SubmitUpdate(std::vector<Key> insert_keys,
 }
 
 template <typename Key>
+std::future<typename IndexService<Key>::UpdateResult>
+IndexService<Key>::SubmitReplicatedWave(std::vector<Key> insert_keys,
+                                        std::vector<std::uint32_t> insert_rows,
+                                        std::vector<Key> erase_keys,
+                                        std::uint64_t expected_epoch,
+                                        util::RequestContext context) {
+  if (insert_keys.size() != insert_rows.size()) {
+    throw std::invalid_argument(
+        "SubmitReplicatedWave: insert_keys/insert_rows size mismatch");
+  }
+  if (expected_epoch == 0) {
+    throw std::invalid_argument(
+        "SubmitReplicatedWave: epoch 0 is the pre-first-wave state, no "
+        "wave can complete it");
+  }
+  Op op;
+  op.kind = Op::Kind::kUpdate;
+  op.context = std::move(context);
+  op.keys = std::move(insert_keys);
+  op.insert_rows = std::move(insert_rows);
+  op.erase_keys = std::move(erase_keys);
+  op.replicated_epoch = expected_epoch;
+  std::future<UpdateResult> ticket = op.update_done.get_future();
+  Enqueue(std::move(op));
+  return ticket;
+}
+
+template <typename Key>
 std::future<std::uint64_t> IndexService<Key>::Checkpoint(
     std::function<void(const Index<Key>&, std::uint64_t)> writer,
     util::RequestContext context) {
@@ -321,10 +349,22 @@ void IndexService<Key>::Execute(Op& op) {
       const std::uint64_t next_epoch =
           completed_epoch_.load(std::memory_order_relaxed) + 1;
       try {
+        if (op.replicated_epoch != 0 && op.replicated_epoch != next_epoch) {
+          // Exactly-once replication guard: a replicated wave carries
+          // the epoch it completed on the primary; applying it as any
+          // other epoch would double-apply or skip history.
+          throw std::runtime_error(
+              "replicated wave for epoch " +
+              std::to_string(op.replicated_epoch) +
+              " cannot apply at epoch " + std::to_string(next_epoch));
+        }
         // Write-ahead: the observer (the durable service's log append)
         // sees the wave and its epoch before the index does. A throw
         // here aborts the wave entirely -- not logged, not applied.
-        if (options_.update_observer) {
+        // Replicated waves bypass it: the replica's tailer already
+        // write-ahead logged the fetched record, observing here would
+        // log the same epoch twice.
+        if (options_.update_observer && op.replicated_epoch == 0) {
           options_.update_observer(op.keys, op.insert_rows, op.erase_keys,
                                    next_epoch);
           observed = true;

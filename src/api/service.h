@@ -153,6 +153,25 @@ class IndexService {
                                          std::vector<Key> erase_keys,
                                          util::RequestContext context = {});
 
+  /// Apply-stream entry point for replication: submits a wave that was
+  /// ALREADY write-ahead logged elsewhere (the replica's tailer logs a
+  /// fetched batch before submitting it), tagged with the exact epoch
+  /// it must complete. Differs from SubmitUpdate in two ways, both
+  /// load-bearing for exactly-once replay:
+  ///
+  ///  * The dispatcher verifies `expected_epoch` == completed + 1 at
+  ///    apply time and fails the ticket on any gap or duplicate --
+  ///    a wave can neither skip ahead nor double-apply, no matter how
+  ///    the fetch stream stuttered.
+  ///  * Options::update_observer and update_rollback are bypassed:
+  ///    observing would re-log a record the replica's own WAL already
+  ///    holds (double-logging the same epoch would poison its
+  ///    recovery).
+  std::future<UpdateResult> SubmitReplicatedWave(
+      std::vector<Key> insert_keys, std::vector<std::uint32_t> insert_rows,
+      std::vector<Key> erase_keys, std::uint64_t expected_epoch,
+      util::RequestContext context = {});
+
   /// Submits a checkpoint ticket: `writer` runs on the dispatcher
   /// between waves -- an epoch boundary, with no update in flight and
   /// no read wave half-admitted -- receiving the index and the last
@@ -237,6 +256,9 @@ class IndexService {
     std::vector<std::uint32_t> insert_rows;
     std::vector<Key> erase_keys;
     std::function<void(const Index<Key>&, std::uint64_t)> checkpoint_writer;
+    /// Non-zero marks a replicated wave (SubmitReplicatedWave): the
+    /// exact epoch it must complete, with observer/rollback bypassed.
+    std::uint64_t replicated_epoch = 0;
     std::promise<LookupBatchResult> lookup_done;
     std::promise<UpdateResult> update_done;
     std::promise<IndexStats> stats_done;

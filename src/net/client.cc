@@ -31,6 +31,9 @@ bool IsIdempotent(Verb verb) {
     case Verb::kRangeLookup:
     case Verb::kStats:
     case Verb::kOpenIndex:
+    case Verb::kSubscribeWal:
+    case Verb::kFetchWalRange:
+    case Verb::kReplicationStatus:
       return true;
     default:
       return false;
@@ -345,6 +348,110 @@ Client::EpochReply Client::Checkpoint(const std::string& name) {
   EpochReply reply;
   if (DecodeHeader(&in, &reply)) reply.epoch = in.ReadU64();
   return reply;
+}
+
+Client::SessionReply Client::CreateSession(
+    const std::vector<std::pair<std::string, std::uint64_t>>& floors) {
+  util::ByteWriter request = Request(Verb::kCreateSession, "");
+  request.WriteU32(static_cast<std::uint32_t>(floors.size()));
+  for (const auto& [index, epoch] : floors) {
+    request.WriteString(index);
+    request.WriteU64(epoch);
+  }
+  const auto payload = Call(request, Verb::kCreateSession);
+  util::ByteReader in(payload);
+  SessionReply reply;
+  if (DecodeHeader(&in, &reply)) {
+    reply.session_id = in.ReadU64();
+    UseSession(reply.session_id);
+  }
+  return reply;
+}
+
+Client::ChangesReply Client::SubscribeWal(const std::string& name,
+                                          std::uint64_t after_epoch,
+                                          std::uint32_t max_waves,
+                                          std::chrono::milliseconds wait) {
+  util::ByteWriter request = Request(Verb::kSubscribeWal, name);
+  request.WriteU64(after_epoch);
+  request.WriteU32(max_waves);
+  request.WriteU32(static_cast<std::uint32_t>(
+      std::max<std::int64_t>(0, wait.count())));
+  const auto payload = Call(request, Verb::kSubscribeWal);
+  util::ByteReader in(payload);
+  ChangesReply reply;
+  if (DecodeHeader(&in, &reply)) {
+    replication::ChangeBatch batch = replication::DecodeChangeBatch(&in);
+    reply.head_epoch = batch.head_epoch;
+    reply.changes = std::move(batch.changes);
+  }
+  return reply;
+}
+
+Client::ChangesReply Client::FetchWalRange(const std::string& name,
+                                           std::uint64_t after_epoch,
+                                           std::uint64_t up_to_epoch,
+                                           std::uint32_t max_waves) {
+  util::ByteWriter request = Request(Verb::kFetchWalRange, name);
+  request.WriteU64(after_epoch);
+  request.WriteU64(up_to_epoch);
+  request.WriteU32(max_waves);
+  const auto payload = Call(request, Verb::kFetchWalRange);
+  util::ByteReader in(payload);
+  ChangesReply reply;
+  if (DecodeHeader(&in, &reply)) {
+    replication::ChangeBatch batch = replication::DecodeChangeBatch(&in);
+    reply.head_epoch = batch.head_epoch;
+    reply.changes = std::move(batch.changes);
+  }
+  return reply;
+}
+
+Client::ReplicationStatusReply Client::ReplicationStatus(
+    const std::string& name) {
+  const auto payload = Call(Request(Verb::kReplicationStatus, name),
+                            Verb::kReplicationStatus);
+  util::ByteReader in(payload);
+  ReplicationStatusReply reply;
+  if (DecodeHeader(&in, &reply)) {
+    reply.backend = in.ReadString();
+    reply.replica = in.ReadU8() != 0;
+    reply.epoch = in.ReadU64();
+    reply.primary_epoch = in.ReadU64();
+    reply.committed_wal_bytes = in.ReadU64();
+    reply.oldest_epoch = in.ReadU64();
+    reply.bytes_shipped = in.ReadU64();
+    const std::uint32_t count = in.ReadU32();
+    reply.segments.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      ReplicationStatusReply::Segment segment;
+      segment.start_epoch = in.ReadU64();
+      segment.end_epoch = in.ReadU64();
+      segment.bytes = in.ReadU64();
+      reply.segments.push_back(segment);
+    }
+  }
+  return reply;
+}
+
+std::uint64_t Client::SubscribeChanges(
+    const std::string& name, std::uint64_t after_epoch,
+    const std::function<bool(const replication::Change&)>& callback,
+    std::chrono::milliseconds wait) {
+  std::uint64_t cursor = after_epoch;
+  for (;;) {
+    ChangesReply reply = SubscribeWal(name, cursor, 0, wait);
+    if (!reply.ok()) {
+      // kUnavailable/kResourceExhausted already went through the retry
+      // policy inside Call; whatever refusal is left is not worth
+      // spinning on without the caller's say-so.
+      return cursor;
+    }
+    for (const replication::Change& change : reply.changes) {
+      cursor = change.epoch;
+      if (!callback(change)) return cursor;
+    }
+  }
 }
 
 }  // namespace cgrx::net

@@ -3,12 +3,15 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/types.h"
 #include "src/net/socket.h"
 #include "src/net/wire.h"
+#include "src/replication/changefeed.h"
 #include "src/util/rng.h"
 #include "src/util/serial.h"
 
@@ -121,6 +124,34 @@ class Client {
     std::uint64_t queue_depth = 0;
     std::uint64_t pending = 0;
   };
+  struct ChangesReply : ReplyBase {
+    /// The server's completed epoch at answer time (lag = head_epoch
+    /// minus the last change's epoch).
+    std::uint64_t head_epoch = 0;
+    /// A consecutive run of epochs starting just past the requested
+    /// cursor; possibly short or empty (fetch again from where it
+    /// ended).
+    std::vector<replication::Change> changes;
+  };
+  struct ReplicationStatusReply : ReplyBase {
+    struct Segment {
+      std::uint64_t start_epoch = 0;
+      std::uint64_t end_epoch = 0;
+      std::uint64_t bytes = 0;
+    };
+    std::string backend;
+    bool replica = false;
+    std::uint64_t epoch = 0;
+    /// For a replica: the primary head it last observed (0 on a
+    /// primary).
+    std::uint64_t primary_epoch = 0;
+    std::uint64_t committed_wal_bytes = 0;
+    /// Start epoch of the oldest retained WAL segment: a fetch cursor
+    /// below this answers kFailedPrecondition (history truncated).
+    std::uint64_t oldest_epoch = 0;
+    std::uint64_t bytes_shipped = 0;
+    std::vector<Segment> segments;
+  };
 
   /// Connects (throws net::Error on refusal, TimeoutError once
   /// Options::connect_timeout elapses) with TCP_NODELAY set.
@@ -148,6 +179,14 @@ class Client {
   ListReply ListIndexes();
   /// On success the new session is bound to this client (UseSession).
   SessionReply CreateSession();
+  /// CreateSession with imported write floors: the new session
+  /// observes each named index at least at the given epoch. This is
+  /// how read-your-writes crosses nodes -- write to the primary, then
+  /// create a session on a replica with the acknowledged {index,
+  /// epoch} as a floor; the replica holds that session's reads until
+  /// it has applied the epoch. Wire protocol v3.
+  SessionReply CreateSession(
+      const std::vector<std::pair<std::string, std::uint64_t>>& floors);
   LookupReply PointLookup(const std::string& name,
                           std::vector<std::uint64_t> keys);
   LookupReply RangeLookup(const std::string& name,
@@ -158,6 +197,37 @@ class Client {
                      std::vector<std::uint64_t> erase_keys);
   StatsReply Stats(const std::string& name);
   EpochReply Checkpoint(const std::string& name);
+
+  /// One long-poll fetch of `name`'s committed WAL past `after_epoch`:
+  /// up to `max_waves` consecutive waves (0 = server default), held
+  /// open up to `wait` (capped server-side) when the cursor is already
+  /// at the head. kFailedPrecondition = history truncated below the
+  /// cursor (re-seed from a snapshot).
+  ChangesReply SubscribeWal(const std::string& name,
+                            std::uint64_t after_epoch,
+                            std::uint32_t max_waves,
+                            std::chrono::milliseconds wait);
+  /// Immediate fetch of the committed run (after_epoch, up_to_epoch]
+  /// (up_to_epoch 0 = whatever is committed), up to `max_waves` waves.
+  ChangesReply FetchWalRange(const std::string& name,
+                             std::uint64_t after_epoch,
+                             std::uint64_t up_to_epoch,
+                             std::uint32_t max_waves);
+  /// Replication-facing status of one hosted index: backend, role,
+  /// epochs, WAL segment inventory.
+  ReplicationStatusReply ReplicationStatus(const std::string& name);
+
+  /// Changefeed subscription: loops SubscribeWal from `after_epoch`,
+  /// invoking `callback` once per committed wave in epoch order.
+  /// Returns the last epoch delivered when the callback returns false
+  /// (unsubscribe) or the server answers a non-retryable refusal;
+  /// throws net::Error on transport failure with the cursor lost only
+  /// back to the last delivered change (callers resume from the return
+  /// value of a previous call). Each long poll waits up to `wait`.
+  std::uint64_t SubscribeChanges(
+      const std::string& name, std::uint64_t after_epoch,
+      const std::function<bool(const replication::Change&)>& callback,
+      std::chrono::milliseconds wait = std::chrono::milliseconds(1000));
 
   /// Pipelining halves: Send frames and writes one request; Receive
   /// reads one response frame (false on clean EOF). Responses arrive

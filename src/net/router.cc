@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "src/api/factory.h"
+#include "src/net/socket.h"
+#include "src/replication/replica.h"
 #include "src/storage/format.h"
 #include "src/storage/manifest.h"
 #include "src/util/fs.h"
@@ -13,6 +15,44 @@
 namespace cgrx::net {
 
 namespace {
+
+/// Parses a "replica:<host>:<port>/<primary_index>" backend spec;
+/// false when `backend` does not carry the replica: prefix. Throws
+/// std::invalid_argument for a malformed spec.
+bool ParseReplicaSpec(const std::string& backend,
+                      replication::ReplicaIndexService::Options* options) {
+  const std::string prefix = "replica:";
+  if (!backend.starts_with(prefix)) return false;
+  const std::string spec = backend.substr(prefix.size());
+  const std::size_t slash = spec.rfind('/');
+  if (slash == std::string::npos || slash + 1 == spec.size()) {
+    throw std::invalid_argument(
+        "replica backend wants replica:<host>:<port>/<primary_index>, "
+        "got: " + backend);
+  }
+  const std::string endpoint = spec.substr(0, slash);
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    throw std::invalid_argument(
+        "replica backend wants replica:<host>:<port>/<primary_index>, "
+        "got: " + backend);
+  }
+  const std::string port = endpoint.substr(colon + 1);
+  if (port.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument("replica backend port is not a number: " +
+                                backend);
+  }
+  const unsigned long value = std::stoul(port);
+  if (value == 0 || value > 65535) {
+    throw std::invalid_argument("replica backend port out of range: " +
+                                backend);
+  }
+  options->primary_host = endpoint.substr(0, colon);
+  options->primary_port = static_cast<std::uint16_t>(value);
+  options->primary_index = spec.substr(slash + 1);
+  return true;
+}
 
 /// Scoped membership in the router's mid-Open name set: a second Open
 /// of the same name must not race the first into creating two stores
@@ -92,12 +132,31 @@ Status IndexRouter::Open(const std::string& name, const std::string& backend,
   typename api::IndexService<Key>::Options service_options;
   service_options.policy = options_.policy;
   service_options.queue_limit = options_.service_queue_limit;
-  std::unique_ptr<Service> service;
+  typename storage::IndexStore<Key>::Options store_options;
+  store_options.retain_wal_epochs = options_.retain_wal_epochs;
+  std::unique_ptr<Hosted> service;
   try {
-    if (std::filesystem::exists(dir / storage::kManifestFileName)) {
+    replication::ReplicaIndexService::Options replica_options;
+    bool is_replica = false;
+    try {
+      is_replica = ParseReplicaSpec(backend, &replica_options);
+    } catch (const std::invalid_argument& e) {
+      *message = e.what();
+      return Status::kInvalidArgument;
+    }
+    if (is_replica) {
+      // Replica host: bootstraps from empty, or resumes its own store
+      // and catches up. Reopening the directory later WITHOUT the
+      // replica: prefix promotes it to a standalone primary.
+      replica_options.service = std::move(service_options);
+      replica_options.store = store_options;
+      service = std::make_unique<replication::ReplicaIndexService>(
+          dir, std::move(replica_options));
+    } else if (std::filesystem::exists(dir / storage::kManifestFileName)) {
       // Recover: snapshot + exactly-once WAL replay; `backend` is
       // recorded in the store, a mismatching argument is ignored.
-      service = std::make_unique<Service>(dir, std::move(service_options));
+      service = std::make_unique<Service>(dir, std::move(service_options),
+                                          store_options);
     } else {
       if (backend.empty()) {
         *message = "no store at " + dir.string() +
@@ -113,8 +172,13 @@ Status IndexRouter::Open(const std::string& name, const std::string& backend,
       }
       index->Build(std::vector<Key>{});  // Empty; waves populate it.
       service = std::make_unique<Service>(Service::Create(
-          dir, std::move(index), std::move(service_options)));
+          dir, std::move(index), std::move(service_options), store_options));
     }
+  } catch (const net::Error& e) {
+    // A replica bootstrap that cannot reach its primary: retryable
+    // once the primary is up.
+    *message = e.what();
+    return Status::kUnavailable;
   } catch (const storage::Error& e) {
     *message = e.what();
     return Status::kFailedPrecondition;

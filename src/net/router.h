@@ -1,6 +1,7 @@
 #ifndef CGRX_SRC_NET_ROUTER_H_
 #define CGRX_SRC_NET_ROUTER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <filesystem>
@@ -25,11 +26,14 @@ struct IndexInfo {
   std::uint64_t entries = 0;
 };
 
-/// Multi-index router: hosts many named DurableIndexService instances
-/// behind one server, each backed by its own store directory under
+/// Multi-index router: hosts many named ServingIndex instances behind
+/// one server, each backed by its own store directory under
 /// `Options::root/<name>`. Open recovers an existing store or creates
-/// a fresh one from a factory backend; Close drains and evicts one
-/// index while the rest keep serving.
+/// a fresh one from a factory backend -- or, with a
+/// "replica:<host>:<port>/<primary_index>" backend, a
+/// replication::ReplicaIndexService tailing a primary on another
+/// server. Close drains and evicts one index while the rest keep
+/// serving.
 ///
 /// Concurrency: the name table is mutex-guarded; request threads take
 /// a Lease (shared_ptr to the host plus an in-flight count) so a
@@ -42,6 +46,9 @@ class IndexRouter {
  public:
   /// The network tier hosts 64-bit-key indexes (u64 keys on the wire).
   using Key = std::uint64_t;
+  /// What the router hosts: a primary (DurableIndexService) or a
+  /// replica (replication::ReplicaIndexService) behind one interface.
+  using Hosted = storage::ServingIndex<Key>;
   using Service = storage::DurableIndexService<Key>;
 
   struct Options {
@@ -54,17 +61,31 @@ class IndexRouter {
     /// front of it should be smaller, making this the second line of
     /// defence.
     std::size_t service_queue_limit = 256;
+    /// WAL retention horizon for every hosted store (see
+    /// storage::IndexStore::Options::retain_wal_epochs): how far back
+    /// a checkpointed primary keeps superseded segments fetchable for
+    /// lagging replication followers.
+    std::uint64_t retain_wal_epochs = 0;
   };
 
   /// One hosted index. Request threads access the service through a
   /// Lease only.
   class Host {
    public:
-    Host(std::string name, std::unique_ptr<Service> service)
+    Host(std::string name, std::unique_ptr<Hosted> service)
         : name_(std::move(name)), service_(std::move(service)) {}
 
     const std::string& name() const { return name_; }
-    Service& service() { return *service_; }
+    Hosted& service() { return *service_; }
+
+    /// Wave payload bytes this host has shipped to replication
+    /// fetchers (kSubscribeWal/kFetchWalRange), for /metrics.
+    void AddBytesShipped(std::uint64_t bytes) {
+      bytes_shipped_.fetch_add(bytes, std::memory_order_relaxed);
+    }
+    std::uint64_t bytes_shipped() const {
+      return bytes_shipped_.load(std::memory_order_relaxed);
+    }
 
    private:
     friend class IndexRouter;
@@ -90,11 +111,12 @@ class IndexRouter {
     }
 
     std::string name_;
-    std::unique_ptr<Service> service_;
+    std::unique_ptr<Hosted> service_;
     std::mutex mutex_;
     std::condition_variable idle_;
     std::size_t in_flight_ = 0;
     bool closing_ = false;
+    std::atomic<std::uint64_t> bytes_shipped_{0};
   };
 
   /// RAII request admission on one host: holds the host alive and
@@ -133,9 +155,16 @@ class IndexRouter {
   /// Opens index `name`: recovers `root/<name>` if a store exists
   /// there (snapshot + WAL replay; `backend` is ignored), else creates
   /// a fresh empty index of factory backend `backend` and initializes
-  /// its store. Idempotent for an already-open name (kOk, message
-  /// notes it). Returns kInvalidArgument for malformed names or
-  /// unknown backends, kFailedPrecondition for an unrecoverable store.
+  /// its store. A `backend` of the form
+  /// "replica:<host>:<port>/<primary_index>" instead hosts a read-only
+  /// replica tailing that primary (bootstrapping from empty, or
+  /// resuming a replica store's own state); reopening a former replica
+  /// directory WITHOUT the replica: prefix promotes it to a standalone
+  /// primary (plain recovery of its snapshot + WAL). Idempotent for an
+  /// already-open name (kOk, message notes it). Returns
+  /// kInvalidArgument for malformed names or unknown backends,
+  /// kFailedPrecondition for an unrecoverable store, kUnavailable when
+  /// a replica bootstrap cannot reach its primary.
   Status Open(const std::string& name, const std::string& backend,
               std::string* message);
 

@@ -13,6 +13,9 @@
 
 #include "src/api/index.h"
 #include "src/net/metrics.h"
+#include "src/replication/changefeed.h"
+#include "src/replication/wal_shipper.h"
+#include "src/util/fault_injector.h"
 
 namespace cgrx::net {
 
@@ -54,7 +57,8 @@ Server::Server(Options options)
     : options_(std::move(options)),
       listener_(options_.port),
       router_(IndexRouter::Options{options_.root, options_.policy,
-                                   options_.service_queue_limit}),
+                                   options_.service_queue_limit,
+                                   options_.retain_wal_epochs}),
       sessions_(options_.max_sessions, options_.session_idle_ttl),
       read_cap_(options_.max_concurrent_reads),
       write_cap_(options_.max_concurrent_writes) {
@@ -261,9 +265,12 @@ void Server::Dispatch(Connection* conn, const RequestHeader& header,
   // endpoint concurrency. Both reject in microseconds with
   // kResourceExhausted instead of queueing the request anywhere.
   // kCreateSession allocates server memory, so it spends from the same
-  // token bucket as the data verbs even though it is control-plane.
+  // token bucket as the data verbs even though it is control-plane; so
+  // do the replication fetch verbs, which read segment files off disk.
   const bool rate_limited =
-      IsDataVerb(header.verb) || header.verb == Verb::kCreateSession;
+      IsDataVerb(header.verb) || header.verb == Verb::kCreateSession ||
+      header.verb == Verb::kSubscribeWal ||
+      header.verb == Verb::kFetchWalRange;
   if (rate_limited && !conn->bucket.TryAcquire()) {
     rejected_rate_limit_.fetch_add(1, std::memory_order_relaxed);
     WriteError(out, Status::kResourceExhausted,
@@ -319,6 +326,21 @@ void Server::Dispatch(Connection* conn, const RequestHeader& header,
       return;
     }
     case Verb::kCreateSession: {
+      // Optional v3 body: imported write floors, the cross-node
+      // read-your-writes handoff -- a client that wrote {index, epoch}
+      // through the primary opens a session here (on a replica) whose
+      // reads wait until that epoch has been applied locally. Decode
+      // fully before allocating the session.
+      std::vector<std::pair<std::string, std::uint64_t>> floors;
+      if (!body->AtEnd()) {
+        const std::uint32_t count = body->ReadU32();
+        floors.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          std::string index = body->ReadString();
+          const std::uint64_t epoch = body->ReadU64();
+          floors.emplace_back(std::move(index), epoch);
+        }
+      }
       const std::uint64_t id = sessions_.Create();
       if (id == 0) {
         rejected_sessions_.fetch_add(1, std::memory_order_relaxed);
@@ -327,6 +349,14 @@ void Server::Dispatch(Connection* conn, const RequestHeader& header,
                        std::to_string(options_.max_sessions) +
                        " live sessions)");
         return;
+      }
+      if (!floors.empty()) {
+        const std::shared_ptr<Session> created = sessions_.Find(id);
+        if (created != nullptr) {
+          for (const auto& [index, epoch] : floors) {
+            created->RecordWrite(index, epoch);
+          }
+        }
       }
       ResponseHeader{Status::kOk, ""}.Encode(out);
       out->WriteU64(id);
@@ -532,6 +562,108 @@ void Server::Dispatch(Connection* conn, const RequestHeader& header,
       out->WriteU64(epoch);
       return;
     }
+    case Verb::kSubscribeWal:
+    case Verb::kFetchWalRange: {
+      // Replication shipping: decode the cursor, optionally long-poll
+      // for the next wave, then collect committed WAL records straight
+      // off disk (the shipper shares no mutable state with the
+      // dispatcher). Not a data verb: a long poll must not pin a read
+      // concurrency slot; the token bucket above still bounds fetch
+      // rate per connection.
+      const std::uint64_t after_epoch = body->ReadU64();
+      std::uint64_t up_to_epoch = 0;
+      std::uint32_t max_waves = 0;
+      std::uint32_t wait_ms = 0;
+      if (header.verb == Verb::kSubscribeWal) {
+        max_waves = body->ReadU32();
+        wait_ms = body->ReadU32();
+      } else {
+        up_to_epoch = body->ReadU64();
+        max_waves = body->ReadU32();
+      }
+      IndexRouter::Lease lease = router_.Acquire(header.index);
+      if (!lease) {
+        WriteError(out, Status::kNotFound,
+                   "unknown index: " + header.index);
+        return;
+      }
+      if (util::FaultPoint("repl.stream_reset")) {
+        // Chaos hook: refuse as if the stream tore mid-ship. The
+        // follower must treat this exactly like a transport reset --
+        // back off and re-fetch from its cursor.
+        WriteError(out, Status::kUnavailable,
+                   "injected replication stream reset");
+        return;
+      }
+      auto& service = lease->service().service();
+      if (header.verb == Verb::kSubscribeWal && wait_ms > 0 &&
+          service.epoch() <= after_epoch) {
+        // Long poll: hold an up-to-date cursor open until the next
+        // wave completes, the server-side cap, or the request's own
+        // deadline -- whichever is first. The 1:1 frame pairing is
+        // preserved; a subscription is a client loop of these.
+        auto wait = std::chrono::milliseconds(
+            std::min<std::uint32_t>(wait_ms, 10'000));
+        if (context.has_deadline()) {
+          wait = std::min(
+              wait, std::chrono::duration_cast<std::chrono::milliseconds>(
+                        context.remaining()));
+        }
+        service.WaitForEpoch(after_epoch + 1, wait);
+      }
+      const std::uint64_t head = service.epoch();
+      replication::WalShipper::Limits limits;
+      if (max_waves > 0) {
+        limits.max_waves = std::min<std::uint32_t>(max_waves, 1024);
+      }
+      const std::uint64_t up_to =
+          (up_to_epoch == 0 || up_to_epoch > head) ? head : up_to_epoch;
+      replication::WalShipper shipper(lease->service().store().directory());
+      replication::ChangeBatch batch;
+      try {
+        batch = shipper.Collect(after_epoch, up_to, limits);
+      } catch (const replication::HistoryTruncatedError& e) {
+        WriteError(out, Status::kFailedPrecondition, e.what());
+        return;
+      }
+      // Report the live head even when the caller capped up_to below
+      // it: followers read their lag off this field.
+      batch.head_epoch = head;
+      std::uint64_t shipped_bytes = 0;
+      for (const replication::Change& change : batch.changes) {
+        shipped_bytes += change.byte_size();
+      }
+      lease->AddBytesShipped(shipped_bytes);
+      ResponseHeader{Status::kOk, ""}.Encode(out);
+      replication::EncodeChangeBatch(out, batch);
+      return;
+    }
+    case Verb::kReplicationStatus: {
+      IndexRouter::Lease lease = router_.Acquire(header.index);
+      if (!lease) {
+        WriteError(out, Status::kNotFound,
+                   "unknown index: " + header.index);
+        return;
+      }
+      auto& hosted = lease->service();
+      const std::vector<storage::WalSegment> segments =
+          hosted.store().Segments();
+      ResponseHeader{Status::kOk, ""}.Encode(out);
+      out->WriteString(hosted.backend_name());
+      out->WriteU8(hosted.replica() ? 1 : 0);
+      out->WriteU64(hosted.epoch());
+      out->WriteU64(hosted.primary_epoch());
+      out->WriteU64(hosted.store().committed_wal_bytes());
+      out->WriteU64(segments.empty() ? 0 : segments.front().start_epoch);
+      out->WriteU64(lease->bytes_shipped());
+      out->WriteU32(static_cast<std::uint32_t>(segments.size()));
+      for (const storage::WalSegment& segment : segments) {
+        out->WriteU64(segment.start_epoch);
+        out->WriteU64(segment.end_epoch);
+        out->WriteU64(segment.bytes);
+      }
+      return;
+    }
   }
   WriteError(out, Status::kUnimplemented, "unhandled verb");
 }
@@ -659,6 +791,10 @@ std::string Server::MetricsText() {
     std::uint64_t queue_depth = 0;
     std::uint64_t pending = 0;
     std::uint64_t deadline_dropped = 0;
+    bool replica = false;
+    std::uint64_t primary_epoch = 0;
+    std::uint64_t bytes_shipped = 0;
+    std::uint64_t wal_segments = 0;
     api::IndexStats stats;
   };
   std::vector<Row> rows;
@@ -676,6 +812,10 @@ std::string Server::MetricsText() {
     // including ones about to be dropped -- has been dispatched, so
     // the drop counter is not read a step behind the queue.
     row.deadline_dropped = service.deadline_dropped();
+    row.replica = lease->service().replica();
+    row.primary_epoch = lease->service().primary_epoch();
+    row.bytes_shipped = lease->bytes_shipped();
+    row.wal_segments = lease->service().store().Segments().size();
     rows.push_back(std::move(row));
   }
 
@@ -799,6 +939,36 @@ std::string Server::MetricsText() {
   for (const Row& row : rows) {
     w.Labelled("cgrx_index_update_buckets_swept_total", "index", row.name,
                row.stats.update_buckets_swept);
+  }
+  w.Family("cgrx_replication_lag_epochs",
+           "Epochs a replica trails its primary's last observed head",
+           "gauge");
+  for (const Row& row : rows) {
+    if (!row.replica) continue;
+    const std::uint64_t lag =
+        row.primary_epoch > row.epoch ? row.primary_epoch - row.epoch : 0;
+    w.Labelled("cgrx_replication_lag_epochs", "index", row.name, lag);
+  }
+  w.Family("cgrx_replica_applied_epoch",
+           "Last epoch a replica has durably applied", "gauge");
+  for (const Row& row : rows) {
+    if (!row.replica) continue;
+    w.Labelled("cgrx_replica_applied_epoch", "index", row.name, row.epoch);
+  }
+  w.Family("cgrx_replication_bytes_shipped_total",
+           "Wave payload bytes shipped to replication fetchers per index",
+           "counter");
+  for (const Row& row : rows) {
+    w.Labelled("cgrx_replication_bytes_shipped_total", "index", row.name,
+               row.bytes_shipped);
+  }
+  w.Family("cgrx_wal_retained_segments",
+           "WAL segment files on disk per index (live tail plus "
+           "retention-held history)",
+           "gauge");
+  for (const Row& row : rows) {
+    w.Labelled("cgrx_wal_retained_segments", "index", row.name,
+               row.wal_segments);
   }
 
   const util::TaskScheduler::Stats scheduler =

@@ -84,6 +84,12 @@ class Server {
     /// kResourceExhausted.
     std::size_t max_sessions = 65536;
     std::chrono::milliseconds session_idle_ttl{std::chrono::minutes(15)};
+    /// WAL retention horizon for every hosted store: how many epochs of
+    /// superseded WAL segments a checkpointed index keeps on disk for
+    /// lagging replication followers (see
+    /// storage::IndexStore::Options::retain_wal_epochs). 0 = delete
+    /// superseded segments eagerly.
+    std::uint64_t retain_wal_epochs = 0;
   };
 
   /// Binds, then serves until Stop()/destruction.

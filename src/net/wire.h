@@ -69,6 +69,45 @@ namespace cgrx::net {
 ///   kCheckpoint  req: --                   resp: u64 epoch
 ///   kPing        req: u8 protocol_version  resp: u8 server_version,
 ///                     (absent = version 1)       str server_info
+///   kSubscribeWal req: u64 after_epoch, u32 max_waves, u32 wait_ms
+///                                          resp: change batch (below)
+///   kFetchWalRange req: u64 after_epoch, u64 up_to_epoch (0 = head),
+///                     u32 max_waves        resp: change batch (below)
+///   kReplicationStatus req: --             resp: str backend, u8 replica,
+///                                                u64 epoch,
+///                                                u64 primary_epoch,
+///                                                u64 committed_wal_bytes,
+///                                                u64 oldest_epoch,
+///                                                u64 bytes_shipped,
+///                                                u32 n, n x {u64 start,
+///                                                u64 end, u64 bytes}
+///
+/// The replication verbs (protocol version 3) ship an index's
+/// committed WAL as decoded update waves. A change batch body is:
+///
+///   u64 head_epoch            server's completed epoch at answer time
+///   u32 n
+///   n x { u64 epoch, pod[u64] insert_keys, pod[u32] insert_rows,
+///         pod[u64] erase_keys }
+///
+/// -- a consecutive run of epochs starting at after_epoch + 1 (a short
+/// or empty run means: fetch again from where it ended). kSubscribeWal
+/// is the long-poll form: an up-to-date cursor is held open up to
+/// wait_ms (capped server-side) for the next wave, preserving the
+/// 1:1 frame pairing -- a subscription is a client-side loop of these.
+/// kFetchWalRange answers immediately; its up_to_epoch bounds the run
+/// for deterministic range reads (0 = whatever is committed).
+/// A cursor below the oldest retained WAL segment answers
+/// kFailedPrecondition (history truncated; see
+/// IndexStore::Options::retain_wal_epochs).
+///
+/// kCreateSession additionally accepts an OPTIONAL request body (its
+/// absence is the pre-v3 form): u32 n, n x {str index, u64 epoch} --
+/// imported write floors. The new session observes each named index at
+/// least at that epoch, which is how a client hands a session's
+/// read-your-writes guarantee across nodes: write to the primary,
+/// create a session on a replica with the write's {index, epoch} as a
+/// floor, and the replica holds reads until it has applied that epoch.
 ///
 /// Ping doubles as version negotiation: the server echoes its own
 /// protocol version on kOk, and answers kFailedPrecondition naming
@@ -86,9 +125,12 @@ enum class Verb : std::uint8_t {
   kUpdate = 7,
   kStats = 8,
   kCheckpoint = 9,
+  kSubscribeWal = 10,
+  kFetchWalRange = 11,
+  kReplicationStatus = 12,
 };
 
-inline constexpr std::uint8_t kVerbCount = 10;
+inline constexpr std::uint8_t kVerbCount = 13;
 
 /// Stable label for a verb (metrics label values and error messages).
 inline std::string_view VerbName(Verb verb) {
@@ -103,14 +145,18 @@ inline std::string_view VerbName(Verb verb) {
     case Verb::kUpdate: return "update";
     case Verb::kStats: return "stats";
     case Verb::kCheckpoint: return "checkpoint";
+    case Verb::kSubscribeWal: return "subscribe_wal";
+    case Verb::kFetchWalRange: return "fetch_wal_range";
+    case Verb::kReplicationStatus: return "replication_status";
   }
   return "unknown";
 }
 
 /// The wire protocol version this build speaks. Bumped to 2 when the
-/// request header grew the deadline_ms field; mismatched versions are
+/// request header grew the deadline_ms field, to 3 for the replication
+/// verbs and the kCreateSession floor import; mismatched versions are
 /// caught by Ping's negotiation (kFailedPrecondition naming both).
-inline constexpr std::uint8_t kProtocolVersion = 2;
+inline constexpr std::uint8_t kProtocolVersion = 3;
 
 /// gRPC-inspired status space; kResourceExhausted is the admission
 /// control rejection clients must expect (and retry with backoff)

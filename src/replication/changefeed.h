@@ -1,0 +1,89 @@
+#ifndef CGRX_SRC_REPLICATION_CHANGEFEED_H_
+#define CGRX_SRC_REPLICATION_CHANGEFEED_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/util/serial.h"
+
+namespace cgrx::replication {
+
+/// One decoded update wave as it travels the replication stream: the
+/// epoch it completed on the primary plus the exact UpdateBatch triple
+/// the primary's WAL recorded. This is the unit of both the follower's
+/// replay and the changefeed subscription API -- a consumer applying
+/// changes in epoch order reconstructs the primary's visible history
+/// wave by wave (pairwise insert/erase cancellation happens at apply
+/// time, exactly as it did on the primary).
+struct Change {
+  std::uint64_t epoch = 0;
+  std::vector<std::uint64_t> insert_keys;
+  std::vector<std::uint32_t> insert_rows;
+  std::vector<std::uint64_t> erase_keys;
+
+  std::size_t entry_count() const {
+    return insert_keys.size() + erase_keys.size();
+  }
+  /// Approximate payload footprint, for batch byte budgets.
+  std::size_t byte_size() const {
+    return insert_keys.size() * sizeof(std::uint64_t) +
+           insert_rows.size() * sizeof(std::uint32_t) +
+           erase_keys.size() * sizeof(std::uint64_t);
+  }
+};
+
+/// Wire body shared by the kSubscribeWal and kFetchWalRange responses
+/// (see wire.h):
+///
+///   u64 head_epoch   primary's completed epoch at answer time
+///   u32 n
+///   n x { u64 epoch, pod[u64] insert_keys, pod[u32] insert_rows,
+///         pod[u64] erase_keys }
+///
+/// `changes` is an in-order run of consecutive epochs starting just
+/// past the requested cursor; an empty run with head_epoch == cursor
+/// means the follower is caught up (and, for subscribe, that the
+/// long-poll wait expired without a new wave).
+struct ChangeBatch {
+  std::uint64_t head_epoch = 0;
+  std::vector<Change> changes;
+};
+
+inline void EncodeChange(util::ByteWriter* out, const Change& change) {
+  out->WriteU64(change.epoch);
+  out->WritePodVector(change.insert_keys);
+  out->WritePodVector(change.insert_rows);
+  out->WritePodVector(change.erase_keys);
+}
+
+inline Change DecodeChange(util::ByteReader* in) {
+  Change change;
+  change.epoch = in->ReadU64();
+  change.insert_keys = in->ReadPodVector<std::uint64_t>();
+  change.insert_rows = in->ReadPodVector<std::uint32_t>();
+  change.erase_keys = in->ReadPodVector<std::uint64_t>();
+  return change;
+}
+
+inline void EncodeChangeBatch(util::ByteWriter* out,
+                              const ChangeBatch& batch) {
+  out->WriteU64(batch.head_epoch);
+  out->WriteU32(static_cast<std::uint32_t>(batch.changes.size()));
+  for (const Change& change : batch.changes) EncodeChange(out, change);
+}
+
+inline ChangeBatch DecodeChangeBatch(util::ByteReader* in) {
+  ChangeBatch batch;
+  batch.head_epoch = in->ReadU64();
+  const std::uint32_t count = in->ReadU32();
+  batch.changes.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    batch.changes.push_back(DecodeChange(in));
+  }
+  return batch;
+}
+
+}  // namespace cgrx::replication
+
+#endif  // CGRX_SRC_REPLICATION_CHANGEFEED_H_

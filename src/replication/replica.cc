@@ -1,0 +1,247 @@
+#include "src/replication/replica.h"
+
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "src/api/factory.h"
+#include "src/net/client.h"
+#include "src/storage/manifest.h"
+
+namespace cgrx::replication {
+
+ReplicaIndexService::ReplicaIndexService(const std::filesystem::path& dir,
+                                         Options options)
+    : options_(std::move(options)) {
+  Service::Options service_options = options_.service;
+  // The replica's WAL is written by the tail thread (a fetched batch
+  // is logged with one group commit BEFORE its waves are submitted),
+  // not by the dispatcher -- so the durable layer's observer hooks
+  // stay unset and SubmitReplicatedWave bypasses them.
+  service_options.update_observer = nullptr;
+  service_options.update_rollback = nullptr;
+  if (std::filesystem::exists(dir / storage::kManifestFileName)) {
+    // Warm restart: recover our own snapshot + WAL exactly like a
+    // primary would, then resume tailing from the recovered epoch. No
+    // history is re-fetched; the primary only ships what we are
+    // missing.
+    store_ = std::make_unique<Store>(Store::Open(dir, options_.store));
+    typename Store::Recovered recovered = store_->Recover();
+    backend_ = store_->manifest().backend;
+    service_options.initial_epoch = recovered.epoch;
+    index_ = std::move(recovered.index);
+  } else {
+    // Bootstrap: mirror the primary's backend as an empty index at
+    // epoch 0 and let the tail replay history. Requires the primary to
+    // still hold WAL segments back to epoch 0 (see class comment).
+    net::Client::Options probe_options;
+    probe_options.connect_timeout = std::chrono::milliseconds(5000);
+    probe_options.call_deadline = std::chrono::milliseconds(10'000);
+    net::Client probe(options_.primary_host, options_.primary_port,
+                      probe_options);
+    const net::Client::ReplicationStatusReply status =
+        probe.ReplicationStatus(options_.primary_index);
+    if (!status.ok()) {
+      throw net::Error("replica bootstrap: primary refused "
+                       "replication_status for '" +
+                       options_.primary_index + "': " + status.message);
+    }
+    backend_ = status.backend;
+    index_ = api::MakeIndex<Key>(backend_);
+    index_->Build(std::vector<Key>{});
+    store_ = std::make_unique<Store>(
+        Store::Create(dir, *index_, 0, options_.store));
+    service_options.initial_epoch = 0;
+  }
+  service_ = std::make_unique<Service>(index_, std::move(service_options));
+  tail_ = std::thread([this] { TailLoop(); });
+}
+
+ReplicaIndexService::~ReplicaIndexService() { Close(); }
+
+std::future<ReplicaIndexService::Service::LookupBatchResult>
+ReplicaIndexService::SubmitPointLookups(std::vector<Key> keys,
+                                        util::RequestContext context) {
+  return service_->SubmitPointLookups(std::move(keys), std::move(context));
+}
+
+std::future<ReplicaIndexService::Service::LookupBatchResult>
+ReplicaIndexService::SubmitRangeLookups(
+    std::vector<core::KeyRange<Key>> ranges, util::RequestContext context) {
+  return service_->SubmitRangeLookups(std::move(ranges), std::move(context));
+}
+
+std::future<ReplicaIndexService::Service::UpdateResult>
+ReplicaIndexService::SubmitUpdate(std::vector<Key> insert_keys,
+                                  std::vector<std::uint32_t> insert_rows,
+                                  std::vector<Key> erase_keys,
+                                  util::RequestContext context) {
+  (void)insert_keys;
+  (void)insert_rows;
+  (void)erase_keys;
+  (void)context;
+  std::promise<Service::UpdateResult> refused;
+  refused.set_exception(std::make_exception_ptr(api::UnsupportedOperationError(
+      options_.primary_index + "-replica",
+      "updates (read-only standby; write to the primary)")));
+  return refused.get_future();
+}
+
+std::future<std::uint64_t> ReplicaIndexService::Checkpoint(
+    util::RequestContext context) {
+  std::promise<std::uint64_t> done;
+  std::future<std::uint64_t> out = done.get_future();
+  try {
+    // Holding apply_mutex_ guarantees no batch is mid-flight: every
+    // wave the local WAL holds has applied, so snapshotting at the
+    // current epoch and rotating the log is exactly the primary-side
+    // checkpoint contract.
+    const std::lock_guard<std::mutex> lock(apply_mutex_);
+    done.set_value(service_
+                       ->Checkpoint(
+                           [this](const api::Index<Key>& index,
+                                  std::uint64_t epoch) {
+                             store_->Checkpoint(index, epoch);
+                           },
+                           std::move(context))
+                       .get());
+  } catch (...) {
+    done.set_exception(std::current_exception());
+  }
+  return out;
+}
+
+void ReplicaIndexService::Close() {
+  StopTail();
+  service_->Close();
+}
+
+std::string ReplicaIndexService::last_error() const {
+  const std::lock_guard<std::mutex> lock(error_mutex_);
+  return last_error_;
+}
+
+void ReplicaIndexService::StopTail() {
+  {
+    const std::lock_guard<std::mutex> lock(stop_mutex_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (tail_.joinable()) tail_.join();
+}
+
+bool ReplicaIndexService::SleepBackoff() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  stop_cv_.wait_for(lock, options_.retry_backoff,
+                    [this] { return stopping_; });
+  return !stopping_;
+}
+
+void ReplicaIndexService::Break(const std::string& why) {
+  {
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    last_error_ = why;
+  }
+  broken_.store(true, std::memory_order_release);
+}
+
+void ReplicaIndexService::EnsureClient() {
+  if (client_ != nullptr) return;
+  net::Client::Options client_options;
+  client_options.connect_timeout = std::chrono::milliseconds(2000);
+  // The server holds an up-to-date subscribe open for up to poll_wait;
+  // the margin on top catches a wedged primary without poisoning
+  // healthy long polls. The tail loop is its own retry machine, so the
+  // client-level retry stays off.
+  client_options.call_deadline =
+      options_.poll_wait + std::chrono::milliseconds(5000);
+  client_ = std::make_unique<net::Client>(options_.primary_host,
+                                          options_.primary_port,
+                                          client_options);
+}
+
+void ReplicaIndexService::TailLoop() {
+  for (;;) {
+    {
+      const std::lock_guard<std::mutex> lock(stop_mutex_);
+      if (stopping_) return;
+    }
+    try {
+      EnsureClient();
+      net::Client::ChangesReply reply = client_->SubscribeWal(
+          options_.primary_index, service_->epoch(),
+          options_.max_waves_per_fetch, options_.poll_wait);
+      if (!reply.ok()) {
+        if (reply.status == net::Status::kFailedPrecondition) {
+          // Truncated history (or a primary that stopped speaking the
+          // verb): retrying cannot help.
+          Break("primary refused WAL fetch: " + reply.message);
+          return;
+        }
+        // Admission pushback, primary restarting, index not yet
+        // reopened: transient, retry after a pause.
+        fetch_errors_.fetch_add(1, std::memory_order_relaxed);
+        if (!SleepBackoff()) return;
+        continue;
+      }
+      primary_epoch_.store(reply.head_epoch, std::memory_order_relaxed);
+      if (!reply.changes.empty()) ApplyBatch(std::move(reply.changes));
+    } catch (const net::Error&) {
+      // Transport trouble (reset, refused, timeout): the client
+      // reconnects on its next call.
+      fetch_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (!SleepBackoff()) return;
+    } catch (const std::exception& e) {
+      // Local apply/log failure or a protocol violation: the durable
+      // state is still consistent (write-ahead), but live tailing
+      // cannot safely continue.
+      Break(e.what());
+      return;
+    }
+  }
+}
+
+void ReplicaIndexService::ApplyBatch(std::vector<Change> changes) {
+  const std::lock_guard<std::mutex> lock(apply_mutex_);
+  // The primary ships a consecutive run starting just past our cursor;
+  // anything else is a protocol violation that must not reach the
+  // local log.
+  std::uint64_t expected = service_->epoch() + 1;
+  for (const Change& change : changes) {
+    if (change.epoch != expected) {
+      throw storage::CorruptionError(
+          "replication stream shipped epoch " +
+          std::to_string(change.epoch) + ", expected " +
+          std::to_string(expected));
+    }
+    ++expected;
+  }
+  // Write-ahead: the whole fetched batch becomes durable with ONE
+  // group commit before any wave applies. A failed commit truncates
+  // the staged records away (WriteAheadLog::Commit is
+  // failure-atomic), and a crash after commit but before apply is
+  // healed by recovery replay on reopen.
+  std::uint64_t batch_bytes = 0;
+  for (const Change& change : changes) {
+    store_->AppendWave(change.insert_keys, change.insert_rows,
+                       change.erase_keys, change.epoch);
+    batch_bytes += change.byte_size();
+  }
+  store_->CommitWal();
+  // Apply each wave at its exact epoch. SubmitReplicatedWave fails the
+  // ticket on any gap or duplicate at dispatch time, so a stuttering
+  // stream can never double-apply.
+  std::vector<std::future<Service::UpdateResult>> tickets;
+  tickets.reserve(changes.size());
+  for (Change& change : changes) {
+    const std::uint64_t epoch = change.epoch;
+    tickets.push_back(service_->SubmitReplicatedWave(
+        std::move(change.insert_keys), std::move(change.insert_rows),
+        std::move(change.erase_keys), epoch));
+  }
+  for (std::future<Service::UpdateResult>& ticket : tickets) ticket.get();
+  waves_applied_.fetch_add(changes.size(), std::memory_order_relaxed);
+  bytes_tailed_.fetch_add(batch_bytes, std::memory_order_relaxed);
+}
+
+}  // namespace cgrx::replication

@@ -1,0 +1,208 @@
+#ifndef CGRX_SRC_REPLICATION_REPLICA_H_
+#define CGRX_SRC_REPLICATION_REPLICA_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/replication/changefeed.h"
+#include "src/storage/durable_service.h"
+
+namespace cgrx::net {
+class Client;
+}  // namespace cgrx::net
+
+namespace cgrx::replication {
+
+/// A warm standby of one primary-hosted index, fed by WAL log
+/// shipping. The replica owns a full durable store of its own
+/// (snapshot + WAL + manifest, same format as the primary's) and a
+/// background tail thread that long-polls the primary's kSubscribeWal
+/// verb from its applied-epoch cursor:
+///
+///   fetch batch -> write-ahead log it locally (ONE group commit per
+///   batch) -> apply each wave through SubmitReplicatedWave, which
+///   verifies the exact epoch at the dispatcher -- exactly-once apply
+///   no matter how the stream stutters, resets, or refetches.
+///
+/// Reads are served from the local index at full speed with bounded
+/// staleness: the server's session floors work unchanged (a session
+/// whose write floor the replica has not yet applied waits on
+/// WaitForEpoch, giving cross-node read-your-writes). Writes are
+/// refused -- this is a single-primary design; write to the primary.
+///
+/// Restart behavior: the replica cold-restarts from its OWN snapshot +
+/// WAL (normal IndexStore recovery) and resumes tailing from the last
+/// epoch it applied -- it never re-fetches history it already holds.
+/// Bootstrapping from an empty directory asks the primary for its
+/// backend (kReplicationStatus), mirrors an empty index of that
+/// backend, and tails from epoch 0 -- which requires the primary's WAL
+/// history to reach back to epoch 0 (a primary that has checkpointed
+/// needs Options::retain_wal_epochs covering the gap, or seed the
+/// replica by copying a snapshot into its directory).
+///
+/// A replica is itself a complete store, so it can be checkpointed
+/// (bounding its own recovery time), promoted to a standalone primary
+/// (reopen the directory without the replica: prefix -- recovery
+/// replays its WAL like any primary's), and even chained from (its
+/// segments ship through the same verbs).
+class ReplicaIndexService final
+    : public storage::ServingIndex<std::uint64_t> {
+ public:
+  using Key = std::uint64_t;
+  using Service = api::IndexService<Key>;
+  using Store = storage::IndexStore<Key>;
+
+  struct Options {
+    std::string primary_host = "127.0.0.1";
+    std::uint16_t primary_port = 0;
+    /// Index name on the primary to tail.
+    std::string primary_index;
+    /// Long-poll wait per kSubscribeWal call: how long the primary may
+    /// hold an up-to-date fetch open waiting for the next wave. Also
+    /// bounds Close() latency (the tail thread is between calls at
+    /// most this often).
+    std::chrono::milliseconds poll_wait{250};
+    /// Sleep between attempts after a fetch error or refusal
+    /// (primary restarting, index not yet reopened, stream reset).
+    std::chrono::milliseconds retry_backoff{200};
+    /// Cap on waves per fetched batch (the primary additionally caps
+    /// batch bytes server-side).
+    std::uint32_t max_waves_per_fetch = 256;
+    /// Service options for the local index (policy, queue_limit);
+    /// initial_epoch and the observer hooks are owned by the replica.
+    Service::Options service{};
+    /// Store options for the local store (its own WAL retention, so a
+    /// chained replica can ship from this one).
+    Store::Options store{};
+  };
+
+  /// Opens or bootstraps the replica at `dir` and starts tailing.
+  /// Throws storage::Error for an unrecoverable local store and
+  /// net::Error when bootstrap cannot reach the primary (an EXISTING
+  /// store opens fine with the primary down -- it serves stale reads
+  /// and catches up when the primary returns).
+  ReplicaIndexService(const std::filesystem::path& dir, Options options);
+
+  /// Close()s (stops the tail, shuts the service down).
+  ~ReplicaIndexService() override;
+
+  ReplicaIndexService(const ReplicaIndexService&) = delete;
+  ReplicaIndexService& operator=(const ReplicaIndexService&) = delete;
+
+  // -- storage::ServingIndex ------------------------------------------
+
+  std::future<Service::LookupBatchResult> SubmitPointLookups(
+      std::vector<Key> keys, util::RequestContext context = {}) override;
+  std::future<Service::LookupBatchResult> SubmitRangeLookups(
+      std::vector<core::KeyRange<Key>> ranges,
+      util::RequestContext context = {}) override;
+
+  /// Always fails the ticket with api::UnsupportedOperationError: the
+  /// replica is read-only (the server maps it to kFailedPrecondition).
+  std::future<Service::UpdateResult> SubmitUpdate(
+      std::vector<Key> insert_keys, std::vector<std::uint32_t> insert_rows,
+      std::vector<Key> erase_keys, util::RequestContext context = {}) override;
+
+  /// Checkpoints the replica's own store, bounding ITS recovery time.
+  /// Serialized against batch application, so the snapshot + rotated
+  /// WAL never strand a logged-but-unapplied wave. Blocks until the
+  /// snapshot is durable; the returned future is already resolved.
+  std::future<std::uint64_t> Checkpoint(
+      util::RequestContext context = {}) override;
+
+  /// Stops the tail thread, then shuts the local service down
+  /// gracefully. Idempotent. The store directory remains; reopening
+  /// resumes tailing from the last applied epoch.
+  void Close() override;
+
+  std::uint64_t epoch() const override { return service_->epoch(); }
+  api::IndexStats Stats() override { return service_->Stats(); }
+  Service& service() override { return *service_; }
+  const Store& store() const override { return *store_; }
+  const std::string& backend_name() const override { return backend_; }
+  bool replica() const override { return true; }
+
+  /// Head epoch the primary reported on the most recent successful
+  /// fetch, floored at our own applied epoch -- everything applied
+  /// here was committed there first, which also covers the window
+  /// between a warm restart and the first fetch. Replication lag in
+  /// epochs is primary_epoch() - epoch(), clamped at 0 (the primary
+  /// may have advanced since it answered).
+  std::uint64_t primary_epoch() const override {
+    return std::max(primary_epoch_.load(std::memory_order_relaxed),
+                    service_->epoch());
+  }
+
+  // -- Replication status ---------------------------------------------
+
+  std::uint64_t waves_applied() const {
+    return waves_applied_.load(std::memory_order_relaxed);
+  }
+  /// Wave payload bytes applied since this process opened the replica.
+  std::uint64_t bytes_tailed() const {
+    return bytes_tailed_.load(std::memory_order_relaxed);
+  }
+  /// Fetch attempts that failed or were refused and will be retried.
+  std::uint64_t fetch_errors() const {
+    return fetch_errors_.load(std::memory_order_relaxed);
+  }
+  /// True when the tail stopped on a non-retryable error (truncated
+  /// primary history, apply failure). Reads keep being served at the
+  /// frozen epoch; last_error() says why. Restarting the replica
+  /// (close + reopen the directory) retries from durable state.
+  bool broken() const { return broken_.load(std::memory_order_acquire); }
+  std::string last_error() const;
+
+ private:
+  void TailLoop();
+  /// Logs the batch to the local WAL (one group commit), then applies
+  /// each wave at its exact epoch. Serialized with Checkpoint().
+  void ApplyBatch(std::vector<Change> changes);
+  void EnsureClient();
+  /// Interruptible retry sleep; false when stopping.
+  bool SleepBackoff();
+  void Break(const std::string& why);
+  void StopTail();
+
+  Options options_;
+  std::string backend_;
+  std::unique_ptr<Store> store_;
+  api::IndexPtr<Key> index_;
+  std::unique_ptr<Service> service_;
+  std::unique_ptr<net::Client> client_;  ///< Tail thread's connection.
+
+  /// Serializes {WAL append + commit + apply} batches against
+  /// Checkpoint()'s {drain + snapshot + WAL rotation}: a checkpoint
+  /// may only run when every locally-logged wave has applied, so the
+  /// rotated-away log never holds epochs past the snapshot that the
+  /// fresh log would then gap over.
+  std::mutex apply_mutex_;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+
+  std::atomic<std::uint64_t> primary_epoch_{0};
+  std::atomic<std::uint64_t> waves_applied_{0};
+  std::atomic<std::uint64_t> bytes_tailed_{0};
+  std::atomic<std::uint64_t> fetch_errors_{0};
+  std::atomic<bool> broken_{false};
+  mutable std::mutex error_mutex_;
+  std::string last_error_;
+
+  std::thread tail_;
+};
+
+}  // namespace cgrx::replication
+
+#endif  // CGRX_SRC_REPLICATION_REPLICA_H_

@@ -1,0 +1,128 @@
+#include "src/replication/wal_shipper.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/storage/file_io.h"
+#include "src/storage/store.h"
+#include "src/storage/wal.h"
+#include "src/util/fault_injector.h"
+
+namespace cgrx::replication {
+namespace {
+
+/// The network tier serves 64-bit keys (net::Router's Key); WAL
+/// segments shipped over the wire are scanned at that width.
+using Wal = storage::WriteAheadLog<std::uint64_t>;
+
+std::string SegmentFileName(std::uint64_t start_epoch) {
+  return "wal-" + std::to_string(start_epoch) + ".log";
+}
+
+}  // namespace
+
+ChangeBatch WalShipper::Collect(std::uint64_t after_epoch,
+                                std::uint64_t up_to_epoch,
+                                const Limits& limits) const {
+  for (int attempt = 0;; ++attempt) {
+    bool retryable_miss = false;
+    try {
+      return CollectOnce(after_epoch, up_to_epoch, limits, &retryable_miss);
+    } catch (const HistoryTruncatedError&) {
+      throw;
+    } catch (const storage::Error&) {
+      // A segment enumerated a moment ago failed to open: a checkpoint
+      // GC'd it mid-collect. Re-enumerate once -- either the cursor
+      // still resolves against the surviving segments, or the second
+      // pass reports the history as truncated.
+      if (!retryable_miss || attempt > 0) throw;
+    }
+  }
+}
+
+ChangeBatch WalShipper::CollectOnce(std::uint64_t after_epoch,
+                                    std::uint64_t up_to_epoch,
+                                    const Limits& limits,
+                                    bool* retryable_miss) const {
+  ChangeBatch batch;
+  batch.head_epoch = up_to_epoch;
+  if (up_to_epoch <= after_epoch) return batch;  // Caught up.
+
+  const std::vector<storage::WalSegment> segments =
+      storage::ListWalSegments(dir_);
+  if (segments.empty()) {
+    throw storage::Error(dir_.string() + ": no WAL segments to ship");
+  }
+  // The segment named E covers epochs (E, E']; the cursor's next epoch
+  // after_epoch + 1 lives in the newest segment whose name is still
+  // <= after_epoch.
+  std::size_t first = segments.size();
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (segments[i].start_epoch <= after_epoch) first = i;
+  }
+  if (first == segments.size()) {
+    throw HistoryTruncatedError(
+        dir_.string() + ": WAL history after epoch " +
+        std::to_string(after_epoch) +
+        " was garbage-collected; oldest shippable cursor is epoch " +
+        std::to_string(segments.front().start_epoch) +
+        " (raise retain_wal_epochs on the primary, or re-seed the "
+        "follower from a snapshot)");
+  }
+
+  std::uint64_t expected = after_epoch + 1;
+  std::size_t collected_bytes = 0;
+  bool full = false;
+  for (std::size_t i = first; i < segments.size(); ++i) {
+    if (full || expected > up_to_epoch) break;
+    const std::filesystem::path path =
+        dir_ / SegmentFileName(segments[i].start_epoch);
+    if (retryable_miss != nullptr) *retryable_miss = true;
+    std::vector<std::uint8_t> bytes = storage::ReadFileBytes(path);
+    if (retryable_miss != nullptr) *retryable_miss = false;
+    if (util::FaultPoint("repl.partial_segment")) {
+      // Serve a torn read of this segment: only a prefix of its bytes
+      // is visible, as if the fetch raced a slow write-back. The
+      // lenient record scan keeps the intact prefix, the batch comes
+      // up short, and the follower's next fetch re-reads from its
+      // cursor -- which is how the protocol proves torn shipping reads
+      // never skip or double-apply an epoch.
+      bytes.resize(std::max<std::size_t>(
+          bytes.size() / 2, std::min<std::size_t>(bytes.size(), 20)));
+    }
+    Wal::ScanRecords(
+        bytes, path.string(),
+        [&](std::uint64_t epoch, util::ByteReader payload) {
+          if (full || epoch <= after_epoch || epoch > up_to_epoch) return;
+          if (epoch != expected) {
+            throw storage::CorruptionError(
+                path.string() + ": shipped epoch " + std::to_string(epoch) +
+                " does not follow epoch " + std::to_string(expected - 1));
+          }
+          storage::UpdateWave<std::uint64_t> wave = Wal::DecodeWave(&payload);
+          Change change;
+          change.epoch = epoch;
+          change.insert_keys = std::move(wave.insert_keys);
+          change.insert_rows = std::move(wave.insert_rows);
+          change.erase_keys = std::move(wave.erase_keys);
+          collected_bytes += change.byte_size();
+          batch.changes.push_back(std::move(change));
+          ++expected;
+          if (batch.changes.size() >= limits.max_waves ||
+              collected_bytes >= limits.max_bytes) {
+            full = true;
+          }
+        });
+    // A sealed segment we did not drain to its upper bound means its
+    // tail was unreadable (torn read, injected or real). Stop with the
+    // consecutive prefix collected so far -- the follower's cursor
+    // resumes exactly where this batch ends, never skipping ahead.
+    if (!full && !segments[i].live && expected <= segments[i].end_epoch) {
+      break;
+    }
+  }
+  return batch;
+}
+
+}  // namespace cgrx::replication

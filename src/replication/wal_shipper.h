@@ -1,0 +1,83 @@
+#ifndef CGRX_SRC_REPLICATION_WAL_SHIPPER_H_
+#define CGRX_SRC_REPLICATION_WAL_SHIPPER_H_
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "src/replication/changefeed.h"
+#include "src/storage/format.h"
+
+namespace cgrx::replication {
+
+/// The requested epoch cursor points below the oldest WAL segment
+/// still on disk: checkpoint GC already deleted the records. The
+/// follower (or changefeed consumer) cannot resume incrementally and
+/// must re-seed from a snapshot; the server answers
+/// kFailedPrecondition. Raising IndexStore::Options::retain_wal_epochs
+/// on the primary is the mitigation.
+class HistoryTruncatedError : public storage::Error {
+ public:
+  using storage::Error::Error;
+};
+
+/// Primary-side log shipper: reads committed update waves straight out
+/// of a store directory's WAL segment files and decodes them into
+/// Change batches for the replication verbs.
+///
+/// The shipper deliberately shares NO in-memory state with the store
+/// it ships from -- it enumerates the directory and opens segment
+/// files independently, so it can run on any request thread while the
+/// dispatcher appends, commits, and checkpoints:
+///
+///  * Only records with epoch <= the caller-supplied `up_to_epoch`
+///    (the primary's completed epoch, read from the service's atomic)
+///    are shipped. An applied epoch can never be rolled back, and its
+///    record bytes were fsynced before the epoch counter advanced --
+///    so everything shipped is immutable history.
+///  * Reading the live segment mid-append is safe: the record scan
+///    keeps the intact prefix and treats a concurrent append's torn
+///    tail exactly like crash recovery does (those records are above
+///    up_to_epoch anyway).
+///  * A checkpoint rotating or GC-ing segments mid-collect surfaces as
+///    a failed open; the collect re-enumerates once, then reports the
+///    history as truncated.
+class WalShipper {
+ public:
+  struct Limits {
+    /// Cap on waves per batch (bounds response frames and follower
+    /// apply bursts).
+    std::uint32_t max_waves = 256;
+    /// Approximate cap on summed wave payload bytes per batch; the
+    /// wave that crosses it is included, then the batch stops. Keeps
+    /// responses well under the 64 MiB frame ceiling.
+    std::size_t max_bytes = 16u << 20;
+  };
+
+  explicit WalShipper(std::filesystem::path store_dir)
+      : dir_(std::move(store_dir)) {}
+
+  /// Collects committed waves with epochs in (after_epoch, up_to_epoch]
+  /// in epoch order, oldest first, stopping at the limits. The returned
+  /// batch's head_epoch echoes up_to_epoch. Throws HistoryTruncatedError
+  /// when after_epoch predates the oldest segment on disk, and
+  /// storage::CorruptionError when segment contents are damaged or
+  /// non-consecutive.
+  ChangeBatch Collect(std::uint64_t after_epoch, std::uint64_t up_to_epoch,
+                      const Limits& limits) const;
+  ChangeBatch Collect(std::uint64_t after_epoch,
+                      std::uint64_t up_to_epoch) const {
+    return Collect(after_epoch, up_to_epoch, Limits{});
+  }
+
+ private:
+  ChangeBatch CollectOnce(std::uint64_t after_epoch,
+                          std::uint64_t up_to_epoch, const Limits& limits,
+                          bool* retryable_miss) const;
+
+  std::filesystem::path dir_;
+};
+
+}  // namespace cgrx::replication
+
+#endif  // CGRX_SRC_REPLICATION_WAL_SHIPPER_H_

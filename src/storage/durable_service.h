@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <future>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -12,6 +13,49 @@
 #include "src/storage/store.h"
 
 namespace cgrx::storage {
+
+/// What the serving tier needs from one hosted index, whether it is
+/// the writable durable primary (DurableIndexService) or a read-only
+/// standby tailing a primary's WAL (replication::ReplicaIndexService).
+/// The network router hosts ServingIndex instances and dispatches
+/// verbs through this interface; role-specific behavior -- a replica
+/// refusing writes, reporting its replication lag -- lives in the
+/// implementations.
+template <typename Key>
+class ServingIndex {
+ public:
+  using Service = api::IndexService<Key>;
+
+  virtual ~ServingIndex() = default;
+
+  virtual std::future<typename Service::LookupBatchResult>
+  SubmitPointLookups(std::vector<Key> keys,
+                     util::RequestContext context = {}) = 0;
+  virtual std::future<typename Service::LookupBatchResult>
+  SubmitRangeLookups(std::vector<core::KeyRange<Key>> ranges,
+                     util::RequestContext context = {}) = 0;
+  virtual std::future<typename Service::UpdateResult> SubmitUpdate(
+      std::vector<Key> insert_keys, std::vector<std::uint32_t> insert_rows,
+      std::vector<Key> erase_keys, util::RequestContext context = {}) = 0;
+  virtual std::future<std::uint64_t> Checkpoint(
+      util::RequestContext context = {}) = 0;
+  virtual void Close() = 0;
+  virtual std::uint64_t epoch() const = 0;
+  virtual api::IndexStats Stats() = 0;
+  virtual Service& service() = 0;
+  virtual const IndexStore<Key>& store() const = 0;
+  /// Factory backend name the index was created from (cached at open:
+  /// the in-memory manifest is the dispatcher's to mutate, this is
+  /// readable from any request thread).
+  virtual const std::string& backend_name() const = 0;
+
+  /// True for a tailing standby; such an index refuses SubmitUpdate.
+  virtual bool replica() const { return false; }
+  /// Last known primary epoch: for a replica, the head epoch the
+  /// primary reported on the last fetch (lag = primary_epoch() -
+  /// epoch()); for a primary, its own epoch (lag 0 by definition).
+  virtual std::uint64_t primary_epoch() const { return epoch(); }
+};
 
 /// An api::IndexService with durability: every update wave is
 /// write-ahead logged (group-committed) through the dispatcher's
@@ -25,47 +69,52 @@ namespace cgrx::storage {
 /// Single-owner like IndexService itself; reads are as cheap as the
 /// underlying service (no logging on the read path).
 template <typename Key>
-class DurableIndexService {
+class DurableIndexService : public ServingIndex<Key> {
  public:
   using Service = api::IndexService<Key>;
 
   /// Opens `dir` and recovers the index, then starts serving. Service
   /// options are taken as-is except initial_epoch and update_observer,
-  /// which the durable layer owns.
-  explicit DurableIndexService(const std::filesystem::path& dir,
-                               typename Service::Options options = {})
-      : DurableIndexService(
-            std::make_unique<IndexStore<Key>>(IndexStore<Key>::Open(dir)),
-            std::move(options)) {}
+  /// which the durable layer owns. Store options (WAL retention) ride
+  /// along to the checkpoint GC.
+  explicit DurableIndexService(
+      const std::filesystem::path& dir,
+      typename Service::Options options = {},
+      typename IndexStore<Key>::Options store_options = {})
+      : DurableIndexService(std::make_unique<IndexStore<Key>>(
+                                IndexStore<Key>::Open(dir, store_options)),
+                            std::move(options)) {}
 
   /// Creates a fresh store at `dir` from `index`, then serves the
   /// passed-in instance directly -- the snapshot just written is not
   /// reloaded; disk reconstruction is the recovery path's job.
-  static DurableIndexService Create(const std::filesystem::path& dir,
-                                    api::IndexPtr<Key> index,
-                                    typename Service::Options options = {}) {
+  static DurableIndexService Create(
+      const std::filesystem::path& dir, api::IndexPtr<Key> index,
+      typename Service::Options options = {},
+      typename IndexStore<Key>::Options store_options = {}) {
     auto store = std::make_unique<IndexStore<Key>>(
-        IndexStore<Key>::Create(dir, *index));
+        IndexStore<Key>::Create(dir, *index, 0, store_options));
     options.initial_epoch = 0;
     return DurableIndexService(std::move(store), std::move(index),
                                std::move(options));
   }
 
   std::future<typename Service::LookupBatchResult> SubmitPointLookups(
-      std::vector<Key> keys, util::RequestContext context = {}) {
+      std::vector<Key> keys, util::RequestContext context = {}) override {
     return service_->SubmitPointLookups(std::move(keys), std::move(context));
   }
 
   std::future<typename Service::LookupBatchResult> SubmitRangeLookups(
       std::vector<core::KeyRange<Key>> ranges,
-      util::RequestContext context = {}) {
+      util::RequestContext context = {}) override {
     return service_->SubmitRangeLookups(std::move(ranges),
                                         std::move(context));
   }
 
   std::future<typename Service::UpdateResult> SubmitUpdate(
       std::vector<Key> insert_keys, std::vector<std::uint32_t> insert_rows,
-      std::vector<Key> erase_keys, util::RequestContext context = {}) {
+      std::vector<Key> erase_keys,
+      util::RequestContext context = {}) override {
     return service_->SubmitUpdate(std::move(insert_keys),
                                   std::move(insert_rows),
                                   std::move(erase_keys), std::move(context));
@@ -75,7 +124,8 @@ class DurableIndexService {
   /// through the single-writer dispatcher) and truncates the log. The
   /// ticket resolves with the checkpointed epoch once both the new
   /// snapshot and the manifest swap are durable.
-  std::future<std::uint64_t> Checkpoint(util::RequestContext context = {}) {
+  std::future<std::uint64_t> Checkpoint(
+      util::RequestContext context = {}) override {
     return service_->Checkpoint(
         [store = store_.get()](const api::Index<Key>& index,
                                std::uint64_t epoch) {
@@ -92,12 +142,13 @@ class DurableIndexService {
   /// be destroyed or the directory re-opened afterwards. The network
   /// tier's router calls this to close/evict one index while the
   /// process keeps serving others.
-  void Close() { service_->Close(); }
+  void Close() override { service_->Close(); }
 
-  std::uint64_t epoch() const { return service_->epoch(); }
-  api::IndexStats Stats() { return service_->Stats(); }
-  const IndexStore<Key>& store() const { return *store_; }
-  Service& service() { return *service_; }
+  std::uint64_t epoch() const override { return service_->epoch(); }
+  api::IndexStats Stats() override { return service_->Stats(); }
+  const IndexStore<Key>& store() const override { return *store_; }
+  Service& service() override { return *service_; }
+  const std::string& backend_name() const override { return backend_; }
 
  private:
   /// Recovery path: reconstruct the index from the store.
@@ -121,6 +172,10 @@ class DurableIndexService {
 
   void StartService(api::IndexPtr<Key> index,
                     typename Service::Options options) {
+    // Cache the backend name while construction is still
+    // single-threaded: request threads read it (ReplicationStatus)
+    // while the dispatcher may be swapping the manifest.
+    backend_ = store_->manifest().backend;
     index_ = std::move(index);
     // Capture the store by stable pointer (not `this`): the wrapper is
     // movable, the heap-held store is not relocated by a move.
@@ -143,6 +198,7 @@ class DurableIndexService {
   std::unique_ptr<IndexStore<Key>> store_;
   api::IndexPtr<Key> index_;
   std::unique_ptr<Service> service_;
+  std::string backend_;
 };
 
 }  // namespace cgrx::storage

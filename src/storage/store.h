@@ -1,16 +1,70 @@
 #ifndef CGRX_SRC_STORAGE_STORE_H_
 #define CGRX_SRC_STORAGE_STORE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "src/storage/manifest.h"
 #include "src/storage/snapshot.h"
 #include "src/storage/wal.h"
 
 namespace cgrx::storage {
+
+/// One WAL segment file (`wal-<E>.log`) as found on disk. A segment
+/// named after epoch E holds the waves with epochs in (E, E'], where
+/// E' is the next segment's name (the checkpoint that rotated past it)
+/// -- or the log head for the live segment.
+struct WalSegment {
+  /// Exclusive lower epoch bound: the epoch in the file name.
+  std::uint64_t start_epoch = 0;
+  /// Inclusive upper epoch bound, derived from the next segment's
+  /// start; 0 for the live (highest-named) segment, whose upper bound
+  /// is the moving log head.
+  std::uint64_t end_epoch = 0;
+  /// File size in bytes at enumeration time.
+  std::uint64_t bytes = 0;
+  /// True for the highest-named segment (the one appends go to).
+  bool live = false;
+};
+
+/// Enumerates the `wal-<E>.log` segment files of a store directory,
+/// sorted by start epoch. Pure directory walk -- safe from any thread
+/// while a dispatcher appends or checkpoints (the filesystem is the
+/// synchronization point), which is why the replication shipper and
+/// the /metrics scrape both use it rather than in-memory store state.
+inline std::vector<WalSegment> ListWalSegments(
+    const std::filesystem::path& dir) {
+  std::vector<WalSegment> segments;
+  std::error_code discard;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir, discard)) {
+    const std::string file = entry.path().filename().string();
+    if (!file.starts_with("wal-") || !file.ends_with(".log")) continue;
+    const std::string digits = file.substr(4, file.size() - 4 - 4);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    WalSegment segment;
+    segment.start_epoch = std::stoull(digits);
+    segment.bytes = entry.file_size(discard);
+    segments.push_back(segment);
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const WalSegment& a, const WalSegment& b) {
+              return a.start_epoch < b.start_epoch;
+            });
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const bool last = i + 1 == segments.size();
+    segments[i].end_epoch = last ? 0 : segments[i + 1].start_epoch;
+    segments[i].live = last;
+  }
+  return segments;
+}
 
 /// A durable home for one index: a directory holding a manifest, the
 /// current snapshot and the current write-ahead log.
@@ -41,6 +95,18 @@ namespace cgrx::storage {
 template <typename Key>
 class IndexStore {
  public:
+  struct Options {
+    /// WAL retention horizon for checkpoint GC: superseded `wal-<E>`
+    /// segments whose records are still within `retain_wal_epochs` of
+    /// the new snapshot epoch are kept instead of deleted, so a
+    /// replication follower (or changefeed consumer) tailing an older
+    /// epoch can still fetch them -- checkpointing the primary no
+    /// longer truncates a lagging follower's history out from under
+    /// it. 0 keeps the original behavior: every superseded segment is
+    /// swept as soon as the checkpoint's manifest swap commits.
+    std::uint64_t retain_wal_epochs = 0;
+  };
+
   struct Recovered {
     api::IndexPtr<Key> index;
     /// The update epoch the recovered state represents (snapshot epoch
@@ -54,7 +120,7 @@ class IndexStore {
   /// empty log. Refuses to clobber an existing store.
   static IndexStore Create(const std::filesystem::path& dir,
                            const api::Index<Key>& index,
-                           std::uint64_t epoch = 0) {
+                           std::uint64_t epoch = 0, Options options = {}) {
     if (std::filesystem::exists(dir / kManifestFileName)) {
       throw Error("IndexStore already exists at " + dir.string());
     }
@@ -67,6 +133,7 @@ class IndexStore {
     manifest.wal_file = WalName(epoch);
     SaveIndex(index, dir / manifest.snapshot_file, SaveOptions{epoch});
     IndexStore store;
+    store.options_ = options;
     store.dir_ = dir;
     store.wal_ = WriteAheadLog<Key>::Create(dir / manifest.wal_file);
     manifest.Write(dir / kManifestFileName);
@@ -76,8 +143,10 @@ class IndexStore {
 
   /// Opens an existing store (manifest + log handles; no index state is
   /// loaded until Recover()).
-  static IndexStore Open(const std::filesystem::path& dir) {
+  static IndexStore Open(const std::filesystem::path& dir,
+                         Options options = {}) {
     IndexStore store;
+    store.options_ = options;
     store.dir_ = dir;
     store.manifest_ = Manifest::Read(dir / kManifestFileName);
     if (store.manifest_.key_bits != sizeof(Key) * 8) {
@@ -133,6 +202,23 @@ class IndexStore {
     wal_.AppendCommitted(insert_keys, insert_rows, erase_keys, epoch);
   }
 
+  /// Stages one wave record without committing -- the replication
+  /// follower's batch-apply path: a fetched batch of waves is staged
+  /// record by record, then CommitWal() makes the whole batch durable
+  /// with ONE flush + fsync. During catch-up that group commit is the
+  /// difference between one fsync per wave and one per fetched batch.
+  void AppendWave(const std::vector<Key>& insert_keys,
+                  const std::vector<std::uint32_t>& insert_rows,
+                  const std::vector<Key>& erase_keys, std::uint64_t epoch) {
+    EnsureWalOpen();
+    wal_.Append(insert_keys, insert_rows, erase_keys, epoch);
+  }
+
+  /// Commits every wave staged by AppendWave (see WriteAheadLog::
+  /// Commit for the failure-atomic contract: a throw drops the staged
+  /// records and truncates back, so the caller can refetch and retry).
+  void CommitWal() { wal_.Commit(); }
+
   /// Withdraws the wave most recently logged as `epoch` -- the
   /// write-ahead record was committed but the wave then failed to
   /// apply, so it must not survive to be replayed
@@ -179,6 +265,17 @@ class IndexStore {
   const Manifest& manifest() const { return manifest_; }
   const std::filesystem::path& directory() const { return dir_; }
   std::uint64_t snapshot_epoch() const { return manifest_.snapshot_epoch; }
+  const Options& options() const { return options_; }
+
+  /// The store's WAL segments on disk, sorted by start epoch (see
+  /// ListWalSegments). With retain_wal_epochs > 0 this includes
+  /// retained superseded segments, not just the live one.
+  std::vector<WalSegment> Segments() const { return ListWalSegments(dir_); }
+
+  /// Committed-prefix byte offset of the live WAL segment: bytes of
+  /// fully fsynced records. Thread-safe against a committing
+  /// dispatcher (relaxed atomic underneath).
+  std::uint64_t committed_wal_bytes() const { return wal_.durable_size(); }
 
  private:
   IndexStore() = default;
@@ -200,13 +297,36 @@ class IndexStore {
   /// does not reference: the pair just superseded by a checkpoint, and
   /// any orphans a crash left between a checkpoint's manifest swap and
   /// its deletes (or between a snapshot write and its manifest swap).
+  /// Superseded WAL segments still inside the Options::retain_wal_epochs
+  /// horizon survive the sweep (replication followers may be mid-tail
+  /// in them); everything else goes.
   void SweepUnreferencedFiles() {
+    // A segment covering epochs (start, end] is still interesting to a
+    // follower iff end > floor, where floor is the oldest epoch the
+    // retention policy promises to keep fetchable.
+    const std::uint64_t floor =
+        manifest_.snapshot_epoch > options_.retain_wal_epochs
+            ? manifest_.snapshot_epoch - options_.retain_wal_epochs
+            : 0;
+    std::vector<std::string> retained;
+    if (options_.retain_wal_epochs > 0) {
+      const std::vector<WalSegment> segments = ListWalSegments(dir_);
+      for (const WalSegment& segment : segments) {
+        if (segment.live || segment.end_epoch > floor) {
+          retained.push_back(WalName(segment.start_epoch));
+        }
+      }
+    }
     std::error_code discard;
     for (const auto& entry :
          std::filesystem::directory_iterator(dir_, discard)) {
       const std::string file = entry.path().filename().string();
       if (file == kManifestFileName || file == manifest_.snapshot_file ||
           file == manifest_.wal_file) {
+        continue;
+      }
+      if (std::find(retained.begin(), retained.end(), file) !=
+          retained.end()) {
         continue;
       }
       const bool sweepable = file.starts_with("snapshot-") ||
@@ -216,6 +336,7 @@ class IndexStore {
     }
   }
 
+  Options options_;
   std::filesystem::path dir_;
   Manifest manifest_;
   WriteAheadLog<Key> wal_;

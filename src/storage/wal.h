@@ -1,6 +1,7 @@
 #ifndef CGRX_SRC_STORAGE_WAL_H_
 #define CGRX_SRC_STORAGE_WAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -97,7 +98,7 @@ class WriteAheadLog {
       // on a clean boundary.
       std::filesystem::resize_file(path, intact_end);
     }
-    wal.durable_size_ = intact_end;
+    wal.durable_size_.store(intact_end, std::memory_order_relaxed);
     wal.file_ = std::fopen(path.string().c_str(), "ab");
     if (wal.file_ == nullptr) {
       throw Error("open " + path.string() + " for append failed");
@@ -112,7 +113,8 @@ class WriteAheadLog {
     file_ = std::exchange(other.file_, nullptr);
     staged_ = std::move(other.staged_);
     last_epoch_ = other.last_epoch_;
-    durable_size_ = other.durable_size_;
+    durable_size_.store(other.durable_size_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
     pre_commit_size_ = other.pre_commit_size_;
     pre_commit_last_epoch_ = other.pre_commit_last_epoch_;
     return *this;
@@ -158,7 +160,7 @@ class WriteAheadLog {
   /// would collide, making recovery refuse the store.)
   void Commit() {
     if (staged_.empty()) return;
-    pre_commit_size_ = durable_size_;
+    pre_commit_size_ = durable_size_.load(std::memory_order_relaxed);
     const std::size_t staged_bytes = staged_.size();
     try {
       if (util::FaultPoint("wal.short_write")) {
@@ -183,7 +185,7 @@ class WriteAheadLog {
       TruncateTo(pre_commit_size_);  // May itself throw: graver, wins.
       throw;
     }
-    durable_size_ += staged_bytes;
+    durable_size_.fetch_add(staged_bytes, std::memory_order_relaxed);
     staged_.clear();
   }
 
@@ -221,6 +223,15 @@ class WriteAheadLog {
   std::uint64_t last_epoch() const { return last_epoch_; }
   const std::filesystem::path& path() const { return path_; }
 
+  /// Committed-prefix byte offset: every byte below this offset belongs
+  /// to a fully committed (fsynced) record; bytes at or past it are
+  /// staged, in-flight, or torn. Safe to read from any thread (relaxed
+  /// atomic) -- the replication shipper and /metrics read it while the
+  /// dispatcher commits.
+  std::uint64_t durable_size() const {
+    return durable_size_.load(std::memory_order_relaxed);
+  }
+
   void Close() {
     if (file_ != nullptr) {
       std::fclose(file_);
@@ -249,9 +260,10 @@ class WriteAheadLog {
       throw Error("reopen " + path_.string() + " for append failed");
     }
     FlushAndSync(file_, path_);
-    durable_size_ = size;
+    durable_size_.store(size, std::memory_order_relaxed);
   }
 
+ public:
   static UpdateWave<Key> DecodeWave(util::ByteReader* payload) {
     UpdateWave<Key> wave;
     wave.insert_keys = payload->ReadPodVector<Key>();
@@ -268,6 +280,10 @@ class WriteAheadLog {
   /// intact-looking bytes follow a corrupt record, the file is damaged
   /// in the middle and CorruptionError is thrown, because silently
   /// skipping applied updates would un-apply history.
+  ///
+  /// Public because the replication shipper scans segment files it
+  /// opened independently (including the live one, whose tail may hold
+  /// an append in flight -- exactly the lenient-prefix semantics here).
   template <typename Fn>
   static std::size_t ScanRecords(const std::vector<std::uint8_t>& bytes,
                                  const std::string& name, Fn&& fn) {
@@ -386,11 +402,13 @@ class WriteAheadLog {
     return false;
   }
 
+ private:
   std::filesystem::path path_;
   std::FILE* file_ = nullptr;
   std::vector<std::uint8_t> staged_;
   std::uint64_t last_epoch_ = 0;
-  std::size_t durable_size_ = 0;           ///< File bytes committed.
+  /// File bytes committed (atomic: shipper/metrics read concurrently).
+  std::atomic<std::uint64_t> durable_size_{0};
   std::size_t pre_commit_size_ = 0;        ///< For UndoLastCommit.
   std::uint64_t pre_commit_last_epoch_ = 0;
 };

@@ -28,6 +28,10 @@ namespace cgrx::util {
 ///   socket.reset         recv/send fails like a peer reset
 ///   socket.partial_write send delivers a prefix, then resets
 ///   accept.emfile        accept() behaves as if out of fds
+///   repl.stream_reset    a WAL fetch verb answers kUnavailable as if
+///                        the replication stream tore mid-ship
+///   repl.partial_segment a shipper segment read sees a torn prefix
+///                        (as if racing a checkpoint rotation)
 class FaultInjector {
  public:
   struct PointConfig {

@@ -1,0 +1,472 @@
+// Replication suite (src/replication + the v3 wire verbs): WAL
+// segment enumeration and retention at the storage layer, the
+// primary-side WalShipper's committed-prefix collection, the
+// changefeed subscription API over the wire, and the headline
+// follower story -- a replica bootstrapped from empty catching up to
+// a million-entry primary, surviving a mid-tail restart with exact
+// epoch accounting, serving sessioned reads at an imported write
+// floor, and promoting to a standalone primary. Part of the TSan
+// suite.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include <gtest/gtest.h>
+
+#include "src/api/factory.h"
+#include "src/api/index.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/net/wire.h"
+#include "src/replication/changefeed.h"
+#include "src/replication/wal_shipper.h"
+#include "src/storage/durable_service.h"
+#include "src/storage/store.h"
+
+namespace cgrx {
+namespace {
+
+using ::cgrx::api::IndexPtr;
+using ::cgrx::api::MakeIndex;
+using ::cgrx::net::Client;
+using ::cgrx::net::Server;
+using ::cgrx::net::Status;
+using ::cgrx::replication::Change;
+using ::cgrx::replication::ChangeBatch;
+using ::cgrx::replication::HistoryTruncatedError;
+using ::cgrx::replication::WalShipper;
+using ::cgrx::storage::DurableIndexService;
+using ::cgrx::storage::WalSegment;
+
+// The acceptance test loads a million entries; under TSan every
+// instrumented byte costs ~10x, so the same topology runs at a
+// reduced scale (the epoch accounting and restart logic is scale-
+// independent).
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kTsan = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr bool kTsan = true;
+#else
+constexpr bool kTsan = false;
+#endif
+#else
+constexpr bool kTsan = false;
+#endif
+
+std::filesystem::path ScratchDir(const std::string& tag) {
+  static int counter = 0;
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) /
+      ("cgrx_repl_" + tag + "_" + std::to_string(::getpid()) + "_" +
+       std::to_string(counter++));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Polls `done` every 10 ms until it holds or `timeout` elapses.
+bool WaitUntil(const std::function<bool()>& done,
+               std::chrono::milliseconds timeout =
+                   std::chrono::milliseconds(kTsan ? 120'000 : 30'000)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!done()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return true;
+}
+
+/// Submits `waves` consecutive update waves of `keys_per_wave` fresh
+/// keys each through `client` and returns every key written.
+std::vector<std::uint64_t> LoadWaves(Client* client, const std::string& name,
+                                     int waves, std::size_t keys_per_wave,
+                                     std::uint64_t first_key = 1) {
+  std::vector<std::uint64_t> all;
+  std::uint64_t next = first_key;
+  for (int wave = 0; wave < waves; ++wave) {
+    std::vector<std::uint64_t> keys(keys_per_wave);
+    std::vector<std::uint32_t> rows(keys_per_wave);
+    for (std::size_t i = 0; i < keys_per_wave; ++i) {
+      keys[i] = next;
+      rows[i] = static_cast<std::uint32_t>(next % 1000);
+      ++next;
+    }
+    const Client::UpdateReply reply = client->Update(name, keys, rows, {});
+    EXPECT_TRUE(reply.ok()) << reply.message;
+    all.insert(all.end(), keys.begin(), keys.end());
+  }
+  return all;
+}
+
+// --- Storage layer --------------------------------------------------
+
+TEST(WalSegmentsTest, EnumerationTracksCheckpointRotation) {
+  const std::filesystem::path dir = ScratchDir("segments");
+  IndexPtr<std::uint64_t> index = MakeIndex<std::uint64_t>("btree");
+  index->Build({});
+  auto durable = DurableIndexService<std::uint64_t>::Create(dir, index);
+
+  // Fresh store: one live segment named after the snapshot epoch.
+  std::vector<WalSegment> segments = durable.store().Segments();
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].start_epoch, 0u);
+  EXPECT_EQ(segments[0].end_epoch, 0u);
+  EXPECT_TRUE(segments[0].live);
+  EXPECT_EQ(durable.store().committed_wal_bytes(),
+            segments[0].bytes);  // Header only, all of it committed.
+
+  durable.SubmitUpdate({1, 2, 3}, {1, 2, 3}, {}).get();
+  durable.SubmitUpdate({4, 5}, {4, 5}, {}).get();
+  const std::uint64_t committed = durable.store().committed_wal_bytes();
+  segments = durable.store().Segments();
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].bytes, committed);
+
+  // Checkpoint at epoch 2 without retention: the old segment is swept
+  // and a fresh live one named wal-2 takes over.
+  ASSERT_EQ(durable.Checkpoint().get(), 2u);
+  segments = durable.store().Segments();
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].start_epoch, 2u);
+  EXPECT_TRUE(segments[0].live);
+  durable.Close();
+}
+
+TEST(WalSegmentsTest, RetentionKeepsSupersededSegmentsFetchable) {
+  const std::filesystem::path dir = ScratchDir("retention");
+  IndexPtr<std::uint64_t> index = MakeIndex<std::uint64_t>("btree");
+  index->Build({});
+  typename storage::IndexStore<std::uint64_t>::Options store_options;
+  store_options.retain_wal_epochs = 100;
+  auto durable = DurableIndexService<std::uint64_t>::Create(
+      dir, index, {}, store_options);
+
+  durable.SubmitUpdate({1, 2}, {1, 2}, {}).get();
+  ASSERT_EQ(durable.Checkpoint().get(), 1u);
+  durable.SubmitUpdate({3, 4}, {3, 4}, {}).get();
+  ASSERT_EQ(durable.Checkpoint().get(), 2u);
+
+  // Both superseded segments are within the retention horizon: the
+  // full history (0, head] stays on disk, oldest first.
+  const std::vector<WalSegment> segments = durable.store().Segments();
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_EQ(segments[0].start_epoch, 0u);
+  EXPECT_EQ(segments[0].end_epoch, 1u);
+  EXPECT_FALSE(segments[0].live);
+  EXPECT_EQ(segments[1].start_epoch, 1u);
+  EXPECT_EQ(segments[1].end_epoch, 2u);
+  EXPECT_EQ(segments[2].start_epoch, 2u);
+  EXPECT_TRUE(segments[2].live);
+
+  // A shipper can still collect from epoch 0 across the rotation.
+  const ChangeBatch batch = WalShipper(dir).Collect(0, durable.epoch());
+  ASSERT_EQ(batch.changes.size(), 2u);
+  EXPECT_EQ(batch.changes[0].epoch, 1u);
+  EXPECT_EQ(batch.changes[1].epoch, 2u);
+  durable.Close();
+}
+
+TEST(WalShipperTest, CollectsExactCommittedRunWithLimits) {
+  const std::filesystem::path dir = ScratchDir("shipper");
+  IndexPtr<std::uint64_t> index = MakeIndex<std::uint64_t>("btree");
+  index->Build({});
+  auto durable = DurableIndexService<std::uint64_t>::Create(dir, index);
+  durable.SubmitUpdate({10, 11}, {1, 2}, {}).get();
+  durable.SubmitUpdate({12}, {3}, {}).get();
+  durable.SubmitUpdate({}, {}, {10}).get();
+
+  const WalShipper shipper(dir);
+  ChangeBatch batch = shipper.Collect(0, durable.epoch());
+  ASSERT_EQ(batch.changes.size(), 3u);
+  EXPECT_EQ(batch.changes[0].epoch, 1u);
+  EXPECT_EQ(batch.changes[0].insert_keys, (std::vector<std::uint64_t>{10, 11}));
+  EXPECT_EQ(batch.changes[0].insert_rows, (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(batch.changes[2].epoch, 3u);
+  EXPECT_EQ(batch.changes[2].erase_keys, (std::vector<std::uint64_t>{10}));
+
+  // Mid-stream cursor and a wave cap both shorten the run, never gap
+  // it.
+  batch = shipper.Collect(1, durable.epoch());
+  ASSERT_EQ(batch.changes.size(), 2u);
+  EXPECT_EQ(batch.changes[0].epoch, 2u);
+  WalShipper::Limits limits;
+  limits.max_waves = 1;
+  batch = shipper.Collect(0, durable.epoch(), limits);
+  ASSERT_EQ(batch.changes.size(), 1u);
+  EXPECT_EQ(batch.changes[0].epoch, 1u);
+
+  // Nothing above the committed bound is ever shipped, even though the
+  // live segment holds those bytes.
+  batch = shipper.Collect(0, 1);
+  ASSERT_EQ(batch.changes.size(), 1u);
+  durable.Close();
+}
+
+TEST(WalShipperTest, TruncatedHistoryIsAnExplicitError) {
+  const std::filesystem::path dir = ScratchDir("truncated");
+  IndexPtr<std::uint64_t> index = MakeIndex<std::uint64_t>("btree");
+  index->Build({});
+  auto durable = DurableIndexService<std::uint64_t>::Create(dir, index);
+  durable.SubmitUpdate({1}, {1}, {}).get();
+  // No retention: the checkpoint sweeps wal-0, so a cursor at 0 has no
+  // segment to resume from.
+  ASSERT_EQ(durable.Checkpoint().get(), 1u);
+  EXPECT_THROW(WalShipper(dir).Collect(0, durable.epoch()),
+               HistoryTruncatedError);
+  // At or past the oldest retained start, collection still works.
+  EXPECT_TRUE(WalShipper(dir).Collect(1, durable.epoch()).changes.empty());
+  durable.Close();
+}
+
+// --- Wire-level changefeed ------------------------------------------
+
+TEST(ChangefeedTest, FetchAndSubscribeStreamCommittedWaves) {
+  Server::Options options;
+  options.root = ScratchDir("feed");
+  Server server(options);
+  Client client("localhost", server.port());
+  ASSERT_TRUE(client.OpenIndex("p", "btree").ok());
+  LoadWaves(&client, "p", 5, 8);
+
+  // Immediate range fetch: exact consecutive run, head echoed.
+  Client::ChangesReply fetched = client.FetchWalRange("p", 0, 0, 0);
+  ASSERT_TRUE(fetched.ok()) << fetched.message;
+  EXPECT_EQ(fetched.head_epoch, 5u);
+  ASSERT_EQ(fetched.changes.size(), 5u);
+  for (std::size_t i = 0; i < fetched.changes.size(); ++i) {
+    EXPECT_EQ(fetched.changes[i].epoch, i + 1);
+    EXPECT_EQ(fetched.changes[i].insert_keys.size(), 8u);
+  }
+  // Bounded range and cursor.
+  fetched = client.FetchWalRange("p", 2, 4, 0);
+  ASSERT_TRUE(fetched.ok());
+  ASSERT_EQ(fetched.changes.size(), 2u);
+  EXPECT_EQ(fetched.changes[0].epoch, 3u);
+  EXPECT_EQ(fetched.changes[1].epoch, 4u);
+  EXPECT_EQ(fetched.head_epoch, 5u);  // Live head, not the cap.
+
+  // A caught-up long poll waits, then answers empty on timeout.
+  const auto before = std::chrono::steady_clock::now();
+  const Client::ChangesReply idle =
+      client.SubscribeWal("p", 5, 0, std::chrono::milliseconds(150));
+  ASSERT_TRUE(idle.ok()) << idle.message;
+  EXPECT_TRUE(idle.changes.empty());
+  EXPECT_EQ(idle.head_epoch, 5u);
+  EXPECT_GE(std::chrono::steady_clock::now() - before,
+            std::chrono::milliseconds(100));
+
+  // A long poll parked on the head is released by the next commit.
+  std::thread writer([&server] {
+    Client late("localhost", server.port());
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    EXPECT_TRUE(late.Update("p", {900}, {9}, {}).ok());
+  });
+  const Client::ChangesReply woken =
+      client.SubscribeWal("p", 5, 0, std::chrono::milliseconds(10'000));
+  writer.join();
+  ASSERT_TRUE(woken.ok()) << woken.message;
+  ASSERT_EQ(woken.changes.size(), 1u);
+  EXPECT_EQ(woken.changes[0].epoch, 6u);
+  EXPECT_EQ(woken.changes[0].insert_keys, (std::vector<std::uint64_t>{900}));
+
+  // The subscription loop delivers every wave in epoch order and stops
+  // when the callback unsubscribes.
+  std::vector<std::uint64_t> seen;
+  const std::uint64_t last = client.SubscribeChanges(
+      "p", 0,
+      [&seen](const Change& change) {
+        seen.push_back(change.epoch);
+        return change.epoch < 6;
+      },
+      std::chrono::milliseconds(100));
+  EXPECT_EQ(last, 6u);
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(ChangefeedTest, TruncatedHistoryAnswersFailedPrecondition) {
+  Server::Options options;
+  options.root = ScratchDir("feedtrunc");
+  Server server(options);  // retain_wal_epochs = 0: eager sweep.
+  Client client("localhost", server.port());
+  ASSERT_TRUE(client.OpenIndex("p", "btree").ok());
+  LoadWaves(&client, "p", 2, 4);
+  ASSERT_TRUE(client.Checkpoint("p").ok());
+
+  const Client::ChangesReply reply = client.FetchWalRange("p", 0, 0, 0);
+  EXPECT_EQ(reply.status, Status::kFailedPrecondition);
+  // The status verb names the surviving oldest epoch so a consumer can
+  // tell how far back it may still resume.
+  const Client::ReplicationStatusReply status = client.ReplicationStatus("p");
+  ASSERT_TRUE(status.ok()) << status.message;
+  EXPECT_FALSE(status.replica);
+  EXPECT_EQ(status.backend, "btree");
+  EXPECT_EQ(status.oldest_epoch, 2u);
+  ASSERT_EQ(status.segments.size(), 1u);
+  EXPECT_EQ(status.segments[0].start_epoch, 2u);
+}
+
+// --- Follower lifecycle ---------------------------------------------
+
+TEST(ReplicationTest, FollowerCatchesUpFromEmptyAndSurvivesRestart) {
+  // The headline: a primary loaded with a million entries, a follower
+  // bootstrapped from nothing over the wire, killed mid-tail, and
+  // restarted -- converging to exact epoch and entry parity, then
+  // serving a sessioned read at an imported write floor.
+  const int kWaves = kTsan ? 20 : 100;
+  const std::size_t kKeysPerWave = kTsan ? 1'000 : 10'000;
+
+  Server::Options primary_options;
+  primary_options.root = ScratchDir("primary");
+  primary_options.retain_wal_epochs = 1'000'000;  // Keep full history.
+  Server primary(primary_options);
+  Client feed("localhost", primary.port());
+  ASSERT_TRUE(feed.OpenIndex("p", "btree").ok());
+  const std::vector<std::uint64_t> keys =
+      LoadWaves(&feed, "p", kWaves, kKeysPerWave);
+  ASSERT_EQ(keys.size(), static_cast<std::size_t>(kWaves) * kKeysPerWave);
+
+  Server::Options follower_options;
+  follower_options.root = ScratchDir("follower");
+  Server follower(follower_options);
+  Client reader("localhost", follower.port());
+  const std::string spec =
+      "replica:127.0.0.1:" + std::to_string(primary.port()) + "/p";
+  ASSERT_TRUE(reader.OpenIndex("f", spec).ok());
+
+  // Kill mid-tail: wait until the replica has applied SOME prefix but
+  // (likely) not all of it, then close and reopen. Recovery must
+  // resume from the durable epoch -- never re-apply, never skip.
+  ASSERT_TRUE(WaitUntil([&reader] {
+    const Client::ReplicationStatusReply s = reader.ReplicationStatus("f");
+    return s.ok() && s.epoch >= 1;
+  }));
+  const Client::EpochReply closed = reader.CloseIndex("f");
+  ASSERT_TRUE(closed.ok()) << closed.message;
+  const std::uint64_t epoch_at_kill = closed.epoch;
+  ASSERT_TRUE(reader.OpenIndex("f", spec).ok());
+  {
+    const Client::ReplicationStatusReply resumed =
+        reader.ReplicationStatus("f");
+    ASSERT_TRUE(resumed.ok()) << resumed.message;
+    EXPECT_GE(resumed.epoch, epoch_at_kill);  // Nothing lost...
+  }
+
+  // ...and convergence to exact parity: every epoch applied once.
+  ASSERT_TRUE(WaitUntil([&reader, kWaves] {
+    const Client::ReplicationStatusReply s = reader.ReplicationStatus("f");
+    return s.ok() && s.epoch == static_cast<std::uint64_t>(kWaves);
+  })) << "replica stalled: " << reader.ReplicationStatus("f").message;
+  const Client::StatsReply stats = reader.Stats("f");
+  ASSERT_TRUE(stats.ok()) << stats.message;
+  EXPECT_EQ(stats.epoch, static_cast<std::uint64_t>(kWaves));
+  EXPECT_EQ(stats.entries, keys.size());
+  const Client::ReplicationStatusReply status = reader.ReplicationStatus("f");
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(status.replica);
+  EXPECT_EQ(status.backend, "btree");
+  EXPECT_EQ(status.primary_epoch, static_cast<std::uint64_t>(kWaves));
+
+  // Spot-check replicated answers against the primary's.
+  const std::vector<std::uint64_t> probes = {keys.front(),
+                                             keys[keys.size() / 2],
+                                             keys.back(), 0xDEADBEEFULL};
+  const Client::LookupReply from_replica = reader.PointLookup("f", probes);
+  const Client::LookupReply from_primary = feed.PointLookup("p", probes);
+  ASSERT_TRUE(from_replica.ok());
+  ASSERT_TRUE(from_primary.ok());
+  ASSERT_EQ(from_replica.results.size(), probes.size());
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(from_replica.results[i], from_primary.results[i]);
+  }
+
+  // Cross-node read-your-writes: acknowledge a write on the primary,
+  // import its epoch as a session floor on the follower, and the
+  // sessioned read observes it (the follower holds the read until the
+  // epoch has applied).
+  const std::uint64_t fresh_key = keys.back() + 424242;  // Never loaded.
+  const Client::UpdateReply write = feed.Update("p", {fresh_key}, {7}, {});
+  ASSERT_TRUE(write.ok()) << write.message;
+  const Client::SessionReply session =
+      reader.CreateSession({{"f", write.epoch}});
+  ASSERT_TRUE(session.ok()) << session.message;
+  const Client::LookupReply ryw = reader.PointLookup("f", {fresh_key});
+  ASSERT_TRUE(ryw.ok()) << ryw.message;
+  ASSERT_EQ(ryw.results.size(), 1u);
+  EXPECT_EQ(ryw.results[0].match_count, 1u);
+  EXPECT_EQ(ryw.results[0].row_id_sum, 7u);
+
+  // The standby is read-only; writers are pointed at the primary.
+  EXPECT_EQ(reader.Update("f", {1}, {1}, {}).status,
+            Status::kFailedPrecondition);
+}
+
+TEST(ReplicationTest, ReplicaCheckpointsAndPromotesToPrimary) {
+  Server::Options primary_options;
+  primary_options.root = ScratchDir("promo_primary");
+  primary_options.retain_wal_epochs = 1'000'000;
+  Server primary(primary_options);
+  Client feed("localhost", primary.port());
+  ASSERT_TRUE(feed.OpenIndex("p", "btree").ok());
+  LoadWaves(&feed, "p", 3, 16);
+
+  Server::Options follower_options;
+  follower_options.root = ScratchDir("promo_follower");
+  Server follower(follower_options);
+  Client reader("localhost", follower.port());
+  const std::string spec =
+      "replica:127.0.0.1:" + std::to_string(primary.port()) + "/p";
+  ASSERT_TRUE(reader.OpenIndex("f", spec).ok());
+  ASSERT_TRUE(WaitUntil([&reader] {
+    const Client::ReplicationStatusReply s = reader.ReplicationStatus("f");
+    return s.ok() && s.epoch == 3;
+  }));
+
+  // A replica checkpoints like a primary (snapshot + WAL rotation),
+  // bounding its own restart replay.
+  const Client::EpochReply checkpointed = reader.Checkpoint("f");
+  ASSERT_TRUE(checkpointed.ok()) << checkpointed.message;
+  EXPECT_EQ(checkpointed.epoch, 3u);
+
+  // Promotion: reopen the SAME directory without the replica: prefix.
+  // Plain recovery of its snapshot + WAL turns the standby into a
+  // writable primary at the epoch it had applied.
+  ASSERT_TRUE(reader.CloseIndex("f").ok());
+  const Client::OpenReply promoted = reader.OpenIndex("f", "btree");
+  ASSERT_TRUE(promoted.ok()) << promoted.message;
+  EXPECT_EQ(promoted.epoch, 3u);
+  const Client::UpdateReply write = reader.Update("f", {777}, {7}, {});
+  ASSERT_TRUE(write.ok()) << write.message;
+  EXPECT_EQ(write.epoch, 4u);
+}
+
+TEST(ReplicationTest, BootstrapAgainstUnreachablePrimaryIsRetryable) {
+  Server::Options options;
+  options.root = ScratchDir("orphan");
+  Server server(options);
+  Client client("localhost", server.port());
+  // Port 1 refuses immediately on loopback; the open must answer
+  // kUnavailable (retry once the primary exists), not wedge or crash.
+  const Client::OpenReply reply =
+      client.OpenIndex("f", "replica:127.0.0.1:1/p");
+  EXPECT_EQ(reply.status, Status::kUnavailable);
+  // Malformed specs are caught before any networking.
+  EXPECT_EQ(client.OpenIndex("g", "replica:nohost").status,
+            Status::kInvalidArgument);
+  EXPECT_EQ(client.OpenIndex("h", "replica:host:99999/p").status,
+            Status::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cgrx
