@@ -27,9 +27,18 @@
 // already lost interest), and kDeadlineExceeded answers (dropped
 // before execution by admission or at dispatch).
 //
+// With --server_breakdown every sweep point additionally diffs the
+// process-global per-stage latency histograms (decode, admission,
+// queue_wait, execute, wal_*, response_write, ...) across the point and
+// reports each stage's count/mean/p99 -- the server-side view of where
+// a request's time went, next to the client-observed percentiles.
+// --metrics_out FILE dumps the final /metrics scrape to FILE so CI can
+// lint and archive the Prometheus exposition.
+//
 //   bench_serve [--keys N] [--connections C] [--seconds S] [--batch B]
 //               [--qps Q1,Q2,...] [--write_ratio R] [--theta T]
-//               [--deadline_ms D] [--out FILE] [--out_dir DIR]
+//               [--deadline_ms D] [--server_breakdown]
+//               [--metrics_out FILE] [--out FILE] [--out_dir DIR]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -50,7 +59,9 @@
 #include "src/net/client.h"
 #include "src/net/server.h"
 #include "src/net/wire.h"
+#include "src/util/histogram.h"
 #include "src/util/rng.h"
+#include "src/util/trace.h"
 #include "src/util/zipf.h"
 
 namespace {
@@ -58,10 +69,51 @@ namespace {
 using cgrx::net::Client;
 using cgrx::net::Server;
 using cgrx::net::Status;
+using cgrx::util::LatencyHistogram;
 using cgrx::util::Rng;
+using cgrx::util::TraceStage;
 using cgrx::util::ZipfGenerator;
 
 using Clock = std::chrono::steady_clock;
+
+/// One stage's share of a sweep point, diffed from the process-global
+/// stage histograms (so concurrent background work -- checkpoints, a
+/// replica -- shows up honestly in its own stage rather than skewing
+/// the request stages).
+struct StageCut {
+  std::uint64_t count = 0;
+  double mean_us = 0;
+  double p99_us = 0;
+};
+
+using StageSnapshots =
+    std::array<LatencyHistogram::Snapshot, cgrx::util::kTraceStageCount>;
+
+StageSnapshots SnapshotStages() {
+  StageSnapshots all;
+  for (std::size_t s = 0; s < all.size(); ++s) {
+    all[s] =
+        cgrx::util::StageHistogram(static_cast<TraceStage>(s)).snapshot();
+  }
+  return all;
+}
+
+std::array<StageCut, cgrx::util::kTraceStageCount> DiffStages(
+    const StageSnapshots& before, const StageSnapshots& after) {
+  std::array<StageCut, cgrx::util::kTraceStageCount> cuts;
+  for (std::size_t s = 0; s < cuts.size(); ++s) {
+    LatencyHistogram::Snapshot delta = after[s];
+    for (std::size_t i = 0; i < delta.buckets.size(); ++i) {
+      delta.buckets[i] -= before[s].buckets[i];
+    }
+    delta.count -= before[s].count;
+    delta.sum -= before[s].sum;
+    cuts[s].count = delta.count;
+    cuts[s].mean_us = delta.Mean();
+    cuts[s].p99_us = delta.Quantile(0.99);
+  }
+  return cuts;
+}
 
 struct Point {
   double offered_qps = 0;
@@ -229,6 +281,8 @@ int main(int argc, char** argv) {
   double write_ratio = 0.02;
   double theta = 0.99;
   std::uint32_t deadline_ms = 0;
+  bool server_breakdown = false;
+  std::string metrics_out;
   std::string qps_list = "1000,4000,8000,16000";
   std::string out_file = "BENCH_serve.json";
   std::string out_dir;
@@ -252,6 +306,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--deadline_ms") {
       deadline_ms = static_cast<std::uint32_t>(
           std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--server_breakdown") {
+      server_breakdown = true;
+    } else if (arg == "--metrics_out") {
+      metrics_out = next();
     } else if (arg == "--qps") {
       qps_list = next();
     } else if (arg == "--out") {
@@ -262,8 +320,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--keys N] [--connections C] [--seconds S] "
                    "[--batch B] [--qps Q1,Q2,...] [--write_ratio R] "
-                   "[--theta T] [--deadline_ms D] [--out FILE] "
-                   "[--out_dir DIR]\n",
+                   "[--theta T] [--deadline_ms D] [--server_breakdown] "
+                   "[--metrics_out FILE] [--out FILE] [--out_dir DIR]\n",
                    argv[0]);
       return 2;
     }
@@ -333,10 +391,16 @@ int main(int argc, char** argv) {
               num_keys, connections, batch, write_ratio, theta);
 
   std::vector<Point> points;
+  std::vector<std::array<StageCut, cgrx::util::kTraceStageCount>> breakdowns;
   for (const double qps : sweep) {
+    const StageSnapshots before =
+        server_breakdown ? SnapshotStages() : StageSnapshots{};
     const Point point = RunPoint(server.port(), index, qps, connections,
                                  seconds, batch, write_ratio, num_keys,
                                  theta, deadline_ms);
+    if (server_breakdown) {
+      breakdowns.push_back(DiffStages(before, SnapshotStages()));
+    }
     std::printf("  offered %8.0f rpc/s: achieved %8.0f rpc/s "
                 "(%9.0f lookups/s)  p50 %7.1fus  p99 %7.1fus  "
                 "p999 %7.1fus  ok %llu rejected %llu errors %llu\n",
@@ -360,6 +424,19 @@ int main(int argc, char** argv) {
                              : 100.0 *
                                    static_cast<double>(point.ok_in_deadline) /
                                    total);
+    }
+    if (server_breakdown) {
+      std::printf("      server breakdown (us, mean/p99):");
+      const auto& cuts = breakdowns.back();
+      for (std::size_t s = 0; s < cuts.size(); ++s) {
+        if (cuts[s].count == 0) continue;
+        std::printf(" %s %.0f/%.0f",
+                    std::string(cgrx::util::TraceStageName(
+                                    static_cast<TraceStage>(s)))
+                        .c_str(),
+                    cuts[s].mean_us, cuts[s].p99_us);
+      }
+      std::printf("\n");
     }
     points.push_back(point);
   }
@@ -398,6 +475,19 @@ int main(int argc, char** argv) {
   const std::string scrape = server.MetricsText();
   server.Stop();
   std::filesystem::remove_all(root);
+
+  if (!metrics_out.empty()) {
+    std::FILE* mf = std::fopen(metrics_out.c_str(), "w");
+    if (mf == nullptr) {
+      std::fprintf(stderr, "bench_serve: cannot write %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    std::fwrite(scrape.data(), 1, scrape.size(), mf);
+    std::fclose(mf);
+    std::printf("bench_serve: wrote %s (%zu bytes of /metrics)\n",
+                metrics_out.c_str(), scrape.size());
+  }
 
   const std::string path = cgrx::bench::OutputPath::Resolve(out_file,
                                                             out_dir);
@@ -454,6 +544,30 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(overload.rejected),
                static_cast<unsigned long long>(overload.errors),
                overload.p99_us);
+  if (server_breakdown) {
+    std::fprintf(f, "  \"server_breakdown\": [\n");
+    for (std::size_t i = 0; i < breakdowns.size(); ++i) {
+      std::fprintf(f, "    {\"offered_qps\": %g, \"stages\": {",
+                   points[i].offered_qps);
+      bool first = true;
+      for (std::size_t s = 0; s < breakdowns[i].size(); ++s) {
+        const StageCut& cut = breakdowns[i][s];
+        if (cut.count == 0) continue;
+        std::fprintf(f,
+                     "%s\"%s\": {\"count\": %llu, \"mean_us\": %.1f, "
+                     "\"p99_us\": %.1f}",
+                     first ? "" : ", ",
+                     std::string(cgrx::util::TraceStageName(
+                                     static_cast<TraceStage>(s)))
+                         .c_str(),
+                     static_cast<unsigned long long>(cut.count),
+                     cut.mean_us, cut.p99_us);
+        first = false;
+      }
+      std::fprintf(f, "}}%s\n", i + 1 < breakdowns.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+  }
   std::fprintf(f, "  \"metrics_scrape_bytes\": %zu\n}\n", scrape.size());
   std::fclose(f);
   std::printf("bench_serve: wrote %s\n", path.c_str());

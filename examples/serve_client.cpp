@@ -6,9 +6,14 @@
 // directory: the write-ahead log replays every acknowledged wave, and
 // the reopened index answers over the wire exactly as before. Finishes
 // with a peek at the Prometheus /metrics text the same port serves to
-// any HTTP scraper.
+// any HTTP scraper, and a traced request: wire v4 echoes the server's
+// own microseconds in every reply, so the client can split a call's
+// latency into server time vs network + client overhead, and a
+// client-chosen trace id makes the request findable in /tracez with a
+// per-stage breakdown.
 //
 //   ./serve_client [store-directory]
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <iostream>
@@ -101,6 +106,55 @@ int main(int argc, char** argv) {
     const std::string line = response.substr(pos, end - pos);
     pos = end + 1;
     if (line.rfind("cgrx_index_", 0) == 0) std::cout << "  " << line << "\n";
+  }
+
+  std::cout << "\n== 7. where did the time go? ==\n";
+  // Ping reports the protocol version plus its own round trip; since
+  // the reply also carries the server's time (wire v4 server_micros),
+  // the difference is pure network + client-side cost.
+  const Client::PingReply ping = after.Ping();
+  std::cout << "ping: protocol v" << static_cast<int>(ping.server_version)
+            << ", rtt " << ping.rtt_us << "us (server "
+            << ping.server_micros << "us, network+client "
+            << (ping.rtt_us - ping.server_micros) << "us)\n";
+
+  // Tag the next calls with a trace id: the server samples them end to
+  // end and retains the trace in /tracez under this id.
+  after.UseTrace(0x0ddba11);
+  const auto lookup_start = std::chrono::steady_clock::now();
+  const Client::LookupReply traced = after.PointLookup("orders", {7, 70});
+  const auto lookup_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - lookup_start)
+          .count();
+  std::cout << "traced point_lookup: total " << lookup_us << "us = server "
+            << traced.server_micros << "us + network/client "
+            << (static_cast<std::uint64_t>(lookup_us) - traced.server_micros)
+            << "us\n";
+
+  // The trace is retained just after the reply is written; one more
+  // call on the same connection orders this scrape after that insert.
+  after.UseTrace(0);
+  after.Ping();
+
+  // The same port answers /tracez: per-stage spans for sampled and
+  // slow requests, newest first.
+  Socket tracez = Socket::Connect("localhost", server->port());
+  const std::string tracez_request =
+      "GET /tracez HTTP/1.1\r\nHost: x\r\n\r\n";
+  tracez.WriteAll(tracez_request.data(), tracez_request.size());
+  std::string tracez_body;
+  while (tracez.ReadFull(&c, 1)) tracez_body.push_back(c);
+  const std::size_t hit = tracez_body.find("0000000000ddba11");
+  if (hit != std::string::npos) {
+    std::size_t line_end = tracez_body.find('\n', hit);
+    if (line_end == std::string::npos) line_end = tracez_body.size();
+    const std::size_t line_start = tracez_body.rfind('\n', hit) + 1;
+    std::cout << "/tracez retained it: "
+              << tracez_body.substr(line_start, line_end - line_start)
+              << "\n";
+  } else {
+    std::cout << "/tracez: trace not retained (unexpected)\n";
   }
 
   server->Stop();

@@ -1,13 +1,28 @@
 #include "src/api/service.h"
 
+#include <algorithm>
+#include <chrono>
 #include <exception>
 #include <stdexcept>
 #include <vector>
 
 #include "src/api/factory.h"
 #include "src/util/task_scheduler.h"
+#include "src/util/trace.h"
 
 namespace cgrx::api {
+
+namespace {
+
+std::uint64_t ElapsedUs(std::chrono::steady_clock::time_point since,
+                        std::chrono::steady_clock::time_point until) {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      until - since)
+                      .count();
+  return us < 0 ? 0 : static_cast<std::uint64_t>(us);
+}
+
+}  // namespace
 
 template <typename Key>
 IndexService<Key>::IndexService(IndexPtr<Key> index, Options options)
@@ -219,6 +234,7 @@ void IndexService<Key>::Enqueue(Op op, bool respect_limit) {
     if (stopping_) {
       throw std::runtime_error("IndexService is shutting down");
     }
+    op.enqueued = std::chrono::steady_clock::now();
     queue_.push_back(std::move(op));
     ++in_flight_;
   }
@@ -318,7 +334,37 @@ bool IndexService<Key>::DropIfDone(Op& op) {
 
 template <typename Key>
 void IndexService<Key>::Execute(Op& op) {
+  // Queue wait is measured for EVERY op -- including ones dropped just
+  // below: a drop means the wait consumed the whole budget, which is
+  // exactly the tail the admission estimator must see.
+  const auto dispatched = std::chrono::steady_clock::now();
+  const std::uint64_t waited_us = ElapsedUs(op.enqueued, dispatched);
+  const auto klass = static_cast<std::size_t>(op.kind);
+  queue_wait_hist_[klass].Record(waited_us);
+  util::StageHistogram(util::TraceStage::kQueueWait).Record(waited_us);
+  util::Trace* const trace = op.context.trace().get();
+  if (trace != nullptr) {
+    trace->AddSpan(util::TraceStage::kQueueWait, op.enqueued, waited_us);
+  }
   if (DropIfDone(op)) return;
+  // Publish the op's trace as this thread's active trace for the
+  // duration of the work: the layers below (WAL append/fsync inside
+  // update_observer, a checkpoint writer) attach their spans through
+  // it without any signature changes.
+  const util::ScopedTrace scoped(trace);
+  ExecuteBody(op);
+  const std::uint64_t exec_us = ElapsedUs(dispatched,
+                                          std::chrono::steady_clock::now());
+  execute_hist_[klass].Record(exec_us);
+  execute_all_.Record(exec_us);
+  util::StageHistogram(util::TraceStage::kExecute).Record(exec_us);
+  if (trace != nullptr) {
+    trace->AddSpan(util::TraceStage::kExecute, dispatched, exec_us);
+  }
+}
+
+template <typename Key>
+void IndexService<Key>::ExecuteBody(Op& op) {
   switch (op.kind) {
     case Op::Kind::kPointLookup:
       try {
@@ -413,13 +459,37 @@ void IndexService<Key>::Execute(Op& op) {
       try {
         const std::uint64_t epoch =
             completed_epoch_.load(std::memory_order_relaxed);
-        op.checkpoint_writer(*index_, epoch);
+        {
+          // The whole writer (snapshot + WAL rotation + manifest swap
+          // for the durable layer) is the checkpoint stage.
+          util::StageTimer timer(util::TraceStage::kCheckpoint);
+          op.checkpoint_writer(*index_, epoch);
+        }
         op.checkpoint_done.set_value(epoch);
       } catch (...) {
         op.checkpoint_done.set_exception(std::current_exception());
       }
       break;
   }
+}
+
+template <typename Key>
+std::uint64_t IndexService<Key>::EstimatedQueueWaitUs(OpClass klass) const {
+  const std::size_t ahead = pending();
+  if (ahead == 0) return 0;  // Nothing queued: no wait to estimate.
+  // Drain model: everything ahead executes one submission at a time on
+  // the single dispatcher, so pending x median execute cost. The
+  // median (not the mean) keeps one pathological wave from poisoning
+  // the estimate forever; the all-classes histogram prices the actual
+  // mixed queue ahead rather than this submission's class.
+  const std::uint64_t drain_us =
+      execute_all_.LiveQuantile(0.5) * static_cast<std::uint64_t>(ahead);
+  // Floor: the median wait this class has actually measured. Keeps the
+  // estimate honest where the drain model is blind -- e.g. read waves
+  // amortize queue wait across batches the model charges serially.
+  const std::uint64_t measured_us =
+      queue_wait_histogram(klass).LiveQuantile(0.5);
+  return std::max(drain_us, measured_us);
 }
 
 template class IndexService<std::uint32_t>;

@@ -1,6 +1,7 @@
 #ifndef CGRX_SRC_API_SERVICE_H_
 #define CGRX_SRC_API_SERVICE_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -17,6 +18,7 @@
 #include "src/api/execution_policy.h"
 #include "src/api/index.h"
 #include "src/core/types.h"
+#include "src/util/histogram.h"
 #include "src/util/request_context.h"
 
 namespace cgrx::api {
@@ -93,6 +95,20 @@ class IndexService {
     /// diverge. Ignored when update_observer is unset.
     std::function<void(std::uint64_t epoch)> update_rollback;
   };
+
+  /// Public view of the internal op kinds, for the per-class latency
+  /// histograms: lookups, updates, stats and checkpoints queue and
+  /// execute with very different costs, and lumping them into one
+  /// estimate (the old serving-tier EMA) priced a stats ping like a
+  /// range scan.
+  enum class OpClass : std::uint8_t {
+    kPointLookup = 0,
+    kRangeLookup = 1,
+    kUpdate = 2,
+    kStats = 3,
+    kCheckpoint = 4,
+  };
+  static constexpr std::size_t kOpClassCount = 5;
 
   /// Ticket payload of a lookup submission.
   struct LookupBatchResult {
@@ -240,6 +256,34 @@ class IndexService {
     return deadline_dropped_.load(std::memory_order_relaxed);
   }
 
+  /// Measured enqueue-to-dispatch wait per op class, in microseconds.
+  /// Every submission records here (including ones later dropped at
+  /// dispatch -- their wait is the most interesting of all), so this
+  /// is the REAL queue-wait distribution, not a model of one.
+  const util::LatencyHistogram& queue_wait_histogram(OpClass klass) const {
+    return queue_wait_hist_[static_cast<std::size_t>(klass)];
+  }
+
+  /// Measured execute time (dispatch to ticket resolution) per class.
+  const util::LatencyHistogram& execute_histogram(OpClass klass) const {
+    return execute_hist_[static_cast<std::size_t>(klass)];
+  }
+
+  /// Deadline-aware admission estimate for a new submission of
+  /// `klass`: how long it can expect to wait before executing. Zero
+  /// while the queue is empty; otherwise the larger of
+  ///
+  ///  * pending() x the median per-submission execute time across all
+  ///    classes (the queue ahead is mixed) -- the drain model, which
+  ///    tracks queue growth instantly, and
+  ///  * the median wait submissions of this class actually measured --
+  ///    the floor that keeps the model honest when execute times
+  ///    underestimate (e.g. waves amortize but solo updates do not).
+  ///
+  /// Replaces the serving tier's single global service-time EMA with
+  /// per-class quantiles off the live histograms.
+  std::uint64_t EstimatedQueueWaitUs(OpClass klass) const;
+
  private:
   struct Op {
     enum class Kind {
@@ -259,6 +303,8 @@ class IndexService {
     /// Non-zero marks a replicated wave (SubmitReplicatedWave): the
     /// exact epoch it must complete, with observer/rollback bypassed.
     std::uint64_t replicated_epoch = 0;
+    /// Set by Enqueue; queue wait = dispatch time minus this.
+    std::chrono::steady_clock::time_point enqueued{};
     std::promise<LookupBatchResult> lookup_done;
     std::promise<UpdateResult> update_done;
     std::promise<IndexStats> stats_done;
@@ -278,6 +324,7 @@ class IndexService {
   void Enqueue(Op op, bool respect_limit = true);
   void Run();
   void Execute(Op& op);
+  void ExecuteBody(Op& op);
   void ExecuteReadWave(std::vector<Op>* wave);
   /// True (and the op's promise failed) when the op's context expired
   /// or was cancelled before execution: the drop-at-dispatch point.
@@ -296,6 +343,13 @@ class IndexService {
   bool close_finished_ = false;  ///< Dispatcher joined by Close().
   std::atomic<std::uint64_t> completed_epoch_;
   std::atomic<std::uint64_t> deadline_dropped_{0};
+  /// Live latency distributions fed by Execute (lock-free recording;
+  /// see util/histogram.h): real queue waits and execute times per op
+  /// class, plus the all-classes execute histogram the admission
+  /// estimator's drain model reads.
+  std::array<util::LatencyHistogram, kOpClassCount> queue_wait_hist_{};
+  std::array<util::LatencyHistogram, kOpClassCount> execute_hist_{};
+  util::LatencyHistogram execute_all_;
   std::thread dispatcher_;
 };
 

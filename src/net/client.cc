@@ -17,6 +17,7 @@ bool DecodeHeader(util::ByteReader* in, Reply* reply) {
   const ResponseHeader header = ResponseHeader::Decode(in);
   reply->status = header.status;
   reply->message = header.message;
+  reply->server_micros = header.server_micros;
   return header.ok();
 }
 
@@ -83,6 +84,8 @@ util::ByteWriter Client::Request(Verb verb, const std::string& index) const {
           ? 0
           : static_cast<std::uint32_t>(std::min<std::int64_t>(
                 deadline, std::numeric_limits<std::uint32_t>::max()));
+  header.trace_id = trace_id_;
+  header.trace_flags = trace_id_ != 0 ? kTraceFlagSampled : 0;
   header.Encode(&out);
   return out;
 }
@@ -212,9 +215,13 @@ std::vector<std::uint8_t> Client::Call(const util::ByteWriter& request,
 Client::PingReply Client::Ping() {
   util::ByteWriter request = Request(Verb::kPing, "");
   request.WriteU8(kProtocolVersion);
+  const auto started = std::chrono::steady_clock::now();
   const auto payload = Call(request, Verb::kPing);
+  const auto rtt = std::chrono::steady_clock::now() - started;
   util::ByteReader in(payload);
   PingReply reply;
+  reply.rtt_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(rtt).count());
   if (DecodeHeader(&in, &reply)) {
     reply.server_version = in.ReadU8();
     reply.info = in.ReadString();

@@ -81,11 +81,18 @@ class Client {
   struct ReplyBase {
     Status status = Status::kInternal;
     std::string message;
+    /// Server-side time for this request in microseconds (wire v4):
+    /// the latency the server is responsible for. The caller's own
+    /// clock minus this is network + client queueing.
+    std::uint64_t server_micros = 0;
     bool ok() const { return status == Status::kOk; }
   };
   struct PingReply : ReplyBase {
     std::uint8_t server_version = 0;
     std::string info;
+    /// Full client-observed round trip for the ping call (send to
+    /// decoded reply), measured on this side of the wire.
+    std::uint64_t rtt_us = 0;
   };
   struct OpenReply : ReplyBase {
     std::uint64_t epoch = 0;
@@ -163,6 +170,12 @@ class Client {
   /// writes (read-your-writes); see session.h.
   void UseSession(std::uint64_t id) { session_id_ = id; }
   std::uint64_t session_id() const { return session_id_; }
+
+  /// Attaches a client-generated trace id to every subsequent request
+  /// and sets kTraceFlagSampled, so the server traces them end to end
+  /// and retains them in /tracez under this id (wire v4). 0 clears.
+  void UseTrace(std::uint64_t trace_id) { trace_id_ = trace_id; }
+  std::uint64_t trace_id() const { return trace_id_; }
 
   /// Changes the per-call deadline for subsequent calls (0 = none).
   void set_call_deadline(std::chrono::milliseconds deadline) {
@@ -264,6 +277,7 @@ class Client {
   Options options_;
   Socket socket_;
   std::uint64_t session_id_ = 0;
+  std::uint64_t trace_id_ = 0;
   /// A mid-call transport failure or timeout leaves request/response
   /// framing out of sync; the next Call reconnects first.
   bool poisoned_ = false;

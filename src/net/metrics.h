@@ -2,8 +2,14 @@
 #define CGRX_SRC_NET_METRICS_H_
 
 #include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <set>
 #include <string>
 #include <string_view>
+#include <utility>
+
+#include "src/util/histogram.h"
 
 namespace cgrx::net {
 
@@ -14,9 +20,17 @@ namespace cgrx::net {
 /// TaskScheduler::stats(), the server's own atomics).
 class PrometheusWriter {
  public:
-  /// Emits the # HELP / # TYPE preamble once per metric family.
+  /// One label pair of a sample; values are escaped on emission.
+  using Label = std::pair<std::string_view, std::string_view>;
+
+  /// Emits the # HELP / # TYPE preamble for a family. Idempotent per
+  /// writer: a second call for the same family is a no-op, so a family
+  /// whose samples are emitted from two code paths (e.g. a histogram
+  /// exported per verb AND per index) can never produce the duplicate
+  /// preamble the exposition format forbids.
   void Family(std::string_view name, std::string_view help,
               std::string_view type) {
+    if (!emitted_.emplace(name).second) return;
     text_ += "# HELP ";
     text_ += name;
     text_ += ' ';
@@ -28,59 +42,95 @@ class PrometheusWriter {
     text_ += '\n';
   }
 
-  void Value(std::string_view name, double value) {
-    Sample(name, "", "", value);
-  }
+  void Value(std::string_view name, double value) { Sample(name, {}, value); }
 
   void Value(std::string_view name, std::uint64_t value) {
-    Sample(name, "", "", static_cast<double>(value));
+    Sample(name, {}, static_cast<double>(value));
   }
 
   /// One labelled sample: name{label="value"} sample.
   void Labelled(std::string_view name, std::string_view label,
                 std::string_view label_value, double value) {
-    Sample(name, label, label_value, value);
+    Sample(name, {{label, label_value}}, value);
   }
 
   void Labelled(std::string_view name, std::string_view label,
                 std::string_view label_value, std::uint64_t value) {
-    Sample(name, label, label_value, static_cast<double>(value));
+    Sample(name, {{label, label_value}}, static_cast<double>(value));
+  }
+
+  /// One sample with arbitrary labels:
+  /// name{a="x",b="y"} sample.
+  void Sample(std::string_view name, std::initializer_list<Label> labels,
+              double value) {
+    text_ += name;
+    if (labels.size() > 0) {
+      text_ += '{';
+      bool first = true;
+      for (const Label& label : labels) {
+        if (!first) text_ += ',';
+        first = false;
+        text_ += label.first;
+        text_ += "=\"";
+        for (const char c : label.second) {
+          // Label-value escaping per the exposition format.
+          if (c == '\\' || c == '"') text_ += '\\';
+          if (c == '\n') {
+            text_ += "\\n";
+            continue;
+          }
+          text_ += c;
+        }
+        text_ += '"';
+      }
+      text_ += '}';
+    }
+    text_ += ' ';
+    // Counters and gauges here are mostly integral-valued; print those
+    // without scientific notation or trailing zeros, and everything
+    // else with enough digits to round-trip a latency sum.
+    const auto as_u64 = static_cast<std::uint64_t>(value);
+    if (value >= 0 && static_cast<double>(as_u64) == value) {
+      text_ += std::to_string(as_u64);
+    } else {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+      text_ += buffer;
+    }
+    text_ += '\n';
+  }
+
+  /// Emits one Prometheus `histogram` series from a LatencyHistogram
+  /// snapshot recorded in MICROSECONDS: cumulative `_bucket` samples
+  /// with `le` in seconds (exact counts -- the exported bounds are
+  /// internal bucket boundaries), then `_sum` (seconds) and `_count`.
+  /// `extra` is the series' identifying label (verb=..., stage=...);
+  /// call Family(name, ..., "histogram") once before the first series.
+  void HistogramUs(std::string_view name, Label extra,
+                   const util::LatencyHistogram::Snapshot& snap) {
+    const std::string bucket_name = std::string(name) + "_bucket";
+    for (const std::uint64_t bound_us :
+         util::LatencyHistogram::ExportBounds()) {
+      char le[32];
+      std::snprintf(le, sizeof(le), "%.9g",
+                    static_cast<double>(bound_us) / 1e6);
+      Sample(bucket_name, {extra, {"le", le}},
+             static_cast<double>(snap.CountAtMost(bound_us)));
+    }
+    Sample(bucket_name, {extra, {"le", "+Inf"}},
+           static_cast<double>(snap.count));
+    Sample(std::string(name) + "_sum", {extra},
+           static_cast<double>(snap.sum) / 1e6);
+    Sample(std::string(name) + "_count", {extra},
+           static_cast<double>(snap.count));
   }
 
   const std::string& text() const { return text_; }
 
  private:
-  void Sample(std::string_view name, std::string_view label,
-              std::string_view label_value, double value) {
-    text_ += name;
-    if (!label.empty()) {
-      text_ += '{';
-      text_ += label;
-      text_ += "=\"";
-      for (const char c : label_value) {
-        // Label-value escaping per the exposition format.
-        if (c == '\\' || c == '"') text_ += '\\';
-        if (c == '\n') {
-          text_ += "\\n";
-          continue;
-        }
-        text_ += c;
-      }
-      text_ += "\"}";
-    }
-    text_ += ' ';
-    // Counters and gauges here are integral-valued; print without
-    // scientific notation or trailing zeros.
-    const auto as_u64 = static_cast<std::uint64_t>(value);
-    if (static_cast<double>(as_u64) == value) {
-      text_ += std::to_string(as_u64);
-    } else {
-      text_ += std::to_string(value);
-    }
-    text_ += '\n';
-  }
-
   std::string text_;
+  /// Families whose preamble is already out (the duplicate guard).
+  std::set<std::string, std::less<>> emitted_;
 };
 
 }  // namespace cgrx::net

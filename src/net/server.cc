@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <exception>
 #include <future>
@@ -9,6 +10,7 @@
 #include <optional>
 #include <stdexcept>
 #include <thread>
+#include <type_traits>
 #include <utility>
 
 #include "src/api/index.h"
@@ -61,7 +63,9 @@ Server::Server(Options options)
                                    options_.retain_wal_epochs}),
       sessions_(options_.max_sessions, options_.session_idle_ttl),
       read_cap_(options_.max_concurrent_reads),
-      write_cap_(options_.max_concurrent_writes) {
+      write_cap_(options_.max_concurrent_writes),
+      traces_(util::TraceBuffer::Options{options_.trace_buffer_capacity,
+                                         options_.slow_trace_us}) {
   accept_thread_ = std::thread([this] { AcceptLoop(); });
 }
 
@@ -206,7 +210,13 @@ void Server::HandleConnection(Connection* conn) {
 
 bool Server::HandleFrame(Connection* conn,
                          const std::vector<std::uint8_t>& payload) {
+  // The request's clock starts at the first header byte: server_micros
+  // on the wire, the per-verb latency histogram, and a trace's total
+  // all measure from here.
+  const auto frame_start = std::chrono::steady_clock::now();
   util::ByteWriter out;
+  std::shared_ptr<util::Trace> trace;
+  std::size_t verb_index = kVerbCount;  // kVerbCount = undecodable.
   try {
     util::ByteReader reader(payload.data(), payload.size());
     const RequestHeader header = RequestHeader::Decode(&reader);
@@ -215,9 +225,25 @@ bool Server::HandleFrame(Connection* conn,
                  "unknown verb " +
                      std::to_string(static_cast<unsigned>(header.verb)));
     } else {
-      requests_total_[static_cast<std::size_t>(header.verb)].fetch_add(
-          1, std::memory_order_relaxed);
-      Dispatch(conn, header, &reader, &out);
+      verb_index = static_cast<std::size_t>(header.verb);
+      requests_total_[verb_index].fetch_add(1, std::memory_order_relaxed);
+      trace = MaybeStartTrace(header);
+      // The budget anchor: deadline_ms is relative on the wire (client
+      // clocks never meet the server's), so decode time is the one
+      // honest zero. Every later stage (session epoch wait, ticket
+      // await, dispatcher drop) compares against this absolute point.
+      util::RequestContext context =
+          header.deadline_ms > 0
+              ? util::RequestContext::WithDeadline(
+                    std::chrono::milliseconds(header.deadline_ms))
+              : util::RequestContext();
+      context.set_trace(trace);
+      const std::uint64_t decode_us = ElapsedUs(frame_start);
+      util::StageHistogram(util::TraceStage::kDecode).Record(decode_us);
+      if (trace != nullptr) {
+        trace->AddSpan(util::TraceStage::kDecode, frame_start, decode_us);
+      }
+      Dispatch(conn, header, context, &reader, &out);
     }
   } catch (const util::SerialError& e) {
     // Malformed payload: the frame was consumed whole, so the stream
@@ -245,22 +271,53 @@ bool Server::HandleFrame(Connection* conn,
     out = util::ByteWriter();
     WriteError(&out, Status::kInternal, e.what());
   }
-  WriteFrame(conn, out);
+  // Every response payload -- success or error -- starts with the
+  // ResponseHeader, whose server_micros placeholder sits at a fixed
+  // offset. Patch the real figure in now that the payload is built.
+  const std::uint64_t server_us = ElapsedUs(frame_start);
+  if (out.size() >= kServerMicrosOffset + 8) {
+    out.PatchU64(kServerMicrosOffset, server_us);
+  }
+  if (verb_index < kVerbCount) request_hist_[verb_index].Record(server_us);
+  {
+    util::StageTimer write_timer(util::TraceStage::kResponseWrite,
+                                 trace.get());
+    WriteFrame(conn, out);
+  }
+  if (trace != nullptr) {
+    const std::uint8_t status_byte = out.size() > 0 ? out.bytes()[0] : 0;
+    trace->Finish(status_byte, ElapsedUs(frame_start));
+    traces_.Insert(std::move(trace));
+  }
   return true;
 }
 
+std::shared_ptr<util::Trace> Server::MaybeStartTrace(
+    const RequestHeader& header) {
+  const bool client_flagged = (header.trace_flags & kTraceFlagSampled) != 0;
+  bool server_sampled = false;
+  if (options_.trace_sample_every > 0) {
+    const std::uint64_t tick =
+        trace_tick_.fetch_add(1, std::memory_order_relaxed);
+    server_sampled = tick % options_.trace_sample_every == 0;
+  }
+  if (!client_flagged && !server_sampled) return nullptr;
+  // A client-supplied id is echoed verbatim so both sides of the wire
+  // agree on the request's name; otherwise the server assigns one.
+  const std::uint64_t id =
+      header.trace_id != 0
+          ? header.trace_id
+          : next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  traces_started_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_shared<util::Trace>(id, VerbName(header.verb),
+                                       header.index);
+}
+
 void Server::Dispatch(Connection* conn, const RequestHeader& header,
-                      util::ByteReader* body, util::ByteWriter* out) {
-  // The request's budget starts counting here -- deadline_ms is
-  // relative on the wire (client clocks never meet the server's), so
-  // decode time is the one honest anchor. Every later stage (session
-  // epoch wait, ticket await, dispatcher drop) compares against the
-  // same absolute point.
-  util::RequestContext context =
-      header.deadline_ms > 0
-          ? util::RequestContext::WithDeadline(
-                std::chrono::milliseconds(header.deadline_ms))
-          : util::RequestContext();
+                      util::RequestContext& context, util::ByteReader* body,
+                      util::ByteWriter* out) {
+  util::Trace* const trace = context.trace().get();
+  const auto admission_start = std::chrono::steady_clock::now();
   // Admission control, cheapest checks first: rate budget, then
   // endpoint concurrency. Both reject in microseconds with
   // kResourceExhausted instead of queueing the request anywhere.
@@ -300,6 +357,18 @@ void Server::Dispatch(Connection* conn, const RequestHeader& header,
       WriteError(out, Status::kInvalidArgument,
                  "unknown session id " + std::to_string(header.session_id));
       return;
+    }
+  }
+
+  // Admission passed (rejections above return before recording -- the
+  // stage measures the toll every served request paid, not the cost of
+  // turning one away).
+  {
+    const std::uint64_t admission_us = ElapsedUs(admission_start);
+    util::StageHistogram(util::TraceStage::kAdmission).Record(admission_us);
+    if (trace != nullptr) {
+      trace->AddSpan(util::TraceStage::kAdmission, admission_start,
+                     admission_us);
     }
   }
 
@@ -422,11 +491,17 @@ void Server::Dispatch(Connection* conn, const RequestHeader& header,
         return;
       }
       auto& service = lease->service().service();
+      using Service = std::remove_reference_t<decltype(service)>;
       if (context.has_deadline()) {
         // Deadline-aware admission: if the queue ahead of us is
         // already estimated to outlast the remaining budget, say so
-        // now instead of submitting work destined to be dropped.
-        const std::uint64_t wait_us = EstimatedQueueWaitUs(service.pending());
+        // now instead of submitting work destined to be dropped. The
+        // estimate is the service's own, off its live per-class
+        // queue-wait and execute histograms.
+        const std::uint64_t wait_us = service.EstimatedQueueWaitUs(
+            header.verb == Verb::kPointLookup
+                ? Service::OpClass::kPointLookup
+                : Service::OpClass::kRangeLookup);
         const auto remaining_us = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(
                 context.remaining())
@@ -452,22 +527,26 @@ void Server::Dispatch(Connection* conn, const RequestHeader& header,
               wait, std::chrono::duration_cast<std::chrono::milliseconds>(
                         context.remaining()));
         }
-        if (floor > 0 && !service.WaitForEpoch(floor, wait)) {
-          if (context.done()) {
-            deadline_epoch_wait_.fetch_add(1, std::memory_order_relaxed);
-            WriteError(out, Status::kDeadlineExceeded,
-                       "deadline of " + std::to_string(header.deadline_ms) +
-                           "ms exceeded waiting for session write epoch " +
-                           std::to_string(floor) + " on " + header.index);
-          } else {
-            WriteError(out, Status::kUnavailable,
-                       "session write epoch " + std::to_string(floor) +
-                           " not reached on " + header.index);
+        if (floor > 0) {
+          util::StageTimer epoch_timer(util::TraceStage::kEpochWait, trace);
+          const bool reached = service.WaitForEpoch(floor, wait);
+          epoch_timer.Stop();
+          if (!reached) {
+            if (context.done()) {
+              deadline_epoch_wait_.fetch_add(1, std::memory_order_relaxed);
+              WriteError(out, Status::kDeadlineExceeded,
+                         "deadline of " + std::to_string(header.deadline_ms) +
+                             "ms exceeded waiting for session write epoch " +
+                             std::to_string(floor) + " on " + header.index);
+            } else {
+              WriteError(out, Status::kUnavailable,
+                         "session write epoch " + std::to_string(floor) +
+                             " not reached on " + header.index);
+            }
+            return;
           }
-          return;
         }
       }
-      const auto submitted = std::chrono::steady_clock::now();
       auto ticket =
           header.verb == Verb::kPointLookup
               ? lease->service().SubmitPointLookups(std::move(keys), context)
@@ -475,7 +554,6 @@ void Server::Dispatch(Connection* conn, const RequestHeader& header,
                                                     context);
       if (!AwaitTicket(ticket, context, header.deadline_ms, out)) return;
       auto result = ticket.get();  // Throws -> HandleFrame's catches.
-      ObserveServiceTime(ElapsedUs(submitted));
       ResponseHeader{Status::kOk, ""}.Encode(out);
       out->WriteU64(result.epoch);
       out->WritePodVector(result.results);
@@ -495,8 +573,10 @@ void Server::Dispatch(Connection* conn, const RequestHeader& header,
         return;
       }
       if (context.has_deadline()) {
+        auto& service = lease->service().service();
+        using Service = std::remove_reference_t<decltype(service)>;
         const std::uint64_t wait_us =
-            EstimatedQueueWaitUs(lease->service().service().pending());
+            service.EstimatedQueueWaitUs(Service::OpClass::kUpdate);
         const auto remaining_us = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(
                 context.remaining())
@@ -510,14 +590,12 @@ void Server::Dispatch(Connection* conn, const RequestHeader& header,
           return;
         }
       }
-      const auto submitted = std::chrono::steady_clock::now();
       auto ticket = lease->service().SubmitUpdate(std::move(insert_keys),
                                                   std::move(insert_rows),
                                                   std::move(erase_keys),
                                                   context);
       if (!AwaitTicket(ticket, context, header.deadline_ms, out)) return;
       const auto result = ticket.get();
-      ObserveServiceTime(ElapsedUs(submitted));
       if (session != nullptr) {
         // The epoch this ack carries is the session's new read floor.
         session->RecordWrite(header.index, result.epoch);
@@ -690,24 +768,6 @@ bool Server::AwaitTicket(std::future<T>& ticket, util::RequestContext& context,
   return false;
 }
 
-void Server::ObserveServiceTime(std::uint64_t micros) {
-  // Racy read-modify-write EMA (alpha = 1/8): metrics-grade accuracy
-  // is all the queue-wait estimator needs, and a lock here would put
-  // every data verb through one cache line.
-  const std::uint64_t ema = data_verb_ema_us_.load(std::memory_order_relaxed);
-  data_verb_ema_us_.store(ema == 0 ? micros : (7 * ema + micros) / 8,
-                          std::memory_order_relaxed);
-}
-
-std::uint64_t Server::EstimatedQueueWaitUs(std::size_t pending) const {
-  // Single-dispatcher service: the queue drains one submission at a
-  // time, so the expected wait is simply pending x average service
-  // time. Returns 0 until the first data verb completes (no estimate
-  // beats a wrong estimate at cold start).
-  return data_verb_ema_us_.load(std::memory_order_relaxed) *
-         static_cast<std::uint64_t>(pending);
-}
-
 void Server::WriteFrame(Connection* conn, const util::ByteWriter& payload) {
   // The length prefix is a u32: a larger body would write a truncated
   // prefix and desynchronize every pipelined response behind it, so
@@ -768,6 +828,12 @@ void Server::HandleHttp(Connection* conn, std::array<char, 4> sniffed) {
   if (path == "/metrics") {
     content_type = "text/plain; version=0.0.4; charset=utf-8";
     body = MetricsText();
+  } else if (path == "/tracez" || path == "/tracez.json" ||
+             path.rfind("/tracez?", 0) == 0) {
+    const bool as_json = path == "/tracez.json" ||
+                         path.find("format=json") != std::string::npos;
+    if (as_json) content_type = "application/json";
+    body = TracezText(as_json);
   } else if (path == "/healthz") {
     body = "ok\n";
   } else {
@@ -779,6 +845,110 @@ void Server::HandleHttp(Connection* conn, std::array<char, 4> sniffed) {
                          "\r\nConnection: close\r\n\r\n" + body;
   conn->socket.WriteAll(response.data(), response.size());
   bytes_written_.fetch_add(response.size(), std::memory_order_relaxed);
+}
+
+namespace {
+
+std::string TraceIdHex(std::uint64_t id) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buffer;
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      *out += buffer;
+      continue;
+    }
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void RenderTraceText(std::string* out, const util::Trace& trace) {
+  *out += "trace " + TraceIdHex(trace.id()) + " op=" +
+          std::string(trace.op()) + " index=" + std::string(trace.target()) +
+          " status=" +
+          std::string(StatusName(static_cast<Status>(trace.status()))) +
+          " total_us=" + std::to_string(trace.total_us());
+  if (trace.dropped_spans() > 0) {
+    *out += " dropped_spans=" + std::to_string(trace.dropped_spans());
+  }
+  *out += '\n';
+  for (const util::Trace::SpanView& span : trace.Spans()) {
+    char line[96];
+    std::snprintf(line, sizeof(line), "  %-18s start_us=%-10llu dur_us=%llu\n",
+                  std::string(util::TraceStageName(span.stage)).c_str(),
+                  static_cast<unsigned long long>(span.start_us),
+                  static_cast<unsigned long long>(span.duration_us));
+    *out += line;
+  }
+}
+
+void RenderTraceJson(std::string* out, const util::Trace& trace) {
+  *out += "{\"trace_id\":";
+  AppendJsonString(out, TraceIdHex(trace.id()));
+  *out += ",\"op\":";
+  AppendJsonString(out, trace.op());
+  *out += ",\"index\":";
+  AppendJsonString(out, trace.target());
+  *out += ",\"status\":";
+  AppendJsonString(out, StatusName(static_cast<Status>(trace.status())));
+  *out += ",\"total_us\":" + std::to_string(trace.total_us());
+  *out += ",\"dropped_spans\":" + std::to_string(trace.dropped_spans());
+  *out += ",\"spans\":[";
+  bool first = true;
+  for (const util::Trace::SpanView& span : trace.Spans()) {
+    if (!first) out->push_back(',');
+    first = false;
+    *out += "{\"stage\":";
+    AppendJsonString(out, util::TraceStageName(span.stage));
+    *out += ",\"start_us\":" + std::to_string(span.start_us);
+    *out += ",\"duration_us\":" + std::to_string(span.duration_us) + "}";
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string Server::TracezText(bool as_json) {
+  const std::vector<std::shared_ptr<util::Trace>> slow = traces_.Slow();
+  const std::vector<std::shared_ptr<util::Trace>> sampled =
+      traces_.Sampled();
+  std::string out;
+  if (as_json) {
+    out += "{\"slow_threshold_us\":" + std::to_string(traces_.slow_us());
+    out += ",\"slow\":[";
+    bool first = true;
+    for (const auto& trace : slow) {
+      if (!first) out.push_back(',');
+      first = false;
+      RenderTraceJson(&out, *trace);
+    }
+    out += "],\"sampled\":[";
+    first = true;
+    for (const auto& trace : sampled) {
+      if (!first) out.push_back(',');
+      first = false;
+      RenderTraceJson(&out, *trace);
+    }
+    out += "]}\n";
+    return out;
+  }
+  out += "cgrx /tracez -- newest first; slow ring holds traces >= " +
+         std::to_string(traces_.slow_us()) + " us\n\n";
+  out += "== slow (" + std::to_string(slow.size()) + ") ==\n";
+  for (const auto& trace : slow) RenderTraceText(&out, *trace);
+  out += "\n== sampled (" + std::to_string(sampled.size()) + ") ==\n";
+  for (const auto& trace : sampled) RenderTraceText(&out, *trace);
+  return out;
 }
 
 std::string Server::MetricsText() {
@@ -881,6 +1051,37 @@ std::string Server::MetricsText() {
              deadline_epoch_wait_.load(std::memory_order_relaxed));
   w.Labelled("cgrx_deadline_exceeded_total", "stage", "await",
              deadline_await_.load(std::memory_order_relaxed));
+
+  // Latency histograms: end-to-end per verb, then per pipeline stage.
+  // Every series is emitted even at zero count so dashboards (and the
+  // CI scrape lint) see a stable exposition shape from first scrape.
+  w.Family("cgrx_request_latency_seconds",
+           "End-to-end server time per request (decode to response "
+           "payload ready), by verb",
+           "histogram");
+  for (std::uint8_t v = 0; v < kVerbCount; ++v) {
+    w.HistogramUs("cgrx_request_latency_seconds",
+                  {"verb", VerbName(static_cast<Verb>(v))},
+                  request_hist_[v].snapshot());
+  }
+  w.Family("cgrx_stage_latency_seconds",
+           "Time spent in each request pipeline stage (decode, "
+           "admission, queue wait, execute, WAL, response write, ...)",
+           "histogram");
+  for (std::size_t s = 0; s < util::kTraceStageCount; ++s) {
+    const auto stage = static_cast<util::TraceStage>(s);
+    w.HistogramUs("cgrx_stage_latency_seconds",
+                  {"stage", util::TraceStageName(stage)},
+                  util::StageHistogram(stage).snapshot());
+  }
+  w.Family("cgrx_traces_started_total",
+           "Requests traced end to end (client-flagged or sampled)",
+           "counter");
+  w.Value("cgrx_traces_started_total",
+          traces_started_.load(std::memory_order_relaxed));
+  w.Family("cgrx_traces_retained_total",
+           "Completed traces inserted into the /tracez rings", "counter");
+  w.Value("cgrx_traces_retained_total", traces_.inserted());
 
   w.Family("cgrx_index_epoch", "Last completed update epoch per index",
            "gauge");

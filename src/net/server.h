@@ -19,7 +19,9 @@
 #include "src/net/session.h"
 #include "src/net/socket.h"
 #include "src/net/wire.h"
+#include "src/util/histogram.h"
 #include "src/util/request_context.h"
+#include "src/util/trace.h"
 
 namespace cgrx::net {
 
@@ -90,6 +92,17 @@ class Server {
     /// storage::IndexStore::Options::retain_wal_epochs). 0 = delete
     /// superseded segments eagerly.
     std::uint64_t retain_wal_epochs = 0;
+    /// Server-side trace sampling: every Nth request is traced end to
+    /// end and retained in /tracez. 0 = only requests whose client set
+    /// kTraceFlagSampled. (The per-verb/per-stage latency histograms
+    /// record regardless -- sampling gates span retention, not
+    /// measurement.)
+    std::uint64_t trace_sample_every = 0;
+    /// A traced request at least this slow lands in /tracez's slow
+    /// ring, which fast sampled traffic can never evict.
+    std::uint64_t slow_trace_us = 10'000;
+    /// Retained traces per /tracez ring (slow and sampled).
+    std::size_t trace_buffer_capacity = 128;
   };
 
   /// Binds, then serves until Stop()/destruction.
@@ -113,6 +126,14 @@ class Server {
   /// callable in-process (tests, bench) without HTTP.
   std::string MetricsText();
 
+  /// The /tracez slow-request inspector payload: the slow ring then
+  /// the sampled ring, newest first, each trace with its per-stage
+  /// span breakdown. Text for humans, JSON for tooling.
+  std::string TracezText(bool as_json);
+
+  /// The retained-trace rings (tests assert on them in-process).
+  const util::TraceBuffer& traces() const { return traces_; }
+
  private:
   struct Connection {
     explicit Connection(Socket s, double rate, double burst)
@@ -127,9 +148,13 @@ class Server {
   void HandleConnection(Connection* conn);
   /// One binary frame -> one response frame; false = close connection.
   bool HandleFrame(Connection* conn, const std::vector<std::uint8_t>& payload);
-  /// Routes one decoded request; appends the response payload.
+  /// Routes one decoded request; appends the response payload. The
+  /// context (deadline + optional trace) is built by HandleFrame at
+  /// decode time so the budget anchor and the trace cover the whole
+  /// request, not just the routed part.
   void Dispatch(Connection* conn, const RequestHeader& header,
-                util::ByteReader* body, util::ByteWriter* out);
+                util::RequestContext& context, util::ByteReader* body,
+                util::ByteWriter* out);
   void HandleHttp(Connection* conn, std::array<char, 4> sniffed);
 
   void WriteFrame(Connection* conn, const util::ByteWriter& payload);
@@ -145,13 +170,9 @@ class Server {
   bool AwaitTicket(std::future<T>& ticket, util::RequestContext& context,
                    std::uint32_t deadline_ms, util::ByteWriter* out);
 
-  /// Folds one completed data-verb service time into the EMA behind
-  /// EstimatedQueueWaitUs.
-  void ObserveServiceTime(std::uint64_t micros);
-
-  /// Deadline-aware admission estimate: pending submissions ahead of
-  /// this request times the recent average data-verb service time.
-  std::uint64_t EstimatedQueueWaitUs(std::size_t pending) const;
+  /// Decides whether this request is traced (client flag or server
+  /// sampling) and builds the Trace if so; returns null otherwise.
+  std::shared_ptr<util::Trace> MaybeStartTrace(const RequestHeader& header);
 
   /// Joins finished handler threads (called from the accept loop).
   void ReapConnections();
@@ -190,9 +211,17 @@ class Server {
   std::atomic<std::uint64_t> deadline_admission_{0};
   std::atomic<std::uint64_t> deadline_epoch_wait_{0};
   std::atomic<std::uint64_t> deadline_await_{0};
-  /// EMA of data-verb service time in microseconds (the queue wait
-  /// estimator's per-submission cost model).
-  std::atomic<std::uint64_t> data_verb_ema_us_{0};
+
+  /// End-to-end server time per verb (decode to response payload
+  /// ready), exported as cgrx_request_latency_seconds{verb=...}.
+  std::array<util::LatencyHistogram, kVerbCount> request_hist_{};
+  /// Completed traces retained for /tracez.
+  util::TraceBuffer traces_;
+  /// Server-assigned ids for traces the client did not name.
+  std::atomic<std::uint64_t> next_trace_id_{1};
+  /// Rolling counter behind Options::trace_sample_every.
+  std::atomic<std::uint64_t> trace_tick_{0};
+  std::atomic<std::uint64_t> traces_started_{0};
 };
 
 }  // namespace cgrx::net

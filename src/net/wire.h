@@ -1,6 +1,7 @@
 #ifndef CGRX_SRC_NET_WIRE_H_
 #define CGRX_SRC_NET_WIRE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -30,6 +31,8 @@ namespace cgrx::net {
 ///   u64 session_id            (0 = sessionless)
 ///   str index_name            (empty for admin verbs)
 ///   u32 deadline_ms           (0 = no deadline; see below)
+///   u64 trace_id              (v4: 0 = none; client-generated)
+///   u8  trace_flags           (v4: bit 0 = sample this request)
 ///   ... verb-specific body
 ///
 /// `deadline_ms` is a relative budget, not an absolute timestamp --
@@ -44,8 +47,19 @@ namespace cgrx::net {
 /// Response payload:
 ///
 ///   u8  status                (Status below)
+///   u64 server_micros         (v4: server-side time for this request)
 ///   str message               (empty on kOk)
 ///   ... verb-specific body    (present only on kOk)
+///
+/// `server_micros` (protocol v4) is the wall time the server spent on
+/// the request, from frame decode to the response payload being ready
+/// (excluding the final socket write). Clients split their observed
+/// latency into server time vs. network + queueing with it; it sits at
+/// a fixed offset (byte 1) so the server can patch it in after
+/// building the rest of the payload. The v4 request-header fields
+/// carry an optional client-generated trace id and a sampling flag:
+/// a flagged request is traced end to end and lands in the server's
+/// /tracez ring under that id.
 ///
 /// Verb-specific bodies (u64 keys on the wire; the network tier hosts
 /// 64-bit-key indexes):
@@ -154,9 +168,16 @@ inline std::string_view VerbName(Verb verb) {
 
 /// The wire protocol version this build speaks. Bumped to 2 when the
 /// request header grew the deadline_ms field, to 3 for the replication
-/// verbs and the kCreateSession floor import; mismatched versions are
-/// caught by Ping's negotiation (kFailedPrecondition naming both).
-inline constexpr std::uint8_t kProtocolVersion = 3;
+/// verbs and the kCreateSession floor import, to 4 for the trace
+/// fields in the request header and server_micros in the response
+/// header; mismatched versions are caught by Ping's negotiation
+/// (kFailedPrecondition naming both).
+inline constexpr std::uint8_t kProtocolVersion = 4;
+
+/// RequestHeader::trace_flags bit: the client asks for this request to
+/// be traced (span-recorded and retained in /tracez) regardless of the
+/// server's own sampling rate.
+inline constexpr std::uint8_t kTraceFlagSampled = 0x1;
 
 /// gRPC-inspired status space; kResourceExhausted is the admission
 /// control rejection clients must expect (and retry with backoff)
@@ -204,12 +225,20 @@ struct RequestHeader {
   std::string index;
   /// Relative deadline budget in milliseconds; 0 = no deadline.
   std::uint32_t deadline_ms = 0;
+  /// Client-generated trace id (v4); 0 = none. Echoed verbatim in
+  /// /tracez so client-side and server-side views of one request
+  /// correlate.
+  std::uint64_t trace_id = 0;
+  /// kTraceFlagSampled asks the server to trace this request.
+  std::uint8_t trace_flags = 0;
 
   void Encode(util::ByteWriter* out) const {
     out->WriteU8(static_cast<std::uint8_t>(verb));
     out->WriteU64(session_id);
     out->WriteString(index);
     out->WriteU32(deadline_ms);
+    out->WriteU64(trace_id);
+    out->WriteU8(trace_flags);
   }
 
   /// Throws util::SerialError on truncation; a verb byte outside the
@@ -220,29 +249,43 @@ struct RequestHeader {
     header.session_id = in->ReadU64();
     header.index = in->ReadString();
     header.deadline_ms = in->ReadU32();
+    header.trace_id = in->ReadU64();
+    header.trace_flags = in->ReadU8();
     return header;
   }
 };
 
-/// Response header shared by every verb.
+/// Response header shared by every verb. server_micros sits at bytes
+/// [1, 9) of the payload by construction (status is byte 0) -- Encode
+/// writes whatever the struct holds (normally the 0 placeholder), and
+/// the server patches the final value in just before framing, once the
+/// request's total cost is known (see kServerMicrosOffset).
 struct ResponseHeader {
   Status status = Status::kOk;
   std::string message;
+  /// Server-side request time in microseconds (v4; see the wire doc
+  /// above). Encoded as a placeholder and patched by the server.
+  std::uint64_t server_micros = 0;
 
   bool ok() const { return status == Status::kOk; }
 
   void Encode(util::ByteWriter* out) const {
     out->WriteU8(static_cast<std::uint8_t>(status));
+    out->WriteU64(server_micros);
     out->WriteString(message);
   }
 
   static ResponseHeader Decode(util::ByteReader* in) {
     ResponseHeader header;
     header.status = static_cast<Status>(in->ReadU8());
+    header.server_micros = in->ReadU64();
     header.message = in->ReadString();
     return header;
   }
 };
+
+/// Byte offset of server_micros in every response payload.
+inline constexpr std::size_t kServerMicrosOffset = 1;
 
 }  // namespace cgrx::net
 

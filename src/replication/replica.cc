@@ -7,6 +7,7 @@
 #include "src/api/factory.h"
 #include "src/net/client.h"
 #include "src/storage/manifest.h"
+#include "src/util/trace.h"
 
 namespace cgrx::replication {
 
@@ -203,6 +204,10 @@ void ReplicaIndexService::TailLoop() {
 
 void ReplicaIndexService::ApplyBatch(std::vector<Change> changes) {
   const std::lock_guard<std::mutex> lock(apply_mutex_);
+  // Whole-batch apply cost (validate + group commit + dispatch + wait)
+  // feeds the replication_apply stage histogram; the tailer runs on a
+  // background thread, so there is never a request trace to attach to.
+  util::StageTimer timer(util::TraceStage::kReplicationApply);
   // The primary ships a consecutive run starting just past our cursor;
   // anything else is a protocol violation that must not reach the
   // local log.

@@ -16,6 +16,7 @@
 #include "src/util/crc32.h"
 #include "src/util/fault_injector.h"
 #include "src/util/serial.h"
+#include "src/util/trace.h"
 
 namespace cgrx::storage {
 
@@ -128,6 +129,7 @@ class WriteAheadLog {
   void Append(const std::vector<Key>& insert_keys,
               const std::vector<std::uint32_t>& insert_rows,
               const std::vector<Key>& erase_keys, std::uint64_t epoch) {
+    util::StageTimer timer(util::TraceStage::kWalAppend);
     if (staged_.empty()) pre_commit_last_epoch_ = last_epoch_;
     util::ByteWriter payload;
     payload.WritePodVector(insert_keys);
@@ -160,6 +162,7 @@ class WriteAheadLog {
   /// would collide, making recovery refuse the store.)
   void Commit() {
     if (staged_.empty()) return;
+    util::StageTimer commit_timer(util::TraceStage::kWalCommit);
     pre_commit_size_ = durable_size_.load(std::memory_order_relaxed);
     const std::size_t staged_bytes = staged_.size();
     try {
@@ -178,7 +181,12 @@ class WriteAheadLog {
       if (util::FaultPoint("wal.fsync")) {
         throw Error("injected fsync failure on " + path_.string());
       }
-      FlushAndSync(file_, path_);
+      {
+        // The sync is the dominant cost of group commit; tracked
+        // separately so /tracez tells fsync stalls from write stalls.
+        util::StageTimer fsync_timer(util::TraceStage::kWalFsync);
+        FlushAndSync(file_, path_);
+      }
     } catch (...) {
       staged_.clear();
       last_epoch_ = pre_commit_last_epoch_;

@@ -1,0 +1,202 @@
+#ifndef CGRX_SRC_UTIL_HISTOGRAM_H_
+#define CGRX_SRC_UTIL_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cgrx::util {
+
+/// Lock-free, mergeable, log-bucketed latency histogram.
+///
+/// Bucket layout (HdrHistogram-style): values below kSubBuckets land in
+/// exact unit-width buckets; above that, each power-of-two range is
+/// split into kSubBuckets linear sub-buckets, so the relative width of
+/// any bucket is at most 1/kSubBuckets (6.25%) -- which bounds the
+/// quantile estimation error. Values at or past 2^kMaxTrackedBits go to
+/// a single overflow bucket.
+///
+/// Record() is three relaxed fetch_adds (bucket, count, sum): safe from
+/// any number of threads with no locks and no waiting, which is what
+/// lets the serving hot path (every request, every WAL commit) record
+/// unconditionally. snapshot() reads the live atomics relaxed; it is
+/// not a consistent cut under concurrent writers (count/sum/buckets may
+/// disagree by in-flight records), but converges exactly once writers
+/// quiesce -- metrics-grade semantics, same as every Prometheus
+/// counter. Snapshots merge by addition, so per-shard histograms
+/// aggregate losslessly.
+///
+/// The unit is whatever the caller records -- the serving tier records
+/// microseconds and converts to seconds at the Prometheus boundary.
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per power-of-two range (and the exact-bucket
+  /// span at the bottom).
+  static constexpr std::size_t kSubBucketBits = 4;
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBucketBits;
+  /// Values >= 2^kMaxTrackedBits (about 71 minutes in microseconds)
+  /// are clamped into the overflow bucket.
+  static constexpr std::size_t kMaxTrackedBits = 32;
+  /// Finite buckets; one more holds the overflow.
+  static constexpr std::size_t kBucketCount =
+      kSubBuckets * (kMaxTrackedBits - kSubBucketBits + 1);
+  static constexpr std::size_t kOverflowBucket = kBucketCount;
+
+  /// Index of the finite bucket holding `value`, or kOverflowBucket.
+  static constexpr std::size_t BucketIndex(std::uint64_t value) {
+    if (value < kSubBuckets) return static_cast<std::size_t>(value);
+    if (value >> kMaxTrackedBits != 0) return kOverflowBucket;
+    const int msb = std::bit_width(value) - 1;
+    const int shift = msb - static_cast<int>(kSubBucketBits);
+    const auto sub = static_cast<std::size_t>(value >> shift) - kSubBuckets;
+    return kSubBuckets + static_cast<std::size_t>(shift) * kSubBuckets + sub;
+  }
+
+  /// Largest value the finite bucket `index` holds (inclusive).
+  static constexpr std::uint64_t BucketUpperBound(std::size_t index) {
+    if (index < kSubBuckets) return index;
+    const std::size_t shift = index / kSubBuckets - 1;
+    const std::size_t sub = index % kSubBuckets;
+    return ((kSubBuckets + sub + 1) << shift) - 1;
+  }
+
+  /// Smallest value the finite bucket `index` holds.
+  static constexpr std::uint64_t BucketLowerBound(std::size_t index) {
+    return index == 0 ? 0 : BucketUpperBound(index - 1) + 1;
+  }
+
+  void Record(std::uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Point-in-time copy; mergeable by addition.
+  struct Snapshot {
+    std::array<std::uint64_t, kBucketCount + 1> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+
+    void Merge(const Snapshot& other) {
+      for (std::size_t i = 0; i < buckets.size(); ++i) {
+        buckets[i] += other.buckets[i];
+      }
+      count += other.count;
+      sum += other.sum;
+    }
+
+    /// Samples recorded with value <= bound. Exact when `bound` is a
+    /// bucket boundary (every 2^k - 1 is one); otherwise the partial
+    /// straddling bucket is excluded, so the result is a monotone
+    /// under-approximation -- still a valid Prometheus cumulative.
+    std::uint64_t CountAtMost(std::uint64_t bound) const {
+      std::uint64_t total = 0;
+      for (std::size_t i = 0; i < kBucketCount; ++i) {
+        if (BucketUpperBound(i) > bound) break;
+        total += buckets[i];
+      }
+      return total;
+    }
+
+    /// Estimated q-quantile (q in [0, 1]) with linear interpolation
+    /// inside the bucket; relative error is bounded by the bucket
+    /// width (<= 6.25% past the exact range). Returns 0 on an empty
+    /// snapshot; a quantile landing in the overflow bucket reports the
+    /// largest tracked value (read: "at least this").
+    double Quantile(double q) const {
+      if (count == 0) return 0;
+      if (q < 0) q = 0;
+      if (q > 1) q = 1;
+      const double target = q * static_cast<double>(count);
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i <= kBucketCount; ++i) {
+        if (buckets[i] == 0) continue;
+        const std::uint64_t next = cumulative + buckets[i];
+        if (static_cast<double>(next) >= target) {
+          if (i == kOverflowBucket) {
+            return static_cast<double>(
+                BucketUpperBound(kBucketCount - 1));
+          }
+          const double lo = static_cast<double>(BucketLowerBound(i));
+          const double hi = static_cast<double>(BucketUpperBound(i));
+          const double fraction =
+              (target - static_cast<double>(cumulative)) /
+              static_cast<double>(buckets[i]);
+          return lo + fraction * (hi - lo);
+        }
+        cumulative = next;
+      }
+      return static_cast<double>(BucketUpperBound(kBucketCount - 1));
+    }
+
+    double Mean() const {
+      return count == 0 ? 0
+                        : static_cast<double>(sum) /
+                              static_cast<double>(count);
+    }
+  };
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    for (std::size_t i = 0; i <= kBucketCount; ++i) {
+      s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// Allocation-free live quantile straight off the atomics (the
+  /// admission estimator's read path, called per deadline-carrying
+  /// request). Same approximation contract as Snapshot::Quantile, plus
+  /// the snapshot's own caveat: concurrent writers may skew the walk
+  /// by whatever landed mid-read.
+  std::uint64_t LiveQuantile(double q) const {
+    const std::uint64_t total = count_.load(std::memory_order_relaxed);
+    if (total == 0) return 0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    const double target = q * static_cast<double>(total);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i <= kBucketCount; ++i) {
+      const std::uint64_t in_bucket =
+          buckets_[i].load(std::memory_order_relaxed);
+      if (in_bucket == 0) continue;
+      cumulative += in_bucket;
+      if (static_cast<double>(cumulative) >= target) {
+        return BucketUpperBound(i == kOverflowBucket ? kBucketCount - 1
+                                                     : i);
+      }
+    }
+    return BucketUpperBound(kBucketCount - 1);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Coarse exposition bounds (in recorded units, i.e. microseconds on
+  /// the serving tier): every 2^k - 1 from 7 up to the largest tracked
+  /// power. Each is an exact bucket boundary, so CountAtMost is exact
+  /// at every exported `le`.
+  static std::vector<std::uint64_t> ExportBounds() {
+    std::vector<std::uint64_t> bounds;
+    for (std::size_t k = 3; k <= kMaxTrackedBits; ++k) {
+      bounds.push_back((std::uint64_t{1} << k) - 1);
+    }
+    return bounds;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount + 1> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+}  // namespace cgrx::util
+
+#endif  // CGRX_SRC_UTIL_HISTOGRAM_H_

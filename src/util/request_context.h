@@ -7,8 +7,11 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace cgrx::util {
+
+class Trace;  // trace.h
 
 /// Thrown by deadline-aware layers (IndexService dispatch, submission
 /// backpressure) when a request's budget ran out before the work
@@ -106,10 +109,22 @@ class RequestContext {
   /// deadline.
   bool done() const { return cancelled() || expired(); }
 
+  /// Attaches a span trace (see util/trace.h) that every copy of this
+  /// context shares, exactly like the cancel token: the serving tier
+  /// sets it for sampled requests at decode time, and the dispatcher
+  /// reads it off the op's context to attach queue-wait/execute/WAL
+  /// spans. Null (the default) is the unsampled fast path -- carrying
+  /// the context then costs nothing beyond the empty shared_ptr.
+  void set_trace(std::shared_ptr<Trace> trace) {
+    trace_ = std::move(trace);
+  }
+  const std::shared_ptr<Trace>& trace() const { return trace_; }
+
  private:
   Clock::time_point deadline_{};
   bool has_deadline_ = false;
   std::shared_ptr<std::atomic<bool>> cancelled_;
+  std::shared_ptr<Trace> trace_;
 };
 
 }  // namespace cgrx::util

@@ -79,6 +79,20 @@ class ByteWriter {
     WriteBytes(v.data(), v.size() * sizeof(T));
   }
 
+  /// Overwrites 8 already-written bytes at `offset` with `v` (LE).
+  /// For fixed-position fields whose value is only known after the
+  /// rest of the payload is built -- the response header's
+  /// server_micros is patched by the server just before framing.
+  void PatchU64(std::size_t offset, std::uint64_t v) {
+    if (offset + 8 > bytes_.size()) {
+      throw SerialError("PatchU64 past end of payload");
+    }
+    for (int i = 0; i < 8; ++i) {
+      bytes_[offset + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  }
+
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
   std::vector<std::uint8_t> TakeBytes() { return std::move(bytes_); }
   std::size_t size() const { return bytes_.size(); }

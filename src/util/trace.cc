@@ -1,0 +1,144 @@
+#include "src/util/trace.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+namespace cgrx::util {
+
+std::string_view TraceStageName(TraceStage stage) {
+  switch (stage) {
+    case TraceStage::kDecode: return "decode";
+    case TraceStage::kAdmission: return "admission";
+    case TraceStage::kEpochWait: return "epoch_wait";
+    case TraceStage::kQueueWait: return "queue_wait";
+    case TraceStage::kExecute: return "execute";
+    case TraceStage::kWalAppend: return "wal_append";
+    case TraceStage::kWalFsync: return "wal_fsync";
+    case TraceStage::kWalCommit: return "wal_commit";
+    case TraceStage::kCheckpoint: return "checkpoint";
+    case TraceStage::kReplicationApply: return "replication_apply";
+    case TraceStage::kResponseWrite: return "response_write";
+  }
+  return "unknown";
+}
+
+LatencyHistogram& StageHistogram(TraceStage stage) {
+  // Constructed on first use and intentionally leaked: recorders may
+  // run from other translation units' static destructors (a server
+  // member destroyed at exit still commits its WAL), and a destroyed
+  // histogram there would be use-after-free -- the standard pattern
+  // for process-global metrics.
+  static auto* histograms = new std::array<LatencyHistogram,
+                                           kTraceStageCount>();
+  return (*histograms)[static_cast<std::size_t>(stage)];
+}
+
+namespace {
+
+/// Copies up to the buffer's capacity and NUL-terminates.
+template <std::size_t N>
+void CopyLabel(std::array<char, N>* out, std::string_view value) {
+  const std::size_t n = std::min(value.size(), N - 1);
+  std::memcpy(out->data(), value.data(), n);
+  (*out)[n] = '\0';
+}
+
+thread_local Trace* tl_active_trace = nullptr;
+
+}  // namespace
+
+Trace::Trace(std::uint64_t id, std::string_view op, std::string_view target)
+    : id_(id),
+      start_(Clock::now()),
+      wall_start_(std::chrono::system_clock::now()) {
+  CopyLabel(&op_, op);
+  CopyLabel(&target_, target);
+}
+
+void Trace::AddSpan(TraceStage stage, Clock::time_point span_start,
+                    std::uint64_t duration_us) {
+  const std::uint32_t index =
+      span_count_.fetch_add(1, std::memory_order_relaxed);
+  if (index >= kMaxSpans) return;  // Dropped; dropped_spans() counts it.
+  Slot& slot = slots_[index];
+  slot.stage = static_cast<std::uint8_t>(stage);
+  const auto offset = std::chrono::duration_cast<std::chrono::microseconds>(
+      span_start - start_);
+  // Span fields are u32 microseconds: 71 minutes of range, clamped --
+  // a span that long has stopped being a latency question.
+  const auto clamp = [](std::int64_t us) {
+    if (us < 0) return std::uint32_t{0};
+    return static_cast<std::uint32_t>(std::min<std::int64_t>(
+        us, std::numeric_limits<std::uint32_t>::max()));
+  };
+  slot.start_us = clamp(offset.count());
+  slot.duration_us = clamp(static_cast<std::int64_t>(duration_us));
+  // Publish: readers acquire this flag before touching the fields.
+  slot.committed.store(true, std::memory_order_release);
+}
+
+void Trace::Finish(std::uint8_t status, std::uint64_t total_us) {
+  status_.store(status, std::memory_order_release);
+  total_us_.store(total_us, std::memory_order_release);
+}
+
+std::vector<Trace::SpanView> Trace::Spans() const {
+  std::vector<SpanView> spans;
+  spans.reserve(kMaxSpans);
+  for (const Slot& slot : slots_) {
+    if (!slot.committed.load(std::memory_order_acquire)) continue;
+    SpanView view;
+    view.stage = static_cast<TraceStage>(slot.stage);
+    view.start_us = slot.start_us;
+    view.duration_us = slot.duration_us;
+    spans.push_back(view);
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanView& a, const SpanView& b) {
+              return a.start_us < b.start_us;
+            });
+  return spans;
+}
+
+Trace* ActiveTrace() { return tl_active_trace; }
+
+ScopedTrace::ScopedTrace(Trace* trace) : previous_(tl_active_trace) {
+  tl_active_trace = trace;
+}
+
+ScopedTrace::~ScopedTrace() { tl_active_trace = previous_; }
+
+void StageTimer::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          Trace::Clock::now() - start_);
+  const auto us = static_cast<std::uint64_t>(
+      elapsed.count() < 0 ? 0 : elapsed.count());
+  StageHistogram(stage_).Record(us);
+  if (trace_ != nullptr) trace_->AddSpan(stage_, start_, us);
+}
+
+void TraceBuffer::Insert(std::shared_ptr<Trace> trace) {
+  if (trace == nullptr) return;
+  inserted_.fetch_add(1, std::memory_order_relaxed);
+  const bool slow = trace->total_us() >= options_.slow_us;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& ring = slow ? slow_ : sampled_;
+  ring.push_back(std::move(trace));
+  if (ring.size() > options_.capacity) ring.pop_front();
+}
+
+std::vector<std::shared_ptr<Trace>> TraceBuffer::Slow() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {slow_.rbegin(), slow_.rend()};
+}
+
+std::vector<std::shared_ptr<Trace>> TraceBuffer::Sampled() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {sampled_.rbegin(), sampled_.rend()};
+}
+
+}  // namespace cgrx::util

@@ -1,0 +1,217 @@
+#ifndef CGRX_SRC_UTIL_TRACE_H_
+#define CGRX_SRC_UTIL_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "src/util/histogram.h"
+
+namespace cgrx::util {
+
+/// The pipeline stages the deadline machinery distinguishes, one label
+/// per histogram family member and span kind. Server-side stages
+/// (decode through response_write) are recorded on the connection
+/// thread; queue_wait/execute on the dispatcher; the WAL stages inside
+/// storage under the dispatcher's active trace; replication_apply on a
+/// replica's tail thread (histogram only -- no request owns it).
+enum class TraceStage : std::uint8_t {
+  kDecode = 0,
+  kAdmission = 1,
+  kEpochWait = 2,
+  kQueueWait = 3,
+  kExecute = 4,
+  kWalAppend = 5,
+  kWalFsync = 6,
+  kWalCommit = 7,
+  kCheckpoint = 8,
+  kReplicationApply = 9,
+  kResponseWrite = 10,
+};
+
+inline constexpr std::size_t kTraceStageCount = 11;
+
+std::string_view TraceStageName(TraceStage stage);
+
+/// Process-global per-stage latency histogram (microseconds). Global on
+/// purpose: the storage layer's WAL commit and a replica's apply loop
+/// record here without a reference threaded through every constructor,
+/// and the serving tier exports the array as
+/// cgrx_stage_latency_seconds{stage=...}. Counts accumulate across
+/// every server instance in the process (tests asserting deltas must
+/// diff snapshots, not absolute counts).
+LatencyHistogram& StageHistogram(TraceStage stage);
+
+/// One request's span record: allocation-light (fixed span slots, no
+/// per-span heap traffic) and safe to append to from several threads
+/// at once -- the connection thread records decode/admission while the
+/// dispatcher, having received a copy of the owning RequestContext,
+/// may still be appending queue_wait/execute spans for a request the
+/// server already abandoned at its deadline.
+///
+/// Concurrency protocol (the TSan-clean part): a writer claims a slot
+/// with a relaxed fetch_add on the span counter, fills the slot's
+/// plain fields, then release-stores the slot's committed flag; a
+/// reader acquire-loads the flag and skips uncommitted slots. Readers
+/// therefore never observe a half-written span, and an abandoned
+/// trace's late spans either appear fully or not at all.
+class Trace {
+ public:
+  using Clock = std::chrono::steady_clock;
+  static constexpr std::size_t kMaxSpans = 24;
+  static constexpr std::size_t kMaxOpChars = 23;
+  static constexpr std::size_t kMaxTargetChars = 47;
+
+  struct SpanView {
+    TraceStage stage{};
+    std::uint64_t start_us = 0;     ///< Offset from the trace start.
+    std::uint64_t duration_us = 0;
+  };
+
+  /// `op` is the verb label, `target` the index name; both are copied
+  /// into fixed buffers (truncated if oversized) so a live trace never
+  /// allocates after construction.
+  Trace(std::uint64_t id, std::string_view op, std::string_view target);
+
+  std::uint64_t id() const { return id_; }
+  Clock::time_point start() const { return start_; }
+  std::chrono::system_clock::time_point wall_start() const {
+    return wall_start_;
+  }
+  std::string_view op() const { return op_.data(); }
+  std::string_view target() const { return target_.data(); }
+
+  /// Appends one span; silently drops past kMaxSpans (dropped_spans()
+  /// reports how many). Thread-safe, lock-free.
+  void AddSpan(TraceStage stage, Clock::time_point span_start,
+               std::uint64_t duration_us);
+
+  /// Seals the trace with the final wire status byte and total wall
+  /// time. Spans may still trickle in afterwards from an abandoned
+  /// ticket's dispatcher; readers tolerate that by protocol.
+  void Finish(std::uint8_t status, std::uint64_t total_us);
+
+  /// Committed spans at call time, in slot order.
+  std::vector<SpanView> Spans() const;
+
+  std::uint64_t total_us() const {
+    return total_us_.load(std::memory_order_acquire);
+  }
+  std::uint8_t status() const {
+    return status_.load(std::memory_order_acquire);
+  }
+  std::uint32_t dropped_spans() const {
+    const std::uint32_t claimed =
+        span_count_.load(std::memory_order_relaxed);
+    return claimed > kMaxSpans
+               ? claimed - static_cast<std::uint32_t>(kMaxSpans)
+               : 0;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<bool> committed{false};
+    std::uint8_t stage = 0;
+    std::uint32_t start_us = 0;
+    std::uint32_t duration_us = 0;
+  };
+
+  std::uint64_t id_;
+  Clock::time_point start_;
+  std::chrono::system_clock::time_point wall_start_;
+  std::array<char, kMaxOpChars + 1> op_{};
+  std::array<char, kMaxTargetChars + 1> target_{};
+  std::atomic<std::uint32_t> span_count_{0};
+  std::atomic<std::uint64_t> total_us_{0};
+  std::atomic<std::uint8_t> status_{0};
+  std::array<Slot, kMaxSpans> slots_{};
+};
+
+/// The calling thread's active trace (null when the current request is
+/// unsampled -- the zero-cost default). The dispatcher publishes the
+/// op's trace here around Execute so layers without a RequestContext
+/// in reach (the WAL's fsync, a checkpoint writer) attach their spans
+/// to the right request.
+Trace* ActiveTrace();
+
+/// RAII scope that installs `trace` as the thread's active trace and
+/// restores the previous one on exit. Null is fine (and free).
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(Trace* trace);
+  ~ScopedTrace();
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  Trace* previous_;
+};
+
+/// RAII stage timer: always records the elapsed microseconds into the
+/// global stage histogram, and additionally appends a span to `trace`
+/// (defaulting to ActiveTrace()) when one is live. Two steady_clock
+/// reads and one relaxed fetch_add on the unsampled path.
+class StageTimer {
+ public:
+  explicit StageTimer(TraceStage stage)
+      : StageTimer(stage, ActiveTrace()) {}
+  StageTimer(TraceStage stage, Trace* trace)
+      : stage_(stage), trace_(trace), start_(Trace::Clock::now()) {}
+  ~StageTimer() { Stop(); }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  /// Records now; the destructor becomes a no-op. Idempotent.
+  void Stop();
+
+ private:
+  TraceStage stage_;
+  Trace* trace_;
+  Trace::Clock::time_point start_;
+  bool stopped_ = false;
+};
+
+/// Bounded retention for completed traces, split in two rings: every
+/// inserted trace whose total time reached `slow_us` goes to the slow
+/// ring, the rest to the sampled ring; each ring evicts its oldest at
+/// `capacity`. A burst of fast sampled traces therefore can never
+/// flush out the slow outliers /tracez exists to explain.
+class TraceBuffer {
+ public:
+  struct Options {
+    std::size_t capacity = 128;       ///< Per ring.
+    std::uint64_t slow_us = 10'000;   ///< Slow-ring admission threshold.
+  };
+
+  TraceBuffer() : TraceBuffer(Options{}) {}
+  explicit TraceBuffer(Options options) : options_(options) {}
+
+  void Insert(std::shared_ptr<Trace> trace);
+
+  /// Newest-first copies of each ring.
+  std::vector<std::shared_ptr<Trace>> Slow() const;
+  std::vector<std::shared_ptr<Trace>> Sampled() const;
+
+  std::uint64_t inserted() const {
+    return inserted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t slow_us() const { return options_.slow_us; }
+
+ private:
+  Options options_;
+  mutable std::mutex mutex_;
+  std::deque<std::shared_ptr<Trace>> slow_;
+  std::deque<std::shared_ptr<Trace>> sampled_;
+  std::atomic<std::uint64_t> inserted_{0};
+};
+
+}  // namespace cgrx::util
+
+#endif  // CGRX_SRC_UTIL_TRACE_H_

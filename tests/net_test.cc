@@ -261,11 +261,13 @@ TEST(NetWireTest, MalformedPayloadAnswersAndKeepsConnection) {
 
   // Unknown verb byte: answered kUnimplemented, connection survives.
   const std::uint8_t unknown_verb[] = {
-      17, 0, 0, 0,              // frame length 17
+      26, 0, 0, 0,              // frame length 26 (v4 header)
       99,                       // verb 99
       0, 0, 0, 0, 0, 0, 0, 0,   // session id
       0, 0, 0, 0,               // empty index name
-      0, 0, 0, 0};              // no deadline
+      0, 0, 0, 0,               // no deadline
+      0, 0, 0, 0, 0, 0, 0, 0,   // no trace id
+      0};                       // no trace flags
   client.socket().WriteAll(unknown_verb, sizeof(unknown_verb));
   ASSERT_TRUE(client.Receive(&payload));
   util::ByteReader in2(payload);

@@ -1,0 +1,512 @@
+// Observability suite (src/util/histogram.h, src/util/trace.h,
+// serving-tier integration): bucket math and quantile error bounds of
+// the lock-free latency histogram, exact merging under concurrent
+// recorders, the span commit protocol of Trace under multi-threaded
+// appends, /tracez propagation of client-supplied trace ids over the
+// wire, the unsampled zero-retention fast path, wire-v4 server_micros
+// and Ping round-trip timing, and a lint pass over the Prometheus
+// scrape (unique preambles, label escaping, histogram family
+// validity). Part of the TSan suite.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include <gtest/gtest.h>
+
+#include "src/net/client.h"
+#include "src/net/metrics.h"
+#include "src/net/server.h"
+#include "src/net/socket.h"
+#include "src/net/wire.h"
+#include "src/util/histogram.h"
+#include "src/util/trace.h"
+
+namespace cgrx {
+namespace {
+
+using util::LatencyHistogram;
+using util::Trace;
+using util::TraceBuffer;
+using util::TraceStage;
+
+// ---------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------
+
+TEST(HistogramTest, BucketIndexRoundTripsThroughBounds) {
+  // Every recorded value must land in a bucket whose [lower, upper]
+  // range contains it, across the exact range, the log range, and the
+  // power-of-two edges where off-by-ones live.
+  std::vector<std::uint64_t> probes;
+  for (std::uint64_t v = 0; v < 64; ++v) probes.push_back(v);
+  for (std::size_t k = 6; k < LatencyHistogram::kMaxTrackedBits; ++k) {
+    const std::uint64_t base = std::uint64_t{1} << k;
+    probes.push_back(base - 1);
+    probes.push_back(base);
+    probes.push_back(base + 1);
+    probes.push_back(base + base / 2);
+  }
+  for (const std::uint64_t v : probes) {
+    const std::size_t index = LatencyHistogram::BucketIndex(v);
+    ASSERT_LT(index, LatencyHistogram::kBucketCount) << "value " << v;
+    EXPECT_GE(v, LatencyHistogram::BucketLowerBound(index)) << "value " << v;
+    EXPECT_LE(v, LatencyHistogram::BucketUpperBound(index)) << "value " << v;
+  }
+  // Bounds tile the tracked range: each bucket starts one past the
+  // previous bucket's end.
+  for (std::size_t i = 1; i < LatencyHistogram::kBucketCount; ++i) {
+    EXPECT_EQ(LatencyHistogram::BucketLowerBound(i),
+              LatencyHistogram::BucketUpperBound(i - 1) + 1);
+  }
+}
+
+TEST(HistogramTest, ZeroAndOverflowBuckets) {
+  LatencyHistogram hist;
+  hist.Record(0);
+  hist.Record(0);
+  const std::uint64_t max_tracked =
+      (std::uint64_t{1} << LatencyHistogram::kMaxTrackedBits) - 1;
+  hist.Record(max_tracked);              // Largest finite bucket.
+  hist.Record(max_tracked + 1);          // First overflow value.
+  hist.Record(std::uint64_t{1} << 40);   // Deep overflow.
+
+  const LatencyHistogram::Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.buckets[LatencyHistogram::kOverflowBucket], 2u);
+  // A zero-only distribution has every quantile at zero.
+  LatencyHistogram zeros;
+  zeros.Record(0);
+  EXPECT_EQ(zeros.snapshot().Quantile(0.99), 0.0);
+  // An overflow-dominated quantile reports the largest tracked value
+  // ("at least this"), never something absurd like 0.
+  LatencyHistogram over;
+  over.Record(std::uint64_t{1} << 45);
+  EXPECT_EQ(over.snapshot().Quantile(0.5),
+            static_cast<double>(LatencyHistogram::BucketUpperBound(
+                LatencyHistogram::kBucketCount - 1)));
+  EXPECT_EQ(over.LiveQuantile(0.5),
+            LatencyHistogram::BucketUpperBound(
+                LatencyHistogram::kBucketCount - 1));
+}
+
+TEST(HistogramTest, ConcurrentRecordingMergesExactly) {
+  // N threads record disjoint deterministic sequences; afterwards the
+  // snapshot must account for every single sample in count, sum, and
+  // per-bucket totals -- the lock-free Record loses nothing.
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20'000;
+  LatencyHistogram hist;
+  std::uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      expected_sum += (i * 7 + static_cast<std::uint64_t>(t)) % 100'000;
+    }
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        hist.Record((i * 7 + static_cast<std::uint64_t>(t)) % 100'000);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const LatencyHistogram::Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_EQ(snap.sum, expected_sum);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+
+  // Snapshots merge by addition: two half-size histograms equal one.
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (std::uint64_t v = 0; v < 1000; ++v) (v % 2 == 0 ? a : b).Record(v);
+  LatencyHistogram::Snapshot merged = a.snapshot();
+  merged.Merge(b.snapshot());
+  LatencyHistogram whole;
+  for (std::uint64_t v = 0; v < 1000; ++v) whole.Record(v);
+  const LatencyHistogram::Snapshot expected = whole.snapshot();
+  EXPECT_EQ(merged.count, expected.count);
+  EXPECT_EQ(merged.sum, expected.sum);
+  EXPECT_EQ(merged.buckets, expected.buckets);
+}
+
+TEST(HistogramTest, QuantileErrorIsBoundedByBucketWidth) {
+  // Uniform 1..100000: every quantile estimate must sit within one
+  // bucket's relative width (6.25% past the exact range) of the true
+  // order statistic.
+  LatencyHistogram hist;
+  constexpr std::uint64_t kMax = 100'000;
+  for (std::uint64_t v = 1; v <= kMax; ++v) hist.Record(v);
+  const LatencyHistogram::Snapshot snap = hist.snapshot();
+  for (const double q : {0.10, 0.50, 0.90, 0.99, 0.999}) {
+    const double truth = q * static_cast<double>(kMax);
+    const double estimate = snap.Quantile(q);
+    EXPECT_NEAR(estimate, truth, truth * 0.0625 + 1.0) << "q=" << q;
+    // LiveQuantile rounds up to its bucket's upper bound: same bound
+    // plus the bucket width, never below the interpolated estimate's
+    // bucket floor.
+    const std::uint64_t live = hist.LiveQuantile(q);
+    EXPECT_GE(static_cast<double>(live), truth * (1.0 - 0.0625) - 1.0);
+    EXPECT_LE(static_cast<double>(live), truth * (1.0 + 0.0625) + 1.0);
+  }
+  // CountAtMost is exact at exported bucket boundaries.
+  for (const std::uint64_t bound : LatencyHistogram::ExportBounds()) {
+    EXPECT_EQ(snap.CountAtMost(bound), std::min(bound, kMax))
+        << "le=" << bound;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Trace spans
+// ---------------------------------------------------------------------
+
+TEST(TraceTest, ConcurrentSpansAllCommit) {
+  Trace trace(42, "update", "bench");
+  const auto start = Trace::Clock::now();
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 5;  // 20 total < kMaxSpans = 24.
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trace, start, t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        trace.AddSpan(TraceStage::kExecute,
+                      start + std::chrono::microseconds(t * 100 + i), 7);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const std::vector<Trace::SpanView> spans = trace.Spans();
+  EXPECT_EQ(spans.size(),
+            static_cast<std::size_t>(kThreads * kSpansPerThread));
+  EXPECT_TRUE(std::is_sorted(
+      spans.begin(), spans.end(),
+      [](const auto& a, const auto& b) { return a.start_us < b.start_us; }));
+  EXPECT_EQ(trace.dropped_spans(), 0u);
+
+  // Past kMaxSpans the record drops (and says so) instead of writing
+  // out of bounds.
+  for (std::size_t i = 0; i < Trace::kMaxSpans; ++i) {
+    trace.AddSpan(TraceStage::kDecode, start, 1);
+  }
+  EXPECT_EQ(trace.Spans().size(), Trace::kMaxSpans);
+  EXPECT_GT(trace.dropped_spans(), 0u);
+}
+
+TEST(TraceTest, ScopedTraceInstallsAndRestores) {
+  EXPECT_EQ(util::ActiveTrace(), nullptr);
+  Trace outer(1, "a", "");
+  Trace inner(2, "b", "");
+  {
+    util::ScopedTrace scope_outer(&outer);
+    EXPECT_EQ(util::ActiveTrace(), &outer);
+    {
+      util::ScopedTrace scope_inner(&inner);
+      EXPECT_EQ(util::ActiveTrace(), &inner);
+    }
+    EXPECT_EQ(util::ActiveTrace(), &outer);
+  }
+  EXPECT_EQ(util::ActiveTrace(), nullptr);
+}
+
+TEST(TraceTest, StageTimerRecordsHistogramAndSpan) {
+  const std::uint64_t before =
+      util::StageHistogram(TraceStage::kCheckpoint).count();
+  Trace trace(7, "checkpoint", "t");
+  {
+    util::StageTimer timer(TraceStage::kCheckpoint, &trace);
+  }
+  EXPECT_EQ(util::StageHistogram(TraceStage::kCheckpoint).count(),
+            before + 1);
+  const std::vector<Trace::SpanView> spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].stage, TraceStage::kCheckpoint);
+}
+
+TEST(TraceTest, BufferRoutesSlowAndEvictsAtCapacity) {
+  TraceBuffer buffer(TraceBuffer::Options{2, 1000});
+  auto make = [](std::uint64_t id, std::uint64_t total_us) {
+    auto trace = std::make_shared<Trace>(id, "op", "idx");
+    trace->Finish(0, total_us);
+    return trace;
+  };
+  buffer.Insert(make(1, 10));     // Fast -> sampled ring.
+  buffer.Insert(make(2, 5000));   // Slow.
+  buffer.Insert(make(3, 20));     // Fast.
+  buffer.Insert(make(4, 30));     // Fast: evicts id 1, NOT the slow 2.
+  ASSERT_EQ(buffer.Slow().size(), 1u);
+  EXPECT_EQ(buffer.Slow()[0]->id(), 2u);
+  ASSERT_EQ(buffer.Sampled().size(), 2u);
+  EXPECT_EQ(buffer.Sampled()[0]->id(), 4u);  // Newest first.
+  EXPECT_EQ(buffer.Sampled()[1]->id(), 3u);
+  EXPECT_EQ(buffer.inserted(), 4u);
+}
+
+// ---------------------------------------------------------------------
+// Serving-tier integration
+// ---------------------------------------------------------------------
+
+std::filesystem::path ScratchDir(const std::string& tag) {
+  static int counter = 0;
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) /
+      ("cgrx_trace_" + tag + "_" + std::to_string(::getpid()) + "_" +
+       std::to_string(counter++));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+net::Server::Options BaseOptions(const std::filesystem::path& root) {
+  net::Server::Options options;
+  options.root = root;
+  return options;
+}
+
+TEST(TracezTest, ClientTraceIdPropagatesToTracez) {
+  net::Server server(BaseOptions(ScratchDir("propagate")));
+  net::Client client("localhost", server.port());
+  ASSERT_TRUE(client.OpenIndex("t", "cgrxu").ok());
+
+  client.UseTrace(0xabcdef12u);
+  ASSERT_TRUE(client.Update("t", {1, 2, 3}, {10, 20, 30}, {}).ok());
+  const net::Client::LookupReply lookup = client.PointLookup("t", {1, 2, 3});
+  ASSERT_TRUE(lookup.ok()) << lookup.message;
+
+  // Both requests were client-flagged: they are retained under the
+  // client's id with their full stage breakdown. Retention happens on
+  // the handler thread just after the response bytes go out, so the
+  // client can observe its reply a hair before the insert -- wait.
+  const auto retain_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.traces().inserted() < 2 &&
+         std::chrono::steady_clock::now() < retain_deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(server.traces().inserted(), 2u);
+  const std::string text = server.TracezText(false);
+  EXPECT_NE(text.find("00000000abcdef12"), std::string::npos) << text;
+  EXPECT_NE(text.find("op=update"), std::string::npos) << text;
+  EXPECT_NE(text.find("op=point_lookup"), std::string::npos) << text;
+  for (const char* stage :
+       {"decode", "admission", "queue_wait", "execute", "response_write"}) {
+    EXPECT_NE(text.find(stage), std::string::npos)
+        << "missing stage " << stage << " in:\n" << text;
+  }
+  // The update's trace reaches through the dispatcher into storage:
+  // WAL append/commit/fsync spans attach via the active-trace TLS.
+  EXPECT_NE(text.find("wal_commit"), std::string::npos) << text;
+
+  // The JSON form carries the same id and parses as one object per
+  // trace (sanity: balanced braces, the id string present).
+  const std::string json = server.TracezText(true);
+  EXPECT_NE(json.find("\"00000000abcdef12\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"spans\":["), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+
+  // And over HTTP, on the shared port.
+  net::Socket http = net::Socket::Connect("localhost", server.port());
+  const std::string request = "GET /tracez HTTP/1.1\r\nHost: x\r\n\r\n";
+  http.WriteAll(request.data(), request.size());
+  std::string response;
+  char c;
+  while (http.ReadFull(&c, 1)) response.push_back(c);
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("00000000abcdef12"), std::string::npos);
+}
+
+TEST(TracezTest, UnsampledRequestsRetainNothing) {
+  net::Server server(BaseOptions(ScratchDir("unsampled")));
+  net::Client client("localhost", server.port());
+  ASSERT_TRUE(client.OpenIndex("t", "cgrxu").ok());
+  ASSERT_TRUE(client.Update("t", {1, 2}, {1, 2}, {}).ok());
+  ASSERT_TRUE(client.PointLookup("t", {1}).ok());
+  // No client flag, no server sampling (trace_sample_every = 0): the
+  // rings stay empty -- the unsampled path allocates and retains no
+  // trace state (histograms still record, which /metrics shows).
+  EXPECT_EQ(server.traces().inserted(), 0u);
+  EXPECT_TRUE(server.traces().Slow().empty());
+  EXPECT_TRUE(server.traces().Sampled().empty());
+}
+
+TEST(TracezTest, ServerSamplingTracesEveryNth) {
+  net::Server::Options options = BaseOptions(ScratchDir("sampling"));
+  options.trace_sample_every = 2;
+  net::Server server(options);
+  net::Client client("localhost", server.port());
+  ASSERT_TRUE(client.OpenIndex("t", "cgrxu").ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(client.PointLookup("t", {1}).ok());
+  }
+  // 9 data/control requests hit the sampler (open + 8 lookups); every
+  // 2nd is retained. Exact phase depends on tick 0, so bound it.
+  EXPECT_GE(server.traces().inserted(), 4u);
+  EXPECT_LE(server.traces().inserted(), 5u);
+}
+
+TEST(WireV4Test, PingCarriesVersionAndRtt) {
+  net::Server server(BaseOptions(ScratchDir("ping")));
+  net::Client client("localhost", server.port());
+  const net::Client::PingReply reply = client.Ping();
+  ASSERT_TRUE(reply.ok()) << reply.message;
+  EXPECT_EQ(reply.server_version, net::kProtocolVersion);
+  EXPECT_EQ(net::kProtocolVersion, 4);
+  EXPECT_GT(reply.rtt_us, 0u);
+  // The server's own cost is a subset of the round trip.
+  EXPECT_LE(reply.server_micros, reply.rtt_us);
+}
+
+TEST(WireV4Test, ServerMicrosEchoedOnDataVerbs) {
+  net::Server server(BaseOptions(ScratchDir("micros")));
+  net::Client client("localhost", server.port());
+  ASSERT_TRUE(client.OpenIndex("t", "cgrxu").ok());
+  std::vector<std::uint64_t> keys(5000);
+  std::vector<std::uint32_t> rows(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = i + 1;
+    rows[i] = static_cast<std::uint32_t>(i);
+  }
+  const auto started = std::chrono::steady_clock::now();
+  const net::Client::UpdateReply update = client.Update("t", keys, rows, {});
+  const auto elapsed_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count());
+  ASSERT_TRUE(update.ok()) << update.message;
+  // A 5000-key durable update (WAL fsync included) takes measurable
+  // server time, and the server's figure cannot exceed what the client
+  // observed around the whole call.
+  EXPECT_GT(update.server_micros, 0u);
+  EXPECT_LE(update.server_micros, elapsed_us);
+  // Errors carry it too: the header is patched on every status.
+  const net::Client::LookupReply missing = client.PointLookup("nope", {1});
+  EXPECT_EQ(missing.status, net::Status::kNotFound);
+}
+
+// ---------------------------------------------------------------------
+// Prometheus scrape lint
+// ---------------------------------------------------------------------
+
+TEST(ScrapeLintTest, LabelEscapingRoundTrips) {
+  net::PrometheusWriter w;
+  w.Family("x_total", "help", "counter");
+  w.Sample("x_total", {{"name", "a\"b\\c\nd"}}, 1.0);
+  EXPECT_NE(w.text().find("name=\"a\\\"b\\\\c\\nd\""), std::string::npos)
+      << w.text();
+}
+
+TEST(ScrapeLintTest, FamilyPreambleIsEmittedOnce) {
+  net::PrometheusWriter w;
+  w.Family("dup_total", "help", "counter");
+  w.Family("dup_total", "help", "counter");  // Second call: no-op.
+  w.Value("dup_total", std::uint64_t{1});
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = w.text().find("# TYPE dup_total", pos)) !=
+         std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(ScrapeLintTest, MetricsTextIsWellFormed) {
+  net::Server server(BaseOptions(ScratchDir("lint")));
+  net::Client client("localhost", server.port());
+  ASSERT_TRUE(client.OpenIndex("t", "cgrxu").ok());
+  ASSERT_TRUE(client.Update("t", {1, 2, 3}, {1, 2, 3}, {}).ok());
+  ASSERT_TRUE(client.PointLookup("t", {1, 2}).ok());
+  ASSERT_TRUE(client.Checkpoint("t").ok());
+
+  const std::string text = server.MetricsText();
+  std::set<std::string> families;
+  std::set<std::string> preambled;
+  std::istringstream lines(text);
+  std::string line;
+  // Cumulative-bucket check state: per labelled histogram series, the
+  // previous bucket count (le values arrive in increasing order).
+  std::map<std::string, std::uint64_t> last_bucket;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string name = line.substr(7, line.find(' ', 7) - 7);
+      EXPECT_TRUE(families.insert(name).second)
+          << "duplicate TYPE preamble for " << name;
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::string name = line.substr(7, line.find(' ', 7) - 7);
+      EXPECT_TRUE(preambled.insert(name).second)
+          << "duplicate HELP preamble for " << name;
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unknown comment line: " << line;
+    // Sample line: name{labels} value or name value. The family is the
+    // name with any histogram suffix stripped.
+    const std::size_t name_end = line.find_first_of("{ ");
+    ASSERT_NE(name_end, std::string::npos) << line;
+    std::string name = line.substr(0, name_end);
+    std::string family = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s(suffix);
+      if (family.size() > s.size() &&
+          family.compare(family.size() - s.size(), s.size(), s) == 0) {
+        const std::string stripped =
+            family.substr(0, family.size() - s.size());
+        if (families.count(stripped) > 0) family = stripped;
+      }
+    }
+    EXPECT_EQ(families.count(family), 1u)
+        << "sample without TYPE preamble: " << line;
+    // Histogram buckets: counts are monotone in le order and +Inf
+    // matches _count (checked per series key = everything before le).
+    if (name.size() > 7 &&
+        name.compare(name.size() - 7, 7, "_bucket") == 0) {
+      const std::size_t le = line.find("le=\"");
+      ASSERT_NE(le, std::string::npos) << line;
+      const std::string series = line.substr(0, le);
+      const std::uint64_t value =
+          std::stoull(line.substr(line.rfind(' ') + 1));
+      auto it = last_bucket.find(series);
+      if (it != last_bucket.end()) {
+        EXPECT_GE(value, it->second) << "non-monotone buckets: " << line;
+        it->second = value;
+      } else {
+        last_bucket.emplace(series, value);
+      }
+    }
+  }
+  EXPECT_EQ(families, preambled);
+  // The tentpole families are present with recorded traffic.
+  EXPECT_EQ(families.count("cgrx_request_latency_seconds"), 1u);
+  EXPECT_EQ(families.count("cgrx_stage_latency_seconds"), 1u);
+  EXPECT_NE(
+      text.find("cgrx_request_latency_seconds_bucket{verb=\"update\",le=\"+Inf\"}"),
+      std::string::npos)
+      << text.substr(0, 2000);
+  EXPECT_NE(text.find("cgrx_stage_latency_seconds_bucket{stage=\"wal_fsync\""),
+            std::string::npos);
+  EXPECT_NE(text.find("cgrx_stage_latency_seconds_bucket{stage=\"checkpoint\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cgrx
